@@ -1,0 +1,103 @@
+//! Fig. 11 — weight-distribution density of a ResNet layer under three
+//! independent runs: BSP, SelSync+PA and SelSync+GA.
+//!
+//! The paper compares `layer1_1_conv1_weight` KDEs at two checkpoints:
+//! BSP and SelSync+PA stay distributionally close, while GA's weights
+//! drift into a visibly different (narrower/shifted) distribution. We
+//! run the three regimes, fit KDEs to the same named layer, and report
+//! the KDE (total-variation) distance of each SelSync variant from BSP.
+
+use selsync_bench::{banner, json_row, paper_config, run_and_report, Scale};
+use selsync_core::prelude::*;
+use selsync_stats::kde::{kde_distance, Kde};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    regime: &'static str,
+    x: f32,
+    density: f32,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    pa_vs_bsp_distance: f32,
+    ga_vs_bsp_distance: f32,
+}
+
+const LAYER: &str = "layer1_0.conv1.weight";
+
+fn layer_weights(wl: &Workload, params: &[f32]) -> Vec<f32> {
+    // rebuild a model, load the params, and read the named layer
+    let mut m = wl.build_model();
+    selsync_nn::flat::set_flat_params(m.as_model(), params);
+    let mut out = Vec::new();
+    selsync_nn::module::ParamVisitor::visit_params(m.as_visitor(), &mut |p| {
+        if p.name == LAYER {
+            out = p.value.as_slice().to_vec();
+        }
+    });
+    assert!(!out.is_empty(), "layer {LAYER} not found");
+    out
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig 11", "Weight KDEs: BSP vs SelSync-PA vs SelSync-GA");
+    let kind = ModelKind::ResNetMini;
+    let wl = selsync_bench::workload_for(kind, &scale);
+    let regimes: [(&'static str, Strategy); 3] = [
+        (
+            "BSP",
+            Strategy::Bsp {
+                aggregation: Aggregation::Parameter,
+            },
+        ),
+        (
+            "SelSync-PA",
+            Strategy::SelSync {
+                delta: 0.25,
+                aggregation: Aggregation::Parameter,
+            },
+        ),
+        (
+            "SelSync-GA",
+            Strategy::SelSync {
+                delta: 0.25,
+                aggregation: Aggregation::Gradient,
+            },
+        ),
+    ];
+    let mut kdes = Vec::new();
+    for (name, strategy) in regimes {
+        let cfg = paper_config(kind, strategy, &scale);
+        let r = run_and_report(kind, &cfg, &wl);
+        // GA leaves the PS stale, so compare worker-0 replicas everywhere
+        let weights = layer_weights(&wl, &r.worker_params[0]);
+        let kde = Kde::fit(&weights);
+        let (lo, hi) = kde.support();
+        let (xs, ds) = kde.grid(lo, hi, 41);
+        for (x, d) in xs.iter().zip(&ds) {
+            json_row(&Row {
+                regime: name,
+                x: *x,
+                density: *d,
+            });
+        }
+        println!(
+            "{name:<12} layer {LAYER}: bandwidth {:.5}, support [{:.3}, {:.3}]",
+            kde.bandwidth(),
+            lo,
+            hi
+        );
+        kdes.push(kde);
+    }
+    let pa = kde_distance(&kdes[0], &kdes[1], 400);
+    let ga = kde_distance(&kdes[0], &kdes[2], 400);
+    println!("\nKDE distance from BSP: PA {pa:.4}, GA {ga:.4}");
+    json_row(&Summary {
+        pa_vs_bsp_distance: pa,
+        ga_vs_bsp_distance: ga,
+    });
+    println!("Shape check (paper Fig 11): PA's weight distribution tracks BSP more closely than GA's.");
+}

@@ -1,0 +1,74 @@
+//! Fig. 12 — data injection in SelSync vs. FedAvg on non-IID data.
+//!
+//! Paper setup: 10 workers, CIFAR10-style 1-label-per-worker skew.
+//! FedAvg oscillates around 60–70% while SelSync with data injection
+//! climbs with (α, β, δ): (0.75, 0.75, 0.3) > (0.5, 0.5, 0.3) >
+//! (0.5, 0.5, 0.05) > FedAvg.
+
+use selsync_bench::{banner, fmt_metric, json_row, paper_config, run_and_report, Scale};
+use selsync_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    config: String,
+    step: u64,
+    metric: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig 12", "Data injection (α, β, δ) vs FedAvg on non-IID data");
+    let kind = ModelKind::ResNetMini;
+    // 10 workers / 10 classes / 1 label per worker, like the paper
+    let workers = 10;
+    let wl = Workload::vision(kind, scale.data.max(600), scale.data / 4 + 32, 42);
+
+    let mut runs: Vec<(String, RunConfig)> = Vec::new();
+    {
+        let mut cfg = paper_config(kind, Strategy::FedAvg { c: 1.0, e: 0.1 }, &scale);
+        cfg.n_workers = workers;
+        cfg.noniid_labels = Some(1);
+        runs.push(("FedAvg(1, 0.1)".into(), cfg));
+    }
+    for (alpha, beta, delta) in [(0.5, 0.5, 0.05f32), (0.5, 0.5, 0.3), (0.75, 0.75, 0.3)] {
+        let mut cfg = paper_config(
+            kind,
+            Strategy::SelSync {
+                delta,
+                aggregation: Aggregation::Parameter,
+            },
+            &scale,
+        );
+        cfg.n_workers = workers;
+        cfg.noniid_labels = Some(1);
+        cfg.injection = Some(InjectionConfig::new(alpha, beta));
+        cfg.batch_size = 32; // Eqn. 3 shrinks the local share to b′
+        runs.push((format!("SelSync({alpha}, {beta}, {delta})"), cfg));
+    }
+
+    let mut finals = Vec::new();
+    for (name, cfg) in &runs {
+        if let Some(inj) = cfg.injection {
+            println!(
+                "{name}: b′ = {} (Eqn. 3, b=32, N={workers})",
+                inj.adjusted_batch_size(32, workers)
+            );
+        }
+        let r = run_and_report(kind, cfg, &wl);
+        for e in &r.evals {
+            json_row(&Row {
+                config: name.clone(),
+                step: e.step,
+                metric: e.metric,
+            });
+        }
+        finals.push((name.clone(), r.best_metric(false)));
+    }
+    println!();
+    for (name, m) in &finals {
+        println!("{:<24} best {}", name, fmt_metric(kind, *m));
+    }
+    println!("\nShape check (paper Fig 12): every injection config beats plain FedAvg on");
+    println!("non-IID data, and accuracy rises with stronger (α, β) injection.");
+}

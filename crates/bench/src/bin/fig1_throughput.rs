@@ -1,0 +1,40 @@
+//! Fig. 1a — relative training throughput vs. cluster size under
+//! PS-based BSP on the modeled 5 Gbps fabric.
+//!
+//! The paper reports ResNet101 improving only ~3× from 1 → 16 V100s and
+//! VGG11 dropping *below* 1× at 2 workers (507 MB of parameters). Both
+//! shapes come straight out of the calibrated network model here.
+
+use selsync_bench::{banner, json_row};
+use selsync_core::timing::relative_throughput;
+use selsync_nn::models::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    workers: usize,
+    relative_throughput: f64,
+}
+
+fn main() {
+    banner("Fig 1a", "Relative throughput vs cluster size (PS over 5 Gbps)");
+    println!("{:<12} {:>3} {:>12}", "model", "N", "rel-tput");
+    for kind in ModelKind::ALL {
+        for &n in &[1usize, 2, 4, 8, 16] {
+            let r = relative_throughput(kind, n);
+            println!("{:<12} {:>3} {:>12.2}", kind.paper_name(), n, r);
+            json_row(&Row {
+                model: kind.paper_name(),
+                workers: n,
+                relative_throughput: r,
+            });
+        }
+        println!();
+    }
+    // headline checks mirrored in EXPERIMENTS.md
+    let resnet16 = relative_throughput(ModelKind::ResNetMini, 16);
+    let vgg2 = relative_throughput(ModelKind::VggMini, 2);
+    println!("ResNet101 @16 workers: {resnet16:.2}x (paper: ~3x; far below linear 16x)");
+    println!("VGG11 @2 workers: {vgg2:.2}x (paper: < 1.0x due to 507 MB model)");
+}

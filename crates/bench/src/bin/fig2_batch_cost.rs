@@ -1,0 +1,107 @@
+//! Fig. 2 — per-step compute time (2a) and memory utilization (2b)
+//! vs. batch size.
+//!
+//! 2a is a *real measurement* on this host: one forward+backward per
+//! batch size per mini model. 2b reports the analytic activation +
+//! parameter footprint (this process shares one allocator across
+//! threads, so RSS deltas would be noise; the analytic count is the
+//! quantity that OOMs a 12 GB K80 in the paper).
+
+use selsync_bench::{banner, json_row};
+use selsync_core::workload::{AnyModel, Workload, SEQ_LEN};
+use selsync_nn::loss::softmax_cross_entropy;
+use selsync_nn::models::ModelKind;
+use selsync_nn::Batch;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    batch_size: usize,
+    step_time_ms: f64,
+    approx_mem_kb: f64,
+}
+
+fn batch_for(wl: &Workload, b: usize) -> Batch {
+    match &wl.data {
+        selsync_core::workload::WorkloadData::Vision { train, .. } => {
+            let idx: Vec<usize> = (0..b.min(train.len())).collect();
+            let (x, t) = train.gather(&idx);
+            Batch::dense(x, t)
+        }
+        selsync_core::workload::WorkloadData::Text { train, .. } => {
+            let mut seqs = Vec::new();
+            let mut targets = Vec::new();
+            for w in 0..b.min(train.num_windows(SEQ_LEN)) {
+                let (x, y) = train.window(w, SEQ_LEN);
+                seqs.push(x);
+                targets.extend(y);
+            }
+            Batch::tokens(seqs, targets)
+        }
+    }
+}
+
+/// Approximate working-set: parameters + gradients + activations. The
+/// activation term scales linearly with batch size, which is the Fig. 2b
+/// trend; per-position footprint is estimated from one forward pass.
+fn approx_mem_kb(model: &AnyModel, kind: ModelKind, b: usize) -> f64 {
+    let params = selsync_nn::module::ParamVisitor::num_params(model.as_visitor());
+    // per-sample activation scalars, rough per architecture (counted
+    // from the layer output shapes of the minis)
+    let acts_per_sample = match kind {
+        ModelKind::ResNetMini => 8 * 64 * 6 + 16 * 16 * 4, // conv planes over blocks
+        ModelKind::VggMini => 8 * 64 + 8 * 16 + 16 * 16 + 16 * 4 + 32,
+        ModelKind::AlexNetMini => 12 * 64 + 12 * 16 + 24 * 16 + 24 * 4 + 48,
+        ModelKind::TransformerMini => SEQ_LEN * (16 * 8 + 32 * 2) + SEQ_LEN * SEQ_LEN * 4,
+    };
+    ((2 * params + b * acts_per_sample) * 4) as f64 / 1024.0
+}
+
+fn main() {
+    banner("Fig 2", "Compute time and memory vs batch size");
+    println!(
+        "{:<12} {:>5} {:>14} {:>14}",
+        "model", "b", "step-time(ms)", "approx-mem(KB)"
+    );
+    for kind in ModelKind::ALL {
+        let wl = Workload::for_kind(kind, 600, 42);
+        let mut prev = 0.0;
+        for &b in &[4usize, 8, 16, 32, 64, 128] {
+            let mut model = wl.build_model();
+            let batch = batch_for(&wl, b);
+            // warm-up then measure
+            for _ in 0..2 {
+                let logits = model.as_model().forward(&batch.input, true);
+                let (_, dl) = softmax_cross_entropy(&logits, &batch.targets);
+                model.as_model().zero_grad();
+                model.as_model().backward(&dl);
+            }
+            let reps = 5;
+            let start = Instant::now();
+            for _ in 0..reps {
+                let logits = model.as_model().forward(&batch.input, true);
+                let (_, dl) = softmax_cross_entropy(&logits, &batch.targets);
+                model.as_model().zero_grad();
+                model.as_model().backward(&dl);
+            }
+            let ms = start.elapsed().as_secs_f64() * 1000.0 / reps as f64;
+            let mem = approx_mem_kb(&model, kind, b);
+            println!("{:<12} {:>5} {:>14.2} {:>14.0}", kind.paper_name(), b, ms, mem);
+            json_row(&Row {
+                model: kind.paper_name(),
+                batch_size: b,
+                step_time_ms: ms,
+                approx_mem_kb: mem,
+            });
+            assert!(
+                ms >= prev * 0.5,
+                "compute time should grow (roughly) with batch size"
+            );
+            prev = ms;
+        }
+        println!();
+    }
+    println!("Shape check: both step time and memory increase with b (paper Fig 2a/2b).");
+}

@@ -1,0 +1,78 @@
+//! Fig. 5 — correlation between relative gradient change Δ(g_i) and
+//! model convergence under BSP.
+//!
+//! For each workload we run BSP with the paper's EWMA settings, logging
+//! Δ(g_i) alongside the test metric: volatile Δ phases coincide with
+//! fast metric movement, and as convergence plateaus so does Δ(g_i).
+
+use selsync_bench::{banner, json_row, paper_config, run_and_report, Scale};
+use selsync_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    step: u64,
+    delta_g: f32,
+    metric: Option<f32>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig 5", "Relative gradient change vs convergence (BSP)");
+    for kind in ModelKind::ALL {
+        let wl = selsync_bench::workload_for(kind, &scale);
+        // SelSync with δ=0 syncs every step (≡ BSP) *and* records Δ(g_i)
+        let cfg = paper_config(
+            kind,
+            Strategy::SelSync {
+                delta: 0.0,
+                aggregation: Aggregation::Parameter,
+            },
+            &scale,
+        );
+        let r = run_and_report(kind, &cfg, &wl);
+        let evals: std::collections::HashMap<u64, f32> =
+            r.evals.iter().map(|e| (e.step, e.metric)).collect();
+        for rec in &r.step_records {
+            if rec.step % 5 == 0 || evals.contains_key(&rec.step) {
+                json_row(&Row {
+                    model: kind.paper_name(),
+                    step: rec.step,
+                    delta_g: rec.delta_g,
+                    metric: evals.get(&rec.step).copied(),
+                });
+            }
+        }
+        // quantify the paper's two observations:
+        // (1) Δ(g) settles as the metric plateaus — compare the early
+        //     quarter against the pre-decay plateau window (the LR decay
+        //     itself spikes Δ, which is observation (2));
+        // (2) the decay boundary produces a visible Δ(g) spike, exactly
+        //     like the paper's "sudden peak ... corresponds to learning
+        //     rate decay" in Fig 5a/5b.
+        let n = r.step_records.len();
+        let mean_over = |lo: usize, hi: usize| -> f32 {
+            let xs: Vec<f32> = r.step_records[lo..hi]
+                .iter()
+                .map(|s| s.delta_g)
+                .filter(|d| d.is_finite())
+                .collect();
+            xs.iter().sum::<f32>() / xs.len().max(1) as f32
+        };
+        let early = mean_over(1, n / 4);
+        let plateau = mean_over(n / 2, n * 5 / 8); // before the first decay
+        let decay_window = mean_over(n * 5 / 8, (n * 5 / 8 + n / 16).min(n));
+        println!(
+            "{:<12} mean Δ(g): early {:.4} → pre-decay plateau {:.4} ({:.1}x damping); decay spike {:.4}; final {}",
+            kind.paper_name(),
+            early,
+            plateau,
+            early / plateau.max(1e-6),
+            decay_window,
+            selsync_bench::fmt_metric(kind, r.final_metric)
+        );
+    }
+    println!("\nShape checks (paper Fig 5): Δ(g) is largest in the volatile early phase, flattens");
+    println!("as the metric plateaus, and spikes again at the LR-decay boundary (5a/5b).");
+}

@@ -1,0 +1,97 @@
+//! Recipe probe: single-worker sanity sweep over learning rates per
+//! model, used to validate the §IV-A-scaled recipes actually converge
+//! at mini scale. Not a paper artifact; a tuning tool.
+
+use selsync_core::workload::{Workload, WorkloadData, SEQ_LEN};
+use selsync_nn::loss::{accuracy, softmax_cross_entropy, topk_accuracy};
+use selsync_nn::models::ModelKind;
+use selsync_nn::optim::{Adam, Optimizer, Sgd};
+use selsync_nn::{Batch, Input};
+
+fn batch(wl: &Workload, step: u64, b: usize) -> Batch {
+    match &wl.data {
+        WorkloadData::Vision { train, .. } => {
+            let n = train.len();
+            let idx: Vec<usize> = (0..b).map(|i| ((step as usize * b) + i) % n).collect();
+            let (x, t) = train.gather(&idx);
+            Batch::dense(x, t)
+        }
+        WorkloadData::Text { train, .. } => {
+            let windows = train.num_windows(SEQ_LEN);
+            let mut seqs = Vec::new();
+            let mut targets = Vec::new();
+            for i in 0..b {
+                let w = ((step as usize * b) + i) % windows;
+                let (x, y) = train.window(w, SEQ_LEN);
+                seqs.push(x);
+                targets.extend(y);
+            }
+            Batch::tokens(seqs, targets)
+        }
+    }
+}
+
+fn eval(wl: &Workload, model: &mut selsync_core::workload::AnyModel) -> f32 {
+    match &wl.data {
+        WorkloadData::Vision { test, .. } => {
+            let idx: Vec<usize> = (0..test.len().min(200)).collect();
+            let (x, t) = test.gather(&idx);
+            let logits = model.as_model().forward(&Input::Dense(x), false);
+            if wl.kind == ModelKind::AlexNetMini {
+                topk_accuracy(&logits, &t, 5)
+            } else {
+                accuracy(&logits, &t)
+            }
+        }
+        WorkloadData::Text { test, .. } => {
+            let mut seqs = Vec::new();
+            let mut targets = Vec::new();
+            for w in 0..test.num_windows(SEQ_LEN).min(16) {
+                let (x, y) = test.window(w, SEQ_LEN);
+                seqs.push(x);
+                targets.extend(y);
+            }
+            let logits = model.as_model().forward(&Input::Tokens(seqs), false);
+            let (loss, _) = softmax_cross_entropy(&logits, &targets);
+            loss.exp()
+        }
+    }
+}
+
+fn main() {
+    let steps: u64 = std::env::var("PROBE_STEPS").map_or(400, |v| v.parse().unwrap());
+    for kind in ModelKind::ALL {
+        let wl = Workload::for_kind(kind, 768, 42);
+        for &(lr, momentum, adam) in &[
+            (0.01f32, 0.9f32, false),
+            (0.03, 0.9, false),
+            (0.08, 0.9, false),
+            (0.2, 0.0, false),
+            (0.003, 0.0, true),
+        ] {
+            let mut model = wl.build_model();
+            let mut sgd = Sgd::with_momentum(lr, momentum, 0.0);
+            let mut ad = Adam::new(lr);
+            let mut last_loss = 0.0;
+            for step in 0..steps {
+                let b = batch(&wl, step, 64); // 8 workers × b8 equivalent
+                let logits = model.as_model().forward(&b.input, true);
+                let (loss, dl) = softmax_cross_entropy(&logits, &b.targets);
+                last_loss = loss;
+                model.as_model().zero_grad();
+                model.as_model().backward(&dl);
+                if adam {
+                    ad.step(model.as_model());
+                } else {
+                    sgd.step(model.as_model());
+                }
+            }
+            let m = eval(&wl, &mut model);
+            println!(
+                "{:<12} lr={lr:<6} mom={momentum:<4} adam={adam:<6} loss={last_loss:<8.3} metric={m:.3}",
+                kind.paper_name()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,108 @@
+//! `selsync_run` — the command-line front end: train any workload with
+//! any strategy/backend/compression combination and print a summary plus
+//! JSON result rows.
+//!
+//! ```sh
+//! cargo run --release --bin selsync_run -- \
+//!     --model resnet --strategy selsync --delta 0.3 --workers 8
+//! ```
+
+use selsync_bench::cli::parse_args;
+use selsync_bench::json_row;
+use selsync_core::prelude::*;
+use selsync_core::timing::TimingParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Summary<'a> {
+    model: &'a str,
+    strategy: String,
+    workers: usize,
+    steps: u64,
+    lssr: f64,
+    final_metric: f32,
+    best_metric: f32,
+    comm_bytes: u64,
+    logical_sync_bytes: u64,
+    replica_divergence: f32,
+    paper_scale_seconds: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run = match parse_args(&args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if msg.contains("USAGE") && args.contains(&"--help".into()) {
+                0
+            } else {
+                2
+            });
+        }
+    };
+    let mut workload = Workload::for_kind(run.kind, run.data_scale, run.config.seed);
+    if let Some(path) = &run.load_params {
+        workload.init_params =
+            Some(selsync_core::checkpoint::load_params(path).expect("readable checkpoint"));
+        eprintln!("warm-started from {path}");
+    }
+    eprintln!(
+        "training {} with {} on {} workers ({} steps)...",
+        run.kind.paper_name(),
+        run.config.strategy.label(),
+        run.config.n_workers,
+        run.config.max_steps
+    );
+    let start = std::time::Instant::now();
+    let result = run_distributed(&run.config, &workload);
+    let host_s = start.elapsed().as_secs_f64();
+
+    let timing = selsync_core::timing::simulate_timeline(
+        run.config.strategy,
+        &result.step_records,
+        &TimingParams::paper(run.kind, run.config.n_workers),
+    );
+    let lower = run.kind.lower_is_better();
+    println!(
+        "\n{} | {} | {} workers",
+        run.kind.paper_name(),
+        run.config.strategy.label(),
+        run.config.n_workers
+    );
+    println!("  {:<26} {}", run.kind.metric(), fmt(run.kind, result.final_metric));
+    println!("  {:<26} {}", "best", fmt(run.kind, result.best_metric(lower)));
+    println!("  {:<26} {:.3}", "LSSR", result.lssr.lssr());
+    println!("  {:<26} {:.1}x", "comm reduction vs BSP", result.lssr.comm_reduction());
+    println!("  {:<26} {}", "fabric bytes", result.comm_bytes);
+    println!("  {:<26} {}", "sync payload bytes (w0)", result.logical_sync_bytes);
+    println!("  {:<26} {:.4}", "replica divergence", result.replica_divergence());
+    println!("  {:<26} {:.1}s", "paper-scale wall-clock", timing.total_s);
+    println!("  {:<26} {:.1}s", "host wall-clock", host_s);
+    if let Some(path) = &run.save_params {
+        selsync_core::checkpoint::save_params(path, &result.final_params)
+            .expect("writable checkpoint path");
+        eprintln!("saved final parameters to {path}");
+    }
+    json_row(&Summary {
+        model: run.kind.paper_name(),
+        strategy: run.config.strategy.label(),
+        workers: run.config.n_workers,
+        steps: run.config.max_steps,
+        lssr: result.lssr.lssr(),
+        final_metric: result.final_metric,
+        best_metric: result.best_metric(lower),
+        comm_bytes: result.comm_bytes,
+        logical_sync_bytes: result.logical_sync_bytes,
+        replica_divergence: result.replica_divergence(),
+        paper_scale_seconds: timing.total_s,
+    });
+}
+
+fn fmt(kind: ModelKind, v: f32) -> String {
+    if kind.lower_is_better() {
+        format!("{v:.3} (perplexity)")
+    } else {
+        format!("{:.2}%", v * 100.0)
+    }
+}

@@ -1,0 +1,139 @@
+//! Table I — the paper's headline comparison: BSP, four FedAvg
+//! configurations, two SSP staleness settings, and two SelSync
+//! thresholds, across all four workloads.
+//!
+//! Columns mirror the paper: iterations (step of best metric), LSSR,
+//! final accuracy/perplexity, convergence difference vs. BSP, whether
+//! BSP is outperformed, and overall speedup. Speedup is time-to-BSP-
+//! quality on the paper-scale simulated clock (see `selsync_core::timing`
+//! and the calibration notes in EXPERIMENTS.md); "-" marks methods that
+//! never reach BSP quality, exactly as the paper does.
+
+use selsync_bench::{banner, fmt_metric, json_row, paper_config, run_and_report, Scale};
+use selsync_core::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    method: String,
+    iterations: u64,
+    lssr: Option<f64>,
+    metric: f32,
+    conv_diff: f32,
+    outperforms_bsp: bool,
+    speedup: Option<f64>,
+}
+
+fn methods(scale: &Scale) -> Vec<Strategy> {
+    // SSP thresholds scaled to the step budget the way the paper scales
+    // 100/200 to its 10⁴–10⁵-step runs: a bound that is neither a
+    // constant barrier nor unbounded.
+    let s1 = (scale.steps / 10).max(5);
+    vec![
+        Strategy::Bsp {
+            aggregation: Aggregation::Parameter,
+        },
+        Strategy::FedAvg { c: 1.0, e: 0.25 },
+        Strategy::FedAvg { c: 1.0, e: 0.125 },
+        Strategy::FedAvg { c: 0.5, e: 0.25 },
+        Strategy::FedAvg { c: 0.5, e: 0.125 },
+        Strategy::Ssp { staleness: s1 },
+        Strategy::Ssp { staleness: s1 * 2 },
+        Strategy::SelSync {
+            delta: 0.3,
+            aggregation: Aggregation::Parameter,
+        },
+        Strategy::SelSync {
+            delta: 0.5,
+            aggregation: Aggregation::Parameter,
+        },
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Table I",
+        "BSP / FedAvg / SSP / SelSync across all four workloads",
+    );
+    println!(
+        "{:<12} {:<20} {:>7} {:>7} {:>9} {:>9} {:>6} {:>9}",
+        "model", "method", "iters", "LSSR", "metric", "conv.diff", "beats", "speedup"
+    );
+    for kind in ModelKind::ALL {
+        let wl = selsync_bench::workload_for(kind, &scale);
+        let lower = kind.lower_is_better();
+        let mut bsp_quality = 0.0f32;
+        let mut bsp_time = 0.0f64;
+        for strategy in methods(&scale) {
+            let cfg = paper_config(kind, strategy, &scale);
+            let r = run_and_report(kind, &cfg, &wl);
+            let best = r.best_metric(lower);
+            // "iterations" = step of the best evaluation (plateau point)
+            let best_step = r
+                .evals
+                .iter()
+                .find(|e| e.metric == best)
+                .map_or(cfg.max_steps, |e| e.step);
+            let params = selsync_core::timing::TimingParams::paper(kind, cfg.n_workers);
+            let timeline =
+                selsync_core::timing::simulate_timeline(strategy, &r.step_records, &params);
+            let is_bsp = matches!(strategy, Strategy::Bsp { .. });
+            if is_bsp {
+                bsp_quality = best;
+                bsp_time = timeline.cumulative[best_step as usize];
+            }
+            let conv_diff = if lower {
+                bsp_quality - best
+            } else {
+                best - bsp_quality
+            };
+            let outperforms = !is_bsp && conv_diff >= 0.0;
+            // speedup: simulated time for this method to first reach BSP
+            // quality vs BSP's time to that quality
+            let speedup = if is_bsp {
+                Some(1.0)
+            } else {
+                r.steps_to_target(bsp_quality, lower).map(|s| {
+                    let idx = r
+                        .evals
+                        .iter()
+                        .position(|e| e.step == s)
+                        .map_or(s as usize, |i| r.evals[i].step as usize);
+                    bsp_time / timeline.cumulative[idx.min(timeline.cumulative.len() - 1)]
+                })
+            };
+            let lssr = match strategy {
+                Strategy::Ssp { .. } => None, // the paper marks SSP "-"
+                _ => Some(r.lssr.lssr()),
+            };
+            println!(
+                "{:<12} {:<20} {:>7} {:>7} {:>9} {:>+9.4} {:>6} {:>9}",
+                kind.paper_name(),
+                strategy.label(),
+                best_step,
+                lssr.map_or("-".into(), |l| format!("{l:.3}")),
+                fmt_metric(kind, best),
+                conv_diff,
+                if is_bsp { "n/a" } else if outperforms { "yes" } else { "no" },
+                speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+            );
+            json_row(&Row {
+                model: kind.paper_name(),
+                method: strategy.label(),
+                iterations: best_step,
+                lssr,
+                metric: best,
+                conv_diff,
+                outperforms_bsp: outperforms,
+                speedup,
+            });
+        }
+        println!();
+    }
+    println!("Shape checks vs the paper's Table I:");
+    println!(" - SelSync reaches BSP-level quality with LSSR well above 0 (comm reduction).");
+    println!(" - FedAvg's LSSR is higher still, but its quality depends brittly on (C, E).");
+    println!(" - BSP needs the fewest iterations (most work per step); semi-sync methods need more.");
+}

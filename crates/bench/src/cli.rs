@@ -1,0 +1,286 @@
+//! Argument parsing for the `selsync_run` command-line tool.
+//!
+//! Dependency-free flag parser: `--key value` pairs mapped onto a
+//! [`RunConfig`] + [`ModelKind`]. See `selsync_run --help` for the
+//! surface.
+
+use selsync_core::prelude::*;
+
+/// Parsed CLI invocation.
+#[derive(Debug, Clone)]
+pub struct CliRun {
+    /// Which workload to train.
+    pub kind: ModelKind,
+    /// Full run configuration.
+    pub config: RunConfig,
+    /// Dataset scale (samples / windows).
+    pub data_scale: usize,
+    /// Write the final global parameters here after the run.
+    pub save_params: Option<String>,
+    /// Warm-start every replica from this checkpoint.
+    pub load_params: Option<String>,
+}
+
+/// Usage text for `--help`.
+pub const USAGE: &str = "\
+selsync_run — train a workload with a selectable distribution strategy
+
+USAGE:
+  selsync_run [--key value]...
+
+KEYS:
+  --model        resnet | vgg | alexnet | transformer    (default resnet)
+  --strategy     bsp | fedavg | ssp | selsync | local    (default selsync)
+  --delta        SelSync threshold δ                     (default 0.3)
+  --aggregation  pa | ga                                 (default pa)
+  --c            FedAvg participation fraction           (default 1.0)
+  --e            FedAvg sync factor E                    (default 0.25)
+  --staleness    SSP staleness bound                     (default 40)
+  --workers      cluster size                            (default 8)
+  --steps        training steps                          (default 400)
+  --batch        per-worker batch size                   (default 8)
+  --data         dataset scale                           (default 768)
+  --eval-every   evaluation period                       (default 40)
+  --partition    seldp | defdp                           (default seldp)
+  --backend      ps | ring                               (default ps)
+  --noniid       labels per worker (enables label skew)
+  --alpha        injection α (with --beta, enables injection)
+  --beta         injection β
+  --compression  topk:<ratio> | sign | powersgd:<rank>
+  --seed         RNG seed                                (default 42)
+  --grad-clip    global gradient-norm clip
+  --save-params  write the final global parameters to this file
+  --load-params  warm-start replicas from a saved checkpoint
+  --help         print this text
+";
+
+/// Parse `args` (without the program name). `Err` carries a message to
+/// print (including for `--help`).
+pub fn parse_args(args: &[String]) -> Result<CliRun, String> {
+    let mut kind = ModelKind::ResNetMini;
+    let mut strategy_name = "selsync".to_string();
+    let mut delta = 0.3f32;
+    let mut aggregation = Aggregation::Parameter;
+    let mut c = 1.0f32;
+    let mut e = 0.25f32;
+    let mut staleness = 40u64;
+    let mut cfg_workers = 8usize;
+    let mut steps = 400u64;
+    let mut batch = 8usize;
+    let mut data_scale = 768usize;
+    let mut eval_every = 40u64;
+    let mut partition = PartitionScheme::SelDp;
+    let mut backend = SyncBackend::ParameterServer;
+    let mut noniid: Option<usize> = None;
+    let mut alpha: Option<f32> = None;
+    let mut beta: Option<f32> = None;
+    let mut compression: Option<CompressionKind> = None;
+    let mut seed = 42u64;
+    let mut save_params = None;
+    let mut load_params = None;
+    let mut grad_clip = None;
+
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        if key == "--help" {
+            return Err(USAGE.to_string());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for {key}"))?;
+        match key.as_str() {
+            "--model" => {
+                kind = match value.as_str() {
+                    "resnet" => ModelKind::ResNetMini,
+                    "vgg" => ModelKind::VggMini,
+                    "alexnet" => ModelKind::AlexNetMini,
+                    "transformer" => ModelKind::TransformerMini,
+                    other => return Err(format!("unknown model '{other}'")),
+                }
+            }
+            "--strategy" => strategy_name = value.clone(),
+            "--delta" => delta = num(key, value)?,
+            "--aggregation" => {
+                aggregation = match value.as_str() {
+                    "pa" => Aggregation::Parameter,
+                    "ga" => Aggregation::Gradient,
+                    other => return Err(format!("unknown aggregation '{other}'")),
+                }
+            }
+            "--c" => c = num(key, value)?,
+            "--e" => e = num(key, value)?,
+            "--staleness" => staleness = num(key, value)?,
+            "--workers" => cfg_workers = num(key, value)?,
+            "--steps" => steps = num(key, value)?,
+            "--batch" => batch = num(key, value)?,
+            "--data" => data_scale = num(key, value)?,
+            "--eval-every" => eval_every = num(key, value)?,
+            "--partition" => {
+                partition = match value.as_str() {
+                    "seldp" => PartitionScheme::SelDp,
+                    "defdp" => PartitionScheme::DefDp,
+                    other => return Err(format!("unknown partition '{other}'")),
+                }
+            }
+            "--backend" => {
+                backend = match value.as_str() {
+                    "ps" => SyncBackend::ParameterServer,
+                    "ring" => SyncBackend::RingAllReduce,
+                    other => return Err(format!("unknown backend '{other}'")),
+                }
+            }
+            "--noniid" => noniid = Some(num(key, value)?),
+            "--alpha" => alpha = Some(num(key, value)?),
+            "--beta" => beta = Some(num(key, value)?),
+            "--compression" => compression = Some(parse_compression(value)?),
+            "--seed" => seed = num(key, value)?,
+            "--grad-clip" => grad_clip = Some(num(key, value)?),
+            "--save-params" => save_params = Some(value.clone()),
+            "--load-params" => load_params = Some(value.clone()),
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+
+    let strategy = match strategy_name.as_str() {
+        "bsp" => Strategy::Bsp { aggregation },
+        "fedavg" => Strategy::FedAvg { c, e },
+        "ssp" => Strategy::Ssp { staleness },
+        "selsync" => Strategy::SelSync { delta, aggregation },
+        "local" => Strategy::LocalOnly,
+        other => return Err(format!("unknown strategy '{other}'")),
+    };
+    let injection = match (alpha, beta) {
+        (Some(a), Some(b)) => Some(InjectionConfig::new(a, b)),
+        (None, None) => None,
+        _ => return Err("--alpha and --beta must be given together".into()),
+    };
+
+    let (lr, optim) = crate::recipe(kind, steps);
+    Ok(CliRun {
+        kind,
+        data_scale,
+        save_params,
+        load_params,
+        config: RunConfig {
+            strategy,
+            n_workers: cfg_workers,
+            batch_size: batch,
+            max_steps: steps,
+            eval_every,
+            partition,
+            noniid_labels: noniid,
+            injection,
+            lr,
+            optim,
+            ewma_window: 25,
+            ewma_alpha: RunConfig::paper_ewma_alpha(cfg_workers),
+            seed,
+            straggler: None,
+            backend,
+            compression,
+            grad_clip,
+        },
+    })
+}
+
+fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value '{value}' for {key}"))
+}
+
+fn parse_compression(value: &str) -> Result<CompressionKind, String> {
+    if value == "sign" {
+        return Ok(CompressionKind::SignSgd);
+    }
+    if let Some(ratio) = value.strip_prefix("topk:") {
+        return Ok(CompressionKind::TopK {
+            ratio: num("--compression", ratio)?,
+        });
+    }
+    if let Some(rank) = value.strip_prefix("powersgd:") {
+        return Ok(CompressionKind::PowerSgd {
+            rank: num("--compression", rank)?,
+        });
+    }
+    Err(format!("unknown compression '{value}' (topk:<ratio> | sign | powersgd:<rank>)"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<CliRun, String> {
+        parse_args(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_are_selsync_resnet() {
+        let r = parse("").unwrap();
+        assert_eq!(r.kind, ModelKind::ResNetMini);
+        assert!(matches!(
+            r.config.strategy,
+            Strategy::SelSync { delta, .. } if (delta - 0.3).abs() < 1e-6
+        ));
+        assert_eq!(r.config.n_workers, 8);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let r = parse(
+            "--model vgg --strategy fedavg --c 0.5 --e 0.125 --workers 16 \
+             --steps 100 --batch 4 --partition defdp --seed 7",
+        )
+        .unwrap();
+        assert_eq!(r.kind, ModelKind::VggMini);
+        assert_eq!(r.config.strategy, Strategy::FedAvg { c: 0.5, e: 0.125 });
+        assert_eq!(r.config.n_workers, 16);
+        assert_eq!(r.config.partition, PartitionScheme::DefDp);
+        assert_eq!(r.config.seed, 7);
+    }
+
+    #[test]
+    fn compression_variants() {
+        let t = parse("--strategy bsp --aggregation ga --compression topk:0.01").unwrap();
+        assert_eq!(t.config.compression, Some(CompressionKind::TopK { ratio: 0.01 }));
+        let s = parse("--strategy bsp --aggregation ga --compression sign").unwrap();
+        assert_eq!(s.config.compression, Some(CompressionKind::SignSgd));
+        let p = parse("--strategy bsp --aggregation ga --compression powersgd:4").unwrap();
+        assert_eq!(p.config.compression, Some(CompressionKind::PowerSgd { rank: 4 }));
+    }
+
+    #[test]
+    fn injection_requires_both_fractions() {
+        assert!(parse("--alpha 0.5").is_err());
+        let ok = parse("--noniid 1 --alpha 0.5 --beta 0.5").unwrap();
+        assert!(ok.config.injection.is_some());
+        assert_eq!(ok.config.noniid_labels, Some(1));
+    }
+
+    #[test]
+    fn grad_clip_flag_parses() {
+        let r = parse("--grad-clip 1.5").unwrap();
+        assert_eq!(r.config.grad_clip, Some(1.5));
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let r = parse("--save-params out.bin --load-params in.bin").unwrap();
+        assert_eq!(r.save_params.as_deref(), Some("out.bin"));
+        assert_eq!(r.load_params.as_deref(), Some("in.bin"));
+    }
+
+    #[test]
+    fn ring_backend_flag() {
+        let r = parse("--backend ring").unwrap();
+        assert_eq!(r.config.backend, SyncBackend::RingAllReduce);
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse("--model inception").unwrap_err().contains("unknown model"));
+        assert!(parse("--bogus 1").unwrap_err().contains("unknown flag"));
+        assert!(parse("--steps abc").unwrap_err().contains("invalid value"));
+        assert!(parse("--help").unwrap_err().contains("USAGE"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Collective operations over fabric endpoints.
+//!
+//! All collectives are SPMD: every worker thread calls the same function
+//! with its own endpoint, and the call blocks until the collective
+//! completes on that worker. Tags isolate training steps (and, for the
+//! ring, phases within a step), so a fast worker entering step `i+1`
+//! cannot corrupt a slow worker still finishing step `i`.
+
+use crate::fabric::{Endpoint, Payload};
+
+/// Maximum phases a single collective may use within one step tag.
+pub const TAG_STRIDE: u64 = 256;
+
+/// Phase reserved for the flags allgather (kept clear of the ring
+/// allreduce phases 0..2N−1 so both can run within one step).
+pub const FLAGS_PHASE: u64 = 120;
+
+/// Tag for `phase` of the collective running at training step `step`.
+/// Phases 0..2N−1 are used by the reduction collectives in this module,
+/// [`FLAGS_PHASE`] by the flags allgather; the trainer uses high phase
+/// numbers (≥ 200) for its own worker-to-worker traffic (data
+/// injection) within the same step.
+pub fn phase_tag(step: u64, phase: u64) -> u64 {
+    debug_assert!(phase < TAG_STRIDE);
+    step * TAG_STRIDE + phase
+}
+
+/// Allgather of one synchronization bit per worker (Alg. 1 line 12).
+///
+/// Returns the full flags array indexed by worker id. Total traffic is
+/// `(N−1)` bits' worth of messages per worker, matching the paper's
+/// negligible-overhead claim.
+pub fn allgather_flags(ep: &mut Endpoint, n_workers: usize, step: u64, my_bit: u8) -> Vec<u8> {
+    let me = ep.id();
+    debug_assert!(me < n_workers, "server must not join the flags allgather");
+    let tag = phase_tag(step, FLAGS_PHASE);
+    for w in 0..n_workers {
+        if w != me {
+            ep.send(w, tag, Payload::Flags(vec![my_bit]));
+        }
+    }
+    let mut flags = vec![0u8; n_workers];
+    flags[me] = my_bit;
+    for _ in 0..n_workers - 1 {
+        let m = ep.recv_tagged(None, tag);
+        if let Payload::Flags(bits) = m.payload {
+            flags[m.from] = bits[0];
+        } else {
+            panic!("unexpected payload in flags allgather");
+        }
+    }
+    flags
+}
+
+/// Near-equal chunk boundaries (first `len % n` chunks get one extra).
+fn chunks(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut s = 0;
+    for i in 0..n {
+        let l = base + usize::from(i < extra);
+        out.push((s, s + l));
+        s += l;
+    }
+    out
+}
+
+/// Bandwidth-optimal ring allreduce (sum) in place.
+///
+/// `N−1` scatter-reduce phases followed by `N−1` allgather phases, each
+/// worker exchanging one `len/N` chunk with its ring neighbours per
+/// phase — the collective §III-E suggests swapping in for the PS.
+pub fn ring_allreduce(ep: &mut Endpoint, n_workers: usize, step: u64, data: &mut [f32]) {
+    let me = ep.id();
+    debug_assert!(me < n_workers);
+    if n_workers == 1 {
+        return;
+    }
+    let bounds = chunks(data.len(), n_workers);
+    let next = (me + 1) % n_workers;
+    let prev = (me + n_workers - 1) % n_workers;
+    // scatter-reduce: after phase p, chunk (me - p) holds partial sums
+    for p in 0..n_workers - 1 {
+        let send_chunk = (me + n_workers - p) % n_workers;
+        let recv_chunk = (me + n_workers - p - 1) % n_workers;
+        let (s, e) = bounds[send_chunk];
+        ep.send(next, phase_tag(step, p as u64), Payload::Grads(data[s..e].to_vec()));
+        let m = ep.recv_tagged(Some(prev), phase_tag(step, p as u64));
+        if let Payload::Grads(incoming) = m.payload {
+            let (rs, re) = bounds[recv_chunk];
+            debug_assert_eq!(incoming.len(), re - rs);
+            for (d, v) in data[rs..re].iter_mut().zip(&incoming) {
+                *d += v;
+            }
+        } else {
+            panic!("unexpected payload in ring scatter-reduce");
+        }
+    }
+    // allgather: circulate the fully-reduced chunks
+    for p in 0..n_workers - 1 {
+        let send_chunk = (me + 1 + n_workers - p) % n_workers;
+        let recv_chunk = (me + n_workers - p) % n_workers;
+        let (s, e) = bounds[send_chunk];
+        ep.send(
+            next,
+            phase_tag(step, (n_workers - 1 + p) as u64),
+            Payload::Grads(data[s..e].to_vec()),
+        );
+        let m = ep.recv_tagged(Some(prev), phase_tag(step, (n_workers - 1 + p) as u64));
+        if let Payload::Grads(incoming) = m.payload {
+            let (rs, re) = bounds[recv_chunk];
+            data[rs..re].copy_from_slice(&incoming);
+        } else {
+            panic!("unexpected payload in ring allgather");
+        }
+    }
+}
+
+/// Simple root-based allreduce (sum): everyone sends to worker 0, which
+/// reduces and broadcasts. The PS-like baseline the ring is compared to.
+pub fn root_allreduce(ep: &mut Endpoint, n_workers: usize, step: u64, data: &mut [f32]) {
+    let me = ep.id();
+    if n_workers == 1 {
+        return;
+    }
+    let up = phase_tag(step, 0);
+    let down = phase_tag(step, 1);
+    if me == 0 {
+        for _ in 0..n_workers - 1 {
+            let m = ep.recv_tagged(None, up);
+            if let Payload::Grads(v) = m.payload {
+                for (d, x) in data.iter_mut().zip(&v) {
+                    *d += x;
+                }
+            }
+        }
+        for w in 1..n_workers {
+            ep.send(w, down, Payload::Grads(data.to_vec()));
+        }
+    } else {
+        ep.send(0, up, Payload::Grads(data.to_vec()));
+        let m = ep.recv_tagged(Some(0), down);
+        if let Payload::Grads(v) = m.payload {
+            data.copy_from_slice(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use std::thread;
+
+    fn run_workers<F>(n: usize, f: F) -> Vec<Vec<f32>>
+    where
+        F: Fn(&mut Endpoint, usize) -> Vec<f32> + Send + Sync + Copy + 'static,
+    {
+        let eps = Fabric::new(n);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    f(&mut ep, id)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn flags_allgather_agrees_everywhere() {
+        let results = run_workers(4, |ep, id| {
+            let bit = u8::from(id % 2 == 0);
+            allgather_flags(ep, 4, 3, bit)
+                .into_iter()
+                .map(f32::from)
+                .collect()
+        });
+        for r in &results {
+            assert_eq!(r, &vec![1.0, 0.0, 1.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_sums_vectors() {
+        // worker w contributes [w, w, ...]; sum = n(n-1)/2
+        let n = 4;
+        let results = run_workers(n, move |ep, id| {
+            let mut v = vec![id as f32; 10];
+            ring_allreduce(ep, n, 0, &mut v);
+            v
+        });
+        for r in &results {
+            assert_eq!(r, &vec![6.0; 10], "0+1+2+3 = 6 everywhere");
+        }
+    }
+
+    #[test]
+    fn ring_allreduce_handles_uneven_chunks() {
+        // length 7 with 3 workers: chunks 3/2/2
+        let n = 3;
+        let results = run_workers(n, move |ep, id| {
+            let mut v: Vec<f32> = (0..7).map(|i| (i * (id + 1)) as f32).collect();
+            ring_allreduce(ep, n, 5, &mut v);
+            v
+        });
+        let expected: Vec<f32> = (0..7).map(|i| (i * 6) as f32).collect(); // ×(1+2+3)
+        for r in &results {
+            assert_eq!(r, &expected);
+        }
+    }
+
+    #[test]
+    fn ring_consecutive_steps_do_not_interfere() {
+        let n = 3;
+        let results = run_workers(n, move |ep, _| {
+            let mut out = Vec::new();
+            for step in 0..5 {
+                let mut v = vec![1.0f32; 4];
+                ring_allreduce(ep, n, step, &mut v);
+                out.extend(v);
+            }
+            out
+        });
+        for r in &results {
+            assert!(r.iter().all(|&x| x == 3.0), "every step sums to N");
+        }
+    }
+
+    #[test]
+    fn root_allreduce_matches_ring() {
+        let n = 4;
+        let results = run_workers(n, move |ep, id| {
+            let mut v = vec![(id + 1) as f32; 6];
+            root_allreduce(ep, n, 9, &mut v);
+            v
+        });
+        for r in &results {
+            assert_eq!(r, &vec![10.0; 6]);
+        }
+    }
+
+    #[test]
+    fn single_worker_collectives_are_identity() {
+        let results = run_workers(1, |ep, _| {
+            let mut v = vec![5.0f32; 3];
+            ring_allreduce(ep, 1, 0, &mut v);
+            root_allreduce(ep, 1, 1, &mut v);
+            let flags = allgather_flags(ep, 1, 2, 1);
+            assert_eq!(flags, vec![1]);
+            v
+        });
+        assert_eq!(results[0], vec![5.0; 3]);
+    }
+}

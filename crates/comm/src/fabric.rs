@@ -1,0 +1,251 @@
+//! The message-passing fabric: a fully-connected set of endpoints over
+//! crossbeam channels, with tagged receive and byte accounting.
+
+use crate::stats::CommStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A message payload. Sizes are accounted as fp32/byte counts so the
+/// [`CommStats`] totals mirror what a wire transport would move.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// A flat parameter vector (pushToPS / pullFromPS of Alg. 1).
+    Params(Vec<f32>),
+    /// A flat gradient vector (gradient-aggregation mode).
+    Grads(Vec<f32>),
+    /// Synchronization-status bits, one per worker (Alg. 1 line 12).
+    Flags(Vec<u8>),
+    /// Raw training samples for data injection (§III-E).
+    Samples {
+        /// Flattened sample features.
+        data: Vec<f32>,
+        /// Class targets, one per sample.
+        targets: Vec<usize>,
+        /// Per-sample feature dimensions (e.g. `[3, 8, 8]`).
+        dims: Vec<usize>,
+    },
+    /// Small control message (requests, acks, shutdown).
+    Control(u64),
+}
+
+impl Payload {
+    /// Approximate bytes this payload would occupy on a wire.
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Payload::Params(v) | Payload::Grads(v) => 4 * v.len() as u64,
+            Payload::Flags(v) => v.len() as u64,
+            Payload::Samples { data, targets, .. } => 4 * data.len() as u64 + 8 * targets.len() as u64,
+            Payload::Control(_) => 8,
+        }
+    }
+}
+
+/// An addressed, tagged message.
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// Sender endpoint id.
+    pub from: usize,
+    /// Application tag (usually the training step) separating rounds.
+    pub tag: u64,
+    /// The payload.
+    pub payload: Payload,
+}
+
+/// One participant's handle on the fabric.
+///
+/// Endpoints are `Send` (moved into worker threads) but not `Sync`; each
+/// thread owns exactly one.
+pub struct Endpoint {
+    id: usize,
+    senders: Vec<Sender<Msg>>,
+    receiver: Receiver<Msg>,
+    /// Messages received but not yet matched by a tagged receive.
+    pending: VecDeque<Msg>,
+    stats: Arc<CommStats>,
+}
+
+impl Endpoint {
+    /// This endpoint's id (workers `0..n`, server `n` by convention).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of endpoints in the fabric (including this one).
+    pub fn fabric_size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Shared byte/message counters.
+    pub fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    /// Send `payload` to endpoint `to` with tag `tag`.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the receiver was dropped.
+    pub fn send(&self, to: usize, tag: u64, payload: Payload) {
+        assert!(to < self.senders.len(), "destination {to} out of range");
+        self.stats.record(payload.wire_bytes());
+        self.senders[to]
+            .send(Msg {
+                from: self.id,
+                tag,
+                payload,
+            })
+            .expect("fabric receiver dropped");
+    }
+
+    /// Blocking receive of the next message regardless of tag/sender.
+    pub fn recv_any(&mut self) -> Msg {
+        if let Some(m) = self.pending.pop_front() {
+            return m;
+        }
+        self.receiver.recv().expect("fabric sender side closed")
+    }
+
+    /// Blocking receive of the next message matching `tag` (and `from`,
+    /// if given). Non-matching messages are buffered, preserving order.
+    pub fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Msg {
+        // scan buffered messages first
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|m| m.tag == tag && from.is_none_or(|f| m.from == f))
+        {
+            return self.pending.remove(pos).unwrap();
+        }
+        loop {
+            let m = self.receiver.recv().expect("fabric sender side closed");
+            if m.tag == tag && from.is_none_or(|f| m.from == f) {
+                return m;
+            }
+            self.pending.push_back(m);
+        }
+    }
+
+    /// Non-blocking receive of any message (buffered first).
+    pub fn try_recv(&mut self) -> Option<Msg> {
+        if let Some(m) = self.pending.pop_front() {
+            return Some(m);
+        }
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// Construction of a fully-connected fabric.
+pub struct Fabric;
+
+impl Fabric {
+    /// Create `n` endpoints, each able to send to every other (and to
+    /// itself). Returned in id order; move each into its own thread.
+    #[allow(clippy::new_ret_no_self)] // constructor of endpoints, not Fabric
+    pub fn new(n: usize) -> Vec<Endpoint> {
+        assert!(n > 0);
+        let stats = Arc::new(CommStats::default());
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, receiver)| Endpoint {
+                id,
+                senders: senders.clone(),
+                receiver,
+                pending: VecDeque::new(),
+                stats: Arc::clone(&stats),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 1, Payload::Control(42));
+        let m = a.recv_any();
+        assert_eq!(m.from, 1);
+        assert_eq!(m.tag, 1);
+        assert_eq!(m.payload, Payload::Control(42));
+    }
+
+    #[test]
+    fn tagged_receive_buffers_out_of_order() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 2, Payload::Control(2));
+        b.send(0, 1, Payload::Control(1));
+        // ask for tag 1 first: tag-2 message must be buffered, not lost
+        let m1 = a.recv_tagged(None, 1);
+        assert_eq!(m1.payload, Payload::Control(1));
+        let m2 = a.recv_tagged(Some(1), 2);
+        assert_eq!(m2.payload, Payload::Control(2));
+    }
+
+    #[test]
+    fn wire_bytes_accounting() {
+        assert_eq!(Payload::Params(vec![0.0; 10]).wire_bytes(), 40);
+        assert_eq!(Payload::Flags(vec![0; 16]).wire_bytes(), 16);
+        assert_eq!(Payload::Control(0).wire_bytes(), 8);
+        let s = Payload::Samples {
+            data: vec![0.0; 6],
+            targets: vec![1, 2],
+            dims: vec![3, 2],
+        };
+        assert_eq!(s.wire_bytes(), 24 + 16);
+    }
+
+    #[test]
+    fn stats_shared_across_endpoints() {
+        let mut eps = Fabric::new(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 0, Payload::Params(vec![0.0; 100]));
+        c.send(0, 0, Payload::Flags(vec![0; 3]));
+        let _ = a.recv_any();
+        let _ = a.recv_any();
+        assert_eq!(a.stats().total_bytes(), 403);
+        assert_eq!(a.stats().total_messages(), 2);
+    }
+
+    #[test]
+    fn cross_thread_round_trip() {
+        let mut eps = Fabric::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let h = thread::spawn(move || {
+            let m = b.recv_tagged(Some(0), 7);
+            if let Payload::Params(v) = m.payload {
+                b.send(0, 7, Payload::Params(v.iter().map(|x| x * 2.0).collect()));
+            }
+        });
+        a.send(1, 7, Payload::Params(vec![1.0, 2.0]));
+        let r = a.recv_tagged(Some(1), 7);
+        assert_eq!(r.payload, Payload::Params(vec![2.0, 4.0]));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let mut eps = Fabric::new(1);
+        let mut a = eps.pop().unwrap();
+        assert!(a.try_recv().is_none());
+        a.send(0, 0, Payload::Control(5)); // self-send is allowed
+        assert!(a.try_recv().is_some());
+    }
+}

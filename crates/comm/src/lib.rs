@@ -1,0 +1,25 @@
+//! # selsync-comm
+//!
+//! The communication substrate for the SelSync reproduction: an
+//! in-process message-passing fabric (threads + crossbeam channels)
+//! playing the role of the paper's PyTorch-RPC / docker-swarm transport,
+//! a parameter server with both round-synchronous and stale-synchronous
+//! (SSP) service disciplines, allgather/allreduce collectives, and the
+//! analytic **network cost model** + simulated clock that provide the
+//! paper-scale timing axis (DESIGN.md substitution 1).
+//!
+//! Everything below exchanges *real* messages between *real* threads —
+//! only wall-clock *claims* about a 16×V100/5 Gbps cluster come from the
+//! cost model.
+
+pub mod clock;
+pub mod collectives;
+pub mod fabric;
+pub mod netmodel;
+pub mod ps;
+pub mod stats;
+
+pub use clock::ClusterClock;
+pub use fabric::{Endpoint, Fabric, Msg, Payload};
+pub use netmodel::NetworkModel;
+pub use stats::CommStats;

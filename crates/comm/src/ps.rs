@@ -1,0 +1,370 @@
+//! The parameter server (PS) and its client protocol.
+//!
+//! Two service disciplines cover every algorithm in the paper:
+//!
+//! * **Round-synchronous** ([`run_round_server`]): BSP, FedAvg and
+//!   SelSync sync steps are *rounds* in which every worker sends exactly
+//!   one request with the step as tag — either a push (`Params`/`Grads`)
+//!   or a bare pull — and blocks for the server's reply. The server
+//!   averages whatever was pushed and answers everyone.
+//! * **Stale-synchronous** ([`run_ssp_server`]): workers push deltas and
+//!   pull the global state asynchronously; the server withholds a pull
+//!   reply from any worker running more than `staleness` steps ahead of
+//!   the slowest active worker (§II-C).
+
+use crate::fabric::{Endpoint, Msg, Payload};
+
+/// Control code: pull-only request.
+pub const CTRL_PULL: u64 = 1;
+/// Control code: worker is done; last message it sends.
+pub const CTRL_SHUTDOWN: u64 = 2;
+
+/// What a worker contributes to a synchronization round.
+#[derive(Debug, Clone)]
+pub enum SyncRequest {
+    /// Push local parameters (parameter aggregation, Alg. 1 line 14).
+    PushParams(Vec<f32>),
+    /// Push local gradients (gradient-aggregation ablation, §IV-D).
+    PushGrads(Vec<f32>),
+    /// Participate without pushing (FedAvg non-participant, initial pull).
+    Pull,
+}
+
+/// Client side of one synchronous round: send the request tagged with
+/// `step`, block for the averaged reply.
+pub fn sync_round(ep: &mut Endpoint, server: usize, step: u64, req: SyncRequest) -> Vec<f32> {
+    let payload = match req {
+        SyncRequest::PushParams(v) => Payload::Params(v),
+        SyncRequest::PushGrads(v) => Payload::Grads(v),
+        SyncRequest::Pull => Payload::Control(CTRL_PULL),
+    };
+    ep.send(server, step, payload);
+    let reply = ep.recv_tagged(Some(server), step);
+    match reply.payload {
+        Payload::Params(v) | Payload::Grads(v) => v,
+        other => panic!("unexpected PS reply {other:?}"),
+    }
+}
+
+/// Tell the server this worker is finished.
+pub fn send_shutdown(ep: &mut Endpoint, server: usize, step: u64) {
+    ep.send(server, step, Payload::Control(CTRL_SHUTDOWN));
+}
+
+/// Run the round-synchronous parameter server until every worker has
+/// shut down. Returns the final global parameters.
+///
+/// Round semantics:
+/// * all `Params` pushes → global ← mean(pushed); reply global to all
+///   (model consistency, §III-C);
+/// * all `Grads` pushes → reply mean(grads) to all; the stored global is
+///   *not* advanced (the server does not know the optimizer), which is
+///   exactly the local/global divergence GA exhibits in Fig. 10/11;
+/// * pure pull round → reply the stored global.
+pub fn run_round_server(mut ep: Endpoint, n_workers: usize, init_params: Vec<f32>) -> Vec<f32> {
+    let mut global = init_params;
+    let mut done = vec![false; n_workers];
+    while done.iter().any(|d| !d) {
+        // first message of the round fixes the tag
+        let first = ep.recv_any();
+        let tag = first.tag;
+        let mut batch: Vec<Msg> = vec![first];
+        let expected = done.iter().filter(|d| !**d).count();
+        while batch.len() < expected {
+            batch.push(ep.recv_tagged(None, tag));
+        }
+        // arrival order is scheduler-dependent; fix the reduction order
+        // by worker id so runs are bit-reproducible
+        batch.sort_by_key(|m| m.from);
+        // classify the round
+        let mut param_pushes: Vec<&[f32]> = Vec::new();
+        let mut grad_pushes: Vec<&[f32]> = Vec::new();
+        let mut shutdowns = 0usize;
+        for m in &batch {
+            match &m.payload {
+                Payload::Params(v) => param_pushes.push(v),
+                Payload::Grads(v) => grad_pushes.push(v),
+                Payload::Control(CTRL_PULL) => {}
+                Payload::Control(CTRL_SHUTDOWN) => shutdowns += 1,
+                other => panic!("unexpected PS request {other:?}"),
+            }
+        }
+        assert!(
+            param_pushes.is_empty() || grad_pushes.is_empty(),
+            "a round cannot mix parameter and gradient pushes"
+        );
+        if shutdowns > 0 {
+            assert_eq!(
+                shutdowns,
+                batch.len(),
+                "shutdown must be a dedicated round (all active workers)"
+            );
+            for m in &batch {
+                done[m.from] = true;
+            }
+            continue;
+        }
+        let reply = if !param_pushes.is_empty() {
+            global = average(&param_pushes);
+            Payload::Params(global.clone())
+        } else if !grad_pushes.is_empty() {
+            Payload::Grads(average(&grad_pushes))
+        } else {
+            Payload::Params(global.clone())
+        };
+        for m in &batch {
+            ep.send(m.from, tag, reply.clone());
+        }
+    }
+    global
+}
+
+fn average(vs: &[&[f32]]) -> Vec<f32> {
+    let n = vs.len() as f32;
+    let mut out = vs[0].to_vec();
+    for v in &vs[1..] {
+        for (o, x) in out.iter_mut().zip(*v) {
+            *o += x;
+        }
+    }
+    for o in &mut out {
+        *o /= n;
+    }
+    out
+}
+
+/// Client side of one SSP step: push the local delta (non-blocking on
+/// the server's apply) and pull the current global, blocking only if the
+/// staleness bound holds this worker back.
+pub fn ssp_step(ep: &mut Endpoint, server: usize, step: u64, delta: Vec<f32>) -> Vec<f32> {
+    ep.send(server, step, Payload::Grads(delta));
+    ep.send(server, step, Payload::Control(CTRL_PULL));
+    let reply = ep.recv_tagged(Some(server), step);
+    match reply.payload {
+        Payload::Params(v) => v,
+        other => panic!("unexpected SSP reply {other:?}"),
+    }
+}
+
+/// Run the stale-synchronous server until all workers shut down.
+/// Returns the final global parameters.
+pub fn run_ssp_server(
+    mut ep: Endpoint,
+    n_workers: usize,
+    init_params: Vec<f32>,
+    staleness: u64,
+) -> Vec<f32> {
+    let mut global = init_params;
+    let mut steps = vec![0u64; n_workers];
+    let mut done = vec![false; n_workers];
+    // pulls delayed by the staleness bound: (worker, tag)
+    let mut parked: Vec<(usize, u64)> = Vec::new();
+    loop {
+        if done.iter().all(|d| *d) {
+            break;
+        }
+        let m = ep.recv_any();
+        match m.payload {
+            Payload::Grads(delta) => {
+                for (g, d) in global.iter_mut().zip(&delta) {
+                    *g += d;
+                }
+                steps[m.from] = m.tag + 1;
+            }
+            Payload::Control(CTRL_PULL) => parked.push((m.from, m.tag)),
+            Payload::Control(CTRL_SHUTDOWN) => done[m.from] = true,
+            other => panic!("unexpected SSP request {other:?}"),
+        }
+        // release every parked pull now inside the staleness window
+        let min_step = steps
+            .iter()
+            .zip(&done)
+            .filter(|(_, d)| !**d)
+            .map(|(s, _)| *s)
+            .min()
+            .unwrap_or(u64::MAX);
+        parked.retain(|&(w, tag)| {
+            if steps[w] <= min_step.saturating_add(staleness) {
+                ep.send(w, tag, Payload::Params(global.clone()));
+                false
+            } else {
+                true
+            }
+        });
+    }
+    // release anything still parked so no worker deadlocks at shutdown
+    for (w, tag) in parked {
+        ep.send(w, tag, Payload::Params(global.clone()));
+    }
+    global
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use std::thread;
+
+    /// n workers + server; run `worker` on each, round server on the last
+    /// endpoint. Returns (per-worker results, final global).
+    fn with_round_server<F>(n: usize, init: Vec<f32>, worker: F) -> (Vec<Vec<f32>>, Vec<f32>)
+    where
+        F: Fn(&mut Endpoint, usize, usize) -> Vec<f32> + Send + Sync + Copy + 'static,
+    {
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let server = thread::spawn(move || run_round_server(server_ep, n, init));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    worker(&mut ep, id, n)
+                })
+            })
+            .collect();
+        let results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let global = server.join().unwrap();
+        (results, global)
+    }
+
+    #[test]
+    fn initial_pull_round_returns_init() {
+        let (results, _) = with_round_server(3, vec![1.0, 2.0], |ep, _, n| {
+            let v = sync_round(ep, n, 0, SyncRequest::Pull);
+            send_shutdown(ep, n, 1);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn param_push_round_averages_and_updates_global() {
+        let (results, global) = with_round_server(4, vec![0.0], |ep, id, n| {
+            let v = sync_round(ep, n, 0, SyncRequest::PushParams(vec![id as f32]));
+            send_shutdown(ep, n, 1);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![1.5], "(0+1+2+3)/4");
+        }
+        assert_eq!(global, vec![1.5], "PA advances the stored global");
+    }
+
+    #[test]
+    fn grad_push_round_averages_without_touching_global() {
+        let (results, global) = with_round_server(2, vec![9.0], |ep, id, n| {
+            let g = sync_round(ep, n, 0, SyncRequest::PushGrads(vec![id as f32 * 2.0]));
+            send_shutdown(ep, n, 1);
+            g
+        });
+        for r in results {
+            assert_eq!(r, vec![1.0], "(0+2)/2");
+        }
+        assert_eq!(global, vec![9.0], "GA leaves the stored global stale");
+    }
+
+    #[test]
+    fn mixed_push_pull_round_fedavg_style() {
+        // workers 0,1 push; workers 2,3 only pull — all get the average
+        let (results, _) = with_round_server(4, vec![0.0], |ep, id, n| {
+            let req = if id < 2 {
+                SyncRequest::PushParams(vec![10.0 * (id + 1) as f32])
+            } else {
+                SyncRequest::Pull
+            };
+            let v = sync_round(ep, n, 0, req);
+            send_shutdown(ep, n, 1);
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![15.0], "average over the C-fraction pushers only");
+        }
+    }
+
+    #[test]
+    fn multiple_rounds_in_sequence() {
+        let (results, global) = with_round_server(2, vec![0.0], |ep, id, n| {
+            let mut v = vec![id as f32 + 1.0];
+            for step in 0..5u64 {
+                v = sync_round(ep, n, step, SyncRequest::PushParams(v.clone()));
+                v[0] += 1.0; // local drift between rounds
+            }
+            send_shutdown(ep, n, 99);
+            v
+        });
+        // round 0: avg(1,2)=1.5 → both 2.5; each next round avg equals both
+        for r in &results {
+            assert_eq!(r, &vec![6.5]);
+        }
+        assert_eq!(global, vec![5.5]);
+    }
+
+    #[test]
+    fn ssp_server_applies_deltas_and_respects_staleness() {
+        let n = 2;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let server = thread::spawn(move || run_ssp_server(server_ep, n, vec![0.0], 2));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let mut last = Vec::new();
+                    for step in 0..10u64 {
+                        last = ssp_step(&mut ep, n, step, vec![1.0]);
+                    }
+                    send_shutdown(&mut ep, n, 10);
+                    last
+                })
+            })
+            .collect();
+        for h in handles {
+            let last = h.join().unwrap();
+            // by a worker's final pull at least its own 10 pushes landed
+            assert!(last[0] >= 10.0, "global accumulated deltas: {}", last[0]);
+        }
+        let global = server.join().unwrap();
+        assert_eq!(global, vec![20.0], "all 2×10 unit deltas applied");
+    }
+
+    #[test]
+    fn ssp_staleness_bound_is_enforced() {
+        // worker 1 never pushes (simulated dead-slow straggler that only
+        // registered step 0); worker 0 sprints. With s = 3, worker 0 must
+        // be parked once it gets 3+ steps ahead — we verify it cannot
+        // complete 10 steps before worker 1 advances.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let n = 2;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let _server = thread::spawn(move || run_ssp_server(server_ep, n, vec![0.0], 3));
+        let mut slow = eps.pop().unwrap(); // id 1
+        let mut fast = eps.pop().unwrap(); // id 0
+        let fast_steps = Arc::new(AtomicU64::new(0));
+        let fs = Arc::clone(&fast_steps);
+        let fast_h = thread::spawn(move || {
+            for step in 0..10u64 {
+                let _ = ssp_step(&mut fast, n, step, vec![0.0]);
+                fs.store(step + 1, Ordering::SeqCst);
+            }
+            send_shutdown(&mut fast, n, 10);
+        });
+        thread::sleep(std::time::Duration::from_millis(200));
+        let blocked_at = fast_steps.load(Ordering::SeqCst);
+        assert!(
+            blocked_at <= 4,
+            "fast worker should be parked within s+1 steps, got {blocked_at}"
+        );
+        // let the slow worker catch up, releasing the fast one
+        for step in 0..10u64 {
+            let _ = ssp_step(&mut slow, n, step, vec![0.0]);
+        }
+        send_shutdown(&mut slow, n, 10);
+        fast_h.join().unwrap();
+        assert_eq!(fast_steps.load(Ordering::SeqCst), 10);
+    }
+}

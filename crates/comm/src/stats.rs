@@ -1,0 +1,75 @@
+//! Shared communication counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fabric-wide message/byte counters, shared by all endpoints.
+///
+/// Relaxed ordering suffices: counters are monotonic tallies read after
+/// the threads join, never used for synchronization.
+#[derive(Debug, Default)]
+pub struct CommStats {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl CommStats {
+    /// Record one sent message of `bytes` wire bytes.
+    pub fn record(&self, bytes: u64) {
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total wire bytes sent so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages sent so far.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters (between experiment phases).
+    pub fn reset(&self) {
+        self.bytes.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = CommStats::default();
+        s.record(10);
+        s.record(5);
+        assert_eq!(s.total_bytes(), 15);
+        assert_eq!(s.total_messages(), 2);
+        s.reset();
+        assert_eq!(s.total_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let s = Arc::new(CommStats::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record(3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.total_messages(), 4000);
+        assert_eq!(s.total_bytes(), 12000);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the collectives: for arbitrary worker counts
+//! and payloads, every collective returns the same mathematically
+//! correct result on every worker, and the server protocols preserve
+//! averaging semantics.
+
+use proptest::prelude::*;
+use selsync_comm::collectives::{allgather_flags, ring_allreduce, root_allreduce};
+use selsync_comm::fabric::{Endpoint, Fabric};
+use selsync_comm::ps::{run_round_server, send_shutdown, sync_round, SyncRequest};
+use std::thread;
+
+fn run_workers<F, R>(n: usize, f: F) -> Vec<R>
+where
+    F: Fn(&mut Endpoint, usize) -> R + Send + Sync + Copy + 'static,
+    R: Send + 'static,
+{
+    let eps = Fabric::new(n);
+    let handles: Vec<_> = eps
+        .into_iter()
+        .map(|mut ep| {
+            thread::spawn(move || {
+                let id = ep.id();
+                f(&mut ep, id)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_allreduce_equals_elementwise_sum(
+        n in 2usize..6,
+        len in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let results = run_workers(n, move |ep, id| {
+            // deterministic per-worker data derived from (seed, id)
+            let mut v: Vec<f32> = (0..len)
+                .map(|i| ((seed as usize + id * 31 + i * 7) % 13) as f32 - 6.0)
+                .collect();
+            ring_allreduce(ep, n, seed, &mut v);
+            v
+        });
+        let expected: Vec<f32> = (0..len)
+            .map(|i| {
+                (0..n)
+                    .map(|id| ((seed as usize + id * 31 + i * 7) % 13) as f32 - 6.0)
+                    .sum()
+            })
+            .collect();
+        for r in &results {
+            for (a, b) in r.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_and_root_agree(n in 2usize..6, len in 1usize..30, seed in 0u64..500) {
+        let ring = run_workers(n, move |ep, id| {
+            let mut v = vec![(id + 1) as f32 + seed as f32; len];
+            ring_allreduce(ep, n, 0, &mut v);
+            v
+        });
+        let root = run_workers(n, move |ep, id| {
+            let mut v = vec![(id + 1) as f32 + seed as f32; len];
+            root_allreduce(ep, n, 0, &mut v);
+            v
+        });
+        for (a, b) in ring[0].iter().zip(&root[0]) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn flags_allgather_is_consistent_for_any_bit_pattern(
+        n in 1usize..8,
+        pattern in 0u32..256,
+    ) {
+        let results = run_workers(n, move |ep, id| {
+            let bit = ((pattern >> id) & 1) as u8;
+            allgather_flags(ep, n, 0, bit)
+        });
+        let expected: Vec<u8> = (0..n).map(|id| ((pattern >> id) & 1) as u8).collect();
+        for r in &results {
+            prop_assert_eq!(r, &expected);
+        }
+    }
+
+    #[test]
+    fn ps_param_round_returns_exact_mean(n in 1usize..6, base in -100.0f32..100.0) {
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let server = thread::spawn(move || run_round_server(server_ep, n, vec![0.0]));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    let v = sync_round(
+                        &mut ep,
+                        n,
+                        0,
+                        SyncRequest::PushParams(vec![base + id as f32]),
+                    );
+                    send_shutdown(&mut ep, n, 1);
+                    v[0]
+                })
+            })
+            .collect();
+        let mean = base + (n - 1) as f32 / 2.0;
+        for h in handles {
+            let got = h.join().unwrap();
+            prop_assert!((got - mean).abs() < 1e-3, "{got} vs {mean}");
+        }
+        let global = server.join().unwrap();
+        prop_assert!((global[0] - mean).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the fabric: tagged receive is loss-free
+//! under arbitrary interleavings, byte accounting is exact, and the
+//! tag algebra never collides across steps.
+
+use proptest::prelude::*;
+use selsync_comm::collectives::{phase_tag, FLAGS_PHASE, TAG_STRIDE};
+use selsync_comm::fabric::{Fabric, Payload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tagged_receive_recovers_any_send_order(order in prop::collection::vec(0usize..6, 6)) {
+        // sender emits 6 messages with tags given by `order` (with
+        // duplicates); receiver asks for them grouped by tag value and
+        // must get every message exactly once
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        for (i, &tag) in order.iter().enumerate() {
+            b.send(0, tag as u64, Payload::Control(i as u64));
+        }
+        let mut received = Vec::new();
+        let mut tags_sorted = order.clone();
+        tags_sorted.sort_unstable();
+        for &tag in &tags_sorted {
+            let m = a.recv_tagged(Some(1), tag as u64);
+            prop_assert_eq!(m.tag, tag as u64);
+            if let Payload::Control(i) = m.payload {
+                received.push(i as usize);
+            }
+        }
+        received.sort_unstable();
+        prop_assert_eq!(received, (0..order.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn byte_accounting_is_exact(
+        sizes in prop::collection::vec(0usize..200, 1..20),
+    ) {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let mut expected = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            b.send(0, i as u64, Payload::Params(vec![0.0; s]));
+            expected += 4 * s as u64;
+        }
+        for i in 0..sizes.len() {
+            let _ = a.recv_tagged(Some(1), i as u64);
+        }
+        prop_assert_eq!(a.stats().total_bytes(), expected);
+        prop_assert_eq!(a.stats().total_messages(), sizes.len() as u64);
+    }
+
+    #[test]
+    fn phase_tags_never_collide_across_steps(
+        s1 in 0u64..10_000,
+        s2 in 0u64..10_000,
+        p1 in 0u64..TAG_STRIDE,
+        p2 in 0u64..TAG_STRIDE,
+    ) {
+        let t1 = phase_tag(s1, p1);
+        let t2 = phase_tag(s2, p2);
+        if s1 != s2 || p1 != p2 {
+            prop_assert_ne!(t1, t2, "tags are injective in (step, phase)");
+        } else {
+            prop_assert_eq!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn flags_phase_is_clear_of_ring_phases(n in 1u64..60) {
+        // the ring uses phases 0..2n-2; the flags allgather must not land
+        // inside that range for any supported cluster size
+        prop_assert!(FLAGS_PHASE >= 2 * n - 1 || n > 60);
+        prop_assert!(FLAGS_PHASE < 200, "and must stay clear of the trainer's phases");
+    }
+}

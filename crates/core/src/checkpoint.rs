@@ -1,0 +1,164 @@
+//! Checkpointing: persist run results and model parameters, and resume
+//! training from a saved state (warm start).
+//!
+//! Results serialize as JSON (human-inspectable, matches the harnesses'
+//! JSON rows); parameter vectors use a compact little-endian binary
+//! format (`SSYN` magic, u64 length, raw f32s) since they dominate the
+//! checkpoint size.
+
+use crate::metrics::RunResult;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"SSYN";
+
+/// Write a [`RunResult`] as pretty JSON.
+pub fn save_result(path: impl AsRef<Path>, result: &RunResult) -> io::Result<()> {
+    let file = File::create(path)?;
+    serde_json::to_writer_pretty(BufWriter::new(file), result)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Read a [`RunResult`] back from JSON.
+pub fn load_result(path: impl AsRef<Path>) -> io::Result<RunResult> {
+    let file = File::open(path)?;
+    serde_json::from_reader(BufReader::new(file))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Write a flat parameter vector in the binary checkpoint format.
+pub fn save_params(path: impl AsRef<Path>, params: &[f32]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for &v in params {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a flat parameter vector from the binary checkpoint format.
+///
+/// # Errors
+/// Fails with `InvalidData` on a bad magic, truncated body, or length
+/// mismatch.
+pub fn load_params(path: impl AsRef<Path>) -> io::Result<Vec<f32>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a SSYN checkpoint"));
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    let mut body = Vec::new();
+    r.read_to_end(&mut body)?;
+    if body.len() != len * 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected {} parameter bytes, found {}", len * 4, body.len()),
+        ));
+    }
+    Ok(body
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{RunConfig, Strategy};
+    use crate::trainer::run_distributed;
+    use crate::workload::Workload;
+    use selsync_nn::models::ModelKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("selsync_ckpt_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn params_roundtrip_bitwise() {
+        let path = tmp("params.bin");
+        let params: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin()).collect();
+        save_params(&path, &params).unwrap();
+        let back = load_params(&path).unwrap();
+        assert_eq!(params, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("bad.bin");
+        std::fs::write(&path, b"NOPE12345678").unwrap();
+        assert!(load_params(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let path = tmp("trunc.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&10u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]); // 3 floats instead of 10
+        std::fs::write(&path, bytes).unwrap();
+        assert!(load_params(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn result_roundtrip_preserves_run() {
+        let wl = Workload::vision(ModelKind::VggMini, 64, 16, 3);
+        let cfg = RunConfig {
+            strategy: Strategy::LocalOnly,
+            n_workers: 2,
+            max_steps: 4,
+            eval_every: 4,
+            ..RunConfig::quick_defaults()
+        };
+        let r = run_distributed(&cfg, &wl);
+        let path = tmp("result.json");
+        save_result(&path, &r).unwrap();
+        let back = load_result(&path).unwrap();
+        assert_eq!(back.steps_run, r.steps_run);
+        assert_eq!(back.final_params, r.final_params);
+        assert_eq!(back.lssr, r.lssr);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn warm_start_resumes_from_checkpoint() {
+        let wl = Workload::vision(ModelKind::ResNetMini, 128, 40, 4);
+        let cfg = RunConfig {
+            strategy: Strategy::Bsp {
+                aggregation: crate::config::Aggregation::Parameter,
+            },
+            n_workers: 2,
+            max_steps: 12,
+            eval_every: 12,
+            ..RunConfig::quick_defaults()
+        };
+        let first = run_distributed(&cfg, &wl);
+        let path = tmp("warm.bin");
+        save_params(&path, &first.final_params).unwrap();
+
+        // resume: a warm-started workload must begin where we stopped
+        let mut warm = wl.clone();
+        warm.init_params = Some(load_params(&path).unwrap());
+        let resumed = run_distributed(&cfg, &warm);
+        // the second leg of training continues improving (or at least
+        // does not regress catastrophically from the checkpoint)
+        assert!(
+            resumed.final_metric >= first.final_metric - 0.1,
+            "resumed {} vs first {}",
+            resumed.final_metric,
+            first.final_metric
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,276 @@
+//! Gradient-compression baselines from §II-D: Top-k sparsification
+//! (DGC/Top-k), sign quantization (signSGD), and low-rank approximation
+//! (PowerSGD).
+//!
+//! The paper positions SelSync *against* these methods — they reduce
+//! communication volume per step, SelSync reduces the number of
+//! communicating steps. The ablation bench `ablation_compression`
+//! compares the two axes at matched communication budgets.
+
+use selsync_tensor::matmul::{matmul, matmul_tn};
+use selsync_tensor::Tensor;
+
+/// A sparsified gradient: values and their flat indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseGrad {
+    /// Flat indices of the kept entries.
+    pub indices: Vec<u32>,
+    /// Kept values, aligned with `indices`.
+    pub values: Vec<f32>,
+    /// Original dense length.
+    pub len: usize,
+}
+
+impl SparseGrad {
+    /// Reconstruct the dense gradient (zeros elsewhere).
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len];
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Wire bytes: 4 per index + 4 per value.
+    pub fn wire_bytes(&self) -> u64 {
+        8 * self.values.len() as u64
+    }
+
+    /// Compression factor vs. dense fp32.
+    pub fn compression_ratio(&self) -> f64 {
+        (4 * self.len) as f64 / self.wire_bytes() as f64
+    }
+}
+
+/// Keep the `k` largest-magnitude entries (Top-k / DGC-style).
+pub fn topk_compress(grad: &[f32], k: usize) -> SparseGrad {
+    let k = k.clamp(1, grad.len());
+    let mut idx: Vec<u32> = (0..grad.len() as u32).collect();
+    // partial selection by magnitude
+    idx.select_nth_unstable_by(k - 1, |&a, &b| {
+        grad[b as usize]
+            .abs()
+            .partial_cmp(&grad[a as usize].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut kept: Vec<u32> = idx[..k].to_vec();
+    kept.sort_unstable();
+    SparseGrad {
+        values: kept.iter().map(|&i| grad[i as usize]).collect(),
+        indices: kept,
+        len: grad.len(),
+    }
+}
+
+/// signSGD quantization: sign bits plus one scale (mean |g|), the
+/// majority-vote-friendly 1-bit scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignGrad {
+    /// Packed sign bits (1 = positive), little-endian within bytes.
+    pub bits: Vec<u8>,
+    /// Scale applied on decompression.
+    pub scale: f32,
+    /// Original dense length.
+    pub len: usize,
+}
+
+impl SignGrad {
+    /// Wire bytes: ⌈len/8⌉ + 4.
+    pub fn wire_bytes(&self) -> u64 {
+        self.bits.len() as u64 + 4
+    }
+}
+
+/// Compress to signs and a single mean-magnitude scale.
+pub fn sign_compress(grad: &[f32]) -> SignGrad {
+    let scale = if grad.is_empty() {
+        0.0
+    } else {
+        grad.iter().map(|g| g.abs()).sum::<f32>() / grad.len() as f32
+    };
+    let mut bits = vec![0u8; grad.len().div_ceil(8)];
+    for (i, &g) in grad.iter().enumerate() {
+        if g >= 0.0 {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    SignGrad {
+        bits,
+        scale,
+        len: grad.len(),
+    }
+}
+
+/// Decompress signs back to ±scale.
+pub fn sign_decompress(s: &SignGrad) -> Vec<f32> {
+    (0..s.len)
+        .map(|i| {
+            if s.bits[i / 8] & (1 << (i % 8)) != 0 {
+                s.scale
+            } else {
+                -s.scale
+            }
+        })
+        .collect()
+}
+
+/// PowerSGD rank-`r` factorization of a gradient viewed as a
+/// `rows × cols` matrix: returns `(P [rows, r], Q [cols, r])` with
+/// `M ≈ P·Qᵀ` after `iters` subspace iterations.
+pub fn powersgd_factorize(
+    grad: &[f32],
+    rows: usize,
+    rank: usize,
+    iters: usize,
+    seed: u64,
+) -> (Tensor, Tensor) {
+    assert!(rows > 0 && grad.len().is_multiple_of(rows), "grad must reshape to rows×cols");
+    let cols = grad.len() / rows;
+    let rank = rank.clamp(1, rows.min(cols));
+    let m = Tensor::from_vec(grad.to_vec(), [rows, cols]);
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut q = selsync_tensor::init::randn([cols, rank], 1.0, &mut rng);
+    let mut p = Tensor::zeros([rows, rank]);
+    for _ in 0..iters.max(1) {
+        p = matmul(&m, &q); // [rows, rank]
+        orthonormalize_columns(&mut p);
+        q = matmul_tn(&m, &p); // Mᵀ·P = [cols, rank]
+    }
+    (p, q)
+}
+
+/// Reconstruct the dense gradient `P·Qᵀ` from the factors.
+pub fn powersgd_reconstruct(p: &Tensor, q: &Tensor) -> Vec<f32> {
+    selsync_tensor::matmul::matmul_nt(p, q).into_vec()
+}
+
+/// Wire bytes of the rank-r factors vs. the dense gradient.
+pub fn powersgd_wire_bytes(rows: usize, cols: usize, rank: usize) -> u64 {
+    4 * (rows as u64 + cols as u64) * rank as u64
+}
+
+/// Gram–Schmidt orthonormalization of a `[m, r]` matrix's columns.
+fn orthonormalize_columns(a: &mut Tensor) {
+    let (m, r) = (a.shape().dim(0), a.shape().dim(1));
+    for j in 0..r {
+        // subtract projections on previous columns
+        for k in 0..j {
+            let mut dot = 0.0;
+            for i in 0..m {
+                dot += a.at(&[i, j]) * a.at(&[i, k]);
+            }
+            for i in 0..m {
+                *a.at_mut(&[i, j]) -= dot * a.at(&[i, k]);
+            }
+        }
+        let mut norm = 0.0;
+        for i in 0..m {
+            norm += a.at(&[i, j]) * a.at(&[i, j]);
+        }
+        let norm = norm.sqrt().max(1e-12);
+        for i in 0..m {
+            *a.at_mut(&[i, j]) /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let g = vec![0.1, -5.0, 0.3, 4.0, -0.2];
+        let s = topk_compress(&g, 2);
+        assert_eq!(s.indices, vec![1, 3]);
+        assert_eq!(s.values, vec![-5.0, 4.0]);
+        let d = s.to_dense();
+        assert_eq!(d, vec![0.0, -5.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn topk_compression_ratio() {
+        let g = vec![1.0; 1000];
+        let s = topk_compress(&g, 10);
+        // dense 4000 bytes; sparse 10*(4+4)=80 → 50×
+        assert!((s.compression_ratio() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topk_k_larger_than_len_is_identity() {
+        let g = vec![1.0, -2.0];
+        let s = topk_compress(&g, 10);
+        assert_eq!(s.to_dense(), g);
+    }
+
+    #[test]
+    fn sign_roundtrip_preserves_signs() {
+        let g = vec![0.5, -1.5, 2.0, -0.1];
+        let s = sign_compress(&g);
+        let d = sign_decompress(&s);
+        for (orig, dec) in g.iter().zip(&d) {
+            assert_eq!(orig.signum(), dec.signum());
+        }
+        assert!((s.scale - 1.025).abs() < 1e-6, "mean |g|");
+    }
+
+    #[test]
+    fn sign_is_32x_compression() {
+        let g = vec![1.0f32; 3200];
+        let s = sign_compress(&g);
+        assert_eq!(s.wire_bytes(), 400 + 4);
+        assert!(12800 / s.wire_bytes() >= 31);
+    }
+
+    #[test]
+    fn powersgd_recovers_low_rank_exactly() {
+        // build an exactly rank-1 matrix u·vᵀ
+        let u = [1.0f32, 2.0, 3.0];
+        let v = [0.5f32, -1.0, 2.0, 4.0];
+        let mut g = Vec::new();
+        for a in u {
+            for b in v {
+                g.push(a * b);
+            }
+        }
+        let (p, q) = powersgd_factorize(&g, 3, 1, 3, 0);
+        let rec = powersgd_reconstruct(&p, &q);
+        for (orig, r) in g.iter().zip(&rec) {
+            assert!((orig - r).abs() < 1e-3, "{orig} vs {r}");
+        }
+    }
+
+    #[test]
+    fn powersgd_rank_controls_error_and_volume() {
+        // random-ish full-rank matrix: higher rank → lower error
+        let g: Vec<f32> = (0..64).map(|i| ((i * 37 % 13) as f32) - 6.0).collect();
+        let err = |rank: usize| {
+            let (p, q) = powersgd_factorize(&g, 8, rank, 4, 1);
+            let rec = powersgd_reconstruct(&p, &q);
+            g.iter()
+                .zip(&rec)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        assert!(err(6) < err(1), "rank 6 must fit better than rank 1");
+        assert!(powersgd_wire_bytes(8, 8, 1) < 4 * 64);
+    }
+
+    #[test]
+    fn orthonormalize_produces_unit_orthogonal_columns() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0, 0.0, 1.0, 1.0, 0.0], [3, 2]);
+        orthonormalize_columns(&mut a);
+        let mut dot = 0.0;
+        let mut n0 = 0.0;
+        let mut n1 = 0.0;
+        for i in 0..3 {
+            dot += a.at(&[i, 0]) * a.at(&[i, 1]);
+            n0 += a.at(&[i, 0]) * a.at(&[i, 0]);
+            n1 += a.at(&[i, 1]) * a.at(&[i, 1]);
+        }
+        assert!(dot.abs() < 1e-5);
+        assert!((n0 - 1.0).abs() < 1e-5);
+        assert!((n1 - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,225 @@
+//! Training-run configuration: the strategy under test and everything
+//! §IV-A of the paper fixes per experiment.
+
+use selsync_data::{InjectionConfig, PartitionScheme};
+use selsync_nn::LrSchedule;
+use serde::{Deserialize, Serialize};
+
+/// How model state is combined during a synchronization (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Average gradients, each worker applies the average locally (GA).
+    Gradient,
+    /// Average parameters on the PS, replicas adopt the average (PA) —
+    /// SelSync's default and the better choice semi-synchronously.
+    Parameter,
+}
+
+/// The distributed-training algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Bulk-synchronous parallel: aggregate on every step (§II-A).
+    Bsp {
+        /// GA and PA are equivalent here given identical init (§III-C).
+        aggregation: Aggregation,
+    },
+    /// Federated averaging with participation fraction `c` and
+    /// synchronization factor `e` (sync every `e` of an epoch, §II-B).
+    FedAvg {
+        /// Fraction of workers whose updates are collected per sync.
+        c: f32,
+        /// Synchronization factor E = 1/x for x syncs per epoch.
+        e: f32,
+    },
+    /// Stale-synchronous parallel with staleness bound `s` (§II-C).
+    Ssp {
+        /// Max steps a fast worker may lead the slowest by.
+        staleness: u64,
+    },
+    /// SelSync (Alg. 1): sync only when any worker's Δ(g_i) ≥ δ.
+    SelSync {
+        /// Threshold on relative gradient change. 0 ⇒ BSP;
+        /// above the run's max Δ ⇒ pure local SGD (§III-B).
+        delta: f32,
+        /// GA for the §IV-D ablation; PA is the paper's choice.
+        aggregation: Aggregation,
+    },
+    /// Pure local SGD — the δ → ∞ limit; workers never communicate.
+    LocalOnly,
+}
+
+impl Strategy {
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            Strategy::Bsp { .. } => "BSP".into(),
+            Strategy::FedAvg { c, e } => format!("FedAvg({c}, {e})"),
+            Strategy::Ssp { staleness } => format!("SSP s={staleness}"),
+            Strategy::SelSync { delta, aggregation } => {
+                let agg = match aggregation {
+                    Aggregation::Gradient => "GA",
+                    Aggregation::Parameter => "PA",
+                };
+                format!("SelSync δ={delta} {agg}")
+            }
+            Strategy::LocalOnly => "Local-SGD".into(),
+        }
+    }
+}
+
+/// How synchronization payloads are exchanged (§III-E: "pullFromPS and
+/// pushToPS ... can be easily swapped for an AllReduce collective").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncBackend {
+    /// Central parameter server (the paper's deployment).
+    ParameterServer,
+    /// Decentralized bandwidth-optimal ring allreduce among workers.
+    RingAllReduce,
+}
+
+/// Lossy gradient compression applied on gradient-aggregation syncs —
+/// the §II-D baselines, with DGC-style error feedback.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CompressionKind {
+    /// Keep the top `ratio` fraction of gradient entries by magnitude.
+    TopK {
+        /// Fraction kept, in (0, 1].
+        ratio: f32,
+    },
+    /// 1-bit sign quantization with a mean-magnitude scale.
+    SignSgd,
+    /// Rank-`rank` PowerSGD low-rank factorization.
+    PowerSgd {
+        /// Approximation rank.
+        rank: usize,
+    },
+}
+
+/// Which optimizer a run uses (§IV-A recipes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimKind {
+    /// SGD with momentum and weight decay.
+    Sgd {
+        /// Momentum coefficient.
+        momentum: f32,
+        /// L2 weight decay.
+        weight_decay: f32,
+    },
+    /// Adam (AlexNet's recipe).
+    Adam,
+}
+
+/// Complete configuration of one distributed training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Algorithm under test.
+    pub strategy: Strategy,
+    /// Cluster size N (paper: 16 workers + 1 PS).
+    pub n_workers: usize,
+    /// Per-worker mini-batch size b.
+    pub batch_size: usize,
+    /// Total training steps per worker.
+    pub max_steps: u64,
+    /// Evaluate the test metric every this many steps (worker 0).
+    pub eval_every: u64,
+    /// IID partitioning scheme (ignored when `noniid_labels` is set).
+    pub partition: PartitionScheme,
+    /// Non-IID label-skew: labels per worker (None ⇒ IID).
+    pub noniid_labels: Option<usize>,
+    /// Data injection (α, β) for non-IID runs (§III-E).
+    pub injection: Option<InjectionConfig>,
+    /// Learning-rate schedule.
+    pub lr: LrSchedule,
+    /// Optimizer.
+    pub optim: OptimKind,
+    /// Δ(g) EWMA window (paper default 25).
+    pub ewma_window: usize,
+    /// Δ(g) EWMA smoothing factor (paper: N/100).
+    pub ewma_alpha: f32,
+    /// Master seed: model init, partition shuffles, injection subsets.
+    pub seed: u64,
+    /// Straggler injection: `(worker_id, delay_us)` makes one worker
+    /// sleep that long per step — the systems heterogeneity of §II-A
+    /// that SSP exists to tolerate and that blocks BSP barriers.
+    pub straggler: Option<(usize, u64)>,
+    /// Synchronization transport (PS or decentralized ring, §III-E).
+    /// FedAvg's partial participation and SSP's staleness service are
+    /// PS concepts; those strategies require `ParameterServer`.
+    pub backend: SyncBackend,
+    /// Lossy gradient compression with error feedback, applied on
+    /// gradient-aggregation syncs (§II-D baselines).
+    pub compression: Option<CompressionKind>,
+    /// Global gradient-norm clipping applied after every backward pass
+    /// (one of the §II-E hyperparameters shaping gradient trajectories).
+    pub grad_clip: Option<f32>,
+}
+
+impl RunConfig {
+    /// Small, fast defaults used by tests and examples: 4 workers,
+    /// SelSync-style instrumentation, SGD with momentum, SelDP.
+    pub fn quick_defaults() -> Self {
+        RunConfig {
+            strategy: Strategy::Bsp {
+                aggregation: Aggregation::Parameter,
+            },
+            n_workers: 4,
+            batch_size: 8,
+            max_steps: 100,
+            eval_every: 25,
+            partition: PartitionScheme::SelDp,
+            noniid_labels: None,
+            injection: None,
+            lr: LrSchedule::Constant { lr: 0.05 },
+            optim: OptimKind::Sgd {
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            ewma_window: 25,
+            ewma_alpha: 0.16,
+            seed: 42,
+            straggler: None,
+            backend: SyncBackend::ParameterServer,
+            compression: None,
+            grad_clip: None,
+        }
+    }
+
+    /// The paper's EWMA factor for this cluster size (N/100, §III-A).
+    pub fn paper_ewma_alpha(n_workers: usize) -> f32 {
+        (n_workers as f32 / 100.0).clamp(0.01, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(
+            Strategy::SelSync {
+                delta: 0.25,
+                aggregation: Aggregation::Parameter
+            }
+            .label(),
+            "SelSync δ=0.25 PA"
+        );
+        assert_eq!(Strategy::FedAvg { c: 1.0, e: 0.25 }.label(), "FedAvg(1, 0.25)");
+        assert_eq!(Strategy::Ssp { staleness: 100 }.label(), "SSP s=100");
+    }
+
+    #[test]
+    fn paper_alpha_for_16_workers_is_point_16() {
+        assert!((RunConfig::paper_ewma_alpha(16) - 0.16).abs() < 1e-6);
+        assert_eq!(RunConfig::paper_ewma_alpha(500), 1.0, "clamped");
+    }
+
+    #[test]
+    fn config_serializes_roundtrip() {
+        let c = RunConfig::quick_defaults();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: RunConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_workers, c.n_workers);
+        assert_eq!(back.strategy, c.strategy);
+    }
+}

@@ -1,0 +1,84 @@
+//! Replica-divergence measures: how far worker models drift from one
+//! another and from the global state — the quantity behind the paper's
+//! GA-vs-PA argument (§III-C, Figs. 10/11).
+
+/// L2 distance between two flat parameter vectors.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "parameter vectors must align");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            (d * d) as f64
+        })
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// Maximum pairwise L2 distance among a set of replicas
+/// (0 when all replicas are identical — the PA post-sync invariant).
+pub fn max_pairwise_l2(replicas: &[Vec<f32>]) -> f32 {
+    let mut max = 0.0f32;
+    for i in 0..replicas.len() {
+        for j in i + 1..replicas.len() {
+            max = max.max(l2_distance(&replicas[i], &replicas[j]));
+        }
+    }
+    max
+}
+
+/// Mean L2 distance of each replica from their average — the bounded
+/// local-to-global divergence SelSync maintains (§III-B).
+pub fn mean_distance_from_average(replicas: &[Vec<f32>]) -> f32 {
+    if replicas.is_empty() {
+        return 0.0;
+    }
+    let n = replicas.len();
+    let d = replicas[0].len();
+    let mut avg = vec![0.0f32; d];
+    for r in replicas {
+        for (a, v) in avg.iter_mut().zip(r) {
+            *a += v;
+        }
+    }
+    for a in &mut avg {
+        *a /= n as f32;
+    }
+    replicas.iter().map(|r| l2_distance(r, &avg)).sum::<f32>() / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_replicas_have_zero_divergence() {
+        let r = vec![vec![1.0, 2.0]; 4];
+        assert_eq!(max_pairwise_l2(&r), 0.0);
+        assert_eq!(mean_distance_from_average(&r), 0.0);
+    }
+
+    #[test]
+    fn l2_known_value() {
+        assert_eq!(l2_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn max_pairwise_finds_the_outlier() {
+        let r = vec![vec![0.0], vec![0.1], vec![10.0]];
+        assert!((max_pairwise_l2(&r) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_distance_is_spread_measure() {
+        let tight = vec![vec![1.0], vec![1.1]];
+        let wide = vec![vec![0.0], vec![10.0]];
+        assert!(mean_distance_from_average(&wide) > mean_distance_from_average(&tight) * 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        l2_distance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Run results: step logs, evaluation curves, and convergence analysis.
+
+use selsync_stats::LssrCounter;
+use serde::{Deserialize, Serialize};
+
+/// One training step as seen by worker 0.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// 0-based step index.
+    pub step: u64,
+    /// Local training loss on worker 0's mini-batch.
+    pub loss: f32,
+    /// Whether this step invoked the aggregation op.
+    pub synced: bool,
+    /// Δ(g_i) on worker 0 (NaN for strategies that don't compute it).
+    /// JSON represents NaN as `null`; deserialization maps it back.
+    #[serde(deserialize_with = "f32_or_nan")]
+    pub delta_g: f32,
+}
+
+/// Accept `null` (serde_json's encoding of NaN) as `f32::NAN`.
+fn f32_or_nan<'de, D: serde::Deserializer<'de>>(d: D) -> Result<f32, D::Error> {
+    let v: Option<f32> = serde::Deserialize::deserialize(d)?;
+    Ok(v.unwrap_or(f32::NAN))
+}
+
+/// One periodic evaluation on the held-out split (worker 0's model).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Step at which the evaluation ran.
+    pub step: u64,
+    /// Worker 0's fractional epoch at that step.
+    pub epoch: f64,
+    /// The workload metric: accuracy in `[0, 1]`, or perplexity (> 1).
+    pub metric: f32,
+}
+
+/// Everything a distributed run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Per-step log from worker 0.
+    pub step_records: Vec<StepRecord>,
+    /// Evaluation curve.
+    pub evals: Vec<EvalRecord>,
+    /// Local/sync step counts (Eqn. 4).
+    pub lssr: LssrCounter,
+    /// Final test metric.
+    pub final_metric: f32,
+    /// Final global parameters (from the PS).
+    pub final_params: Vec<f32>,
+    /// Final parameters of every worker replica, for divergence
+    /// analysis (Fig. 10/11).
+    pub worker_params: Vec<Vec<f32>>,
+    /// Total fabric traffic in wire bytes (real messages sent).
+    pub comm_bytes: u64,
+    /// Worker-0 model bytes contributed to syncs after compression —
+    /// the communication-volume axis the §II-D baselines optimize.
+    pub logical_sync_bytes: u64,
+    /// Steps each worker ran.
+    pub steps_run: u64,
+}
+
+impl RunResult {
+    /// Best metric over the run (max for accuracy, min for perplexity).
+    pub fn best_metric(&self, lower_is_better: bool) -> f32 {
+        let it = self.evals.iter().map(|e| e.metric);
+        if lower_is_better {
+            it.fold(f32::INFINITY, f32::min)
+        } else {
+            it.fold(f32::NEG_INFINITY, f32::max)
+        }
+    }
+
+    /// First step at which the metric reached `target`
+    /// (≥ for accuracy, ≤ for perplexity). `None` if never reached.
+    pub fn steps_to_target(&self, target: f32, lower_is_better: bool) -> Option<u64> {
+        self.evals
+            .iter()
+            .find(|e| {
+                if lower_is_better {
+                    e.metric <= target
+                } else {
+                    e.metric >= target
+                }
+            })
+            .map(|e| e.step)
+    }
+
+    /// Fraction of steps that synchronized.
+    pub fn sync_fraction(&self) -> f64 {
+        1.0 - self.lssr.lssr()
+    }
+
+    /// Maximum pairwise L2 distance between worker replicas at the end —
+    /// the replica-divergence quantity behind Fig. 10/11.
+    pub fn replica_divergence(&self) -> f32 {
+        crate::divergence::max_pairwise_l2(&self.worker_params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with_evals(metrics: &[f32]) -> RunResult {
+        RunResult {
+            step_records: Vec::new(),
+            evals: metrics
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| EvalRecord {
+                    step: i as u64 * 10,
+                    epoch: i as f64,
+                    metric: m,
+                })
+                .collect(),
+            lssr: LssrCounter::new(),
+            final_metric: *metrics.last().unwrap_or(&0.0),
+            final_params: Vec::new(),
+            worker_params: Vec::new(),
+            comm_bytes: 0,
+            logical_sync_bytes: 0,
+            steps_run: 0,
+        }
+    }
+
+    #[test]
+    fn best_metric_direction() {
+        let r = result_with_evals(&[0.5, 0.8, 0.7]);
+        assert_eq!(r.best_metric(false), 0.8);
+        assert_eq!(r.best_metric(true), 0.5);
+    }
+
+    #[test]
+    fn steps_to_target_finds_first_crossing() {
+        let r = result_with_evals(&[0.5, 0.7, 0.9]);
+        assert_eq!(r.steps_to_target(0.7, false), Some(10));
+        assert_eq!(r.steps_to_target(0.95, false), None);
+        // perplexity-style
+        let p = result_with_evals(&[100.0, 50.0, 20.0]);
+        assert_eq!(p.steps_to_target(50.0, true), Some(10));
+    }
+
+    #[test]
+    fn sync_fraction_complements_lssr() {
+        let mut r = result_with_evals(&[0.1]);
+        for _ in 0..3 {
+            r.lssr.record_local();
+        }
+        r.lssr.record_sync();
+        assert!((r.sync_fraction() - 0.25).abs() < 1e-12);
+    }
+}

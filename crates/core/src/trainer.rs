@@ -1,0 +1,892 @@
+//! The distributed trainer: N worker threads + one parameter-server
+//! thread over the `selsync-comm` fabric, running any [`Strategy`].
+//!
+//! This is a faithful executable of Alg. 1 (for SelSync) and of the
+//! baselines' protocols. Every synchronization decision, flags
+//! allgather, PS round and injection transfer is a *real* message
+//! exchange between *real* threads; only the wall-clock claims are later
+//! derived by `crate::timing` from the decision log.
+
+use crate::config::{Aggregation, CompressionKind, OptimKind, RunConfig, Strategy, SyncBackend};
+use crate::metrics::{EvalRecord, RunResult, StepRecord};
+use crate::workload::{AnyModel, Workload, WorkloadData, SEQ_LEN};
+use selsync_comm::collectives::{allgather_flags, phase_tag, ring_allreduce};
+use selsync_comm::fabric::{Endpoint, Fabric, Payload};
+use selsync_comm::ps::{
+    run_round_server, run_ssp_server, send_shutdown, ssp_step, sync_round, SyncRequest,
+};
+use selsync_data::{
+    noniid_label_partition, partition_indices, BatchCursor, InjectionConfig, TextBatchCursor,
+};
+use selsync_nn::flat::{flat_grads, flat_params, set_flat_grads, set_flat_params};
+use selsync_nn::loss::{accuracy, softmax_cross_entropy, topk_accuracy};
+use selsync_nn::models::ModelKind;
+use selsync_nn::module::ParamVisitor;
+use selsync_nn::{Adam, Batch, Input, Optimizer, Sgd};
+use selsync_stats::{LssrCounter, RelativeGradChange};
+use selsync_tensor::reduce::sqnorm_slice;
+use selsync_tensor::Tensor;
+use std::sync::Arc;
+use std::thread;
+
+/// Worker-to-worker tag phase used by data-injection sample broadcasts
+/// (collectives reserve the low phases).
+const INJECT_PHASE: u64 = 250;
+
+/// Tag of the initial pullFromPS round (Alg. 1 line 3).
+const INIT_TAG: u64 = u64::MAX;
+
+/// Run one distributed training experiment. Blocks until every worker
+/// and the server finish; panics if any thread panicked.
+pub fn run_distributed(config: &RunConfig, workload: &Workload) -> RunResult {
+    validate(config, workload);
+    let n = config.n_workers;
+    let mut endpoints = Fabric::new(n + 1);
+    let server_ep = endpoints.pop().expect("server endpoint");
+    let stats = Arc::clone(server_ep.stats());
+
+    // identical initial state for PS and all replicas (§III-C premise)
+    let init_params = flat_params(workload.build_model().as_visitor());
+
+    // the decentralized backend has no server thread; the endpoint is
+    // simply parked (workers never address it)
+    let server_handle = match (config.backend, config.strategy) {
+        (SyncBackend::RingAllReduce, _) => None,
+        (_, Strategy::Ssp { staleness }) => {
+            let init = init_params.clone();
+            Some(
+                thread::Builder::new()
+                    .name("selsync-ps".into())
+                    .spawn(move || run_ssp_server(server_ep, n, init, staleness))
+                    .expect("spawn PS"),
+            )
+        }
+        _ => {
+            let init = init_params.clone();
+            Some(
+                thread::Builder::new()
+                    .name("selsync-ps".into())
+                    .spawn(move || run_round_server(server_ep, n, init))
+                    .expect("spawn PS"),
+            )
+        }
+    };
+
+    let workload = Arc::new(workload.clone());
+    let config = Arc::new(config.clone());
+    let partitions = build_partitions(&config, &workload);
+
+    let mut handles = Vec::with_capacity(n);
+    for (worker, ep) in endpoints.into_iter().enumerate() {
+        let wl = Arc::clone(&workload);
+        let cfg = Arc::clone(&config);
+        let part = partitions[worker].clone();
+        handles.push(
+            thread::Builder::new()
+                .name(format!("selsync-w{worker}"))
+                .spawn(move || worker_main(worker, ep, &cfg, &wl, part))
+                .expect("spawn worker"),
+        );
+    }
+
+    let mut outputs: Vec<WorkerOutput> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect();
+    outputs.sort_by_key(|o| o.worker);
+    let final_params = match server_handle {
+        Some(h) => h.join().expect("server thread panicked"),
+        // decentralized: the "global" state is the replica average
+        None => {
+            let d = outputs[0].final_params.len();
+            let mut avg = vec![0.0f32; d];
+            for o in &outputs {
+                for (a, v) in avg.iter_mut().zip(&o.final_params) {
+                    *a += v;
+                }
+            }
+            for a in &mut avg {
+                *a /= outputs.len() as f32;
+            }
+            avg
+        }
+    };
+
+    let w0 = outputs.remove(0);
+    let mut worker_params = vec![w0.final_params.clone()];
+    worker_params.extend(outputs.into_iter().map(|o| o.final_params));
+
+    RunResult {
+        final_metric: w0.evals.last().map_or(0.0, |e| e.metric),
+        step_records: w0.records,
+        evals: w0.evals,
+        lssr: w0.lssr,
+        final_params,
+        worker_params,
+        comm_bytes: stats.total_bytes(),
+        logical_sync_bytes: w0.logical_sync_bytes,
+        steps_run: config.max_steps,
+    }
+}
+
+fn validate(config: &RunConfig, workload: &Workload) {
+    assert!(config.n_workers >= 1, "need at least one worker");
+    assert!(config.max_steps >= 1, "need at least one step");
+    if config.noniid_labels.is_some() {
+        assert!(
+            !matches!(workload.data, WorkloadData::Text { .. }),
+            "non-IID splits are defined for the vision workloads (§IV-A)"
+        );
+    }
+    if let Strategy::FedAvg { c, e } = config.strategy {
+        assert!(c > 0.0 && c <= 1.0, "FedAvg C in (0, 1]");
+        assert!(e > 0.0 && e <= 1.0, "FedAvg E in (0, 1]");
+    }
+    if config.backend == SyncBackend::RingAllReduce {
+        assert!(
+            !matches!(config.strategy, Strategy::FedAvg { .. } | Strategy::Ssp { .. }),
+            "FedAvg participation and SSP staleness are PS services; use SyncBackend::ParameterServer"
+        );
+    }
+    if config.compression.is_some() {
+        let grads_agg = match config.strategy {
+            Strategy::Bsp { aggregation } | Strategy::SelSync { aggregation, .. } => {
+                aggregation == Aggregation::Gradient
+            }
+            _ => false,
+        };
+        assert!(grads_agg, "compression applies to gradient-aggregation syncs only");
+    }
+}
+
+/// Per-worker epoch index orders.
+fn build_partitions(config: &RunConfig, workload: &Workload) -> Vec<Vec<usize>> {
+    let n = config.n_workers;
+    let units = workload.num_train_units();
+    if let Some(labels_per_worker) = config.noniid_labels {
+        if let WorkloadData::Vision { train, .. } = &workload.data {
+            return noniid_label_partition(
+                &train.labels,
+                train.num_classes,
+                n,
+                labels_per_worker,
+                config.seed,
+            );
+        }
+        unreachable!("validated above");
+    }
+    (0..n)
+        .map(|w| partition_indices(units, n, w, config.partition))
+        .collect()
+}
+
+struct WorkerOutput {
+    worker: usize,
+    final_params: Vec<f32>,
+    lssr: LssrCounter,
+    records: Vec<StepRecord>,
+    evals: Vec<EvalRecord>,
+    logical_sync_bytes: u64,
+}
+
+enum AnyOptimizer {
+    Sgd(Sgd),
+    Adam(Adam),
+}
+
+impl AnyOptimizer {
+    fn new(kind: OptimKind, lr: f32) -> Self {
+        match kind {
+            OptimKind::Sgd {
+                momentum,
+                weight_decay,
+            } => AnyOptimizer::Sgd(Sgd::with_momentum(lr, momentum, weight_decay)),
+            OptimKind::Adam => AnyOptimizer::Adam(Adam::new(lr)),
+        }
+    }
+    fn step(&mut self, m: &mut dyn ParamVisitor) {
+        match self {
+            AnyOptimizer::Sgd(o) => o.step(m),
+            AnyOptimizer::Adam(o) => o.step(m),
+        }
+    }
+    fn set_lr(&mut self, lr: f32) {
+        match self {
+            AnyOptimizer::Sgd(o) => o.set_lr(lr),
+            AnyOptimizer::Adam(o) => o.set_lr(lr),
+        }
+    }
+}
+
+enum AnyCursor {
+    Vision(BatchCursor),
+    Text(TextBatchCursor),
+}
+
+impl AnyCursor {
+    fn next_batch(&mut self, data: &WorkloadData) -> Batch {
+        match (self, data) {
+            (AnyCursor::Vision(c), WorkloadData::Vision { train, .. }) => c.next_batch(train),
+            (AnyCursor::Text(c), WorkloadData::Text { train, .. }) => c.next_batch(train),
+            _ => unreachable!("cursor/data kind mismatch"),
+        }
+    }
+    fn steps_per_epoch(&self) -> usize {
+        match self {
+            AnyCursor::Vision(c) => c.batches_per_epoch(),
+            AnyCursor::Text(c) => c.batches_per_epoch(),
+        }
+    }
+    fn epoch_progress(&self) -> f64 {
+        match self {
+            AnyCursor::Vision(c) => c.epoch_progress(),
+            AnyCursor::Text(c) => c.epoch_progress(),
+        }
+    }
+}
+
+/// Per-worker synchronization context: transport, compression state,
+/// and logical-byte accounting.
+struct SyncCtx {
+    server: usize,
+    n_workers: usize,
+    backend: SyncBackend,
+    compression: Option<CompressionKind>,
+    /// DGC-style error-feedback residual for lossy compression.
+    residual: Vec<f32>,
+    /// Model bytes this worker contributed to syncs (post-compression).
+    logical_bytes: u64,
+}
+
+impl SyncCtx {
+    /// Compress `grads` in place with error feedback; returns the wire
+    /// bytes the compressed representation would occupy.
+    fn compress_with_ef(&mut self, grads: &mut Vec<f32>) -> u64 {
+        let Some(kind) = self.compression else {
+            return 4 * grads.len() as u64;
+        };
+        if self.residual.len() != grads.len() {
+            self.residual = vec![0.0; grads.len()];
+        }
+        // error feedback: compensate with what previous syncs dropped
+        for (g, r) in grads.iter_mut().zip(&self.residual) {
+            *g += r;
+        }
+        let (lossy, bytes) = match kind {
+            CompressionKind::TopK { ratio } => {
+                let k = ((grads.len() as f32 * ratio) as usize).max(1);
+                let sparse = crate::compression::topk_compress(grads, k);
+                (sparse.to_dense(), sparse.wire_bytes())
+            }
+            CompressionKind::SignSgd => {
+                let sg = crate::compression::sign_compress(grads);
+                (crate::compression::sign_decompress(&sg), sg.wire_bytes())
+            }
+            CompressionKind::PowerSgd { rank } => {
+                // pad to a near-square matrix so the factorization is
+                // meaningful regardless of the parameter count's divisors
+                let n = grads.len();
+                let rows = (n as f64).sqrt().ceil() as usize;
+                let cols = n.div_ceil(rows);
+                let mut padded = grads.clone();
+                padded.resize(rows * cols, 0.0);
+                let (pm, qm) = crate::compression::powersgd_factorize(&padded, rows, rank, 1, 0);
+                let mut rec = crate::compression::powersgd_reconstruct(&pm, &qm);
+                rec.truncate(n);
+                (rec, crate::compression::powersgd_wire_bytes(rows, cols, rank))
+            }
+        };
+        for ((r, g), l) in self.residual.iter_mut().zip(grads.iter()).zip(&lossy) {
+            *r = g - l;
+        }
+        *grads = lossy;
+        bytes
+    }
+}
+
+/// Squared L2 norm of all gradients without materializing the flat copy.
+fn grad_sqnorm(m: &dyn ParamVisitor) -> f32 {
+    let mut s = 0.0;
+    m.visit_params(&mut |p| s += sqnorm_slice(p.grad.as_slice()));
+    s
+}
+
+#[allow(clippy::too_many_lines)]
+fn worker_main(
+    worker: usize,
+    mut ep: Endpoint,
+    config: &RunConfig,
+    workload: &Workload,
+    partition: Vec<usize>,
+) -> WorkerOutput {
+    let n = config.n_workers;
+    let mut ctx = SyncCtx {
+        server: n,
+        n_workers: n,
+        backend: config.backend,
+        compression: config.compression,
+        residual: Vec::new(),
+        logical_bytes: 0,
+    };
+    let mut model = workload.build_model();
+    let mut opt = AnyOptimizer::new(config.optim, config.lr.at(0));
+
+    // data injection setup (§III-E): shrink the local batch to b′
+    let injection = config.injection;
+    let local_batch = match injection {
+        Some(inj) => inj.adjusted_batch_size(config.batch_size, n),
+        None => config.batch_size,
+    };
+    let mut cursor = match &workload.data {
+        WorkloadData::Vision { .. } => AnyCursor::Vision(BatchCursor::new(partition, local_batch)),
+        WorkloadData::Text { .. } => {
+            AnyCursor::Text(TextBatchCursor::new(partition, SEQ_LEN, local_batch))
+        }
+    };
+
+    // Alg. 1 line 3: pull the initial model state from the PS. With the
+    // decentralized backend there is no server; replicas already share
+    // the seeded init (the §III-C broadcast-equivalent).
+    if ctx.backend == SyncBackend::ParameterServer {
+        let init = sync_round(&mut ep, ctx.server, INIT_TAG, SyncRequest::Pull);
+        set_flat_params(model.as_model(), &init);
+    }
+
+    // FedAvg synchronizes x = 1/E times per epoch, uniformly spaced
+    let fedavg_interval = match config.strategy {
+        Strategy::FedAvg { e, .. } => {
+            ((cursor.steps_per_epoch() as f32 * e).round() as u64).max(1)
+        }
+        _ => u64::MAX,
+    };
+
+    let mut relchange = RelativeGradChange::new(config.ewma_window, config.ewma_alpha);
+    let mut lssr = LssrCounter::new();
+    let mut records = Vec::new();
+    let mut evals = Vec::new();
+
+    for step in 0..config.max_steps {
+        opt.set_lr(config.lr.at(step));
+        // injected systems heterogeneity (§II-A): the straggler computes
+        // more slowly than its peers
+        if let Some((slow, delay_us)) = config.straggler {
+            if slow == worker {
+                thread::sleep(std::time::Duration::from_micros(delay_us));
+            }
+        }
+        let mut batch = cursor.next_batch(&workload.data);
+
+        // --- data injection: sharers broadcast a slice of their batch ---
+        if let Some(inj) = injection {
+            batch = exchange_injection(&mut ep, n, step, inj, config.seed, batch);
+        }
+
+        // --- forward / backward on the (possibly augmented) batch ---
+        let logits = model.as_model().forward(&batch.input, true);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &batch.targets);
+        model.as_model().zero_grad();
+        model.as_model().backward(&dlogits);
+        if let Some(max_norm) = config.grad_clip {
+            selsync_nn::flat::clip_grad_norm(model.as_model(), max_norm);
+        }
+
+        // --- strategy-specific update & communication ---
+        let (synced, delta_g) = match config.strategy {
+            Strategy::Bsp { aggregation } => {
+                apply_sync(&mut ep, &mut ctx, step, &mut model, &mut opt, aggregation);
+                (true, f32::NAN)
+            }
+            Strategy::LocalOnly => {
+                opt.step(model.as_model());
+                (false, f32::NAN)
+            }
+            Strategy::SelSync { delta, aggregation } => {
+                // Alg. 1 lines 8–15
+                let dg = relchange.update(grad_sqnorm(model.as_visitor()));
+                let my_bit = u8::from(dg >= delta);
+                let flags = allgather_flags(&mut ep, n, step, my_bit);
+                if flags.contains(&1) {
+                    apply_sync(&mut ep, &mut ctx, step, &mut model, &mut opt, aggregation);
+                    (true, dg)
+                } else {
+                    opt.step(model.as_model());
+                    (false, dg)
+                }
+            }
+            Strategy::FedAvg { c, .. } => {
+                opt.step(model.as_model());
+                if (step + 1).is_multiple_of(fedavg_interval) {
+                    let round = (step + 1) / fedavg_interval;
+                    let participants = InjectionConfig::new(c, 1.0).select_sharers(
+                        n,
+                        config.seed ^ 0xFEDA,
+                        round,
+                    );
+                    let req = if participants.binary_search(&worker).is_ok() {
+                        SyncRequest::PushParams(flat_params(model.as_visitor()))
+                    } else {
+                        SyncRequest::Pull
+                    };
+                    let avg = sync_round(&mut ep, ctx.server, step, req);
+                    ctx.logical_bytes += 4 * avg.len() as u64;
+                    set_flat_params(model.as_model(), &avg);
+                    (true, f32::NAN)
+                } else {
+                    (false, f32::NAN)
+                }
+            }
+            Strategy::Ssp { .. } => {
+                let before = flat_params(model.as_visitor());
+                opt.step(model.as_model());
+                let after = flat_params(model.as_visitor());
+                let delta: Vec<f32> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
+                ctx.logical_bytes += 4 * before.len() as u64;
+                let global = ssp_step(&mut ep, ctx.server, step, delta);
+                set_flat_params(model.as_model(), &global);
+                (true, f32::NAN)
+            }
+        };
+
+        if synced {
+            lssr.record_sync();
+        } else {
+            lssr.record_local();
+        }
+        if worker == 0 {
+            records.push(StepRecord {
+                step,
+                loss,
+                synced,
+                delta_g,
+            });
+            if (step + 1).is_multiple_of(config.eval_every) || step + 1 == config.max_steps {
+                evals.push(EvalRecord {
+                    step,
+                    epoch: cursor.epoch_progress(),
+                    metric: evaluate(&mut model, workload),
+                });
+            }
+        }
+    }
+
+    // dedicated shutdown round (all workers, same tag)
+    if ctx.backend == SyncBackend::ParameterServer {
+        send_shutdown(&mut ep, ctx.server, config.max_steps);
+    }
+
+    WorkerOutput {
+        worker,
+        final_params: flat_params(model.as_visitor()),
+        lssr,
+        records,
+        evals,
+        logical_sync_bytes: ctx.logical_bytes,
+    }
+}
+
+/// One synchronization (Alg. 1 lines 14–15 for PA; the §IV-D
+/// gradient-aggregation variant otherwise), through the configured
+/// transport: PS push/pull rounds or the decentralized ring allreduce
+/// §III-E suggests as a drop-in replacement.
+fn apply_sync(
+    ep: &mut Endpoint,
+    ctx: &mut SyncCtx,
+    step: u64,
+    model: &mut AnyModel,
+    opt: &mut AnyOptimizer,
+    aggregation: Aggregation,
+) {
+    let inv_n = 1.0 / ctx.n_workers as f32;
+    match aggregation {
+        Aggregation::Parameter => {
+            // local update first (Alg. 1 line 9), then average parameters
+            opt.step(model.as_model());
+            let mut params = flat_params(model.as_visitor());
+            ctx.logical_bytes += 4 * params.len() as u64;
+            match ctx.backend {
+                SyncBackend::ParameterServer => {
+                    let avg = sync_round(ep, ctx.server, step, SyncRequest::PushParams(params));
+                    set_flat_params(model.as_model(), &avg);
+                }
+                SyncBackend::RingAllReduce => {
+                    ring_allreduce(ep, ctx.n_workers, step, &mut params);
+                    for v in &mut params {
+                        *v *= inv_n;
+                    }
+                    set_flat_params(model.as_model(), &params);
+                }
+            }
+        }
+        Aggregation::Gradient => {
+            // average (optionally compressed) gradients, then every
+            // replica applies the same averaged update locally
+            let mut grads = flat_grads(model.as_visitor());
+            ctx.logical_bytes += ctx.compress_with_ef(&mut grads);
+            match ctx.backend {
+                SyncBackend::ParameterServer => {
+                    let avg = sync_round(ep, ctx.server, step, SyncRequest::PushGrads(grads));
+                    set_flat_grads(model.as_model(), &avg);
+                }
+                SyncBackend::RingAllReduce => {
+                    ring_allreduce(ep, ctx.n_workers, step, &mut grads);
+                    for v in &mut grads {
+                        *v *= inv_n;
+                    }
+                    set_flat_grads(model.as_model(), &grads);
+                }
+            }
+            opt.step(model.as_model());
+        }
+    }
+}
+
+/// Broadcast/collect injection samples and build the augmented batch.
+fn exchange_injection(
+    ep: &mut Endpoint,
+    n: usize,
+    step: u64,
+    inj: InjectionConfig,
+    seed: u64,
+    batch: Batch,
+) -> Batch {
+    let me = ep.id();
+    let sharers = inj.select_sharers(n, seed ^ 0x1213, step);
+    let share_k = inj.shared_per_worker(batch.len());
+    let tag = phase_tag(step, INJECT_PHASE);
+    if sharers.binary_search(&me).is_ok() {
+        let shared = batch.truncate_dense(share_k);
+        let x = shared.input.dense();
+        let dims = x.shape().dims()[1..].to_vec();
+        for w in 0..n {
+            if w != me {
+                ep.send(
+                    w,
+                    tag,
+                    Payload::Samples {
+                        data: x.as_slice().to_vec(),
+                        targets: shared.targets.clone(),
+                        dims: dims.clone(),
+                    },
+                );
+            }
+        }
+    }
+    let mut combined = batch;
+    let expected = sharers.iter().filter(|&&s| s != me).count();
+    let mut received = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        received.push(ep.recv_tagged(None, tag));
+    }
+    // concatenate in worker-id order so the augmented batch (and hence
+    // the gradients) are independent of message arrival order
+    received.sort_by_key(|m| m.from);
+    for m in received {
+        if let Payload::Samples { data, targets, dims } = m.payload {
+            let mut shape = vec![targets.len()];
+            shape.extend(&dims);
+            let incoming = Batch::dense(Tensor::from_vec(data, shape.as_slice()), targets);
+            combined = combined.concat_dense(&incoming);
+        } else {
+            panic!("unexpected payload in injection exchange");
+        }
+    }
+    combined
+}
+
+/// Evaluate worker 0's replica on the held-out split with the workload's
+/// paper metric (top-1 / top-5 accuracy or perplexity).
+pub fn evaluate(model: &mut AnyModel, workload: &Workload) -> f32 {
+    match &workload.data {
+        WorkloadData::Vision { test, .. } => {
+            let n_eval = test.len().min(256);
+            let indices: Vec<usize> = (0..n_eval).collect();
+            let (x, targets) = test.gather(&indices);
+            let logits = model.as_model().forward(&Input::Dense(x), false);
+            if workload.kind == ModelKind::AlexNetMini {
+                topk_accuracy(&logits, &targets, 5)
+            } else {
+                accuracy(&logits, &targets)
+            }
+        }
+        WorkloadData::Text { test, .. } => {
+            let total = test.num_windows(SEQ_LEN);
+            assert!(total > 0, "test stream too short");
+            let take = total.min(16);
+            let mut seqs = Vec::with_capacity(take);
+            let mut targets = Vec::new();
+            // sample windows evenly across the stream so every topic
+            // segment is represented (the corpus is topic-switching)
+            for k in 0..take {
+                let w = k * total / take;
+                let (x, y) = test.window(w, SEQ_LEN);
+                seqs.push(x);
+                targets.extend(y);
+            }
+            let logits = model.as_model().forward(&Input::Tokens(seqs), false);
+            let (loss, _) = softmax_cross_entropy(&logits, &targets);
+            loss.exp() // perplexity
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use selsync_data::PartitionScheme;
+
+    fn quick(strategy: Strategy, n_workers: usize, steps: u64) -> RunConfig {
+        RunConfig {
+            strategy,
+            n_workers,
+            max_steps: steps,
+            eval_every: steps,
+            ..RunConfig::quick_defaults()
+        }
+    }
+
+    fn mlp_workload() -> Workload {
+        Workload::vision(ModelKind::VggMini, 96, 32, 7)
+    }
+
+    #[test]
+    fn bsp_keeps_replicas_identical() {
+        let cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Parameter,
+            },
+            3,
+            6,
+        );
+        let r = run_distributed(&cfg, &mlp_workload());
+        assert_eq!(r.lssr.lssr(), 0.0, "BSP syncs every step");
+        assert!(
+            r.replica_divergence() < 1e-5,
+            "replicas identical after PA sync: {}",
+            r.replica_divergence()
+        );
+        assert_eq!(r.worker_params.len(), 3);
+        assert_eq!(r.step_records.len(), 6);
+    }
+
+    #[test]
+    fn local_only_diverges_and_never_syncs() {
+        let cfg = quick(Strategy::LocalOnly, 3, 6);
+        let r = run_distributed(&cfg, &mlp_workload());
+        assert_eq!(r.lssr.lssr(), 1.0);
+        assert!(
+            r.replica_divergence() > 1e-4,
+            "independent local training must diverge"
+        );
+    }
+
+    #[test]
+    fn selsync_lssr_between_bsp_and_local() {
+        let cfg = RunConfig {
+            strategy: Strategy::SelSync {
+                delta: 0.35,
+                aggregation: Aggregation::Parameter,
+            },
+            n_workers: 3,
+            max_steps: 40,
+            eval_every: 40,
+            ewma_window: 25,
+            ewma_alpha: 0.1,
+            partition: PartitionScheme::SelDp,
+            ..RunConfig::quick_defaults()
+        };
+        let r = run_distributed(&cfg, &mlp_workload());
+        let lssr = r.lssr.lssr();
+        assert!(lssr > 0.0, "some steps go local with a positive δ (lssr={lssr})");
+        assert!(lssr < 1.0, "step 0 always syncs (Δ = ∞)");
+        assert!(r.step_records[0].synced, "first step must synchronize");
+    }
+
+    #[test]
+    fn selsync_delta_zero_equals_bsp_schedule() {
+        let cfg = quick(
+            Strategy::SelSync {
+                delta: 0.0,
+                aggregation: Aggregation::Parameter,
+            },
+            2,
+            5,
+        );
+        let r = run_distributed(&cfg, &mlp_workload());
+        assert_eq!(r.lssr.lssr(), 0.0, "δ=0 implies fully synchronous training");
+    }
+
+    #[test]
+    fn fedavg_syncs_on_schedule() {
+        // 96 samples, 3 workers DefDP → 32/worker; batch 8 → 4 steps/epoch;
+        // E=0.5 → interval 2
+        let cfg = RunConfig {
+            strategy: Strategy::FedAvg { c: 1.0, e: 0.5 },
+            n_workers: 3,
+            max_steps: 8,
+            eval_every: 8,
+            partition: PartitionScheme::DefDp,
+            ..RunConfig::quick_defaults()
+        };
+        let r = run_distributed(&cfg, &mlp_workload());
+        let synced: Vec<u64> = r
+            .step_records
+            .iter()
+            .filter(|s| s.synced)
+            .map(|s| s.step)
+            .collect();
+        assert_eq!(synced, vec![1, 3, 5, 7], "uniformly spaced syncs");
+        assert!((r.lssr.lssr() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssp_trains_without_deadlock() {
+        let cfg = quick(Strategy::Ssp { staleness: 3 }, 3, 10);
+        let r = run_distributed(&cfg, &mlp_workload());
+        assert_eq!(r.steps_run, 10);
+        assert!(r.final_params.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn transformer_workload_runs_distributed() {
+        let cfg = quick(
+            Strategy::SelSync {
+                delta: 0.1,
+                aggregation: Aggregation::Parameter,
+            },
+            2,
+            4,
+        );
+        let wl = Workload::text(SEQ_LEN * 40, 3);
+        let r = run_distributed(&cfg, &wl);
+        assert!(r.final_metric > 1.0, "perplexity is > 1: {}", r.final_metric);
+    }
+
+    #[test]
+    fn noniid_injection_run_completes() {
+        let cfg = RunConfig {
+            strategy: Strategy::SelSync {
+                delta: 0.3,
+                aggregation: Aggregation::Parameter,
+            },
+            n_workers: 5,
+            max_steps: 6,
+            eval_every: 6,
+            batch_size: 10,
+            noniid_labels: Some(2),
+            injection: Some(InjectionConfig::new(0.5, 0.5)),
+            ..RunConfig::quick_defaults()
+        };
+        let wl = Workload::vision(ModelKind::ResNetMini, 400, 50, 9);
+        let r = run_distributed(&cfg, &wl);
+        assert_eq!(r.steps_run, 6);
+        assert!(r.comm_bytes > 0);
+    }
+
+    #[test]
+    fn ring_backend_matches_ps_backend_bitwise() {
+        // §III-E: the PS push/pull and the ring allreduce compute the
+        // same average; with a fixed seed the entire runs must agree
+        // up to float reassociation in the reduction.
+        let wl = mlp_workload();
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Parameter,
+            },
+            3,
+            8,
+        );
+        let ps = run_distributed(&cfg, &wl);
+        cfg.backend = SyncBackend::RingAllReduce;
+        let ring = run_distributed(&cfg, &wl);
+        let dist = crate::divergence::l2_distance(&ps.worker_params[0], &ring.worker_params[0]);
+        let norm: f32 = ps.worker_params[0].iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(
+            dist < 1e-3 * norm.max(1.0),
+            "PS and ring training should agree: distance {dist}"
+        );
+        assert_eq!(ring.lssr.lssr(), 0.0);
+    }
+
+    #[test]
+    fn ring_backend_runs_selsync() {
+        let mut cfg = quick(
+            Strategy::SelSync {
+                delta: 0.3,
+                aggregation: Aggregation::Parameter,
+            },
+            3,
+            10,
+        );
+        cfg.backend = SyncBackend::RingAllReduce;
+        let r = run_distributed(&cfg, &mlp_workload());
+        assert!(r.step_records[0].synced);
+        assert!(r.final_params.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ring_backend_rejects_ssp() {
+        let mut cfg = quick(Strategy::Ssp { staleness: 5 }, 2, 4);
+        cfg.backend = SyncBackend::RingAllReduce;
+        let _ = run_distributed(&cfg, &mlp_workload());
+    }
+
+    #[test]
+    fn topk_compression_cuts_logical_bytes() {
+        let wl = mlp_workload();
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Gradient,
+            },
+            2,
+            6,
+        );
+        let dense = run_distributed(&cfg, &wl);
+        cfg.compression = Some(CompressionKind::TopK { ratio: 0.05 });
+        let compressed = run_distributed(&cfg, &wl);
+        assert!(
+            compressed.logical_sync_bytes * 5 < dense.logical_sync_bytes,
+            "top-5% must cut payload ≥5x: {} vs {}",
+            compressed.logical_sync_bytes,
+            dense.logical_sync_bytes
+        );
+        // error feedback keeps training sane
+        assert!(compressed.final_params.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn compression_requires_gradient_aggregation() {
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Parameter,
+            },
+            2,
+            4,
+        );
+        cfg.compression = Some(CompressionKind::SignSgd);
+        let _ = run_distributed(&cfg, &mlp_workload());
+    }
+
+    #[test]
+    fn comm_bytes_scale_with_sync_frequency() {
+        let bsp = run_distributed(
+            &quick(
+                Strategy::Bsp {
+                    aggregation: Aggregation::Parameter,
+                },
+                2,
+                10,
+            ),
+            &mlp_workload(),
+        );
+        let local = run_distributed(&quick(Strategy::LocalOnly, 2, 10), &mlp_workload());
+        assert!(
+            bsp.comm_bytes > 5 * local.comm_bytes.max(1),
+            "BSP {} vs local {}",
+            bsp.comm_bytes,
+            local.comm_bytes
+        );
+    }
+}

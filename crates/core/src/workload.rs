@@ -1,0 +1,240 @@
+//! Workloads: a paper model kind paired with train/test data and a
+//! model factory, shared read-only across worker threads.
+
+use selsync_data::{TextDataset, VisionDataset};
+use selsync_nn::models::{
+    AlexNetMini, Mlp, Model, ModelKind, ResNetMini, TransformerMini, VggMini,
+};
+
+/// Sequence length used by the Transformer workload (paper bptt = 35,
+/// scaled to the mini).
+pub const SEQ_LEN: usize = 12;
+
+/// Topics used by [`Workload::text_with_topics`] (WikiText articles
+/// analogue): distinct Markov chains over contiguous stream segments,
+/// so DefDP chunks are topic-skewed exactly as the paper's data is
+/// article-skewed. The default [`Workload::text`] corpus is stationary
+/// (one topic), keeping the headline LM task within the mini model's
+/// capacity; partitioning experiments opt into the heterogeneous corpus.
+pub const TEXT_TOPICS: usize = 4;
+
+/// Training + test data for one workload.
+#[derive(Debug, Clone)]
+pub enum WorkloadData {
+    /// Image classification (ResNet/VGG/AlexNet minis).
+    Vision {
+        /// Training split.
+        train: VisionDataset,
+        /// Held-out split (same teacher, disjoint samples).
+        test: VisionDataset,
+    },
+    /// Language modeling (Transformer mini).
+    Text {
+        /// Training token stream.
+        train: TextDataset,
+        /// Held-out token stream (same chain).
+        test: TextDataset,
+    },
+}
+
+/// A complete workload: model kind, data, and the seed models are built
+/// from (all replicas share it, so initial parameters are identical —
+/// the §III-C precondition).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which paper workload this is.
+    pub kind: ModelKind,
+    /// The data.
+    pub data: WorkloadData,
+    /// Model-init seed.
+    pub model_seed: u64,
+    /// Warm-start parameters: when set, every fresh replica loads these
+    /// instead of the seeded init (checkpoint resume).
+    pub init_params: Option<Vec<f32>>,
+}
+
+/// A model instance of any workload kind (enum dispatch keeps worker
+/// threads free of trait objects while remaining `Clone + Send`).
+#[derive(Clone)]
+#[allow(clippy::large_enum_variant)] // replicas are built once per worker
+pub enum AnyModel {
+    /// ResNet-style mini.
+    ResNet(ResNetMini),
+    /// VGG-style mini.
+    Vgg(VggMini),
+    /// AlexNet-style mini.
+    AlexNet(AlexNetMini),
+    /// Transformer mini.
+    Transformer(TransformerMini),
+    /// MLP (tests / overhead harnesses).
+    Mlp(Mlp),
+}
+
+impl AnyModel {
+    /// Borrow the inner model as the common [`Model`] trait.
+    pub fn as_model(&mut self) -> &mut dyn Model {
+        match self {
+            AnyModel::ResNet(m) => m,
+            AnyModel::Vgg(m) => m,
+            AnyModel::AlexNet(m) => m,
+            AnyModel::Transformer(m) => m,
+            AnyModel::Mlp(m) => m,
+        }
+    }
+
+    /// Immutable borrow as a parameter visitor.
+    pub fn as_visitor(&self) -> &dyn selsync_nn::module::ParamVisitor {
+        match self {
+            AnyModel::ResNet(m) => m,
+            AnyModel::Vgg(m) => m,
+            AnyModel::AlexNet(m) => m,
+            AnyModel::Transformer(m) => m,
+            AnyModel::Mlp(m) => m,
+        }
+    }
+}
+
+impl Workload {
+    /// Build a vision workload (`train_n`/`test_n` samples) for one of
+    /// the three image model kinds.
+    pub fn vision(kind: ModelKind, train_n: usize, test_n: usize, seed: u64) -> Self {
+        assert!(
+            kind != ModelKind::TransformerMini,
+            "use Workload::text for the Transformer"
+        );
+        let classes = kind.default_classes();
+        let train = VisionDataset::synthetic(train_n, classes, seed, seed + 1);
+        let test = VisionDataset::synthetic(test_n, classes, seed, seed + 2);
+        Workload {
+            kind,
+            data: WorkloadData::Vision { train, test },
+            model_seed: seed,
+            init_params: None,
+        }
+    }
+
+    /// Build the language-model workload with `train_tokens` training
+    /// tokens and a quarter as many test tokens (stationary source).
+    pub fn text(train_tokens: usize, seed: u64) -> Self {
+        Self::text_with_topics(train_tokens, seed, 1)
+    }
+
+    /// Language-model workload over a topic-switching corpus: `topics`
+    /// contiguous segments each drawn from its own Markov chain (the
+    /// WikiText article-heterogeneity analogue). Train and test share
+    /// the chains, with fresh sample paths.
+    pub fn text_with_topics(train_tokens: usize, seed: u64, topics: usize) -> Self {
+        let vocab = ModelKind::TransformerMini.default_classes();
+        let train =
+            TextDataset::synthetic_markov_topics(train_tokens, vocab, seed, seed + 1, topics);
+        let test = TextDataset::topics_test_split(
+            train_tokens / 4 + SEQ_LEN + 1,
+            vocab,
+            seed,
+            seed.wrapping_add(0x7E57),
+            topics,
+        );
+        Workload {
+            kind: ModelKind::TransformerMini,
+            data: WorkloadData::Text { train, test },
+            model_seed: seed,
+            init_params: None,
+        }
+    }
+
+    /// The standard workload for a model kind at the given data scale.
+    /// The VGG workload doubles `scale`: its CIFAR100-analogue task has
+    /// twice the classes of ResNet's and needs the samples-per-class to
+    /// stay meaningful.
+    pub fn for_kind(kind: ModelKind, scale: usize, seed: u64) -> Self {
+        match kind {
+            ModelKind::TransformerMini => Workload::text(scale * SEQ_LEN, seed),
+            ModelKind::VggMini => Workload::vision(kind, scale * 2, scale / 2 + 64, seed),
+            _ => Workload::vision(kind, scale, scale / 4 + 32, seed),
+        }
+    }
+
+    /// Instantiate a fresh model replica (identical across calls),
+    /// warm-started from [`Workload::init_params`] when set.
+    pub fn build_model(&self) -> AnyModel {
+        let classes = self.num_classes();
+        let mut model = match self.kind {
+            ModelKind::ResNetMini => AnyModel::ResNet(ResNetMini::new(classes, self.model_seed)),
+            ModelKind::VggMini => AnyModel::Vgg(VggMini::new(classes, self.model_seed)),
+            ModelKind::AlexNetMini => AnyModel::AlexNet(AlexNetMini::new(classes, self.model_seed)),
+            ModelKind::TransformerMini => {
+                AnyModel::Transformer(TransformerMini::new(classes, self.model_seed))
+            }
+        };
+        if let Some(init) = &self.init_params {
+            selsync_nn::flat::set_flat_params(model.as_model(), init);
+        }
+        model
+    }
+
+    /// Output classes / vocab size.
+    pub fn num_classes(&self) -> usize {
+        match &self.data {
+            WorkloadData::Vision { train, .. } => train.num_classes,
+            WorkloadData::Text { train, .. } => train.vocab,
+        }
+    }
+
+    /// Number of trainable samples (vision) or bptt windows (text) —
+    /// the unit the partitioners divide.
+    pub fn num_train_units(&self) -> usize {
+        match &self.data {
+            WorkloadData::Vision { train, .. } => train.len(),
+            WorkloadData::Text { train, .. } => train.num_windows(SEQ_LEN),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_nn::flat::flat_params;
+
+    #[test]
+    fn vision_workload_shapes() {
+        let w = Workload::vision(ModelKind::ResNetMini, 100, 20, 1);
+        assert_eq!(w.num_classes(), 10);
+        assert_eq!(w.num_train_units(), 100);
+    }
+
+    #[test]
+    fn text_workload_counts_windows() {
+        let w = Workload::text(SEQ_LEN * 10, 2);
+        assert_eq!(w.num_classes(), 64);
+        assert!(w.num_train_units() >= 9);
+    }
+
+    #[test]
+    fn replicas_are_bit_identical() {
+        let w = Workload::vision(ModelKind::VggMini, 50, 10, 3);
+        let a = w.build_model();
+        let b = w.build_model();
+        assert_eq!(flat_params(a.as_visitor()), flat_params(b.as_visitor()));
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_samples_same_task() {
+        let w = Workload::vision(ModelKind::ResNetMini, 64, 64, 4);
+        if let WorkloadData::Vision { train, test } = &w.data {
+            assert_ne!(train.images.as_slice(), test.images.as_slice());
+            assert_eq!(train.num_classes, test.num_classes);
+        } else {
+            panic!("expected vision data");
+        }
+    }
+
+    #[test]
+    fn for_kind_dispatches_all_four() {
+        for kind in ModelKind::ALL {
+            let w = Workload::for_kind(kind, 64, 5);
+            assert_eq!(w.kind, kind);
+            let mut m = w.build_model();
+            let _ = m.as_model().num_classes();
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # selsync-data
+//!
+//! Datasets and data-distribution machinery for the SelSync reproduction:
+//!
+//! * synthetic teacher-labelled vision datasets and Markov-source text
+//!   corpora that stand in for CIFAR10/100, ImageNet-1K and WikiText-103
+//!   (DESIGN.md substitution 2);
+//! * the paper's two IID partitioning schemes — **DefDP** (disjoint
+//!   chunks) and **SelDP** (per-worker circular rotation, §III-D);
+//! * non-IID label-skew splits used in the federated experiments (§IV-A);
+//! * randomized data injection with the Eqn. (3) batch-size correction
+//!   (§III-E).
+
+pub mod injection;
+pub mod loader;
+pub mod noniid;
+pub mod partition;
+pub mod text;
+pub mod vision;
+
+pub use injection::InjectionConfig;
+pub use loader::{BatchCursor, TextBatchCursor};
+pub use noniid::noniid_label_partition;
+pub use partition::{chunk_bounds as chunk_bounds_of, partition_indices, PartitionScheme};
+pub use text::TextDataset;
+pub use vision::VisionDataset;

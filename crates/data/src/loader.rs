@@ -1,0 +1,183 @@
+//! Per-worker batch cursors: turn an index order (from a partitioner)
+//! into an endless stream of mini-batches.
+
+use crate::text::TextDataset;
+use crate::vision::VisionDataset;
+use selsync_nn::Batch;
+
+/// Cycling mini-batch cursor over a vision dataset restricted to a
+/// worker's index order. One full pass over `indices` is one epoch.
+#[derive(Debug, Clone)]
+pub struct BatchCursor {
+    indices: Vec<usize>,
+    batch_size: usize,
+    pos: usize,
+    epoch: u64,
+}
+
+impl BatchCursor {
+    /// A cursor over `indices` yielding batches of `batch_size`.
+    pub fn new(indices: Vec<usize>, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!indices.is_empty(), "empty partition");
+        BatchCursor {
+            indices,
+            batch_size,
+            pos: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Number of batches per epoch (ceiling division).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.indices.len().div_ceil(self.batch_size)
+    }
+
+    /// Completed epochs so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fractional epoch progress (completed + in-progress fraction).
+    pub fn epoch_progress(&self) -> f64 {
+        self.epoch as f64 + self.pos as f64 / self.indices.len() as f64
+    }
+
+    /// Change the batch size mid-stream (used by data injection's b′).
+    pub fn set_batch_size(&mut self, b: usize) {
+        assert!(b > 0);
+        self.batch_size = b;
+    }
+
+    /// Next mini-batch from `data`, wrapping at epoch boundaries.
+    pub fn next_batch(&mut self, data: &VisionDataset) -> Batch {
+        let mut picked = Vec::with_capacity(self.batch_size);
+        for _ in 0..self.batch_size {
+            picked.push(self.indices[self.pos]);
+            self.pos += 1;
+            if self.pos == self.indices.len() {
+                self.pos = 0;
+                self.epoch += 1;
+            }
+        }
+        let (x, t) = data.gather(&picked);
+        Batch::dense(x, t)
+    }
+}
+
+/// Cycling bptt-window cursor over a text dataset.
+#[derive(Debug, Clone)]
+pub struct TextBatchCursor {
+    windows: Vec<usize>,
+    seq_len: usize,
+    batch_size: usize,
+    pos: usize,
+    epoch: u64,
+}
+
+impl TextBatchCursor {
+    /// A cursor over the given window ids, yielding `batch_size`
+    /// sequences of `seq_len` tokens each.
+    pub fn new(windows: Vec<usize>, seq_len: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0 && seq_len > 0);
+        assert!(!windows.is_empty(), "empty partition");
+        TextBatchCursor {
+            windows,
+            seq_len,
+            batch_size,
+            pos: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Completed epochs so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fractional epoch progress.
+    pub fn epoch_progress(&self) -> f64 {
+        self.epoch as f64 + self.pos as f64 / self.windows.len() as f64
+    }
+
+    /// Number of batches per epoch.
+    pub fn batches_per_epoch(&self) -> usize {
+        self.windows.len().div_ceil(self.batch_size)
+    }
+
+    /// Next language-model batch from `data`.
+    pub fn next_batch(&mut self, data: &TextDataset) -> Batch {
+        let mut seqs = Vec::with_capacity(self.batch_size);
+        let mut targets = Vec::with_capacity(self.batch_size * self.seq_len);
+        for _ in 0..self.batch_size {
+            let w = self.windows[self.pos];
+            let (x, y) = data.window(w, self.seq_len);
+            seqs.push(x);
+            targets.extend(y);
+            self.pos += 1;
+            if self.pos == self.windows.len() {
+                self.pos = 0;
+                self.epoch += 1;
+            }
+        }
+        Batch::tokens(seqs, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_cycles_and_counts_epochs() {
+        let data = VisionDataset::synthetic(10, 3, 0, 1);
+        let mut c = BatchCursor::new((0..10).collect(), 4);
+        assert_eq!(c.batches_per_epoch(), 3);
+        let _ = c.next_batch(&data);
+        let _ = c.next_batch(&data);
+        assert_eq!(c.epoch(), 0);
+        let _ = c.next_batch(&data); // wraps at sample 10
+        assert_eq!(c.epoch(), 1);
+    }
+
+    #[test]
+    fn batches_follow_index_order() {
+        let data = VisionDataset::synthetic(6, 3, 2, 3);
+        let mut c = BatchCursor::new(vec![5, 4, 3, 2, 1, 0], 2);
+        let b = c.next_batch(&data);
+        assert_eq!(b.targets, vec![data.labels[5], data.labels[4]]);
+    }
+
+    #[test]
+    fn epoch_progress_is_fractional() {
+        let data = VisionDataset::synthetic(8, 2, 4, 5);
+        let mut c = BatchCursor::new((0..8).collect(), 2);
+        let _ = c.next_batch(&data);
+        assert!((c.epoch_progress() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_cursor_yields_shifted_targets() {
+        let data = TextDataset::synthetic_markov(100, 16, 0);
+        let mut c = TextBatchCursor::new((0..data.num_windows(8)).collect(), 8, 2);
+        let b = c.next_batch(&data);
+        let seqs = b.input.tokens();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(b.targets.len(), 16);
+        assert_eq!(b.targets[0], seqs[0][1], "target is next token");
+    }
+
+    #[test]
+    fn set_batch_size_takes_effect() {
+        let data = VisionDataset::synthetic(10, 2, 6, 7);
+        let mut c = BatchCursor::new((0..10).collect(), 4);
+        c.set_batch_size(2);
+        assert_eq!(c.next_batch(&data).len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_partition_rejected() {
+        BatchCursor::new(vec![], 4);
+    }
+}

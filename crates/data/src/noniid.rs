@@ -1,0 +1,156 @@
+//! Non-IID (label-skew) partitioning for the federated experiments.
+//!
+//! The paper's setup (§IV-A): CIFAR10 split across 10 workers with **1
+//! label per worker**, CIFAR100 with **10 labels per worker**. Each class
+//! is owned by as many workers as needed so every worker gets exactly
+//! `labels_per_worker` classes, and a class's samples are divided evenly
+//! among its owners.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selsync_tensor::init::permutation;
+
+/// Partition sample indices by label skew.
+///
+/// Returns one index list per worker. Every sample is assigned to
+/// exactly one worker, and worker `w` only holds samples from its
+/// assigned `labels_per_worker` classes.
+///
+/// # Panics
+/// Panics unless `n_workers * labels_per_worker` is a multiple of the
+/// class count (so assignment is balanced), or if any class has no
+/// samples.
+pub fn noniid_label_partition(
+    labels: &[usize],
+    num_classes: usize,
+    n_workers: usize,
+    labels_per_worker: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    let slots = n_workers * labels_per_worker;
+    assert!(
+        slots.is_multiple_of(num_classes),
+        "workers×labels ({slots}) must be a multiple of classes ({num_classes})"
+    );
+    let owners_per_class = slots / num_classes;
+
+    // samples per class, in shuffled order so splits are random
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &l) in labels.iter().enumerate() {
+        assert!(l < num_classes, "label {l} out of range");
+        by_class[l].push(i);
+    }
+    for c in by_class.iter_mut() {
+        let perm = permutation(c.len(), &mut rng);
+        *c = perm.into_iter().map(|p| c[p]).collect();
+    }
+
+    // assign class slots to workers round-robin over a shuffled class list
+    let class_order = permutation(num_classes, &mut rng);
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n_workers]; // classes per worker
+    let mut slot = 0usize;
+    for _ in 0..owners_per_class {
+        for &c in &class_order {
+            assignment[slot % n_workers].push(c);
+            slot += 1;
+        }
+    }
+
+    // split each class's samples among its owners
+    let mut owners_of_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (w, classes) in assignment.iter().enumerate() {
+        for &c in classes {
+            owners_of_class[c].push(w);
+        }
+    }
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+    for (c, owners) in owners_of_class.iter().enumerate() {
+        assert!(!by_class[c].is_empty(), "class {c} has no samples");
+        let share = by_class[c].len() / owners.len().max(1);
+        for (k, &w) in owners.iter().enumerate() {
+            let start = k * share;
+            let end = if k + 1 == owners.len() { by_class[c].len() } else { start + share };
+            out[w].extend_from_slice(&by_class[c][start..end]);
+        }
+    }
+    out
+}
+
+/// Number of distinct labels in an index set.
+pub fn distinct_labels(indices: &[usize], labels: &[usize]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &i in indices {
+        seen.insert(labels[i]);
+    }
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize, classes: usize) -> Vec<usize> {
+        (0..n).map(|i| i % classes).collect()
+    }
+
+    #[test]
+    fn one_label_per_worker_cifar10_style() {
+        // 10 classes, 10 workers, 1 label each — the paper's CIFAR10 split
+        let l = labels(1000, 10);
+        let parts = noniid_label_partition(&l, 10, 10, 1, 0);
+        assert_eq!(parts.len(), 10);
+        for (w, p) in parts.iter().enumerate() {
+            assert_eq!(distinct_labels(p, &l), 1, "worker {w} must hold one class");
+            assert_eq!(p.len(), 100);
+        }
+    }
+
+    #[test]
+    fn ten_labels_per_worker_cifar100_style() {
+        let l = labels(5000, 100);
+        let parts = noniid_label_partition(&l, 100, 10, 10, 1);
+        for p in &parts {
+            assert_eq!(distinct_labels(p, &l), 10);
+        }
+    }
+
+    #[test]
+    fn assignment_is_a_partition() {
+        let l = labels(600, 10);
+        let parts = noniid_label_partition(&l, 10, 5, 2, 2);
+        let mut seen = vec![false; 600];
+        for p in &parts {
+            for &i in p {
+                assert!(!seen[i], "sample {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all samples assigned");
+    }
+
+    #[test]
+    fn shared_classes_split_samples() {
+        // 2 classes, 4 workers, 1 label each → each class owned by 2 workers
+        let l = labels(100, 2);
+        let parts = noniid_label_partition(&l, 2, 4, 1, 3);
+        for p in &parts {
+            assert_eq!(p.len(), 25);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let l = labels(500, 10);
+        let a = noniid_label_partition(&l, 10, 10, 1, 42);
+        let b = noniid_label_partition(&l, 10, 10, 1, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unbalanced_config_rejected() {
+        let l = labels(100, 10);
+        noniid_label_partition(&l, 10, 3, 1, 0); // 3 slots over 10 classes
+    }
+}

@@ -1,0 +1,150 @@
+//! IID data partitioning: the paper's DefDP and SelDP schemes (§III-D).
+//!
+//! * **DefDP** splits the dataset into `N` disjoint chunks; worker `n`
+//!   only ever sees chunk `n`. Standard for BSP, harmful for
+//!   semi-synchronous training.
+//! * **SelDP** gives every worker the *whole* dataset, ordered as a
+//!   circular queue of the same `N` chunks whose head is rotated to
+//!   chunk `n` on worker `n`. All data reaches every worker, yet on any
+//!   synchronized step the workers' cursors sit in distinct chunks, so
+//!   aggregated updates come from disjoint data.
+
+use serde::{Deserialize, Serialize};
+
+/// Which partitioning scheme a worker uses to order its training data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Default disjoint-chunk partitioning.
+    DefDp,
+    /// SelSync circular-rotation partitioning.
+    SelDp,
+}
+
+/// Boundaries of `n_workers` near-equal chunks over `n_samples` items.
+/// The first `n_samples % n_workers` chunks are one item larger.
+pub fn chunk_bounds(n_samples: usize, n_workers: usize) -> Vec<(usize, usize)> {
+    assert!(n_workers > 0, "need at least one worker");
+    let base = n_samples / n_workers;
+    let extra = n_samples % n_workers;
+    let mut bounds = Vec::with_capacity(n_workers);
+    let mut start = 0;
+    for w in 0..n_workers {
+        let len = base + usize::from(w < extra);
+        bounds.push((start, start + len));
+        start += len;
+    }
+    bounds
+}
+
+/// The sample-index order worker `worker` iterates during one epoch.
+///
+/// DefDP returns only chunk `worker`; SelDP returns all chunks starting
+/// at chunk `worker` and wrapping around (Fig. 7 of the paper).
+pub fn partition_indices(
+    n_samples: usize,
+    n_workers: usize,
+    worker: usize,
+    scheme: PartitionScheme,
+) -> Vec<usize> {
+    assert!(worker < n_workers, "worker id out of range");
+    let bounds = chunk_bounds(n_samples, n_workers);
+    match scheme {
+        PartitionScheme::DefDp => {
+            let (s, e) = bounds[worker];
+            (s..e).collect()
+        }
+        PartitionScheme::SelDp => {
+            let mut order = Vec::with_capacity(n_samples);
+            for k in 0..n_workers {
+                let (s, e) = bounds[(worker + k) % n_workers];
+                order.extend(s..e);
+            }
+            order
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_bounds_cover_everything() {
+        let b = chunk_bounds(10, 4);
+        assert_eq!(b, vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        let b2 = chunk_bounds(8, 4);
+        assert_eq!(b2, vec![(0, 2), (2, 4), (4, 6), (6, 8)]);
+    }
+
+    #[test]
+    fn defdp_is_disjoint_and_covering() {
+        let n = 103;
+        let w = 4;
+        let mut seen = vec![false; n];
+        for worker in 0..w {
+            for i in partition_indices(n, w, worker, PartitionScheme::DefDp) {
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every sample assigned");
+    }
+
+    #[test]
+    fn seldp_gives_every_worker_the_full_dataset() {
+        let n = 103;
+        let w = 4;
+        for worker in 0..w {
+            let mut order = partition_indices(n, w, worker, PartitionScheme::SelDp);
+            assert_eq!(order.len(), n);
+            order.sort_unstable();
+            assert_eq!(order, (0..n).collect::<Vec<_>>(), "worker {worker} sees all data");
+        }
+    }
+
+    #[test]
+    fn seldp_matches_paper_figure_7_layout() {
+        // 4 workers, chunks DP0..DP3: worker1 must iterate
+        // DP1, DP2, DP3, DP0 in that order.
+        let n = 8;
+        let order = partition_indices(n, 4, 1, PartitionScheme::SelDp);
+        assert_eq!(order, vec![2, 3, 4, 5, 6, 7, 0, 1]);
+        let order0 = partition_indices(n, 4, 0, PartitionScheme::SelDp);
+        assert_eq!(order0, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seldp_heads_are_distinct_chunks() {
+        // On a synchronized first step, worker n's cursor is in chunk n:
+        // no two workers start in the same chunk.
+        let n = 100;
+        let w = 5;
+        let bounds = chunk_bounds(n, w);
+        let heads: Vec<usize> = (0..w)
+            .map(|worker| partition_indices(n, w, worker, PartitionScheme::SelDp)[0])
+            .collect();
+        for (worker, &h) in heads.iter().enumerate() {
+            let (s, e) = bounds[worker];
+            assert!(h >= s && h < e, "worker {worker} head {h} not in its own chunk");
+        }
+    }
+
+    #[test]
+    fn defdp_and_seldp_first_chunks_agree() {
+        // A SelDP epoch starts with exactly the worker's DefDP chunk.
+        let n = 50;
+        let w = 3;
+        for worker in 0..w {
+            let def = partition_indices(n, w, worker, PartitionScheme::DefDp);
+            let sel = partition_indices(n, w, worker, PartitionScheme::SelDp);
+            assert_eq!(&sel[..def.len()], &def[..]);
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_identity() {
+        for scheme in [PartitionScheme::DefDp, PartitionScheme::SelDp] {
+            assert_eq!(partition_indices(7, 1, 0, scheme), (0..7).collect::<Vec<_>>());
+        }
+    }
+}

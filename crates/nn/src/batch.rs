@@ -1,0 +1,154 @@
+//! Mini-batch container shared between the data and training layers.
+
+use selsync_tensor::Tensor;
+
+/// Model input: either dense features/images or token-id sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// Dense input `[n, ...]` — images `[n, c, h, w]` or features `[n, d]`.
+    Dense(Tensor),
+    /// Token ids, one sequence per sample (`[batch][seq_len]`); used by
+    /// the Transformer language-model workload.
+    Tokens(Vec<Vec<usize>>),
+}
+
+impl Input {
+    /// Number of samples in this input.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            Input::Dense(t) => t.shape().dim(0),
+            Input::Tokens(seqs) => seqs.len(),
+        }
+    }
+
+    /// Borrow the dense tensor; panics for token input.
+    pub fn dense(&self) -> &Tensor {
+        match self {
+            Input::Dense(t) => t,
+            Input::Tokens(_) => panic!("expected dense input, found tokens"),
+        }
+    }
+
+    /// Borrow the token sequences; panics for dense input.
+    pub fn tokens(&self) -> &[Vec<usize>] {
+        match self {
+            Input::Tokens(s) => s,
+            Input::Dense(_) => panic!("expected token input, found dense"),
+        }
+    }
+}
+
+/// One training mini-batch: inputs plus one target class per *output
+/// position* (per sample for classification, per token for the LM).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// The input samples.
+    pub input: Input,
+    /// Target class indices, aligned with the rows of the model logits.
+    pub targets: Vec<usize>,
+}
+
+impl Batch {
+    /// A dense classification batch.
+    pub fn dense(x: Tensor, targets: Vec<usize>) -> Self {
+        assert_eq!(x.shape().dim(0), targets.len(), "one target per sample");
+        Batch {
+            input: Input::Dense(x),
+            targets,
+        }
+    }
+
+    /// A language-model batch: one target per token position.
+    pub fn tokens(seqs: Vec<Vec<usize>>, targets: Vec<usize>) -> Self {
+        let positions: usize = seqs.iter().map(Vec::len).sum();
+        assert_eq!(positions, targets.len(), "one target per token position");
+        Batch {
+            input: Input::Tokens(seqs),
+            targets,
+        }
+    }
+
+    /// Number of samples (sequences count as one sample each).
+    pub fn len(&self) -> usize {
+        self.input.batch_size()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concatenate two dense batches (used by data injection, §III-E).
+    pub fn concat_dense(&self, other: &Batch) -> Batch {
+        let a = self.input.dense();
+        let b = other.input.dense();
+        assert_eq!(a.shape().dims()[1..], b.shape().dims()[1..], "feature shapes must match");
+        let mut data = a.as_slice().to_vec();
+        data.extend_from_slice(b.as_slice());
+        let mut dims = a.shape().dims().to_vec();
+        dims[0] += b.shape().dim(0);
+        let mut targets = self.targets.clone();
+        targets.extend_from_slice(&other.targets);
+        Batch::dense(Tensor::from_vec(data, dims.as_slice()), targets)
+    }
+
+    /// Take the first `n` samples of a dense batch.
+    pub fn truncate_dense(&self, n: usize) -> Batch {
+        let x = self.input.dense();
+        let n = n.min(x.shape().dim(0));
+        let feat: usize = x.shape().dims()[1..].iter().product();
+        let mut dims = x.shape().dims().to_vec();
+        dims[0] = n;
+        Batch::dense(
+            Tensor::from_vec(x.as_slice()[..n * feat].to_vec(), dims.as_slice()),
+            self.targets[..n].to_vec(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_batch_sizes() {
+        let b = Batch::dense(Tensor::zeros([4, 3]), vec![0, 1, 2, 0]);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_batch_rejects_target_mismatch() {
+        Batch::dense(Tensor::zeros([4, 3]), vec![0, 1]);
+    }
+
+    #[test]
+    fn token_batch_counts_positions() {
+        let b = Batch::tokens(vec![vec![1, 2, 3], vec![4, 5, 6]], vec![0; 6]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.input.tokens()[1], vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn concat_appends_samples_and_targets() {
+        let a = Batch::dense(Tensor::ones([2, 3]), vec![1, 1]);
+        let b = Batch::dense(Tensor::zeros([1, 3]), vec![0]);
+        let c = a.concat_dense(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.targets, vec![1, 1, 0]);
+        assert_eq!(c.input.dense().row(2), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let b = Batch::dense(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]),
+            vec![7, 8],
+        );
+        let t = b.truncate_dense(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.targets, vec![7]);
+        assert_eq!(t.input.dense().as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Flat-vector views of a module's parameters and gradients.
+//!
+//! The distributed layer communicates whole models as contiguous `f32`
+//! vectors (pushToPS / pullFromPS in Alg. 1 of the paper). These helpers
+//! define the canonical flattening: parameters concatenated in
+//! `visit_params` order.
+
+use crate::module::ParamVisitor;
+
+/// Concatenate all parameter values into one vector.
+pub fn flat_params(m: &dyn ParamVisitor) -> Vec<f32> {
+    let mut out = Vec::with_capacity(m.num_params());
+    m.visit_params(&mut |p| out.extend_from_slice(p.value.as_slice()));
+    out
+}
+
+/// Concatenate all parameter gradients into one vector.
+pub fn flat_grads(m: &dyn ParamVisitor) -> Vec<f32> {
+    let mut out = Vec::with_capacity(m.num_params());
+    m.visit_params(&mut |p| out.extend_from_slice(p.grad.as_slice()));
+    out
+}
+
+/// Overwrite all parameters from a flat vector (inverse of
+/// [`flat_params`]).
+///
+/// # Panics
+/// Panics if `flat.len()` does not equal the parameter count.
+pub fn set_flat_params(m: &mut dyn ParamVisitor, flat: &[f32]) {
+    let mut off = 0;
+    m.visit_params_mut(&mut |p| {
+        let n = p.numel();
+        p.value.copy_from_slice(&flat[off..off + n]);
+        off += n;
+    });
+    assert_eq!(off, flat.len(), "flat parameter vector length mismatch");
+}
+
+/// `params += alpha * flat`, e.g. applying an aggregated update in one
+/// fused pass (used by gradient aggregation).
+pub fn add_flat_to_params(m: &mut dyn ParamVisitor, flat: &[f32], alpha: f32) {
+    let mut off = 0;
+    m.visit_params_mut(&mut |p| {
+        let n = p.numel();
+        selsync_tensor::ops::axpy_slice(alpha, &flat[off..off + n], p.value.as_mut_slice());
+        off += n;
+    });
+    assert_eq!(off, flat.len(), "flat gradient vector length mismatch");
+}
+
+/// Clip the global gradient L2 norm to `max_norm` (in place across all
+/// parameters). Returns the pre-clip norm. Standard stabilization for
+/// the Transformer recipes the paper's §II-E mentions among the
+/// hyperparameters that shape gradient trajectories.
+pub fn clip_grad_norm(m: &mut dyn ParamVisitor, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f32;
+    m.visit_params(&mut |p| sq += selsync_tensor::reduce::sqnorm_slice(p.grad.as_slice()));
+    let norm = sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        m.visit_params_mut(&mut |p| {
+            for g in p.grad.as_mut_slice() {
+                *g *= scale;
+            }
+        });
+    }
+    norm
+}
+
+/// Overwrite all *gradients* from a flat vector (used when a worker
+/// receives aggregated gradients back from the server).
+pub fn set_flat_grads(m: &mut dyn ParamVisitor, flat: &[f32]) {
+    let mut off = 0;
+    m.visit_params_mut(&mut |p| {
+        let n = p.numel();
+        p.grad.copy_from_slice(&flat[off..off + n]);
+        off += n;
+    });
+    assert_eq!(off, flat.len(), "flat gradient vector length mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Param;
+    use selsync_tensor::Tensor;
+
+    struct TwoParams {
+        a: Param,
+        b: Param,
+    }
+
+    impl ParamVisitor for TwoParams {
+        fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+            f(&self.a);
+            f(&self.b);
+        }
+        fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    fn module() -> TwoParams {
+        TwoParams {
+            a: Param::new("a", Tensor::from_vec(vec![1.0, 2.0], [2])),
+            b: Param::new("b", Tensor::from_vec(vec![3.0], [1])),
+        }
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut m = module();
+        assert_eq!(flat_params(&m), vec![1.0, 2.0, 3.0]);
+        set_flat_params(&mut m, &[9.0, 8.0, 7.0]);
+        assert_eq!(flat_params(&m), vec![9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn grads_flatten_in_same_order() {
+        let mut m = module();
+        m.a.grad.fill(0.5);
+        m.b.grad.fill(-1.0);
+        assert_eq!(flat_grads(&m), vec![0.5, 0.5, -1.0]);
+        set_flat_grads(&mut m, &[1.0, 2.0, 3.0]);
+        assert_eq!(flat_grads(&m), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_flat_applies_scaled_update() {
+        let mut m = module();
+        add_flat_to_params(&mut m, &[1.0, 1.0, 1.0], -0.5);
+        assert_eq!(flat_params(&m), vec![0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn clip_scales_only_when_needed() {
+        let mut m = module();
+        m.a.grad = Tensor::from_vec(vec![3.0, 0.0], [2]);
+        m.b.grad = Tensor::from_vec(vec![4.0], [1]);
+        // global norm = 5; clip to 2.5 → all grads halve
+        let pre = clip_grad_norm(&mut m, 2.5);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert_eq!(flat_grads(&m), vec![1.5, 0.0, 2.0]);
+        // already within bound → untouched
+        let pre2 = clip_grad_norm(&mut m, 10.0);
+        assert!((pre2 - 2.5).abs() < 1e-6);
+        assert_eq!(flat_grads(&m), vec![1.5, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut m = module();
+        set_flat_params(&mut m, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Parameter-free activation layers.
+
+use crate::module::{Module, Param, ParamVisitor};
+use selsync_tensor::Tensor;
+
+/// Rectified linear unit `max(0, x)`.
+#[derive(Clone, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// A fresh ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ParamVisitor for Relu {
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Module for Relu {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.mask.clear();
+        self.mask.reserve(x.numel());
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            self.mask.push(*v > 0.0);
+            if *v <= 0.0 {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        assert_eq!(dy.numel(), self.mask.len(), "backward before forward");
+        let mut dx = dy.clone();
+        for (v, &keep) in dx.as_mut_slice().iter_mut().zip(&self.mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        dx
+    }
+}
+
+/// Hyperbolic-tangent activation.
+#[derive(Clone, Default)]
+pub struct Tanh {
+    cache_y: Tensor,
+}
+
+impl Tanh {
+    /// A fresh Tanh layer.
+    pub fn new() -> Self {
+        Tanh {
+            cache_y: Tensor::zeros([0]),
+        }
+    }
+}
+
+impl ParamVisitor for Tanh {
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Module for Tanh {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            *v = v.tanh();
+        }
+        self.cache_y = y.clone();
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let mut dx = dy.clone();
+        for (v, y) in dx.as_mut_slice().iter_mut().zip(self.cache_y.as_slice()) {
+            *v *= 1.0 - y * y;
+        }
+        dx
+    }
+}
+
+/// Gaussian error linear unit (tanh approximation), used by the
+/// Transformer feed-forward blocks.
+#[derive(Clone, Default)]
+pub struct Gelu {
+    cache_x: Tensor,
+}
+
+impl Gelu {
+    /// A fresh GELU layer.
+    pub fn new() -> Self {
+        Gelu {
+            cache_x: Tensor::zeros([0]),
+        }
+    }
+
+    #[inline]
+    fn phi(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        0.5 * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+    }
+}
+
+impl ParamVisitor for Gelu {
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+impl Module for Gelu {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.cache_x = x.clone();
+        let mut y = x.clone();
+        for v in y.as_mut_slice() {
+            *v *= Self::phi(*v);
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        // numerical derivative of x·Φ(x) via the analytic tanh form
+        let mut dx = dy.clone();
+        const C: f32 = 0.797_884_6;
+        for (v, &x) in dx.as_mut_slice().iter_mut().zip(self.cache_x.as_slice()) {
+            let inner = C * (x + 0.044715 * x * x * x);
+            let t = inner.tanh();
+            let sech2 = 1.0 - t * t;
+            let dphi = 0.5 * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x);
+            *v *= 0.5 * (1.0 + t) + x * dphi;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), [v.len()])
+    }
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let mut r = Relu::new();
+        let y = r.forward(&t(&[-1.0, 0.0, 2.0]), true);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dx = r.backward(&t(&[1.0, 1.0, 1.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_at_zero_is_one() {
+        let mut th = Tanh::new();
+        let _ = th.forward(&t(&[0.0]), true);
+        let dx = th.backward(&t(&[1.0]));
+        assert!((dx.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gelu_matches_finite_differences() {
+        let mut g = Gelu::new();
+        let xs = [-2.0f32, -0.5, 0.0, 0.7, 3.0];
+        let x = t(&xs);
+        let _ = g.forward(&x, true);
+        let dx = g.backward(&t(&[1.0; 5]));
+        let eps = 1e-3;
+        for (i, &xv) in xs.iter().enumerate() {
+            let f = |v: f32| v * Gelu::phi(v);
+            let fd = (f(xv + eps) - f(xv - eps)) / (2.0 * eps);
+            assert!((dx.as_slice()[i] - fd).abs() < 1e-2, "at x={xv}");
+        }
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let r = Relu::new();
+        assert_eq!(r.num_params(), 0);
+        assert_eq!(Tanh::new().num_params(), 0);
+        assert_eq!(Gelu::new().num_params(), 0);
+    }
+}

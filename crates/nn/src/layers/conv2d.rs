@@ -1,0 +1,219 @@
+//! 2-D convolution via the im2col lowering.
+
+use crate::module::{Module, Param, ParamVisitor};
+use rand::rngs::StdRng;
+use selsync_tensor::conv::{col2im, im2col, ConvGeom};
+use selsync_tensor::{init, matmul, ops, reduce, Tensor};
+
+/// A 2-D convolution layer.
+///
+/// Weights are stored flattened `[out_ch, in_ch*k_h*k_w]` so the forward
+/// pass is a single `cols · Wᵀ` product over the im2col expansion.
+#[derive(Clone)]
+pub struct Conv2d {
+    /// Flattened kernel `[out_ch, in_ch*k_h*k_w]`.
+    pub w: Param,
+    /// Per-output-channel bias `[out_ch]`.
+    pub b: Param,
+    geom: ConvGeom,
+    out_ch: usize,
+    cache_cols: Tensor,
+    cache_n: usize,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution over the given input geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        in_h: usize,
+        in_w: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let geom = ConvGeom {
+            in_ch,
+            in_h,
+            in_w,
+            k_h: kernel,
+            k_w: kernel,
+            stride,
+            pad,
+        };
+        let fan_in = geom.patch_len();
+        Conv2d {
+            w: Param::new(
+                format!("{name}.weight"),
+                init::kaiming_normal([out_ch, fan_in], fan_in, rng),
+            ),
+            b: Param::new_no_decay(format!("{name}.bias"), Tensor::zeros([out_ch])),
+            geom,
+            out_ch,
+            cache_cols: Tensor::zeros([0]),
+            cache_n: 0,
+        }
+    }
+
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        self.geom.out_h()
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        self.geom.out_w()
+    }
+
+    /// Output channel count.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Reorder `[n*oh*ow, oc]` row-major rows into `[n, oc, oh, ow]`.
+    fn rows_to_nchw(&self, rows: &Tensor, n: usize) -> Tensor {
+        let (oh, ow, oc) = (self.out_h(), self.out_w(), self.out_ch);
+        let mut out = Tensor::zeros([n, oc, oh, ow]);
+        let src = rows.as_slice();
+        let dst = out.as_mut_slice();
+        for b in 0..n {
+            for p in 0..oh * ow {
+                let row = &src[(b * oh * ow + p) * oc..(b * oh * ow + p + 1) * oc];
+                for (c, &v) in row.iter().enumerate() {
+                    dst[((b * oc) + c) * oh * ow + p] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Conv2d::rows_to_nchw`].
+    fn nchw_to_rows(&self, x: &Tensor) -> Tensor {
+        let dims = x.shape().dims();
+        let (n, oc, oh, ow) = (dims[0], dims[1], dims[2], dims[3]);
+        let mut out = Tensor::zeros([n * oh * ow, oc]);
+        let src = x.as_slice();
+        let dst = out.as_mut_slice();
+        for b in 0..n {
+            for c in 0..oc {
+                let plane = &src[((b * oc) + c) * oh * ow..((b * oc) + c + 1) * oh * ow];
+                for (p, &v) in plane.iter().enumerate() {
+                    dst[(b * oh * ow + p) * oc + c] = v;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl ParamVisitor for Conv2d {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let n = x.shape().dim(0);
+        self.cache_n = n;
+        self.cache_cols = im2col(x, &self.geom);
+        let mut rows = matmul::matmul_nt(&self.cache_cols, &self.w.value);
+        ops::add_row_bias(&mut rows, &self.b.value);
+        self.rows_to_nchw(&rows, n)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dy_rows = self.nchw_to_rows(dy);
+        // dW += dy_rowsᵀ · cols    ([oc, rows]·[rows, plen])
+        let dw = matmul::matmul_tn(&dy_rows, &self.cache_cols);
+        ops::add_assign(&mut self.w.grad, &dw);
+        ops::add_assign(&mut self.b.grad, &reduce::sum_axis0(&dy_rows));
+        // dcols = dy_rows · W, then scatter back to the input image
+        let dcols = matmul::matmul(&dy_rows, &self.w.value);
+        col2im(&dcols, self.cache_n, &self.geom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_1x1_kernel_passes_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new("c", 1, 1, 3, 3, 1, 1, 0, &mut rng);
+        c.w.value = Tensor::ones([1, 1]);
+        c.b.value = Tensor::zeros([1]);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), [1, 1, 3, 3]);
+        let y = c.forward(&x, true);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn averaging_kernel_known_output() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new("c", 1, 1, 2, 2, 2, 1, 0, &mut rng);
+        c.w.value = Tensor::full([1, 4], 0.25);
+        c.b.value = Tensor::zeros([1]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]);
+        let y = c.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert!((y.as_slice()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shapes_with_padding_and_stride() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv2d::new("c", 3, 8, 8, 8, 3, 2, 1, &mut rng);
+        let y = c.forward(&Tensor::zeros([2, 3, 8, 8]), true);
+        assert_eq!(y.shape().dims(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv2d::new("c", 2, 3, 4, 4, 3, 1, 1, &mut rng);
+        let x = init::randn([1, 2, 4, 4], 1.0, &mut rng);
+        let objective = |c: &mut Conv2d, x: &Tensor| -> f32 { c.forward(x, true).as_slice().iter().sum() };
+        let base = objective(&mut c, &x);
+        c.zero_grad();
+        let dy = Tensor::ones([1, 3, 4, 4]);
+        let dx = c.backward(&dy);
+
+        let eps = 1e-2;
+        for &wi in &[0usize, 5, 17] {
+            let mut c2 = c.clone();
+            c2.w.value.as_mut_slice()[wi] += eps;
+            let fd = (objective(&mut c2, &x) - base) / eps;
+            let an = c.w.grad.as_slice()[wi];
+            assert!((an - fd).abs() < 0.05 * fd.abs().max(1.0), "w[{wi}]: {an} vs {fd}");
+        }
+        for &xi in &[0usize, 9, 30] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[xi] += eps;
+            let fd = (objective(&mut c, &xp) - base) / eps;
+            let an = dx.as_slice()[xi];
+            assert!((an - fd).abs() < 0.05 * fd.abs().max(1.0), "x[{xi}]: {an} vs {fd}");
+        }
+    }
+
+    #[test]
+    fn bias_gradient_counts_output_pixels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv2d::new("c", 1, 2, 4, 4, 3, 1, 1, &mut rng);
+        let _ = c.forward(&Tensor::zeros([2, 1, 4, 4]), true);
+        c.zero_grad();
+        let _ = c.backward(&Tensor::ones([2, 2, 4, 4]));
+        // each bias sees n*oh*ow = 2*16 = 32 gradient contributions of 1
+        assert_eq!(c.b.grad.as_slice(), &[32.0, 32.0]);
+    }
+}

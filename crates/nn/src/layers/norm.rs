@@ -1,0 +1,473 @@
+//! Normalization layers: BatchNorm (1d / 2d) and LayerNorm.
+
+use crate::module::{Module, Param, ParamVisitor};
+use selsync_tensor::Tensor;
+
+const EPS: f32 = 1e-5;
+const MOMENTUM: f32 = 0.1;
+
+/// Shared affine-normalization state: scale γ, shift β, and running
+/// statistics used at evaluation time.
+#[derive(Clone)]
+struct NormState {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // backward caches
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl NormState {
+    fn new(name: &str, features: usize) -> Self {
+        NormState {
+            gamma: Param::new_no_decay(format!("{name}.weight"), Tensor::ones([features])),
+            beta: Param::new_no_decay(format!("{name}.bias"), Tensor::zeros([features])),
+            running_mean: vec![0.0; features],
+            running_var: vec![1.0; features],
+            xhat: Tensor::zeros([0]),
+            inv_std: Vec::new(),
+        }
+    }
+}
+
+/// Batch normalization over `[n, features]` input.
+#[derive(Clone)]
+pub struct BatchNorm1d {
+    st: NormState,
+    features: usize,
+}
+
+impl BatchNorm1d {
+    /// A fresh BatchNorm1d over `features` columns.
+    pub fn new(name: &str, features: usize) -> Self {
+        BatchNorm1d {
+            st: NormState::new(name, features),
+            features,
+        }
+    }
+}
+
+impl ParamVisitor for BatchNorm1d {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.st.gamma);
+        f(&self.st.beta);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.st.gamma);
+        f(&mut self.st.beta);
+    }
+}
+
+impl Module for BatchNorm1d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.shape().dims()[1], self.features, "feature mismatch");
+        let n = x.shape().dim(0);
+        let c = self.features;
+        let mut y = x.clone();
+        self.st.inv_std.clear();
+        let mut xhat = Tensor::zeros([n, c]);
+        for j in 0..c {
+            let (mean, var) = if train {
+                let mut m = 0.0;
+                for i in 0..n {
+                    m += x.at(&[i, j]);
+                }
+                m /= n as f32;
+                let mut v = 0.0;
+                for i in 0..n {
+                    let d = x.at(&[i, j]) - m;
+                    v += d * d;
+                }
+                v /= n as f32;
+                self.st.running_mean[j] = (1.0 - MOMENTUM) * self.st.running_mean[j] + MOMENTUM * m;
+                self.st.running_var[j] = (1.0 - MOMENTUM) * self.st.running_var[j] + MOMENTUM * v;
+                (m, v)
+            } else {
+                (self.st.running_mean[j], self.st.running_var[j])
+            };
+            let inv = 1.0 / (var + EPS).sqrt();
+            self.st.inv_std.push(inv);
+            let g = self.st.gamma.value.as_slice()[j];
+            let b = self.st.beta.value.as_slice()[j];
+            for i in 0..n {
+                let xh = (x.at(&[i, j]) - mean) * inv;
+                *xhat.at_mut(&[i, j]) = xh;
+                *y.at_mut(&[i, j]) = g * xh + b;
+            }
+        }
+        self.st.xhat = xhat;
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let n = dy.shape().dim(0);
+        let c = self.features;
+        let mut dx = Tensor::zeros([n, c]);
+        for j in 0..c {
+            let g = self.st.gamma.value.as_slice()[j];
+            let inv = self.st.inv_std[j];
+            let mut sum_dy = 0.0;
+            let mut sum_dyxh = 0.0;
+            for i in 0..n {
+                let d = dy.at(&[i, j]);
+                sum_dy += d;
+                sum_dyxh += d * self.st.xhat.at(&[i, j]);
+            }
+            self.st.gamma.grad.as_mut_slice()[j] += sum_dyxh;
+            self.st.beta.grad.as_mut_slice()[j] += sum_dy;
+            let nf = n as f32;
+            for i in 0..n {
+                let xh = self.st.xhat.at(&[i, j]);
+                *dx.at_mut(&[i, j]) =
+                    g * inv / nf * (nf * dy.at(&[i, j]) - sum_dy - xh * sum_dyxh);
+            }
+        }
+        dx
+    }
+}
+
+/// Batch normalization over `[n, c, h, w]` input (per-channel statistics).
+#[derive(Clone)]
+pub struct BatchNorm2d {
+    st: NormState,
+    channels: usize,
+}
+
+impl BatchNorm2d {
+    /// A fresh BatchNorm2d over `channels` feature maps.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            st: NormState::new(name, channels),
+            channels,
+        }
+    }
+}
+
+impl ParamVisitor for BatchNorm2d {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.st.gamma);
+        f(&self.st.beta);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.st.gamma);
+        f(&mut self.st.beta);
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let dims = x.shape().dims().to_vec();
+        assert_eq!(dims.len(), 4, "BatchNorm2d expects [n,c,h,w]");
+        assert_eq!(dims[1], self.channels, "channel mismatch");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut y = x.clone();
+        let mut xhat = Tensor::zeros(x.shape().clone());
+        self.st.inv_std.clear();
+        let src = x.as_slice();
+        for j in 0..c {
+            let (mean, var) = if train {
+                let mut m = 0.0;
+                for b in 0..n {
+                    let off = (b * c + j) * plane;
+                    for p in 0..plane {
+                        m += src[off + p];
+                    }
+                }
+                m /= count;
+                let mut v = 0.0;
+                for b in 0..n {
+                    let off = (b * c + j) * plane;
+                    for p in 0..plane {
+                        let d = src[off + p] - m;
+                        v += d * d;
+                    }
+                }
+                v /= count;
+                self.st.running_mean[j] = (1.0 - MOMENTUM) * self.st.running_mean[j] + MOMENTUM * m;
+                self.st.running_var[j] = (1.0 - MOMENTUM) * self.st.running_var[j] + MOMENTUM * v;
+                (m, v)
+            } else {
+                (self.st.running_mean[j], self.st.running_var[j])
+            };
+            let inv = 1.0 / (var + EPS).sqrt();
+            self.st.inv_std.push(inv);
+            let g = self.st.gamma.value.as_slice()[j];
+            let bt = self.st.beta.value.as_slice()[j];
+            let (ydst, xh) = (y.as_mut_slice(), xhat.as_mut_slice());
+            for b in 0..n {
+                let off = (b * c + j) * plane;
+                for p in 0..plane {
+                    let v = (src[off + p] - mean) * inv;
+                    xh[off + p] = v;
+                    ydst[off + p] = g * v + bt;
+                }
+            }
+        }
+        self.st.xhat = xhat;
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dims = dy.shape().dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut dx = Tensor::zeros(dy.shape().clone());
+        let (dsrc, xh) = (dy.as_slice(), self.st.xhat.as_slice());
+        for j in 0..c {
+            let g = self.st.gamma.value.as_slice()[j];
+            let inv = self.st.inv_std[j];
+            let mut sum_dy = 0.0;
+            let mut sum_dyxh = 0.0;
+            for b in 0..n {
+                let off = (b * c + j) * plane;
+                for p in 0..plane {
+                    sum_dy += dsrc[off + p];
+                    sum_dyxh += dsrc[off + p] * xh[off + p];
+                }
+            }
+            self.st.gamma.grad.as_mut_slice()[j] += sum_dyxh;
+            self.st.beta.grad.as_mut_slice()[j] += sum_dy;
+            let d = dx.as_mut_slice();
+            for b in 0..n {
+                let off = (b * c + j) * plane;
+                for p in 0..plane {
+                    d[off + p] = g * inv / count
+                        * (count * dsrc[off + p] - sum_dy - xh[off + p] * sum_dyxh);
+                }
+            }
+        }
+        dx
+    }
+}
+
+/// Layer normalization over the last dimension of `[n, features]` input.
+#[derive(Clone)]
+pub struct LayerNorm {
+    st: NormState,
+    features: usize,
+}
+
+impl LayerNorm {
+    /// A fresh LayerNorm over rows of `features` elements.
+    pub fn new(name: &str, features: usize) -> Self {
+        LayerNorm {
+            st: NormState::new(name, features),
+            features,
+        }
+    }
+}
+
+impl ParamVisitor for LayerNorm {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.st.gamma);
+        f(&self.st.beta);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.st.gamma);
+        f(&mut self.st.beta);
+    }
+}
+
+impl Module for LayerNorm {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.shape().dims()[1], self.features, "feature mismatch");
+        let n = x.shape().dim(0);
+        let c = self.features;
+        let mut y = x.clone();
+        let mut xhat = Tensor::zeros([n, c]);
+        self.st.inv_std.clear();
+        let gamma = self.st.gamma.value.as_slice();
+        let beta = self.st.beta.value.as_slice();
+        for i in 0..n {
+            let row = x.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / c as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+            let inv = 1.0 / (var + EPS).sqrt();
+            self.st.inv_std.push(inv);
+            let yr = y.row_mut(i);
+            for j in 0..c {
+                let xh = (row[j] - mean) * inv;
+                yr[j] = gamma[j] * xh + beta[j];
+            }
+            xhat.row_mut(i).copy_from_slice(
+                &row.iter().map(|v| (v - mean) * inv).collect::<Vec<_>>(),
+            );
+        }
+        self.st.xhat = xhat;
+        y
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let n = dy.shape().dim(0);
+        let c = self.features;
+        let mut dx = Tensor::zeros([n, c]);
+        let gamma = self.st.gamma.value.as_slice();
+        for i in 0..n {
+            let dyr = dy.row(i);
+            let xhr = self.st.xhat.row(i);
+            let inv = self.st.inv_std[i];
+            // accumulate parameter grads
+            for j in 0..c {
+                self.st.gamma.grad.as_mut_slice()[j] += dyr[j] * xhr[j];
+                self.st.beta.grad.as_mut_slice()[j] += dyr[j];
+            }
+            let cf = c as f32;
+            let mut sum_g = 0.0;
+            let mut sum_gxh = 0.0;
+            for j in 0..c {
+                let gj = dyr[j] * gamma[j];
+                sum_g += gj;
+                sum_gxh += gj * xhr[j];
+            }
+            let dxr = dx.row_mut(i);
+            for j in 0..c {
+                let gj = dyr[j] * gamma[j];
+                dxr[j] = inv / cf * (cf * gj - sum_g - xhr[j] * sum_gxh);
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selsync_tensor::init;
+
+    fn assert_unit_stats(data: &[f32]) {
+        let n = data.len() as f32;
+        let m: f32 = data.iter().sum::<f32>() / n;
+        let v: f32 = data.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / n;
+        assert!(m.abs() < 1e-4, "mean {m}");
+        assert!((v - 1.0).abs() < 1e-2, "var {v}");
+    }
+
+    #[test]
+    fn bn1d_normalizes_columns_in_train_mode() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm1d::new("bn", 3);
+        let x = init::randn([64, 3], 3.0, &mut rng);
+        let y = bn.forward(&x, true);
+        for j in 0..3 {
+            let col: Vec<f32> = (0..64).map(|i| y.at(&[i, j])).collect();
+            assert_unit_stats(&col);
+        }
+    }
+
+    #[test]
+    fn bn1d_eval_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm1d::new("bn", 2);
+        // feed many batches so running stats converge to batch stats
+        let x = init::randn([256, 2], 2.0, &mut rng);
+        for _ in 0..60 {
+            let _ = bn.forward(&x, true);
+        }
+        let y = bn.forward(&x, false);
+        for j in 0..2 {
+            let col: Vec<f32> = (0..256).map(|i| y.at(&[i, j])).collect();
+            let m: f32 = col.iter().sum::<f32>() / 256.0;
+            assert!(m.abs() < 0.1, "eval mean {m}");
+        }
+    }
+
+    #[test]
+    fn bn2d_normalizes_channels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let x = init::randn([8, 2, 4, 4], 5.0, &mut rng);
+        let y = bn.forward(&x, true);
+        for c in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..8 {
+                for h in 0..4 {
+                    for w in 0..4 {
+                        vals.push(y.at(&[b, c, h, w]));
+                    }
+                }
+            }
+            assert_unit_stats(&vals);
+        }
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ln = LayerNorm::new("ln", 16);
+        let x = init::randn([4, 16], 4.0, &mut rng);
+        let y = ln.forward(&x, true);
+        for i in 0..4 {
+            assert_unit_stats(y.row(i));
+        }
+    }
+
+    #[test]
+    fn bn1d_backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut bn = BatchNorm1d::new("bn", 2);
+        bn.st.gamma.value = Tensor::from_vec(vec![1.5, 0.7], [2]);
+        let x = init::randn([5, 2], 1.0, &mut rng);
+        // weighted objective to get nonzero dx through normalization
+        let wts: Vec<f32> = (0..10).map(|i| (i as f32 * 0.7).sin()).collect();
+        let obj = |bn: &mut BatchNorm1d, x: &Tensor| -> f32 {
+            bn.forward(x, true)
+                .as_slice()
+                .iter()
+                .zip(&wts)
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let base = obj(&mut bn, &x);
+        bn.zero_grad();
+        let dy = Tensor::from_vec(wts.clone(), [5, 2]);
+        let dx = bn.backward(&dy);
+        let eps = 1e-3;
+        for &i in &[0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let fd = (obj(&mut bn, &xp) - base) / eps;
+            assert!((dx.as_slice()[i] - fd).abs() < 5e-2, "dx[{i}] {} vs {fd}", dx.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ln = LayerNorm::new("ln", 4);
+        ln.st.gamma.value = Tensor::from_vec(vec![1.2, 0.8, 1.0, 0.5], [4]);
+        let x = init::randn([2, 4], 1.0, &mut rng);
+        let wts: Vec<f32> = (0..8).map(|i| ((i * 3) as f32 * 0.31).cos()).collect();
+        let obj = |ln: &mut LayerNorm, x: &Tensor| -> f32 {
+            ln.forward(x, true)
+                .as_slice()
+                .iter()
+                .zip(&wts)
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let base = obj(&mut ln, &x);
+        ln.zero_grad();
+        let dy = Tensor::from_vec(wts.clone(), [2, 4]);
+        let dx = ln.backward(&dy);
+        let eps = 1e-3;
+        for &i in &[0usize, 2, 5, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let fd = (obj(&mut ln, &xp) - base) / eps;
+            assert!((dx.as_slice()[i] - fd).abs() < 5e-2, "dx[{i}] {} vs {fd}", dx.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn norm_params_are_no_decay() {
+        let bn = BatchNorm1d::new("bn", 2);
+        bn.visit_params(&mut |p| assert!(!p.decay));
+    }
+}

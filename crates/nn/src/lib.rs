@@ -1,0 +1,28 @@
+//! # selsync-nn
+//!
+//! Neural-network substrate for the SelSync reproduction: layers with
+//! explicit forward/backward passes, losses, optimizers, learning-rate
+//! schedules, and the *mini* model zoo that stands in for the paper's
+//! ResNet101 / VGG11 / AlexNet / Transformer workloads (see DESIGN.md §1
+//! substitution 3).
+//!
+//! Layers cache whatever the backward pass needs during `forward`, so a
+//! `forward` → `backward` pair on the same module is a complete
+//! backpropagation step. Parameters are reached through the visitor in
+//! [`module::ParamVisitor::visit_params_mut`], which gives the distributed layer a flat,
+//! deterministic parameter order for push/pull aggregation.
+
+pub mod batch;
+pub mod flat;
+pub mod layers;
+pub mod loss;
+pub mod models;
+pub mod module;
+pub mod optim;
+pub mod schedule;
+
+pub use batch::{Batch, Input};
+pub use flat::{add_flat_to_params, clip_grad_norm, flat_grads, flat_params, set_flat_params};
+pub use module::{Module, Param};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use schedule::LrSchedule;

@@ -1,0 +1,185 @@
+//! `AlexNetMini` — the shallow-convolution workload standing in for
+//! AlexNet/ImageNet-1K (§IV-A of the paper).
+//!
+//! Architecture over `[n, 3, 8, 8]` inputs:
+//! `conv3x3(3→12) → relu → maxpool2 → conv3x3(12→24) → relu → maxpool2
+//!  → flatten → dropout(0.5) → fc(96→48) → relu → fc(48 → classes)`.
+//! Shallow and few-layered — the property that made SSP competitive on
+//! AlexNet in the paper (staleness hurts less with fewer layers), trained
+//! with Adam and evaluated by top-5 accuracy.
+
+use crate::batch::Input;
+use crate::layers::{Conv2d, Dropout, Linear, MaxPool2d, Relu};
+use crate::models::Model;
+use crate::module::{Module, Param, ParamVisitor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selsync_tensor::Tensor;
+
+/// The AlexNet-style mini model (see module docs).
+#[derive(Clone)]
+pub struct AlexNetMini {
+    conv1: Conv2d,
+    relu1: Relu,
+    pool1: MaxPool2d,
+    conv2: Conv2d,
+    relu2: Relu,
+    pool2: MaxPool2d,
+    drop: Dropout,
+    fc1: Linear,
+    relu3: Relu,
+    fc2: Linear,
+    classes: usize,
+    flat_dim: usize,
+    cache_n: usize,
+    cache_conv_dims: Vec<usize>,
+}
+
+impl AlexNetMini {
+    /// Expected input spatial size.
+    pub const IMAGE_SIZE: usize = 8;
+
+    /// Build with `classes` outputs from a seed.
+    pub fn new(classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Self::IMAGE_SIZE;
+        let conv1 = Conv2d::new("features.0", 3, 12, s, s, 3, 1, 1, &mut rng);
+        let conv2 = Conv2d::new("features.3", 12, 24, s / 2, s / 2, 3, 1, 1, &mut rng);
+        let flat_dim = 24 * (s / 4) * (s / 4);
+        AlexNetMini {
+            conv1,
+            relu1: Relu::new(),
+            pool1: MaxPool2d::new(2),
+            conv2,
+            relu2: Relu::new(),
+            pool2: MaxPool2d::new(2),
+            drop: Dropout::new(0.5, seed ^ 0xA1EC),
+            fc1: Linear::new_kaiming("classifier.1", flat_dim, 48, &mut rng),
+            relu3: Relu::new(),
+            fc2: Linear::new("classifier.3", 48, classes, &mut rng),
+            classes,
+            flat_dim,
+            cache_n: 0,
+            cache_conv_dims: Vec::new(),
+        }
+    }
+}
+
+impl ParamVisitor for AlexNetMini {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params_mut(f);
+        self.conv2.visit_params_mut(f);
+        self.fc1.visit_params_mut(f);
+        self.fc2.visit_params_mut(f);
+    }
+}
+
+impl Model for AlexNetMini {
+    fn forward(&mut self, input: &Input, train: bool) -> Tensor {
+        let x = input.dense();
+        self.cache_n = x.shape().dim(0);
+        let mut h = self.conv1.forward(x, train);
+        h = self.relu1.forward(&h, train);
+        h = self.pool1.forward(&h, train);
+        h = self.conv2.forward(&h, train);
+        h = self.relu2.forward(&h, train);
+        h = self.pool2.forward(&h, train);
+        self.cache_conv_dims = h.shape().dims().to_vec();
+        let h = h.reshape([self.cache_n, self.flat_dim]);
+        let h = self.drop.forward(&h, train);
+        let h = self.fc1.forward(&h, train);
+        let h = self.relu3.forward(&h, train);
+        self.fc2.forward(&h, train)
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) {
+        let g = self.fc2.backward(dlogits);
+        let g = self.relu3.backward(&g);
+        let g = self.fc1.backward(&g);
+        let g = self.drop.backward(&g);
+        let g = g.reshape(self.cache_conv_dims.as_slice());
+        let g = self.pool2.backward(&g);
+        let g = self.relu2.backward(&g);
+        let g = self.conv2.backward(&g);
+        let g = self.pool1.backward(&g);
+        let g = self.relu1.backward(&g);
+        let _ = self.conv1.backward(&g);
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn name(&self) -> &'static str {
+        "alexnet_mini"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::{flat_grads, flat_params, set_flat_params};
+    use crate::loss::softmax_cross_entropy;
+    use selsync_tensor::init;
+
+    fn input(n: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::randn([n, 3, 8, 8], 1.0, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut m = AlexNetMini::new(20, 0);
+        let y = m.forward(&Input::Dense(input(2, 1)), true);
+        assert_eq!(y.shape().dims(), &[2, 20]);
+    }
+
+    #[test]
+    fn dropout_only_active_in_train_mode() {
+        let mut m = AlexNetMini::new(20, 2);
+        let x = Input::Dense(input(2, 3));
+        let a = m.forward(&x, false);
+        let b = m.forward(&x, false);
+        assert_eq!(a.as_slice(), b.as_slice(), "eval is deterministic");
+        let c = m.forward(&x, true);
+        assert_ne!(a.as_slice(), c.as_slice(), "dropout perturbs training output");
+    }
+
+    #[test]
+    fn gradient_check_eval_dropout_path() {
+        // gradient-check with train=true is noisy under dropout, so check
+        // through the deterministic eval path using a dropout-free clone.
+        let mut m = AlexNetMini::new(4, 4);
+        m.drop = Dropout::new(0.0, 0);
+        let x = input(2, 5);
+        let targets = vec![1usize, 2];
+        let logits = m.forward(&Input::Dense(x.clone()), true);
+        let (base, dl) = softmax_cross_entropy(&logits, &targets);
+        m.zero_grad();
+        m.backward(&dl);
+        let grads = flat_grads(&m);
+        let params = flat_params(&m);
+        let eps = 1e-2;
+        let n = params.len();
+        for &i in &[10usize, 500, n - 3] {
+            let mut p2 = params.clone();
+            p2[i] += eps;
+            let mut m2 = m.clone();
+            set_flat_params(&mut m2, &p2);
+            let l2 = m2.forward(&Input::Dense(x.clone()), true);
+            let (pert, _) = softmax_cross_entropy(&l2, &targets);
+            let fd = (pert - base) / eps;
+            assert!(
+                (grads[i] - fd).abs() < 0.05 * fd.abs().max(0.2),
+                "param {i}: analytic {} vs fd {fd}",
+                grads[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! A configurable multi-layer perceptron — the fast workhorse model used
+//! by unit/integration tests and overhead-measurement experiments.
+
+use crate::batch::Input;
+use crate::layers::{Linear, Relu};
+use crate::models::Model;
+use crate::module::{Module, Param, ParamVisitor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selsync_tensor::Tensor;
+
+/// Fully-connected ReLU network `dims[0] → … → dims.last()`.
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    relus: Vec<Relu>,
+    classes: usize,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths from a seed.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        let mut relus = Vec::new();
+        for i in 0..dims.len() - 1 {
+            layers.push(Linear::new_kaiming(
+                &format!("fc{i}"),
+                dims[i],
+                dims[i + 1],
+                &mut rng,
+            ));
+            if i + 2 < dims.len() {
+                relus.push(Relu::new());
+            }
+        }
+        Mlp {
+            layers,
+            relus,
+            classes: *dims.last().unwrap(),
+        }
+    }
+
+    /// Input feature width.
+    pub fn in_features(&self) -> usize {
+        self.layers[0].in_features()
+    }
+}
+
+impl ParamVisitor for Mlp {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for l in &self.layers {
+            l.visit_params(f);
+        }
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for l in &mut self.layers {
+            l.visit_params_mut(f);
+        }
+    }
+}
+
+impl Model for Mlp {
+    fn forward(&mut self, input: &Input, train: bool) -> Tensor {
+        let x = input.dense();
+        // accept [n, d] or flatten [n, c, h, w]
+        let n = x.shape().dim(0);
+        let feat: usize = x.shape().dims()[1..].iter().product();
+        let mut h = x.reshaped([n, feat]);
+        for i in 0..self.layers.len() {
+            h = self.layers[i].forward(&h, train);
+            if i < self.relus.len() {
+                h = self.relus[i].forward(&h, train);
+            }
+        }
+        h
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) {
+        // forward order is L0 R0 L1 R1 … L_last (no ReLU after the last
+        // layer), so ReLU i-1 precedes layer i on the way back.
+        let mut g = dlogits.clone();
+        for i in (0..self.layers.len()).rev() {
+            g = self.layers[i].backward(&g);
+            if i > 0 {
+                g = self.relus[i - 1].backward(&g);
+            }
+        }
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::{Optimizer, Sgd};
+    use selsync_tensor::init;
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = Mlp::new(&[4, 8, 3], 0);
+        let y = m.forward(&Input::Dense(Tensor::zeros([5, 4])), true);
+        assert_eq!(y.shape().dims(), &[5, 3]);
+        assert_eq!(m.num_classes(), 3);
+    }
+
+    #[test]
+    fn flattens_image_input() {
+        let mut m = Mlp::new(&[12, 6, 2], 1);
+        let y = m.forward(&Input::Dense(Tensor::zeros([2, 3, 2, 2])), true);
+        assert_eq!(y.shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn gradient_check_through_two_layers() {
+        let mut m = Mlp::new(&[3, 5, 2], 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::randn([4, 3], 1.0, &mut rng);
+        let targets = vec![0usize, 1, 0, 1];
+        let logits = m.forward(&Input::Dense(x.clone()), true);
+        let (base, dlogits) = softmax_cross_entropy(&logits, &targets);
+        m.zero_grad();
+        m.backward(&dlogits);
+        let grads = crate::flat::flat_grads(&m);
+
+        let eps = 1e-3;
+        let params = crate::flat::flat_params(&m);
+        for &i in &[0usize, 7, 20, params.len() - 1] {
+            let mut p2 = params.clone();
+            p2[i] += eps;
+            let mut m2 = m.clone();
+            crate::flat::set_flat_params(&mut m2, &p2);
+            let l2 = m2.forward(&Input::Dense(x.clone()), true);
+            let (pert, _) = softmax_cross_entropy(&l2, &targets);
+            let fd = (pert - base) / eps;
+            assert!(
+                (grads[i] - fd).abs() < 2e-2,
+                "param {i}: analytic {} vs fd {fd}",
+                grads[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss() {
+        let mut m = Mlp::new(&[2, 16, 2], 4);
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        // simple separable task: sign of x0
+        let x = init::randn([64, 2], 1.0, &mut rng);
+        let targets: Vec<usize> = (0..64).map(|i| (x.at(&[i, 0]) > 0.0) as usize).collect();
+        let batch = Batch::dense(x, targets);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..60 {
+            let logits = m.forward(&batch.input, true);
+            let (loss, dl) = softmax_cross_entropy(&logits, &batch.targets);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            m.zero_grad();
+            m.backward(&dl);
+            opt.step(&mut m);
+        }
+        assert!(last < first * 0.5, "loss {first} → {last} should halve");
+    }
+}

@@ -1,0 +1,283 @@
+//! `TransformerMini` — the language-model workload standing in for the
+//! paper's 2-layer Transformer encoder on WikiText-103 (§IV-A).
+//!
+//! Post-norm encoder layers (matching the paper's
+//! `transformer_encoder_layers_0_norm1_weight` naming):
+//! `x → attn → (+x) → norm1 → ffn → (+) → norm2`, with causal masking so
+//! the model is trained on next-token prediction; logits share no weights
+//! with the embedding (untied, like `nn.Transformer` reference code).
+
+use crate::batch::Input;
+use crate::layers::embedding::PositionalEncoding;
+use crate::layers::{Embedding, Gelu, LayerNorm, Linear, MultiHeadSelfAttention};
+use crate::models::Model;
+use crate::module::{Module, Param, ParamVisitor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selsync_tensor::{ops, Tensor};
+
+/// One post-norm Transformer encoder layer.
+#[derive(Clone)]
+struct EncoderLayer {
+    attn: MultiHeadSelfAttention,
+    norm1: LayerNorm,
+    ff1: Linear,
+    act: Gelu,
+    ff2: Linear,
+    norm2: LayerNorm,
+}
+
+impl EncoderLayer {
+    fn new(name: &str, dim: usize, heads: usize, ff_dim: usize, rng: &mut StdRng) -> Self {
+        EncoderLayer {
+            attn: MultiHeadSelfAttention::new(&format!("{name}.self_attn"), dim, heads, rng),
+            norm1: LayerNorm::new(&format!("{name}.norm1"), dim),
+            ff1: Linear::new(&format!("{name}.linear1"), dim, ff_dim, rng),
+            act: Gelu::new(),
+            ff2: Linear::new(&format!("{name}.linear2"), ff_dim, dim, rng),
+            norm2: LayerNorm::new(&format!("{name}.norm2"), dim),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, batch: usize, seq: usize, train: bool) -> Tensor {
+        let mut a = self.attn.forward_seq(x, batch, seq, true);
+        ops::add_assign(&mut a, x);
+        let h = self.norm1.forward(&a, train);
+        let mut f = self.ff1.forward(&h, train);
+        f = self.act.forward(&f, train);
+        f = self.ff2.forward(&f, train);
+        ops::add_assign(&mut f, &h);
+        self.norm2.forward(&f, train)
+    }
+
+    fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dsum2 = self.norm2.backward(dy);
+        // ffn branch
+        let mut g = self.ff2.backward(&dsum2);
+        g = self.act.backward(&g);
+        g = self.ff1.backward(&g);
+        // + residual into norm1 output
+        ops::add_assign(&mut g, &dsum2);
+        let dsum1 = self.norm1.backward(&g);
+        // attention branch + residual into layer input
+        let mut dx = self.attn.backward_seq(&dsum1);
+        ops::add_assign(&mut dx, &dsum1);
+        dx
+    }
+
+    fn visit(&self, f: &mut dyn FnMut(&Param)) {
+        self.attn.visit_params(f);
+        self.norm1.visit_params(f);
+        self.ff1.visit_params(f);
+        self.ff2.visit_params(f);
+        self.norm2.visit_params(f);
+    }
+
+    fn visit_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.attn.visit_params_mut(f);
+        self.norm1.visit_params_mut(f);
+        self.ff1.visit_params_mut(f);
+        self.ff2.visit_params_mut(f);
+        self.norm2.visit_params_mut(f);
+    }
+}
+
+/// The Transformer-style mini language model (see module docs).
+#[derive(Clone)]
+pub struct TransformerMini {
+    embed: Embedding,
+    pos: PositionalEncoding,
+    layers: Vec<EncoderLayer>,
+    head: Linear,
+    vocab: usize,
+    cache_batch: usize,
+    cache_seq: usize,
+}
+
+impl TransformerMini {
+    /// Embedding width (the paper uses 200; scaled down with the vocab).
+    pub const DIM: usize = 16;
+    /// Attention heads (the paper uses 2).
+    pub const HEADS: usize = 2;
+    /// Feed-forward width.
+    pub const FF_DIM: usize = 32;
+    /// Encoder layers (the paper uses 2).
+    pub const LAYERS: usize = 2;
+    /// Maximum sequence length supported (paper bptt = 35).
+    pub const MAX_SEQ: usize = 64;
+
+    /// Build with `vocab` output classes from a seed.
+    pub fn new(vocab: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = (0..Self::LAYERS)
+            .map(|i| {
+                EncoderLayer::new(
+                    &format!("transformer_encoder.layers.{i}"),
+                    Self::DIM,
+                    Self::HEADS,
+                    Self::FF_DIM,
+                    &mut rng,
+                )
+            })
+            .collect();
+        TransformerMini {
+            embed: Embedding::new("embedding", vocab, Self::DIM, &mut rng),
+            pos: PositionalEncoding::new(Self::MAX_SEQ, Self::DIM),
+            layers,
+            head: Linear::new("decoder", Self::DIM, vocab, &mut rng),
+            vocab,
+            cache_batch: 0,
+            cache_seq: 0,
+        }
+    }
+}
+
+impl ParamVisitor for TransformerMini {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.embed.visit_params(f);
+        for l in &self.layers {
+            l.visit(f);
+        }
+        self.head.visit_params(f);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.embed.visit_params_mut(f);
+        for l in &mut self.layers {
+            l.visit_mut(f);
+        }
+        self.head.visit_params_mut(f);
+    }
+}
+
+impl Model for TransformerMini {
+    fn forward(&mut self, input: &Input, train: bool) -> Tensor {
+        let seqs = input.tokens();
+        let batch = seqs.len();
+        let seq = seqs[0].len();
+        assert!(seqs.iter().all(|s| s.len() == seq), "ragged batch");
+        assert!(seq <= Self::MAX_SEQ, "sequence too long");
+        self.cache_batch = batch;
+        self.cache_seq = seq;
+        let flat_ids: Vec<usize> = seqs.iter().flatten().copied().collect();
+        let mut h = self.embed.forward_tokens(&flat_ids);
+        self.pos.add_to(&mut h, seq);
+        for l in &mut self.layers {
+            h = l.forward(&h, batch, seq, train);
+        }
+        self.head.forward(&h, train)
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) {
+        let mut g = self.head.backward(dlogits);
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        self.embed.backward_tokens(&g);
+    }
+
+    fn num_classes(&self) -> usize {
+        self.vocab
+    }
+
+    fn name(&self) -> &'static str {
+        "transformer_mini"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use crate::flat::{flat_grads, flat_params, set_flat_params};
+    use crate::loss::softmax_cross_entropy;
+
+    fn batch() -> Batch {
+        // two sequences of length 4 over a vocab of 16
+        Batch::tokens(
+            vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
+            vec![2, 3, 4, 5, 6, 7, 8, 9],
+        )
+    }
+
+    #[test]
+    fn forward_shape_is_positions_by_vocab() {
+        let mut m = TransformerMini::new(16, 0);
+        let y = m.forward(&batch().input, true);
+        assert_eq!(y.shape().dims(), &[8, 16]);
+    }
+
+    #[test]
+    fn causality_future_tokens_do_not_affect_past_logits() {
+        let mut m = TransformerMini::new(16, 1);
+        let a = m.forward(&Input::Tokens(vec![vec![1, 2, 3, 4]]), false);
+        let b = m.forward(&Input::Tokens(vec![vec![1, 2, 9, 10]]), false);
+        // logits at positions 0 and 1 must be identical (only tokens ≥ 2 differ)
+        assert_eq!(a.row(0), b.row(0));
+        assert_eq!(a.row(1), b.row(1));
+        assert_ne!(a.row(2), b.row(2));
+    }
+
+    #[test]
+    fn paper_layer_names_present() {
+        let m = TransformerMini::new(16, 2);
+        let mut names = Vec::new();
+        m.visit_params(&mut |p| names.push(p.name.clone()));
+        assert!(names.iter().any(|n| n == "transformer_encoder.layers.0.norm1.weight"));
+        assert!(names.iter().any(|n| n == "decoder.weight"));
+    }
+
+    #[test]
+    fn gradient_check_spot_samples() {
+        let mut m = TransformerMini::new(8, 3);
+        let b = Batch::tokens(vec![vec![1, 2, 3]], vec![2, 3, 4]);
+        let logits = m.forward(&b.input, true);
+        let (base, dl) = softmax_cross_entropy(&logits, &b.targets);
+        m.zero_grad();
+        m.backward(&dl);
+        let grads = flat_grads(&m);
+        let params = flat_params(&m);
+        let eps = 1e-2;
+        let n = params.len();
+        // embedding row of token 1, an attention weight, an ffn weight,
+        // and a decoder weight
+        for &i in &[16usize, 200, n / 2, n - 3] {
+            let mut p2 = params.clone();
+            p2[i] += eps;
+            let mut m2 = m.clone();
+            set_flat_params(&mut m2, &p2);
+            let l2 = m2.forward(&b.input, true);
+            let (pert, _) = softmax_cross_entropy(&l2, &b.targets);
+            let fd = (pert - base) / eps;
+            assert!(
+                (grads[i] - fd).abs() < 0.05 * fd.abs().max(0.2),
+                "param {i}: analytic {} vs fd {fd}",
+                grads[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_perplexity_on_repetitive_sequence() {
+        use crate::optim::{Optimizer, Sgd};
+        let mut m = TransformerMini::new(8, 4);
+        let mut opt = Sgd::with_momentum(0.05, 0.9, 0.0);
+        // cyclic language: 0 1 2 3 0 1 2 3 ... is fully predictable
+        let seqs = vec![vec![0, 1, 2, 3, 0, 1, 2, 3]];
+        let targets = vec![1, 2, 3, 0, 1, 2, 3, 0];
+        let b = Batch::tokens(seqs, targets);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for step in 0..80 {
+            let logits = m.forward(&b.input, true);
+            let (loss, dl) = softmax_cross_entropy(&logits, &b.targets);
+            if step == 0 {
+                first = loss;
+            }
+            last = loss;
+            m.zero_grad();
+            m.backward(&dl);
+            opt.step(&mut m);
+        }
+        assert!(last < first * 0.7, "loss {first} → {last}");
+    }
+}

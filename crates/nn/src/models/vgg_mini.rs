@@ -1,0 +1,179 @@
+//! `VggMini` — the plain deep-convolution workload standing in for
+//! VGG11/CIFAR100 (§IV-A of the paper).
+//!
+//! Architecture over `[n, 3, 8, 8]` inputs:
+//! `conv3x3(3→16) → relu → maxpool2 → conv3x3(16→32) → relu → maxpool2
+//!  → flatten → fc(128→64) → relu → fc(64 → classes)`.
+//! No skip connections and no batch-norm — the "simpler convolution-based
+//! architecture" whose generalization suffers most under DefDP (§IV-C).
+
+use crate::batch::Input;
+use crate::layers::{Conv2d, Linear, MaxPool2d, Relu};
+use crate::models::Model;
+use crate::module::{Module, Param, ParamVisitor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selsync_tensor::Tensor;
+
+/// The VGG-style mini model (see module docs).
+#[derive(Clone)]
+pub struct VggMini {
+    conv1: Conv2d,
+    relu1: Relu,
+    pool1: MaxPool2d,
+    conv2: Conv2d,
+    relu2: Relu,
+    pool2: MaxPool2d,
+    fc1: Linear,
+    relu3: Relu,
+    fc2: Linear,
+    classes: usize,
+    flat_dim: usize,
+    cache_n: usize,
+    cache_conv_dims: Vec<usize>,
+}
+
+impl VggMini {
+    /// Expected input spatial size.
+    pub const IMAGE_SIZE: usize = 8;
+
+    /// Build with `classes` outputs from a seed.
+    pub fn new(classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = Self::IMAGE_SIZE;
+        let conv1 = Conv2d::new("features.0", 3, 16, s, s, 3, 1, 1, &mut rng);
+        let conv2 = Conv2d::new("features.3", 16, 32, s / 2, s / 2, 3, 1, 1, &mut rng);
+        let flat_dim = 32 * (s / 4) * (s / 4);
+        VggMini {
+            conv1,
+            relu1: Relu::new(),
+            pool1: MaxPool2d::new(2),
+            conv2,
+            relu2: Relu::new(),
+            pool2: MaxPool2d::new(2),
+            fc1: Linear::new_kaiming("classifier.0", flat_dim, 64, &mut rng),
+            relu3: Relu::new(),
+            fc2: Linear::new("classifier.2", 64, classes, &mut rng),
+            classes,
+            flat_dim,
+            cache_n: 0,
+            cache_conv_dims: Vec::new(),
+        }
+    }
+}
+
+impl ParamVisitor for VggMini {
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params_mut(f);
+        self.conv2.visit_params_mut(f);
+        self.fc1.visit_params_mut(f);
+        self.fc2.visit_params_mut(f);
+    }
+}
+
+impl Model for VggMini {
+    fn forward(&mut self, input: &Input, train: bool) -> Tensor {
+        let x = input.dense();
+        self.cache_n = x.shape().dim(0);
+        let mut h = self.conv1.forward(x, train);
+        h = self.relu1.forward(&h, train);
+        h = self.pool1.forward(&h, train);
+        h = self.conv2.forward(&h, train);
+        h = self.relu2.forward(&h, train);
+        h = self.pool2.forward(&h, train);
+        self.cache_conv_dims = h.shape().dims().to_vec();
+        let h = h.reshape([self.cache_n, self.flat_dim]);
+        let h = self.fc1.forward(&h, train);
+        let h = self.relu3.forward(&h, train);
+        self.fc2.forward(&h, train)
+    }
+
+    fn backward(&mut self, dlogits: &Tensor) {
+        let g = self.fc2.backward(dlogits);
+        let g = self.relu3.backward(&g);
+        let g = self.fc1.backward(&g);
+        let g = g.reshape(self.cache_conv_dims.as_slice());
+        let g = self.pool2.backward(&g);
+        let g = self.relu2.backward(&g);
+        let g = self.conv2.backward(&g);
+        let g = self.pool1.backward(&g);
+        let g = self.relu1.backward(&g);
+        let _ = self.conv1.backward(&g);
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn name(&self) -> &'static str {
+        "vgg_mini"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::{flat_grads, flat_params, set_flat_params};
+    use crate::loss::softmax_cross_entropy;
+    use selsync_tensor::init;
+
+    fn input(n: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        init::randn([n, 3, 8, 8], 1.0, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape_and_determinism() {
+        let mut m = VggMini::new(100, 0);
+        let y = m.forward(&Input::Dense(input(3, 1)), true);
+        assert_eq!(y.shape().dims(), &[3, 100]);
+        assert_eq!(flat_params(&VggMini::new(100, 9)), flat_params(&VggMini::new(100, 9)));
+    }
+
+    #[test]
+    fn no_norm_layers_all_params_weight_or_bias() {
+        let m = VggMini::new(10, 0);
+        let mut count = 0;
+        m.visit_params(&mut |p| {
+            assert!(p.name.ends_with(".weight") || p.name.ends_with(".bias"));
+            count += 1;
+        });
+        assert_eq!(count, 8, "4 layers × (weight, bias)");
+    }
+
+    #[test]
+    fn gradient_check_spot_samples() {
+        let mut m = VggMini::new(4, 2);
+        let x = input(2, 3);
+        let targets = vec![2usize, 0];
+        let logits = m.forward(&Input::Dense(x.clone()), true);
+        let (base, dl) = softmax_cross_entropy(&logits, &targets);
+        m.zero_grad();
+        m.backward(&dl);
+        let grads = flat_grads(&m);
+        let params = flat_params(&m);
+        let eps = 1e-2;
+        let n = params.len();
+        for &i in &[5usize, 300, n - 10, n - 1] {
+            let mut p2 = params.clone();
+            p2[i] += eps;
+            let mut m2 = m.clone();
+            set_flat_params(&mut m2, &p2);
+            let l2 = m2.forward(&Input::Dense(x.clone()), true);
+            let (pert, _) = softmax_cross_entropy(&l2, &targets);
+            let fd = (pert - base) / eps;
+            // one-sided finite differences carry O(eps) curvature error
+            assert!(
+                (grads[i] - fd).abs() < 0.08 * fd.abs().max(0.2),
+                "param {i}: analytic {} vs fd {fd}",
+                grads[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Optimizers: SGD with momentum/weight-decay and Adam.
+//!
+//! Optimizer state is held in flat vectors aligned with the module's
+//! deterministic parameter visit order, so a cloned model replica can be
+//! stepped by a cloned optimizer bit-identically on every worker.
+
+use crate::module::ParamVisitor;
+
+/// Common optimizer interface over any [`ParamVisitor`].
+pub trait Optimizer: Send {
+    /// Apply one update step using the gradients currently stored in the
+    /// parameters.
+    fn step(&mut self, model: &mut dyn ParamVisitor);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Override the learning rate (used by LR schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled
+/// L2 weight decay, matching the paper's training recipes (§IV-A).
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    lr: f32,
+    /// Momentum coefficient (0 disables the velocity buffer).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (applied to `decay` params only).
+    pub weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum and weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn ParamVisitor) {
+        let use_momentum = self.momentum != 0.0;
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        let mut idx = 0;
+        model.visit_params_mut(&mut |p| {
+            if use_momentum && velocity.len() <= idx {
+                velocity.push(vec![0.0; p.numel()]);
+            }
+            let decay = if p.decay { wd } else { 0.0 };
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            if use_momentum {
+                let v = &mut velocity[idx];
+                debug_assert_eq!(v.len(), grad.len());
+                for ((vi, &gi), wi) in v.iter_mut().zip(grad).zip(value.iter_mut()) {
+                    let g = gi + decay * *wi;
+                    *vi = mu * *vi + g;
+                    *wi -= lr * *vi;
+                }
+            } else {
+                for (&gi, wi) in grad.iter().zip(value.iter_mut()) {
+                    *wi -= lr * (gi + decay * *wi);
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2014), used by the AlexNet workload in the paper.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// L2 weight-decay coefficient.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999) betas.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn ParamVisitor) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0;
+        model.visit_params_mut(&mut |p| {
+            if ms.len() <= idx {
+                ms.push(vec![0.0; p.numel()]);
+                vs.push(vec![0.0; p.numel()]);
+            }
+            let decay = if p.decay { wd } else { 0.0 };
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            let (m, v) = (&mut ms[idx], &mut vs[idx]);
+            for i in 0..grad.len() {
+                let g = grad[i] + decay * value[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                value[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Param, ParamVisitor};
+    use selsync_tensor::Tensor;
+
+    struct One {
+        p: Param,
+    }
+
+    impl ParamVisitor for One {
+        fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+            f(&self.p);
+        }
+        fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    fn model(v: f32, g: f32) -> One {
+        let mut p = Param::new("p", Tensor::full([2], v));
+        p.grad = Tensor::full([2], g);
+        One { p }
+    }
+
+    #[test]
+    fn sgd_plain_step() {
+        let mut m = model(1.0, 0.5);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut m);
+        assert_eq!(m.p.value.as_slice(), &[0.95, 0.95]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut m = model(0.0, 1.0);
+        let mut opt = Sgd::with_momentum(1.0, 0.9, 0.0);
+        opt.step(&mut m); // v=1, w=-1
+        assert_eq!(m.p.value.as_slice(), &[-1.0, -1.0]);
+        m.p.grad = Tensor::full([2], 1.0);
+        opt.step(&mut m); // v=1.9, w=-2.9
+        assert!((m.p.value.as_slice()[0] + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut m = model(10.0, 0.0);
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.1);
+        opt.step(&mut m);
+        // w -= lr * wd * w = 10 - 0.1*0.1*10 = 9.9
+        assert!((m.p.value.as_slice()[0] - 9.9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn weight_decay_skips_no_decay_params() {
+        let mut p = Param::new_no_decay("b", Tensor::full([1], 10.0));
+        p.grad = Tensor::zeros([1]);
+        let mut m = One { p };
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.1);
+        opt.step(&mut m);
+        assert_eq!(m.p.value.as_slice(), &[10.0]);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, Adam's first update is lr * sign(g).
+        let mut m = model(0.0, 0.3);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut m);
+        assert!((m.p.value.as_slice()[0] + 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize f(w) = w² from w = 1
+        let mut m = model(1.0, 0.0);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..200 {
+            let w = m.p.value.as_slice()[0];
+            m.p.grad = Tensor::full([2], 2.0 * w);
+            opt.step(&mut m);
+        }
+        assert!(m.p.value.as_slice()[0].abs() < 1e-2);
+    }
+
+    #[test]
+    fn set_lr_roundtrip() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+    }
+}

@@ -1,0 +1,110 @@
+//! Learning-rate schedules matching the paper's recipes (§IV-A):
+//! step decay at fixed epochs (ResNet/VGG), a constant rate (AlexNet),
+//! and periodic exponential decay (Transformer).
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule evaluated per step.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Multiply by `factor` at each listed step boundary
+    /// (e.g. ×0.1 after epochs 110 and 150 for ResNet101).
+    StepDecay {
+        /// Initial rate.
+        base_lr: f32,
+        /// Steps at which decay fires.
+        boundaries: Vec<u64>,
+        /// Multiplicative factor per boundary.
+        factor: f32,
+    },
+    /// Multiply by `factor` every `every` steps
+    /// (×0.8 every 2000 iterations for the Transformer).
+    Exponential {
+        /// Initial rate.
+        base_lr: f32,
+        /// Decay period in steps.
+        every: u64,
+        /// Multiplicative factor per period.
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at (0-based) step `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        match self {
+            LrSchedule::Constant { lr } => *lr,
+            LrSchedule::StepDecay {
+                base_lr,
+                boundaries,
+                factor,
+            } => {
+                let crossed = boundaries.iter().filter(|&&b| step >= b).count() as i32;
+                base_lr * factor.powi(crossed)
+            }
+            LrSchedule::Exponential {
+                base_lr,
+                every,
+                factor,
+            } => base_lr * factor.powi((step / (*every).max(1)) as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_fires_at_boundaries() {
+        let s = LrSchedule::StepDecay {
+            base_lr: 1.0,
+            boundaries: vec![100, 200],
+            factor: 0.1,
+        };
+        assert_eq!(s.at(99), 1.0);
+        assert!((s.at(100) - 0.1).abs() < 1e-7);
+        assert!((s.at(199) - 0.1).abs() < 1e-7);
+        assert!((s.at(200) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn exponential_decays_periodically() {
+        let s = LrSchedule::Exponential {
+            base_lr: 2.0,
+            every: 10,
+            factor: 0.5,
+        };
+        assert_eq!(s.at(0), 2.0);
+        assert_eq!(s.at(9), 2.0);
+        assert_eq!(s.at(10), 1.0);
+        assert_eq!(s.at(25), 0.5);
+    }
+
+    #[test]
+    fn schedule_is_monotone_nonincreasing() {
+        let s = LrSchedule::StepDecay {
+            base_lr: 0.1,
+            boundaries: vec![5, 15, 40],
+            factor: 0.1,
+        };
+        let mut prev = f32::INFINITY;
+        for step in 0..60 {
+            let lr = s.at(step);
+            assert!(lr <= prev);
+            prev = lr;
+        }
+    }
+}

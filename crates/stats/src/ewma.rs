@@ -1,0 +1,183 @@
+//! Exponentially weighted moving averages.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Classic recursive EWMA: `s ← (1−α)·s + α·x`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f32,
+    value: Option<f32>,
+}
+
+impl Ewma {
+    /// An EWMA with smoothing factor `alpha ∈ (0, 1]`.
+    pub fn new(alpha: f32) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Feed a sample; returns the updated smoothed value.
+    pub fn update(&mut self, x: f32) -> f32 {
+        let v = match self.value {
+            None => x,
+            Some(s) => (1.0 - self.alpha) * s + self.alpha * x,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, if any sample has been fed.
+    pub fn value(&self) -> Option<f32> {
+        self.value
+    }
+}
+
+/// Windowed EWMA: keeps the last `window` samples and recomputes the
+/// exponentially weighted mean over them on every update.
+///
+/// This is the form the paper's `RelativeGradChange` uses ("EWMA with a
+/// window-size of 25 iterations and a smoothing factor of N/100", §III-A)
+/// and why the Fig. 8a overhead grows with window size: each update costs
+/// O(window).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedEwma {
+    alpha: f32,
+    capacity: usize,
+    window: VecDeque<f32>,
+}
+
+impl WindowedEwma {
+    /// A windowed EWMA over the last `window` samples with factor `alpha`.
+    pub fn new(window: usize, alpha: f32) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        WindowedEwma {
+            alpha,
+            capacity: window,
+            window: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Feed a sample and recompute the weighted mean over the window
+    /// (newest samples weighted highest).
+    pub fn update(&mut self, x: f32) -> f32 {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(x);
+        self.value().expect("window is non-empty after a push")
+    }
+
+    /// Weighted mean over the current window contents.
+    pub fn value(&self) -> Option<f32> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        let mut weight = 1.0f64;
+        // iterate newest → oldest with geometric weights (1−α)^k
+        for &x in self.window.iter().rev() {
+            num += weight * x as f64;
+            den += weight;
+            weight *= (1.0 - self.alpha) as f64;
+        }
+        Some((num / den) as f32)
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Whether no samples have been fed yet.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// The configured window capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_sample_passes_through() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.update(5.0), 5.0);
+    }
+
+    #[test]
+    fn ewma_recursion() {
+        let mut e = Ewma::new(0.5);
+        e.update(0.0);
+        assert_eq!(e.update(10.0), 5.0);
+        assert_eq!(e.update(10.0), 7.5);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.16); // paper's 16-worker factor
+        for _ in 0..200 {
+            e.update(3.0);
+        }
+        assert!((e.value().unwrap() - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn windowed_matches_plain_on_constant() {
+        let mut w = WindowedEwma::new(25, 0.16);
+        for _ in 0..100 {
+            w.update(2.0);
+        }
+        assert!((w.value().unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn windowed_weights_favor_recent() {
+        let mut w = WindowedEwma::new(10, 0.5);
+        for _ in 0..10 {
+            w.update(0.0);
+        }
+        let v = w.update(10.0);
+        assert!(v > 4.0, "newest sample carries the largest weight, got {v}");
+    }
+
+    #[test]
+    fn windowed_forgets_beyond_capacity() {
+        let mut w = WindowedEwma::new(3, 0.5);
+        w.update(100.0);
+        for _ in 0..3 {
+            w.update(1.0);
+        }
+        assert_eq!(w.len(), 3);
+        assert!((w.value().unwrap() - 1.0).abs() < 1e-6, "the 100 fell out");
+    }
+
+    #[test]
+    fn windowed_smooths_less_with_small_alpha() {
+        // smaller alpha → flatter weights → more smoothing of a spike
+        let run = |alpha: f32| {
+            let mut w = WindowedEwma::new(25, alpha);
+            for _ in 0..25 {
+                w.update(1.0);
+            }
+            w.update(26.0)
+        };
+        assert!(run(0.9) > run(0.1), "high alpha reacts harder to the spike");
+    }
+
+    #[test]
+    fn bounded_by_input_range() {
+        let mut w = WindowedEwma::new(25, 0.16);
+        for i in 0..100 {
+            let v = w.update((i % 7) as f32);
+            assert!((0.0..=6.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Gaussian kernel density estimation, used to regenerate the gradient
+//! KDE plots of Fig. 3 and the weight-distribution comparison of Fig. 11.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted Gaussian KDE over a 1-D sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Kde {
+    samples: Vec<f32>,
+    bandwidth: f32,
+}
+
+impl Kde {
+    /// Fit with Silverman's rule-of-thumb bandwidth
+    /// `h = 0.9 · min(σ, IQR/1.34) · n^(−1/5)`.
+    pub fn fit(samples: &[f32]) -> Self {
+        assert!(!samples.is_empty(), "KDE needs samples");
+        let n = samples.len() as f32;
+        let mean: f32 = samples.iter().sum::<f32>() / n;
+        let var: f32 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+        let sigma = var.sqrt();
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = |p: f32| sorted[((p * (sorted.len() - 1) as f32) as usize).min(sorted.len() - 1)];
+        let iqr = q(0.75) - q(0.25);
+        let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+        let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-6);
+        Kde {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// Fit with an explicit bandwidth.
+    pub fn with_bandwidth(samples: &[f32], bandwidth: f32) -> Self {
+        assert!(!samples.is_empty() && bandwidth > 0.0);
+        Kde {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f32 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f32) -> f32 {
+        const INV_SQRT_2PI: f32 = 0.398_942_3;
+        let h = self.bandwidth;
+        let mut s = 0.0;
+        for &xi in &self.samples {
+            let u = (x - xi) / h;
+            s += (-0.5 * u * u).exp();
+        }
+        s * INV_SQRT_2PI / (self.samples.len() as f32 * h)
+    }
+
+    /// Evaluate on an even grid of `points` spanning `[lo, hi]` —
+    /// returns `(grid, densities)`.
+    pub fn grid(&self, lo: f32, hi: f32, points: usize) -> (Vec<f32>, Vec<f32>) {
+        assert!(points >= 2 && hi > lo);
+        let step = (hi - lo) / (points - 1) as f32;
+        let xs: Vec<f32> = (0..points).map(|i| lo + i as f32 * step).collect();
+        let ds = xs.iter().map(|&x| self.density(x)).collect();
+        (xs, ds)
+    }
+
+    /// Sample range padded by 3 bandwidths — a sensible plotting window.
+    pub fn support(&self) -> (f32, f32) {
+        let lo = self.samples.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = self.samples.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        (lo - 3.0 * self.bandwidth, hi + 3.0 * self.bandwidth)
+    }
+}
+
+/// Total-variation-style distance between two KDEs on a shared grid —
+/// used to quantify Fig. 11's "PA tracks BSP, GA drifts" comparison.
+pub fn kde_distance(a: &Kde, b: &Kde, points: usize) -> f32 {
+    let (alo, ahi) = a.support();
+    let (blo, bhi) = b.support();
+    let (lo, hi) = (alo.min(blo), ahi.max(bhi));
+    let step = (hi - lo) / (points - 1) as f32;
+    let mut acc = 0.0;
+    for i in 0..points {
+        let x = lo + i as f32 * step;
+        acc += (a.density(x) - b.density(x)).abs() * step;
+    }
+    0.5 * acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let samples: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin()).collect();
+        let kde = Kde::fit(&samples);
+        let (lo, hi) = kde.support();
+        let (_, ds) = kde.grid(lo, hi, 2000);
+        let integral: f32 = ds.iter().sum::<f32>() * (hi - lo) / 1999.0;
+        assert!((integral - 1.0).abs() < 0.02, "∫KDE = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_at_the_data() {
+        let samples = vec![0.0; 50];
+        let kde = Kde::with_bandwidth(&samples, 0.1);
+        assert!(kde.density(0.0) > kde.density(1.0) * 10.0);
+    }
+
+    #[test]
+    fn tight_distribution_has_narrower_kde() {
+        // the Fig. 3 effect: late-epoch gradients concentrate near zero,
+        // so their KDE peak at 0 towers over the early-epoch one
+        let early: Vec<f32> = (0..200).map(|i| ((i * 37) % 100) as f32 / 20.0 - 2.5).collect();
+        let late: Vec<f32> = (0..200).map(|i| ((i * 37) % 100) as f32 / 500.0 - 0.1).collect();
+        let ke = Kde::fit(&early);
+        let kl = Kde::fit(&late);
+        assert!(kl.density(0.0) > 3.0 * ke.density(0.0));
+        assert!(kl.bandwidth() < ke.bandwidth());
+    }
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let s: Vec<f32> = (0..50).map(|i| i as f32 * 0.1).collect();
+        let a = Kde::fit(&s);
+        let b = Kde::fit(&s);
+        assert!(kde_distance(&a, &b, 500) < 1e-6);
+    }
+
+    #[test]
+    fn distance_separates_shifted_distributions() {
+        let a: Vec<f32> = (0..50).map(|i| i as f32 * 0.01).collect();
+        let b: Vec<f32> = (0..50).map(|i| 5.0 + i as f32 * 0.01).collect();
+        let d = kde_distance(&Kde::fit(&a), &Kde::fit(&b), 500);
+        assert!(d > 0.9, "disjoint supports → TV distance ≈ 1, got {d}");
+    }
+
+    #[test]
+    fn grid_is_even_and_inclusive() {
+        let kde = Kde::fit(&[0.0, 1.0]);
+        let (xs, ds) = kde.grid(-1.0, 1.0, 5);
+        assert_eq!(xs, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+        assert_eq!(ds.len(), 5);
+    }
+}

@@ -1,0 +1,27 @@
+//! # selsync-stats
+//!
+//! Statistical instrumentation from the paper:
+//!
+//! * EWMA smoothing (plain and windowed — the windowed form is the
+//!   `RelativeGradChange` implementation whose overhead Fig. 8a measures);
+//! * the relative gradient change Δ(g_i) of Eqn. (2), the signal SelSync
+//!   thresholds with δ;
+//! * Gaussian kernel density estimation (Figs. 3 and 11);
+//! * Hessian top-eigenvalue estimation via power iteration on
+//!   finite-difference Hessian-vector products (Fig. 4);
+//! * LSSR, the local-to-synchronous step ratio of Eqn. (4);
+//! * streaming Welford statistics and the gradient SNR indicator the
+//!   paper's §III-A cites (KungFu / Pollux / AdaScale).
+
+pub mod ewma;
+pub mod hessian;
+pub mod kde;
+pub mod lssr;
+pub mod relchange;
+pub mod welford;
+
+pub use ewma::{Ewma, WindowedEwma};
+pub use kde::Kde;
+pub use lssr::LssrCounter;
+pub use relchange::RelativeGradChange;
+pub use welford::{GradientSnr, RunningStats};

@@ -1,0 +1,108 @@
+//! LSSR — the local-to-synchronous step ratio of Eqn. (4):
+//!
+//! ```text
+//! LSSR = steps_local / (steps_local + steps_bsp)
+//! ```
+//!
+//! LSSR 0 is pure BSP; LSSR 1 is pure local-SGD; communication reduction
+//! relative to BSP for the same step count is `1 / (1 − LSSR)`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counter of local vs. synchronized steps for one training run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LssrCounter {
+    /// Steps applied with local SGD only.
+    pub local_steps: u64,
+    /// Steps that invoked the aggregation op.
+    pub sync_steps: u64,
+}
+
+impl LssrCounter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one local-only step.
+    pub fn record_local(&mut self) {
+        self.local_steps += 1;
+    }
+
+    /// Record one synchronized step.
+    pub fn record_sync(&mut self) {
+        self.sync_steps += 1;
+    }
+
+    /// Total steps recorded.
+    pub fn total(&self) -> u64 {
+        self.local_steps + self.sync_steps
+    }
+
+    /// LSSR per Eqn. (4); 0 for an empty counter.
+    pub fn lssr(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.local_steps as f64 / total as f64
+        }
+    }
+
+    /// Communication-reduction factor vs. BSP, `1/(1−LSSR)`;
+    /// `f64::INFINITY` for pure local training.
+    pub fn comm_reduction(&self) -> f64 {
+        let l = self.lssr();
+        if l >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - l)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsp_has_lssr_zero() {
+        let mut c = LssrCounter::new();
+        for _ in 0..100 {
+            c.record_sync();
+        }
+        assert_eq!(c.lssr(), 0.0);
+        assert_eq!(c.comm_reduction(), 1.0);
+    }
+
+    #[test]
+    fn pure_local_has_lssr_one() {
+        let mut c = LssrCounter::new();
+        for _ in 0..50 {
+            c.record_local();
+        }
+        assert_eq!(c.lssr(), 1.0);
+        assert_eq!(c.comm_reduction(), f64::INFINITY);
+    }
+
+    #[test]
+    fn paper_example_point_nine_is_10x() {
+        // "LSSR of 0.9 implies a communication reduction of 10× over BSP"
+        let mut c = LssrCounter::new();
+        for _ in 0..90 {
+            c.record_local();
+        }
+        for _ in 0..10 {
+            c.record_sync();
+        }
+        assert!((c.lssr() - 0.9).abs() < 1e-12);
+        assert!((c.comm_reduction() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_counter_is_safe() {
+        let c = LssrCounter::new();
+        assert_eq!(c.lssr(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+}

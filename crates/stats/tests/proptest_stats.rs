@@ -1,0 +1,110 @@
+//! Property-based tests of the statistics crate: KDE axioms, Hessian
+//! estimation on random quadratics, EWMA/Welford identities.
+
+use proptest::prelude::*;
+use selsync_stats::hessian::hessian_top_eigenvalue;
+use selsync_stats::kde::Kde;
+use selsync_stats::welford::RunningStats;
+use selsync_stats::{Ewma, WindowedEwma};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kde_density_is_nonnegative_everywhere(
+        samples in prop::collection::vec(-50.0f32..50.0, 2..60),
+        query in -100.0f32..100.0,
+    ) {
+        let kde = Kde::fit(&samples);
+        prop_assert!(kde.density(query) >= 0.0);
+        prop_assert!(kde.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn kde_integral_is_close_to_one(
+        samples in prop::collection::vec(-10.0f32..10.0, 5..50),
+    ) {
+        let kde = Kde::fit(&samples);
+        let (lo, hi) = kde.support();
+        let points = 1500;
+        let (_, ds) = kde.grid(lo, hi, points);
+        let integral: f32 = ds.iter().sum::<f32>() * (hi - lo) / (points - 1) as f32;
+        prop_assert!((integral - 1.0).abs() < 0.05, "∫ = {integral}");
+    }
+
+    #[test]
+    fn hessian_recovers_max_abs_diagonal(
+        d in prop::collection::vec(0.5f32..20.0, 2..8),
+        seed in 0u64..100,
+    ) {
+        // F(w) = ½ wᵀ diag(d) w ⇒ top eigenvalue = max(d)
+        let grad = |w: &[f32]| -> Vec<f32> {
+            w.iter().zip(&d).map(|(wi, di)| wi * di).collect()
+        };
+        let w0: Vec<f32> = (0..d.len()).map(|i| 0.1 + 0.05 * i as f32).collect();
+        let eig = hessian_top_eigenvalue(grad, &w0, 40, 1e-2, seed);
+        let top = d.iter().copied().fold(0.0f32, f32::max);
+        prop_assert!((eig - top).abs() < 0.05 * top + 0.05, "{eig} vs {top}");
+    }
+
+    #[test]
+    fn ewma_is_a_convex_combination(
+        xs in prop::collection::vec(-100.0f32..100.0, 1..50),
+        alpha in 0.01f32..1.0,
+    ) {
+        let mut e = Ewma::new(alpha);
+        let lo = xs.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for &x in &xs {
+            let v = e.update(x);
+            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn windowed_ewma_window_one_is_identity(
+        xs in prop::collection::vec(-100.0f32..100.0, 1..30),
+    ) {
+        let mut w = WindowedEwma::new(1, 0.3);
+        for &x in &xs {
+            prop_assert_eq!(w.update(x), x, "window of one passes samples through");
+        }
+    }
+
+    #[test]
+    fn welford_merge_is_associative_enough(
+        xs in prop::collection::vec(-100.0f32..100.0, 3..60),
+        split in 1usize..58,
+    ) {
+        prop_assume!(split < xs.len() - 1);
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.update(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..split] {
+            a.update(x);
+        }
+        for &x in &xs[split..] {
+            b.update(x);
+        }
+        a.merge(&b);
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn welford_variance_is_translation_invariant(
+        xs in prop::collection::vec(-10.0f32..10.0, 2..40),
+        shift in -1000.0f32..1000.0,
+    ) {
+        let mut base = RunningStats::new();
+        let mut shifted = RunningStats::new();
+        for &x in &xs {
+            base.update(x);
+            shifted.update(x + shift);
+        }
+        prop_assert!((base.variance() - shifted.variance()).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,203 @@
+//! im2col / col2im lowering for 2-D convolution.
+//!
+//! Convolutions in `selsync-nn` are computed as matrix products over the
+//! im2col expansion, the same lowering the reference frameworks use on
+//! CPU. The column matrix has one row per output pixel and one column per
+//! receptive-field element.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a conv / pooling window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height after the sweep.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.k_h) / self.stride + 1
+    }
+
+    /// Output width after the sweep.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.k_w) / self.stride + 1
+    }
+
+    /// Number of columns in the im2col matrix (receptive-field size).
+    pub fn patch_len(&self) -> usize {
+        self.in_ch * self.k_h * self.k_w
+    }
+}
+
+/// Expand input `[n, c, h, w]` into columns `[n*out_h*out_w, c*k_h*k_w]`.
+pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
+    let dims = input.shape().dims();
+    assert_eq!(dims.len(), 4, "im2col expects [n,c,h,w]");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, g.in_ch, "channel mismatch");
+    assert_eq!(h, g.in_h, "height mismatch");
+    assert_eq!(w, g.in_w, "width mismatch");
+    let (oh, ow, plen) = (g.out_h(), g.out_w(), g.patch_len());
+    let mut cols = Tensor::zeros([n * oh * ow, plen]);
+    let src = input.as_slice();
+    let dst = cols.as_mut_slice();
+    let mut row = 0usize;
+    for b in 0..n {
+        let img = &src[b * c * h * w..(b + 1) * c * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let out_row = &mut dst[row * plen..(row + 1) * plen];
+                let mut col = 0usize;
+                for ch in 0..c {
+                    let plane = &img[ch * h * w..(ch + 1) * h * w];
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            out_row[col] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                plane[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    cols
+}
+
+/// Scatter column gradients `[n*out_h*out_w, c*k_h*k_w]` back onto the
+/// input gradient `[n, c, h, w]` (the adjoint of [`im2col`]).
+pub fn col2im(cols: &Tensor, n: usize, g: &ConvGeom) -> Tensor {
+    let (oh, ow, plen) = (g.out_h(), g.out_w(), g.patch_len());
+    assert_eq!(
+        cols.shape().dims(),
+        &[n * oh * ow, plen],
+        "col2im input shape mismatch"
+    );
+    let (c, h, w) = (g.in_ch, g.in_h, g.in_w);
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let src = cols.as_slice();
+    let dst = out.as_mut_slice();
+    let mut row = 0usize;
+    for b in 0..n {
+        let img = &mut dst[b * c * h * w..(b + 1) * c * h * w];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let in_row = &src[row * plen..(row + 1) * plen];
+                let mut col = 0usize;
+                for ch in 0..c {
+                    let plane_off = ch * h * w;
+                    for ky in 0..g.k_h {
+                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                        for kx in 0..g.k_w {
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                img[plane_off + iy as usize * w + ix as usize] += in_row[col];
+                            }
+                            col += 1;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, stride: usize, pad: usize) -> ConvGeom {
+        ConvGeom {
+            in_ch: c,
+            in_h: h,
+            in_w: w,
+            k_h: k,
+            k_w: k,
+            stride,
+            pad,
+        }
+    }
+
+    #[test]
+    fn output_geometry() {
+        let g = geom(3, 8, 8, 3, 1, 1);
+        assert_eq!((g.out_h(), g.out_w()), (8, 8), "same-padding conv");
+        let g2 = geom(3, 8, 8, 2, 2, 0);
+        assert_eq!((g2.out_h(), g2.out_w()), (4, 4), "stride-2 downsample");
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // With a 1x1 kernel, stride 1, no padding, im2col is a pure
+        // layout change: row (b, y, x) holds the c channel values.
+        let g = geom(2, 2, 2, 1, 1, 0);
+        let input = Tensor::from_vec((0..8).map(|i| i as f32).collect(), [1, 2, 2, 2]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.shape().dims(), &[4, 2]);
+        // pixel (0,0): channel0=0, channel1=4
+        assert_eq!(cols.row(0), &[0.0, 4.0]);
+        // pixel (1,1): channel0=3, channel1=7
+        assert_eq!(cols.row(3), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_border() {
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let cols = im2col(&input, &g);
+        // top-left output pixel: only the bottom-right 2x2 of the kernel
+        // overlaps the image → exactly 4 ones.
+        let first: f32 = cols.row(0).iter().sum();
+        assert_eq!(first, 4.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for the scatter/gather pair.
+        use crate::ops::dot;
+        let g = geom(2, 4, 4, 3, 1, 1);
+        let x = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.37).sin()).collect(), [1, 2, 4, 4]);
+        let cols = im2col(&x, &g);
+        let y = Tensor::from_vec(
+            (0..cols.numel()).map(|i| (i as f32 * 0.11).cos()).collect(),
+            cols.shape().clone(),
+        );
+        let lhs = dot(&cols, &y);
+        let back = col2im(&y, 1, &g);
+        let rhs = dot(&x, &back);
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // Overlapping 2x2 windows with stride 1 on a 3x3 image: the center
+        // pixel is visited by all four windows.
+        let g = geom(1, 3, 3, 2, 1, 0);
+        let cols = Tensor::ones([4, 4]);
+        let img = col2im(&cols, 1, &g);
+        assert_eq!(img.at(&[0, 0, 1, 1]), 4.0);
+        assert_eq!(img.at(&[0, 0, 0, 0]), 1.0);
+    }
+}

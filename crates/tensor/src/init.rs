@@ -1,0 +1,111 @@
+//! Seeded random tensor initializers.
+//!
+//! Every constructor takes an explicit `StdRng` so a model built from a
+//! seed is bit-identical on every worker — the precondition under which
+//! gradient aggregation and parameter aggregation coincide in BSP (§III-C
+//! of the paper).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Standard-normal entries scaled by `std`.
+pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut StdRng) -> Tensor {
+    let shape = shape.into();
+    let normal = Normal::new(0.0f32, std).expect("std must be finite and positive");
+    let data = (0..shape.numel()).map(|_| normal.sample(rng)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Uniform entries in `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    let shape = shape.into();
+    let dist = Uniform::new(lo, hi).expect("invalid uniform bounds");
+    let data = (0..shape.numel()).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Xavier/Glorot uniform initialization for a weight with `fan_in` inputs
+/// and `fan_out` outputs.
+pub fn xavier_uniform(shape: impl Into<Shape>, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+/// Kaiming/He normal initialization for ReLU networks with `fan_in` inputs.
+pub fn kaiming_normal(shape: impl Into<Shape>, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    randn(shape, std, rng)
+}
+
+/// A random permutation of `0..n` (Fisher–Yates).
+pub fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert_eq!(
+            randn([4, 4], 1.0, &mut r1).as_slice(),
+            randn([4, 4], 1.0, &mut r2).as_slice()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        assert_ne!(
+            randn([8], 1.0, &mut r1).as_slice(),
+            randn([8], 1.0, &mut r2).as_slice()
+        );
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform([1000], -0.5, 0.5, &mut rng);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = xavier_uniform([1000], 5000, 5000, &mut rng);
+        let bound = (6.0f32 / 10000.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn randn_sample_stats_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = randn([20000], 2.0, &mut rng);
+        let m = crate::reduce::mean(&t);
+        let v = crate::reduce::variance(&t);
+        assert!(m.abs() < 0.1, "mean {m} too far from 0");
+        assert!((v - 4.0).abs() < 0.3, "variance {v} too far from 4");
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = permutation(100, &mut rng);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,31 @@
+//! # selsync-tensor
+//!
+//! A small, dependency-light dense tensor library purpose-built for the
+//! SelSync reproduction. It provides the numerical substrate the neural
+//! network crate (`selsync-nn`) is built on: contiguous row-major `f32`
+//! tensors, elementwise arithmetic, reductions, blocked (and optionally
+//! rayon-parallel) matrix multiplication, and im2col-based convolution
+//! helpers.
+//!
+//! Design notes (per the hpc-parallel guides):
+//! * Hot loops never allocate: every op has an in-place or `*_into` variant
+//!   writing into a caller-provided workhorse buffer.
+//! * Parallelism lives only at the tensor-op level (rayon), so the
+//!   distributed-training worker threads above remain plain `std::thread`s.
+//! * All randomness is seeded (`StdRng`) so experiments are reproducible.
+
+pub mod conv;
+pub mod init;
+pub mod matmul;
+pub mod ops;
+pub mod reduce;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Minimum number of multiply-accumulate operations before a matmul is
+/// dispatched onto the rayon pool. Below this the sequential kernel is
+/// faster and avoids contending with the cluster's worker threads.
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 18;

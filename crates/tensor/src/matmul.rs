@@ -1,0 +1,232 @@
+//! Blocked, optionally rayon-parallel matrix multiplication.
+//!
+//! Three kernels cover everything backpropagation needs without ever
+//! materializing a transposed copy:
+//!
+//! * [`matmul`]     — `C = A·B`      (forward pass)
+//! * [`matmul_tn`]  — `C = Aᵀ·B`     (weight gradients)
+//! * [`matmul_nt`]  — `C = A·Bᵀ`     (input gradients)
+
+use crate::ops::dot_slice;
+use crate::tensor::Tensor;
+use crate::PAR_FLOP_THRESHOLD;
+use rayon::prelude::*;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k, n) = dims_nn(a, b);
+    let mut c = Tensor::zeros([m, n]);
+    matmul_into(a, b, &mut c);
+    let _ = k;
+    c
+}
+
+/// `C = A·B` writing into a preallocated `C[m,n]`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k, n) = dims_nn(a, b);
+    assert_eq!(c.shape().dims(), &[m, n], "output shape mismatch");
+    let (a, b) = (a.as_slice(), b.as_slice());
+    let kernel = |row_i: usize, c_row: &mut [f32]| {
+        c_row.fill(0.0);
+        let a_row = &a[row_i * k..(row_i + 1) * k];
+        // ikj loop order: the inner loop streams B and C rows contiguously.
+        for (p, &aval) in a_row.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aval * bv;
+            }
+        }
+    };
+    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+        c.as_mut_slice()
+            .par_chunks_exact_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| kernel(i, row));
+    } else {
+        for (i, row) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
+            kernel(i, row);
+        }
+    }
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a);
+    let (m2, n) = dims2(b);
+    assert_eq!(m, m2, "matmul_tn inner dimension mismatch ({m} vs {m2})");
+    let mut c = Tensor::zeros([k, n]);
+    {
+        let (a, b) = (a.as_slice(), b.as_slice());
+        let kernel = |row_p: usize, c_row: &mut [f32]| {
+            c_row.fill(0.0);
+            // C[p, :] = sum_i A[i, p] * B[i, :]
+            for i in 0..m {
+                let aval = a[i * k + row_p];
+                if aval == 0.0 {
+                    continue;
+                }
+                let b_row = &b[i * n..(i + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aval * bv;
+                }
+            }
+        };
+        if m * n * k >= PAR_FLOP_THRESHOLD && k > 1 {
+            c.as_mut_slice()
+                .par_chunks_exact_mut(n)
+                .enumerate()
+                .for_each(|(p, row)| kernel(p, row));
+        } else {
+            for (p, row) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
+                kernel(p, row);
+            }
+        }
+    }
+    c
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = dims2(a);
+    let (k, n2) = dims2(b);
+    assert_eq!(n, n2, "matmul_nt inner dimension mismatch ({n} vs {n2})");
+    let mut c = Tensor::zeros([m, k]);
+    {
+        let (a, b) = (a.as_slice(), b.as_slice());
+        let kernel = |row_i: usize, c_row: &mut [f32]| {
+            let a_row = &a[row_i * n..(row_i + 1) * n];
+            // C[i, j] = A[i, :] · B[j, :] — both operands stream contiguously.
+            for (j, cv) in c_row.iter_mut().enumerate() {
+                *cv = dot_slice(a_row, &b[j * n..(j + 1) * n]);
+            }
+        };
+        if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+            c.as_mut_slice()
+                .par_chunks_exact_mut(k)
+                .enumerate()
+                .for_each(|(i, row)| kernel(i, row));
+        } else {
+            for (i, row) in c.as_mut_slice().chunks_exact_mut(k).enumerate() {
+                kernel(i, row);
+            }
+        }
+    }
+    c
+}
+
+/// Transpose of a rank-2 tensor (materialized copy).
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = dims2(a);
+    let mut out = Tensor::zeros([n, m]);
+    let src = a.as_slice();
+    let dst = out.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            dst[j * m + i] = src[i * n + j];
+        }
+    }
+    out
+}
+
+fn dims2(t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.shape().ndim(), 2, "matmul operands must be rank-2");
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+fn dims_nn(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    let (m, k) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2, "matmul inner dimension mismatch ({k} vs {k2})");
+    (m, k, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), [rows, cols])
+    }
+
+    #[test]
+    fn matmul_2x2_known() {
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t2(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t2(2, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 1.0]);
+        let b = t2(3, 1, &[1.0, 2.0, 3.0]);
+        assert_eq!(matmul(&a, &b).as_slice(), &[7.0, 5.0]);
+    }
+
+    #[test]
+    fn tn_equals_explicit_transpose() {
+        let a = t2(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let via_kernel = matmul_tn(&a, &b);
+        let via_transpose = matmul(&transpose(&a), &b);
+        assert_eq!(via_kernel.as_slice(), via_transpose.as_slice());
+    }
+
+    #[test]
+    fn nt_equals_explicit_transpose() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(4, 3, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+        let via_kernel = matmul_nt(&a, &b);
+        let via_transpose = matmul(&a, &transpose(&b));
+        assert_eq!(via_kernel.as_slice(), via_transpose.as_slice());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(transpose(&transpose(&a)).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t2(3, 3, &[2.0, 0.0, 1.0, 0.0, 3.0, 0.0, 1.0, 0.0, 4.0]);
+        let id = {
+            let mut i = Tensor::zeros([3, 3]);
+            for d in 0..3 {
+                *i.at_mut(&[d, d]) = 1.0;
+            }
+            i
+        };
+        assert_eq!(matmul(&a, &id).as_slice(), a.as_slice());
+        assert_eq!(matmul(&id, &a).as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn large_matmul_parallel_path_matches_serial() {
+        // Exceed PAR_FLOP_THRESHOLD so the rayon path executes, and compare
+        // against the naive triple loop.
+        let m = 70;
+        let k = 70;
+        let n = 70;
+        let a = Tensor::from_vec((0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect(), [m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|i| ((i % 7) as f32) - 3.0).collect(), [k, n]);
+        let c = matmul(&a, &b);
+        for i in (0..m).step_by(17) {
+            for j in (0..n).step_by(23) {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                assert!((c.at(&[i, j]) - s).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_dim_mismatch_panics() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+}

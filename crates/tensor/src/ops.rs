@@ -1,0 +1,222 @@
+//! Elementwise arithmetic and BLAS-1 style vector operations.
+//!
+//! Every operation that appears in a training hot loop has an in-place
+//! (`*_assign`) or destination-passing (`*_into`) form so per-iteration
+//! allocation can be avoided with workhorse buffers.
+
+use crate::tensor::Tensor;
+
+/// `out = a + b` (same shapes).
+pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    add_assign(&mut out, b);
+    out
+}
+
+/// `a += b` (same shapes).
+pub fn add_assign(a: &mut Tensor, b: &Tensor) {
+    assert!(a.shape().same(b.shape()), "add shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// `out = a - b` (same shapes).
+pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    sub_assign(&mut out, b);
+    out
+}
+
+/// `a -= b` (same shapes).
+pub fn sub_assign(a: &mut Tensor, b: &Tensor) {
+    assert!(a.shape().same(b.shape()), "sub shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x -= y;
+    }
+}
+
+/// Hadamard product `out = a ⊙ b` (same shapes).
+pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = a.clone();
+    mul_assign(&mut out, b);
+    out
+}
+
+/// `a ⊙= b` (same shapes).
+pub fn mul_assign(a: &mut Tensor, b: &Tensor) {
+    assert!(a.shape().same(b.shape()), "mul shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x *= y;
+    }
+}
+
+/// `a *= s` for a scalar `s`.
+pub fn scale_assign(a: &mut Tensor, s: f32) {
+    for x in a.as_mut_slice() {
+        *x *= s;
+    }
+}
+
+/// `out = a * s` for a scalar `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let mut out = a.clone();
+    scale_assign(&mut out, s);
+    out
+}
+
+/// `y += alpha * x` over flat storage (shapes must match).
+pub fn axpy(alpha: f32, x: &Tensor, y: &mut Tensor) {
+    assert!(x.shape().same(y.shape()), "axpy shape mismatch");
+    axpy_slice(alpha, x.as_slice(), y.as_mut_slice());
+}
+
+/// `y += alpha * x` over raw slices (lengths must match).
+///
+/// This is the single kernel the optimizers and aggregation paths reduce
+/// to, so it is written to auto-vectorize.
+#[inline]
+pub fn axpy_slice(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product over flat storage.
+pub fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.numel(), b.numel(), "dot length mismatch");
+    dot_slice(a.as_slice(), b.as_slice())
+}
+
+/// Dot product over raw slices.
+#[inline]
+pub fn dot_slice(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Four-way unrolled accumulation: keeps independent dependency chains
+    // so the compiler can vectorize without -ffast-math.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Apply `f` elementwise, returning a new tensor.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut out = a.clone();
+    map_assign(&mut out, f);
+    out
+}
+
+/// Apply `f` elementwise in place.
+pub fn map_assign(a: &mut Tensor, f: impl Fn(f32) -> f32) {
+    for x in a.as_mut_slice() {
+        *x = f(*x);
+    }
+}
+
+/// Broadcast-add a length-`cols` bias vector to every row of a rank-2
+/// tensor `[rows, cols]`.
+pub fn add_row_bias(a: &mut Tensor, bias: &Tensor) {
+    assert_eq!(a.shape().ndim(), 2, "add_row_bias needs rank-2 input");
+    let cols = a.shape().dim(1);
+    assert_eq!(bias.numel(), cols, "bias length must equal columns");
+    let b = bias.as_slice();
+    for row in a.as_mut_slice().chunks_exact_mut(cols) {
+        for (x, y) in row.iter_mut().zip(b) {
+            *x += y;
+        }
+    }
+}
+
+/// Clamp every element into `[lo, hi]`.
+pub fn clamp_assign(a: &mut Tensor, lo: f32, hi: f32) {
+    for x in a.as_mut_slice() {
+        *x = x.clamp(lo, hi);
+    }
+}
+
+/// Linear interpolation `a = (1-t)*a + t*b`, used by EWMA-style smoothing
+/// of parameter vectors.
+pub fn lerp_assign(a: &mut Tensor, b: &Tensor, t: f32) {
+    assert!(a.shape().same(b.shape()), "lerp shape mismatch");
+    for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x = (1.0 - t) * *x + t * y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), [v.len()])
+    }
+
+    #[test]
+    fn add_sub_mul_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[0.5, 0.5, 0.5]);
+        assert_eq!(add(&a, &b).as_slice(), &[1.5, 2.5, 3.5]);
+        assert_eq!(sub(&a, &b).as_slice(), &[0.5, 1.5, 2.5]);
+        assert_eq!(mul(&a, &b).as_slice(), &[0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let x = t(&[1.0, -1.0, 2.0]);
+        let mut y = t(&[0.0, 1.0, 1.0]);
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y.as_slice(), &[0.5, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        // length 7 exercises both the unrolled body and the tail loop
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let b = t(&[1.0; 7]);
+        assert_eq!(dot(&a, &b), 28.0);
+    }
+
+    #[test]
+    fn row_bias_broadcasts() {
+        let mut a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0], [2, 2]);
+        add_row_bias(&mut a, &t(&[10.0, 20.0]));
+        assert_eq!(a.as_slice(), &[10.0, 20.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let b = t(&[2.0, 4.0]);
+        let mut a = t(&[0.0, 0.0]);
+        lerp_assign(&mut a, &b, 1.0);
+        assert_eq!(a.as_slice(), b.as_slice());
+        let mut a2 = t(&[1.0, 1.0]);
+        lerp_assign(&mut a2, &b, 0.0);
+        assert_eq!(a2.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let mut a = t(&[-2.0, 0.5, 9.0]);
+        clamp_assign(&mut a, -1.0, 1.0);
+        assert_eq!(a.as_slice(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let mut a = Tensor::zeros([2]);
+        add_assign(&mut a, &Tensor::zeros([3]));
+    }
+}

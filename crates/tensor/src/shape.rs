@@ -1,0 +1,141 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a tensor: an ordered list of dimension extents.
+///
+/// Shapes are row-major; the last dimension is contiguous in memory.
+/// Rank 0 (scalar) through rank 4 (`[batch, channel, height, width]`)
+/// are the ranks used by the rest of the workspace.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions (rank) of the shape.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements described by the shape.
+    ///
+    /// A rank-0 shape describes exactly one (scalar) element.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent of dimension `i`. Panics if `i >= ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// The dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multi-dimensional index.
+    ///
+    /// Panics in debug builds if `idx` has wrong rank or is out of bounds.
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.0.len()).rev() {
+            debug_assert!(idx[i] < self.0[i], "index out of bounds");
+            off += idx[i] * stride;
+            stride *= self.0[i];
+        }
+        off
+    }
+
+    /// Whether two shapes are elementwise-compatible (identical).
+    pub fn same(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(d: &[usize]) -> Self {
+        Shape::new(d)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(d: [usize; N]) -> Self {
+        Shape(d.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_counts_elements() {
+        assert_eq!(Shape::new(&[2, 3, 4]).numel(), 24);
+        assert_eq!(Shape::new(&[7]).numel(), 7);
+        assert_eq!(Shape::new(&[]).numel(), 1, "scalar shape has one element");
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), [12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), [1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[1, 0, 1]), 13);
+    }
+
+    #[test]
+    fn offset_covers_every_element_exactly_once() {
+        let s = Shape::new(&[3, 4]);
+        let mut seen = [false; 12];
+        for i in 0..3 {
+            for j in 0..4 {
+                let off = s.offset(&[i, j]);
+                assert!(!seen[off]);
+                seen[off] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn offset_panics_out_of_bounds() {
+        Shape::new(&[2, 2]).offset(&[2, 0]);
+    }
+}

@@ -1,0 +1,251 @@
+//! The dense `f32` tensor type.
+
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// This is the single array type used throughout the workspace: model
+/// parameters, gradients, activations, and mini-batches are all `Tensor`s.
+/// The distributed layer flattens tensors into `&[f32]` slices for
+/// communication, so contiguity is an invariant, not an optimization.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Create a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.numel()
+        );
+        Tensor { data, shape }
+    }
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// A rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying contiguous storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying contiguous storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(idx);
+        &mut self.data[off]
+    }
+
+    /// Reinterpret the tensor with a new shape of equal element count.
+    ///
+    /// This is free: the storage is shared (moved), no copy happens.
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            self.data.len(),
+            shape.numel(),
+            "cannot reshape {} elements into {}",
+            self.data.len(),
+            shape
+        );
+        Tensor {
+            data: self.data,
+            shape,
+        }
+    }
+
+    /// Borrowing variant of [`Tensor::reshape`]: copies the data.
+    pub fn reshaped(&self, shape: impl Into<Shape>) -> Self {
+        self.clone().reshape(shape)
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Set every element to `v`, keeping the allocation.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Copy data from `src` without reallocating (shapes must match).
+    pub fn copy_from(&mut self, src: &Tensor) {
+        assert!(
+            self.shape.same(&src.shape),
+            "copy_from shape mismatch: {} vs {}",
+            self.shape,
+            src.shape
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Copy data from a flat slice (length must equal `numel()`).
+    pub fn copy_from_slice(&mut self, src: &[f32]) {
+        assert_eq!(self.data.len(), src.len(), "copy_from_slice length mismatch");
+        self.data.copy_from_slice(src);
+    }
+
+    /// Row `r` of a rank-2 tensor as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.ndim(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable row `r` of a rank-2 tensor.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.shape.ndim(), 2, "row_mut() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    /// An empty rank-1 tensor — a placeholder for layer caches.
+    fn default() -> Self {
+        Tensor::zeros([0])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor(shape={}, ", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, "data={:?})", self.data)
+        } else {
+            write!(f, "data=[{}, {}, ... ; {}])", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        assert_eq!(t.at(&[0, 1]), 2.0);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+        assert_eq!(t.into_vec(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_length() {
+        Tensor::from_vec(vec![1.0; 3], [2, 2]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]);
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.at(&[2, 1]), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reshape_rejects_count_mismatch() {
+        Tensor::zeros([2, 3]).reshape([4, 2]);
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]);
+        assert_eq!(t.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn fill_and_copy_keep_allocation() {
+        let mut t = Tensor::ones([4]);
+        let ptr = t.as_slice().as_ptr();
+        t.fill_zero();
+        assert_eq!(t.as_slice(), &[0.0; 4]);
+        t.copy_from(&Tensor::full([4], 2.0));
+        assert_eq!(t.as_slice(), &[2.0; 4]);
+        assert_eq!(ptr, t.as_slice().as_ptr(), "no reallocation");
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut t = Tensor::zeros([3]);
+        assert!(!t.has_non_finite());
+        t.as_mut_slice()[1] = f32::NAN;
+        assert!(t.has_non_finite());
+    }
+}

@@ -1,0 +1,63 @@
+//! Federated non-IID scenario: 10 edge workers each holding a single
+//! class of data (the paper's CIFAR10 skew), comparing FedAvg against
+//! SelSync with randomized data injection (§III-E).
+//!
+//! ```sh
+//! cargo run --release --example federated_noniid
+//! ```
+
+use selsync_core::prelude::*;
+
+fn main() {
+    let workers = 10;
+    // 10-class vision task, 1 label per worker: maximal label skew
+    let workload = Workload::vision(ModelKind::ResNetMini, 700, 160, 7);
+
+    let base = RunConfig {
+        n_workers: workers,
+        batch_size: 32,
+        max_steps: 150,
+        eval_every: 30,
+        noniid_labels: Some(1),
+        lr: LrSchedule::Constant { lr: 0.05 },
+        ..RunConfig::quick_defaults()
+    };
+
+    // FedAvg, all clients, 10 syncs per epoch — the paper's Fig 1b/12 config
+    let mut fedavg_cfg = base.clone();
+    fedavg_cfg.strategy = Strategy::FedAvg { c: 1.0, e: 0.1 };
+    println!("running FedAvg(1, 0.1) on 1-label-per-worker data...");
+    let fedavg = run_distributed(&fedavg_cfg, &workload);
+
+    // SelSync with (α, β, δ) = (0.5, 0.5, 0.3): half the workers share
+    // half their (Eqn.-3-shrunk) batches every step
+    let mut selsync_cfg = base;
+    selsync_cfg.strategy = Strategy::SelSync {
+        delta: 0.3,
+        aggregation: Aggregation::Parameter,
+    };
+    let inj = InjectionConfig::new(0.5, 0.5);
+    println!(
+        "running SelSync(0.5, 0.5, 0.3); Eqn. 3 shrinks the local batch 32 → b' = {}...",
+        inj.adjusted_batch_size(32, workers)
+    );
+    selsync_cfg.injection = Some(inj);
+    let selsync = run_distributed(&selsync_cfg, &workload);
+
+    println!("\n=== non-IID accuracy over training ===");
+    println!("{:>6} {:>10} {:>10}", "step", "FedAvg", "SelSync+inj");
+    for (f, s) in fedavg.evals.iter().zip(&selsync.evals) {
+        println!(
+            "{:>6} {:>9.1}% {:>9.1}%",
+            f.step,
+            f.metric * 100.0,
+            s.metric * 100.0
+        );
+    }
+    println!(
+        "\nbest: FedAvg {:.1}% vs SelSync+injection {:.1}%",
+        fedavg.best_metric(false) * 100.0,
+        selsync.best_metric(false) * 100.0
+    );
+    println!("(paper Fig 12: injection lifts SelSync well above FedAvg under label skew)");
+}

@@ -1,0 +1,44 @@
+//! # selsync-suite
+//!
+//! Umbrella crate for the SelSync reproduction workspace: re-exports the
+//! member crates under one name so the `examples/` binaries and the
+//! cross-crate `tests/` can use a single dependency, and hosts nothing
+//! else. See the README for the project overview and DESIGN.md for the
+//! per-experiment index.
+//!
+//! ```no_run
+//! use selsync_suite::prelude::*;
+//!
+//! let workload = Workload::vision(ModelKind::ResNetMini, 256, 64, 42);
+//! let mut config = RunConfig::quick_defaults();
+//! config.strategy = Strategy::SelSync {
+//!     delta: 0.25,
+//!     aggregation: Aggregation::Parameter,
+//! };
+//! let result = run_distributed(&config, &workload);
+//! println!("LSSR {:.3}", result.lssr.lssr());
+//! ```
+
+pub use selsync_comm as comm;
+pub use selsync_core as core;
+pub use selsync_data as data;
+pub use selsync_nn as nn;
+pub use selsync_stats as stats;
+pub use selsync_tensor as tensor;
+
+/// The `selsync_core` prelude, re-exported for convenience.
+pub mod prelude {
+    pub use selsync_core::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compile() {
+        use crate::prelude::*;
+        let c = RunConfig::quick_defaults();
+        assert_eq!(c.n_workers, 4);
+        let _ = crate::tensor::Tensor::zeros([2, 2]);
+        let _ = crate::stats::LssrCounter::new();
+    }
+}

@@ -1,0 +1,205 @@
+//! Cross-crate integration tests: full distributed runs exercising the
+//! tensor → nn → data → comm → core stack end-to-end, asserting the
+//! paper's structural claims (not just "it runs").
+
+use selsync_core::prelude::*;
+
+fn base_config(strategy: Strategy) -> RunConfig {
+    RunConfig {
+        strategy,
+        n_workers: 4,
+        batch_size: 8,
+        max_steps: 60,
+        eval_every: 20,
+        ..RunConfig::quick_defaults()
+    }
+}
+
+fn resnet_workload() -> Workload {
+    Workload::vision(ModelKind::ResNetMini, 256, 80, 21)
+}
+
+#[test]
+fn bsp_learns_the_task() {
+    let cfg = base_config(Strategy::Bsp {
+        aggregation: Aggregation::Parameter,
+    });
+    let r = run_distributed(&cfg, &resnet_workload());
+    assert!(
+        r.final_metric > 0.3,
+        "BSP should beat 10% chance by 60 steps, got {}",
+        r.final_metric
+    );
+    assert_eq!(r.lssr.lssr(), 0.0);
+}
+
+#[test]
+fn bsp_ga_and_pa_agree_given_identical_init() {
+    // §III-C: with identical initial replicas, gradient and parameter
+    // aggregation are equivalent in BSP. Momentum state is also kept in
+    // sync because every worker applies the same averaged update.
+    let wl = resnet_workload();
+    let mut cfg = base_config(Strategy::Bsp {
+        aggregation: Aggregation::Parameter,
+    });
+    cfg.max_steps = 10;
+    cfg.optim = OptimKind::Sgd {
+        momentum: 0.0,
+        weight_decay: 0.0,
+    };
+    let pa = run_distributed(&cfg, &wl);
+    cfg.strategy = Strategy::Bsp {
+        aggregation: Aggregation::Gradient,
+    };
+    let ga = run_distributed(&cfg, &wl);
+    let dist = selsync_core::divergence::l2_distance(&pa.worker_params[0], &ga.worker_params[0]);
+    let norm: f32 = pa.worker_params[0].iter().map(|v| v * v).sum::<f32>().sqrt();
+    assert!(
+        dist < 1e-3 * norm.max(1.0),
+        "BSP GA ≡ BSP PA up to float reassociation: distance {dist}"
+    );
+}
+
+#[test]
+fn selsync_first_step_always_syncs_and_replicas_realign() {
+    let cfg = base_config(Strategy::SelSync {
+        delta: 0.3,
+        aggregation: Aggregation::Parameter,
+    });
+    let r = run_distributed(&cfg, &resnet_workload());
+    assert!(r.step_records[0].synced, "Δ(g₀) = ∞ forces a first-step sync");
+    assert!(r.step_records[0].delta_g.is_infinite());
+}
+
+#[test]
+fn selsync_pa_bounds_divergence_vs_local_only() {
+    let wl = resnet_workload();
+    let sel = run_distributed(
+        &base_config(Strategy::SelSync {
+            delta: 0.25,
+            aggregation: Aggregation::Parameter,
+        }),
+        &wl,
+    );
+    let local = run_distributed(&base_config(Strategy::LocalOnly), &wl);
+    // SelSync synchronized at least once beyond step 0 or kept LSSR < 1,
+    // so its replicas must sit closer together than never-communicating
+    // local training (§III-B "bounding the divergence").
+    assert!(
+        sel.replica_divergence() <= local.replica_divergence(),
+        "SelSync divergence {} must not exceed local-only {}",
+        sel.replica_divergence(),
+        local.replica_divergence()
+    );
+}
+
+#[test]
+fn lssr_orders_strategies_as_the_paper_describes() {
+    let wl = resnet_workload();
+    let bsp = run_distributed(
+        &base_config(Strategy::Bsp {
+            aggregation: Aggregation::Parameter,
+        }),
+        &wl,
+    );
+    let sel = run_distributed(
+        &base_config(Strategy::SelSync {
+            delta: 0.3,
+            aggregation: Aggregation::Parameter,
+        }),
+        &wl,
+    );
+    let fed = run_distributed(&base_config(Strategy::FedAvg { c: 1.0, e: 0.25 }), &wl);
+    assert_eq!(bsp.lssr.lssr(), 0.0);
+    assert!(sel.lssr.lssr() > 0.0);
+    assert!(
+        fed.lssr.lssr() >= sel.lssr.lssr() * 0.5,
+        "FedAvg's fixed schedule stays highly local: {} vs {}",
+        fed.lssr.lssr(),
+        sel.lssr.lssr()
+    );
+    // fabric traffic must track LSSR
+    assert!(bsp.comm_bytes > sel.comm_bytes);
+    assert!(bsp.comm_bytes > fed.comm_bytes);
+}
+
+#[test]
+fn ssp_respects_all_workers_progress() {
+    let cfg = base_config(Strategy::Ssp { staleness: 5 });
+    let r = run_distributed(&cfg, &resnet_workload());
+    assert_eq!(r.steps_run, 60);
+    // the PS applied every worker's deltas; the final global differs
+    // from the (shared) init
+    assert!(r.comm_bytes > 0);
+    assert!(r.final_params.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn seldp_beats_defdp_under_mostly_local_training() {
+    // the Fig. 9 effect, asserted at integration scale: with a high δ
+    // (mostly local updates), DefDP starves workers of global data
+    let wl = Workload::vision(ModelKind::VggMini, 256, 80, 33);
+    let mut cfg = base_config(Strategy::SelSync {
+        delta: 0.6,
+        aggregation: Aggregation::Parameter,
+    });
+    cfg.max_steps = 120;
+    cfg.eval_every = 120;
+    cfg.partition = PartitionScheme::SelDp;
+    let sel = run_distributed(&cfg, &wl);
+    cfg.partition = PartitionScheme::DefDp;
+    let def = run_distributed(&cfg, &wl);
+    assert!(
+        sel.final_metric >= def.final_metric - 0.05,
+        "SelDP {} must not lose to DefDP {} beyond noise",
+        sel.final_metric,
+        def.final_metric
+    );
+}
+
+#[test]
+fn injection_improves_noniid_selsync() {
+    let wl = Workload::vision(ModelKind::ResNetMini, 400, 100, 5);
+    let mut cfg = base_config(Strategy::SelSync {
+        delta: 0.3,
+        aggregation: Aggregation::Parameter,
+    });
+    cfg.n_workers = 5;
+    cfg.batch_size = 20;
+    cfg.max_steps = 100;
+    cfg.eval_every = 100;
+    cfg.noniid_labels = Some(2);
+    let bare = run_distributed(&cfg, &wl);
+    cfg.injection = Some(InjectionConfig::new(0.75, 0.75));
+    let injected = run_distributed(&cfg, &wl);
+    assert!(
+        injected.final_metric >= bare.final_metric - 0.05,
+        "injection {} must not lose to bare non-IID {} beyond noise",
+        injected.final_metric,
+        bare.final_metric
+    );
+}
+
+#[test]
+fn single_worker_degenerates_to_sequential_training() {
+    let mut cfg = base_config(Strategy::Bsp {
+        aggregation: Aggregation::Parameter,
+    });
+    cfg.n_workers = 1;
+    let r = run_distributed(&cfg, &resnet_workload());
+    assert_eq!(r.worker_params.len(), 1);
+    assert!(r.final_metric > 0.2);
+}
+
+#[test]
+fn runs_are_reproducible_given_a_seed() {
+    let wl = resnet_workload();
+    let cfg = base_config(Strategy::SelSync {
+        delta: 0.25,
+        aggregation: Aggregation::Parameter,
+    });
+    let a = run_distributed(&cfg, &wl);
+    let b = run_distributed(&cfg, &wl);
+    assert_eq!(a.lssr, b.lssr, "same seed → same sync decisions");
+    assert_eq!(a.final_params, b.final_params, "bit-identical final state");
+}

@@ -1,0 +1,88 @@
+//! Integration tests for the topic-switching text corpus: the WikiText
+//! substitute must make DefDP topic-skewed (§III-D realized for text)
+//! while SelDP exposes every topic to every worker.
+
+use selsync_core::prelude::*;
+use selsync_core::workload::{WorkloadData, SEQ_LEN, TEXT_TOPICS};
+use selsync_data::{chunk_bounds_of, partition_indices, TextDataset};
+
+#[test]
+fn topic_corpus_has_distinct_segment_statistics() {
+    let d = TextDataset::synthetic_markov_topics(8000, 32, 5, 6, 2);
+    // bigram supports of the two halves should differ substantially
+    let half = d.tokens.len() / 2;
+    let support = |toks: &[usize]| {
+        let mut s = std::collections::HashSet::new();
+        for w in toks.windows(2) {
+            s.insert((w[0], w[1]));
+        }
+        s
+    };
+    let a = support(&d.tokens[..half]);
+    let b = support(&d.tokens[half..]);
+    let only_b = b.difference(&a).count();
+    assert!(
+        only_b * 3 > b.len(),
+        "second topic must have many transitions unseen in the first ({only_b}/{})",
+        b.len()
+    );
+}
+
+#[test]
+fn defdp_text_chunks_are_topic_skewed_seldp_are_not() {
+    let wl = Workload::text_with_topics(SEQ_LEN * 400, 9, TEXT_TOPICS);
+    let WorkloadData::Text { train, .. } = &wl.data else {
+        unreachable!()
+    };
+    let windows = wl.num_train_units();
+    let workers = TEXT_TOPICS; // one worker per topic segment
+    // which topic does window w belong to? windows tile the stream
+    let topic_of = |w: usize| (w * workers) / windows;
+    let _ = train;
+    // DefDP: worker 0's windows all come from topic 0
+    let def = partition_indices(windows, workers, 0, PartitionScheme::DefDp);
+    assert!(
+        def.iter().all(|&w| topic_of(w) == 0),
+        "DefDP worker 0 sees only its own topic"
+    );
+    // SelDP: worker 0 sees every topic
+    let sel = partition_indices(windows, workers, 0, PartitionScheme::SelDp);
+    let mut topics_seen: Vec<usize> = sel.iter().map(|&w| topic_of(w)).collect();
+    topics_seen.sort_unstable();
+    topics_seen.dedup();
+    assert_eq!(topics_seen.len(), workers, "SelDP covers all topics");
+    let _ = chunk_bounds_of(windows, workers);
+}
+
+#[test]
+fn transformer_seldp_generalizes_better_than_defdp_under_local_training() {
+    // mostly-local SelSync: DefDP workers each overfit one topic; the
+    // test split spans all topics, so SelDP must win on perplexity
+    let wl = Workload::text_with_topics(SEQ_LEN * 300, 11, TEXT_TOPICS);
+    let mut cfg = RunConfig {
+        strategy: Strategy::SelSync {
+            delta: 0.6,
+            aggregation: Aggregation::Parameter,
+        },
+        n_workers: 4,
+        batch_size: 8,
+        max_steps: 150,
+        eval_every: 150,
+        lr: LrSchedule::Constant { lr: 0.08 },
+        optim: OptimKind::Sgd {
+            momentum: 0.9,
+            weight_decay: 0.0,
+        },
+        ..RunConfig::quick_defaults()
+    };
+    cfg.partition = PartitionScheme::SelDp;
+    let sel = run_distributed(&cfg, &wl);
+    cfg.partition = PartitionScheme::DefDp;
+    let def = run_distributed(&cfg, &wl);
+    assert!(
+        sel.final_metric <= def.final_metric * 1.15,
+        "SelDP perplexity {} should not lose to DefDP {} beyond noise",
+        sel.final_metric,
+        def.final_metric
+    );
+}

@@ -1,0 +1,239 @@
+//! Property-based tests on the workspace's core invariants, spanning
+//! crates: tensor algebra, partitioning, collectives, compression, the
+//! Δ(g) tracker and the injection arithmetic of Eqn. (3).
+
+use proptest::prelude::*;
+use selsync_core::compression::{sign_compress, sign_decompress, topk_compress};
+use selsync_data::{chunk_bounds_of, partition_indices, InjectionConfig, PartitionScheme};
+use selsync_stats::{LssrCounter, RelativeGradChange, WindowedEwma};
+use selsync_tensor::{matmul, ops, reduce, Tensor};
+
+fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..64)
+}
+
+proptest! {
+    // ---------- tensor algebra ----------
+
+    #[test]
+    fn add_is_commutative(a in small_vec(), b in small_vec()) {
+        let n = a.len().min(b.len());
+        let ta = Tensor::from_vec(a[..n].to_vec(), [n]);
+        let tb = Tensor::from_vec(b[..n].to_vec(), [n]);
+        let ab = ops::add(&ta, &tb);
+        let ba = ops::add(&tb, &ta);
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+    }
+
+    #[test]
+    fn scale_distributes_over_sum(a in small_vec(), s in -10.0f32..10.0) {
+        let t = Tensor::from_vec(a.clone(), [a.len()]);
+        let lhs = reduce::sum(&ops::scale(&t, s));
+        let rhs = s * reduce::sum(&t);
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = selsync_tensor::init::randn([rows, cols], 1.0, &mut rng);
+        let tt = matmul::transpose(&matmul::transpose(&a));
+        prop_assert_eq!(tt.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(n in 1usize..6, seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = selsync_tensor::init::randn([n, n], 1.0, &mut rng);
+        let b = selsync_tensor::init::randn([n, n], 1.0, &mut rng);
+        let c = selsync_tensor::init::randn([n, n], 1.0, &mut rng);
+        // A(B + C) == AB + AC
+        let lhs = matmul::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&matmul::matmul(&a, &b), &matmul::matmul(&a, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * y.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn sqnorm_is_nonnegative_and_zero_iff_zero(a in small_vec()) {
+        let t = Tensor::from_vec(a.clone(), [a.len()]);
+        let s = reduce::sqnorm(&t);
+        prop_assert!(s >= 0.0);
+        if a.iter().all(|&v| v == 0.0) {
+            prop_assert_eq!(s, 0.0);
+        }
+    }
+
+    // ---------- partitioning (§III-D) ----------
+
+    #[test]
+    fn defdp_is_a_partition(n in 1usize..200, workers in 1usize..9) {
+        prop_assume!(n >= workers);
+        let mut seen = vec![false; n];
+        for w in 0..workers {
+            for i in partition_indices(n, workers, w, PartitionScheme::DefDp) {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn seldp_is_a_full_permutation_per_worker(n in 1usize..200, workers in 1usize..9) {
+        prop_assume!(n >= workers);
+        for w in 0..workers {
+            let mut order = partition_indices(n, workers, w, PartitionScheme::SelDp);
+            prop_assert_eq!(order.len(), n);
+            order.sort_unstable();
+            prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn seldp_head_sits_in_own_chunk(n in 8usize..200, workers in 1usize..8) {
+        prop_assume!(n >= workers);
+        let bounds = chunk_bounds_of(n, workers);
+        for (w, &(s, e)) in bounds.iter().enumerate() {
+            let head = partition_indices(n, workers, w, PartitionScheme::SelDp)[0];
+            prop_assert!(head >= s && head < e);
+        }
+    }
+
+    // ---------- Eqn. (3) injection arithmetic ----------
+
+    #[test]
+    fn injection_cumulative_batch_stays_near_b(
+        alpha in 0.1f32..1.0,
+        beta in 0.1f32..1.0,
+        n in 2usize..32,
+        b in 8usize..128,
+    ) {
+        let c = InjectionConfig::new(alpha, beta);
+        let bp = c.adjusted_batch_size(b, n);
+        prop_assert!(bp >= 1);
+        let denom = 1.0 + alpha * beta * n as f32;
+        let cumulative = bp as f32 * denom;
+        // floor rounding undershoots by < one multiplier unit; the
+        // b′ ≥ 1 clamp (needed when b < 1 + αβN) overshoots to exactly
+        // one multiplier unit
+        prop_assert!(cumulative <= (b as f32 + 1.0).max(denom));
+        prop_assert!(cumulative >= b as f32 - denom);
+    }
+
+    #[test]
+    fn sharer_selection_is_deterministic_and_bounded(
+        alpha in 0.1f32..1.0,
+        n in 1usize..32,
+        step in 0u64..10_000,
+        seed in 0u64..1000,
+    ) {
+        let c = InjectionConfig::new(alpha, 0.5);
+        let a = c.select_sharers(n, seed, step);
+        let b = c.select_sharers(n, seed, step);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), c.num_sharers(n));
+        prop_assert!(a.iter().all(|&w| w < n));
+        prop_assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    // ---------- Δ(g) tracker (Eqn. 2) ----------
+
+    #[test]
+    fn relchange_is_nonnegative_and_finite_after_first(
+        norms in prop::collection::vec(0.01f32..1e6, 2..100),
+        window in 1usize..50,
+    ) {
+        let mut t = RelativeGradChange::new(window, 0.2);
+        t.update(norms[0]);
+        for &n in &norms[1..] {
+            let d = t.update(n);
+            prop_assert!(d.is_finite());
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn relchange_scale_invariance(
+        norms in prop::collection::vec(0.01f32..1e3, 2..50),
+        scale in 0.1f32..100.0,
+    ) {
+        // Δ(g) is relative: scaling every norm by a constant leaves it
+        // unchanged (up to float noise)
+        let mut a = RelativeGradChange::new(10, 0.3);
+        let mut b = RelativeGradChange::new(10, 0.3);
+        a.update(norms[0]);
+        b.update(norms[0] * scale);
+        for &n in &norms[1..] {
+            let da = a.update(n);
+            let db = b.update(n * scale);
+            prop_assert!((da - db).abs() < 1e-2 * da.abs().max(1e-3), "{da} vs {db}");
+        }
+    }
+
+    #[test]
+    fn windowed_ewma_is_bounded_by_inputs(
+        xs in prop::collection::vec(-1e4f32..1e4, 1..100),
+        window in 1usize..40,
+        alpha in 0.01f32..1.0,
+    ) {
+        let mut w = WindowedEwma::new(window, alpha);
+        for &x in &xs {
+            let v = w.update(x);
+            let lo = xs.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(v >= lo - 1.0 && v <= hi + 1.0, "EWMA {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    // ---------- LSSR (Eqn. 4) ----------
+
+    #[test]
+    fn lssr_in_unit_interval_and_reduction_consistent(
+        local in 0u64..10_000,
+        sync in 0u64..10_000,
+    ) {
+        let c = LssrCounter { local_steps: local, sync_steps: sync };
+        let l = c.lssr();
+        prop_assert!((0.0..=1.0).contains(&l));
+        if sync > 0 {
+            let red = c.comm_reduction();
+            prop_assert!((red - c.total() as f64 / sync as f64).abs() < 1e-9);
+        }
+    }
+
+    // ---------- compression ----------
+
+    #[test]
+    fn topk_dense_roundtrip_preserves_kept_values(g in small_vec(), k in 1usize..64) {
+        let s = topk_compress(&g, k);
+        let d = s.to_dense();
+        prop_assert_eq!(d.len(), g.len());
+        // kept positions match the original exactly
+        for (&i, &v) in s.indices.iter().zip(&s.values) {
+            prop_assert_eq!(g[i as usize], v);
+        }
+        // every zeroed entry has magnitude ≤ every kept entry
+        let min_kept = s.values.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        for (i, &v) in g.iter().enumerate() {
+            if !s.indices.contains(&(i as u32)) {
+                prop_assert!(v.abs() <= min_kept + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn sign_roundtrip_preserves_signs_prop(g in prop::collection::vec(-10.0f32..10.0, 1..100)) {
+        let s = sign_compress(&g);
+        let d = sign_decompress(&s);
+        prop_assert_eq!(d.len(), g.len());
+        for (orig, dec) in g.iter().zip(&d) {
+            if orig.abs() > 1e-6 {
+                prop_assert_eq!(orig.signum(), dec.signum());
+            }
+        }
+    }
+}
