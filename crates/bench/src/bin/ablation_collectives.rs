@@ -43,7 +43,13 @@ fn main() {
         for &n in &[2usize, 4, 8, 16, 32] {
             let ps = net.ps_sync_time(m, n);
             let ring = net.ring_allreduce_time(m, n);
-            println!("{:<12} {:>3} {:>12.3} {:>14.3}", kind.paper_name(), n, ps, ring);
+            println!(
+                "{:<12} {:>3} {:>12.3} {:>14.3}",
+                kind.paper_name(),
+                n,
+                ps,
+                ring
+            );
             json_row(&ModelRow {
                 model: kind.paper_name(),
                 workers: n,
@@ -53,7 +59,9 @@ fn main() {
         }
         println!();
     }
-    println!("Modeled shape: PS grows ~linearly with N; the ring flattens out (bandwidth-optimal).\n");
+    println!(
+        "Modeled shape: PS grows ~linearly with N; the ring flattens out (bandwidth-optimal).\n"
+    );
 
     println!("Real in-process collectives (threads + channels), 1M-float vector:");
     println!("{:>3} {:>12} {:>12}", "N", "ring(ms)", "root(ms)");

@@ -54,9 +54,7 @@ fn main() {
         let mut model = wl.build_model();
         let idx: Vec<usize> = (0..32).collect();
         let (x, t) = train.gather(&idx);
-        let logits = model
-            .as_model()
-            .forward(&selsync_nn::Input::Dense(x), true);
+        let logits = model.as_model().forward(&selsync_nn::Input::Dense(x), true);
         let (_, dl) = softmax_cross_entropy(&logits, &t);
         model.as_model().zero_grad();
         model.as_model().backward(&dl);
@@ -64,7 +62,13 @@ fn main() {
         let dense_bytes = 4.0 * grads.len() as f64;
 
         let report = |scheme: String, ratio: f64, err: f64| {
-            println!("{:<12} {:<18} {:>9.1}x {:>12.4}", kind.paper_name(), scheme, ratio, err);
+            println!(
+                "{:<12} {:<18} {:>9.1}x {:>12.4}",
+                kind.paper_name(),
+                scheme,
+                ratio,
+                err
+            );
             json_row(&Row {
                 model: kind.paper_name(),
                 scheme,
@@ -111,11 +115,7 @@ fn main() {
         // SelSync's axis: at LSSR 0.9 the volume falls 10x with exact
         // payloads on the steps that do communicate
         for &lssr in &[0.83f64, 0.9, 0.95] {
-            report(
-                format!("SelSync LSSR={lssr}"),
-                1.0 / (1.0 - lssr),
-                0.0,
-            );
+            report(format!("SelSync LSSR={lssr}"), 1.0 / (1.0 - lssr), 0.0);
         }
         println!();
     }

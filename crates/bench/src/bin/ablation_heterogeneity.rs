@@ -58,7 +58,10 @@ fn main() {
     }
 
     println!("\npaper-scale cluster time with a straggler of factor f (16 workers):");
-    println!("{:<14} {:>6} {:>14} {:>12}", "method", "f", "time(s)", "slowdown");
+    println!(
+        "{:<14} {:>6} {:>14} {:>12}",
+        "method", "f", "time(s)", "slowdown"
+    );
     for (name, strategy, r) in &logs {
         let p = selsync_core::timing::TimingParams::paper(kind, 16);
         let hom = selsync_core::timing::simulate_timeline(*strategy, &r.step_records, &p);
@@ -67,7 +70,10 @@ fn main() {
             mult[0] = f;
             let het = simulate_heterogeneous(*strategy, &r.step_records, &p, &mult);
             let slow = het.total_s / hom.total_s;
-            println!("{:<14} {:>6} {:>14.0} {:>11.2}x", name, f, het.total_s, slow);
+            println!(
+                "{:<14} {:>6} {:>14.0} {:>11.2}x",
+                name, f, het.total_s, slow
+            );
             json_row(&Row {
                 method: name.to_string(),
                 straggler_factor: f,

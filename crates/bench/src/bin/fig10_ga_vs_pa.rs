@@ -29,7 +29,10 @@ struct Summary {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig 10", "SelSync: gradient vs parameter aggregation (δ=0.25)");
+    banner(
+        "Fig 10",
+        "SelSync: gradient vs parameter aggregation (δ=0.25)",
+    );
     for kind in ModelKind::ALL {
         let wl = selsync_bench::workload_for(kind, &scale);
         let mut results = Vec::new();

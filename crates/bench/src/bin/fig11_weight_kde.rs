@@ -99,5 +99,7 @@ fn main() {
         pa_vs_bsp_distance: pa,
         ga_vs_bsp_distance: ga,
     });
-    println!("Shape check (paper Fig 11): PA's weight distribution tracks BSP more closely than GA's.");
+    println!(
+        "Shape check (paper Fig 11): PA's weight distribution tracks BSP more closely than GA's."
+    );
 }

@@ -18,7 +18,10 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig 12", "Data injection (α, β, δ) vs FedAvg on non-IID data");
+    banner(
+        "Fig 12",
+        "Data injection (α, β, δ) vs FedAvg on non-IID data",
+    );
     let kind = ModelKind::ResNetMini;
     // 10 workers / 10 classes / 1 label per worker, like the paper
     let workers = 10;

@@ -18,7 +18,10 @@ struct Row {
 }
 
 fn main() {
-    banner("Fig 1a", "Relative throughput vs cluster size (PS over 5 Gbps)");
+    banner(
+        "Fig 1a",
+        "Relative throughput vs cluster size (PS over 5 Gbps)",
+    );
     println!("{:<12} {:>3} {:>12}", "model", "N", "rel-tput");
     for kind in ModelKind::ALL {
         for &n in &[1usize, 2, 4, 8, 16] {

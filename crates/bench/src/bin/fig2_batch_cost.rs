@@ -88,7 +88,13 @@ fn main() {
             }
             let ms = start.elapsed().as_secs_f64() * 1000.0 / reps as f64;
             let mem = approx_mem_kb(&model, kind, b);
-            println!("{:<12} {:>5} {:>14.2} {:>14.0}", kind.paper_name(), b, ms, mem);
+            println!(
+                "{:<12} {:>5} {:>14.2} {:>14.0}",
+                kind.paper_name(),
+                b,
+                ms,
+                mem
+            );
             json_row(&Row {
                 model: kind.paper_name(),
                 batch_size: b,

@@ -40,7 +40,12 @@ fn grab_layer_grads(m: &dyn ParamVisitor, needle: &str) -> Vec<f32> {
 fn main() {
     banner("Fig 3", "Gradient KDEs over training (early vs late)");
     let cases = [
-        (ModelKind::ResNetMini, "layer2_1.conv1.weight", 10u64, 400u64),
+        (
+            ModelKind::ResNetMini,
+            "layer2_1.conv1.weight",
+            10u64,
+            400u64,
+        ),
         (
             ModelKind::TransformerMini,
             "transformer_encoder.layers.0.linear1.weight",

@@ -22,7 +22,10 @@ struct Row {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig 6", "δ sweep: LSSR and accuracy between BSP and local-SGD");
+    banner(
+        "Fig 6",
+        "δ sweep: LSSR and accuracy between BSP and local-SGD",
+    );
     let kind = ModelKind::ResNetMini;
     let wl = selsync_bench::workload_for(kind, &scale);
     println!(
@@ -43,7 +46,11 @@ fn main() {
         let lssr = r.lssr.lssr();
         println!(
             "{:>8} {:>8.3} {:>9.1}x {:>12} {:>14}",
-            if delta > 1e6 { "∞".to_string() } else { format!("{delta}") },
+            if delta > 1e6 {
+                "∞".to_string()
+            } else {
+                format!("{delta}")
+            },
             lssr,
             r.lssr.comm_reduction(),
             fmt_metric(kind, r.final_metric),

@@ -9,7 +9,10 @@ use selsync_bench::banner;
 use selsync_data::{chunk_bounds_of, partition_indices, PartitionScheme};
 
 fn chunk_of(bounds: &[(usize, usize)], idx: usize) -> usize {
-    bounds.iter().position(|&(s, e)| idx >= s && idx < e).unwrap()
+    bounds
+        .iter()
+        .position(|&(s, e)| idx >= s && idx < e)
+        .unwrap()
 }
 
 fn main() {

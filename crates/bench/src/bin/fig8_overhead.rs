@@ -94,9 +94,15 @@ fn main() {
     }
 
     banner("Fig 8b", "Partition build time: SelDP vs DefDP");
-    println!("{:<14} {:<8} {:>12}", "dataset-units", "scheme", "build(µs)");
+    println!(
+        "{:<14} {:<8} {:>12}",
+        "dataset-units", "scheme", "build(µs)"
+    );
     for &units in &[1_000usize, 10_000, 100_000, 1_000_000] {
-        for (scheme, name) in [(PartitionScheme::DefDp, "DefDP"), (PartitionScheme::SelDp, "SelDP")] {
+        for (scheme, name) in [
+            (PartitionScheme::DefDp, "DefDP"),
+            (PartitionScheme::SelDp, "SelDP"),
+        ] {
             let reps = 20;
             let start = Instant::now();
             for w in 0..reps {

@@ -76,7 +76,11 @@ fn main() {
         println!(
             "  {:<12} SelDP better-or-equal: {}",
             kind.paper_name(),
-            if better { "yes" } else { "NO (noise at quick scale)" }
+            if better {
+                "yes"
+            } else {
+                "NO (noise at quick scale)"
+            }
         );
     }
 }

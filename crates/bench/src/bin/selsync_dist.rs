@@ -1,0 +1,256 @@
+//! `selsync_dist` — multi-process launcher: run one rank of a real
+//! TCP-fabric training job. Start `n` worker processes (ranks `0..n`)
+//! and one parameter-server process (rank `n`) with the same `--peers`
+//! list and the same training flags; the ranks dial each other (with
+//! retry, so start order is free) and run the exact trainer code the
+//! in-process harness uses, so results are bit-identical to a same-seed
+//! single-process run.
+//!
+//! ```sh
+//! P="127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102"
+//! selsync_dist --role ps     --rank 2 --peers $P --strategy selsync --delta 0.25 &
+//! selsync_dist --role worker --rank 0 --peers $P --strategy selsync --delta 0.25 &
+//! selsync_dist --role worker --rank 1 --peers $P --strategy selsync --delta 0.25 &
+//! wait
+//! ```
+
+use selsync_bench::cli::parse_args;
+use selsync_comm::Transport;
+use selsync_core::trainer::{run_server_rank, run_worker_rank};
+use selsync_core::Workload;
+use selsync_net::{TcpEndpoint, TcpFabricConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DIST_USAGE: &str = "\
+selsync_dist — run one rank of a multi-process TCP training job
+
+USAGE:
+  selsync_dist --role ps|worker --rank N --peers host:port,... [training flags]
+
+DIST KEYS:
+  --role             ps | worker                       (required)
+  --rank             this process's rank; workers are 0..n,
+                     the ps is n = peers-1              (required)
+  --peers            comma-separated host:port of every rank, in rank
+                     order; the last entry is the ps    (required)
+  --connect-timeout  seconds to keep redialing peers    (default 60)
+
+The cluster size is taken from --peers (n = entries - 1); any --workers
+flag must agree. All ranks must be given identical training flags and
+the same --seed, or they will disagree on partitions and initial state.
+
+Training flags are those of selsync_run (see selsync_run --help).
+--save-params on the ps rank writes the final global parameters; on a
+worker rank it writes that replica's final parameters.
+";
+
+struct DistArgs {
+    role: String,
+    rank: usize,
+    peers: Vec<String>,
+    connect_timeout: Duration,
+    rest: Vec<String>,
+}
+
+fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
+    let mut role = None;
+    let mut rank = None;
+    let mut peers: Option<Vec<String>> = None;
+    let mut connect_timeout = Duration::from_secs(60);
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        if key == "--help" {
+            return Err(DIST_USAGE.to_string());
+        }
+        let mut dist_value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {key}"))
+        };
+        match key.as_str() {
+            "--role" => role = Some(dist_value()?),
+            "--rank" => {
+                rank = Some(
+                    dist_value()?
+                        .parse()
+                        .map_err(|_| "--rank must be an integer".to_string())?,
+                )
+            }
+            "--peers" => peers = Some(dist_value()?.split(',').map(str::to_string).collect()),
+            "--connect-timeout" => {
+                connect_timeout = Duration::from_secs(
+                    dist_value()?
+                        .parse()
+                        .map_err(|_| "--connect-timeout must be seconds".to_string())?,
+                )
+            }
+            _ => {
+                rest.push(key.clone());
+                rest.push(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("missing value for {key}"))?,
+                );
+            }
+        }
+    }
+    Ok(DistArgs {
+        role: role.ok_or("--role is required")?,
+        rank: rank.ok_or("--rank is required")?,
+        peers: peers.ok_or("--peers is required")?,
+        connect_timeout,
+        rest,
+    })
+}
+
+/// Stable checksum of a parameter vector's exact bit pattern, so ranks
+/// from separate runs can be compared by eye.
+fn params_fingerprint(params: &[f32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in params {
+        for b in v.to_bits().to_be_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dist = match split_dist_args(&args) {
+        Ok(d) => d,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(if args.contains(&"--help".into()) {
+                0
+            } else {
+                2
+            });
+        }
+    };
+    let n_workers = dist.peers.len().saturating_sub(1);
+    if n_workers == 0 {
+        eprintln!("--peers needs at least two entries (1 worker + the ps)");
+        std::process::exit(2);
+    }
+
+    // force the cluster size the peer list implies; reject contradictions
+    let mut training = dist.rest.clone();
+    if let Some(i) = training.iter().position(|a| a == "--workers") {
+        if training[i + 1] != n_workers.to_string() {
+            eprintln!(
+                "--workers {} contradicts --peers ({} workers + 1 ps)",
+                training[i + 1],
+                n_workers
+            );
+            std::process::exit(2);
+        }
+    } else {
+        training.push("--workers".into());
+        training.push(n_workers.to_string());
+    }
+    let run = match parse_args(&training) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    let expected_rank_range = match dist.role.as_str() {
+        "ps" => {
+            if dist.rank != n_workers {
+                eprintln!(
+                    "the ps must be the last rank ({n_workers}), got {}",
+                    dist.rank
+                );
+                std::process::exit(2);
+            }
+            "ps"
+        }
+        "worker" => {
+            if dist.rank >= n_workers {
+                eprintln!("worker rank {} out of range 0..{n_workers}", dist.rank);
+                std::process::exit(2);
+            }
+            "worker"
+        }
+        other => {
+            eprintln!("unknown role '{other}' (ps | worker)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut workload = Workload::for_kind(run.kind, run.data_scale, run.config.seed);
+    if let Some(path) = &run.load_params {
+        workload.init_params =
+            Some(selsync_core::checkpoint::load_params(path).expect("readable checkpoint"));
+        eprintln!("[rank {}] warm-started from {path}", dist.rank);
+    }
+
+    let mut fabric = TcpFabricConfig::new(dist.rank, dist.peers.clone());
+    fabric.connect_timeout = dist.connect_timeout;
+    eprintln!(
+        "[rank {}] {} dialing {} peers ({} on {})...",
+        dist.rank,
+        expected_rank_range,
+        n_workers,
+        run.config.strategy.label(),
+        dist.peers[dist.rank]
+    );
+    let ep = match TcpEndpoint::connect(fabric) {
+        Ok(ep) => ep,
+        Err(e) => {
+            eprintln!("[rank {}] fabric setup failed: {e}", dist.rank);
+            std::process::exit(1);
+        }
+    };
+    let stats = Arc::clone(ep.stats());
+
+    if dist.role == "ps" {
+        let final_params = run_server_rank(ep, &run.config, &workload);
+        println!("role=ps rank={} steps={}", dist.rank, run.config.max_steps);
+        println!(
+            "params_fingerprint=0x{:016x}",
+            params_fingerprint(&final_params)
+        );
+        println!("fabric_bytes_sent={}", stats.total_bytes());
+        if let Some(path) = &run.save_params {
+            selsync_core::checkpoint::save_params(path, &final_params)
+                .expect("writable checkpoint path");
+            eprintln!("[rank {}] saved global params to {path}", dist.rank);
+        }
+    } else {
+        let out = run_worker_rank(ep, &run.config, &workload);
+        println!(
+            "role=worker rank={} steps={}",
+            dist.rank, run.config.max_steps
+        );
+        println!("lssr={:.6}", out.lssr.lssr());
+        println!(
+            "params_fingerprint=0x{:016x}",
+            params_fingerprint(&out.final_params)
+        );
+        println!("fabric_bytes_sent={}", stats.total_bytes());
+        if out.worker == 0 {
+            // step-for-step sync decision log: 1 = synchronized step
+            let decisions: String = out
+                .records
+                .iter()
+                .map(|r| if r.synced { '1' } else { '0' })
+                .collect();
+            println!("decisions={decisions}");
+            if let Some(e) = out.evals.last() {
+                println!("final_metric={:.6}", e.metric);
+            }
+        }
+        if let Some(path) = &run.save_params {
+            selsync_core::checkpoint::save_params(path, &out.final_params)
+                .expect("writable checkpoint path");
+            eprintln!("[rank {}] saved replica params to {path}", dist.rank);
+        }
+    }
+}

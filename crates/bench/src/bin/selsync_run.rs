@@ -34,11 +34,13 @@ fn main() {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("{msg}");
-            std::process::exit(if msg.contains("USAGE") && args.contains(&"--help".into()) {
-                0
-            } else {
-                2
-            });
+            std::process::exit(
+                if msg.contains("USAGE") && args.contains(&"--help".into()) {
+                    0
+                } else {
+                    2
+                },
+            );
         }
     };
     let mut workload = Workload::for_kind(run.kind, run.data_scale, run.config.seed);
@@ -70,13 +72,32 @@ fn main() {
         run.config.strategy.label(),
         run.config.n_workers
     );
-    println!("  {:<26} {}", run.kind.metric(), fmt(run.kind, result.final_metric));
-    println!("  {:<26} {}", "best", fmt(run.kind, result.best_metric(lower)));
+    println!(
+        "  {:<26} {}",
+        run.kind.metric(),
+        fmt(run.kind, result.final_metric)
+    );
+    println!(
+        "  {:<26} {}",
+        "best",
+        fmt(run.kind, result.best_metric(lower))
+    );
     println!("  {:<26} {:.3}", "LSSR", result.lssr.lssr());
-    println!("  {:<26} {:.1}x", "comm reduction vs BSP", result.lssr.comm_reduction());
+    println!(
+        "  {:<26} {:.1}x",
+        "comm reduction vs BSP",
+        result.lssr.comm_reduction()
+    );
     println!("  {:<26} {}", "fabric bytes", result.comm_bytes);
-    println!("  {:<26} {}", "sync payload bytes (w0)", result.logical_sync_bytes);
-    println!("  {:<26} {:.4}", "replica divergence", result.replica_divergence());
+    println!(
+        "  {:<26} {}",
+        "sync payload bytes (w0)", result.logical_sync_bytes
+    );
+    println!(
+        "  {:<26} {:.4}",
+        "replica divergence",
+        result.replica_divergence()
+    );
     println!("  {:<26} {:.1}s", "paper-scale wall-clock", timing.total_s);
     println!("  {:<26} {:.1}s", "host wall-clock", host_s);
     if let Some(path) = &run.save_params {

@@ -116,7 +116,13 @@ fn main() {
                 lssr.map_or("-".into(), |l| format!("{l:.3}")),
                 fmt_metric(kind, best),
                 conv_diff,
-                if is_bsp { "n/a" } else if outperforms { "yes" } else { "no" },
+                if is_bsp {
+                    "n/a"
+                } else if outperforms {
+                    "yes"
+                } else {
+                    "no"
+                },
                 speedup.map_or("-".into(), |s| format!("{s:.2}x")),
             );
             json_row(&Row {
@@ -135,5 +141,7 @@ fn main() {
     println!("Shape checks vs the paper's Table I:");
     println!(" - SelSync reaches BSP-level quality with LSSR well above 0 (comm reduction).");
     println!(" - FedAvg's LSSR is higher still, but its quality depends brittly on (C, E).");
-    println!(" - BSP needs the fewest iterations (most work per step); semi-sync methods need more.");
+    println!(
+        " - BSP needs the fewest iterations (most work per step); semi-sync methods need more."
+    );
 }

@@ -203,7 +203,9 @@ fn parse_compression(value: &str) -> Result<CompressionKind, String> {
             rank: num("--compression", rank)?,
         });
     }
-    Err(format!("unknown compression '{value}' (topk:<ratio> | sign | powersgd:<rank>)"))
+    Err(format!(
+        "unknown compression '{value}' (topk:<ratio> | sign | powersgd:<rank>)"
+    ))
 }
 
 #[cfg(test)]
@@ -242,11 +244,17 @@ mod tests {
     #[test]
     fn compression_variants() {
         let t = parse("--strategy bsp --aggregation ga --compression topk:0.01").unwrap();
-        assert_eq!(t.config.compression, Some(CompressionKind::TopK { ratio: 0.01 }));
+        assert_eq!(
+            t.config.compression,
+            Some(CompressionKind::TopK { ratio: 0.01 })
+        );
         let s = parse("--strategy bsp --aggregation ga --compression sign").unwrap();
         assert_eq!(s.config.compression, Some(CompressionKind::SignSgd));
         let p = parse("--strategy bsp --aggregation ga --compression powersgd:4").unwrap();
-        assert_eq!(p.config.compression, Some(CompressionKind::PowerSgd { rank: 4 }));
+        assert_eq!(
+            p.config.compression,
+            Some(CompressionKind::PowerSgd { rank: 4 })
+        );
     }
 
     #[test]
@@ -278,7 +286,9 @@ mod tests {
 
     #[test]
     fn errors_are_helpful() {
-        assert!(parse("--model inception").unwrap_err().contains("unknown model"));
+        assert!(parse("--model inception")
+            .unwrap_err()
+            .contains("unknown model"));
         assert!(parse("--bogus 1").unwrap_err().contains("unknown flag"));
         assert!(parse("--steps abc").unwrap_err().contains("invalid value"));
         assert!(parse("--help").unwrap_err().contains("USAGE"));

@@ -70,7 +70,10 @@ pub fn banner(id: &str, title: &str) {
 
 /// Emit one machine-readable result row.
 pub fn json_row<T: Serialize>(row: &T) {
-    println!("JSON {}", serde_json::to_string(row).expect("serializable row"));
+    println!(
+        "JSON {}",
+        serde_json::to_string(row).expect("serializable row")
+    );
 }
 
 /// The standard experiment config for a workload under a strategy, at
@@ -207,7 +210,10 @@ mod tests {
         }
         assert!(matches!(opt, OptimKind::Sgd { .. }));
         let (lr_a, opt_a) = recipe(ModelKind::AlexNetMini, 400);
-        assert!(matches!(lr_a, LrSchedule::Constant { .. }), "AlexNet fixed lr");
+        assert!(
+            matches!(lr_a, LrSchedule::Constant { .. }),
+            "AlexNet fixed lr"
+        );
         assert!(matches!(opt_a, OptimKind::Adam));
         let (lr_t, _) = recipe(ModelKind::TransformerMini, 400);
         assert!(matches!(lr_t, LrSchedule::Exponential { .. }));

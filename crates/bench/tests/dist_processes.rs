@@ -1,0 +1,131 @@
+//! End-to-end acceptance for the multi-process launcher: spawn real
+//! `selsync_dist` OS processes (2 workers + 1 PS on localhost TCP) and
+//! check they reproduce the in-process run of the same configuration —
+//! identical per-step sync decisions, bit-identical final global
+//! parameters, and fabric byte totals equal to the shared in-process
+//! counter.
+
+use selsync_bench::cli::parse_args;
+use selsync_core::{checkpoint, run_distributed, Workload};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+
+const TRAINING_FLAGS: &[&str] = &[
+    "--model",
+    "vgg",
+    "--strategy",
+    "selsync",
+    "--delta",
+    "0.25",
+    "--steps",
+    "15",
+    "--batch",
+    "8",
+    "--data",
+    "96",
+    "--eval-every",
+    "15",
+    "--seed",
+    "42",
+    "--workers",
+    "2",
+];
+
+/// Reserve distinct loopback ports by binding and immediately dropping
+/// listeners. Racy in principle; ports this fresh are re-bindable in
+/// practice, and a collision only fails the test spuriously.
+fn free_ports(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+fn spawn_rank(role: &str, rank: usize, peers: &str, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_selsync_dist"))
+        .args([
+            "--role",
+            role,
+            "--rank",
+            &rank.to_string(),
+            "--peers",
+            peers,
+        ])
+        .args(TRAINING_FLAGS)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn selsync_dist")
+}
+
+fn stdout_field(stdout: &str, key: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("missing {key} in output:\n{stdout}"))
+        .to_string()
+}
+
+#[test]
+fn three_processes_reproduce_the_in_process_run() {
+    let peers = free_ports(3).join(",");
+    let ckpt = std::env::temp_dir().join(format!("selsync_dist_test_{}.bin", std::process::id()));
+    let ckpt_str = ckpt.to_str().unwrap();
+
+    let ps = spawn_rank("ps", 2, &peers, &["--save-params", ckpt_str]);
+    let w0 = spawn_rank("worker", 0, &peers, &[]);
+    let w1 = spawn_rank("worker", 1, &peers, &[]);
+
+    let ps_out = ps.wait_with_output().unwrap();
+    let w0_out = w0.wait_with_output().unwrap();
+    let w1_out = w1.wait_with_output().unwrap();
+    assert!(ps_out.status.success(), "ps exited nonzero");
+    assert!(w0_out.status.success(), "worker 0 exited nonzero");
+    assert!(w1_out.status.success(), "worker 1 exited nonzero");
+    let ps_stdout = String::from_utf8(ps_out.stdout).unwrap();
+    let w0_stdout = String::from_utf8(w0_out.stdout).unwrap();
+    let w1_stdout = String::from_utf8(w1_out.stdout).unwrap();
+
+    // reference: the same configuration through the in-process trainer
+    let run = parse_args(
+        &TRAINING_FLAGS
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let workload = Workload::for_kind(run.kind, run.data_scale, run.config.seed);
+    let reference = run_distributed(&run.config, &workload);
+
+    // step-for-step identical sync decisions
+    let ref_decisions: String = reference
+        .step_records
+        .iter()
+        .map(|r| if r.synced { '1' } else { '0' })
+        .collect();
+    assert_eq!(stdout_field(&w0_stdout, "decisions"), ref_decisions);
+
+    // bit-identical final global parameters
+    let dist_params = checkpoint::load_params(&ckpt).expect("ps checkpoint");
+    std::fs::remove_file(&ckpt).ok();
+    assert_eq!(
+        dist_params.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        reference
+            .final_params
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        "multi-process params must be bit-identical to in-process"
+    );
+
+    // per-process send counters sum to the in-process shared counter
+    let total: u64 = [&ps_stdout, &w0_stdout, &w1_stdout]
+        .iter()
+        .map(|s| stdout_field(s, "fabric_bytes_sent").parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(total, reference.comm_bytes, "framed byte totals must match");
+}

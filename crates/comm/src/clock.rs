@@ -17,7 +17,9 @@ impl ClusterClock {
     /// A clock with `n` worker lanes at t = 0.
     pub fn new(n: usize) -> Self {
         assert!(n > 0);
-        ClusterClock { lanes: vec![0.0; n] }
+        ClusterClock {
+            lanes: vec![0.0; n],
+        }
     }
 
     /// Number of lanes.

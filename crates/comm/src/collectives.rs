@@ -6,7 +6,8 @@
 //! ring, phases within a step), so a fast worker entering step `i+1`
 //! cannot corrupt a slow worker still finishing step `i`.
 
-use crate::fabric::{Endpoint, Payload};
+use crate::fabric::Payload;
+use crate::transport::Transport;
 
 /// Maximum phases a single collective may use within one step tag.
 pub const TAG_STRIDE: u64 = 256;
@@ -30,7 +31,12 @@ pub fn phase_tag(step: u64, phase: u64) -> u64 {
 /// Returns the full flags array indexed by worker id. Total traffic is
 /// `(N−1)` bits' worth of messages per worker, matching the paper's
 /// negligible-overhead claim.
-pub fn allgather_flags(ep: &mut Endpoint, n_workers: usize, step: u64, my_bit: u8) -> Vec<u8> {
+pub fn allgather_flags<T: Transport>(
+    ep: &mut T,
+    n_workers: usize,
+    step: u64,
+    my_bit: u8,
+) -> Vec<u8> {
     let me = ep.id();
     debug_assert!(me < n_workers, "server must not join the flags allgather");
     let tag = phase_tag(step, FLAGS_PHASE);
@@ -71,7 +77,7 @@ fn chunks(len: usize, n: usize) -> Vec<(usize, usize)> {
 /// `N−1` scatter-reduce phases followed by `N−1` allgather phases, each
 /// worker exchanging one `len/N` chunk with its ring neighbours per
 /// phase — the collective §III-E suggests swapping in for the PS.
-pub fn ring_allreduce(ep: &mut Endpoint, n_workers: usize, step: u64, data: &mut [f32]) {
+pub fn ring_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, data: &mut [f32]) {
     let me = ep.id();
     debug_assert!(me < n_workers);
     if n_workers == 1 {
@@ -85,7 +91,11 @@ pub fn ring_allreduce(ep: &mut Endpoint, n_workers: usize, step: u64, data: &mut
         let send_chunk = (me + n_workers - p) % n_workers;
         let recv_chunk = (me + n_workers - p - 1) % n_workers;
         let (s, e) = bounds[send_chunk];
-        ep.send(next, phase_tag(step, p as u64), Payload::Grads(data[s..e].to_vec()));
+        ep.send(
+            next,
+            phase_tag(step, p as u64),
+            Payload::Grads(data[s..e].to_vec()),
+        );
         let m = ep.recv_tagged(Some(prev), phase_tag(step, p as u64));
         if let Payload::Grads(incoming) = m.payload {
             let (rs, re) = bounds[recv_chunk];
@@ -119,7 +129,7 @@ pub fn ring_allreduce(ep: &mut Endpoint, n_workers: usize, step: u64, data: &mut
 
 /// Simple root-based allreduce (sum): everyone sends to worker 0, which
 /// reduces and broadcasts. The PS-like baseline the ring is compared to.
-pub fn root_allreduce(ep: &mut Endpoint, n_workers: usize, step: u64, data: &mut [f32]) {
+pub fn root_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, data: &mut [f32]) {
     let me = ep.id();
     if n_workers == 1 {
         return;
@@ -150,7 +160,7 @@ pub fn root_allreduce(ep: &mut Endpoint, n_workers: usize, step: u64, data: &mut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fabric::Fabric;
+    use crate::fabric::{Endpoint, Fabric};
     use std::thread;
 
     fn run_workers<F>(n: usize, f: F) -> Vec<Vec<f32>>

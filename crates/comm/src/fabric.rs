@@ -29,20 +29,38 @@ pub enum Payload {
     Control(u64),
 }
 
+/// Bytes every encoded frame spends before the payload body:
+/// `u32` frame length + `u32` sender id + `u64` tag + `u8` payload kind.
+pub const FRAME_HEADER_BYTES: u64 = 4 + 4 + 8 + 1;
+
 impl Payload {
-    /// Approximate bytes this payload would occupy on a wire.
-    pub fn wire_bytes(&self) -> u64 {
+    /// Bytes of the payload body as the wire codec encodes it (length
+    /// prefixes included). `selsync-net` asserts this against real
+    /// encoded frames, so in-process and TCP byte accounting agree.
+    pub fn body_bytes(&self) -> u64 {
         match self {
-            Payload::Params(v) | Payload::Grads(v) => 4 * v.len() as u64,
-            Payload::Flags(v) => v.len() as u64,
-            Payload::Samples { data, targets, .. } => 4 * data.len() as u64 + 8 * targets.len() as u64,
+            Payload::Params(v) | Payload::Grads(v) => 4 + 4 * v.len() as u64,
+            Payload::Flags(v) => 4 + v.len() as u64,
+            Payload::Samples {
+                data,
+                targets,
+                dims,
+            } => {
+                4 + 4 * data.len() as u64 + 4 + 8 * targets.len() as u64 + 4 + 8 * dims.len() as u64
+            }
             Payload::Control(_) => 8,
         }
+    }
+
+    /// Exact bytes this payload occupies on the wire, header included —
+    /// the unit every [`CommStats`] counter is denominated in.
+    pub fn wire_bytes(&self) -> u64 {
+        FRAME_HEADER_BYTES + self.body_bytes()
     }
 }
 
 /// An addressed, tagged message.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Msg {
     /// Sender endpoint id.
     pub from: usize,
@@ -198,15 +216,19 @@ mod tests {
 
     #[test]
     fn wire_bytes_accounting() {
-        assert_eq!(Payload::Params(vec![0.0; 10]).wire_bytes(), 40);
-        assert_eq!(Payload::Flags(vec![0; 16]).wire_bytes(), 16);
-        assert_eq!(Payload::Control(0).wire_bytes(), 8);
+        // header (17) + u32 count + 4 bytes per f32
+        assert_eq!(Payload::Params(vec![0.0; 10]).wire_bytes(), 17 + 4 + 40);
+        // header + u32 count + 1 byte per flag
+        assert_eq!(Payload::Flags(vec![0; 16]).wire_bytes(), 17 + 4 + 16);
+        // header + u64 code
+        assert_eq!(Payload::Control(0).wire_bytes(), 17 + 8);
+        // header + three length-prefixed sections
         let s = Payload::Samples {
             data: vec![0.0; 6],
             targets: vec![1, 2],
             dims: vec![3, 2],
         };
-        assert_eq!(s.wire_bytes(), 24 + 16);
+        assert_eq!(s.wire_bytes(), 17 + (4 + 24) + (4 + 16) + (4 + 16));
     }
 
     #[test]
@@ -219,7 +241,8 @@ mod tests {
         c.send(0, 0, Payload::Flags(vec![0; 3]));
         let _ = a.recv_any();
         let _ = a.recv_any();
-        assert_eq!(a.stats().total_bytes(), 403);
+        // Params(100): 17 + 4 + 400; Flags(3): 17 + 4 + 3
+        assert_eq!(a.stats().total_bytes(), 421 + 24);
         assert_eq!(a.stats().total_messages(), 2);
     }
 

@@ -18,8 +18,10 @@ pub mod fabric;
 pub mod netmodel;
 pub mod ps;
 pub mod stats;
+pub mod transport;
 
 pub use clock::ClusterClock;
-pub use fabric::{Endpoint, Fabric, Msg, Payload};
+pub use fabric::{Endpoint, Fabric, Msg, Payload, FRAME_HEADER_BYTES};
 pub use netmodel::NetworkModel;
 pub use stats::CommStats;
+pub use transport::Transport;

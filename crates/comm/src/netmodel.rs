@@ -111,7 +111,10 @@ mod tests {
         let t4 = nm().ring_allreduce_time(m, 4);
         let t16 = nm().ring_allreduce_time(m, 16);
         // volume term: 2(N-1)/N approaches 2; ratio stays near 1
-        assert!(t16 / t4 < 1.4, "ring allreduce is bandwidth-optimal: {t4} vs {t16}");
+        assert!(
+            t16 / t4 < 1.4,
+            "ring allreduce is bandwidth-optimal: {t4} vs {t16}"
+        );
     }
 
     #[test]

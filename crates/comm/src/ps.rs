@@ -12,7 +12,8 @@
 //!   reply from any worker running more than `staleness` steps ahead of
 //!   the slowest active worker (§II-C).
 
-use crate::fabric::{Endpoint, Msg, Payload};
+use crate::fabric::{Msg, Payload};
+use crate::transport::Transport;
 
 /// Control code: pull-only request.
 pub const CTRL_PULL: u64 = 1;
@@ -32,7 +33,12 @@ pub enum SyncRequest {
 
 /// Client side of one synchronous round: send the request tagged with
 /// `step`, block for the averaged reply.
-pub fn sync_round(ep: &mut Endpoint, server: usize, step: u64, req: SyncRequest) -> Vec<f32> {
+pub fn sync_round<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    req: SyncRequest,
+) -> Vec<f32> {
     let payload = match req {
         SyncRequest::PushParams(v) => Payload::Params(v),
         SyncRequest::PushGrads(v) => Payload::Grads(v),
@@ -47,7 +53,7 @@ pub fn sync_round(ep: &mut Endpoint, server: usize, step: u64, req: SyncRequest)
 }
 
 /// Tell the server this worker is finished.
-pub fn send_shutdown(ep: &mut Endpoint, server: usize, step: u64) {
+pub fn send_shutdown<T: Transport>(ep: &mut T, server: usize, step: u64) {
     ep.send(server, step, Payload::Control(CTRL_SHUTDOWN));
 }
 
@@ -61,7 +67,11 @@ pub fn send_shutdown(ep: &mut Endpoint, server: usize, step: u64) {
 ///   *not* advanced (the server does not know the optimizer), which is
 ///   exactly the local/global divergence GA exhibits in Fig. 10/11;
 /// * pure pull round → reply the stored global.
-pub fn run_round_server(mut ep: Endpoint, n_workers: usize, init_params: Vec<f32>) -> Vec<f32> {
+pub fn run_round_server<T: Transport>(
+    mut ep: T,
+    n_workers: usize,
+    init_params: Vec<f32>,
+) -> Vec<f32> {
     let mut global = init_params;
     let mut done = vec![false; n_workers];
     while done.iter().any(|d| !d) {
@@ -136,7 +146,7 @@ fn average(vs: &[&[f32]]) -> Vec<f32> {
 /// Client side of one SSP step: push the local delta (non-blocking on
 /// the server's apply) and pull the current global, blocking only if the
 /// staleness bound holds this worker back.
-pub fn ssp_step(ep: &mut Endpoint, server: usize, step: u64, delta: Vec<f32>) -> Vec<f32> {
+pub fn ssp_step<T: Transport>(ep: &mut T, server: usize, step: u64, delta: Vec<f32>) -> Vec<f32> {
     ep.send(server, step, Payload::Grads(delta));
     ep.send(server, step, Payload::Control(CTRL_PULL));
     let reply = ep.recv_tagged(Some(server), step);
@@ -148,8 +158,8 @@ pub fn ssp_step(ep: &mut Endpoint, server: usize, step: u64, delta: Vec<f32>) ->
 
 /// Run the stale-synchronous server until all workers shut down.
 /// Returns the final global parameters.
-pub fn run_ssp_server(
-    mut ep: Endpoint,
+pub fn run_ssp_server<T: Transport>(
+    mut ep: T,
     n_workers: usize,
     init_params: Vec<f32>,
     staleness: u64,
@@ -202,7 +212,7 @@ pub fn run_ssp_server(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fabric::Fabric;
+    use crate::fabric::{Endpoint, Fabric};
     use std::thread;
 
     /// n workers + server; run `worker` on each, round server on the last

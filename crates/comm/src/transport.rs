@@ -1,0 +1,101 @@
+//! The [`Transport`] abstraction: everything the parameter servers,
+//! collectives, and trainer need from a message fabric, factored out of
+//! [`Endpoint`](crate::fabric::Endpoint) so the same algorithm code runs
+//! unchanged over in-process channels or real TCP sockets
+//! (`selsync-net`).
+
+use crate::fabric::{Msg, Payload};
+use crate::stats::CommStats;
+use std::sync::Arc;
+
+/// One rank's handle on a fully-connected message fabric.
+///
+/// Semantics every implementation must provide, matching the channel
+/// fabric the algorithms were written against:
+///
+/// * `send` is non-blocking and never reorders messages between a fixed
+///   (sender, receiver) pair;
+/// * `recv_tagged` buffers non-matching messages instead of dropping
+///   them, preserving arrival order for later receives;
+/// * self-send (`to == id()`) loops back through the receive path;
+/// * every sent payload is counted in `stats()` at exactly
+///   [`Payload::wire_bytes`] bytes.
+pub trait Transport {
+    /// This rank's id (workers `0..n`, server `n` by convention).
+    fn id(&self) -> usize;
+
+    /// Number of ranks in the fabric (including this one).
+    fn fabric_size(&self) -> usize;
+
+    /// Byte/message counters for traffic this handle observes.
+    fn stats(&self) -> &Arc<CommStats>;
+
+    /// Send `payload` to rank `to` with tag `tag`.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the fabric is torn down.
+    fn send(&self, to: usize, tag: u64, payload: Payload);
+
+    /// Blocking receive of the next message regardless of tag/sender.
+    fn recv_any(&mut self) -> Msg;
+
+    /// Blocking receive of the next message matching `tag` (and `from`,
+    /// if given). Non-matching messages are buffered, preserving order.
+    fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Msg;
+
+    /// Non-blocking receive of any message (buffered first).
+    fn try_recv(&mut self) -> Option<Msg>;
+}
+
+impl Transport for crate::fabric::Endpoint {
+    fn id(&self) -> usize {
+        crate::fabric::Endpoint::id(self)
+    }
+
+    fn fabric_size(&self) -> usize {
+        crate::fabric::Endpoint::fabric_size(self)
+    }
+
+    fn stats(&self) -> &Arc<CommStats> {
+        crate::fabric::Endpoint::stats(self)
+    }
+
+    fn send(&self, to: usize, tag: u64, payload: Payload) {
+        crate::fabric::Endpoint::send(self, to, tag, payload)
+    }
+
+    fn recv_any(&mut self) -> Msg {
+        crate::fabric::Endpoint::recv_any(self)
+    }
+
+    fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Msg {
+        crate::fabric::Endpoint::recv_tagged(self, from, tag)
+    }
+
+    fn try_recv(&mut self) -> Option<Msg> {
+        crate::fabric::Endpoint::try_recv(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+
+    fn ping<T: Transport>(a: &mut T, b: &mut T) {
+        a.send(b.id(), 9, Payload::Control(1));
+        let m = b.recv_tagged(Some(a.id()), 9);
+        assert_eq!(m.payload, Payload::Control(1));
+    }
+
+    #[test]
+    fn endpoint_satisfies_the_trait() {
+        let mut eps = Fabric::new(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        assert_eq!(Transport::id(&a), 0);
+        assert_eq!(Transport::fabric_size(&a), 2);
+        ping(&mut a, &mut b);
+        assert_eq!(Transport::stats(&a).total_messages(), 1);
+    }
+}

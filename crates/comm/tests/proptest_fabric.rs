@@ -43,8 +43,9 @@ proptest! {
         let mut a = eps.pop().unwrap();
         let mut expected = 0u64;
         for (i, &s) in sizes.iter().enumerate() {
-            b.send(0, i as u64, Payload::Params(vec![0.0; s]));
-            expected += 4 * s as u64;
+            let p = Payload::Params(vec![0.0; s]);
+            expected += p.wire_bytes();
+            b.send(0, i as u64, p);
         }
         for i in 0..sizes.len() {
             let _ = a.recv_tagged(Some(1), i as u64);

@@ -48,7 +48,10 @@ pub fn load_params(path: impl AsRef<Path>) -> io::Result<Vec<f32>> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a SSYN checkpoint"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a SSYN checkpoint",
+        ));
     }
     let mut len_bytes = [0u8; 8];
     r.read_exact(&mut len_bytes)?;

@@ -124,7 +124,10 @@ pub fn powersgd_factorize(
     iters: usize,
     seed: u64,
 ) -> (Tensor, Tensor) {
-    assert!(rows > 0 && grad.len().is_multiple_of(rows), "grad must reshape to rows×cols");
+    assert!(
+        rows > 0 && grad.len().is_multiple_of(rows),
+        "grad must reshape to rows×cols"
+    );
     let cols = grad.len() / rows;
     let rank = rank.clamp(1, rows.min(cols));
     let m = Tensor::from_vec(grad.to_vec(), [rows, cols]);

@@ -204,7 +204,10 @@ mod tests {
             .label(),
             "SelSync δ=0.25 PA"
         );
-        assert_eq!(Strategy::FedAvg { c: 1.0, e: 0.25 }.label(), "FedAvg(1, 0.25)");
+        assert_eq!(
+            Strategy::FedAvg { c: 1.0, e: 0.25 }.label(),
+            "FedAvg(1, 0.25)"
+        );
         assert_eq!(Strategy::Ssp { staleness: 100 }.label(), "SSP s=100");
     }
 

@@ -34,14 +34,18 @@ pub mod workload;
 
 pub use config::{Aggregation, CompressionKind, OptimKind, RunConfig, Strategy, SyncBackend};
 pub use metrics::{EvalRecord, RunResult, StepRecord};
-pub use trainer::run_distributed;
+pub use trainer::{run_distributed, run_server_rank, run_worker_rank, WorkerOutput};
 pub use workload::Workload;
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
-    pub use crate::config::{Aggregation, CompressionKind, OptimKind, RunConfig, Strategy, SyncBackend};
+    pub use crate::config::{
+        Aggregation, CompressionKind, OptimKind, RunConfig, Strategy, SyncBackend,
+    };
     pub use crate::metrics::{EvalRecord, RunResult, StepRecord};
-    pub use crate::timing::{simulate_heterogeneous, simulate_timeline, TimingBreakdown, TimingParams};
+    pub use crate::timing::{
+        simulate_heterogeneous, simulate_timeline, TimingBreakdown, TimingParams,
+    };
     pub use crate::trainer::run_distributed;
     pub use crate::workload::Workload;
     pub use selsync_data::{InjectionConfig, PartitionScheme};

@@ -14,14 +14,7 @@ pub struct StepRecord {
     pub synced: bool,
     /// Δ(g_i) on worker 0 (NaN for strategies that don't compute it).
     /// JSON represents NaN as `null`; deserialization maps it back.
-    #[serde(deserialize_with = "f32_or_nan")]
     pub delta_g: f32,
-}
-
-/// Accept `null` (serde_json's encoding of NaN) as `f32::NAN`.
-fn f32_or_nan<'de, D: serde::Deserializer<'de>>(d: D) -> Result<f32, D::Error> {
-    let v: Option<f32> = serde::Deserialize::deserialize(d)?;
-    Ok(v.unwrap_or(f32::NAN))
 }
 
 /// One periodic evaluation on the held-out split (worker 0's model).

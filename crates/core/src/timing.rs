@@ -304,13 +304,18 @@ mod tests {
             &p,
             &mult,
         );
-        let ssp_het =
-            simulate_heterogeneous(Strategy::Ssp { staleness: 10 }, &recs, &p, &mult);
+        let ssp_het = simulate_heterogeneous(Strategy::Ssp { staleness: 10 }, &recs, &p, &mult);
         let ssp_hom = simulate_timeline(Strategy::Ssp { staleness: 10 }, &recs, &p);
         let bsp_penalty = bsp_het.compute_s / bsp_hom.compute_s;
         let ssp_penalty = ssp_het.total_s / ssp_hom.total_s;
-        assert!((bsp_penalty - 3.0).abs() < 1e-9, "BSP pays the straggler fully");
-        assert!(ssp_penalty < bsp_penalty, "SSP absorbs heterogeneity: {ssp_penalty}");
+        assert!(
+            (bsp_penalty - 3.0).abs() < 1e-9,
+            "BSP pays the straggler fully"
+        );
+        assert!(
+            ssp_penalty < bsp_penalty,
+            "SSP absorbs heterogeneity: {ssp_penalty}"
+        );
     }
 
     #[test]

@@ -11,10 +11,11 @@ use crate::config::{Aggregation, CompressionKind, OptimKind, RunConfig, Strategy
 use crate::metrics::{EvalRecord, RunResult, StepRecord};
 use crate::workload::{AnyModel, Workload, WorkloadData, SEQ_LEN};
 use selsync_comm::collectives::{allgather_flags, phase_tag, ring_allreduce};
-use selsync_comm::fabric::{Endpoint, Fabric, Payload};
+use selsync_comm::fabric::{Fabric, Payload};
 use selsync_comm::ps::{
     run_round_server, run_ssp_server, send_shutdown, ssp_step, sync_round, SyncRequest,
 };
+use selsync_comm::Transport;
 use selsync_data::{
     noniid_label_partition, partition_indices, BatchCursor, InjectionConfig, TextBatchCursor,
 };
@@ -45,46 +46,34 @@ pub fn run_distributed(config: &RunConfig, workload: &Workload) -> RunResult {
     let server_ep = endpoints.pop().expect("server endpoint");
     let stats = Arc::clone(server_ep.stats());
 
-    // identical initial state for PS and all replicas (§III-C premise)
-    let init_params = flat_params(workload.build_model().as_visitor());
+    let workload = Arc::new(workload.clone());
+    let config = Arc::new(config.clone());
 
     // the decentralized backend has no server thread; the endpoint is
     // simply parked (workers never address it)
-    let server_handle = match (config.backend, config.strategy) {
-        (SyncBackend::RingAllReduce, _) => None,
-        (_, Strategy::Ssp { staleness }) => {
-            let init = init_params.clone();
+    let server_handle = match config.backend {
+        SyncBackend::RingAllReduce => None,
+        SyncBackend::ParameterServer => {
+            let wl = Arc::clone(&workload);
+            let cfg = Arc::clone(&config);
             Some(
                 thread::Builder::new()
                     .name("selsync-ps".into())
-                    .spawn(move || run_ssp_server(server_ep, n, init, staleness))
-                    .expect("spawn PS"),
-            )
-        }
-        _ => {
-            let init = init_params.clone();
-            Some(
-                thread::Builder::new()
-                    .name("selsync-ps".into())
-                    .spawn(move || run_round_server(server_ep, n, init))
+                    .spawn(move || run_server_rank(server_ep, &cfg, &wl))
                     .expect("spawn PS"),
             )
         }
     };
 
-    let workload = Arc::new(workload.clone());
-    let config = Arc::new(config.clone());
-    let partitions = build_partitions(&config, &workload);
-
     let mut handles = Vec::with_capacity(n);
-    for (worker, ep) in endpoints.into_iter().enumerate() {
+    for ep in endpoints {
         let wl = Arc::clone(&workload);
         let cfg = Arc::clone(&config);
-        let part = partitions[worker].clone();
+        let worker = ep.id();
         handles.push(
             thread::Builder::new()
                 .name(format!("selsync-w{worker}"))
-                .spawn(move || worker_main(worker, ep, &cfg, &wl, part))
+                .spawn(move || run_worker_rank(ep, &cfg, &wl))
                 .expect("spawn worker"),
         );
     }
@@ -155,7 +144,10 @@ fn validate(config: &RunConfig, workload: &Workload) {
             }
             _ => false,
         };
-        assert!(grads_agg, "compression applies to gradient-aggregation syncs only");
+        assert!(
+            grads_agg,
+            "compression applies to gradient-aggregation syncs only"
+        );
     }
 }
 
@@ -180,13 +172,68 @@ fn build_partitions(config: &RunConfig, workload: &Workload) -> Vec<Vec<usize>> 
         .collect()
 }
 
-struct WorkerOutput {
-    worker: usize,
-    final_params: Vec<f32>,
-    lssr: LssrCounter,
-    records: Vec<StepRecord>,
-    evals: Vec<EvalRecord>,
-    logical_sync_bytes: u64,
+/// What one worker rank produces; [`run_distributed`] merges these into
+/// a [`RunResult`], multi-process launchers report them per rank.
+pub struct WorkerOutput {
+    /// Worker id (`ep.id()`).
+    pub worker: usize,
+    /// Flat replica parameters after the last step.
+    pub final_params: Vec<f32>,
+    /// Local/sync step counts.
+    pub lssr: LssrCounter,
+    /// Per-step decision log (worker 0 only; empty elsewhere).
+    pub records: Vec<StepRecord>,
+    /// Periodic held-out evaluations (worker 0 only; empty elsewhere).
+    pub evals: Vec<EvalRecord>,
+    /// Model bytes this worker contributed to syncs (post-compression).
+    pub logical_sync_bytes: u64,
+}
+
+/// Run the parameter-server role for one experiment over any
+/// [`Transport`] — in-process endpoint or a real socket fabric. The
+/// server's rank must be `config.n_workers` (the fabric convention).
+/// Returns the final global parameters.
+///
+/// Initial parameters are derived deterministically from the workload's
+/// seeded model build, so separately-launched processes agree on the
+/// starting state without a broadcast.
+pub fn run_server_rank<T: Transport>(ep: T, config: &RunConfig, workload: &Workload) -> Vec<f32> {
+    validate(config, workload);
+    assert_eq!(
+        ep.id(),
+        config.n_workers,
+        "the PS listens on rank n_workers"
+    );
+    assert_eq!(
+        config.backend,
+        SyncBackend::ParameterServer,
+        "the decentralized backend has no server rank"
+    );
+    let init = flat_params(workload.build_model().as_visitor());
+    match config.strategy {
+        Strategy::Ssp { staleness } => run_ssp_server(ep, config.n_workers, init, staleness),
+        _ => run_round_server(ep, config.n_workers, init),
+    }
+}
+
+/// Run one worker rank (`ep.id()` in `0..config.n_workers`) over any
+/// [`Transport`]. The worker's data partition is recomputed
+/// deterministically from the config and workload, so separately
+/// launched processes slice the dataset exactly as the in-process
+/// trainer does.
+pub fn run_worker_rank<T: Transport>(
+    mut ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+) -> WorkerOutput {
+    validate(config, workload);
+    let worker = ep.id();
+    assert!(worker < config.n_workers, "worker rank out of range");
+    let partition = build_partitions(config, workload)
+        .into_iter()
+        .nth(worker)
+        .expect("partition for rank");
+    worker_main(worker, &mut ep, config, workload, partition)
 }
 
 enum AnyOptimizer {
@@ -293,7 +340,10 @@ impl SyncCtx {
                 let (pm, qm) = crate::compression::powersgd_factorize(&padded, rows, rank, 1, 0);
                 let mut rec = crate::compression::powersgd_reconstruct(&pm, &qm);
                 rec.truncate(n);
-                (rec, crate::compression::powersgd_wire_bytes(rows, cols, rank))
+                (
+                    rec,
+                    crate::compression::powersgd_wire_bytes(rows, cols, rank),
+                )
             }
         };
         for ((r, g), l) in self.residual.iter_mut().zip(grads.iter()).zip(&lossy) {
@@ -312,9 +362,9 @@ fn grad_sqnorm(m: &dyn ParamVisitor) -> f32 {
 }
 
 #[allow(clippy::too_many_lines)]
-fn worker_main(
+fn worker_main<T: Transport>(
     worker: usize,
-    mut ep: Endpoint,
+    ep: &mut T,
     config: &RunConfig,
     workload: &Workload,
     partition: Vec<usize>,
@@ -348,15 +398,13 @@ fn worker_main(
     // decentralized backend there is no server; replicas already share
     // the seeded init (the §III-C broadcast-equivalent).
     if ctx.backend == SyncBackend::ParameterServer {
-        let init = sync_round(&mut ep, ctx.server, INIT_TAG, SyncRequest::Pull);
+        let init = sync_round(ep, ctx.server, INIT_TAG, SyncRequest::Pull);
         set_flat_params(model.as_model(), &init);
     }
 
     // FedAvg synchronizes x = 1/E times per epoch, uniformly spaced
     let fedavg_interval = match config.strategy {
-        Strategy::FedAvg { e, .. } => {
-            ((cursor.steps_per_epoch() as f32 * e).round() as u64).max(1)
-        }
+        Strategy::FedAvg { e, .. } => ((cursor.steps_per_epoch() as f32 * e).round() as u64).max(1),
         _ => u64::MAX,
     };
 
@@ -378,7 +426,7 @@ fn worker_main(
 
         // --- data injection: sharers broadcast a slice of their batch ---
         if let Some(inj) = injection {
-            batch = exchange_injection(&mut ep, n, step, inj, config.seed, batch);
+            batch = exchange_injection(ep, n, step, inj, config.seed, batch);
         }
 
         // --- forward / backward on the (possibly augmented) batch ---
@@ -393,7 +441,7 @@ fn worker_main(
         // --- strategy-specific update & communication ---
         let (synced, delta_g) = match config.strategy {
             Strategy::Bsp { aggregation } => {
-                apply_sync(&mut ep, &mut ctx, step, &mut model, &mut opt, aggregation);
+                apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation);
                 (true, f32::NAN)
             }
             Strategy::LocalOnly => {
@@ -404,9 +452,9 @@ fn worker_main(
                 // Alg. 1 lines 8–15
                 let dg = relchange.update(grad_sqnorm(model.as_visitor()));
                 let my_bit = u8::from(dg >= delta);
-                let flags = allgather_flags(&mut ep, n, step, my_bit);
+                let flags = allgather_flags(ep, n, step, my_bit);
                 if flags.contains(&1) {
-                    apply_sync(&mut ep, &mut ctx, step, &mut model, &mut opt, aggregation);
+                    apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation);
                     (true, dg)
                 } else {
                     opt.step(model.as_model());
@@ -417,17 +465,14 @@ fn worker_main(
                 opt.step(model.as_model());
                 if (step + 1).is_multiple_of(fedavg_interval) {
                     let round = (step + 1) / fedavg_interval;
-                    let participants = InjectionConfig::new(c, 1.0).select_sharers(
-                        n,
-                        config.seed ^ 0xFEDA,
-                        round,
-                    );
+                    let participants =
+                        InjectionConfig::new(c, 1.0).select_sharers(n, config.seed ^ 0xFEDA, round);
                     let req = if participants.binary_search(&worker).is_ok() {
                         SyncRequest::PushParams(flat_params(model.as_visitor()))
                     } else {
                         SyncRequest::Pull
                     };
-                    let avg = sync_round(&mut ep, ctx.server, step, req);
+                    let avg = sync_round(ep, ctx.server, step, req);
                     ctx.logical_bytes += 4 * avg.len() as u64;
                     set_flat_params(model.as_model(), &avg);
                     (true, f32::NAN)
@@ -441,7 +486,7 @@ fn worker_main(
                 let after = flat_params(model.as_visitor());
                 let delta: Vec<f32> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
                 ctx.logical_bytes += 4 * before.len() as u64;
-                let global = ssp_step(&mut ep, ctx.server, step, delta);
+                let global = ssp_step(ep, ctx.server, step, delta);
                 set_flat_params(model.as_model(), &global);
                 (true, f32::NAN)
             }
@@ -471,7 +516,7 @@ fn worker_main(
 
     // dedicated shutdown round (all workers, same tag)
     if ctx.backend == SyncBackend::ParameterServer {
-        send_shutdown(&mut ep, ctx.server, config.max_steps);
+        send_shutdown(ep, ctx.server, config.max_steps);
     }
 
     WorkerOutput {
@@ -488,8 +533,8 @@ fn worker_main(
 /// gradient-aggregation variant otherwise), through the configured
 /// transport: PS push/pull rounds or the decentralized ring allreduce
 /// §III-E suggests as a drop-in replacement.
-fn apply_sync(
-    ep: &mut Endpoint,
+fn apply_sync<T: Transport>(
+    ep: &mut T,
     ctx: &mut SyncCtx,
     step: u64,
     model: &mut AnyModel,
@@ -541,8 +586,8 @@ fn apply_sync(
 }
 
 /// Broadcast/collect injection samples and build the augmented batch.
-fn exchange_injection(
-    ep: &mut Endpoint,
+fn exchange_injection<T: Transport>(
+    ep: &mut T,
     n: usize,
     step: u64,
     inj: InjectionConfig,
@@ -581,7 +626,12 @@ fn exchange_injection(
     // the gradients) are independent of message arrival order
     received.sort_by_key(|m| m.from);
     for m in received {
-        if let Payload::Samples { data, targets, dims } = m.payload {
+        if let Payload::Samples {
+            data,
+            targets,
+            dims,
+        } = m.payload
+        {
             let mut shape = vec![targets.len()];
             shape.extend(&dims);
             let incoming = Batch::dense(Tensor::from_vec(data, shape.as_slice()), targets);
@@ -697,7 +747,10 @@ mod tests {
         };
         let r = run_distributed(&cfg, &mlp_workload());
         let lssr = r.lssr.lssr();
-        assert!(lssr > 0.0, "some steps go local with a positive δ (lssr={lssr})");
+        assert!(
+            lssr > 0.0,
+            "some steps go local with a positive δ (lssr={lssr})"
+        );
         assert!(lssr < 1.0, "step 0 always syncs (Δ = ∞)");
         assert!(r.step_records[0].synced, "first step must synchronize");
     }
@@ -759,7 +812,11 @@ mod tests {
         );
         let wl = Workload::text(SEQ_LEN * 40, 3);
         let r = run_distributed(&cfg, &wl);
-        assert!(r.final_metric > 1.0, "perplexity is > 1: {}", r.final_metric);
+        assert!(
+            r.final_metric > 1.0,
+            "perplexity is > 1: {}",
+            r.final_metric
+        );
     }
 
     #[test]
@@ -800,7 +857,11 @@ mod tests {
         cfg.backend = SyncBackend::RingAllReduce;
         let ring = run_distributed(&cfg, &wl);
         let dist = crate::divergence::l2_distance(&ps.worker_params[0], &ring.worker_params[0]);
-        let norm: f32 = ps.worker_params[0].iter().map(|v| v * v).sum::<f32>().sqrt();
+        let norm: f32 = ps.worker_params[0]
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt();
         assert!(
             dist < 1e-3 * norm.max(1.0),
             "PS and ring training should agree: distance {dist}"

@@ -87,7 +87,11 @@ mod tests {
     #[test]
     fn cumulative_batch_is_restored() {
         // b′(1 + αβN) ≈ b within rounding
-        for &(a, b_, n, bsz) in &[(0.5f32, 0.5f32, 16usize, 32usize), (0.75, 0.75, 10, 32), (1.0, 1.0, 4, 64)] {
+        for &(a, b_, n, bsz) in &[
+            (0.5f32, 0.5f32, 16usize, 32usize),
+            (0.75, 0.75, 10, 32),
+            (1.0, 1.0, 4, 64),
+        ] {
             let c = InjectionConfig::new(a, b_);
             let bp = c.adjusted_batch_size(bsz, n);
             let cumulative = bp as f32 * (1.0 + a * b_ * n as f32);

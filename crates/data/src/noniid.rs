@@ -70,7 +70,11 @@ pub fn noniid_label_partition(
         let share = by_class[c].len() / owners.len().max(1);
         for (k, &w) in owners.iter().enumerate() {
             let start = k * share;
-            let end = if k + 1 == owners.len() { by_class[c].len() } else { start + share };
+            let end = if k + 1 == owners.len() {
+                by_class[c].len()
+            } else {
+                start + share
+            };
             out[w].extend_from_slice(&by_class[c][start..end]);
         }
     }

@@ -98,7 +98,11 @@ mod tests {
             let mut order = partition_indices(n, w, worker, PartitionScheme::SelDp);
             assert_eq!(order.len(), n);
             order.sort_unstable();
-            assert_eq!(order, (0..n).collect::<Vec<_>>(), "worker {worker} sees all data");
+            assert_eq!(
+                order,
+                (0..n).collect::<Vec<_>>(),
+                "worker {worker} sees all data"
+            );
         }
     }
 
@@ -125,7 +129,10 @@ mod tests {
             .collect();
         for (worker, &h) in heads.iter().enumerate() {
             let (s, e) = bounds[worker];
-            assert!(h >= s && h < e, "worker {worker} head {h} not in its own chunk");
+            assert!(
+                h >= s && h < e,
+                "worker {worker} head {h} not in its own chunk"
+            );
         }
     }
 
@@ -144,7 +151,10 @@ mod tests {
     #[test]
     fn single_worker_degenerates_to_identity() {
         for scheme in [PartitionScheme::DefDp, PartitionScheme::SelDp] {
-            assert_eq!(partition_indices(7, 1, 0, scheme), (0..7).collect::<Vec<_>>());
+            assert_eq!(
+                partition_indices(7, 1, 0, scheme),
+                (0..7).collect::<Vec<_>>()
+            );
         }
     }
 }

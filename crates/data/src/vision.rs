@@ -50,7 +50,8 @@ impl VisionDataset {
         // prototypes depend only on `seed`
         let mut proto_rng = StdRng::seed_from_u64(seed);
         let protos = init::randn([num_classes, FEATURES], 1.0, &mut proto_rng);
-        let mut rng = StdRng::seed_from_u64(sample_seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed));
+        let mut rng =
+            StdRng::seed_from_u64(sample_seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed));
         let mut x = init::randn([n, FEATURES], 1.0, &mut rng);
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
@@ -144,7 +145,10 @@ mod tests {
     fn all_classes_exactly_balanced() {
         let d = VisionDataset::synthetic(2000, 10, 6, 7);
         let h = d.class_histogram();
-        assert!(h.iter().all(|&count| count == 200), "round-robin labels: {h:?}");
+        assert!(
+            h.iter().all(|&count| count == 200),
+            "round-robin labels: {h:?}"
+        );
     }
 
     #[test]
@@ -156,7 +160,10 @@ mod tests {
         assert_eq!(t[1], d.labels[0]);
         assert_eq!(t[0], t[2]);
         let feat = FEATURES;
-        assert_eq!(&x.as_slice()[..feat], &d.images.as_slice()[3 * feat..4 * feat]);
+        assert_eq!(
+            &x.as_slice()[..feat],
+            &d.images.as_slice()[3 * feat..4 * feat]
+        );
     }
 
     #[test]
@@ -180,6 +187,9 @@ mod tests {
         }
         let logits = m.forward(&Input::Dense(x), false);
         let acc = accuracy(&logits, &t);
-        assert!(acc > 0.6, "linear probe accuracy {acc} should beat 0.25 chance easily");
+        assert!(
+            acc > 0.6,
+            "linear probe accuracy {acc} should beat 0.25 chance easily"
+        );
     }
 }

@@ -1,0 +1,282 @@
+//! Binary wire codec for fabric messages.
+//!
+//! One encoded frame per [`Msg`]:
+//!
+//! ```text
+//! [u32 rest_len][u32 from][u64 tag][u8 kind][body]
+//! ```
+//!
+//! Body layouts by kind (big-endian, length prefixes inline):
+//!
+//! * `Params`/`Grads`: `u32 count` + `count × f32`
+//! * `Flags`:          `u32 count` + `count × u8`
+//! * `Samples`:        three sections — `u32 count + count × f32` data,
+//!   `u32 count + count × u64` targets, `u32 count + count × u64` dims
+//! * `Control`:        `u64 code`
+//!
+//! Floats travel as raw IEEE-754 bits, so a decoded vector is
+//! bit-identical to the encoded one (NaN payloads included) — the
+//! property the loopback determinism tests rely on.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use selsync_comm::{Msg, Payload};
+use std::fmt;
+
+const KIND_PARAMS: u8 = 0;
+const KIND_GRADS: u8 = 1;
+const KIND_FLAGS: u8 = 2;
+const KIND_SAMPLES: u8 = 3;
+const KIND_CONTROL: u8 = 4;
+
+/// Decoding failure; encoding cannot fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame ended before its declared length.
+    Truncated {
+        /// Bytes the frame declared or the section required.
+        needed: usize,
+        /// Bytes actually present.
+        have: usize,
+    },
+    /// Unknown payload kind byte.
+    BadKind(u8),
+    /// Frame bytes left over after the body was fully decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            CodecError::BadKind(k) => write!(f, "unknown payload kind {k}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload body"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn kind_of(payload: &Payload) -> u8 {
+    match payload {
+        Payload::Params(_) => KIND_PARAMS,
+        Payload::Grads(_) => KIND_GRADS,
+        Payload::Flags(_) => KIND_FLAGS,
+        Payload::Samples { .. } => KIND_SAMPLES,
+        Payload::Control(_) => KIND_CONTROL,
+    }
+}
+
+/// Encode one message as a complete wire frame.
+///
+/// The returned buffer's length always equals
+/// [`Payload::wire_bytes`] — asserted here, so any drift between the
+/// analytic accounting and the real codec fails loudly rather than
+/// skewing `CommStats`.
+pub fn encode_frame(from: usize, tag: u64, payload: &Payload) -> Bytes {
+    let wire = payload.wire_bytes() as usize;
+    let mut buf = BytesMut::with_capacity(wire);
+    buf.put_u32((wire - 4) as u32);
+    buf.put_u32(from as u32);
+    buf.put_u64(tag);
+    buf.put_u8(kind_of(payload));
+    match payload {
+        Payload::Params(v) | Payload::Grads(v) => put_f32_section(&mut buf, v),
+        Payload::Flags(v) => {
+            buf.put_u32(v.len() as u32);
+            buf.put_slice(v);
+        }
+        Payload::Samples {
+            data,
+            targets,
+            dims,
+        } => {
+            put_f32_section(&mut buf, data);
+            put_u64_section(&mut buf, targets);
+            put_u64_section(&mut buf, dims);
+        }
+        Payload::Control(code) => buf.put_u64(*code),
+    }
+    assert_eq!(
+        buf.len(),
+        wire,
+        "encoded frame length diverged from Payload::wire_bytes"
+    );
+    buf.freeze()
+}
+
+fn put_f32_section(buf: &mut BytesMut, v: &[f32]) {
+    buf.put_u32(v.len() as u32);
+    for x in v {
+        buf.put_f32(*x);
+    }
+}
+
+fn put_u64_section(buf: &mut BytesMut, v: &[usize]) {
+    buf.put_u32(v.len() as u32);
+    for x in v {
+        buf.put_u64(*x as u64);
+    }
+}
+
+/// Decode a complete frame (as produced by [`encode_frame`]) back into
+/// a [`Msg`].
+pub fn decode_frame(frame: &[u8]) -> Result<Msg, CodecError> {
+    if frame.len() < 4 {
+        return Err(CodecError::Truncated {
+            needed: 4,
+            have: frame.len(),
+        });
+    }
+    let declared = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+    let rest = &frame[4..];
+    if rest.len() != declared {
+        return Err(CodecError::Truncated {
+            needed: declared,
+            have: rest.len(),
+        });
+    }
+    decode_after_len(rest)
+}
+
+/// Decode the portion of a frame after the `u32 rest_len` prefix — what
+/// the TCP reader hands over once it has read a full frame body.
+pub fn decode_after_len(mut buf: &[u8]) -> Result<Msg, CodecError> {
+    let from = get_u32_checked(&mut buf)? as usize;
+    let tag = get_u64_checked(&mut buf)?;
+    let kind = {
+        let b = take(&mut buf, 1)?;
+        b[0]
+    };
+    let payload = match kind {
+        KIND_PARAMS => Payload::Params(get_f32_section(&mut buf)?),
+        KIND_GRADS => Payload::Grads(get_f32_section(&mut buf)?),
+        KIND_FLAGS => {
+            let count = get_u32_checked(&mut buf)? as usize;
+            Payload::Flags(take(&mut buf, count)?.to_vec())
+        }
+        KIND_SAMPLES => {
+            let data = get_f32_section(&mut buf)?;
+            let targets = get_u64_section(&mut buf)?;
+            let dims = get_u64_section(&mut buf)?;
+            Payload::Samples {
+                data,
+                targets,
+                dims,
+            }
+        }
+        KIND_CONTROL => Payload::Control(get_u64_checked(&mut buf)?),
+        other => return Err(CodecError::BadKind(other)),
+    };
+    if buf.has_remaining() {
+        return Err(CodecError::TrailingBytes(buf.remaining()));
+    }
+    Ok(Msg { from, tag, payload })
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if buf.len() < n {
+        return Err(CodecError::Truncated {
+            needed: n,
+            have: buf.len(),
+        });
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn get_u32_checked(buf: &mut &[u8]) -> Result<u32, CodecError> {
+    let b = take(buf, 4)?;
+    Ok(u32::from_be_bytes(b.try_into().unwrap()))
+}
+
+fn get_u64_checked(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    let b = take(buf, 8)?;
+    Ok(u64::from_be_bytes(b.try_into().unwrap()))
+}
+
+fn get_f32_section(buf: &mut &[u8]) -> Result<Vec<f32>, CodecError> {
+    let count = get_u32_checked(buf)? as usize;
+    let raw = take(buf, count * 4)?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| f32::from_bits(u32::from_be_bytes(c.try_into().unwrap())))
+        .collect())
+}
+
+fn get_u64_section(buf: &mut &[u8]) -> Result<Vec<usize>, CodecError> {
+    let count = get_u32_checked(buf)? as usize;
+    let raw = take(buf, count * 8)?;
+    Ok(raw
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes(c.try_into().unwrap()) as usize)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(from: usize, tag: u64, payload: Payload) -> Msg {
+        let frame = encode_frame(from, tag, &payload);
+        assert_eq!(frame.len() as u64, payload.wire_bytes());
+        decode_frame(&frame).expect("decode")
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let cases = vec![
+            Payload::Params(vec![1.0, -2.5, f32::NAN, 0.0]),
+            Payload::Grads(vec![]),
+            Payload::Flags(vec![0, 1, 1, 0, 1]),
+            Payload::Samples {
+                data: vec![0.5; 7],
+                targets: vec![3, 1, 4],
+                dims: vec![3, 8, 8],
+            },
+            Payload::Control(u64::MAX),
+        ];
+        for (i, p) in cases.into_iter().enumerate() {
+            let m = roundtrip(i, i as u64 * 1000, p.clone());
+            assert_eq!(m.from, i);
+            assert_eq!(m.tag, i as u64 * 1000);
+            match (&m.payload, &p) {
+                // NaN != NaN under PartialEq; compare bit patterns
+                (Payload::Params(a), Payload::Params(b)) => {
+                    assert_eq!(
+                        a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+                (got, want) => assert_eq!(got, want),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let frame = encode_frame(0, 7, &Payload::Params(vec![1.0, 2.0]));
+        for cut in 1..frame.len() {
+            assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_kind_and_trailing_bytes_error() {
+        let mut frame = encode_frame(0, 0, &Payload::Control(1)).to_vec();
+        let kind_pos = 4 + 4 + 8;
+        frame[kind_pos] = 200;
+        assert_eq!(decode_frame(&frame), Err(CodecError::BadKind(200)));
+
+        let mut padded = encode_frame(0, 0, &Payload::Control(1)).to_vec();
+        padded.push(0);
+        let declared = (padded.len() - 4) as u32;
+        padded[..4].copy_from_slice(&declared.to_be_bytes());
+        assert_eq!(decode_frame(&padded), Err(CodecError::TrailingBytes(1)));
+    }
+}

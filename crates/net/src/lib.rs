@@ -1,0 +1,26 @@
+//! # selsync-net
+//!
+//! Real-socket transport for the SelSync fabric: a length-prefixed
+//! binary wire codec for [`selsync_comm::Payload`] frames and a blocking
+//! TCP fabric ([`TcpEndpoint`]) implementing
+//! [`selsync_comm::Transport`], so every strategy in `selsync-core` runs
+//! unchanged across OS processes (DESIGN.md substitution 1, lifted: the
+//! transport is no longer simulated).
+//!
+//! Wire format (all integers big-endian):
+//!
+//! ```text
+//! [u32 rest_len][u32 from][u64 tag][u8 kind][body...]
+//! ```
+//!
+//! `rest_len` counts every byte after itself. The frame length is the
+//! authoritative [`Payload::wire_bytes`]: the codec asserts the two
+//! agree on every encode, so `CommStats` totals equal bytes moved.
+//!
+//! [`Payload::wire_bytes`]: selsync_comm::Payload::wire_bytes
+
+pub mod codec;
+pub mod tcp;
+
+pub use codec::{decode_frame, encode_frame, CodecError};
+pub use tcp::{TcpEndpoint, TcpFabricConfig};

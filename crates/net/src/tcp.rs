@@ -1,0 +1,536 @@
+//! Blocking TCP fabric: a fully-connected mesh of processes (or
+//! threads) speaking the [`codec`](crate::codec) wire format.
+//!
+//! Topology: rank `i` listens on `peers[i]` and dials one outbound
+//! connection to every other rank, so each ordered pair owns a
+//! unidirectional stream. Frames self-identify their sender, so no
+//! handshake is needed. Per-peer writer threads drain an unbounded
+//! frame queue (keeping [`Transport::send`] non-blocking, like the
+//! channel fabric), and per-connection reader threads decode frames
+//! into one shared inbox feeding the same tagged-receive semantics as
+//! the in-process endpoint.
+
+use crate::codec::{decode_after_len, encode_frame};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use selsync_comm::{CommStats, Msg, Payload, Transport};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Ceiling on a single frame's declared size; a corrupted length
+/// prefix fails fast instead of attempting a huge allocation.
+const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// How often blocked reader/acceptor threads wake to check shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Configuration for one rank of a TCP fabric.
+#[derive(Debug, Clone)]
+pub struct TcpFabricConfig {
+    /// This process's rank (index into `peers`).
+    pub rank: usize,
+    /// `host:port` of every rank, in rank order. `peers.len()` is the
+    /// fabric size.
+    pub peers: Vec<String>,
+    /// Total budget for dialing each peer (retry with backoff inside).
+    pub connect_timeout: Duration,
+    /// Socket write timeout per frame.
+    pub write_timeout: Duration,
+    /// Watchdog for blocking receives: a `recv_*` that sees no matching
+    /// message for this long panics (deadlock/peer-death detector).
+    pub recv_timeout: Duration,
+}
+
+impl TcpFabricConfig {
+    /// Config with production-lenient timeouts.
+    pub fn new(rank: usize, peers: Vec<String>) -> Self {
+        TcpFabricConfig {
+            rank,
+            peers,
+            connect_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            recv_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// One rank's handle on the TCP fabric. Implements [`Transport`], so
+/// the PS, collectives and trainer run over it unchanged.
+pub struct TcpEndpoint {
+    id: usize,
+    n: usize,
+    /// Frame queues to each peer's writer thread; `None` at `id`
+    /// (self-sends loop back through `inbox_tx`).
+    outbound: Vec<Option<Sender<Bytes>>>,
+    inbox_tx: Sender<Msg>,
+    inbox: Receiver<Msg>,
+    pending: VecDeque<Msg>,
+    stats: Arc<CommStats>,
+    recv_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl TcpEndpoint {
+    /// Bind `peers[rank]`, accept inbound connections from every other
+    /// rank, and dial every peer (with retry/backoff, so ranks may
+    /// start in any order). Returns once all outbound connections are
+    /// established.
+    pub fn connect(config: TcpFabricConfig) -> io::Result<TcpEndpoint> {
+        let listener = TcpListener::bind(config.peers[config.rank].as_str())?;
+        Self::connect_with_listener(config, listener)
+    }
+
+    /// Like [`connect`](Self::connect) but over a pre-bound listener —
+    /// lets tests bind port 0 and exchange the real addresses first.
+    pub fn connect_with_listener(
+        config: TcpFabricConfig,
+        listener: TcpListener,
+    ) -> io::Result<TcpEndpoint> {
+        let n = config.peers.len();
+        assert!(config.rank < n, "rank {} out of range 0..{n}", config.rank);
+        let local_addr = listener.local_addr()?;
+        let (inbox_tx, inbox) = unbounded::<Msg>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // Acceptor: owns the listener and every reader thread it spawns.
+        if n > 1 {
+            let acceptor_inbox = inbox_tx.clone();
+            let acceptor_shutdown = Arc::clone(&shutdown);
+            listener.set_nonblocking(true)?;
+            threads.push(std::thread::spawn(move || {
+                accept_loop(listener, acceptor_inbox, acceptor_shutdown);
+            }));
+        }
+
+        // Dial every peer. Synchronous here is deadlock-free: inbound
+        // connections land in the already-running acceptor.
+        let mut outbound: Vec<Option<Sender<Bytes>>> = Vec::with_capacity(n);
+        for (peer, addr) in config.peers.iter().enumerate() {
+            if peer == config.rank {
+                outbound.push(None);
+                continue;
+            }
+            let stream = dial(addr, config.connect_timeout)?;
+            stream.set_nodelay(true)?;
+            stream.set_write_timeout(Some(config.write_timeout))?;
+            let (tx, rx) = unbounded::<Bytes>();
+            let writer_shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                write_loop(stream, rx, writer_shutdown);
+            }));
+            outbound.push(Some(tx));
+        }
+
+        Ok(TcpEndpoint {
+            id: config.rank,
+            n,
+            outbound,
+            inbox_tx,
+            inbox,
+            pending: VecDeque::new(),
+            stats: Arc::new(CommStats::default()),
+            recv_timeout: config.recv_timeout,
+            shutdown,
+            threads,
+            local_addr,
+        })
+    }
+
+    /// The address this rank's listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Flush queued frames to every peer, close the outbound streams,
+    /// and join all fabric threads. Called implicitly on drop; explicit
+    /// calls make shutdown ordering visible in launcher code.
+    pub fn close(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Dropping the queues lets writers drain whatever is in flight,
+        // then send FIN, so peers see clean EOFs at frame boundaries.
+        self.outbound.clear();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn blocking_recv(&mut self, mut matches: impl FnMut(&Msg) -> bool) -> Msg {
+        if let Some(pos) = self.pending.iter().position(&mut matches) {
+            return self.pending.remove(pos).unwrap();
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "tcp fabric rank {}: no matching message within {:?} \
+                         ({} buffered); peer dead or tag mismatch",
+                        self.id,
+                        self.recv_timeout,
+                        self.pending.len()
+                    )
+                });
+            match self.inbox.recv_timeout(remaining) {
+                Ok(m) if matches(&m) => return m,
+                Ok(m) => self.pending.push_back(m),
+                Err(RecvTimeoutError::Timeout) => continue, // panics above
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("inbox_tx is owned by the endpoint")
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn fabric_size(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    fn send(&self, to: usize, tag: u64, payload: Payload) {
+        assert!(to < self.n, "destination {to} out of range");
+        self.stats.record(payload.wire_bytes());
+        if to == self.id {
+            // loop back without touching a socket, like the channel
+            // fabric's self-send (bytes are still accounted above)
+            self.inbox_tx
+                .send(Msg {
+                    from: self.id,
+                    tag,
+                    payload,
+                })
+                .expect("inbox closed");
+            return;
+        }
+        let frame = encode_frame(self.id, tag, &payload);
+        self.outbound[to]
+            .as_ref()
+            .expect("endpoint already closed")
+            .send(frame)
+            .expect("writer thread gone");
+    }
+
+    fn recv_any(&mut self) -> Msg {
+        self.blocking_recv(|_| true)
+    }
+
+    fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Msg {
+        self.blocking_recv(|m| m.tag == tag && from.is_none_or(|f| m.from == f))
+    }
+
+    fn try_recv(&mut self) -> Option<Msg> {
+        if let Some(m) = self.pending.pop_front() {
+            return Some(m);
+        }
+        self.inbox.try_recv().ok()
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// Dial `addr` until it answers or `timeout` elapses. Exponential
+/// backoff from 20ms; lets a whole fleet be launched in any order.
+fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_millis(20);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() + backoff >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("dialing {addr} failed after {timeout:?}: {e}"),
+                    ));
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inbox: Sender<Msg>, shutdown: Arc<AtomicBool>) {
+    let mut readers = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let reader_inbox = inbox.clone();
+                let reader_shutdown = Arc::clone(&shutdown);
+                readers.push(std::thread::spawn(move || {
+                    read_loop(stream, reader_inbox, reader_shutdown);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in readers {
+        let _ = handle.join();
+    }
+}
+
+/// Outcome of filling a fixed-size buffer from a socket.
+enum ReadOutcome {
+    Full,
+    /// Peer closed cleanly at a frame boundary.
+    CleanEof,
+    /// Local shutdown was requested while blocked.
+    Shutdown,
+}
+
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+    allow_clean_eof: bool,
+) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && allow_clean_eof {
+                    Ok(ReadOutcome::CleanEof)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Shutdown);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn read_loop(mut stream: TcpStream, inbox: Sender<Msg>, shutdown: Arc<AtomicBool>) {
+    loop {
+        let mut len_bytes = [0u8; 4];
+        match read_full(&mut stream, &mut len_bytes, &shutdown, true) {
+            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::CleanEof) | Ok(ReadOutcome::Shutdown) => return,
+            Err(e) => {
+                report_read_error(&shutdown, &e);
+                return;
+            }
+        }
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_BYTES {
+            report_read_error(
+                &shutdown,
+                &io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds cap"),
+                ),
+            );
+            return;
+        }
+        let mut body = vec![0u8; len];
+        match read_full(&mut stream, &mut body, &shutdown, false) {
+            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::CleanEof) => unreachable!("clean EOF not allowed mid-frame"),
+            Ok(ReadOutcome::Shutdown) => return,
+            Err(e) => {
+                report_read_error(&shutdown, &e);
+                return;
+            }
+        }
+        match decode_after_len(&body) {
+            Ok(msg) => {
+                if inbox.send(msg).is_err() {
+                    return; // endpoint gone
+                }
+            }
+            Err(e) => {
+                report_read_error(
+                    &shutdown,
+                    &io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn report_read_error(shutdown: &AtomicBool, e: &io::Error) {
+    // Errors during teardown are expected (peers racing to close).
+    if !shutdown.load(Ordering::SeqCst) {
+        eprintln!("selsync-net: connection error: {e}");
+    }
+}
+
+fn write_loop(mut stream: TcpStream, frames: Receiver<Bytes>, shutdown: Arc<AtomicBool>) {
+    // recv() errors once the endpoint drops the sender: drain then FIN.
+    while let Ok(frame) = frames.recv() {
+        if let Err(e) = stream.write_all(&frame) {
+            if !shutdown.load(Ordering::SeqCst) {
+                eprintln!("selsync-net: write error: {e}");
+            }
+            return;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Bind `n` loopback listeners on ephemeral ports and connect a
+    /// full mesh of endpoints over them.
+    pub(crate) fn loopback_fabric(n: usize) -> Vec<TcpEndpoint> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let peers: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let mut config = TcpFabricConfig::new(rank, peers.clone());
+                config.recv_timeout = Duration::from_secs(20);
+                thread::spawn(move || TcpEndpoint::connect_with_listener(config, listener).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn point_to_point_and_self_send() {
+        let mut eps = loopback_fabric(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 1, Payload::Params(vec![1.0, -2.0]));
+        let m = a.recv_tagged(Some(1), 1);
+        assert_eq!(m.from, 1);
+        assert_eq!(m.payload, Payload::Params(vec![1.0, -2.0]));
+        a.send(0, 2, Payload::Control(9)); // self-send loops back
+        assert_eq!(a.recv_tagged(Some(0), 2).payload, Payload::Control(9));
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn tagged_receive_buffers_out_of_order() {
+        let mut eps = loopback_fabric(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 2, Payload::Control(2));
+        b.send(0, 1, Payload::Control(1));
+        let m1 = a.recv_tagged(None, 1);
+        assert_eq!(m1.payload, Payload::Control(1));
+        let m2 = a.recv_tagged(Some(1), 2);
+        assert_eq!(m2.payload, Payload::Control(2));
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn byte_accounting_matches_encoded_frames() {
+        let mut eps = loopback_fabric(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let payloads = [
+            Payload::Params(vec![0.5; 33]),
+            Payload::Flags(vec![1; 5]),
+            Payload::Control(7),
+            Payload::Samples {
+                data: vec![1.0; 12],
+                targets: vec![0, 1, 2],
+                dims: vec![2, 2, 3],
+            },
+        ];
+        let mut expected = 0u64;
+        for (i, p) in payloads.iter().enumerate() {
+            expected += encode_frame(1, i as u64, p).len() as u64;
+            b.send(0, i as u64, p.clone());
+        }
+        for i in 0..payloads.len() {
+            let _ = a.recv_tagged(Some(1), i as u64);
+        }
+        assert_eq!(b.stats().total_bytes(), expected);
+        assert_eq!(b.stats().total_messages(), payloads.len() as u64);
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn mesh_ring_traffic_across_threads() {
+        let n = 4;
+        let eps = loopback_fabric(n);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let me = ep.id();
+                    let next = (me + 1) % n;
+                    let prev = (me + n - 1) % n;
+                    for step in 0..50u64 {
+                        ep.send(next, step, Payload::Params(vec![me as f32, step as f32]));
+                        let m = ep.recv_tagged(Some(prev), step);
+                        assert_eq!(m.payload, Payload::Params(vec![prev as f32, step as f32]));
+                    }
+                    ep.close();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dial_gives_up_after_timeout() {
+        // a bound-then-dropped port is very likely unreachable
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let start = Instant::now();
+        let r = dial(&addr, Duration::from_millis(300));
+        assert!(r.is_err());
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

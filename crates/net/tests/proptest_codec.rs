@@ -1,0 +1,110 @@
+//! Property test: every `Payload` variant survives an encode→decode
+//! round trip bit-exactly, and the real frame length always equals the
+//! analytic `Payload::wire_bytes` used by `CommStats`.
+
+use proptest::prelude::*;
+use selsync_comm::Payload;
+use selsync_net::{decode_frame, encode_frame};
+
+/// Bit patterns `PartialEq` would mishandle (NaN) or conflate (-0.0);
+/// spliced into generated vectors so the bit-exactness claim covers
+/// the whole f32 value space, not just finite range samples.
+const SPECIAL_F32: [f32; 5] = [
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    -0.0,
+    f32::MIN_POSITIVE,
+];
+
+fn splice_specials(mut v: Vec<f32>, salt: u64) -> Vec<f32> {
+    // deterministic insertion spots derived from the generated data
+    for (i, s) in SPECIAL_F32.iter().enumerate() {
+        let pos = (salt as usize + i * 7) % (v.len() + 1);
+        v.insert(pos, *s);
+    }
+    v
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn roundtrip(from: usize, tag: u64, payload: &Payload) -> Payload {
+    let frame = encode_frame(from, tag, payload);
+    assert_eq!(
+        frame.len() as u64,
+        payload.wire_bytes(),
+        "frame length must equal Payload::wire_bytes"
+    );
+    let msg = decode_frame(&frame).expect("well-formed frame must decode");
+    assert_eq!(msg.from, from);
+    assert_eq!(msg.tag, tag);
+    msg.payload
+}
+
+proptest! {
+    #[test]
+    fn params_roundtrip_bit_exact(
+        v in prop::collection::vec(-1e30f32..1e30, 0..256usize),
+        from in 0usize..256,
+        tag in 0u64..u64::MAX,
+    ) {
+        let v = splice_specials(v, tag);
+        match roundtrip(from, tag, &Payload::Params(v.clone())) {
+            Payload::Params(out) => prop_assert_eq!(bits(&out), bits(&v)),
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn grads_roundtrip_bit_exact(
+        v in prop::collection::vec(-1e-3f32..1e-3, 0..256usize),
+        tag in 0u64..u64::MAX,
+    ) {
+        let v = splice_specials(v, tag);
+        match roundtrip(1, tag, &Payload::Grads(v.clone())) {
+            Payload::Grads(out) => prop_assert_eq!(bits(&out), bits(&v)),
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn flags_roundtrip(
+        v in prop::collection::vec(0u8..=255, 0..512usize),
+        from in 0usize..64,
+        tag in 0u64..u64::MAX,
+    ) {
+        let out = roundtrip(from, tag, &Payload::Flags(v.clone()));
+        prop_assert_eq!(out, Payload::Flags(v));
+    }
+
+    #[test]
+    fn samples_roundtrip_bit_exact(
+        data in prop::collection::vec(-10.0f32..10.0, 0..128usize),
+        targets in prop::collection::vec(0usize..1_000_000, 0..32usize),
+        dims in prop::collection::vec(1usize..4096, 0..8usize),
+        tag in 0u64..u64::MAX,
+    ) {
+        let data = splice_specials(data, tag);
+        let payload = Payload::Samples {
+            data: data.clone(),
+            targets: targets.clone(),
+            dims: dims.clone(),
+        };
+        match roundtrip(3, tag, &payload) {
+            Payload::Samples { data: d, targets: t, dims: m } => {
+                prop_assert_eq!(bits(&d), bits(&data));
+                prop_assert_eq!(t, targets);
+                prop_assert_eq!(m, dims);
+            }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn control_roundtrip(code in 0u64..u64::MAX, from in 0usize..1024, tag in 0u64..u64::MAX) {
+        let out = roundtrip(from, tag, &Payload::Control(code));
+        prop_assert_eq!(out, Payload::Control(code));
+    }
+}

@@ -82,7 +82,11 @@ impl Batch {
     pub fn concat_dense(&self, other: &Batch) -> Batch {
         let a = self.input.dense();
         let b = other.input.dense();
-        assert_eq!(a.shape().dims()[1..], b.shape().dims()[1..], "feature shapes must match");
+        assert_eq!(
+            a.shape().dims()[1..],
+            b.shape().dims()[1..],
+            "feature shapes must match"
+        );
         let mut data = a.as_slice().to_vec();
         data.extend_from_slice(b.as_slice());
         let mut dims = a.shape().dims().to_vec();

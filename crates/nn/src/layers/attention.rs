@@ -33,7 +33,10 @@ pub struct MultiHeadSelfAttention {
 impl MultiHeadSelfAttention {
     /// A fresh attention block with `heads` heads over `dim` channels.
     pub fn new(name: &str, dim: usize, heads: usize, rng: &mut StdRng) -> Self {
-        assert!(heads >= 1 && dim.is_multiple_of(heads), "dim must divide into heads");
+        assert!(
+            heads >= 1 && dim.is_multiple_of(heads),
+            "dim must divide into heads"
+        );
         MultiHeadSelfAttention {
             wq: Linear::new_no_bias(&format!("{name}.wq"), dim, dim, rng),
             wk: Linear::new_no_bias(&format!("{name}.wk"), dim, dim, rng),
@@ -79,7 +82,11 @@ impl MultiHeadSelfAttention {
 
     /// Forward pass over `[batch*seq, dim]` activations.
     pub fn forward_seq(&mut self, x: &Tensor, batch: usize, seq: usize, causal: bool) -> Tensor {
-        assert_eq!(x.shape().dims(), &[batch * seq, self.dim], "layout mismatch");
+        assert_eq!(
+            x.shape().dims(),
+            &[batch * seq, self.dim],
+            "layout mismatch"
+        );
         self.batch = batch;
         self.seq = seq;
         self.q = self.wq.forward(x, true);

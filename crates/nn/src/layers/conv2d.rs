@@ -183,7 +183,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut c = Conv2d::new("c", 2, 3, 4, 4, 3, 1, 1, &mut rng);
         let x = init::randn([1, 2, 4, 4], 1.0, &mut rng);
-        let objective = |c: &mut Conv2d, x: &Tensor| -> f32 { c.forward(x, true).as_slice().iter().sum() };
+        let objective =
+            |c: &mut Conv2d, x: &Tensor| -> f32 { c.forward(x, true).as_slice().iter().sum() };
         let base = objective(&mut c, &x);
         c.zero_grad();
         let dy = Tensor::ones([1, 3, 4, 4]);
@@ -195,14 +196,20 @@ mod tests {
             c2.w.value.as_mut_slice()[wi] += eps;
             let fd = (objective(&mut c2, &x) - base) / eps;
             let an = c.w.grad.as_slice()[wi];
-            assert!((an - fd).abs() < 0.05 * fd.abs().max(1.0), "w[{wi}]: {an} vs {fd}");
+            assert!(
+                (an - fd).abs() < 0.05 * fd.abs().max(1.0),
+                "w[{wi}]: {an} vs {fd}"
+            );
         }
         for &xi in &[0usize, 9, 30] {
             let mut xp = x.clone();
             xp.as_mut_slice()[xi] += eps;
             let fd = (objective(&mut c, &xp) - base) / eps;
             let an = dx.as_slice()[xi];
-            assert!((an - fd).abs() < 0.05 * fd.abs().max(1.0), "x[{xi}]: {an} vs {fd}");
+            assert!(
+                (an - fd).abs() < 0.05 * fd.abs().max(1.0),
+                "x[{xi}]: {an} vs {fd}"
+            );
         }
     }
 

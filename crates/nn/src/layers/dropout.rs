@@ -65,7 +65,11 @@ impl Module for Dropout {
         self.mask.reserve(x.numel());
         let mut y = x.clone();
         for v in y.as_mut_slice() {
-            let m = if self.rng.random::<f32>() < keep { scale } else { 0.0 };
+            let m = if self.rng.random::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            };
             self.mask.push(m);
             *v *= m;
         }

@@ -23,7 +23,10 @@ impl Embedding {
     /// A fresh embedding table with N(0, 0.02) init.
     pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
         Embedding {
-            w: Param::new(format!("{name}.weight"), init::randn([vocab, dim], 0.02, rng)),
+            w: Param::new(
+                format!("{name}.weight"),
+                init::randn([vocab, dim], 0.02, rng),
+            ),
             vocab,
             dim,
             cache_ids: Vec::new(),
@@ -53,7 +56,11 @@ impl Embedding {
 
     /// Accumulate gradients for the rows used by the last forward.
     pub fn backward_tokens(&mut self, dy: &Tensor) {
-        assert_eq!(dy.shape().dim(0), self.cache_ids.len(), "backward before forward");
+        assert_eq!(
+            dy.shape().dim(0),
+            self.cache_ids.len(),
+            "backward before forward"
+        );
         for (r, &id) in self.cache_ids.iter().enumerate() {
             let g = dy.row(r).to_vec();
             let grow = self.w.grad.row_mut(id);
@@ -93,7 +100,11 @@ impl PositionalEncoding {
                 *v = if i % 2 == 0 { angle.sin() } else { angle.cos() };
             }
         }
-        PositionalEncoding { table, max_len, dim }
+        PositionalEncoding {
+            table,
+            max_len,
+            dim,
+        }
     }
 
     /// Add position encodings in place to `[batch*seq, dim]` activations
@@ -102,7 +113,10 @@ impl PositionalEncoding {
         assert!(seq_len <= self.max_len, "sequence longer than table");
         assert_eq!(x.shape().dim(1), self.dim, "dim mismatch");
         let rows = x.shape().dim(0);
-        assert!(rows.is_multiple_of(seq_len), "rows must be a multiple of seq_len");
+        assert!(
+            rows.is_multiple_of(seq_len),
+            "rows must be a multiple of seq_len"
+        );
         for r in 0..rows {
             let pos = r % seq_len;
             let enc = self.table.row(pos).to_vec();

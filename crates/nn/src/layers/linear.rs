@@ -30,7 +30,12 @@ impl Linear {
     }
 
     /// Kaiming-initialized layer for ReLU networks.
-    pub fn new_kaiming(name: &str, in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+    pub fn new_kaiming(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let w = init::kaiming_normal([out_features, in_features], in_features, rng);
         Linear {
             w: Param::new(format!("{name}.weight"), w),
@@ -43,7 +48,12 @@ impl Linear {
     }
 
     /// Layer without a bias term (projection matrices in attention).
-    pub fn new_no_bias(name: &str, in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+    pub fn new_no_bias(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let mut l = Self::new(name, in_features, out_features, rng);
         l.b = None;
         l
@@ -131,7 +141,11 @@ mod tests {
         l2.w.value.as_mut_slice()[1] += eps;
         let pert: f32 = l2.forward(&x, true).as_slice().iter().sum();
         let fd = (pert - base) / eps;
-        assert!((l.w.grad.as_slice()[1] - fd).abs() < 1e-2, "{} vs {fd}", l.w.grad.as_slice()[1]);
+        assert!(
+            (l.w.grad.as_slice()[1] - fd).abs() < 1e-2,
+            "{} vs {fd}",
+            l.w.grad.as_slice()[1]
+        );
 
         // check an input gradient
         let mut xp = x.clone();

@@ -120,8 +120,7 @@ impl Module for BatchNorm1d {
             let nf = n as f32;
             for i in 0..n {
                 let xh = self.st.xhat.at(&[i, j]);
-                *dx.at_mut(&[i, j]) =
-                    g * inv / nf * (nf * dy.at(&[i, j]) - sum_dy - xh * sum_dyxh);
+                *dx.at_mut(&[i, j]) = g * inv / nf * (nf * dy.at(&[i, j]) - sum_dy - xh * sum_dyxh);
             }
         }
         dx
@@ -236,8 +235,8 @@ impl Module for BatchNorm2d {
             for b in 0..n {
                 let off = (b * c + j) * plane;
                 for p in 0..plane {
-                    d[off + p] = g * inv / count
-                        * (count * dsrc[off + p] - sum_dy - xh[off + p] * sum_dyxh);
+                    d[off + p] =
+                        g * inv / count * (count * dsrc[off + p] - sum_dy - xh[off + p] * sum_dyxh);
                 }
             }
         }
@@ -294,9 +293,8 @@ impl Module for LayerNorm {
                 let xh = (row[j] - mean) * inv;
                 yr[j] = gamma[j] * xh + beta[j];
             }
-            xhat.row_mut(i).copy_from_slice(
-                &row.iter().map(|v| (v - mean) * inv).collect::<Vec<_>>(),
-            );
+            xhat.row_mut(i)
+                .copy_from_slice(&row.iter().map(|v| (v - mean) * inv).collect::<Vec<_>>());
         }
         self.st.xhat = xhat;
         y
@@ -433,7 +431,11 @@ mod tests {
             let mut xp = x.clone();
             xp.as_mut_slice()[i] += eps;
             let fd = (obj(&mut bn, &xp) - base) / eps;
-            assert!((dx.as_slice()[i] - fd).abs() < 5e-2, "dx[{i}] {} vs {fd}", dx.as_slice()[i]);
+            assert!(
+                (dx.as_slice()[i] - fd).abs() < 5e-2,
+                "dx[{i}] {} vs {fd}",
+                dx.as_slice()[i]
+            );
         }
     }
 
@@ -461,7 +463,11 @@ mod tests {
             let mut xp = x.clone();
             xp.as_mut_slice()[i] += eps;
             let fd = (obj(&mut ln, &xp) - base) / eps;
-            assert!((dx.as_slice()[i] - fd).abs() < 5e-2, "dx[{i}] {} vs {fd}", dx.as_slice()[i]);
+            assert!(
+                (dx.as_slice()[i] - fd).abs() < 5e-2,
+                "dx[{i}] {} vs {fd}",
+                dx.as_slice()[i]
+            );
         }
     }
 

@@ -34,7 +34,10 @@ impl Module for MaxPool2d {
         assert_eq!(dims.len(), 4, "MaxPool2d expects [n,c,h,w]");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let k = self.k;
-        assert!(h % k == 0 && w % k == 0, "input {h}x{w} not divisible by window {k}");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "input {h}x{w} not divisible by window {k}"
+        );
         let (oh, ow) = (h / k, w / k);
         self.in_dims = dims;
         let mut out = Tensor::zeros([n, c, oh, ow]);
@@ -148,7 +151,10 @@ mod tests {
     fn maxpool_selects_window_maxima() {
         let mut mp = MaxPool2d::new(2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             [1, 1, 4, 4],
         );
         let y = mp.forward(&x, true);

@@ -148,7 +148,11 @@ mod tests {
         let b = m.forward(&x, false);
         assert_eq!(a.as_slice(), b.as_slice(), "eval is deterministic");
         let c = m.forward(&x, true);
-        assert_ne!(a.as_slice(), c.as_slice(), "dropout perturbs training output");
+        assert_ne!(
+            a.as_slice(),
+            c.as_slice(),
+            "dropout perturbs training output"
+        );
     }
 
     #[test]

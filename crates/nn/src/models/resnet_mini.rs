@@ -42,12 +42,42 @@ impl ResBlock {
         stride: usize,
         rng: &mut StdRng,
     ) -> Self {
-        let conv1 = Conv2d::new(&format!("{name}.conv1"), in_ch, out_ch, in_h, in_w, 3, stride, 1, rng);
+        let conv1 = Conv2d::new(
+            &format!("{name}.conv1"),
+            in_ch,
+            out_ch,
+            in_h,
+            in_w,
+            3,
+            stride,
+            1,
+            rng,
+        );
         let (oh, ow) = (conv1.out_h(), conv1.out_w());
-        let conv2 = Conv2d::new(&format!("{name}.conv2"), out_ch, out_ch, oh, ow, 3, 1, 1, rng);
+        let conv2 = Conv2d::new(
+            &format!("{name}.conv2"),
+            out_ch,
+            out_ch,
+            oh,
+            ow,
+            3,
+            1,
+            1,
+            rng,
+        );
         let shortcut = if stride != 1 || in_ch != out_ch {
             Some((
-                Conv2d::new(&format!("{name}.down"), in_ch, out_ch, in_h, in_w, 1, stride, 0, rng),
+                Conv2d::new(
+                    &format!("{name}.down"),
+                    in_ch,
+                    out_ch,
+                    in_h,
+                    in_w,
+                    1,
+                    stride,
+                    0,
+                    rng,
+                ),
                 BatchNorm2d::new(&format!("{name}.down_bn"), out_ch),
             ))
         } else {
@@ -252,7 +282,10 @@ mod tests {
         let m = ResNetMini::new(10, 0);
         let mut names = Vec::new();
         m.visit_params(&mut |p| names.push(p.name.clone()));
-        assert!(names.iter().any(|n| n.contains("down")), "projection shortcut exists");
+        assert!(
+            names.iter().any(|n| n.contains("down")),
+            "projection shortcut exists"
+        );
         assert!(names.iter().any(|n| n == "layer1_0.conv1.weight"));
     }
 
@@ -299,11 +332,7 @@ mod tests {
         m.backward(&dl);
         Sgd::new(0.1).step(&mut m);
         let after = flat_params(&m);
-        let changed = before
-            .iter()
-            .zip(&after)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
         assert!(
             changed > before.len() / 2,
             "most parameters should move ({changed}/{})",

@@ -222,7 +222,9 @@ mod tests {
         let m = TransformerMini::new(16, 2);
         let mut names = Vec::new();
         m.visit_params(&mut |p| names.push(p.name.clone()));
-        assert!(names.iter().any(|n| n == "transformer_encoder.layers.0.norm1.weight"));
+        assert!(names
+            .iter()
+            .any(|n| n == "transformer_encoder.layers.0.norm1.weight"));
         assert!(names.iter().any(|n| n == "decoder.weight"));
     }
 

@@ -133,7 +133,10 @@ mod tests {
         let mut m = VggMini::new(100, 0);
         let y = m.forward(&Input::Dense(input(3, 1)), true);
         assert_eq!(y.shape().dims(), &[3, 100]);
-        assert_eq!(flat_params(&VggMini::new(100, 9)), flat_params(&VggMini::new(100, 9)));
+        assert_eq!(
+            flat_params(&VggMini::new(100, 9)),
+            flat_params(&VggMini::new(100, 9))
+        );
     }
 
     #[test]

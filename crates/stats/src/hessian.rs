@@ -138,6 +138,9 @@ mod tests {
         };
         let eig = hessian_top_eigenvalue(grad_fn, &params, 8, 1e-2, 4);
         assert!(eig.is_finite());
-        assert!(eig > 0.0, "cross-entropy near init has positive curvature, got {eig}");
+        assert!(
+            eig > 0.0,
+            "cross-entropy near init has positive curvature, got {eig}"
+        );
     }
 }

@@ -23,7 +23,11 @@ impl Kde {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let q = |p: f32| sorted[((p * (sorted.len() - 1) as f32) as usize).min(sorted.len() - 1)];
         let iqr = q(0.75) - q(0.25);
-        let spread = if iqr > 0.0 { sigma.min(iqr / 1.34) } else { sigma };
+        let spread = if iqr > 0.0 {
+            sigma.min(iqr / 1.34)
+        } else {
+            sigma
+        };
         let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-6);
         Kde {
             samples: samples.to_vec(),
@@ -70,7 +74,11 @@ impl Kde {
     /// Sample range padded by 3 bandwidths — a sensible plotting window.
     pub fn support(&self) -> (f32, f32) {
         let lo = self.samples.iter().copied().fold(f32::INFINITY, f32::min);
-        let hi = self.samples.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let hi = self
+            .samples
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max);
         (lo - 3.0 * self.bandwidth, hi + 3.0 * self.bandwidth)
     }
 }
@@ -115,8 +123,12 @@ mod tests {
     fn tight_distribution_has_narrower_kde() {
         // the Fig. 3 effect: late-epoch gradients concentrate near zero,
         // so their KDE peak at 0 towers over the early-epoch one
-        let early: Vec<f32> = (0..200).map(|i| ((i * 37) % 100) as f32 / 20.0 - 2.5).collect();
-        let late: Vec<f32> = (0..200).map(|i| ((i * 37) % 100) as f32 / 500.0 - 0.1).collect();
+        let early: Vec<f32> = (0..200)
+            .map(|i| ((i * 37) % 100) as f32 / 20.0 - 2.5)
+            .collect();
+        let late: Vec<f32> = (0..200)
+            .map(|i| ((i * 37) % 100) as f32 / 500.0 - 0.1)
+            .collect();
         let ke = Kde::fit(&early);
         let kl = Kde::fit(&late);
         assert!(kl.density(0.0) > 3.0 * ke.density(0.0));

@@ -124,7 +124,10 @@ mod tests {
         }
         let ds = smooth.update(10.0);
         let dr = raw.update(10.0);
-        assert!(ds < dr, "windowed EWMA should dampen the spike: {ds} vs {dr}");
+        assert!(
+            ds < dr,
+            "windowed EWMA should dampen the spike: {ds} vs {dr}"
+        );
         assert!(ds < 2.0, "smoothed spike is mild");
         assert!(dr > 5.0, "raw spike is huge");
     }

@@ -68,11 +68,12 @@ pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
                         let iy = (oy * g.stride + ky) as isize - g.pad as isize;
                         for kx in 0..g.k_w {
                             let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                            out_row[col] = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                plane[iy as usize * w + ix as usize]
-                            } else {
-                                0.0
-                            };
+                            out_row[col] =
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    plane[iy as usize * w + ix as usize]
+                                } else {
+                                    0.0
+                                };
                             col += 1;
                         }
                     }
@@ -178,7 +179,10 @@ mod tests {
         // <im2col(x), y> == <x, col2im(y)> for the scatter/gather pair.
         use crate::ops::dot;
         let g = geom(2, 4, 4, 3, 1, 1);
-        let x = Tensor::from_vec((0..32).map(|i| (i as f32 * 0.37).sin()).collect(), [1, 2, 4, 4]);
+        let x = Tensor::from_vec(
+            (0..32).map(|i| (i as f32 * 0.37).sin()).collect(),
+            [1, 2, 4, 4],
+        );
         let cols = im2col(&x, &g);
         let y = Tensor::from_vec(
             (0..cols.numel()).map(|i| (i as f32 * 0.11).cos()).collect(),
@@ -187,7 +191,10 @@ mod tests {
         let lhs = dot(&cols, &y);
         let back = col2im(&y, 1, &g);
         let rhs = dot(&x, &back);
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

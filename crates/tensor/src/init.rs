@@ -29,7 +29,12 @@ pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut StdRng) -> T
 
 /// Xavier/Glorot uniform initialization for a weight with `fan_in` inputs
 /// and `fan_out` outputs.
-pub fn xavier_uniform(shape: impl Into<Shape>, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+pub fn xavier_uniform(
+    shape: impl Into<Shape>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut StdRng,
+) -> Tensor {
     let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(shape, -bound, bound, rng)
 }

@@ -177,7 +177,11 @@ mod tests {
     #[test]
     fn nt_equals_explicit_transpose() {
         let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let b = t2(4, 3, &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+        let b = t2(
+            4,
+            3,
+            &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        );
         let via_kernel = matmul_nt(&a, &b);
         let via_transpose = matmul(&a, &transpose(&b));
         assert_eq!(via_kernel.as_slice(), via_transpose.as_slice());
@@ -210,7 +214,10 @@ mod tests {
         let m = 70;
         let k = 70;
         let n = 70;
-        let a = Tensor::from_vec((0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect(), [m, k]);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect(),
+            [m, k],
+        );
         let b = Tensor::from_vec((0..k * n).map(|i| ((i % 7) as f32) - 3.0).collect(), [k, n]);
         let c = matmul(&a, &b);
         for i in (0..m).step_by(17) {

@@ -44,7 +44,10 @@ pub fn variance(t: &Tensor) -> f32 {
 
 /// Maximum element (`-inf` for an empty tensor).
 pub fn max(t: &Tensor) -> f32 {
-    t.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    t.as_slice()
+        .iter()
+        .copied()
+        .fold(f32::NEG_INFINITY, f32::max)
 }
 
 /// Minimum element (`+inf` for an empty tensor).
@@ -80,7 +83,11 @@ pub fn topk_rows(t: &Tensor, k: usize) -> Vec<Vec<usize>> {
         .map(|r| {
             let row = t.row(r);
             let mut idx: Vec<usize> = (0..row.len()).collect();
-            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+            idx.sort_by(|&a, &b| {
+                row[b]
+                    .partial_cmp(&row[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             idx.truncate(k);
             idx
         })

@@ -150,7 +150,11 @@ impl Tensor {
 
     /// Copy data from a flat slice (length must equal `numel()`).
     pub fn copy_from_slice(&mut self, src: &[f32]) {
-        assert_eq!(self.data.len(), src.len(), "copy_from_slice length mismatch");
+        assert_eq!(
+            self.data.len(),
+            src.len(),
+            "copy_from_slice length mismatch"
+        );
         self.data.copy_from_slice(src);
     }
 
@@ -187,7 +191,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "data={:?})", self.data)
         } else {
-            write!(f, "data=[{}, {}, ... ; {}])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "data=[{}, {}, ... ; {}])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }

@@ -31,10 +31,7 @@ fn main() {
     let ring = run_distributed(&cfg, &workload);
 
     println!("\n=== identical algorithm, different transport ===");
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "", "PS", "ring-allreduce"
-    );
+    println!("{:<22} {:>12} {:>12}", "", "PS", "ring-allreduce");
     println!(
         "{:<22} {:>11.1}% {:>11.1}%",
         "final accuracy",

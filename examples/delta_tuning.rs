@@ -43,7 +43,11 @@ fn main() {
         );
         println!(
             "{:>6} {:>7.3} {:>9.1}x {:>12.2} {:>14.0}",
-            if delta > 1e6 { "∞".into() } else { format!("{delta}") },
+            if delta > 1e6 {
+                "∞".into()
+            } else {
+                format!("{delta}")
+            },
             r.lssr.lssr(),
             r.lssr.comm_reduction(),
             r.final_metric,
@@ -54,15 +58,15 @@ fn main() {
     // a simple recommendation rule: best perplexity-per-second point
     let best = rows
         .iter()
-        .min_by(|a, b| {
-            (a.1 as f64 * a.2)
-                .partial_cmp(&(b.1 as f64 * b.2))
-                .unwrap()
-        })
+        .min_by(|a, b| (a.1 as f64 * a.2).partial_cmp(&(b.1 as f64 * b.2)).unwrap())
         .unwrap();
     println!(
         "\nsuggested operating point: δ = {} (best quality × time trade-off here)",
-        if best.0 > 1e6 { "∞".into() } else { format!("{}", best.0) }
+        if best.0 > 1e6 {
+            "∞".into()
+        } else {
+            format!("{}", best.0)
+        }
     );
     println!("rule of thumb from the paper: δ in [0.25, 0.5] keeps BSP quality at a fraction of its communication.");
 }

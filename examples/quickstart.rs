@@ -23,7 +23,11 @@ fn main() {
         aggregation: Aggregation::Parameter,
     };
 
-    println!("running {} on {} workers...", config.strategy.label(), config.n_workers);
+    println!(
+        "running {} on {} workers...",
+        config.strategy.label(),
+        config.n_workers
+    );
     let selsync = run_distributed(&config, &workload);
 
     config.strategy = Strategy::Bsp {

@@ -39,7 +39,10 @@ fn bsp_stays_correct_with_a_straggler() {
 #[test]
 fn ssp_tolerates_the_straggler_without_deadlock() {
     let start = Instant::now();
-    let r = run_distributed(&straggler_config(Strategy::Ssp { staleness: 4 }), &workload());
+    let r = run_distributed(
+        &straggler_config(Strategy::Ssp { staleness: 4 }),
+        &workload(),
+    );
     assert_eq!(r.steps_run, 20);
     assert!(r.final_params.iter().all(|v| v.is_finite()));
     // sanity: the run terminates promptly (staleness release logic works)

@@ -53,7 +53,11 @@ fn bsp_ga_and_pa_agree_given_identical_init() {
     };
     let ga = run_distributed(&cfg, &wl);
     let dist = selsync_core::divergence::l2_distance(&pa.worker_params[0], &ga.worker_params[0]);
-    let norm: f32 = pa.worker_params[0].iter().map(|v| v * v).sum::<f32>().sqrt();
+    let norm: f32 = pa.worker_params[0]
+        .iter()
+        .map(|v| v * v)
+        .sum::<f32>()
+        .sqrt();
     assert!(
         dist < 1e-3 * norm.max(1.0),
         "BSP GA ≡ BSP PA up to float reassociation: distance {dist}"
@@ -67,7 +71,10 @@ fn selsync_first_step_always_syncs_and_replicas_realign() {
         aggregation: Aggregation::Parameter,
     });
     let r = run_distributed(&cfg, &resnet_workload());
-    assert!(r.step_records[0].synced, "Δ(g₀) = ∞ forces a first-step sync");
+    assert!(
+        r.step_records[0].synced,
+        "Δ(g₀) = ∞ forces a first-step sync"
+    );
     assert!(r.step_records[0].delta_g.is_infinite());
 }
 
@@ -186,6 +193,9 @@ fn single_worker_degenerates_to_sequential_training() {
         aggregation: Aggregation::Parameter,
     });
     cfg.n_workers = 1;
+    // A lone worker consumes 1/4 the samples per step of the 4-worker
+    // runs above; 60 steps leaves it at the edge of the metric bar.
+    cfg.max_steps = 100;
     let r = run_distributed(&cfg, &resnet_workload());
     assert_eq!(r.worker_params.len(), 1);
     assert!(r.final_metric > 0.2);

@@ -36,7 +36,7 @@ fn defdp_text_chunks_are_topic_skewed_seldp_are_not() {
     };
     let windows = wl.num_train_units();
     let workers = TEXT_TOPICS; // one worker per topic segment
-    // which topic does window w belong to? windows tile the stream
+                               // which topic does window w belong to? windows tile the stream
     let topic_of = |w: usize| (w * workers) / windows;
     let _ = train;
     // DefDP: worker 0's windows all come from topic 0

@@ -1,0 +1,51 @@
+//! Offline vendored subset of `crossbeam`: the unbounded MPSC channel
+//! surface the fabric uses, delegating to `std::sync::mpsc` (whose
+//! modern implementation *is* the crossbeam channel, upstreamed in
+//! Rust 1.67).
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// An unbounded FIFO channel: `Sender` is `Clone`, per-sender order
+    /// is preserved, `recv` blocks until a message or disconnection.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn fifo_order_per_sender() {
+        let (s, r) = unbounded();
+        for i in 0..10 {
+            s.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(r.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn clone_senders_feed_one_receiver() {
+        let (s, r) = unbounded();
+        let s2 = s.clone();
+        std::thread::spawn(move || s2.send(99).unwrap())
+            .join()
+            .unwrap();
+        drop(s);
+        assert_eq!(r.recv().unwrap(), 99);
+        assert!(r.recv().is_err(), "all senders dropped closes the channel");
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let (s, r) = unbounded::<u8>();
+        assert_eq!(r.try_recv(), Err(TryRecvError::Empty));
+        s.send(1).unwrap();
+        assert_eq!(r.try_recv(), Ok(1));
+    }
+}

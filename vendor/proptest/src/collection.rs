@@ -1,0 +1,92 @@
+//! `prop::collection::vec`, the one collection strategy this workspace
+//! uses.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Length specification for [`vec`]: an exact `usize`, a half-open
+/// `Range<usize>`, or an inclusive `RangeInclusive<usize>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and
+/// whose length is drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec(element_strategy, len)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.min + 1 >= self.size.max_exclusive {
+            self.size.min
+        } else {
+            rng.random_range(self.size.min..self.size.max_exclusive)
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn lengths_and_elements_respect_bounds() {
+        let mut rng = case_rng("collection::bounds", 1);
+        let ranged = vec(-1.0f32..1.0, 2..9);
+        let exact = vec(0usize..6, 6);
+        for _ in 0..500 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+            let e = exact.generate(&mut rng);
+            assert_eq!(e.len(), 6);
+            assert!(e.iter().all(|&x| x < 6));
+        }
+    }
+}

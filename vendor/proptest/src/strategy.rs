@@ -1,0 +1,57 @@
+//! The [`Strategy`] trait and its implementations for numeric ranges.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value from `rng`.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_inclusive_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, f32, f64);
+impl_inclusive_range_strategies!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = case_rng("strategy::bounds", 1);
+        for _ in 0..2000 {
+            let a = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&a));
+            let b = (10u64..=12).generate(&mut rng);
+            assert!((10..=12).contains(&b));
+            let c = (-2.5f32..4.0).generate(&mut rng);
+            assert!((-2.5..4.0).contains(&c));
+        }
+    }
+}

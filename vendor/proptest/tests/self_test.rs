@@ -1,0 +1,33 @@
+//! End-to-end exercise of the vendored `proptest!` macro surface.
+
+use proptest::prelude::*;
+
+fn halves() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-0.5f32..0.5, 1..16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn assume_discards_without_failing(n in 0usize..100) {
+        prop_assume!(n % 2 == 0);
+        prop_assert!(n % 2 == 0, "n = {n}");
+        prop_assert_ne!(n, 1);
+    }
+
+    #[test]
+    fn helper_strategies_compose(
+        v in halves(),
+        scale in 1.0f32..4.0,
+    ) {
+        let scaled: Vec<f32> = v.iter().map(|x| x * scale).collect();
+        prop_assert_eq!(scaled.len(), v.len());
+        prop_assert!(scaled.iter().all(|x| x.abs() < 2.0));
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline vendored subset of the `rand` crate.
+//!
+//! The growth container has no network access, so the real crates.io
+//! `rand` cannot be fetched. This crate reimplements exactly the API
+//! surface the workspace uses — `StdRng`, [`SeedableRng::seed_from_u64`],
+//! and the [`RngExt`] sampling methods — on top of a small, fast,
+//! well-tested PRNG (xoshiro256++ seeded through SplitMix64).
+//!
+//! Determinism contract: a given seed produces the same stream on every
+//! platform and in every process, which the SelSync reproduction relies
+//! on for bit-identical replicas across ranks.
+
+pub mod rngs;
+
+/// Core pseudo-random number source: 64 random bits per call.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling of a value of type `Self` from all of its range
+/// (floats: `[0, 1)`), mirroring rand's `StandardUniform` distribution.
+pub trait UniformSample: Sized {
+    /// Draw one value from `rng`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits → uniform in [0, 1) with full f32 precision
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for bool {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire-style unbiased bounded sampling via rejection.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "cannot sample from empty range");
+                if s == 0 && e as u128 == <$t>::MAX as u128 {
+                    return (rng.next_u64() as u128 % (<$t>::MAX as u128 + 1)) as $t;
+                }
+                (s..e + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let u = <$t as UniformSample>::sample_uniform(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Convenience sampling methods available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform value of `T` (floats land in `[0, 1)`).
+    fn random<T: UniformSample>(&mut self) -> T {
+        T::sample_uniform(self)
+    }
+
+    /// Uniform value in `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Compatibility alias: rand's historical name for [`RngExt`].
+pub use RngExt as Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f32 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut r = StdRng::seed_from_u64(3);
+        let xs: Vec<f32> = (0..10_000).map(|_| r.random()).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(xs.iter().any(|&x| x < 0.01) && xs.iter().any(|&x| x > 0.99));
+    }
+
+    #[test]
+    fn int_ranges_are_uniform_and_bounded() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            let v = r.random_range(0usize..6);
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+        for i in 0..100usize {
+            let v = r.random_range(0..=i);
+            assert!(v <= i);
+        }
+    }
+
+    #[test]
+    fn float_ranges_are_bounded() {
+        let mut r = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v = r.random_range(-2.5f32..7.5);
+            assert!((-2.5..7.5).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Offline vendored subset of the `rand_distr` crate: the [`Normal`],
+//! [`StandardNormal`] and [`Uniform`] distributions the workspace's
+//! initializers and Hutchinson probes sample from.
+
+use rand::{RngCore, UniformSample};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Standard normal N(0, 1) via the Box–Muller transform.
+///
+/// Each sample draws two uniforms; no spare is cached so the stream
+/// consumed from the RNG is a pure function of the call count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+fn box_muller<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite
+    let u1 = 1.0 - f64::sample_uniform(rng);
+    let u2 = f64::sample_uniform(rng);
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        box_muller(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        box_muller(rng) as f32
+    }
+}
+
+/// Floating-point scalars the parametric distributions support. Sealed
+/// to `f32`/`f64`; exists so `Normal::new(0.0f32, s)` resolves through
+/// one generic impl (separate inherent impls would make `new` ambiguous
+/// at call sites that rely on inference, as upstream rand_distr's
+/// callers do).
+pub trait Float:
+    Copy
+    + PartialOrd
+    + core::ops::Add<Output = Self>
+    + core::ops::Sub<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + UniformSample
+    + sealed::Sealed
+{
+    #[doc(hidden)]
+    fn finite(self) -> bool;
+    #[doc(hidden)]
+    fn zero() -> Self;
+    #[doc(hidden)]
+    fn cast_f64(v: f64) -> Self;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+impl Float for f32 {
+    fn finite(self) -> bool {
+        self.is_finite()
+    }
+    fn zero() -> Self {
+        0.0
+    }
+    fn cast_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+impl Float for f64 {
+    fn finite(self) -> bool {
+        self.is_finite()
+    }
+    fn zero() -> Self {
+        0.0
+    }
+    fn cast_f64(v: f64) -> Self {
+        v
+    }
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl<T: Float> Normal<T> {
+    /// `Err` when `std_dev` is negative or non-finite.
+    pub fn new(mean: T, std_dev: T) -> Result<Self, ParamError> {
+        if !std_dev.finite() || std_dev < T::zero() {
+            return Err(ParamError("std_dev must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<T: Float> Distribution<T> for Normal<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        self.mean + self.std_dev * T::cast_f64(box_muller(rng))
+    }
+}
+
+/// Uniform distribution over `[low, high)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    span: T,
+}
+
+impl<T: Float> Uniform<T> {
+    /// `Err` when the bounds are non-finite or inverted.
+    pub fn new(low: T, high: T) -> Result<Self, ParamError> {
+        if !(low.finite() && high.finite() && low < high) {
+            return Err(ParamError("need finite low < high"));
+        }
+        Ok(Uniform {
+            low,
+            span: high - low,
+        })
+    }
+}
+
+impl<T: Float> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        self.low + T::sample_uniform(rng) * self.span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| StandardNormal.sample(&mut rng))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(10.0f32, 0.5).unwrap();
+        let xs: Vec<f32> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Uniform::new(-2.0f32, 3.0).unwrap();
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&v));
+        }
+        assert!(Uniform::new(1.0f32, 1.0).is_err());
+    }
+}

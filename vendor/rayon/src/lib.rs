@@ -1,0 +1,145 @@
+//! Offline vendored subset of the `rayon` API: just enough to back the
+//! tensor crate's `par_chunks_exact_mut(..).enumerate().for_each(..)`
+//! hot path, implemented with `std::thread::scope` instead of a work-
+//! stealing pool. Chunks are divided evenly across up to
+//! `available_parallelism()` OS threads; the closure must be `Sync`
+//! exactly as rayon requires.
+
+use std::thread;
+
+/// Parallel iterator adaptors on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into non-overlapping `chunk_size`-element chunks (the
+    /// remainder, if any, is untouched — matching rayon's
+    /// `par_chunks_exact_mut`) to be processed in parallel.
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksExactMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Parallel exact-chunks iterator (see [`ParallelSliceMut`]).
+pub struct ParChunksExactMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksExactMut<'a, T> {
+    /// Pair each chunk with its index, as rayon's `enumerate`.
+    pub fn enumerate(self) -> EnumeratedChunks<'a, T> {
+        EnumeratedChunks {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksExactMut`].
+pub struct EnumeratedChunks<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumeratedChunks<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair, fanning the chunk list
+    /// out over scoped OS threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n_chunks = self.slice.len() / self.chunk_size;
+        if n_chunks == 0 {
+            return;
+        }
+        let exact = &mut self.slice[..n_chunks * self.chunk_size];
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in exact.chunks_exact_mut(self.chunk_size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // split the chunk list into `workers` contiguous runs
+        let per = n_chunks.div_ceil(workers);
+        let f = &f;
+        thread::scope(|scope| {
+            let mut rest = exact;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = per.min(rest.len() / self.chunk_size);
+                let (head, tail) = rest.split_at_mut(take * self.chunk_size);
+                let chunk_size = self.chunk_size;
+                scope.spawn(move || {
+                    for (i, chunk) in head.chunks_exact_mut(chunk_size).enumerate() {
+                        f((base + i, chunk));
+                    }
+                });
+                base += take;
+                rest = tail;
+            }
+        });
+    }
+}
+
+/// Rayon-compatible prelude: import the slice extension trait.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_chunks_cover_every_row_once() {
+        let mut v = vec![0u64; 16 * 64];
+        v.as_mut_slice()
+            .par_chunks_exact_mut(64)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for x in row {
+                    *x += i as u64 + 1;
+                }
+            });
+        for (i, row) in v.chunks_exact(64).enumerate() {
+            assert!(row.iter().all(|&x| x == i as u64 + 1), "row {i}");
+        }
+    }
+
+    #[test]
+    fn remainder_is_untouched() {
+        let mut v = vec![7u8; 10];
+        v.as_mut_slice()
+            .par_chunks_exact_mut(4)
+            .for_each(|c| c.fill(0));
+        assert_eq!(&v[8..], &[7, 7], "tail shorter than a chunk is skipped");
+        assert!(v[..8].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut v = vec![1i32; 5];
+        v.as_mut_slice()
+            .par_chunks_exact_mut(5)
+            .for_each(|c| c.fill(9));
+        assert_eq!(v, vec![9; 5]);
+    }
+}

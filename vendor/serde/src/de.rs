@@ -1,0 +1,59 @@
+//! Helpers called by `#[derive(Deserialize)]`-generated code. Public so
+//! macro expansions can reach them via `::serde::de::*`, not intended
+//! for hand-written call sites.
+
+use crate::{Deserialize, Error, Value};
+
+/// Interpret `v` as an object and expose its field pairs.
+pub fn fields<'a>(v: &'a Value, type_name: &str) -> Result<&'a [(String, Value)], Error> {
+    match v {
+        Value::Map(pairs) => Ok(pairs),
+        other => Err(Error::custom(format!(
+            "invalid type for `{type_name}`: expected object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extract and deserialize the struct field `name`, delegating absence
+/// handling to `T::absent` (so `Option<T>` fields default to `None`).
+pub fn field<T: Deserialize>(pairs: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match pairs.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+        None => T::absent(name),
+    }
+}
+
+/// Interpret `v` as an array of exactly `len` elements (tuple variants).
+pub fn seq<'a>(v: &'a Value, len: usize, type_name: &str) -> Result<&'a [Value], Error> {
+    match v {
+        Value::Seq(items) if items.len() == len => Ok(items),
+        Value::Seq(items) => Err(Error::custom(format!(
+            "invalid length for `{type_name}`: expected {len} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error::custom(format!(
+            "invalid type for `{type_name}`: expected array, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Decode an externally-tagged enum: either `"Variant"` (unit) or
+/// `{"Variant": payload}`. Returns the tag and the payload (`Null` for
+/// the unit form).
+pub fn enum_variant<'a>(v: &'a Value, type_name: &str) -> Result<(&'a str, &'a Value), Error> {
+    match v {
+        Value::Str(tag) => Ok((tag.as_str(), &Value::Null)),
+        Value::Map(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), &pairs[0].1)),
+        other => Err(Error::custom(format!(
+            "invalid type for enum `{type_name}`: expected string or single-key object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Error for an enum tag that matches no variant.
+pub fn unknown_variant(type_name: &str, tag: &str) -> Error {
+    Error::custom(format!("unknown variant `{tag}` for enum `{type_name}`"))
+}

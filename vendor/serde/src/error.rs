@@ -1,0 +1,32 @@
+use std::fmt;
+
+/// Serialization/deserialization failure with a plain-text message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error::custom(format!("missing field `{field}`"))
+    }
+
+    /// A value had the wrong shape for the target type.
+    pub fn type_mismatch(expected: &str, found: &str) -> Self {
+        Error::custom(format!("invalid type: expected {expected}, found {found}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,258 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+// ---- integers ----------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Value::F64(f) if f.fract() == 0.0 && f.is_finite() => *f as i64,
+                    other => return Err(Error::type_mismatch("integer", other.kind())),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && f.is_finite() => *f as u64,
+                    other => return Err(Error::type_mismatch("integer", other.kind())),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+// ---- floats ------------------------------------------------------------
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as f64;
+                if wide.is_finite() {
+                    Value::F64(wide)
+                } else {
+                    // JSON has no NaN/Inf literal; mirror serde_json's
+                    // lossy-float behavior of emitting null.
+                    Value::Null
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::F64(f) => Ok(*f as $t),
+                    Value::I64(n) => Ok(*n as $t),
+                    Value::U64(n) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::type_mismatch("float", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+// ---- bool / strings ----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other.kind())),
+        }
+    }
+}
+
+// ---- references / containers ------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+) => $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = crate::de::seq(v, $len, "tuple")?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0) => 1;
+    (A.0, B.1) => 2;
+    (A.0, B.1, C.2) => 3;
+    (A.0, B.1, C.2, D.3) => 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Deserialize, Serialize, Value};
+
+    #[test]
+    fn numeric_widening_roundtrips() {
+        assert_eq!(i32::from_value(&Value::U64(7)).unwrap(), 7);
+        assert_eq!(u8::from_value(&Value::I64(255)).unwrap(), 255);
+        assert!(u8::from_value(&Value::I64(256)).is_err());
+        assert!(usize::from_value(&Value::I64(-1)).is_err());
+        assert_eq!(f32::from_value(&Value::I64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_and_back_to_nan() {
+        assert_eq!(f32::NAN.to_value(), Value::Null);
+        assert_eq!(f64::INFINITY.to_value(), Value::Null);
+        assert!(f32::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn option_null_and_absent_both_mean_none() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::absent("x").unwrap(), None);
+        assert!(u32::absent("x").is_err(), "non-Option fields stay required");
+        assert_eq!(Some(5u32).to_value(), Value::U64(5));
+    }
+
+    #[test]
+    fn vec_and_tuple_trees() {
+        let v = vec![1u32, 2, 3].to_value();
+        assert_eq!(Vec::<u32>::from_value(&v).unwrap(), vec![1, 2, 3]);
+        let t = (1u8, -2i32, 0.5f64).to_value();
+        assert_eq!(<(u8, i32, f64)>::from_value(&t).unwrap(), (1, -2, 0.5));
+    }
+}

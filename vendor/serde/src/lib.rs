@@ -1,0 +1,42 @@
+//! Offline vendored `serde` facade.
+//!
+//! The real serde cannot be fetched in this container, so this crate
+//! provides the same *spelling* — `use serde::{Serialize, Deserialize}`
+//! plus `#[derive(Serialize, Deserialize)]` — over a much simpler data
+//! model: values serialize into a [`Value`] tree that `serde_json`
+//! renders/parses. Enums use serde's externally-tagged representation,
+//! so the JSON shape matches what upstream serde_json would emit.
+//!
+//! Deliberate deviations, both relied on by this workspace:
+//! * non-finite floats serialize to `Null` and deserialize back to NaN
+//!   (upstream errors on `from_str` instead);
+//! * numbers are widened through `i64`/`u64`/`f64` rather than visited
+//!   at native width.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::Value;
+
+/// A type renderable into the [`Value`] data model.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field named `field` is absent from the map.
+    /// Errors by default; `Option<T>` overrides this to yield `None`.
+    fn absent(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}

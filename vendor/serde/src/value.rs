@@ -1,0 +1,46 @@
+//! The tree data model every `Serialize`/`Deserialize` round-trips through.
+
+/// A serialized value. Maps keep insertion order (struct field order) so
+/// rendered JSON is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`; also the encoding of non-finite floats and `None`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A negative or small signed integer.
+    I64(i64),
+    /// A non-negative integer that may exceed `i64::MAX`.
+    U64(u64),
+    /// A finite floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object; `(key, value)` pairs in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Look up a key when `self` is a map.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde facade. Parses the item declaration by walking raw
+//! `proc_macro::TokenTree`s (no syn/quote in this container) and emits
+//! impls of `serde::Serialize` / `serde::Deserialize` as source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named-field structs (with lifetime or plain type generics), tuple and
+//! unit structs, and enums whose variants are unit, named-field, or
+//! tuple. Field-level `#[serde(...)]` attributes are not interpreted.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    generics: Vec<Param>,
+    body: Body,
+}
+
+enum Param {
+    Lifetime(String),
+    Type(String),
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---- parsing -----------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = take_ident(&tokens, &mut i);
+    assert!(
+        kind == "struct" || kind == "enum",
+        "serde_derive: expected `struct` or `enum`, found `{kind}`"
+    );
+    let name = take_ident(&tokens, &mut i);
+    let generics = if is_punct(tokens.get(i), '<') {
+        parse_generics(&tokens, &mut i)
+    } else {
+        Vec::new()
+    };
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "enum" {
+                Body::Enum(parse_variants(g.stream()))
+            } else {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+        other => panic!("serde_derive: unsupported item body for `{name}`: {other:?}"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Skip any `#[...]` attributes and a `pub` / `pub(...)` qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn take_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn is_punct(token: Option<&TokenTree>, c: char) -> bool {
+    matches!(token, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Parse `<...>` after the type name: record each parameter's name, skip
+/// any bounds. `i` enters pointing at `<` and leaves just past `>`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<Param> {
+    *i += 1;
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        return params;
+                    }
+                } else if c == ',' && depth == 1 {
+                    at_param_start = true;
+                } else if c == '\'' && depth == 1 && at_param_start {
+                    if let Some(TokenTree::Ident(id)) = tokens.get(*i + 1) {
+                        params.push(Param::Lifetime(format!("'{id}")));
+                        at_param_start = false;
+                        *i += 2;
+                        continue;
+                    }
+                }
+                *i += 1;
+            }
+            TokenTree::Ident(id) => {
+                if depth == 1 && at_param_start {
+                    params.push(Param::Type(id.to_string()));
+                    at_param_start = false;
+                }
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    panic!("serde_derive: unclosed generic parameter list");
+}
+
+/// Field names of a `{ a: T, b: U }` body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = take_ident(&tokens, &mut i);
+        assert!(
+            is_punct(tokens.get(i), ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_past_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Consume type tokens up to and including the next top-level `,` (or the
+/// end of the stream). Tracks `<`/`>` so commas inside generics don't
+/// terminate early; delimited groups are single atomic tokens already.
+fn skip_past_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = take_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_top_level_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if is_punct(tokens.get(i), '=') {
+            // explicit discriminant: skip to the separating comma
+            i += 1;
+            skip_past_type(&tokens, &mut i);
+        } else if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Number of fields in a tuple body `(A, B<C, D>, E)`.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    for token in stream {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    if segment_has_tokens {
+                        count += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+// ---- code generation ---------------------------------------------------
+
+/// `impl<...> ::serde::Trait for Name<...>`, bounding every type
+/// parameter by the trait being implemented.
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        return format!("impl ::serde::{trait_name} for {}", item.name);
+    }
+    let mut decls = Vec::new();
+    let mut args = Vec::new();
+    for param in &item.generics {
+        match param {
+            Param::Lifetime(lt) => {
+                decls.push(lt.clone());
+                args.push(lt.clone());
+            }
+            Param::Type(ty) => {
+                decls.push(format!("{ty}: ::serde::{trait_name}"));
+                args.push(ty.clone());
+            }
+        }
+    }
+    format!(
+        "impl<{}> ::serde::{trait_name} for {}<{}>",
+        decls.join(", "),
+        item.name,
+        args.join(", ")
+    )
+}
+
+fn str_lit(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+fn tag_pair(tag: &str, value_expr: &str) -> String {
+    format!(
+        "::serde::Value::Map(vec![(::std::string::String::from({}), {value_expr})])",
+        str_lit(tag)
+    )
+}
+
+fn named_map_expr(fields: &[String], access_prefix: &str) -> String {
+    if fields.is_empty() {
+        return "::serde::Value::Map(::std::vec::Vec::new())".into();
+    }
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({}), ::serde::Serialize::to_value({access_prefix}{f}))",
+                str_lit(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", pairs.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.body {
+        Body::NamedStruct(fields) => named_map_expr(fields, "&self."),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".into(),
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_value(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".into(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(serialize_variant_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn serialize_variant_arm(variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => format!(
+            "Self::{vname} => ::serde::Value::Str(::std::string::String::from({})),",
+            str_lit(vname)
+        ),
+        VariantFields::Named(fields) => {
+            let binders = fields.join(", ");
+            let inner = named_map_expr(fields, "");
+            format!(
+                "Self::{vname} {{ {binders} }} => {},",
+                tag_pair(vname, &inner)
+            )
+        }
+        VariantFields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|idx| format!("__f{idx}")).collect();
+            let inner = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "Self::{vname}({}) => {},",
+                binders.join(", "),
+                tag_pair(vname, &inner)
+            )
+        }
+    }
+}
+
+fn named_construct(fields: &[String], pairs_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field({pairs_var}, {})?", str_lit(f)))
+        .collect();
+    format!("{{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let construct = named_construct(fields, "__pairs");
+            format!(
+                "let __pairs = ::serde::de::fields(__v, {})?;\n\
+                 let _ = __pairs;\n\
+                 ::std::result::Result::Ok(Self {construct})",
+                str_lit(name)
+            )
+        }
+        Body::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".into()
+        }
+        Body::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::from_value(&__items[{idx}])?"))
+                .collect();
+            format!(
+                "let __items = ::serde::de::seq(__v, {n}, {})?;\n\
+                 ::std::result::Result::Ok(Self({}))",
+                str_lit(name),
+                elems.join(", ")
+            )
+        }
+        Body::UnitStruct => "::std::result::Result::Ok(Self)".into(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| deserialize_variant_arm(name, v))
+                .collect();
+            format!(
+                "let (__tag, __payload) = ::serde::de::enum_variant(__v, {})?;\n\
+                 let _ = __payload;\n\
+                 match __tag {{ {} __other => ::std::result::Result::Err(\
+                 ::serde::de::unknown_variant({}, __other)), }}",
+                str_lit(name),
+                arms.join(" "),
+                str_lit(name)
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
+
+fn deserialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let vname = &variant.name;
+    let qualified = format!("{enum_name}::{vname}");
+    match &variant.fields {
+        VariantFields::Unit => format!(
+            "{} => ::std::result::Result::Ok(Self::{vname}),",
+            str_lit(vname)
+        ),
+        VariantFields::Named(fields) => {
+            let construct = named_construct(fields, "__pairs");
+            format!(
+                "{} => {{ let __pairs = ::serde::de::fields(__payload, {})?;\n\
+                 let _ = __pairs;\n\
+                 ::std::result::Result::Ok(Self::{vname} {construct}) }},",
+                str_lit(vname),
+                str_lit(&qualified)
+            )
+        }
+        VariantFields::Tuple(1) => format!(
+            "{} => ::std::result::Result::Ok(Self::{vname}(\
+             ::serde::Deserialize::from_value(__payload)?)),",
+            str_lit(vname)
+        ),
+        VariantFields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::from_value(&__items[{idx}])?"))
+                .collect();
+            format!(
+                "{} => {{ let __items = ::serde::de::seq(__payload, {n}, {})?;\n\
+                 ::std::result::Result::Ok(Self::{vname}({})) }},",
+                str_lit(vname),
+                str_lit(&qualified),
+                elems.join(", ")
+            )
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline vendored `serde_json`: renders and parses the vendored serde
+//! [`Value`] tree as JSON text. Non-finite floats render as `null`
+//! (matching how the workspace's metrics treat NaN), and `null` parses
+//! back to NaN for float targets.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+use std::io;
+
+pub use serde::Error;
+
+/// Serialize `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize `value` as pretty JSON into `writer`.
+pub fn to_writer_pretty<W: io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let text = to_string_pretty(value)?;
+    writer
+        .write_all(text.as_bytes())
+        .map_err(|e| Error::custom(format!("io error: {e}")))
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+/// Deserialize a `T` from a JSON byte stream.
+pub fn from_reader<R: io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| Error::custom(format!("io error: {e}")))?;
+    from_str(&text)
+}
+
+// ---- rendering ---------------------------------------------------------
+
+fn render(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) if f.is_finite() => {
+            // `{:?}` is shortest-roundtrip and keeps a ".0" on integral
+            // floats, so floats stay visually distinct from integers.
+            let _ = write!(out, "{f:?}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => render_string(s, out),
+        Value::Seq(items) => render_block(out, indent, level, items.len(), '[', ']', |out, lvl| {
+            for (i, item) in items.iter().enumerate() {
+                sep(out, indent, lvl, i);
+                render(item, out, indent, lvl);
+            }
+        }),
+        Value::Map(pairs) => render_block(out, indent, level, pairs.len(), '{', '}', |out, lvl| {
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                sep(out, indent, lvl, i);
+                render_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, out, indent, lvl);
+            }
+        }),
+    }
+}
+
+fn render_block(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    len: usize,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String, usize),
+) {
+    out.push(open);
+    if len > 0 {
+        body(out, level + 1);
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn sep(out: &mut String, indent: Option<usize>, level: usize, i: usize) {
+    if i > 0 {
+        out.push(',');
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing -----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn fail(&self, what: &str) -> Error {
+        Error::custom(format!("{what} at byte {}", self.pos))
+    }
+
+    fn expect_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(self.fail("invalid literal"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null").map(|_| Value::Null),
+            Some(b't') => self.expect_literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|_| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.fail("expected a JSON value")),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.fail("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.fail("expected object key"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.fail("expected `:`"));
+            }
+            self.pos += 1;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(pairs));
+                }
+                _ => return Err(self.fail("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.fail("unterminated string"))?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.peek().ok_or_else(|| self.fail("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // surrogate pair: require \uXXXX low half
+                                self.expect_literal("\\u")?;
+                                let low = self.parse_hex4()?;
+                                0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.fail("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.fail("unknown escape")),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // multi-byte UTF-8: copy the full sequence
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.fail("invalid utf-8"))?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.fail("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.fail("invalid unicode escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.fail("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.fail("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.fail("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        weight: f32,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Scaled { factor: f32, bias: f32 },
+        Pair(u32, u32),
+        Wrapped(String),
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        id: usize,
+        kind: Kind,
+        items: Vec<Inner>,
+        note: Option<String>,
+        ratio: f32,
+    }
+
+    fn sample() -> Outer {
+        Outer {
+            id: 7,
+            kind: Kind::Scaled {
+                factor: 0.25,
+                bias: -1.5,
+            },
+            items: vec![
+                Inner {
+                    label: "a\"quote\\\n".into(),
+                    weight: 0.125,
+                },
+                Inner {
+                    label: "üñíçødé ✓".into(),
+                    weight: 3.0,
+                },
+            ],
+            note: None,
+            ratio: 0.6908948,
+        }
+    }
+
+    #[test]
+    fn derived_struct_roundtrips_compact_and_pretty() {
+        let v = sample();
+        let compact: Outer = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(compact, v);
+        let pretty: Outer = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn enum_representation_is_externally_tagged() {
+        assert_eq!(to_string(&Kind::Plain).unwrap(), "\"Plain\"");
+        assert_eq!(to_string(&Kind::Pair(1, 2)).unwrap(), "{\"Pair\":[1,2]}");
+        assert_eq!(
+            to_string(&Kind::Wrapped("x".into())).unwrap(),
+            "{\"Wrapped\":\"x\"}"
+        );
+        assert!(from_str::<Kind>("\"Nope\"").is_err());
+    }
+
+    #[test]
+    fn nan_serializes_to_null_and_parses_back_to_nan() {
+        let mut v = sample();
+        v.ratio = f32::NAN;
+        let text = to_string(&v).unwrap();
+        assert!(text.contains("\"ratio\":null"), "got: {text}");
+        let back: Outer = from_str(&text).unwrap();
+        assert!(back.ratio.is_nan());
+    }
+
+    #[test]
+    fn f32_precision_survives_the_f64_detour() {
+        for x in [0.58494717f32, 0.6908948, f32::MIN_POSITIVE, 1e30, -0.0] {
+            let text = to_string(&x).unwrap();
+            let back: f32 = from_str(&text).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "text: {text}");
+        }
+    }
+
+    #[test]
+    fn writer_and_reader_paths_roundtrip() {
+        let v = sample();
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &v).unwrap();
+        let back: Outer = from_reader(buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u32>("12 34").is_err(), "trailing characters");
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<u32>("\"unterminated").is_err());
+        assert!(from_str::<Vec<u32>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn option_fields_accept_null_and_absent() {
+        let with_note: Outer = from_str(
+            &to_string(&Outer {
+                note: Some("hi".into()),
+                ..sample()
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(with_note.note.as_deref(), Some("hi"));
+        // absent key: build JSON without `note` entirely
+        let text = to_string(&sample()).unwrap().replace(",\"note\":null", "");
+        let missing: Outer = from_str(&text).unwrap();
+        assert_eq!(missing.note, None);
+    }
+}
