@@ -9,6 +9,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> chaos smoke (fault_experiments, reduced)"
+SELSYNC_WORKERS=2 SELSYNC_STEPS=6 ./target/release/fault_experiments > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

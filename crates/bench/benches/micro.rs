@@ -53,7 +53,7 @@ fn bench_flags_allgather(c: &mut Criterion) {
                 .map(|mut ep| {
                     thread::spawn(move || {
                         let id = ep.id();
-                        allgather_flags(&mut ep, 4, 0, (id % 2) as u8)
+                        allgather_flags(&mut ep, 4, 0, (id % 2) as u8).unwrap()
                     })
                 })
                 .collect();
@@ -76,7 +76,7 @@ fn bench_ring_allreduce(c: &mut Criterion) {
                     .map(|mut ep| {
                         thread::spawn(move || {
                             let mut v = vec![1.0f32; l];
-                            ring_allreduce(&mut ep, 4, 0, &mut v);
+                            ring_allreduce(&mut ep, 4, 0, &mut v).unwrap();
                             v[0]
                         })
                     })

@@ -76,9 +76,9 @@ fn main() {
                     thread::spawn(move || {
                         let mut v = vec![1.0f32; len];
                         if use_ring {
-                            ring_allreduce(&mut ep, n, 0, &mut v);
+                            ring_allreduce(&mut ep, n, 0, &mut v).unwrap();
                         } else {
-                            root_allreduce(&mut ep, n, 0, &mut v);
+                            root_allreduce(&mut ep, n, 0, &mut v).unwrap();
                         }
                         assert_eq!(v[0], n as f32);
                     })

@@ -1,0 +1,302 @@
+//! Fault-tolerance experiments: seeded chaos scenarios driven through
+//! the elastic SelSync trainer, each run twice — over the in-process
+//! channel fabric and over real loopback TCP sockets.
+//!
+//! The paper's testbed (docker-swarm over a shared cluster) saw real
+//! node failures and stragglers; this harness reproduces those
+//! conditions deterministically. Every scenario is a [`FaultPlan`]:
+//! same seed ⇒ same per-link drop/duplicate/delay schedule on either
+//! fabric, so rows are comparable across transports.
+//!
+//! Scenarios:
+//!
+//! * `fault-free`      — baseline: the elastic protocol adds heartbeats
+//!   but no faults fire;
+//! * `crash-one-worker` — the highest rank goes silent a third of the
+//!   way in; the PS evicts it and the survivors re-partition and finish;
+//! * `slow-straggler`   — one rank sleeps before every send; nobody is
+//!   evicted, training just paces at the straggler;
+//! * `flaky-network`    — seeded random drops/duplicates/delays on every
+//!   link; retries and catch-up replies absorb most of it, and any rank
+//!   the PS gives up on is evicted while the rest finish.
+//!
+//! One JSON row per (scenario × fabric), after the aligned table.
+
+use selsync_bench::{banner, json_row};
+use selsync_chaos::{ChaosTransport, FaultPlan};
+use selsync_comm::{CommStats, Fabric, Transport};
+use selsync_core::prelude::*;
+use selsync_core::trainer::WorkerOutput;
+use selsync_core::ElasticOptions;
+use selsync_core::{run_elastic_server_rank, run_elastic_worker_rank};
+use selsync_net::{TcpEndpoint, TcpFabricConfig};
+use selsync_nn::models::ModelKind;
+use serde::Serialize;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct Row {
+    scenario: &'static str,
+    fabric: &'static str,
+    workers: usize,
+    steps: u64,
+    seed: u64,
+    rounds: u64,
+    syncs: u64,
+    evictions: usize,
+    completed_workers: usize,
+    failed_workers: usize,
+    full_run_workers: usize,
+    final_metric: Option<f32>,
+    chaos_sent_messages: u64,
+    chaos_dropped_messages: u64,
+    chaos_duplicated_messages: u64,
+    fault_fingerprint: String,
+    wall_ms: u64,
+}
+
+/// Per-rank chaos accounting snapshot, taken after the rank's run.
+struct RankChaos {
+    sent: u64,
+    dropped: u64,
+    duplicated: u64,
+    fingerprint: u64,
+}
+
+fn snapshot<T: Transport>(cep: &ChaosTransport<T>) -> RankChaos {
+    let stats: &Arc<CommStats> = cep.stats();
+    RankChaos {
+        sent: stats.total_messages(),
+        dropped: stats.dropped_messages(),
+        duplicated: stats.duplicated_messages(),
+        fingerprint: cep.log_fingerprint(),
+    }
+}
+
+struct Outcome {
+    rounds: u64,
+    syncs: u64,
+    evictions: usize,
+    completed: Vec<WorkerOutput>,
+    failed: usize,
+    chaos: Vec<RankChaos>,
+    wall: Duration,
+}
+
+/// Drive one full elastic run — PS on rank `n`, workers `0..n`, every
+/// endpoint wrapped in a [`ChaosTransport`] executing `plan`.
+fn run_scenario<T: Transport + Send + 'static>(
+    mut endpoints: Vec<T>,
+    cfg: &RunConfig,
+    wl: &Workload,
+    opts: &ElasticOptions,
+    plan: &FaultPlan,
+) -> Outcome {
+    let start = Instant::now();
+    let server_ep = endpoints.pop().expect("fabric includes the PS rank");
+    let server = {
+        let (cfg, wl, opts, plan) = (cfg.clone(), wl.clone(), opts.clone(), plan.clone());
+        thread::spawn(move || {
+            let mut cep = ChaosTransport::new(server_ep, plan);
+            let res = run_elastic_server_rank(&mut cep, &cfg, &wl, &opts);
+            (res, snapshot(&cep))
+        })
+    };
+    let workers: Vec<_> = endpoints
+        .into_iter()
+        .map(|ep| {
+            let (cfg, wl, plan) = (cfg.clone(), wl.clone(), plan.clone());
+            let mut opts = opts.clone();
+            opts.crash_at = plan.crash_step(ep.id());
+            thread::spawn(move || {
+                let mut cep = ChaosTransport::new(ep, plan);
+                let res = run_elastic_worker_rank(&mut cep, &cfg, &wl, &opts);
+                (res, snapshot(&cep))
+            })
+        })
+        .collect();
+
+    let mut completed = Vec::new();
+    let mut failed = 0;
+    let mut chaos = Vec::new();
+    for h in workers {
+        let (res, snap) = h.join().expect("worker thread");
+        chaos.push(snap);
+        match res {
+            Ok(out) => completed.push(out),
+            Err(e) => {
+                eprintln!("  worker fault (absorbed by eviction): {e}");
+                failed += 1;
+            }
+        }
+    }
+    let (report, server_snap) = server.join().expect("server thread");
+    let report = report.expect("the elastic PS must survive every scenario");
+    chaos.push(server_snap);
+    completed.sort_by_key(|o| o.worker);
+
+    Outcome {
+        rounds: report.rounds,
+        syncs: report.syncs,
+        evictions: report.evictions.len(),
+        completed,
+        failed,
+        chaos,
+        wall: start.elapsed(),
+    }
+}
+
+/// Bind `n_ranks` ephemeral loopback ports and connect the full mesh,
+/// as `tests/integration_tcp.rs` does.
+fn tcp_fabric(n_ranks: usize) -> Vec<TcpEndpoint> {
+    let listeners: Vec<TcpListener> = (0..n_ranks)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let peers: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(rank, listener)| {
+            let mut cfg = TcpFabricConfig::new(rank, peers.clone());
+            cfg.recv_timeout = Duration::from_secs(60);
+            thread::spawn(move || TcpEndpoint::connect_with_listener(cfg, listener).unwrap())
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+fn emit(row: &Row) {
+    println!(
+        "{:<18} {:<8} {:>6} {:>5} {:>6} {:>5}/{:<2} {:>5} {:>4} {:>8} {:>7}",
+        row.scenario,
+        row.fabric,
+        row.rounds,
+        row.syncs,
+        row.evictions,
+        row.full_run_workers,
+        row.workers,
+        row.chaos_dropped_messages,
+        row.chaos_duplicated_messages,
+        row.final_metric
+            .map_or_else(|| "-".to_string(), |m| format!("{:.3}", m)),
+        format!("{}ms", row.wall_ms),
+    );
+    json_row(row);
+}
+
+fn main() {
+    banner(
+        "Fault experiments",
+        "Seeded chaos over elastic SelSync (channel + TCP fabrics)",
+    );
+    let n: usize = std::env::var("SELSYNC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let steps: u64 = std::env::var("SELSYNC_STEPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let seed = 42;
+    let cfg = RunConfig {
+        strategy: Strategy::SelSync {
+            delta: 0.25,
+            aggregation: Aggregation::Parameter,
+        },
+        n_workers: n,
+        max_steps: steps,
+        eval_every: steps,
+        ..RunConfig::quick_defaults()
+    };
+    let wl = Workload::vision(ModelKind::VggMini, 96, 32, 7);
+
+    // liveness policy: rounds comfortably longer than a training step,
+    // eviction after two silent rounds, patient worker-side retries
+    let calm = {
+        let mut o = ElasticOptions::with_liveness(Duration::from_millis(150), 2);
+        o.reply_timeout = Duration::from_secs(10);
+        o
+    };
+    // under random drops the worker must resend well before its own
+    // patience runs out; the PS answers stale resends with catch-up
+    // replies, and a rank it gives up on gets evicted, not hung
+    let flaky_opts = {
+        let mut o = ElasticOptions::with_liveness(Duration::from_millis(200), 3);
+        o.comm_retries = 6;
+        o
+    };
+
+    let scenarios: Vec<(&'static str, FaultPlan, &ElasticOptions)> = vec![
+        ("fault-free", FaultPlan::quiet(seed), &calm),
+        (
+            "crash-one-worker",
+            FaultPlan::crash_one(seed, n - 1, steps / 3),
+            &calm,
+        ),
+        (
+            "slow-straggler",
+            FaultPlan::slow_straggler(seed, 1 % n, 3),
+            &calm,
+        ),
+        (
+            "flaky-network",
+            FaultPlan::flaky_network(seed, 0.02, 0.03, 2),
+            &flaky_opts,
+        ),
+    ];
+
+    println!(
+        "{:<18} {:<8} {:>6} {:>5} {:>6} {:>8} {:>5} {:>4} {:>8} {:>7}",
+        "scenario", "fabric", "rounds", "syncs", "evict", "full/N", "drop", "dup", "metric", "wall",
+    );
+    for (name, plan, opts) in &scenarios {
+        for fabric in ["channel", "tcp"] {
+            let outcome = match fabric {
+                "channel" => run_scenario(Fabric::new(n + 1), &cfg, &wl, opts, plan),
+                _ => run_scenario(tcp_fabric(n + 1), &cfg, &wl, opts, plan),
+            };
+            let full_run = outcome
+                .completed
+                .iter()
+                .filter(|o| o.lssr.total() == steps)
+                .count();
+            let final_metric = outcome
+                .completed
+                .iter()
+                .find(|o| o.worker == 0)
+                .and_then(|o| o.evals.last())
+                .map(|e| e.metric);
+            emit(&Row {
+                scenario: name,
+                fabric,
+                workers: n,
+                steps,
+                seed,
+                rounds: outcome.rounds,
+                syncs: outcome.syncs,
+                evictions: outcome.evictions,
+                completed_workers: outcome.completed.len(),
+                failed_workers: outcome.failed,
+                full_run_workers: full_run,
+                final_metric,
+                chaos_sent_messages: outcome.chaos.iter().map(|c| c.sent).sum(),
+                chaos_dropped_messages: outcome.chaos.iter().map(|c| c.dropped).sum(),
+                chaos_duplicated_messages: outcome.chaos.iter().map(|c| c.duplicated).sum(),
+                fault_fingerprint: format!(
+                    "0x{:016x}",
+                    outcome.chaos.iter().fold(0u64, |a, c| a ^ c.fingerprint)
+                ),
+                wall_ms: outcome.wall.as_millis() as u64,
+            });
+        }
+    }
+    println!();
+    println!("full/N = workers that ran every step; a crashed or evicted rank stops early.");
+    println!("Same seed ⇒ same per-link fault schedule on both fabrics.");
+}

@@ -13,12 +13,22 @@
 //! selsync_dist --role worker --rank 1 --peers $P --strategy selsync --delta 0.25 &
 //! wait
 //! ```
+//!
+//! A dead peer is a *diagnosed failure*, not a hang: every rank exits
+//! nonzero with a one-line `fatal:` message when the fabric faults.
+//! `--elastic` upgrades the failure to a tolerated event — the PS evicts
+//! silent workers and the survivors keep training — and `--fault-plan`
+//! injects a seeded chaos schedule (drops, duplicates, delays,
+//! stragglers, crashes) for reproducible failure experiments.
 
 use selsync_bench::cli::parse_args;
-use selsync_comm::Transport;
+use selsync_chaos::{ChaosTransport, FaultPlan};
+use selsync_comm::{Transport, TransportError};
+use selsync_core::elastic::{run_elastic_server_rank, run_elastic_worker_rank, ElasticOptions};
 use selsync_core::trainer::{run_server_rank, run_worker_rank};
 use selsync_core::Workload;
 use selsync_net::{TcpEndpoint, TcpFabricConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,14 +45,30 @@ DIST KEYS:
   --peers            comma-separated host:port of every rank, in rank
                      order; the last entry is the ps    (required)
   --connect-timeout  seconds to keep redialing peers    (default 60)
+  --recv-timeout     watchdog seconds for blocking receives; a silent
+                     fabric fails instead of hanging    (default 300)
+
+FAULT TOLERANCE:
+  --elastic            run the elastic membership protocol: the ps
+                       evicts silent workers, survivors re-partition
+                       and keep training, crashed workers may rejoin
+  --round-timeout-ms   elastic ps silence deadline per round (default 1000)
+  --max-missed         missed rounds before eviction      (default 3)
+  --fault-plan FILE    JSON FaultPlan (selsync-chaos) injected at this
+                       rank's transport; scheduled crashes are honored
+                       in --elastic mode
 
 The cluster size is taken from --peers (n = entries - 1); any --workers
 flag must agree. All ranks must be given identical training flags and
 the same --seed, or they will disagree on partitions and initial state.
 
 Training flags are those of selsync_run (see selsync_run --help).
---save-params on the ps rank writes the final global parameters; on a
+--save-params on the ps rank writes the final global parameters (in
+--elastic mode, also after every sync — the rejoin checkpoint); on a
 worker rank it writes that replica's final parameters.
+
+EXIT CODES: 0 ok (including a scheduled crash) / 1 comm fault or
+eviction / 2 usage error.
 ";
 
 struct DistArgs {
@@ -50,19 +76,34 @@ struct DistArgs {
     rank: usize,
     peers: Vec<String>,
     connect_timeout: Duration,
+    recv_timeout: Duration,
+    elastic: bool,
+    round_timeout: Duration,
+    max_missed: u32,
+    fault_plan: Option<PathBuf>,
     rest: Vec<String>,
 }
 
+#[allow(clippy::too_many_lines)]
 fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
     let mut role = None;
     let mut rank = None;
     let mut peers: Option<Vec<String>> = None;
     let mut connect_timeout = Duration::from_secs(60);
+    let mut recv_timeout = Duration::from_secs(300);
+    let mut elastic = false;
+    let mut round_timeout = Duration::from_millis(1000);
+    let mut max_missed = 3u32;
+    let mut fault_plan = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
         if key == "--help" {
             return Err(DIST_USAGE.to_string());
+        }
+        if key == "--elastic" {
+            elastic = true;
+            continue;
         }
         let mut dist_value = || {
             it.next()
@@ -86,6 +127,26 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
                         .map_err(|_| "--connect-timeout must be seconds".to_string())?,
                 )
             }
+            "--recv-timeout" => {
+                recv_timeout = Duration::from_secs(
+                    dist_value()?
+                        .parse()
+                        .map_err(|_| "--recv-timeout must be seconds".to_string())?,
+                )
+            }
+            "--round-timeout-ms" => {
+                round_timeout = Duration::from_millis(
+                    dist_value()?
+                        .parse()
+                        .map_err(|_| "--round-timeout-ms must be milliseconds".to_string())?,
+                )
+            }
+            "--max-missed" => {
+                max_missed = dist_value()?
+                    .parse()
+                    .map_err(|_| "--max-missed must be an integer".to_string())?
+            }
+            "--fault-plan" => fault_plan = Some(PathBuf::from(dist_value()?)),
             _ => {
                 rest.push(key.clone());
                 rest.push(
@@ -101,6 +162,11 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
         rank: rank.ok_or("--rank is required")?,
         peers: peers.ok_or("--peers is required")?,
         connect_timeout,
+        recv_timeout,
+        elastic,
+        round_timeout,
+        max_missed,
+        fault_plan,
         rest,
     })
 }
@@ -116,6 +182,127 @@ fn params_fingerprint(params: &[f32]) -> u64 {
         }
     }
     h
+}
+
+struct RankJob<'a> {
+    dist: &'a DistArgs,
+    run: &'a selsync_bench::cli::CliRun,
+    workload: &'a Workload,
+    fabric_stats: Arc<selsync_comm::CommStats>,
+    crash_at: Option<u64>,
+}
+
+/// Run this rank's role to completion over any transport; returns the
+/// process exit code. Every comm fault becomes a one-line `fatal:`
+/// diagnostic and a nonzero exit instead of a hang or a panic.
+fn run_one_rank<T: Transport>(ep: &mut T, job: &RankJob) -> i32 {
+    let dist = job.dist;
+    let run = job.run;
+    let steps = run.config.max_steps;
+    let mut eopts = ElasticOptions::with_liveness(dist.round_timeout, dist.max_missed);
+    eopts.crash_at = job.crash_at;
+    if dist.role == "ps" {
+        eopts.checkpoint = run.save_params.clone().map(PathBuf::from);
+        let final_params = if dist.elastic {
+            match run_elastic_server_rank(&mut *ep, &run.config, job.workload, &eopts) {
+                Ok(report) => {
+                    println!(
+                        "role=ps rank={} steps={steps} elastic=1 rounds={} syncs={}",
+                        dist.rank, report.rounds, report.syncs
+                    );
+                    let fmt = |v: &[(u64, usize)]| {
+                        v.iter()
+                            .map(|(s, r)| format!("{s}:{r}"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    };
+                    println!("evictions={}", fmt(&report.evictions));
+                    println!("joins={}", fmt(&report.joins));
+                    report.final_params
+                }
+                Err(e) => {
+                    eprintln!("[rank {}] fatal: {e}", dist.rank);
+                    return 1;
+                }
+            }
+        } else {
+            match run_server_rank(&mut *ep, &run.config, job.workload) {
+                Ok(p) => {
+                    println!("role=ps rank={} steps={steps}", dist.rank);
+                    p
+                }
+                Err(e) => {
+                    eprintln!("[rank {}] fatal: {e}", dist.rank);
+                    return 1;
+                }
+            }
+        };
+        println!(
+            "params_fingerprint=0x{:016x}",
+            params_fingerprint(&final_params)
+        );
+        println!("fabric_bytes_sent={}", job.fabric_stats.total_bytes());
+        if let Some(path) = &run.save_params {
+            selsync_core::checkpoint::save_params(path, &final_params)
+                .expect("writable checkpoint path");
+            eprintln!("[rank {}] saved global params to {path}", dist.rank);
+        }
+        0
+    } else {
+        let out = if dist.elastic {
+            match run_elastic_worker_rank(&mut *ep, &run.config, job.workload, &eopts) {
+                Ok(out) => out,
+                Err(e @ TransportError::Evicted { .. }) => {
+                    eprintln!("[rank {}] fatal: {e}", dist.rank);
+                    return 1;
+                }
+                Err(e) => {
+                    eprintln!("[rank {}] fatal: {e}", dist.rank);
+                    return 1;
+                }
+            }
+        } else {
+            match run_worker_rank(&mut *ep, &run.config, job.workload) {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("[rank {}] fatal: {e}", dist.rank);
+                    return 1;
+                }
+            }
+        };
+        println!(
+            "role=worker rank={} steps={steps} steps_run={}",
+            dist.rank,
+            out.lssr.total()
+        );
+        println!("lssr={:.6}", out.lssr.lssr());
+        println!(
+            "params_fingerprint=0x{:016x}",
+            params_fingerprint(&out.final_params)
+        );
+        println!("fabric_bytes_sent={}", job.fabric_stats.total_bytes());
+        if out.worker == 0 {
+            // step-for-step sync decision log: 1 = synchronized step
+            let decisions: String = out
+                .records
+                .iter()
+                .map(|r| if r.synced { '1' } else { '0' })
+                .collect();
+            println!("decisions={decisions}");
+            if let Some(r) = out.records.last() {
+                println!("final_loss={:.6}", r.loss);
+            }
+            if let Some(e) = out.evals.last() {
+                println!("final_metric={:.6}", e.metric);
+            }
+        }
+        if let Some(path) = &run.save_params {
+            selsync_core::checkpoint::save_params(path, &out.final_params)
+                .expect("writable checkpoint path");
+            eprintln!("[rank {}] saved replica params to {path}", dist.rank);
+        }
+        0
+    }
 }
 
 fn main() {
@@ -160,7 +347,7 @@ fn main() {
         }
     };
 
-    let expected_rank_range = match dist.role.as_str() {
+    let role_label = match dist.role.as_str() {
         "ps" => {
             if dist.rank != n_workers {
                 eprintln!(
@@ -184,6 +371,17 @@ fn main() {
         }
     };
 
+    let plan = dist
+        .fault_plan
+        .as_ref()
+        .map(|path| match FaultPlan::load(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("[rank {}] bad --fault-plan: {e}", dist.rank);
+                std::process::exit(2);
+            }
+        });
+
     let mut workload = Workload::for_kind(run.kind, run.data_scale, run.config.seed);
     if let Some(path) = &run.load_params {
         workload.init_params =
@@ -193,64 +391,53 @@ fn main() {
 
     let mut fabric = TcpFabricConfig::new(dist.rank, dist.peers.clone());
     fabric.connect_timeout = dist.connect_timeout;
+    fabric.recv_timeout = dist.recv_timeout;
     eprintln!(
         "[rank {}] {} dialing {} peers ({} on {})...",
         dist.rank,
-        expected_rank_range,
+        role_label,
         n_workers,
         run.config.strategy.label(),
         dist.peers[dist.rank]
     );
-    let ep = match TcpEndpoint::connect(fabric) {
+    let mut ep = match TcpEndpoint::connect(fabric) {
         Ok(ep) => ep,
         Err(e) => {
             eprintln!("[rank {}] fabric setup failed: {e}", dist.rank);
             std::process::exit(1);
         }
     };
-    let stats = Arc::clone(ep.stats());
 
-    if dist.role == "ps" {
-        let final_params = run_server_rank(ep, &run.config, &workload);
-        println!("role=ps rank={} steps={}", dist.rank, run.config.max_steps);
-        println!(
-            "params_fingerprint=0x{:016x}",
-            params_fingerprint(&final_params)
-        );
-        println!("fabric_bytes_sent={}", stats.total_bytes());
-        if let Some(path) = &run.save_params {
-            selsync_core::checkpoint::save_params(path, &final_params)
-                .expect("writable checkpoint path");
-            eprintln!("[rank {}] saved global params to {path}", dist.rank);
+    let job = RankJob {
+        dist: &dist,
+        run: &run,
+        workload: &workload,
+        fabric_stats: Arc::clone(ep.stats()),
+        crash_at: plan.as_ref().and_then(|p| p.crash_step(dist.rank)),
+    };
+    let code = match plan {
+        Some(plan) => {
+            let mut cep = ChaosTransport::new(ep, plan);
+            let code = run_one_rank(&mut cep, &job);
+            // chaos-layer accounting: sent − dropped + duplicated must
+            // equal the bytes the inner fabric actually framed
+            let cs = Arc::clone(cep.stats());
+            println!(
+                "chaos_sent_messages={} chaos_dropped_messages={} chaos_duplicated_messages={}",
+                cs.total_messages(),
+                cs.dropped_messages(),
+                cs.duplicated_messages()
+            );
+            println!(
+                "chaos_sent_bytes={} chaos_dropped_bytes={} chaos_duplicated_bytes={}",
+                cs.total_bytes(),
+                cs.dropped_bytes(),
+                cs.duplicated_bytes()
+            );
+            println!("fault_fingerprint=0x{:016x}", cep.log_fingerprint());
+            code
         }
-    } else {
-        let out = run_worker_rank(ep, &run.config, &workload);
-        println!(
-            "role=worker rank={} steps={}",
-            dist.rank, run.config.max_steps
-        );
-        println!("lssr={:.6}", out.lssr.lssr());
-        println!(
-            "params_fingerprint=0x{:016x}",
-            params_fingerprint(&out.final_params)
-        );
-        println!("fabric_bytes_sent={}", stats.total_bytes());
-        if out.worker == 0 {
-            // step-for-step sync decision log: 1 = synchronized step
-            let decisions: String = out
-                .records
-                .iter()
-                .map(|r| if r.synced { '1' } else { '0' })
-                .collect();
-            println!("decisions={decisions}");
-            if let Some(e) = out.evals.last() {
-                println!("final_metric={:.6}", e.metric);
-            }
-        }
-        if let Some(path) = &run.save_params {
-            selsync_core::checkpoint::save_params(path, &out.final_params)
-                .expect("writable checkpoint path");
-            eprintln!("[rank {}] saved replica params to {path}", dist.rank);
-        }
-    }
+        None => run_one_rank(&mut ep, &job),
+    };
+    std::process::exit(code);
 }

@@ -31,17 +31,28 @@ const TRAINING_FLAGS: &[&str] = &[
     "2",
 ];
 
-/// Reserve distinct loopback ports by binding and immediately dropping
-/// listeners. Racy in principle; ports this fresh are re-bindable in
-/// practice, and a collision only fails the test spuriously.
+/// Reserve `n` distinct loopback ports *below* the kernel's ephemeral
+/// range. A kernel-assigned (port 0) listen port can be stolen — as the
+/// source port of some other test's outbound connection — between
+/// dropping the probe listener here and the spawned rank re-binding it,
+/// which strands the whole fabric (observed under full-workspace test
+/// load). Low ports are never handed out as source ports, so a
+/// successful probe stays bindable; the cursor keeps concurrent callers
+/// in one process disjoint.
 fn free_ports(n: usize) -> Vec<String> {
-    let listeners: Vec<TcpListener> = (0..n)
-        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
-        .collect();
-    listeners
-        .iter()
-        .map(|l| l.local_addr().unwrap().to_string())
-        .collect()
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static PORT_CURSOR: AtomicUsize = AtomicUsize::new(0);
+    let base = 23000 + (std::process::id() as usize % 4000);
+    let mut held = Vec::new();
+    let mut addrs = Vec::new();
+    while addrs.len() < n {
+        let port = base + PORT_CURSOR.fetch_add(1, Ordering::Relaxed) % 5000;
+        if let Ok(l) = TcpListener::bind(("127.0.0.1", port as u16)) {
+            addrs.push(format!("127.0.0.1:{port}"));
+            held.push(l);
+        }
+    }
+    addrs
 }
 
 fn spawn_rank(role: &str, rank: usize, peers: &str, extra: &[&str]) -> Child {
@@ -57,7 +68,7 @@ fn spawn_rank(role: &str, rank: usize, peers: &str, extra: &[&str]) -> Child {
         .args(TRAINING_FLAGS)
         .args(extra)
         .stdout(Stdio::piped())
-        .stderr(Stdio::null())
+        .stderr(Stdio::piped())
         .spawn()
         .expect("spawn selsync_dist")
 }
@@ -83,9 +94,17 @@ fn three_processes_reproduce_the_in_process_run() {
     let ps_out = ps.wait_with_output().unwrap();
     let w0_out = w0.wait_with_output().unwrap();
     let w1_out = w1.wait_with_output().unwrap();
-    assert!(ps_out.status.success(), "ps exited nonzero");
-    assert!(w0_out.status.success(), "worker 0 exited nonzero");
-    assert!(w1_out.status.success(), "worker 1 exited nonzero");
+    for (name, out) in [
+        ("ps", &ps_out),
+        ("worker 0", &w0_out),
+        ("worker 1", &w1_out),
+    ] {
+        assert!(
+            out.status.success(),
+            "{name} exited nonzero; stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
     let ps_stdout = String::from_utf8(ps_out.stdout).unwrap();
     let w0_stdout = String::from_utf8(w0_out.stdout).unwrap();
     let w1_stdout = String::from_utf8(w1_out.stdout).unwrap();

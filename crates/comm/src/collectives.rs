@@ -5,7 +5,12 @@
 //! completes on that worker. Tags isolate training steps (and, for the
 //! ring, phases within a step), so a fast worker entering step `i+1`
 //! cannot corrupt a slow worker still finishing step `i`.
+//!
+//! Every collective returns `Result<_, TransportError>`: a crashed ring
+//! neighbour surfaces as `PeerUnreachable`/`RecvTimeout` at the caller
+//! instead of aborting the process.
 
+use crate::error::TransportError;
 use crate::fabric::Payload;
 use crate::transport::Transport;
 
@@ -31,31 +36,37 @@ pub fn phase_tag(step: u64, phase: u64) -> u64 {
 /// Returns the full flags array indexed by worker id. Total traffic is
 /// `(N−1)` bits' worth of messages per worker, matching the paper's
 /// negligible-overhead claim.
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] on a
+/// non-flags payload at the flags tag.
 pub fn allgather_flags<T: Transport>(
     ep: &mut T,
     n_workers: usize,
     step: u64,
     my_bit: u8,
-) -> Vec<u8> {
+) -> Result<Vec<u8>, TransportError> {
     let me = ep.id();
     debug_assert!(me < n_workers, "server must not join the flags allgather");
     let tag = phase_tag(step, FLAGS_PHASE);
     for w in 0..n_workers {
         if w != me {
-            ep.send(w, tag, Payload::Flags(vec![my_bit]));
+            ep.send(w, tag, Payload::Flags(vec![my_bit]))?;
         }
     }
     let mut flags = vec![0u8; n_workers];
     flags[me] = my_bit;
     for _ in 0..n_workers - 1 {
-        let m = ep.recv_tagged(None, tag);
+        let m = ep.recv_tagged(None, tag)?;
         if let Payload::Flags(bits) = m.payload {
             flags[m.from] = bits[0];
         } else {
-            panic!("unexpected payload in flags allgather");
+            return Err(TransportError::Protocol(
+                "unexpected payload in flags allgather".into(),
+            ));
         }
     }
-    flags
+    Ok(flags)
 }
 
 /// Near-equal chunk boundaries (first `len % n` chunks get one extra).
@@ -77,11 +88,20 @@ fn chunks(len: usize, n: usize) -> Vec<(usize, usize)> {
 /// `N−1` scatter-reduce phases followed by `N−1` allgather phases, each
 /// worker exchanging one `len/N` chunk with its ring neighbours per
 /// phase — the collective §III-E suggests swapping in for the PS.
-pub fn ring_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, data: &mut [f32]) {
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] on an
+/// unexpected payload kind mid-ring.
+pub fn ring_allreduce<T: Transport>(
+    ep: &mut T,
+    n_workers: usize,
+    step: u64,
+    data: &mut [f32],
+) -> Result<(), TransportError> {
     let me = ep.id();
     debug_assert!(me < n_workers);
     if n_workers == 1 {
-        return;
+        return Ok(());
     }
     let bounds = chunks(data.len(), n_workers);
     let next = (me + 1) % n_workers;
@@ -95,8 +115,8 @@ pub fn ring_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, dat
             next,
             phase_tag(step, p as u64),
             Payload::Grads(data[s..e].to_vec()),
-        );
-        let m = ep.recv_tagged(Some(prev), phase_tag(step, p as u64));
+        )?;
+        let m = ep.recv_tagged(Some(prev), phase_tag(step, p as u64))?;
         if let Payload::Grads(incoming) = m.payload {
             let (rs, re) = bounds[recv_chunk];
             debug_assert_eq!(incoming.len(), re - rs);
@@ -104,7 +124,9 @@ pub fn ring_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, dat
                 *d += v;
             }
         } else {
-            panic!("unexpected payload in ring scatter-reduce");
+            return Err(TransportError::Protocol(
+                "unexpected payload in ring scatter-reduce".into(),
+            ));
         }
     }
     // allgather: circulate the fully-reduced chunks
@@ -116,29 +138,40 @@ pub fn ring_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, dat
             next,
             phase_tag(step, (n_workers - 1 + p) as u64),
             Payload::Grads(data[s..e].to_vec()),
-        );
-        let m = ep.recv_tagged(Some(prev), phase_tag(step, (n_workers - 1 + p) as u64));
+        )?;
+        let m = ep.recv_tagged(Some(prev), phase_tag(step, (n_workers - 1 + p) as u64))?;
         if let Payload::Grads(incoming) = m.payload {
             let (rs, re) = bounds[recv_chunk];
             data[rs..re].copy_from_slice(&incoming);
         } else {
-            panic!("unexpected payload in ring allgather");
+            return Err(TransportError::Protocol(
+                "unexpected payload in ring allgather".into(),
+            ));
         }
     }
+    Ok(())
 }
 
 /// Simple root-based allreduce (sum): everyone sends to worker 0, which
 /// reduces and broadcasts. The PS-like baseline the ring is compared to.
-pub fn root_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, data: &mut [f32]) {
+///
+/// # Errors
+/// Propagates transport faults.
+pub fn root_allreduce<T: Transport>(
+    ep: &mut T,
+    n_workers: usize,
+    step: u64,
+    data: &mut [f32],
+) -> Result<(), TransportError> {
     let me = ep.id();
     if n_workers == 1 {
-        return;
+        return Ok(());
     }
     let up = phase_tag(step, 0);
     let down = phase_tag(step, 1);
     if me == 0 {
         for _ in 0..n_workers - 1 {
-            let m = ep.recv_tagged(None, up);
+            let m = ep.recv_tagged(None, up)?;
             if let Payload::Grads(v) = m.payload {
                 for (d, x) in data.iter_mut().zip(&v) {
                     *d += x;
@@ -146,15 +179,16 @@ pub fn root_allreduce<T: Transport>(ep: &mut T, n_workers: usize, step: u64, dat
             }
         }
         for w in 1..n_workers {
-            ep.send(w, down, Payload::Grads(data.to_vec()));
+            ep.send(w, down, Payload::Grads(data.to_vec()))?;
         }
     } else {
-        ep.send(0, up, Payload::Grads(data.to_vec()));
-        let m = ep.recv_tagged(Some(0), down);
+        ep.send(0, up, Payload::Grads(data.to_vec()))?;
+        let m = ep.recv_tagged(Some(0), down)?;
         if let Payload::Grads(v) = m.payload {
             data.copy_from_slice(&v);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -185,6 +219,7 @@ mod tests {
         let results = run_workers(4, |ep, id| {
             let bit = u8::from(id % 2 == 0);
             allgather_flags(ep, 4, 3, bit)
+                .unwrap()
                 .into_iter()
                 .map(f32::from)
                 .collect()
@@ -200,7 +235,7 @@ mod tests {
         let n = 4;
         let results = run_workers(n, move |ep, id| {
             let mut v = vec![id as f32; 10];
-            ring_allreduce(ep, n, 0, &mut v);
+            ring_allreduce(ep, n, 0, &mut v).unwrap();
             v
         });
         for r in &results {
@@ -214,7 +249,7 @@ mod tests {
         let n = 3;
         let results = run_workers(n, move |ep, id| {
             let mut v: Vec<f32> = (0..7).map(|i| (i * (id + 1)) as f32).collect();
-            ring_allreduce(ep, n, 5, &mut v);
+            ring_allreduce(ep, n, 5, &mut v).unwrap();
             v
         });
         let expected: Vec<f32> = (0..7).map(|i| (i * 6) as f32).collect(); // ×(1+2+3)
@@ -230,7 +265,7 @@ mod tests {
             let mut out = Vec::new();
             for step in 0..5 {
                 let mut v = vec![1.0f32; 4];
-                ring_allreduce(ep, n, step, &mut v);
+                ring_allreduce(ep, n, step, &mut v).unwrap();
                 out.extend(v);
             }
             out
@@ -245,7 +280,7 @@ mod tests {
         let n = 4;
         let results = run_workers(n, move |ep, id| {
             let mut v = vec![(id + 1) as f32; 6];
-            root_allreduce(ep, n, 9, &mut v);
+            root_allreduce(ep, n, 9, &mut v).unwrap();
             v
         });
         for r in &results {
@@ -257,12 +292,23 @@ mod tests {
     fn single_worker_collectives_are_identity() {
         let results = run_workers(1, |ep, _| {
             let mut v = vec![5.0f32; 3];
-            ring_allreduce(ep, 1, 0, &mut v);
-            root_allreduce(ep, 1, 1, &mut v);
-            let flags = allgather_flags(ep, 1, 2, 1);
+            ring_allreduce(ep, 1, 0, &mut v).unwrap();
+            root_allreduce(ep, 1, 1, &mut v).unwrap();
+            let flags = allgather_flags(ep, 1, 2, 1).unwrap();
             assert_eq!(flags, vec![1]);
             v
         });
         assert_eq!(results[0], vec![5.0; 3]);
+    }
+
+    #[test]
+    fn dead_ring_neighbour_is_an_error_not_a_panic() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b); // rank 1 crashed before the collective
+        let mut v = vec![1.0f32; 4];
+        let err = ring_allreduce(&mut a, 2, 0, &mut v).unwrap_err();
+        assert_eq!(err, TransportError::PeerUnreachable { peer: 1 });
     }
 }

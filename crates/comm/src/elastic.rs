@@ -1,0 +1,651 @@
+//! Elastic membership: liveness tracking, worker eviction, and
+//! checkpoint-based rejoin, all coordinated by the parameter server.
+//!
+//! In elastic mode every training step routes its SelSync flags exchange
+//! through the PS instead of a worker-to-worker allgather — the per-step
+//! flags round doubles as a **heartbeat**. The server collects each
+//! round with a deadline; a worker that keeps missing deadlines (crash,
+//! partition, pathological straggling) is **evicted** and the survivors
+//! learn about it in the very next status vector, re-partition the
+//! dataset deterministically, and keep training. An evicted (or
+//! late-starting) worker can **rejoin** with [`join_request`], receiving
+//! the resume step, the current global parameters, and the membership.
+//!
+//! Protocol per step `s` (tags inside the step's [`phase_tag`] space):
+//!
+//! 1. *Flags/heartbeat round* at `phase_tag(s, FLAGS_PHASE)`: every
+//!    live worker sends `Flags([my_bit])`; the server answers each
+//!    contributor with a status vector (one byte per rank, see the
+//!    `STATUS_*` constants). Workers that miss the round deadline are
+//!    marked [`STATUS_MISSED`] and, after `max_missed` consecutive
+//!    misses, [`STATUS_DEAD`].
+//! 2. *Sync round* at `phase_tag(s, SYNC_PHASE)`, only if any status
+//!    byte is [`STATUS_SYNC`]: every round-1 contributor pushes its
+//!    parameters; the server averages (in rank order, so runs are
+//!    bit-reproducible) and replies the new global to each.
+//! 3. *Joins* (tag [`JOIN_TAG`]) are queued while a round is in flight
+//!    and granted between rounds, so a joiner always starts at a clean
+//!    step boundary.
+//!
+//! A worker that fell behind (its flags arrive at an old tag) gets an
+//! immediate catch-up reply marking itself `STATUS_MISSED`, letting it
+//! skip the sync it missed and sprint back to the current round.
+
+use crate::collectives::{phase_tag, FLAGS_PHASE};
+use crate::error::TransportError;
+use crate::fabric::Payload;
+use crate::ps::{average, CTRL_JOIN, CTRL_SHUTDOWN};
+use crate::transport::Transport;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Tag reserved for join handshakes (outside every step's tag space).
+pub const JOIN_TAG: u64 = u64::MAX - 1;
+
+/// Phase used for the elastic parameter-sync round within a step.
+pub const SYNC_PHASE: u64 = 0;
+
+/// Status byte: rank is dead — evicted or finished; survivors must
+/// re-partition without it.
+pub const STATUS_DEAD: u8 = 0;
+/// Status byte: rank is alive and did not request a sync this step.
+pub const STATUS_ALIVE: u8 = 1;
+/// Status byte: rank is alive and raised its sync flag this step.
+pub const STATUS_SYNC: u8 = 2;
+/// Status byte: rank is alive but missed this round's deadline; it is
+/// skipped for this step's sync and may catch up or be evicted later.
+pub const STATUS_MISSED: u8 = 3;
+
+/// Liveness policy for the elastic server.
+#[derive(Debug, Clone)]
+pub struct ElasticConfig {
+    /// Deadline for each blocking receive while collecting a round; the
+    /// clock restarts on every arriving message, so this bounds *silence*,
+    /// not round length. Must comfortably exceed one training step.
+    pub round_timeout: Duration,
+    /// Consecutive missed rounds before a worker is evicted.
+    pub max_missed: u32,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        Self {
+            round_timeout: Duration::from_secs(1),
+            max_missed: 3,
+        }
+    }
+}
+
+/// What the elastic server observed over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticReport {
+    /// Global parameters after the last sync (or the init if none).
+    pub final_params: Vec<f32>,
+    /// `(step, rank)` evictions, in order.
+    pub evictions: Vec<(u64, usize)>,
+    /// `(resume_step, rank)` granted joins, in order.
+    pub joins: Vec<(u64, usize)>,
+    /// Completed parameter-sync rounds.
+    pub syncs: u64,
+    /// Heartbeat rounds driven to completion (≈ steps observed).
+    pub rounds: u64,
+}
+
+/// What a joiner receives from [`join_request`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinGrant {
+    /// First step the joiner should run.
+    pub resume_step: u64,
+    /// Current global parameters.
+    pub params: Vec<f32>,
+    /// Membership at grant time (status bytes, indexed by rank).
+    pub status: Vec<u8>,
+}
+
+fn status_vec(
+    n: usize,
+    alive: &[bool],
+    done: &[bool],
+    bits: Option<&BTreeMap<usize, u8>>,
+    missed_requester: usize,
+) -> Vec<u8> {
+    (0..n)
+        .map(|i| {
+            if !alive[i] || done[i] {
+                STATUS_DEAD
+            } else if i == missed_requester {
+                STATUS_MISSED
+            } else {
+                match bits {
+                    Some(b) => match b.get(&i) {
+                        Some(&bit) if bit != 0 => STATUS_SYNC,
+                        Some(_) => STATUS_ALIVE,
+                        None => STATUS_MISSED,
+                    },
+                    None => STATUS_ALIVE,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Run the elastic parameter server until every member has shut down or
+/// been evicted. `on_sync(step, global)` fires after each completed
+/// sync round — wire it to a checkpoint writer so joiners (and chaos
+/// tests) can recover the latest global state.
+///
+/// # Errors
+/// Propagates unrecoverable transport faults ([`TransportError::Closed`])
+/// and protocol violations. Dead *workers* are not errors — they are
+/// evicted and reported in the returned [`ElasticReport`].
+pub fn run_elastic_server<T, F>(
+    mut ep: T,
+    n_workers: usize,
+    init_params: Vec<f32>,
+    cfg: &ElasticConfig,
+    mut on_sync: F,
+) -> Result<ElasticReport, TransportError>
+where
+    T: Transport,
+    F: FnMut(u64, &[f32]),
+{
+    let n = n_workers;
+    let mut alive = vec![true; n];
+    let mut done = vec![false; n];
+    let mut missed = vec![0u32; n];
+    let mut global = init_params;
+    let mut evictions: Vec<(u64, usize)> = Vec::new();
+    let mut joins: Vec<(u64, usize)> = Vec::new();
+    let mut syncs = 0u64;
+    let mut step = 0u64;
+
+    loop {
+        if (0..n).all(|i| !alive[i] || done[i]) {
+            break;
+        }
+        let ftag = phase_tag(step, FLAGS_PHASE);
+        let mut bits: BTreeMap<usize, u8> = BTreeMap::new();
+        let mut pending_joins: Vec<usize> = Vec::new();
+
+        // ---- flags / heartbeat collection ----
+        loop {
+            let expected = (0..n).filter(|&i| alive[i] && !done[i]).count();
+            if expected == 0 || bits.len() >= expected {
+                break;
+            }
+            match ep.recv_deadline(None, None, cfg.round_timeout) {
+                Err(TransportError::RecvTimeout { .. }) => {
+                    for i in 0..n {
+                        if alive[i] && !done[i] && !bits.contains_key(&i) {
+                            missed[i] += 1;
+                            if missed[i] >= cfg.max_missed {
+                                alive[i] = false;
+                                evictions.push((step, i));
+                            }
+                        }
+                    }
+                    break;
+                }
+                Err(e) => return Err(e),
+                Ok(m) => {
+                    let from = m.from;
+                    if m.tag == JOIN_TAG {
+                        if let Payload::Control(c) = m.payload {
+                            if c == CTRL_JOIN {
+                                pending_joins.push(from);
+                            }
+                        }
+                        continue;
+                    }
+                    if !alive[from] {
+                        // tell an evicted-but-alive sender its fate so it
+                        // can stop waiting and rejoin or exit (best effort)
+                        if matches!(m.payload, Payload::Flags(_)) {
+                            let status = status_vec(n, &alive, &done, None, from);
+                            let _ = ep.send(from, m.tag, Payload::Flags(status));
+                        }
+                        continue;
+                    }
+                    match (m.tag, m.payload) {
+                        (t, Payload::Flags(b)) if t == ftag => {
+                            bits.insert(from, b.first().copied().unwrap_or(0));
+                        }
+                        (t, Payload::Control(c)) if t == ftag && c == CTRL_SHUTDOWN => {
+                            done[from] = true;
+                            missed[from] = 0;
+                        }
+                        (t, Payload::Flags(_)) if t < ftag => {
+                            // straggler catching up from an older step
+                            let status = status_vec(n, &alive, &done, None, from);
+                            let _ = ep.send(from, t, Payload::Flags(status));
+                        }
+                        (t, Payload::Control(c)) if t < ftag && c == CTRL_SHUTDOWN => {
+                            done[from] = true;
+                        }
+                        (t, Payload::Params(_)) if t < ftag => {
+                            // stale push from a sync round that already
+                            // closed; unblock the sender with the global
+                            let _ = ep.send(from, t, Payload::Params(global.clone()));
+                        }
+                        (t, p) => {
+                            return Err(TransportError::Protocol(format!(
+                                "elastic server: unexpected {p:?} at tag {t} \
+                                 from rank {from} (round tag {ftag})"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        for &i in bits.keys() {
+            missed[i] = 0;
+        }
+        let contributors: Vec<usize> = bits.keys().copied().collect();
+
+        if !contributors.is_empty() {
+            let any_sync = bits.values().any(|&b| b != 0);
+            let status = status_vec(n, &alive, &done, Some(&bits), usize::MAX);
+            for &i in &contributors {
+                match ep.send(i, ftag, Payload::Flags(status.clone())) {
+                    Ok(()) => {}
+                    Err(TransportError::PeerUnreachable { .. }) => {
+                        alive[i] = false;
+                        evictions.push((step, i));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // ---- sync round: every contributor pushes, server averages ----
+            if any_sync {
+                let stag = phase_tag(step, SYNC_PHASE);
+                let mut pushes: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+                loop {
+                    let expected = contributors.iter().filter(|&&i| alive[i]).count();
+                    if expected == 0 || pushes.len() >= expected {
+                        break;
+                    }
+                    match ep.recv_deadline(None, None, cfg.round_timeout) {
+                        Err(TransportError::RecvTimeout { .. }) => {
+                            // a crash inside the sync window: evict at once,
+                            // the partial average keeps the survivors moving
+                            for &i in &contributors {
+                                if alive[i] && !pushes.contains_key(&i) {
+                                    alive[i] = false;
+                                    evictions.push((step, i));
+                                }
+                            }
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                        Ok(m) => {
+                            let from = m.from;
+                            if m.tag == JOIN_TAG {
+                                if let Payload::Control(c) = m.payload {
+                                    if c == CTRL_JOIN {
+                                        pending_joins.push(from);
+                                    }
+                                }
+                                continue;
+                            }
+                            if m.tag == stag && alive[from] && contributors.contains(&from) {
+                                match m.payload {
+                                    Payload::Params(v) => {
+                                        pushes.insert(from, v);
+                                    }
+                                    p => {
+                                        return Err(TransportError::Protocol(format!(
+                                            "elastic server: expected Params at sync \
+                                             tag {stag}, got {p:?} from rank {from}"
+                                        )));
+                                    }
+                                }
+                            }
+                            // anything else mid-sync is stale traffic: drop
+                        }
+                    }
+                }
+                if !pushes.is_empty() {
+                    let views: Vec<&[f32]> = pushes.values().map(|v| v.as_slice()).collect();
+                    global = average(&views);
+                    syncs += 1;
+                    on_sync(step, &global);
+                    let pushers: Vec<usize> = pushes.keys().copied().collect();
+                    for i in pushers {
+                        match ep.send(i, stag, Payload::Params(global.clone())) {
+                            Ok(()) => {}
+                            Err(TransportError::PeerUnreachable { .. }) => {
+                                alive[i] = false;
+                                evictions.push((step, i));
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- grant joins at the step boundary ----
+        for r in pending_joins {
+            if r < n && !done[r] && !alive[r] {
+                alive[r] = true;
+                missed[r] = 0;
+                let resume = step + 1;
+                let status = status_vec(n, &alive, &done, None, usize::MAX);
+                let granted = ep.send(r, JOIN_TAG, Payload::Control(resume)).is_ok()
+                    && ep
+                        .send(r, JOIN_TAG, Payload::Params(global.clone()))
+                        .is_ok()
+                    && ep.send(r, JOIN_TAG, Payload::Flags(status)).is_ok();
+                if granted {
+                    joins.push((resume, r));
+                } else {
+                    alive[r] = false;
+                    evictions.push((step, r));
+                }
+            }
+        }
+
+        step += 1;
+    }
+
+    Ok(ElasticReport {
+        final_params: global,
+        evictions,
+        joins,
+        syncs,
+        rounds: step,
+    })
+}
+
+/// Worker side of one heartbeat/flags round: send the local sync bit,
+/// block for the membership status vector.
+///
+/// # Errors
+/// [`TransportError::Evicted`] if the server reports this rank dead;
+/// `RecvTimeout` if the server is silent past `reply_timeout` (set it
+/// well above the server's `round_timeout` so a round stalled on a
+/// crashed peer is not mistaken for a dead server).
+pub fn heartbeat_round<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    my_bit: u8,
+    reply_timeout: Duration,
+) -> Result<Vec<u8>, TransportError> {
+    let tag = phase_tag(step, FLAGS_PHASE);
+    ep.send(server, tag, Payload::Flags(vec![my_bit]))?;
+    let me = ep.id();
+    let m = ep.recv_deadline(Some(server), Some(tag), reply_timeout)?;
+    match m.payload {
+        Payload::Flags(status) => {
+            if status.get(me).copied().unwrap_or(STATUS_DEAD) == STATUS_DEAD {
+                Err(TransportError::Evicted { rank: me })
+            } else {
+                Ok(status)
+            }
+        }
+        p => Err(TransportError::Protocol(format!(
+            "heartbeat reply was {p:?}, expected Flags"
+        ))),
+    }
+}
+
+/// Worker side of the elastic sync round: push local parameters, block
+/// for the averaged global.
+///
+/// # Errors
+/// Propagates transport faults; `RecvTimeout` usually means this rank
+/// was evicted mid-sync.
+pub fn elastic_sync_round<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    params: Vec<f32>,
+    reply_timeout: Duration,
+) -> Result<Vec<f32>, TransportError> {
+    let tag = phase_tag(step, SYNC_PHASE);
+    ep.send(server, tag, Payload::Params(params))?;
+    let m = ep.recv_deadline(Some(server), Some(tag), reply_timeout)?;
+    match m.payload {
+        Payload::Params(v) => Ok(v),
+        p => Err(TransportError::Protocol(format!(
+            "sync reply was {p:?}, expected Params"
+        ))),
+    }
+}
+
+/// Tell the elastic server this worker is finished (fire-and-forget,
+/// tagged with the step *after* the last one run).
+///
+/// # Errors
+/// Propagates transport faults.
+pub fn elastic_shutdown<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+) -> Result<(), TransportError> {
+    ep.send(
+        server,
+        phase_tag(step, FLAGS_PHASE),
+        Payload::Control(CTRL_SHUTDOWN),
+    )
+}
+
+/// Ask the elastic server to (re)admit this rank. Blocks until the
+/// grant: resume step, current global parameters, and membership.
+///
+/// # Errors
+/// `RecvTimeout` if the server never answers (training already over);
+/// `Protocol` on a malformed grant.
+pub fn join_request<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    reply_timeout: Duration,
+) -> Result<JoinGrant, TransportError> {
+    ep.send(server, JOIN_TAG, Payload::Control(CTRL_JOIN))?;
+    let resume_step = match ep
+        .recv_deadline(Some(server), Some(JOIN_TAG), reply_timeout)?
+        .payload
+    {
+        Payload::Control(s) => s,
+        p => {
+            return Err(TransportError::Protocol(format!(
+                "join grant began with {p:?}, expected Control(resume_step)"
+            )))
+        }
+    };
+    let params = match ep
+        .recv_deadline(Some(server), Some(JOIN_TAG), reply_timeout)?
+        .payload
+    {
+        Payload::Params(v) => v,
+        p => {
+            return Err(TransportError::Protocol(format!(
+                "join grant missing Params, got {p:?}"
+            )))
+        }
+    };
+    let status = match ep
+        .recv_deadline(Some(server), Some(JOIN_TAG), reply_timeout)?
+        .payload
+    {
+        Payload::Flags(s) => s,
+        p => {
+            return Err(TransportError::Protocol(format!(
+                "join grant missing Flags, got {p:?}"
+            )))
+        }
+    };
+    Ok(JoinGrant {
+        resume_step,
+        params,
+        status,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+    use std::thread;
+
+    const REPLY: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn periodic_sync_rounds_average_across_members() {
+        let n = 3;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(500),
+            max_missed: 3,
+        };
+        let server = thread::spawn(move || {
+            run_elastic_server(server_ep, n, vec![0.0; 4], &cfg, |_, _| {}).unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    let mut last_sync = Vec::new();
+                    for step in 0..6u64 {
+                        let bit = u8::from(step % 3 == 0);
+                        let status = heartbeat_round(&mut ep, n, step, bit, REPLY).unwrap();
+                        assert_eq!(status.len(), n);
+                        if status.contains(&STATUS_SYNC) {
+                            last_sync =
+                                elastic_sync_round(&mut ep, n, step, vec![id as f32; 4], REPLY)
+                                    .unwrap();
+                        }
+                    }
+                    elastic_shutdown(&mut ep, n, 6).unwrap();
+                    last_sync
+                })
+            })
+            .collect();
+        for h in handles {
+            // avg(0, 1, 2) = 1.0 on every member after the last sync
+            assert_eq!(h.join().unwrap(), vec![1.0; 4]);
+        }
+        let report = server.join().unwrap();
+        assert_eq!(report.syncs, 2, "steps 0 and 3 raised the flag");
+        assert!(report.evictions.is_empty());
+        assert!(report.joins.is_empty());
+        assert_eq!(report.final_params, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn silent_worker_is_evicted_and_survivors_finish() {
+        let n = 3;
+        let steps = 8u64;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(100),
+            max_missed: 2,
+        };
+        let server = thread::spawn(move || {
+            run_elastic_server(server_ep, n, vec![0.0], &cfg, |_, _| {}).unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    let mut dead_seen_at = None;
+                    for step in 0..steps {
+                        if id == 2 && step == 2 {
+                            return dead_seen_at; // crash: drop the endpoint
+                        }
+                        let bit = u8::from(step == 5);
+                        let status = heartbeat_round(&mut ep, n, step, bit, REPLY).unwrap();
+                        if status[2] == STATUS_DEAD && dead_seen_at.is_none() {
+                            dead_seen_at = Some(step);
+                        }
+                        if status.contains(&STATUS_SYNC) {
+                            elastic_sync_round(&mut ep, n, step, vec![id as f32], REPLY).unwrap();
+                        }
+                    }
+                    elastic_shutdown(&mut ep, n, steps).unwrap();
+                    dead_seen_at
+                })
+            })
+            .collect();
+        let mut survivor_saw_death = Vec::new();
+        for h in handles {
+            if let Some(step) = h.join().unwrap() {
+                survivor_saw_death.push(step);
+            }
+        }
+        let report = server.join().unwrap();
+        assert_eq!(report.evictions.len(), 1);
+        let (evict_step, evicted_rank) = report.evictions[0];
+        assert_eq!(evicted_rank, 2);
+        assert!(
+            (2..steps).contains(&evict_step),
+            "evicted after its crash step, got {evict_step}"
+        );
+        assert_eq!(
+            survivor_saw_death,
+            vec![evict_step, evict_step],
+            "both survivors saw the death in the eviction round's status"
+        );
+        assert_eq!(report.syncs, 1, "step-5 sync completed among survivors");
+        // avg of ranks 0 and 1
+        assert_eq!(report.final_params, vec![0.5]);
+    }
+
+    #[test]
+    fn evicted_worker_can_rejoin_and_finish() {
+        let n = 2;
+        let steps = 100u64;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(80),
+            max_missed: 2,
+        };
+        let server = thread::spawn(move || {
+            run_elastic_server(server_ep, n, vec![7.0], &cfg, |_, _| {}).unwrap()
+        });
+        let mut rejoiner = eps.pop().unwrap(); // rank 1
+        let mut steady = eps.pop().unwrap(); // rank 0
+        let steady_h = thread::spawn(move || {
+            for step in 0..steps {
+                heartbeat_round(&mut steady, n, step, 0, REPLY).unwrap();
+                thread::sleep(Duration::from_millis(10));
+            }
+            elastic_shutdown(&mut steady, n, steps).unwrap();
+        });
+        let rejoin_h = thread::spawn(move || {
+            for step in 0..3u64 {
+                heartbeat_round(&mut rejoiner, n, step, 0, REPLY).unwrap();
+            }
+            // go dark long enough to be evicted, then come back
+            thread::sleep(Duration::from_millis(400));
+            let grant = join_request(&mut rejoiner, n, REPLY).unwrap();
+            assert_eq!(grant.params, vec![7.0], "no sync ran; global is the init");
+            assert_eq!(grant.status[1], STATUS_ALIVE, "readmitted before resuming");
+            assert!(grant.resume_step > 3);
+            for step in grant.resume_step..steps {
+                heartbeat_round(&mut rejoiner, n, step, 0, REPLY).unwrap();
+            }
+            elastic_shutdown(&mut rejoiner, n, steps).unwrap();
+            grant.resume_step
+        });
+        steady_h.join().unwrap();
+        let resume_step = rejoin_h.join().unwrap();
+        let report = server.join().unwrap();
+        assert_eq!(report.evictions.len(), 1);
+        assert_eq!(report.evictions[0].1, 1);
+        assert_eq!(report.joins, vec![(resume_step, 1)]);
+        assert_eq!(
+            report.rounds,
+            steps + 1,
+            "all rounds plus the shutdown round"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed transport failures.
+//!
+//! Until PR 2 every fabric fault was a panic: a dead peer aborted the
+//! whole process the moment the TCP watchdog fired, and a dropped
+//! in-process endpoint tore down its neighbours via `expect`. The chaos
+//! subsystem needs those events to be *observable*, so every fallible
+//! [`Transport`](crate::Transport) operation now returns one of these.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why a transport operation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A blocking receive saw no matching message within its deadline —
+    /// the deadlock / dead-peer watchdog (previously a panic in the TCP
+    /// fabric).
+    RecvTimeout {
+        /// Rank that was waiting.
+        rank: usize,
+        /// How long it waited.
+        waited: Duration,
+        /// Non-matching messages buffered while waiting (a nonzero
+        /// count usually means a tag mismatch, not a dead peer).
+        buffered: usize,
+    },
+    /// The destination endpoint is gone (its process/thread exited and
+    /// dropped the receiving end).
+    PeerUnreachable {
+        /// Rank that could not be reached.
+        peer: usize,
+    },
+    /// This endpoint was already torn down (send after close, or the
+    /// local fabric threads exited).
+    Closed,
+    /// The bytes arrived but the conversation is wrong: an unexpected
+    /// payload kind or control code for the protocol in progress.
+    Protocol(String),
+    /// The elastic membership service evicted this rank (missed
+    /// liveness deadlines, e.g. under partition or message loss).
+    Evicted {
+        /// The evicted rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::RecvTimeout {
+                rank,
+                waited,
+                buffered,
+            } => write!(
+                f,
+                "rank {rank}: no matching message within {waited:?} \
+                 ({buffered} buffered); peer dead or tag mismatch"
+            ),
+            TransportError::PeerUnreachable { peer } => {
+                write!(f, "peer rank {peer} is unreachable (endpoint dropped)")
+            }
+            TransportError::Closed => write!(f, "endpoint already closed"),
+            TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            TransportError::Evicted { rank } => {
+                write!(f, "rank {rank} was evicted from the membership")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TransportError::RecvTimeout {
+            rank: 3,
+            waited: Duration::from_secs(5),
+            buffered: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("2 buffered"), "{s}");
+        assert!(TransportError::PeerUnreachable { peer: 1 }
+            .to_string()
+            .contains("rank 1"));
+    }
+}

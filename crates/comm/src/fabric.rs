@@ -1,10 +1,12 @@
 //! The message-passing fabric: a fully-connected set of endpoints over
 //! crossbeam channels, with tagged receive and byte accounting.
 
+use crate::error::TransportError;
 use crate::stats::CommStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A message payload. Sizes are accounted as fp32/byte counts so the
 /// [`CommStats`] totals mirror what a wire transport would move.
@@ -70,6 +72,13 @@ pub struct Msg {
     pub payload: Payload,
 }
 
+impl Msg {
+    /// Does this message match a receive filter? `None` is a wildcard.
+    pub fn matches(&self, from: Option<usize>, tag: Option<u64>) -> bool {
+        from.is_none_or(|f| self.from == f) && tag.is_none_or(|t| self.tag == t)
+    }
+}
+
 /// One participant's handle on the fabric.
 ///
 /// Endpoints are `Send` (moved into worker threads) but not `Sync`; each
@@ -101,43 +110,104 @@ impl Endpoint {
 
     /// Send `payload` to endpoint `to` with tag `tag`.
     ///
+    /// # Errors
+    /// [`TransportError::PeerUnreachable`] if `to`'s endpoint was
+    /// dropped (the in-process equivalent of a crashed rank).
+    ///
     /// # Panics
-    /// Panics if `to` is out of range or the receiver was dropped.
-    pub fn send(&self, to: usize, tag: u64, payload: Payload) {
+    /// Panics if `to` is out of range — an addressing bug, not a fault.
+    pub fn send(&self, to: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
         assert!(to < self.senders.len(), "destination {to} out of range");
-        self.stats.record(payload.wire_bytes());
+        let bytes = payload.wire_bytes();
         self.senders[to]
             .send(Msg {
                 from: self.id,
                 tag,
                 payload,
             })
-            .expect("fabric receiver dropped");
+            .map_err(|_| TransportError::PeerUnreachable { peer: to })?;
+        self.stats.record(bytes);
+        Ok(())
+    }
+
+    /// Pull the next message off the channel, counting it as received.
+    fn pull(&mut self, timeout: Option<Duration>) -> Result<Msg, TransportError> {
+        let m = match timeout {
+            None => self.receiver.recv().map_err(|_| TransportError::Closed)?,
+            Some(t) => self.receiver.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::RecvTimeout {
+                    rank: self.id,
+                    waited: t,
+                    buffered: self.pending.len(),
+                },
+                RecvTimeoutError::Disconnected => TransportError::Closed,
+            })?,
+        };
+        self.stats.record_recv(m.payload.wire_bytes());
+        Ok(m)
     }
 
     /// Blocking receive of the next message regardless of tag/sender.
-    pub fn recv_any(&mut self) -> Msg {
+    ///
+    /// # Errors
+    /// [`TransportError::Closed`] if every sender is gone.
+    pub fn recv_any(&mut self) -> Result<Msg, TransportError> {
         if let Some(m) = self.pending.pop_front() {
-            return m;
+            return Ok(m);
         }
-        self.receiver.recv().expect("fabric sender side closed")
+        self.pull(None)
     }
 
     /// Blocking receive of the next message matching `tag` (and `from`,
     /// if given). Non-matching messages are buffered, preserving order.
-    pub fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Msg {
+    ///
+    /// # Errors
+    /// [`TransportError::Closed`] if every sender is gone.
+    pub fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Result<Msg, TransportError> {
+        self.recv_filtered(from, Some(tag), None)
+    }
+
+    /// Blocking receive with a deadline: the next message matching
+    /// `from`/`tag` (either may be a wildcard), or
+    /// [`TransportError::RecvTimeout`] once `timeout` elapses without a
+    /// match. Non-matching messages are buffered, preserving order.
+    ///
+    /// # Errors
+    /// `RecvTimeout` on deadline, `Closed` if every sender is gone.
+    pub fn recv_deadline(
+        &mut self,
+        from: Option<usize>,
+        tag: Option<u64>,
+        timeout: Duration,
+    ) -> Result<Msg, TransportError> {
+        self.recv_filtered(from, tag, Some(timeout))
+    }
+
+    fn recv_filtered(
+        &mut self,
+        from: Option<usize>,
+        tag: Option<u64>,
+        timeout: Option<Duration>,
+    ) -> Result<Msg, TransportError> {
         // scan buffered messages first
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.tag == tag && from.is_none_or(|f| m.from == f))
-        {
-            return self.pending.remove(pos).unwrap();
+        if let Some(pos) = self.pending.iter().position(|m| m.matches(from, tag)) {
+            return Ok(self.pending.remove(pos).unwrap());
         }
+        let deadline = timeout.map(|t| Instant::now() + t);
         loop {
-            let m = self.receiver.recv().expect("fabric sender side closed");
-            if m.tag == tag && from.is_none_or(|f| m.from == f) {
-                return m;
+            let remaining = match deadline {
+                None => None,
+                Some(d) => Some(d.checked_duration_since(Instant::now()).ok_or(
+                    TransportError::RecvTimeout {
+                        rank: self.id,
+                        waited: timeout.unwrap_or_default(),
+                        buffered: self.pending.len(),
+                    },
+                )?),
+            };
+            let m = self.pull(remaining)?;
+            if m.matches(from, tag) {
+                return Ok(m);
             }
             self.pending.push_back(m);
         }
@@ -148,7 +218,9 @@ impl Endpoint {
         if let Some(m) = self.pending.pop_front() {
             return Some(m);
         }
-        self.receiver.try_recv().ok()
+        let m = self.receiver.try_recv().ok()?;
+        self.stats.record_recv(m.payload.wire_bytes());
+        Some(m)
     }
 }
 
@@ -193,8 +265,8 @@ mod tests {
         let mut eps = Fabric::new(2);
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        b.send(0, 1, Payload::Control(42));
-        let m = a.recv_any();
+        b.send(0, 1, Payload::Control(42)).unwrap();
+        let m = a.recv_any().unwrap();
         assert_eq!(m.from, 1);
         assert_eq!(m.tag, 1);
         assert_eq!(m.payload, Payload::Control(42));
@@ -205,12 +277,12 @@ mod tests {
         let mut eps = Fabric::new(2);
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        b.send(0, 2, Payload::Control(2));
-        b.send(0, 1, Payload::Control(1));
+        b.send(0, 2, Payload::Control(2)).unwrap();
+        b.send(0, 1, Payload::Control(1)).unwrap();
         // ask for tag 1 first: tag-2 message must be buffered, not lost
-        let m1 = a.recv_tagged(None, 1);
+        let m1 = a.recv_tagged(None, 1).unwrap();
         assert_eq!(m1.payload, Payload::Control(1));
-        let m2 = a.recv_tagged(Some(1), 2);
+        let m2 = a.recv_tagged(Some(1), 2).unwrap();
         assert_eq!(m2.payload, Payload::Control(2));
     }
 
@@ -237,13 +309,16 @@ mod tests {
         let c = eps.pop().unwrap();
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        b.send(0, 0, Payload::Params(vec![0.0; 100]));
-        c.send(0, 0, Payload::Flags(vec![0; 3]));
-        let _ = a.recv_any();
-        let _ = a.recv_any();
+        b.send(0, 0, Payload::Params(vec![0.0; 100])).unwrap();
+        c.send(0, 0, Payload::Flags(vec![0; 3])).unwrap();
+        let _ = a.recv_any().unwrap();
+        let _ = a.recv_any().unwrap();
         // Params(100): 17 + 4 + 400; Flags(3): 17 + 4 + 3
         assert_eq!(a.stats().total_bytes(), 421 + 24);
         assert_eq!(a.stats().total_messages(), 2);
+        // both deliveries were drained, so received mirrors sent
+        assert_eq!(a.stats().recv_bytes(), 421 + 24);
+        assert_eq!(a.stats().recv_messages(), 2);
     }
 
     #[test]
@@ -252,13 +327,14 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let h = thread::spawn(move || {
-            let m = b.recv_tagged(Some(0), 7);
+            let m = b.recv_tagged(Some(0), 7).unwrap();
             if let Payload::Params(v) = m.payload {
-                b.send(0, 7, Payload::Params(v.iter().map(|x| x * 2.0).collect()));
+                b.send(0, 7, Payload::Params(v.iter().map(|x| x * 2.0).collect()))
+                    .unwrap();
             }
         });
-        a.send(1, 7, Payload::Params(vec![1.0, 2.0]));
-        let r = a.recv_tagged(Some(1), 7);
+        a.send(1, 7, Payload::Params(vec![1.0, 2.0])).unwrap();
+        let r = a.recv_tagged(Some(1), 7).unwrap();
         assert_eq!(r.payload, Payload::Params(vec![2.0, 4.0]));
         h.join().unwrap();
     }
@@ -268,7 +344,43 @@ mod tests {
         let mut eps = Fabric::new(1);
         let mut a = eps.pop().unwrap();
         assert!(a.try_recv().is_none());
-        a.send(0, 0, Payload::Control(5)); // self-send is allowed
+        a.send(0, 0, Payload::Control(5)).unwrap(); // self-send is allowed
         assert!(a.try_recv().is_some());
+    }
+
+    #[test]
+    fn send_to_dropped_endpoint_is_an_error_not_a_panic() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(b); // rank 1 "crashes"
+        let before = a.stats().total_messages();
+        let err = a.send(1, 0, Payload::Control(1)).unwrap_err();
+        assert_eq!(err, TransportError::PeerUnreachable { peer: 1 });
+        // failed sends are not counted as traffic
+        assert_eq!(a.stats().total_messages(), before);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_preserves_buffered() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 9, Payload::Control(9)).unwrap();
+        let err = a
+            .recv_deadline(None, Some(1), Duration::from_millis(50))
+            .unwrap_err();
+        match err {
+            TransportError::RecvTimeout { rank, buffered, .. } => {
+                assert_eq!(rank, 0);
+                assert_eq!(buffered, 1, "the tag-9 message stays buffered");
+            }
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+        // the buffered message is still deliverable afterwards
+        assert_eq!(
+            a.recv_tagged(Some(1), 9).unwrap().payload,
+            Payload::Control(9)
+        );
     }
 }

@@ -14,6 +14,8 @@
 
 pub mod clock;
 pub mod collectives;
+pub mod elastic;
+pub mod error;
 pub mod fabric;
 pub mod netmodel;
 pub mod ps;
@@ -21,6 +23,7 @@ pub mod stats;
 pub mod transport;
 
 pub use clock::ClusterClock;
+pub use error::TransportError;
 pub use fabric::{Endpoint, Fabric, Msg, Payload, FRAME_HEADER_BYTES};
 pub use netmodel::NetworkModel;
 pub use stats::CommStats;

@@ -11,7 +11,12 @@
 //!   pull the global state asynchronously; the server withholds a pull
 //!   reply from any worker running more than `staleness` steps ahead of
 //!   the slowest active worker (§II-C).
+//!
+//! Every entry point returns `Result<_, TransportError>`: a dead peer or
+//! a malformed conversation is an error the caller can handle (evict,
+//! retry, shut down), not a process abort.
 
+use crate::error::TransportError;
 use crate::fabric::{Msg, Payload};
 use crate::transport::Transport;
 
@@ -19,6 +24,8 @@ use crate::transport::Transport;
 pub const CTRL_PULL: u64 = 1;
 /// Control code: worker is done; last message it sends.
 pub const CTRL_SHUTDOWN: u64 = 2;
+/// Control code: a (re)joining worker announces itself (elastic mode).
+pub const CTRL_JOIN: u64 = 3;
 
 /// What a worker contributes to a synchronization round.
 #[derive(Debug, Clone)]
@@ -33,28 +40,41 @@ pub enum SyncRequest {
 
 /// Client side of one synchronous round: send the request tagged with
 /// `step`, block for the averaged reply.
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] if the
+/// server's reply is not a parameter/gradient vector.
 pub fn sync_round<T: Transport>(
     ep: &mut T,
     server: usize,
     step: u64,
     req: SyncRequest,
-) -> Vec<f32> {
+) -> Result<Vec<f32>, TransportError> {
     let payload = match req {
         SyncRequest::PushParams(v) => Payload::Params(v),
         SyncRequest::PushGrads(v) => Payload::Grads(v),
         SyncRequest::Pull => Payload::Control(CTRL_PULL),
     };
-    ep.send(server, step, payload);
-    let reply = ep.recv_tagged(Some(server), step);
+    ep.send(server, step, payload)?;
+    let reply = ep.recv_tagged(Some(server), step)?;
     match reply.payload {
-        Payload::Params(v) | Payload::Grads(v) => v,
-        other => panic!("unexpected PS reply {other:?}"),
+        Payload::Params(v) | Payload::Grads(v) => Ok(v),
+        other => Err(TransportError::Protocol(format!(
+            "unexpected PS reply {other:?}"
+        ))),
     }
 }
 
 /// Tell the server this worker is finished.
-pub fn send_shutdown<T: Transport>(ep: &mut T, server: usize, step: u64) {
-    ep.send(server, step, Payload::Control(CTRL_SHUTDOWN));
+///
+/// # Errors
+/// Propagates transport faults.
+pub fn send_shutdown<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+) -> Result<(), TransportError> {
+    ep.send(server, step, Payload::Control(CTRL_SHUTDOWN))
 }
 
 /// Run the round-synchronous parameter server until every worker has
@@ -67,21 +87,25 @@ pub fn send_shutdown<T: Transport>(ep: &mut T, server: usize, step: u64) {
 ///   *not* advanced (the server does not know the optimizer), which is
 ///   exactly the local/global divergence GA exhibits in Fig. 10/11;
 /// * pure pull round → reply the stored global.
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] on a
+/// malformed round (mixed push kinds, partial shutdown, unknown payload).
 pub fn run_round_server<T: Transport>(
     mut ep: T,
     n_workers: usize,
     init_params: Vec<f32>,
-) -> Vec<f32> {
+) -> Result<Vec<f32>, TransportError> {
     let mut global = init_params;
     let mut done = vec![false; n_workers];
     while done.iter().any(|d| !d) {
         // first message of the round fixes the tag
-        let first = ep.recv_any();
+        let first = ep.recv_any()?;
         let tag = first.tag;
         let mut batch: Vec<Msg> = vec![first];
         let expected = done.iter().filter(|d| !**d).count();
         while batch.len() < expected {
-            batch.push(ep.recv_tagged(None, tag));
+            batch.push(ep.recv_tagged(None, tag)?);
         }
         // arrival order is scheduler-dependent; fix the reduction order
         // by worker id so runs are bit-reproducible
@@ -96,19 +120,25 @@ pub fn run_round_server<T: Transport>(
                 Payload::Grads(v) => grad_pushes.push(v),
                 Payload::Control(CTRL_PULL) => {}
                 Payload::Control(CTRL_SHUTDOWN) => shutdowns += 1,
-                other => panic!("unexpected PS request {other:?}"),
+                other => {
+                    return Err(TransportError::Protocol(format!(
+                        "unexpected PS request {other:?} from rank {}",
+                        m.from
+                    )))
+                }
             }
         }
-        assert!(
-            param_pushes.is_empty() || grad_pushes.is_empty(),
-            "a round cannot mix parameter and gradient pushes"
-        );
+        if !param_pushes.is_empty() && !grad_pushes.is_empty() {
+            return Err(TransportError::Protocol(
+                "a round cannot mix parameter and gradient pushes".into(),
+            ));
+        }
         if shutdowns > 0 {
-            assert_eq!(
-                shutdowns,
-                batch.len(),
-                "shutdown must be a dedicated round (all active workers)"
-            );
+            if shutdowns != batch.len() {
+                return Err(TransportError::Protocol(
+                    "shutdown must be a dedicated round (all active workers)".into(),
+                ));
+            }
             for m in &batch {
                 done[m.from] = true;
             }
@@ -123,13 +153,13 @@ pub fn run_round_server<T: Transport>(
             Payload::Params(global.clone())
         };
         for m in &batch {
-            ep.send(m.from, tag, reply.clone());
+            ep.send(m.from, tag, reply.clone())?;
         }
     }
-    global
+    Ok(global)
 }
 
-fn average(vs: &[&[f32]]) -> Vec<f32> {
+pub(crate) fn average(vs: &[&[f32]]) -> Vec<f32> {
     let n = vs.len() as f32;
     let mut out = vs[0].to_vec();
     for v in &vs[1..] {
@@ -146,24 +176,39 @@ fn average(vs: &[&[f32]]) -> Vec<f32> {
 /// Client side of one SSP step: push the local delta (non-blocking on
 /// the server's apply) and pull the current global, blocking only if the
 /// staleness bound holds this worker back.
-pub fn ssp_step<T: Transport>(ep: &mut T, server: usize, step: u64, delta: Vec<f32>) -> Vec<f32> {
-    ep.send(server, step, Payload::Grads(delta));
-    ep.send(server, step, Payload::Control(CTRL_PULL));
-    let reply = ep.recv_tagged(Some(server), step);
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] on an
+/// unexpected reply kind.
+pub fn ssp_step<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    delta: Vec<f32>,
+) -> Result<Vec<f32>, TransportError> {
+    ep.send(server, step, Payload::Grads(delta))?;
+    ep.send(server, step, Payload::Control(CTRL_PULL))?;
+    let reply = ep.recv_tagged(Some(server), step)?;
     match reply.payload {
-        Payload::Params(v) => v,
-        other => panic!("unexpected SSP reply {other:?}"),
+        Payload::Params(v) => Ok(v),
+        other => Err(TransportError::Protocol(format!(
+            "unexpected SSP reply {other:?}"
+        ))),
     }
 }
 
 /// Run the stale-synchronous server until all workers shut down.
 /// Returns the final global parameters.
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] on an
+/// unexpected request kind.
 pub fn run_ssp_server<T: Transport>(
     mut ep: T,
     n_workers: usize,
     init_params: Vec<f32>,
     staleness: u64,
-) -> Vec<f32> {
+) -> Result<Vec<f32>, TransportError> {
     let mut global = init_params;
     let mut steps = vec![0u64; n_workers];
     let mut done = vec![false; n_workers];
@@ -173,7 +218,7 @@ pub fn run_ssp_server<T: Transport>(
         if done.iter().all(|d| *d) {
             break;
         }
-        let m = ep.recv_any();
+        let m = ep.recv_any()?;
         match m.payload {
             Payload::Grads(delta) => {
                 for (g, d) in global.iter_mut().zip(&delta) {
@@ -183,7 +228,12 @@ pub fn run_ssp_server<T: Transport>(
             }
             Payload::Control(CTRL_PULL) => parked.push((m.from, m.tag)),
             Payload::Control(CTRL_SHUTDOWN) => done[m.from] = true,
-            other => panic!("unexpected SSP request {other:?}"),
+            other => {
+                return Err(TransportError::Protocol(format!(
+                    "unexpected SSP request {other:?} from rank {}",
+                    m.from
+                )))
+            }
         }
         // release every parked pull now inside the staleness window
         let min_step = steps
@@ -193,20 +243,26 @@ pub fn run_ssp_server<T: Transport>(
             .map(|(s, _)| *s)
             .min()
             .unwrap_or(u64::MAX);
+        let mut release_err = None;
         parked.retain(|&(w, tag)| {
-            if steps[w] <= min_step.saturating_add(staleness) {
-                ep.send(w, tag, Payload::Params(global.clone()));
+            if release_err.is_none() && steps[w] <= min_step.saturating_add(staleness) {
+                if let Err(e) = ep.send(w, tag, Payload::Params(global.clone())) {
+                    release_err = Some(e);
+                }
                 false
             } else {
                 true
             }
         });
+        if let Some(e) = release_err {
+            return Err(e);
+        }
     }
     // release anything still parked so no worker deadlocks at shutdown
     for (w, tag) in parked {
-        ep.send(w, tag, Payload::Params(global.clone()));
+        ep.send(w, tag, Payload::Params(global.clone()))?;
     }
-    global
+    Ok(global)
 }
 
 #[cfg(test)]
@@ -223,7 +279,7 @@ mod tests {
     {
         let mut eps = Fabric::new(n + 1);
         let server_ep = eps.pop().unwrap();
-        let server = thread::spawn(move || run_round_server(server_ep, n, init));
+        let server = thread::spawn(move || run_round_server(server_ep, n, init).unwrap());
         let handles: Vec<_> = eps
             .into_iter()
             .map(|mut ep| {
@@ -241,8 +297,8 @@ mod tests {
     #[test]
     fn initial_pull_round_returns_init() {
         let (results, _) = with_round_server(3, vec![1.0, 2.0], |ep, _, n| {
-            let v = sync_round(ep, n, 0, SyncRequest::Pull);
-            send_shutdown(ep, n, 1);
+            let v = sync_round(ep, n, 0, SyncRequest::Pull).unwrap();
+            send_shutdown(ep, n, 1).unwrap();
             v
         });
         for r in results {
@@ -253,8 +309,8 @@ mod tests {
     #[test]
     fn param_push_round_averages_and_updates_global() {
         let (results, global) = with_round_server(4, vec![0.0], |ep, id, n| {
-            let v = sync_round(ep, n, 0, SyncRequest::PushParams(vec![id as f32]));
-            send_shutdown(ep, n, 1);
+            let v = sync_round(ep, n, 0, SyncRequest::PushParams(vec![id as f32])).unwrap();
+            send_shutdown(ep, n, 1).unwrap();
             v
         });
         for r in results {
@@ -266,8 +322,8 @@ mod tests {
     #[test]
     fn grad_push_round_averages_without_touching_global() {
         let (results, global) = with_round_server(2, vec![9.0], |ep, id, n| {
-            let g = sync_round(ep, n, 0, SyncRequest::PushGrads(vec![id as f32 * 2.0]));
-            send_shutdown(ep, n, 1);
+            let g = sync_round(ep, n, 0, SyncRequest::PushGrads(vec![id as f32 * 2.0])).unwrap();
+            send_shutdown(ep, n, 1).unwrap();
             g
         });
         for r in results {
@@ -285,8 +341,8 @@ mod tests {
             } else {
                 SyncRequest::Pull
             };
-            let v = sync_round(ep, n, 0, req);
-            send_shutdown(ep, n, 1);
+            let v = sync_round(ep, n, 0, req).unwrap();
+            send_shutdown(ep, n, 1).unwrap();
             v
         });
         for r in results {
@@ -299,10 +355,10 @@ mod tests {
         let (results, global) = with_round_server(2, vec![0.0], |ep, id, n| {
             let mut v = vec![id as f32 + 1.0];
             for step in 0..5u64 {
-                v = sync_round(ep, n, step, SyncRequest::PushParams(v.clone()));
+                v = sync_round(ep, n, step, SyncRequest::PushParams(v.clone())).unwrap();
                 v[0] += 1.0; // local drift between rounds
             }
-            send_shutdown(ep, n, 99);
+            send_shutdown(ep, n, 99).unwrap();
             v
         });
         // round 0: avg(1,2)=1.5 → both 2.5; each next round avg equals both
@@ -317,16 +373,16 @@ mod tests {
         let n = 2;
         let mut eps = Fabric::new(n + 1);
         let server_ep = eps.pop().unwrap();
-        let server = thread::spawn(move || run_ssp_server(server_ep, n, vec![0.0], 2));
+        let server = thread::spawn(move || run_ssp_server(server_ep, n, vec![0.0], 2).unwrap());
         let handles: Vec<_> = eps
             .into_iter()
             .map(|mut ep| {
                 thread::spawn(move || {
                     let mut last = Vec::new();
                     for step in 0..10u64 {
-                        last = ssp_step(&mut ep, n, step, vec![1.0]);
+                        last = ssp_step(&mut ep, n, step, vec![1.0]).unwrap();
                     }
-                    send_shutdown(&mut ep, n, 10);
+                    send_shutdown(&mut ep, n, 10).unwrap();
                     last
                 })
             })
@@ -351,17 +407,17 @@ mod tests {
         let n = 2;
         let mut eps = Fabric::new(n + 1);
         let server_ep = eps.pop().unwrap();
-        let _server = thread::spawn(move || run_ssp_server(server_ep, n, vec![0.0], 3));
+        let _server = thread::spawn(move || run_ssp_server(server_ep, n, vec![0.0], 3).unwrap());
         let mut slow = eps.pop().unwrap(); // id 1
         let mut fast = eps.pop().unwrap(); // id 0
         let fast_steps = Arc::new(AtomicU64::new(0));
         let fs = Arc::clone(&fast_steps);
         let fast_h = thread::spawn(move || {
             for step in 0..10u64 {
-                let _ = ssp_step(&mut fast, n, step, vec![0.0]);
+                let _ = ssp_step(&mut fast, n, step, vec![0.0]).unwrap();
                 fs.store(step + 1, Ordering::SeqCst);
             }
-            send_shutdown(&mut fast, n, 10);
+            send_shutdown(&mut fast, n, 10).unwrap();
         });
         thread::sleep(std::time::Duration::from_millis(200));
         let blocked_at = fast_steps.load(Ordering::SeqCst);
@@ -371,10 +427,26 @@ mod tests {
         );
         // let the slow worker catch up, releasing the fast one
         for step in 0..10u64 {
-            let _ = ssp_step(&mut slow, n, step, vec![0.0]);
+            let _ = ssp_step(&mut slow, n, step, vec![0.0]).unwrap();
         }
-        send_shutdown(&mut slow, n, 10);
+        send_shutdown(&mut slow, n, 10).unwrap();
         fast_h.join().unwrap();
         assert_eq!(fast_steps.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn dead_worker_surfaces_as_error_not_panic() {
+        // 2 workers expected, but one endpoint is dropped before ever
+        // sending: the server's round can never complete. With the old
+        // panicking fabric this aborted the process; now we can bound the
+        // wait and observe the failure. We emulate by having worker 0
+        // push then drop — the server blocks in recv; the *client* path
+        // is what we exercise: sending to a dropped server errors.
+        let mut eps = Fabric::new(2);
+        let server_ep = eps.pop().unwrap();
+        let mut w = eps.pop().unwrap();
+        drop(server_ep);
+        let err = sync_round(&mut w, 1, 0, SyncRequest::Pull).unwrap_err();
+        assert_eq!(err, TransportError::PeerUnreachable { peer: 1 });
     }
 }

@@ -4,12 +4,27 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fabric-wide message/byte counters, shared by all endpoints.
 ///
+/// Four tallies cover the life of a message: **sent** (the application
+/// asked for it), **received** (an endpoint drained it off the fabric),
+/// **dropped** (a fault-injection layer discarded it), and
+/// **duplicated** (a fault-injection layer delivered an extra copy).
+/// On a fault-free fabric sent = received once all traffic drains; with
+/// chaos injected the conservation law becomes
+/// `sent - dropped + duplicated = received` — the invariant the chaos
+/// tests assert.
+///
 /// Relaxed ordering suffices: counters are monotonic tallies read after
 /// the threads join, never used for synchronization.
 #[derive(Debug, Default)]
 pub struct CommStats {
     bytes: AtomicU64,
     messages: AtomicU64,
+    recv_bytes: AtomicU64,
+    recv_messages: AtomicU64,
+    dropped_bytes: AtomicU64,
+    dropped_messages: AtomicU64,
+    duplicated_bytes: AtomicU64,
+    duplicated_messages: AtomicU64,
 }
 
 impl CommStats {
@@ -17,6 +32,25 @@ impl CommStats {
     pub fn record(&self, bytes: u64) {
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one received message of `bytes` wire bytes (counted when
+    /// the endpoint drains it off the fabric, buffered or not).
+    pub fn record_recv(&self, bytes: u64) {
+        self.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.recv_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one message discarded by fault injection.
+    pub fn record_drop(&self, bytes: u64) {
+        self.dropped_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.dropped_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one extra copy delivered by fault injection.
+    pub fn record_duplicate(&self, bytes: u64) {
+        self.duplicated_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.duplicated_messages.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total wire bytes sent so far.
@@ -29,10 +63,46 @@ impl CommStats {
         self.messages.load(Ordering::Relaxed)
     }
 
-    /// Reset both counters (between experiment phases).
+    /// Total wire bytes received so far.
+    pub fn recv_bytes(&self) -> u64 {
+        self.recv_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages received so far.
+    pub fn recv_messages(&self) -> u64 {
+        self.recv_messages.load(Ordering::Relaxed)
+    }
+
+    /// Total wire bytes discarded by fault injection.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages discarded by fault injection.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages.load(Ordering::Relaxed)
+    }
+
+    /// Total extra wire bytes delivered by fault injection.
+    pub fn duplicated_bytes(&self) -> u64 {
+        self.duplicated_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total extra messages delivered by fault injection.
+    pub fn duplicated_messages(&self) -> u64 {
+        self.duplicated_messages.load(Ordering::Relaxed)
+    }
+
+    /// Reset every counter (between experiment phases).
     pub fn reset(&self) {
         self.bytes.store(0, Ordering::Relaxed);
         self.messages.store(0, Ordering::Relaxed);
+        self.recv_bytes.store(0, Ordering::Relaxed);
+        self.recv_messages.store(0, Ordering::Relaxed);
+        self.dropped_bytes.store(0, Ordering::Relaxed);
+        self.dropped_messages.store(0, Ordering::Relaxed);
+        self.duplicated_bytes.store(0, Ordering::Relaxed);
+        self.duplicated_messages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -54,6 +124,27 @@ mod tests {
     }
 
     #[test]
+    fn recv_drop_duplicate_tallies_are_independent() {
+        let s = CommStats::default();
+        s.record(100);
+        s.record(100);
+        s.record_recv(100);
+        s.record_drop(100);
+        s.record_duplicate(100);
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.recv_messages(), 1);
+        assert_eq!(s.dropped_messages(), 1);
+        assert_eq!(s.duplicated_messages(), 1);
+        // conservation: sent - dropped + duplicated = deliverable
+        assert_eq!(
+            s.total_messages() - s.dropped_messages() + s.duplicated_messages(),
+            2
+        );
+        s.reset();
+        assert_eq!(s.recv_bytes() + s.dropped_bytes() + s.duplicated_bytes(), 0);
+    }
+
+    #[test]
     fn concurrent_recording_is_lossless() {
         let s = Arc::new(CommStats::default());
         let handles: Vec<_> = (0..4)
@@ -62,6 +153,7 @@ mod tests {
                 thread::spawn(move || {
                     for _ in 0..1000 {
                         s.record(3);
+                        s.record_recv(3);
                     }
                 })
             })
@@ -70,6 +162,7 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.total_messages(), 4000);
+        assert_eq!(s.recv_messages(), 4000);
         assert_eq!(s.total_bytes(), 12000);
     }
 }

@@ -41,7 +41,7 @@ proptest! {
             let mut v: Vec<f32> = (0..len)
                 .map(|i| ((seed as usize + id * 31 + i * 7) % 13) as f32 - 6.0)
                 .collect();
-            ring_allreduce(ep, n, seed, &mut v);
+            ring_allreduce(ep, n, seed, &mut v).unwrap();
             v
         });
         let expected: Vec<f32> = (0..len)
@@ -62,12 +62,12 @@ proptest! {
     fn ring_and_root_agree(n in 2usize..6, len in 1usize..30, seed in 0u64..500) {
         let ring = run_workers(n, move |ep, id| {
             let mut v = vec![(id + 1) as f32 + seed as f32; len];
-            ring_allreduce(ep, n, 0, &mut v);
+            ring_allreduce(ep, n, 0, &mut v).unwrap();
             v
         });
         let root = run_workers(n, move |ep, id| {
             let mut v = vec![(id + 1) as f32 + seed as f32; len];
-            root_allreduce(ep, n, 0, &mut v);
+            root_allreduce(ep, n, 0, &mut v).unwrap();
             v
         });
         for (a, b) in ring[0].iter().zip(&root[0]) {
@@ -82,7 +82,7 @@ proptest! {
     ) {
         let results = run_workers(n, move |ep, id| {
             let bit = ((pattern >> id) & 1) as u8;
-            allgather_flags(ep, n, 0, bit)
+            allgather_flags(ep, n, 0, bit).unwrap()
         });
         let expected: Vec<u8> = (0..n).map(|id| ((pattern >> id) & 1) as u8).collect();
         for r in &results {
@@ -94,7 +94,7 @@ proptest! {
     fn ps_param_round_returns_exact_mean(n in 1usize..6, base in -100.0f32..100.0) {
         let mut eps = Fabric::new(n + 1);
         let server_ep = eps.pop().unwrap();
-        let server = thread::spawn(move || run_round_server(server_ep, n, vec![0.0]));
+        let server = thread::spawn(move || run_round_server(server_ep, n, vec![0.0]).unwrap());
         let handles: Vec<_> = eps
             .into_iter()
             .map(|mut ep| {
@@ -105,8 +105,9 @@ proptest! {
                         n,
                         0,
                         SyncRequest::PushParams(vec![base + id as f32]),
-                    );
-                    send_shutdown(&mut ep, n, 1);
+                    )
+                    .unwrap();
+                    send_shutdown(&mut ep, n, 1).unwrap();
                     v[0]
                 })
             })

@@ -18,13 +18,13 @@ proptest! {
         let b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for (i, &tag) in order.iter().enumerate() {
-            b.send(0, tag as u64, Payload::Control(i as u64));
+            b.send(0, tag as u64, Payload::Control(i as u64)).unwrap();
         }
         let mut received = Vec::new();
         let mut tags_sorted = order.clone();
         tags_sorted.sort_unstable();
         for &tag in &tags_sorted {
-            let m = a.recv_tagged(Some(1), tag as u64);
+            let m = a.recv_tagged(Some(1), tag as u64).unwrap();
             prop_assert_eq!(m.tag, tag as u64);
             if let Payload::Control(i) = m.payload {
                 received.push(i as usize);
@@ -45,10 +45,10 @@ proptest! {
         for (i, &s) in sizes.iter().enumerate() {
             let p = Payload::Params(vec![0.0; s]);
             expected += p.wire_bytes();
-            b.send(0, i as u64, p);
+            b.send(0, i as u64, p).unwrap();
         }
         for i in 0..sizes.len() {
-            let _ = a.recv_tagged(Some(1), i as u64);
+            let _ = a.recv_tagged(Some(1), i as u64).unwrap();
         }
         prop_assert_eq!(a.stats().total_bytes(), expected);
         prop_assert_eq!(a.stats().total_messages(), sizes.len() as u64);

@@ -1,0 +1,556 @@
+//! Elastic fault-tolerant training: the SelSync worker loop rebuilt on
+//! the `selsync-comm` elastic membership protocol.
+//!
+//! In elastic mode every step's flags exchange routes through the PS and
+//! doubles as a heartbeat ([`selsync_comm::elastic`]). This module adds
+//! the training side of the protocol:
+//!
+//! - **Eviction tolerance**: when the status vector reports a rank dead,
+//!   the survivors deterministically *re-partition* the dataset over the
+//!   remaining members and keep training — no barrier ever waits on a
+//!   corpse.
+//! - **Checkpointing**: the server writes the global parameters to disk
+//!   (via [`crate::checkpoint`]) after every completed sync round.
+//! - **Rejoin**: an evicted or restarted worker warm-starts from the
+//!   latest checkpoint (falling back to the parameters carried by the
+//!   join grant), resumes at the server-assigned step, and re-enters the
+//!   membership.
+//!
+//! Scheduled crashes ([`ElasticOptions::crash_at`]) are enforced here —
+//! the worker goes silent just before the given step — because a
+//! transport wrapper cannot kill its owner; the chaos layer only
+//! *schedules* crashes.
+
+use crate::checkpoint;
+use crate::config::{Aggregation, RunConfig, Strategy, SyncBackend};
+use crate::metrics::{EvalRecord, StepRecord};
+use crate::trainer::{evaluate, grad_sqnorm, AnyCursor, AnyOptimizer, WorkerOutput};
+use crate::workload::{Workload, WorkloadData, SEQ_LEN};
+use selsync_comm::elastic::{
+    elastic_shutdown, elastic_sync_round, heartbeat_round, join_request, run_elastic_server,
+    ElasticConfig, ElasticReport, STATUS_DEAD, STATUS_SYNC,
+};
+use selsync_comm::{Transport, TransportError};
+use selsync_data::{partition_indices, BatchCursor, TextBatchCursor};
+use selsync_nn::flat::{clip_grad_norm, flat_params, set_flat_params};
+use selsync_nn::loss::softmax_cross_entropy;
+use selsync_stats::{LssrCounter, RelativeGradChange};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Knobs of an elastic run, shared by the server and worker ranks.
+#[derive(Debug, Clone)]
+pub struct ElasticOptions {
+    /// Server-side silence deadline per collection round; must
+    /// comfortably exceed one training step.
+    pub round_timeout: Duration,
+    /// Worker-side wait for a server reply; must exceed
+    /// `round_timeout × (max_missed + 1)` so a round stalled on a dying
+    /// peer is not mistaken for a dead server.
+    pub reply_timeout: Duration,
+    /// Consecutive missed rounds before the server evicts a rank.
+    pub max_missed: u32,
+    /// Worker-side resend attempts after a reply timeout (a lossy
+    /// network can eat a heartbeat; the server answers stale resends
+    /// with catch-up replies).
+    pub comm_retries: u32,
+    /// Server: write the global parameters here after every sync.
+    /// Rejoining workers warm-start from this file.
+    pub checkpoint: Option<PathBuf>,
+    /// Worker: go silent just before this step (scheduled crash).
+    pub crash_at: Option<u64>,
+}
+
+impl Default for ElasticOptions {
+    fn default() -> Self {
+        ElasticOptions::with_liveness(Duration::from_millis(500), 3)
+    }
+}
+
+impl ElasticOptions {
+    /// Build options with a consistent worker reply deadline derived
+    /// from the server's liveness policy.
+    pub fn with_liveness(round_timeout: Duration, max_missed: u32) -> Self {
+        ElasticOptions {
+            round_timeout,
+            reply_timeout: round_timeout * (max_missed + 2),
+            max_missed,
+            comm_retries: 3,
+            checkpoint: None,
+            crash_at: None,
+        }
+    }
+}
+
+fn validate_elastic(config: &RunConfig, workload: &Workload) {
+    assert!(config.n_workers >= 1, "need at least one worker");
+    assert!(config.max_steps >= 1, "need at least one step");
+    assert_eq!(
+        config.backend,
+        SyncBackend::ParameterServer,
+        "elastic membership is a PS service"
+    );
+    match config.strategy {
+        Strategy::SelSync {
+            aggregation: Aggregation::Parameter,
+            ..
+        }
+        | Strategy::Bsp {
+            aggregation: Aggregation::Parameter,
+        } => {}
+        _ => panic!("elastic mode supports parameter-averaged SelSync/BSP"),
+    }
+    assert!(
+        config.noniid_labels.is_none() && config.injection.is_none(),
+        "elastic re-partitioning is defined for the IID schemes"
+    );
+    assert!(
+        config.compression.is_none(),
+        "compression applies to gradient aggregation, not elastic PA"
+    );
+    let _ = workload;
+}
+
+/// Ranks a status vector reports as members (anything but dead — a rank
+/// that merely missed a round is still in the membership).
+fn alive_ranks(status: &[u8]) -> Vec<usize> {
+    status
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s != STATUS_DEAD)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Deterministic repartition of the training set over the current
+/// members: every survivor computes the same split from the same status
+/// vector, so membership changes never need extra coordination.
+fn build_cursor(
+    config: &RunConfig,
+    workload: &Workload,
+    members: &[usize],
+    me: usize,
+) -> AnyCursor {
+    let slot = members
+        .binary_search(&me)
+        .expect("repartition: this rank must be a member");
+    let partition = partition_indices(
+        workload.num_train_units(),
+        members.len(),
+        slot,
+        config.partition,
+    );
+    match &workload.data {
+        WorkloadData::Vision { .. } => {
+            AnyCursor::Vision(BatchCursor::new(partition, config.batch_size))
+        }
+        WorkloadData::Text { .. } => {
+            AnyCursor::Text(TextBatchCursor::new(partition, SEQ_LEN, config.batch_size))
+        }
+    }
+}
+
+fn heartbeat_retry<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    bit: u8,
+    opts: &ElasticOptions,
+) -> Result<Vec<u8>, TransportError> {
+    let mut attempts = 0;
+    loop {
+        match heartbeat_round(ep, server, step, bit, opts.reply_timeout) {
+            Err(TransportError::RecvTimeout { .. }) if attempts < opts.comm_retries => {
+                attempts += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+fn sync_retry<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    params: &[f32],
+    opts: &ElasticOptions,
+) -> Result<Vec<f32>, TransportError> {
+    let mut attempts = 0;
+    loop {
+        match elastic_sync_round(ep, server, step, params.to_vec(), opts.reply_timeout) {
+            Err(TransportError::RecvTimeout { .. }) if attempts < opts.comm_retries => {
+                attempts += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Run the elastic parameter server for one experiment. Blocks until
+/// every member has finished or been evicted; returns the membership
+/// history and final global parameters.
+///
+/// # Errors
+/// Propagates unrecoverable transport faults; dying *workers* are not
+/// errors — they are evicted and reported in the [`ElasticReport`].
+pub fn run_elastic_server_rank<T: Transport>(
+    ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+) -> Result<ElasticReport, TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(
+        ep.id(),
+        config.n_workers,
+        "the PS listens on rank n_workers"
+    );
+    let init = flat_params(workload.build_model().as_visitor());
+    let cfg = ElasticConfig {
+        round_timeout: opts.round_timeout,
+        max_missed: opts.max_missed,
+    };
+    let ckpt = opts.checkpoint.clone();
+    run_elastic_server(ep, config.n_workers, init, &cfg, move |_step, global| {
+        if let Some(path) = &ckpt {
+            // best effort: a full disk must not take the cluster down
+            let _ = checkpoint::save_params(path, global);
+        }
+    })
+}
+
+/// Run one elastic worker rank from step 0. Takes the endpoint by
+/// mutable reference (unlike the static-membership trainer) so a
+/// scheduled crash can later [`rejoin_elastic_worker_rank`] on the same
+/// endpoint.
+///
+/// # Errors
+/// [`TransportError::Evicted`] if the server expelled this rank (it may
+/// rejoin); other variants on unrecoverable comm faults.
+pub fn run_elastic_worker_rank<T: Transport>(
+    ep: &mut T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+) -> Result<WorkerOutput, TransportError> {
+    validate_elastic(config, workload);
+    let worker = ep.id();
+    assert!(worker < config.n_workers, "worker rank out of range");
+    let members: Vec<usize> = (0..config.n_workers).collect();
+    elastic_loop(ep, config, workload, opts, None, 0, members)
+}
+
+/// Re-admit this rank into a running elastic experiment: warm-start from
+/// the newest checkpoint (or the parameters in the join grant), resume
+/// at the server-assigned step with the granted membership, and train to
+/// the end. Returns the resume step alongside the worker output.
+///
+/// # Errors
+/// `RecvTimeout` if the server never grants the join (training already
+/// over); otherwise as [`run_elastic_worker_rank`].
+pub fn rejoin_elastic_worker_rank<T: Transport>(
+    ep: &mut T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+) -> Result<(u64, WorkerOutput), TransportError> {
+    validate_elastic(config, workload);
+    let worker = ep.id();
+    assert!(worker < config.n_workers, "worker rank out of range");
+    let grant = join_request(ep, config.n_workers, opts.reply_timeout)?;
+    let members = alive_ranks(&grant.status);
+    let resume_step = grant.resume_step;
+    // prefer the on-disk checkpoint the server wrote at the last sync;
+    // the grant carries the same state over the wire as a fallback
+    let init = opts
+        .checkpoint
+        .as_ref()
+        .and_then(|p| checkpoint::load_params(p).ok())
+        .filter(|v| v.len() == grant.params.len())
+        .unwrap_or(grant.params);
+    let out = elastic_loop(ep, config, workload, opts, Some(init), resume_step, members)?;
+    Ok((resume_step, out))
+}
+
+#[allow(clippy::too_many_lines)]
+fn elastic_loop<T: Transport>(
+    ep: &mut T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+    init_params: Option<Vec<f32>>,
+    start_step: u64,
+    mut members: Vec<usize>,
+) -> Result<WorkerOutput, TransportError> {
+    let worker = ep.id();
+    let server = config.n_workers;
+    let mut model = workload.build_model();
+    if let Some(init) = init_params {
+        set_flat_params(model.as_model(), &init);
+    }
+    let mut opt = AnyOptimizer::new(config.optim, config.lr.at(start_step));
+    let mut cursor = build_cursor(config, workload, &members, worker);
+    // a rejoiner restarts its Δ(g) EWMA from scratch: its first step
+    // reports an infinite relative change and forces a sync, which is
+    // exactly the conservative behaviour a returning replica wants
+    let mut relchange = RelativeGradChange::new(config.ewma_window, config.ewma_alpha);
+    let mut lssr = LssrCounter::new();
+    let mut records = Vec::new();
+    let mut evals = Vec::new();
+    let mut logical_bytes = 0u64;
+    let mut crashed = false;
+
+    for step in start_step..config.max_steps {
+        if opts.crash_at == Some(step) {
+            crashed = true;
+            break; // go silent: no shutdown, no farewell — a real crash
+        }
+        opt.set_lr(config.lr.at(step));
+        if let Some((slow, delay_us)) = config.straggler {
+            if slow == worker {
+                std::thread::sleep(Duration::from_micros(delay_us));
+            }
+        }
+        let batch = cursor.next_batch(&workload.data);
+        let logits = model.as_model().forward(&batch.input, true);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &batch.targets);
+        model.as_model().zero_grad();
+        model.as_model().backward(&dlogits);
+        if let Some(max_norm) = config.grad_clip {
+            clip_grad_norm(model.as_model(), max_norm);
+        }
+
+        let (my_bit, delta_g) = match config.strategy {
+            Strategy::SelSync { delta, .. } => {
+                let dg = relchange.update(grad_sqnorm(model.as_visitor()));
+                (u8::from(dg >= delta), dg)
+            }
+            _ => (1, f32::NAN), // BSP: raise the flag every step
+        };
+
+        // flags round = heartbeat; the reply is the membership status
+        let status = heartbeat_retry(ep, server, step, my_bit, opts)?;
+        let now_alive = alive_ranks(&status);
+        if now_alive != members {
+            // membership changed (eviction or rejoin): every survivor
+            // recomputes the same partition of the dataset
+            members = now_alive;
+            cursor = build_cursor(config, workload, &members, worker);
+        }
+
+        // a status vector containing SYNC can only come from the current
+        // round (catch-up replies never carry sync bits), so every
+        // receiver of one participates in the parameter-averaging round
+        let synced = if status.contains(&STATUS_SYNC) {
+            opt.step(model.as_model());
+            let params = flat_params(model.as_visitor());
+            logical_bytes += 4 * params.len() as u64;
+            let global = sync_retry(ep, server, step, &params, opts)?;
+            set_flat_params(model.as_model(), &global);
+            true
+        } else {
+            opt.step(model.as_model());
+            false
+        };
+
+        if synced {
+            lssr.record_sync();
+        } else {
+            lssr.record_local();
+        }
+        if worker == 0 {
+            records.push(StepRecord {
+                step,
+                loss,
+                synced,
+                delta_g,
+            });
+            if (step + 1).is_multiple_of(config.eval_every) || step + 1 == config.max_steps {
+                evals.push(EvalRecord {
+                    step,
+                    epoch: cursor.epoch_progress(),
+                    metric: evaluate(&mut model, workload),
+                });
+            }
+        }
+    }
+
+    if !crashed {
+        elastic_shutdown(ep, server, config.max_steps)?;
+    }
+
+    Ok(WorkerOutput {
+        worker,
+        final_params: flat_params(model.as_visitor()),
+        lssr,
+        records,
+        evals,
+        logical_sync_bytes: logical_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_comm::Fabric;
+    use selsync_nn::models::ModelKind;
+    use std::thread;
+
+    fn elastic_cfg(n_workers: usize, steps: u64, delta: f32) -> RunConfig {
+        RunConfig {
+            strategy: Strategy::SelSync {
+                delta,
+                aggregation: Aggregation::Parameter,
+            },
+            n_workers,
+            max_steps: steps,
+            eval_every: steps,
+            ..RunConfig::quick_defaults()
+        }
+    }
+
+    fn small_workload() -> Workload {
+        Workload::vision(ModelKind::VggMini, 96, 32, 7)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("selsync_elastic_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn fault_free_elastic_run_completes() {
+        let n = 3;
+        let cfg = elastic_cfg(n, 10, 0.35);
+        let wl = small_workload();
+        let opts = ElasticOptions::with_liveness(Duration::from_millis(500), 3);
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let (s_cfg, s_wl, s_opts) = (cfg.clone(), wl.clone(), opts.clone());
+        let server =
+            thread::spawn(move || run_elastic_server_rank(server_ep, &s_cfg, &s_wl, &s_opts));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let (cfg, wl, opts) = (cfg.clone(), wl.clone(), opts.clone());
+                thread::spawn(move || run_elastic_worker_rank(&mut ep, &cfg, &wl, &opts))
+            })
+            .collect();
+        let outputs: Vec<WorkerOutput> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        let report = server.join().unwrap().unwrap();
+        assert!(report.evictions.is_empty());
+        assert!(report.joins.is_empty());
+        assert!(report.syncs >= 1, "step 0 must sync (Δ = ∞)");
+        for o in &outputs {
+            assert!(o.final_params.iter().all(|v| v.is_finite()));
+            assert_eq!(o.lssr.total(), 10);
+        }
+        let w0 = outputs.iter().find(|o| o.worker == 0).unwrap();
+        assert!(w0.records[0].synced, "first step always synchronizes");
+    }
+
+    #[test]
+    fn crash_evicts_and_survivors_finish_with_checkpoint() {
+        let n = 3;
+        let steps = 12;
+        let cfg = elastic_cfg(n, steps, 0.0); // δ=0: sync every step
+        let wl = small_workload();
+        let ckpt = tmp("crash.bin");
+        let mut opts = ElasticOptions::with_liveness(Duration::from_millis(150), 2);
+        opts.reply_timeout = Duration::from_secs(5);
+        opts.checkpoint = Some(ckpt.clone());
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let (s_cfg, s_wl, s_opts) = (cfg.clone(), wl.clone(), opts.clone());
+        let server =
+            thread::spawn(move || run_elastic_server_rank(server_ep, &s_cfg, &s_wl, &s_opts));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let (cfg, wl) = (cfg.clone(), wl.clone());
+                let mut opts = opts.clone();
+                if ep.id() == 2 {
+                    opts.crash_at = Some(4);
+                }
+                thread::spawn(move || run_elastic_worker_rank(&mut ep, &cfg, &wl, &opts))
+            })
+            .collect();
+        let outputs: Vec<WorkerOutput> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        let report = server.join().unwrap().unwrap();
+
+        assert_eq!(report.evictions.len(), 1, "exactly the crashed rank dies");
+        let (evict_step, evicted) = report.evictions[0];
+        assert_eq!(evicted, 2);
+        assert!((4..steps).contains(&evict_step));
+        // the crashed rank stopped early, the survivors ran every step
+        for o in &outputs {
+            if o.worker == 2 {
+                assert_eq!(o.lssr.total(), 4);
+            } else {
+                assert_eq!(o.lssr.total(), steps);
+                // δ=0 ⇒ the last step synced, so survivors hold the
+                // global state bit-for-bit
+                assert_eq!(o.final_params, report.final_params);
+            }
+        }
+        // the checkpoint holds the final global state
+        let saved = checkpoint::load_params(&ckpt).unwrap();
+        assert_eq!(saved, report.final_params);
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn crashed_worker_rejoins_from_checkpoint_and_finishes() {
+        let n = 2;
+        let steps = 60;
+        let mut cfg = elastic_cfg(n, steps, 0.0);
+        cfg.straggler = Some((0, 10_000)); // pace rank 0 at ~10 ms/step
+        let wl = small_workload();
+        let ckpt = tmp("rejoin.bin");
+        let mut opts = ElasticOptions::with_liveness(Duration::from_millis(80), 2);
+        opts.reply_timeout = Duration::from_secs(10);
+        opts.checkpoint = Some(ckpt.clone());
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let (s_cfg, s_wl, s_opts) = (cfg.clone(), wl.clone(), opts.clone());
+        let server =
+            thread::spawn(move || run_elastic_server_rank(server_ep, &s_cfg, &s_wl, &s_opts));
+        let mut rejoiner_ep = eps.pop().unwrap(); // rank 1
+        let mut steady_ep = eps.pop().unwrap(); // rank 0
+        let (cfg0, wl0, opts0) = (cfg.clone(), wl.clone(), opts.clone());
+        let steady =
+            thread::spawn(move || run_elastic_worker_rank(&mut steady_ep, &cfg0, &wl0, &opts0));
+        let rejoin = thread::spawn(move || {
+            let mut first = opts.clone();
+            first.crash_at = Some(3);
+            let partial = run_elastic_worker_rank(&mut rejoiner_ep, &cfg, &wl, &first).unwrap();
+            assert_eq!(partial.lssr.total(), 3);
+            // stay dark long enough to be evicted, then come back
+            thread::sleep(Duration::from_millis(400));
+            rejoin_elastic_worker_rank(&mut rejoiner_ep, &cfg, &wl, &opts).unwrap()
+        });
+        let steady_out = steady.join().unwrap().unwrap();
+        let (resume_step, rejoined_out) = rejoin.join().unwrap();
+        let report = server.join().unwrap().unwrap();
+
+        assert_eq!(report.evictions.len(), 1);
+        assert_eq!(report.evictions[0].1, 1);
+        assert_eq!(report.joins, vec![(resume_step, 1)]);
+        assert!(resume_step > 3, "rejoined after the crash step");
+        assert!(resume_step < steps, "rejoined before training ended");
+        // correct step count: the rejoiner ran exactly the rest
+        assert_eq!(rejoined_out.lssr.total(), steps - resume_step);
+        assert_eq!(steady_out.lssr.total(), steps);
+        // δ=0 ⇒ both members end on the synced global state
+        assert_eq!(steady_out.final_params, report.final_params);
+        assert_eq!(rejoined_out.final_params, report.final_params);
+        std::fs::remove_file(&ckpt).ok();
+    }
+}

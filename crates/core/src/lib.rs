@@ -27,12 +27,16 @@ pub mod checkpoint;
 pub mod compression;
 pub mod config;
 pub mod divergence;
+pub mod elastic;
 pub mod metrics;
 pub mod timing;
 pub mod trainer;
 pub mod workload;
 
 pub use config::{Aggregation, CompressionKind, OptimKind, RunConfig, Strategy, SyncBackend};
+pub use elastic::{
+    rejoin_elastic_worker_rank, run_elastic_server_rank, run_elastic_worker_rank, ElasticOptions,
+};
 pub use metrics::{EvalRecord, RunResult, StepRecord};
 pub use trainer::{run_distributed, run_server_rank, run_worker_rank, WorkerOutput};
 pub use workload::Workload;

@@ -15,7 +15,7 @@ use selsync_comm::fabric::{Fabric, Payload};
 use selsync_comm::ps::{
     run_round_server, run_ssp_server, send_shutdown, ssp_step, sync_round, SyncRequest,
 };
-use selsync_comm::Transport;
+use selsync_comm::{Transport, TransportError};
 use selsync_data::{
     noniid_label_partition, partition_indices, BatchCursor, InjectionConfig, TextBatchCursor,
 };
@@ -59,7 +59,11 @@ pub fn run_distributed(config: &RunConfig, workload: &Workload) -> RunResult {
             Some(
                 thread::Builder::new()
                     .name("selsync-ps".into())
-                    .spawn(move || run_server_rank(server_ep, &cfg, &wl))
+                    // in-process fabric: a comm fault here means a worker
+                    // thread panicked, which join() below reports anyway
+                    .spawn(move || {
+                        run_server_rank(server_ep, &cfg, &wl).expect("parameter server comm fault")
+                    })
                     .expect("spawn PS"),
             )
         }
@@ -73,7 +77,7 @@ pub fn run_distributed(config: &RunConfig, workload: &Workload) -> RunResult {
         handles.push(
             thread::Builder::new()
                 .name(format!("selsync-w{worker}"))
-                .spawn(move || run_worker_rank(ep, &cfg, &wl))
+                .spawn(move || run_worker_rank(ep, &cfg, &wl).expect("worker comm fault"))
                 .expect("spawn worker"),
         );
     }
@@ -197,7 +201,15 @@ pub struct WorkerOutput {
 /// Initial parameters are derived deterministically from the workload's
 /// seeded model build, so separately-launched processes agree on the
 /// starting state without a broadcast.
-pub fn run_server_rank<T: Transport>(ep: T, config: &RunConfig, workload: &Workload) -> Vec<f32> {
+///
+/// # Errors
+/// Propagates [`TransportError`] on comm faults — a dead worker mid-round
+/// surfaces here instead of hanging the server.
+pub fn run_server_rank<T: Transport>(
+    ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+) -> Result<Vec<f32>, TransportError> {
     validate(config, workload);
     assert_eq!(
         ep.id(),
@@ -221,11 +233,16 @@ pub fn run_server_rank<T: Transport>(ep: T, config: &RunConfig, workload: &Workl
 /// deterministically from the config and workload, so separately
 /// launched processes slice the dataset exactly as the in-process
 /// trainer does.
+///
+/// # Errors
+/// Propagates [`TransportError`] on comm faults (dead peer, closed
+/// fabric) so multi-process launchers can exit with a diagnostic
+/// instead of hanging.
 pub fn run_worker_rank<T: Transport>(
     mut ep: T,
     config: &RunConfig,
     workload: &Workload,
-) -> WorkerOutput {
+) -> Result<WorkerOutput, TransportError> {
     validate(config, workload);
     let worker = ep.id();
     assert!(worker < config.n_workers, "worker rank out of range");
@@ -236,13 +253,13 @@ pub fn run_worker_rank<T: Transport>(
     worker_main(worker, &mut ep, config, workload, partition)
 }
 
-enum AnyOptimizer {
+pub(crate) enum AnyOptimizer {
     Sgd(Sgd),
     Adam(Adam),
 }
 
 impl AnyOptimizer {
-    fn new(kind: OptimKind, lr: f32) -> Self {
+    pub(crate) fn new(kind: OptimKind, lr: f32) -> Self {
         match kind {
             OptimKind::Sgd {
                 momentum,
@@ -251,13 +268,13 @@ impl AnyOptimizer {
             OptimKind::Adam => AnyOptimizer::Adam(Adam::new(lr)),
         }
     }
-    fn step(&mut self, m: &mut dyn ParamVisitor) {
+    pub(crate) fn step(&mut self, m: &mut dyn ParamVisitor) {
         match self {
             AnyOptimizer::Sgd(o) => o.step(m),
             AnyOptimizer::Adam(o) => o.step(m),
         }
     }
-    fn set_lr(&mut self, lr: f32) {
+    pub(crate) fn set_lr(&mut self, lr: f32) {
         match self {
             AnyOptimizer::Sgd(o) => o.set_lr(lr),
             AnyOptimizer::Adam(o) => o.set_lr(lr),
@@ -265,26 +282,26 @@ impl AnyOptimizer {
     }
 }
 
-enum AnyCursor {
+pub(crate) enum AnyCursor {
     Vision(BatchCursor),
     Text(TextBatchCursor),
 }
 
 impl AnyCursor {
-    fn next_batch(&mut self, data: &WorkloadData) -> Batch {
+    pub(crate) fn next_batch(&mut self, data: &WorkloadData) -> Batch {
         match (self, data) {
             (AnyCursor::Vision(c), WorkloadData::Vision { train, .. }) => c.next_batch(train),
             (AnyCursor::Text(c), WorkloadData::Text { train, .. }) => c.next_batch(train),
             _ => unreachable!("cursor/data kind mismatch"),
         }
     }
-    fn steps_per_epoch(&self) -> usize {
+    pub(crate) fn steps_per_epoch(&self) -> usize {
         match self {
             AnyCursor::Vision(c) => c.batches_per_epoch(),
             AnyCursor::Text(c) => c.batches_per_epoch(),
         }
     }
-    fn epoch_progress(&self) -> f64 {
+    pub(crate) fn epoch_progress(&self) -> f64 {
         match self {
             AnyCursor::Vision(c) => c.epoch_progress(),
             AnyCursor::Text(c) => c.epoch_progress(),
@@ -355,7 +372,7 @@ impl SyncCtx {
 }
 
 /// Squared L2 norm of all gradients without materializing the flat copy.
-fn grad_sqnorm(m: &dyn ParamVisitor) -> f32 {
+pub(crate) fn grad_sqnorm(m: &dyn ParamVisitor) -> f32 {
     let mut s = 0.0;
     m.visit_params(&mut |p| s += sqnorm_slice(p.grad.as_slice()));
     s
@@ -368,7 +385,7 @@ fn worker_main<T: Transport>(
     config: &RunConfig,
     workload: &Workload,
     partition: Vec<usize>,
-) -> WorkerOutput {
+) -> Result<WorkerOutput, TransportError> {
     let n = config.n_workers;
     let mut ctx = SyncCtx {
         server: n,
@@ -398,7 +415,7 @@ fn worker_main<T: Transport>(
     // decentralized backend there is no server; replicas already share
     // the seeded init (the §III-C broadcast-equivalent).
     if ctx.backend == SyncBackend::ParameterServer {
-        let init = sync_round(ep, ctx.server, INIT_TAG, SyncRequest::Pull);
+        let init = sync_round(ep, ctx.server, INIT_TAG, SyncRequest::Pull)?;
         set_flat_params(model.as_model(), &init);
     }
 
@@ -426,7 +443,7 @@ fn worker_main<T: Transport>(
 
         // --- data injection: sharers broadcast a slice of their batch ---
         if let Some(inj) = injection {
-            batch = exchange_injection(ep, n, step, inj, config.seed, batch);
+            batch = exchange_injection(ep, n, step, inj, config.seed, batch)?;
         }
 
         // --- forward / backward on the (possibly augmented) batch ---
@@ -441,7 +458,7 @@ fn worker_main<T: Transport>(
         // --- strategy-specific update & communication ---
         let (synced, delta_g) = match config.strategy {
             Strategy::Bsp { aggregation } => {
-                apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation);
+                apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation)?;
                 (true, f32::NAN)
             }
             Strategy::LocalOnly => {
@@ -452,9 +469,9 @@ fn worker_main<T: Transport>(
                 // Alg. 1 lines 8–15
                 let dg = relchange.update(grad_sqnorm(model.as_visitor()));
                 let my_bit = u8::from(dg >= delta);
-                let flags = allgather_flags(ep, n, step, my_bit);
+                let flags = allgather_flags(ep, n, step, my_bit)?;
                 if flags.contains(&1) {
-                    apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation);
+                    apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation)?;
                     (true, dg)
                 } else {
                     opt.step(model.as_model());
@@ -472,7 +489,7 @@ fn worker_main<T: Transport>(
                     } else {
                         SyncRequest::Pull
                     };
-                    let avg = sync_round(ep, ctx.server, step, req);
+                    let avg = sync_round(ep, ctx.server, step, req)?;
                     ctx.logical_bytes += 4 * avg.len() as u64;
                     set_flat_params(model.as_model(), &avg);
                     (true, f32::NAN)
@@ -486,7 +503,7 @@ fn worker_main<T: Transport>(
                 let after = flat_params(model.as_visitor());
                 let delta: Vec<f32> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
                 ctx.logical_bytes += 4 * before.len() as u64;
-                let global = ssp_step(ep, ctx.server, step, delta);
+                let global = ssp_step(ep, ctx.server, step, delta)?;
                 set_flat_params(model.as_model(), &global);
                 (true, f32::NAN)
             }
@@ -516,17 +533,17 @@ fn worker_main<T: Transport>(
 
     // dedicated shutdown round (all workers, same tag)
     if ctx.backend == SyncBackend::ParameterServer {
-        send_shutdown(ep, ctx.server, config.max_steps);
+        send_shutdown(ep, ctx.server, config.max_steps)?;
     }
 
-    WorkerOutput {
+    Ok(WorkerOutput {
         worker,
         final_params: flat_params(model.as_visitor()),
         lssr,
         records,
         evals,
         logical_sync_bytes: ctx.logical_bytes,
-    }
+    })
 }
 
 /// One synchronization (Alg. 1 lines 14–15 for PA; the §IV-D
@@ -540,7 +557,7 @@ fn apply_sync<T: Transport>(
     model: &mut AnyModel,
     opt: &mut AnyOptimizer,
     aggregation: Aggregation,
-) {
+) -> Result<(), TransportError> {
     let inv_n = 1.0 / ctx.n_workers as f32;
     match aggregation {
         Aggregation::Parameter => {
@@ -550,11 +567,11 @@ fn apply_sync<T: Transport>(
             ctx.logical_bytes += 4 * params.len() as u64;
             match ctx.backend {
                 SyncBackend::ParameterServer => {
-                    let avg = sync_round(ep, ctx.server, step, SyncRequest::PushParams(params));
+                    let avg = sync_round(ep, ctx.server, step, SyncRequest::PushParams(params))?;
                     set_flat_params(model.as_model(), &avg);
                 }
                 SyncBackend::RingAllReduce => {
-                    ring_allreduce(ep, ctx.n_workers, step, &mut params);
+                    ring_allreduce(ep, ctx.n_workers, step, &mut params)?;
                     for v in &mut params {
                         *v *= inv_n;
                     }
@@ -569,11 +586,11 @@ fn apply_sync<T: Transport>(
             ctx.logical_bytes += ctx.compress_with_ef(&mut grads);
             match ctx.backend {
                 SyncBackend::ParameterServer => {
-                    let avg = sync_round(ep, ctx.server, step, SyncRequest::PushGrads(grads));
+                    let avg = sync_round(ep, ctx.server, step, SyncRequest::PushGrads(grads))?;
                     set_flat_grads(model.as_model(), &avg);
                 }
                 SyncBackend::RingAllReduce => {
-                    ring_allreduce(ep, ctx.n_workers, step, &mut grads);
+                    ring_allreduce(ep, ctx.n_workers, step, &mut grads)?;
                     for v in &mut grads {
                         *v *= inv_n;
                     }
@@ -583,6 +600,7 @@ fn apply_sync<T: Transport>(
             opt.step(model.as_model());
         }
     }
+    Ok(())
 }
 
 /// Broadcast/collect injection samples and build the augmented batch.
@@ -593,7 +611,7 @@ fn exchange_injection<T: Transport>(
     inj: InjectionConfig,
     seed: u64,
     batch: Batch,
-) -> Batch {
+) -> Result<Batch, TransportError> {
     let me = ep.id();
     let sharers = inj.select_sharers(n, seed ^ 0x1213, step);
     let share_k = inj.shared_per_worker(batch.len());
@@ -612,7 +630,7 @@ fn exchange_injection<T: Transport>(
                         targets: shared.targets.clone(),
                         dims: dims.clone(),
                     },
-                );
+                )?;
             }
         }
     }
@@ -620,7 +638,7 @@ fn exchange_injection<T: Transport>(
     let expected = sharers.iter().filter(|&&s| s != me).count();
     let mut received = Vec::with_capacity(expected);
     for _ in 0..expected {
-        received.push(ep.recv_tagged(None, tag));
+        received.push(ep.recv_tagged(None, tag)?);
     }
     // concatenate in worker-id order so the augmented batch (and hence
     // the gradients) are independent of message arrival order
@@ -637,10 +655,12 @@ fn exchange_injection<T: Transport>(
             let incoming = Batch::dense(Tensor::from_vec(data, shape.as_slice()), targets);
             combined = combined.concat_dense(&incoming);
         } else {
-            panic!("unexpected payload in injection exchange");
+            return Err(TransportError::Protocol(
+                "unexpected payload in injection exchange".into(),
+            ));
         }
     }
-    combined
+    Ok(combined)
 }
 
 /// Evaluate worker 0's replica on the held-out split with the workload's

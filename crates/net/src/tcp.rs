@@ -13,7 +13,7 @@
 use crate::codec::{decode_after_len, encode_frame};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use selsync_comm::{CommStats, Msg, Payload, Transport};
+use selsync_comm::{CommStats, Msg, Payload, Transport, TransportError};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -42,7 +42,8 @@ pub struct TcpFabricConfig {
     /// Socket write timeout per frame.
     pub write_timeout: Duration,
     /// Watchdog for blocking receives: a `recv_*` that sees no matching
-    /// message for this long panics (deadlock/peer-death detector).
+    /// message for this long returns [`TransportError::RecvTimeout`]
+    /// (deadlock/peer-death detector).
     pub recv_timeout: Duration,
 }
 
@@ -82,8 +83,24 @@ impl TcpEndpoint {
     /// rank, and dial every peer (with retry/backoff, so ranks may
     /// start in any order). Returns once all outbound connections are
     /// established.
+    ///
+    /// The bind itself also retries within `connect_timeout`: the
+    /// assigned port may be transiently occupied — typically as the
+    /// ephemeral *source* port of someone else's outbound connection —
+    /// and giving up immediately would strand the whole fabric waiting
+    /// on this rank.
     pub fn connect(config: TcpFabricConfig) -> io::Result<TcpEndpoint> {
-        let listener = TcpListener::bind(config.peers[config.rank].as_str())?;
+        let addr = config.peers[config.rank].as_str();
+        let deadline = Instant::now() + config.connect_timeout;
+        let listener = loop {
+            match TcpListener::bind(addr) {
+                Ok(l) => break l,
+                Err(e) if e.kind() == io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
         Self::connect_with_listener(config, listener)
     }
 
@@ -166,30 +183,36 @@ impl TcpEndpoint {
         }
     }
 
-    fn blocking_recv(&mut self, mut matches: impl FnMut(&Msg) -> bool) -> Msg {
+    fn blocking_recv(
+        &mut self,
+        timeout: Duration,
+        mut matches: impl FnMut(&Msg) -> bool,
+    ) -> Result<Msg, TransportError> {
         if let Some(pos) = self.pending.iter().position(&mut matches) {
-            return self.pending.remove(pos).unwrap();
+            return Ok(self.pending.remove(pos).unwrap());
         }
-        let deadline = Instant::now() + self.recv_timeout;
+        let deadline = Instant::now() + timeout;
         loop {
-            let remaining = deadline
-                .checked_duration_since(Instant::now())
-                .unwrap_or_else(|| {
-                    panic!(
-                        "tcp fabric rank {}: no matching message within {:?} \
-                         ({} buffered); peer dead or tag mismatch",
-                        self.id,
-                        self.recv_timeout,
-                        self.pending.len()
-                    )
-                });
-            match self.inbox.recv_timeout(remaining) {
-                Ok(m) if matches(&m) => return m,
-                Ok(m) => self.pending.push_back(m),
-                Err(RecvTimeoutError::Timeout) => continue, // panics above
-                Err(RecvTimeoutError::Disconnected) => {
-                    unreachable!("inbox_tx is owned by the endpoint")
+            let remaining = match deadline.checked_duration_since(Instant::now()) {
+                Some(d) => d,
+                None => {
+                    return Err(TransportError::RecvTimeout {
+                        rank: self.id,
+                        waited: timeout,
+                        buffered: self.pending.len(),
+                    })
                 }
+            };
+            match self.inbox.recv_timeout(remaining) {
+                Ok(m) => {
+                    self.stats.record_recv(m.payload.wire_bytes());
+                    if matches(&m) {
+                        return Ok(m);
+                    }
+                    self.pending.push_back(m);
+                }
+                Err(RecvTimeoutError::Timeout) => continue, // errors above
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
             }
         }
     }
@@ -208,42 +231,59 @@ impl Transport for TcpEndpoint {
         &self.stats
     }
 
-    fn send(&self, to: usize, tag: u64, payload: Payload) {
+    fn send(&mut self, to: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
         assert!(to < self.n, "destination {to} out of range");
-        self.stats.record(payload.wire_bytes());
+        let bytes = payload.wire_bytes();
         if to == self.id {
             // loop back without touching a socket, like the channel
-            // fabric's self-send (bytes are still accounted above)
+            // fabric's self-send
             self.inbox_tx
                 .send(Msg {
                     from: self.id,
                     tag,
                     payload,
                 })
-                .expect("inbox closed");
-            return;
+                .map_err(|_| TransportError::Closed)?;
+            self.stats.record(bytes);
+            return Ok(());
         }
         let frame = encode_frame(self.id, tag, &payload);
-        self.outbound[to]
-            .as_ref()
-            .expect("endpoint already closed")
-            .send(frame)
-            .expect("writer thread gone");
+        match self.outbound.get(to).and_then(|s| s.as_ref()) {
+            None => return Err(TransportError::Closed),
+            Some(tx) => tx
+                .send(frame)
+                .map_err(|_| TransportError::PeerUnreachable { peer: to })?,
+        }
+        self.stats.record(bytes);
+        Ok(())
     }
 
-    fn recv_any(&mut self) -> Msg {
-        self.blocking_recv(|_| true)
+    fn recv_any(&mut self) -> Result<Msg, TransportError> {
+        self.blocking_recv(self.recv_timeout, |_| true)
     }
 
-    fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Msg {
-        self.blocking_recv(|m| m.tag == tag && from.is_none_or(|f| m.from == f))
+    fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Result<Msg, TransportError> {
+        self.blocking_recv(self.recv_timeout, |m| {
+            m.tag == tag && from.is_none_or(|f| m.from == f)
+        })
+    }
+
+    fn recv_deadline(
+        &mut self,
+        from: Option<usize>,
+        tag: Option<u64>,
+        timeout: Duration,
+    ) -> Result<Msg, TransportError> {
+        self.blocking_recv(timeout, |m| m.matches(from, tag))
     }
 
     fn try_recv(&mut self) -> Option<Msg> {
         if let Some(m) = self.pending.pop_front() {
             return Some(m);
         }
-        self.inbox.try_recv().ok()
+        let m = self.inbox.try_recv().ok()?;
+        self.stats.record_recv(m.payload.wire_bytes());
+        Some(m)
     }
 }
 
@@ -440,14 +480,17 @@ mod tests {
     #[test]
     fn point_to_point_and_self_send() {
         let mut eps = loopback_fabric(2);
-        let b = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        b.send(0, 1, Payload::Params(vec![1.0, -2.0]));
-        let m = a.recv_tagged(Some(1), 1);
+        b.send(0, 1, Payload::Params(vec![1.0, -2.0])).unwrap();
+        let m = a.recv_tagged(Some(1), 1).unwrap();
         assert_eq!(m.from, 1);
         assert_eq!(m.payload, Payload::Params(vec![1.0, -2.0]));
-        a.send(0, 2, Payload::Control(9)); // self-send loops back
-        assert_eq!(a.recv_tagged(Some(0), 2).payload, Payload::Control(9));
+        a.send(0, 2, Payload::Control(9)).unwrap(); // self-send loops back
+        assert_eq!(
+            a.recv_tagged(Some(0), 2).unwrap().payload,
+            Payload::Control(9)
+        );
         a.close();
         b.close();
     }
@@ -455,13 +498,13 @@ mod tests {
     #[test]
     fn tagged_receive_buffers_out_of_order() {
         let mut eps = loopback_fabric(2);
-        let b = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
-        b.send(0, 2, Payload::Control(2));
-        b.send(0, 1, Payload::Control(1));
-        let m1 = a.recv_tagged(None, 1);
+        b.send(0, 2, Payload::Control(2)).unwrap();
+        b.send(0, 1, Payload::Control(1)).unwrap();
+        let m1 = a.recv_tagged(None, 1).unwrap();
         assert_eq!(m1.payload, Payload::Control(1));
-        let m2 = a.recv_tagged(Some(1), 2);
+        let m2 = a.recv_tagged(Some(1), 2).unwrap();
         assert_eq!(m2.payload, Payload::Control(2));
         a.close();
         b.close();
@@ -470,7 +513,7 @@ mod tests {
     #[test]
     fn byte_accounting_matches_encoded_frames() {
         let mut eps = loopback_fabric(2);
-        let b = eps.pop().unwrap();
+        let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let payloads = [
             Payload::Params(vec![0.5; 33]),
@@ -485,10 +528,10 @@ mod tests {
         let mut expected = 0u64;
         for (i, p) in payloads.iter().enumerate() {
             expected += encode_frame(1, i as u64, p).len() as u64;
-            b.send(0, i as u64, p.clone());
+            b.send(0, i as u64, p.clone()).unwrap();
         }
         for i in 0..payloads.len() {
-            let _ = a.recv_tagged(Some(1), i as u64);
+            let _ = a.recv_tagged(Some(1), i as u64).unwrap();
         }
         assert_eq!(b.stats().total_bytes(), expected);
         assert_eq!(b.stats().total_messages(), payloads.len() as u64);
@@ -508,8 +551,9 @@ mod tests {
                     let next = (me + 1) % n;
                     let prev = (me + n - 1) % n;
                     for step in 0..50u64 {
-                        ep.send(next, step, Payload::Params(vec![me as f32, step as f32]));
-                        let m = ep.recv_tagged(Some(prev), step);
+                        ep.send(next, step, Payload::Params(vec![me as f32, step as f32]))
+                            .unwrap();
+                        let m = ep.recv_tagged(Some(prev), step).unwrap();
                         assert_eq!(m.payload, Payload::Params(vec![prev as f32, step as f32]));
                     }
                     ep.close();
@@ -519,6 +563,30 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn recv_watchdog_is_an_error_not_a_panic() {
+        let mut eps = loopback_fabric(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let err = a
+            .recv_deadline(None, Some(42), Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::RecvTimeout { rank: 0, .. }));
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn send_after_close_is_an_error_not_a_panic() {
+        let mut eps = loopback_fabric(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.teardown();
+        let err = a.send(1, 0, Payload::Control(1)).unwrap_err();
+        assert_eq!(err, TransportError::Closed);
+        b.close();
     }
 
     #[test]

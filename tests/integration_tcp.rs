@@ -65,9 +65,12 @@ fn run_over_tcp(config: &RunConfig, workload: &Workload) -> (Vec<WorkerOutput>, 
         })
         .collect();
 
-    let mut outputs: Vec<WorkerOutput> = workers.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut outputs: Vec<WorkerOutput> = workers
+        .into_iter()
+        .map(|h| h.join().unwrap().expect("worker comm fault"))
+        .collect();
     outputs.sort_by_key(|o| o.worker);
-    let final_params = server.join().unwrap();
+    let final_params = server.join().unwrap().expect("server comm fault");
     let bytes = stats.iter().map(|s| s.total_bytes()).sum();
     (outputs, final_params, bytes)
 }
