@@ -19,20 +19,32 @@
 //! * `flaky-network`    — seeded random drops/duplicates/delays on every
 //!   link; retries and catch-up replies absorb most of it, and any rank
 //!   the PS gives up on is evicted while the rest finish.
+//! * `crash-ps-midrun`  — the PS itself dies at a round boundary and
+//!   restarts from its crash-consistent checkpoint; workers resend
+//!   until it answers and nobody is evicted.
+//! * `crash-ps-midckpt` — the PS dies *mid-sync* and its current
+//!   checkpoint generation is torn on top of that; recovery falls back
+//!   to the retained `.prev` generation and replays the lost round from
+//!   the workers' resent pushes.
 //!
 //! One JSON row per (scenario × fabric), after the aligned table.
 
 use selsync_bench::{banner, json_row};
 use selsync_chaos::{ChaosTransport, FaultPlan};
-use selsync_comm::{CommStats, Fabric, Transport};
+use selsync_comm::elastic::ServerCrashPoint;
+use selsync_comm::{CommStats, Fabric, Transport, TransportError};
+use selsync_core::checkpoint::load_state_with_fallback;
 use selsync_core::prelude::*;
 use selsync_core::trainer::WorkerOutput;
 use selsync_core::ElasticOptions;
-use selsync_core::{run_elastic_server_rank, run_elastic_worker_rank};
+use selsync_core::{
+    run_elastic_server_rank, run_elastic_server_rank_from, run_elastic_worker_rank,
+};
 use selsync_net::{TcpEndpoint, TcpFabricConfig};
 use selsync_nn::models::ModelKind;
 use serde::Serialize;
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -51,6 +63,7 @@ struct Row {
     failed_workers: usize,
     full_run_workers: usize,
     final_metric: Option<f32>,
+    ps_recovered: bool,
     chaos_sent_messages: u64,
     chaos_dropped_messages: u64,
     chaos_duplicated_messages: u64,
@@ -83,7 +96,34 @@ struct Outcome {
     completed: Vec<WorkerOutput>,
     failed: usize,
     chaos: Vec<RankChaos>,
+    ps_recovered: bool,
     wall: Duration,
+}
+
+/// How a scheduled PS crash is recovered in-process: wait, optionally
+/// tear the current checkpoint generation (forcing the `.prev`
+/// fallback), reload, and continue the run on the same endpoint.
+#[derive(Clone)]
+struct PsRecovery {
+    checkpoint: PathBuf,
+    restart_after: Duration,
+    tear_current: bool,
+}
+
+/// Truncate the current generation mid-byte — simulated bit rot of the
+/// newest file, strictly harsher than a real mid-write kill (the
+/// temp-file + atomic-rename writer never opens the current generation
+/// for writing). Only fires when a `.prev` generation exists to fall
+/// back on: with a single generation the damage is unrecoverable by
+/// construction, which is a statement about the simulated disk, not
+/// about the recovery protocol under test.
+fn tear_checkpoint(path: &PathBuf) {
+    if !selsync_core::checkpoint::prev_path(path).exists() {
+        return;
+    }
+    if let Ok(bytes) = std::fs::read(path) {
+        let _ = std::fs::write(path, &bytes[..bytes.len() / 2]);
+    }
 }
 
 /// Drive one full elastic run — PS on rank `n`, workers `0..n`, every
@@ -94,6 +134,7 @@ fn run_scenario<T: Transport + Send + 'static>(
     wl: &Workload,
     opts: &ElasticOptions,
     plan: &FaultPlan,
+    recovery: Option<PsRecovery>,
 ) -> Outcome {
     let start = Instant::now();
     let server_ep = endpoints.pop().expect("fabric includes the PS rank");
@@ -101,8 +142,35 @@ fn run_scenario<T: Transport + Send + 'static>(
         let (cfg, wl, opts, plan) = (cfg.clone(), wl.clone(), opts.clone(), plan.clone());
         thread::spawn(move || {
             let mut cep = ChaosTransport::new(server_ep, plan);
-            let res = run_elastic_server_rank(&mut cep, &cfg, &wl, &opts);
-            (res, snapshot(&cep))
+            let mut recovered = false;
+            let mut res = run_elastic_server_rank(&mut cep, &cfg, &wl, &opts);
+            if let (Ok(report), Some(rec)) = (&res, &recovery) {
+                if report.crashed {
+                    thread::sleep(rec.restart_after);
+                    if rec.tear_current {
+                        tear_checkpoint(&rec.checkpoint);
+                    }
+                    res = match load_state_with_fallback(&rec.checkpoint) {
+                        Ok((state, fallback)) => {
+                            println!(
+                                "  recovery=ps_resumed step={} syncs={} fallback_prev={}",
+                                state.step,
+                                state.syncs,
+                                u8::from(fallback)
+                            );
+                            recovered = true;
+                            let mut ropts = opts.clone();
+                            ropts.server_crash = None;
+                            run_elastic_server_rank_from(&mut cep, &cfg, &wl, &ropts, &state)
+                        }
+                        Err(e) => Err(TransportError::Protocol(format!(
+                            "recovering {}: {e}",
+                            rec.checkpoint.display()
+                        ))),
+                    };
+                }
+            }
+            (res, snapshot(&cep), recovered)
         })
     };
     let workers: Vec<_> = endpoints
@@ -133,8 +201,8 @@ fn run_scenario<T: Transport + Send + 'static>(
             }
         }
     }
-    let (report, server_snap) = server.join().expect("server thread");
-    let report = report.expect("the elastic PS must survive every scenario");
+    let (report, server_snap, ps_recovered) = server.join().expect("server thread");
+    let report = report.expect("the elastic PS must survive (or recover from) every scenario");
     chaos.push(server_snap);
     completed.sort_by_key(|o| o.worker);
 
@@ -145,6 +213,7 @@ fn run_scenario<T: Transport + Send + 'static>(
         completed,
         failed,
         chaos,
+        ps_recovered,
         wall: start.elapsed(),
     }
 }
@@ -232,22 +301,50 @@ fn main() {
         o
     };
 
-    let scenarios: Vec<(&'static str, FaultPlan, &ElasticOptions)> = vec![
-        ("fault-free", FaultPlan::quiet(seed), &calm),
+    // PS-crash scenarios need prompt worker resends (the first resend
+    // is what wakes the recovered server) and a patient failover budget
+    let ps_crash_opts = {
+        let mut o = ElasticOptions::with_liveness(Duration::from_millis(300), 3);
+        o.ps_patience = Duration::from_secs(30);
+        o
+    };
+
+    // (name, plan, options, scheduled PS crash point + torn-write flag)
+    type CrashSpec = Option<(ServerCrashPoint, bool)>;
+    let scenarios: Vec<(&'static str, FaultPlan, &ElasticOptions, CrashSpec)> = vec![
+        ("fault-free", FaultPlan::quiet(seed), &calm, None),
         (
             "crash-one-worker",
             FaultPlan::crash_one(seed, n - 1, steps / 3),
             &calm,
+            None,
         ),
         (
             "slow-straggler",
             FaultPlan::slow_straggler(seed, 1 % n, 3),
             &calm,
+            None,
         ),
         (
             "flaky-network",
             FaultPlan::flaky_network(seed, 0.02, 0.03, 2),
             &flaky_opts,
+            None,
+        ),
+        (
+            "crash-ps-midrun",
+            FaultPlan::crash_server(seed, steps / 3, 150),
+            &ps_crash_opts,
+            Some((ServerCrashPoint::RoundStart(steps / 3), false)),
+        ),
+        (
+            // crash at the first sync round past step 2: early steps
+            // always sync (Δ(g) starts high), so at least two durable
+            // generations exist for the torn-write fallback
+            "crash-ps-midckpt",
+            FaultPlan::crash_server(seed, 2, 150),
+            &ps_crash_opts,
+            Some((ServerCrashPoint::MidSync(2), true)),
         ),
     ];
 
@@ -255,12 +352,38 @@ fn main() {
         "{:<18} {:<8} {:>6} {:>5} {:>6} {:>8} {:>5} {:>4} {:>8} {:>7}",
         "scenario", "fabric", "rounds", "syncs", "evict", "full/N", "drop", "dup", "metric", "wall",
     );
-    for (name, plan, opts) in &scenarios {
+    for (name, plan, opts, crash) in &scenarios {
         for fabric in ["channel", "tcp"] {
+            let mut opts = (*opts).clone();
+            let recovery = crash.map(|(point, tear_current)| {
+                let mut ckpt = std::env::temp_dir();
+                ckpt.push(format!(
+                    "selsync_faultexp_{}_{name}_{fabric}.ckpt",
+                    std::process::id()
+                ));
+                opts.server_crash = Some(point);
+                opts.checkpoint = Some(ckpt.clone());
+                let restart_after = Duration::from_millis(
+                    plan.server_crash
+                        .as_ref()
+                        .map_or(150, |c| c.restart_after_ms),
+                );
+                PsRecovery {
+                    checkpoint: ckpt,
+                    restart_after,
+                    tear_current,
+                }
+            });
             let outcome = match fabric {
-                "channel" => run_scenario(Fabric::new(n + 1), &cfg, &wl, opts, plan),
-                _ => run_scenario(tcp_fabric(n + 1), &cfg, &wl, opts, plan),
+                "channel" => {
+                    run_scenario(Fabric::new(n + 1), &cfg, &wl, &opts, plan, recovery.clone())
+                }
+                _ => run_scenario(tcp_fabric(n + 1), &cfg, &wl, &opts, plan, recovery.clone()),
             };
+            if let Some(rec) = &recovery {
+                let _ = std::fs::remove_file(&rec.checkpoint);
+                let _ = std::fs::remove_file(selsync_core::checkpoint::prev_path(&rec.checkpoint));
+            }
             let full_run = outcome
                 .completed
                 .iter()
@@ -285,6 +408,7 @@ fn main() {
                 failed_workers: outcome.failed,
                 full_run_workers: full_run,
                 final_metric,
+                ps_recovered: outcome.ps_recovered,
                 chaos_sent_messages: outcome.chaos.iter().map(|c| c.sent).sum(),
                 chaos_dropped_messages: outcome.chaos.iter().map(|c| c.dropped).sum(),
                 chaos_duplicated_messages: outcome.chaos.iter().map(|c| c.duplicated).sum(),

@@ -22,9 +22,14 @@
 //! stragglers, crashes) for reproducible failure experiments.
 
 use selsync_bench::cli::parse_args;
-use selsync_chaos::{ChaosTransport, FaultPlan};
+use selsync_chaos::{ChaosTransport, FaultPlan, ServerCrash};
+use selsync_comm::elastic::{ElasticReport, ServerCrashPoint, StandbyOutcome};
 use selsync_comm::{Transport, TransportError};
-use selsync_core::elastic::{run_elastic_server_rank, run_elastic_worker_rank, ElasticOptions};
+use selsync_core::checkpoint::load_state_with_fallback;
+use selsync_core::elastic::{
+    run_elastic_server_rank, run_elastic_server_rank_from, run_elastic_worker_rank,
+    run_standby_server_rank, ElasticOptions,
+};
 use selsync_core::trainer::{run_server_rank, run_worker_rank};
 use selsync_core::Workload;
 use selsync_net::{TcpEndpoint, TcpFabricConfig};
@@ -36,14 +41,16 @@ const DIST_USAGE: &str = "\
 selsync_dist — run one rank of a multi-process TCP training job
 
 USAGE:
-  selsync_dist --role ps|worker --rank N --peers host:port,... [training flags]
+  selsync_dist --role ps|worker|standby --rank N --peers host:port,...
+               [training flags]
 
 DIST KEYS:
-  --role             ps | worker                       (required)
-  --rank             this process's rank; workers are 0..n,
-                     the ps is n = peers-1              (required)
+  --role             ps | worker | standby             (required)
+  --rank             this process's rank; workers are 0..n, the ps is
+                     n, the standby (with --standby) n+1 (required)
   --peers            comma-separated host:port of every rank, in rank
-                     order; the last entry is the ps    (required)
+                     order; the ps follows the workers and the standby
+                     (if any) is last                   (required)
   --connect-timeout  seconds to keep redialing peers    (default 60)
   --recv-timeout     watchdog seconds for blocking receives; a silent
                      fabric fails instead of hanging    (default 300)
@@ -55,17 +62,32 @@ FAULT TOLERANCE:
   --round-timeout-ms   elastic ps silence deadline per round (default 1000)
   --max-missed         missed rounds before eviction      (default 3)
   --fault-plan FILE    JSON FaultPlan (selsync-chaos) injected at this
-                       rank's transport; scheduled crashes are honored
-                       in --elastic mode
+                       rank's transport; scheduled worker crashes and
+                       the server_crash are honored in --elastic mode
 
-The cluster size is taken from --peers (n = entries - 1); any --workers
-flag must agree. All ranks must be given identical training flags and
-the same --seed, or they will disagree on partitions and initial state.
+RECOVERY (all require --elastic):
+  --checkpoint FILE    ps: write a crash-consistent v2 state checkpoint
+                       (atomic rename + retained .prev generation)
+                       after every sync round; workers mirror their
+                       private state to FILE.w<rank>
+  --resume FILE        ps: restart from the last durable sync round in
+                       FILE (falls back to FILE.prev on a torn write)
+                       and print a one-line `recovery=` report
+  --standby            every rank: the cluster has a hot-standby ps at
+                       rank n+1 shadowing each sync; workers fail over
+                       to it when the primary goes silent
+  --ps-patience-ms     worker budget for re-reaching a silent ps before
+                       failing over (default 3 x reply timeout)
+
+The worker count is taken from --peers (entries minus the ps, minus the
+standby when --standby is given); any --workers flag must agree. All
+ranks must be given identical training flags and the same --seed, or
+they will disagree on partitions and initial state.
 
 Training flags are those of selsync_run (see selsync_run --help).
---save-params on the ps rank writes the final global parameters (in
---elastic mode, also after every sync — the rejoin checkpoint); on a
-worker rank it writes that replica's final parameters.
+--save-params writes the final parameters in the legacy v1 format: on
+the ps rank the final global parameters, on a worker rank that
+replica's; per-sync durable state goes to --checkpoint.
 
 EXIT CODES: 0 ok (including a scheduled crash) / 1 comm fault or
 eviction / 2 usage error.
@@ -81,6 +103,10 @@ struct DistArgs {
     round_timeout: Duration,
     max_missed: u32,
     fault_plan: Option<PathBuf>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    standby: bool,
+    ps_patience: Option<Duration>,
     rest: Vec<String>,
 }
 
@@ -95,6 +121,10 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
     let mut round_timeout = Duration::from_millis(1000);
     let mut max_missed = 3u32;
     let mut fault_plan = None;
+    let mut checkpoint = None;
+    let mut resume = None;
+    let mut standby = false;
+    let mut ps_patience = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
@@ -103,6 +133,10 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
         }
         if key == "--elastic" {
             elastic = true;
+            continue;
+        }
+        if key == "--standby" {
+            standby = true;
             continue;
         }
         let mut dist_value = || {
@@ -147,6 +181,14 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
                     .map_err(|_| "--max-missed must be an integer".to_string())?
             }
             "--fault-plan" => fault_plan = Some(PathBuf::from(dist_value()?)),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(dist_value()?)),
+            "--resume" => resume = Some(PathBuf::from(dist_value()?)),
+            "--ps-patience-ms" => {
+                ps_patience =
+                    Some(Duration::from_millis(dist_value()?.parse().map_err(
+                        |_| "--ps-patience-ms must be milliseconds".to_string(),
+                    )?))
+            }
             _ => {
                 rest.push(key.clone());
                 rest.push(
@@ -167,6 +209,10 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
         round_timeout,
         max_missed,
         fault_plan,
+        checkpoint,
+        resume,
+        standby,
+        ps_patience,
         rest,
     })
 }
@@ -190,6 +236,80 @@ struct RankJob<'a> {
     workload: &'a Workload,
     fabric_stats: Arc<selsync_comm::CommStats>,
     crash_at: Option<u64>,
+    server_crash: Option<ServerCrash>,
+}
+
+fn print_ps_report(rank: usize, steps: u64, report: &ElasticReport) {
+    println!(
+        "role=ps rank={rank} steps={steps} elastic=1 rounds={} syncs={}",
+        report.rounds, report.syncs
+    );
+    let fmt = |v: &[(u64, usize)]| {
+        v.iter()
+            .map(|(s, r)| format!("{s}:{r}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    println!("evictions={}", fmt(&report.evictions));
+    println!("joins={}", fmt(&report.joins));
+}
+
+/// Run the elastic PS to completion, honoring `--resume` at startup and
+/// the fault plan's scheduled `server_crash` (crash mid-sync, then —
+/// when a restart delay is set — reload the durable checkpoint and
+/// continue on the same fabric). Each recovery prints one
+/// `recovery=ps_resumed` line.
+fn run_elastic_ps<T: Transport>(
+    ep: &mut T,
+    job: &RankJob,
+    eopts: &mut ElasticOptions,
+) -> Result<ElasticReport, TransportError> {
+    let (dist, run) = (job.dist, job.run);
+    let load = |path: &PathBuf| {
+        load_state_with_fallback(path).map_err(|e| {
+            TransportError::Protocol(format!("loading checkpoint {}: {e}", path.display()))
+        })
+    };
+    eopts.server_crash = job
+        .server_crash
+        .as_ref()
+        .map(|c| ServerCrashPoint::MidSync(c.at_step));
+    let mut report = if let Some(path) = &dist.resume {
+        let (state, fallback) = load(path)?;
+        println!(
+            "recovery=ps_resumed step={} syncs={} fallback_prev={}",
+            state.step,
+            state.syncs,
+            u8::from(fallback)
+        );
+        run_elastic_server_rank_from(&mut *ep, &run.config, job.workload, eopts, &state)?
+    } else {
+        run_elastic_server_rank(&mut *ep, &run.config, job.workload, eopts)?
+    };
+    while report.crashed {
+        let restart_ms = job.server_crash.as_ref().map_or(0, |c| c.restart_after_ms);
+        let Some(ckpt) = eopts.checkpoint.clone().filter(|_| restart_ms > 0) else {
+            // no restart scheduled (or nothing durable): stay dead and
+            // let the standby — if any — take over
+            println!("recovery=ps_dead syncs={}", report.syncs);
+            break;
+        };
+        eprintln!(
+            "[rank {}] ps crashed at a scheduled point; restarting in {restart_ms} ms",
+            dist.rank
+        );
+        std::thread::sleep(Duration::from_millis(restart_ms));
+        let (state, fallback) = load(&ckpt)?;
+        println!(
+            "recovery=ps_resumed step={} syncs={} fallback_prev={}",
+            state.step,
+            state.syncs,
+            u8::from(fallback)
+        );
+        eopts.server_crash = None;
+        report = run_elastic_server_rank_from(&mut *ep, &run.config, job.workload, eopts, &state)?;
+    }
+    Ok(report)
 }
 
 /// Run this rank's role to completion over any transport; returns the
@@ -201,23 +321,41 @@ fn run_one_rank<T: Transport>(ep: &mut T, job: &RankJob) -> i32 {
     let steps = run.config.max_steps;
     let mut eopts = ElasticOptions::with_liveness(dist.round_timeout, dist.max_missed);
     eopts.crash_at = job.crash_at;
+    eopts.standby = dist.standby;
+    eopts.checkpoint = dist.checkpoint.clone().or_else(|| dist.resume.clone());
+    if let Some(p) = dist.ps_patience {
+        eopts.ps_patience = p;
+    }
+    if dist.role == "standby" {
+        return match run_standby_server_rank(&mut *ep, &run.config, job.workload, &eopts) {
+            Ok(StandbyOutcome::Retired { shadowed_syncs }) => {
+                println!(
+                    "role=standby rank={} promoted=0 shadowed_syncs={shadowed_syncs}",
+                    dist.rank
+                );
+                0
+            }
+            Ok(StandbyOutcome::Promoted(report)) => {
+                println!("recovery=promoted_standby syncs={}", report.syncs);
+                print_ps_report(dist.rank, steps, &report);
+                println!(
+                    "params_fingerprint=0x{:016x}",
+                    params_fingerprint(&report.final_params)
+                );
+                println!("fabric_bytes_sent={}", job.fabric_stats.total_bytes());
+                0
+            }
+            Err(e) => {
+                eprintln!("[rank {}] fatal: {e}", dist.rank);
+                1
+            }
+        };
+    }
     if dist.role == "ps" {
-        eopts.checkpoint = run.save_params.clone().map(PathBuf::from);
         let final_params = if dist.elastic {
-            match run_elastic_server_rank(&mut *ep, &run.config, job.workload, &eopts) {
+            match run_elastic_ps(&mut *ep, job, &mut eopts) {
                 Ok(report) => {
-                    println!(
-                        "role=ps rank={} steps={steps} elastic=1 rounds={} syncs={}",
-                        dist.rank, report.rounds, report.syncs
-                    );
-                    let fmt = |v: &[(u64, usize)]| {
-                        v.iter()
-                            .map(|(s, r)| format!("{s}:{r}"))
-                            .collect::<Vec<_>>()
-                            .join(",")
-                    };
-                    println!("evictions={}", fmt(&report.evictions));
-                    println!("joins={}", fmt(&report.joins));
+                    print_ps_report(dist.rank, steps, &report);
                     report.final_params
                 }
                 Err(e) => {
@@ -318,9 +456,20 @@ fn main() {
             });
         }
     };
-    let n_workers = dist.peers.len().saturating_sub(1);
+    let n_workers = dist
+        .peers
+        .len()
+        .saturating_sub(1 + usize::from(dist.standby));
     if n_workers == 0 {
-        eprintln!("--peers needs at least two entries (1 worker + the ps)");
+        eprintln!(
+            "--peers needs at least {} entries (1 worker + the ps{})",
+            2 + usize::from(dist.standby),
+            if dist.standby { " + the standby" } else { "" }
+        );
+        std::process::exit(2);
+    }
+    if !dist.elastic && (dist.standby || dist.resume.is_some() || dist.checkpoint.is_some()) {
+        eprintln!("--standby / --resume / --checkpoint require --elastic");
         std::process::exit(2);
     }
 
@@ -350,10 +499,7 @@ fn main() {
     let role_label = match dist.role.as_str() {
         "ps" => {
             if dist.rank != n_workers {
-                eprintln!(
-                    "the ps must be the last rank ({n_workers}), got {}",
-                    dist.rank
-                );
+                eprintln!("the ps must be rank {n_workers}, got {}", dist.rank);
                 std::process::exit(2);
             }
             "ps"
@@ -365,8 +511,23 @@ fn main() {
             }
             "worker"
         }
+        "standby" => {
+            if !dist.standby {
+                eprintln!("--role standby requires the --standby cluster flag");
+                std::process::exit(2);
+            }
+            if dist.rank != n_workers + 1 {
+                eprintln!(
+                    "the standby must be rank {}, got {}",
+                    n_workers + 1,
+                    dist.rank
+                );
+                std::process::exit(2);
+            }
+            "standby"
+        }
         other => {
-            eprintln!("unknown role '{other}' (ps | worker)");
+            eprintln!("unknown role '{other}' (ps | worker | standby)");
             std::process::exit(2);
         }
     };
@@ -414,6 +575,7 @@ fn main() {
         workload: &workload,
         fabric_stats: Arc::clone(ep.stats()),
         crash_at: plan.as_ref().and_then(|p| p.crash_step(dist.rank)),
+        server_crash: plan.as_ref().and_then(|p| p.server_crash.clone()),
     };
     let code = match plan {
         Some(plan) => {
@@ -435,9 +597,19 @@ fn main() {
                 cs.duplicated_bytes()
             );
             println!("fault_fingerprint=0x{:016x}", cep.log_fingerprint());
+            // `std::process::exit` below skips destructors; flush the
+            // fabric here or the last queued frames (a worker's shutdown
+            // round, the PS's final replies) race the process teardown
+            // and can be silently lost, stranding peers until their
+            // recv watchdog fires.
+            drop(cep);
             code
         }
-        None => run_one_rank(&mut ep, &job),
+        None => {
+            let code = run_one_rank(&mut ep, &job);
+            ep.close(); // same reason as the chaos arm's drop
+            code
+        }
     };
     std::process::exit(code);
 }

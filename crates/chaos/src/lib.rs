@@ -41,6 +41,21 @@ pub struct Crash {
     pub at_step: u64,
 }
 
+/// A scheduled parameter-server crash: the PS process dies at the start
+/// of `at_step`'s round (or mid-sync, at the launcher's discretion) and
+/// — when `restart_after_ms` is nonzero — is restarted from its last
+/// durable checkpoint after that many milliseconds. With
+/// `restart_after_ms == 0` the PS stays dead, which only makes sense
+/// when a hot standby is configured.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerCrash {
+    /// Sync round at (or after) which the server dies.
+    pub at_step: u64,
+    /// Delay before the server restarts from its checkpoint; `0` means
+    /// no restart (fail over to the standby instead).
+    pub restart_after_ms: u64,
+}
+
 /// A straggler: every send by `rank` is preceded by a fixed delay,
 /// modelling a uniformly slow worker (the paper's heterogeneous-cluster
 /// scenario).
@@ -90,6 +105,8 @@ pub struct FaultPlan {
     pub crashes: Vec<Crash>,
     /// Transient link partitions.
     pub partitions: Vec<Partition>,
+    /// Scheduled parameter-server crash (at most one per run).
+    pub server_crash: Option<ServerCrash>,
 }
 
 impl FaultPlan {
@@ -103,7 +120,19 @@ impl FaultPlan {
             stragglers: Vec::new(),
             crashes: Vec::new(),
             partitions: Vec::new(),
+            server_crash: None,
         }
+    }
+
+    /// Scenario: the PS dies at sync round `at_step` and restarts from
+    /// its checkpoint `restart_after_ms` later, nothing else.
+    pub fn crash_server(seed: u64, at_step: u64, restart_after_ms: u64) -> FaultPlan {
+        let mut p = FaultPlan::quiet(seed);
+        p.server_crash = Some(ServerCrash {
+            at_step,
+            restart_after_ms,
+        });
+        p
     }
 
     /// Scenario: `rank` crashes at `at_step`, nothing else.
@@ -588,6 +617,10 @@ mod tests {
             b: 2,
             from_seq: 100,
             to_seq: 250,
+        });
+        plan.server_crash = Some(ServerCrash {
+            at_step: 6,
+            restart_after_ms: 250,
         });
         let text = plan.to_json();
         let back = FaultPlan::from_json(&text).unwrap();

@@ -31,6 +31,13 @@ pub fn phase_tag(step: u64, phase: u64) -> u64 {
     step * TAG_STRIDE + phase
 }
 
+/// Inverse of [`phase_tag`]: the training step a tag belongs to. Used by
+/// a recovering server to classify traffic from rounds it has not
+/// reached yet.
+pub fn tag_step(tag: u64) -> u64 {
+    tag / TAG_STRIDE
+}
+
 /// Allgather of one synchronization bit per worker (Alg. 1 line 12).
 ///
 /// Returns the full flags array indexed by worker id. Total traffic is

@@ -1,5 +1,7 @@
-//! Elastic membership: liveness tracking, worker eviction, and
-//! checkpoint-based rejoin, all coordinated by the parameter server.
+//! Elastic membership: liveness tracking, worker eviction,
+//! checkpoint-based rejoin, and — new in the failover revision — a
+//! **resumable** parameter server with a hot-standby protocol, all
+//! coordinated over the same per-step heartbeat.
 //!
 //! In elastic mode every training step routes its SelSync flags exchange
 //! through the PS instead of a worker-to-worker allgather — the per-step
@@ -30,17 +32,54 @@
 //! A worker that fell behind (its flags arrive at an old tag) gets an
 //! immediate catch-up reply marking itself `STATUS_MISSED`, letting it
 //! skip the sync it missed and sprint back to the current round.
+//!
+//! ## Recovery
+//!
+//! [`run_elastic_server_from`] restarts the server from a [`ServerState`]
+//! (loaded from a durable checkpoint, or shadowed by a standby). Because
+//! `on_sync` fires *before* the sync replies are sent (write-ahead
+//! ordering), a restart from the last durable state always lands on one
+//! of three worker configurations, and the loop tolerates each:
+//!
+//! * workers blocked in a **later flags round** than the resumed step —
+//!   their flags carry a future tag; with nothing collected yet the
+//!   server *fast-forwards* its round counter to the earliest future
+//!   step seen (nothing in the skipped rounds had durable effects);
+//! * workers blocked **mid-sync at the resumed round** — their re-sent
+//!   pushes arrive during flags collection ("early pushes"); the server
+//!   counts them as sync contributors and seeds the sync round with
+//!   them, reproducing the interrupted average bit-for-bit;
+//! * workers blocked **mid-sync at the round before** the resumed step
+//!   (the checkpoint was written but its replies were lost) — their
+//!   re-sent pushes arrive at a stale tag and draw the recovered global,
+//!   which *is* that round's average.
+//!
+//! ## Hot standby
+//!
+//! A standby rank ([`run_standby_server`]) shadows every sync round's
+//! state via a [`STANDBY_TAG`] triple (`Control(step)`, `Params`,
+//! `Flags(membership)`) and promotes itself to a full server the moment
+//! workers start addressing it — which they only do after their own
+//! failover patience on the primary expires.
 
-use crate::collectives::{phase_tag, FLAGS_PHASE};
+use crate::collectives::{phase_tag, tag_step, FLAGS_PHASE};
 use crate::error::TransportError;
 use crate::fabric::Payload;
 use crate::ps::{average, CTRL_JOIN, CTRL_SHUTDOWN};
 use crate::transport::Transport;
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tag reserved for join handshakes (outside every step's tag space).
 pub const JOIN_TAG: u64 = u64::MAX - 1;
+
+/// Tag reserved for PS→standby shadow updates.
+pub const STANDBY_TAG: u64 = u64::MAX - 2;
+
+/// `Control` value (on [`STANDBY_TAG`]) telling the standby the run
+/// ended cleanly and it will never be promoted. Outside the valid step
+/// range, so it cannot collide with a shadowed sync step.
+pub const STANDBY_RETIRE: u64 = u64::MAX;
 
 /// Phase used for the elastic parameter-sync round within a step.
 pub const SYNC_PHASE: u64 = 0;
@@ -56,6 +95,20 @@ pub const STATUS_SYNC: u8 = 2;
 /// skipped for this step's sync and may catch up or be evicted later.
 pub const STATUS_MISSED: u8 = 3;
 
+/// Scheduled server death, used by the chaos harness to exercise the
+/// recovery path deterministically inside one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCrashPoint {
+    /// Die at the start of the first round with step ≥ the given step —
+    /// before collecting any flags (a "mid-run" kill).
+    RoundStart(u64),
+    /// Die during the first sync at step ≥ the given step: after the
+    /// pushes are consumed and averaged, but *before* the checkpoint
+    /// callback runs or any reply is sent — the most adversarial point,
+    /// equivalent to a kill mid-checkpoint-write.
+    MidSync(u64),
+}
+
 /// Liveness policy for the elastic server.
 #[derive(Debug, Clone)]
 pub struct ElasticConfig {
@@ -65,6 +118,23 @@ pub struct ElasticConfig {
     pub round_timeout: Duration,
     /// Consecutive missed rounds before a worker is evicted.
     pub max_missed: u32,
+    /// Rank of a hot-standby server to shadow state to after every sync
+    /// (and to retire on clean shutdown).
+    pub standby: Option<usize>,
+    /// Simulated server death for chaos/fault experiments.
+    pub crash: Option<ServerCrashPoint>,
+    /// Initial window during which collection timeouts neither count as
+    /// missed rounds nor advance the step. A restarted or promoted
+    /// server sets this to cover the workers' resend budget: their
+    /// in-flight requests died with the old server, so the first
+    /// evidence of life can take a full reply timeout to arrive — two,
+    /// when the first resend is swallowed by the dying kernel socket
+    /// before the reset surfaces. The window is adaptive: each *first*
+    /// contact from a member extends it by one `resume_grace` unit
+    /// (the stragglers' next resend is at most one cycle away), and it
+    /// ends early once every live member has reported in, restoring
+    /// normal eviction latency.
+    pub resume_grace: Duration,
 }
 
 impl Default for ElasticConfig {
@@ -72,6 +142,49 @@ impl Default for ElasticConfig {
         Self {
             round_timeout: Duration::from_secs(1),
             max_missed: 3,
+            standby: None,
+            crash: None,
+            resume_grace: Duration::ZERO,
+        }
+    }
+}
+
+/// The elastic server's recoverable state: everything a restarted or
+/// promoted server needs to continue a run. Snapshots of this are handed
+/// to the `on_sync` callback after every sync round (with write-ahead
+/// ordering: before the sync replies go out), so persisting them yields
+/// a checkpoint from which [`run_elastic_server_from`] resumes
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerState {
+    /// Next round/step the server will run.
+    pub step: u64,
+    /// Completed sync rounds.
+    pub syncs: u64,
+    /// Current global parameters.
+    pub global: Vec<f32>,
+    /// Which worker ranks are members (not evicted).
+    pub alive: Vec<bool>,
+    /// Which worker ranks shut down cleanly.
+    pub done: Vec<bool>,
+    /// `(step, rank)` evictions so far.
+    pub evictions: Vec<(u64, usize)>,
+    /// `(resume_step, rank)` joins so far.
+    pub joins: Vec<(u64, usize)>,
+}
+
+impl ServerState {
+    /// The state of a brand-new run: step 0, everyone alive, the seeded
+    /// initial parameters.
+    pub fn fresh(n_workers: usize, init_params: Vec<f32>) -> Self {
+        ServerState {
+            step: 0,
+            syncs: 0,
+            global: init_params,
+            alive: vec![true; n_workers],
+            done: vec![false; n_workers],
+            evictions: Vec::new(),
+            joins: Vec::new(),
         }
     }
 }
@@ -89,6 +202,10 @@ pub struct ElasticReport {
     pub syncs: u64,
     /// Heartbeat rounds driven to completion (≈ steps observed).
     pub rounds: u64,
+    /// True if the server exited via a scheduled [`ServerCrashPoint`]
+    /// instead of a clean shutdown; the report then reflects the dying
+    /// server's volatile state, not durable truth.
+    pub crashed: bool,
 }
 
 /// What a joiner receives from [`join_request`].
@@ -129,54 +246,160 @@ fn status_vec(
         .collect()
 }
 
-/// Run the elastic parameter server until every member has shut down or
-/// been evicted. `on_sync(step, global)` fires after each completed
-/// sync round — wire it to a checkpoint writer so joiners (and chaos
-/// tests) can recover the latest global state.
+/// Membership encoded for the standby shadow: bit 0 = alive, bit 1 =
+/// done (richer than the worker-facing status bytes, which cannot tell
+/// "finished" from "evicted").
+fn membership_bytes(alive: &[bool], done: &[bool]) -> Vec<u8> {
+    alive
+        .iter()
+        .zip(done)
+        .map(|(a, d)| u8::from(*a) | (u8::from(*d) << 1))
+        .collect()
+}
+
+/// Run the elastic parameter server for a brand-new run (state
+/// [`ServerState::fresh`]). `on_sync(state)` fires after each completed
+/// sync round, *before* the sync replies go out — wire it to a
+/// checkpoint writer so a killed server restarts from its last durable
+/// sync via [`run_elastic_server_from`].
 ///
 /// # Errors
 /// Propagates unrecoverable transport faults ([`TransportError::Closed`])
 /// and protocol violations. Dead *workers* are not errors — they are
 /// evicted and reported in the returned [`ElasticReport`].
 pub fn run_elastic_server<T, F>(
-    mut ep: T,
+    ep: T,
     n_workers: usize,
     init_params: Vec<f32>,
+    cfg: &ElasticConfig,
+    on_sync: F,
+) -> Result<ElasticReport, TransportError>
+where
+    T: Transport,
+    F: FnMut(&ServerState),
+{
+    run_elastic_server_from(ep, ServerState::fresh(n_workers, init_params), cfg, on_sync)
+}
+
+/// Run the elastic parameter server from a recovered [`ServerState`]
+/// (checkpoint resume or standby promotion). See the module docs for the
+/// three worker configurations a restart can find and how each is
+/// reconciled.
+///
+/// # Errors
+/// As [`run_elastic_server`].
+#[allow(clippy::too_many_lines)]
+/// Record a member's first message since a resume/promotion and adjust
+/// the grace window: extend it by one `resume_grace` unit while other
+/// members are still silent (their next resend is at most one cycle
+/// away), end it as soon as every live member has reported in. An
+/// already-expired window is never resurrected.
+fn note_contact(
+    grace_until: &mut Option<Instant>,
+    heard: &mut [bool],
+    alive: &[bool],
+    done: &[bool],
+    from: usize,
+    resume_grace: Duration,
+) {
+    let Some(g) = *grace_until else { return };
+    if Instant::now() >= g {
+        *grace_until = None;
+        return;
+    }
+    if from >= heard.len() || heard[from] {
+        return;
+    }
+    heard[from] = true;
+    if (0..heard.len()).all(|i| heard[i] || !alive[i] || done[i]) {
+        *grace_until = None;
+    } else {
+        let horizon = Instant::now() + resume_grace;
+        if g < horizon {
+            *grace_until = Some(horizon);
+        }
+    }
+}
+
+pub fn run_elastic_server_from<T, F>(
+    mut ep: T,
+    state: ServerState,
     cfg: &ElasticConfig,
     mut on_sync: F,
 ) -> Result<ElasticReport, TransportError>
 where
     T: Transport,
-    F: FnMut(u64, &[f32]),
+    F: FnMut(&ServerState),
 {
-    let n = n_workers;
-    let mut alive = vec![true; n];
-    let mut done = vec![false; n];
+    let ServerState {
+        mut step,
+        mut syncs,
+        mut global,
+        mut alive,
+        mut done,
+        mut evictions,
+        mut joins,
+    } = state;
+    let n = alive.len();
     let mut missed = vec![0u32; n];
-    let mut global = init_params;
-    let mut evictions: Vec<(u64, usize)> = Vec::new();
-    let mut joins: Vec<(u64, usize)> = Vec::new();
-    let mut syncs = 0u64;
-    let mut step = 0u64;
+    let mut crashed = false;
+    // A recovering server must outwait the workers' resend budget before
+    // judging silence: their in-flight rounds died with the predecessor.
+    // See `ElasticConfig::resume_grace` for the adaptive-extension rules
+    // `note_contact` applies as members report back in.
+    let mut grace_until =
+        (cfg.resume_grace > Duration::ZERO).then(|| Instant::now() + cfg.resume_grace);
+    let mut heard_since_start = vec![false; n];
+    // Traffic from rounds ahead of this one (recovery: the server
+    // restarted behind the workers). Keyed by step.
+    let mut future_flags: BTreeMap<u64, BTreeMap<usize, u8>> = BTreeMap::new();
+    let mut future_pushes: BTreeMap<u64, BTreeMap<usize, Vec<f32>>> = BTreeMap::new();
+    let mut pending_joins: Vec<usize> = Vec::new();
 
-    loop {
+    'run: loop {
         if (0..n).all(|i| !alive[i] || done[i]) {
             break;
         }
+        if let Some(ServerCrashPoint::RoundStart(s)) = cfg.crash {
+            if step >= s {
+                crashed = true;
+                break;
+            }
+        }
         let ftag = phase_tag(step, FLAGS_PHASE);
-        let mut bits: BTreeMap<usize, u8> = BTreeMap::new();
-        let mut pending_joins: Vec<usize> = Vec::new();
+        let stag = phase_tag(step, SYNC_PHASE);
+        // seed the round with any buffered traffic that raced ahead
+        let mut bits: BTreeMap<usize, u8> = future_flags.remove(&step).unwrap_or_default();
+        let mut early_pushes: BTreeMap<usize, Vec<f32>> =
+            future_pushes.remove(&step).unwrap_or_default();
+        future_flags.retain(|&s, _| s > step);
+        future_pushes.retain(|&s, _| s > step);
+        bits.retain(|&i, _| alive[i] && !done[i]);
+        early_pushes.retain(|&i, _| alive[i] && !done[i]);
+        let mut jump: Option<u64> = None;
 
         // ---- flags / heartbeat collection ----
         loop {
             let expected = (0..n).filter(|&i| alive[i] && !done[i]).count();
-            if expected == 0 || bits.len() >= expected {
+            let heard = bits.len()
+                + early_pushes
+                    .keys()
+                    .filter(|i| !bits.contains_key(i))
+                    .count();
+            if expected == 0 || heard >= expected {
                 break;
             }
             match ep.recv_deadline(None, None, cfg.round_timeout) {
                 Err(TransportError::RecvTimeout { .. }) => {
+                    if grace_until.is_some_and(|g| Instant::now() < g) {
+                        continue;
+                    }
                     for i in 0..n {
-                        if alive[i] && !done[i] && !bits.contains_key(&i) {
+                        if alive[i]
+                            && !done[i]
+                            && !bits.contains_key(&i)
+                            && !early_pushes.contains_key(&i)
+                        {
                             missed[i] += 1;
                             if missed[i] >= cfg.max_missed {
                                 alive[i] = false;
@@ -189,12 +412,24 @@ where
                 Err(e) => return Err(e),
                 Ok(m) => {
                     let from = m.from;
+                    note_contact(
+                        &mut grace_until,
+                        &mut heard_since_start,
+                        &alive,
+                        &done,
+                        from,
+                        cfg.resume_grace,
+                    );
                     if m.tag == JOIN_TAG {
                         if let Payload::Control(c) = m.payload {
                             if c == CTRL_JOIN {
                                 pending_joins.push(from);
                             }
                         }
+                        continue;
+                    }
+                    if m.tag >= STANDBY_TAG {
+                        // reserved tags this role never consumes
                         continue;
                     }
                     if !alive[from] {
@@ -210,7 +445,15 @@ where
                         (t, Payload::Flags(b)) if t == ftag => {
                             bits.insert(from, b.first().copied().unwrap_or(0));
                         }
-                        (t, Payload::Control(c)) if t == ftag && c == CTRL_SHUTDOWN => {
+                        (t, Payload::Params(v)) if t == stag => {
+                            // a re-sent push for *this* round: the sender
+                            // already holds a SYNC status from before a
+                            // server restart — count it as a contributor
+                            early_pushes.insert(from, v);
+                        }
+                        (_, Payload::Control(c)) if c == CTRL_SHUTDOWN => {
+                            // accepted at any tag: a worker may finish
+                            // while a recovering server is still behind
                             done[from] = true;
                             missed[from] = 0;
                         }
@@ -219,13 +462,33 @@ where
                             let status = status_vec(n, &alive, &done, None, from);
                             let _ = ep.send(from, t, Payload::Flags(status));
                         }
-                        (t, Payload::Control(c)) if t < ftag && c == CTRL_SHUTDOWN => {
-                            done[from] = true;
-                        }
                         (t, Payload::Params(_)) if t < ftag => {
                             // stale push from a sync round that already
-                            // closed; unblock the sender with the global
+                            // closed (or whose replies died with the old
+                            // server); unblock the sender with the global,
+                            // which is exactly that round's average
                             let _ = ep.send(from, t, Payload::Params(global.clone()));
+                        }
+                        (t, Payload::Flags(b)) if t > ftag => {
+                            let s = tag_step(t);
+                            future_flags
+                                .entry(s)
+                                .or_default()
+                                .insert(from, b.first().copied().unwrap_or(0));
+                            if bits.is_empty() && early_pushes.is_empty() {
+                                jump = Some(s);
+                                break;
+                            }
+                        }
+                        (t, Payload::Params(v))
+                            if t > ftag && t == phase_tag(tag_step(t), SYNC_PHASE) =>
+                        {
+                            let s = tag_step(t);
+                            future_pushes.entry(s).or_default().insert(from, v);
+                            if bits.is_empty() && early_pushes.is_empty() {
+                                jump = Some(s);
+                                break;
+                            }
                         }
                         (t, p) => {
                             return Err(TransportError::Protocol(format!(
@@ -238,14 +501,48 @@ where
             }
         }
 
+        if jump.is_some() {
+            // recovery fast-forward: every live worker is already past
+            // this round (nothing durable happened in the skipped
+            // rounds, or their effects were already replied). Jump to
+            // the earliest round with buffered traffic.
+            let next = future_flags
+                .keys()
+                .next()
+                .copied()
+                .into_iter()
+                .chain(future_pushes.keys().next().copied())
+                .min();
+            if let Some(next) = next {
+                step = next;
+                continue 'run;
+            }
+        }
+
         for &i in bits.keys() {
             missed[i] = 0;
         }
+        for &i in early_pushes.keys() {
+            missed[i] = 0;
+        }
         let contributors: Vec<usize> = bits.keys().copied().collect();
+        let mut sync_members: Vec<usize> = contributors.clone();
+        for &i in early_pushes.keys() {
+            if !sync_members.contains(&i) {
+                sync_members.push(i);
+            }
+        }
+        sync_members.sort_unstable();
 
-        if !contributors.is_empty() {
-            let any_sync = bits.values().any(|&b| b != 0);
-            let status = status_vec(n, &alive, &done, Some(&bits), usize::MAX);
+        if !contributors.is_empty() || !early_pushes.is_empty() {
+            let any_sync = bits.values().any(|&b| b != 0) || !early_pushes.is_empty();
+            // early pushers are mid-sync: the membership view must show
+            // them as syncing even though no flag arrived this round
+            let mut merged = bits.clone();
+            for &i in early_pushes.keys() {
+                merged.insert(i, 1);
+            }
+            let status = status_vec(n, &alive, &done, Some(&merged), usize::MAX);
             for &i in &contributors {
                 match ep.send(i, ftag, Payload::Flags(status.clone())) {
                     Ok(()) => {}
@@ -259,18 +556,20 @@ where
 
             // ---- sync round: every contributor pushes, server averages ----
             if any_sync {
-                let stag = phase_tag(step, SYNC_PHASE);
-                let mut pushes: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+                let mut pushes: BTreeMap<usize, Vec<f32>> = early_pushes;
                 loop {
-                    let expected = contributors.iter().filter(|&&i| alive[i]).count();
+                    let expected = sync_members.iter().filter(|&&i| alive[i]).count();
                     if expected == 0 || pushes.len() >= expected {
                         break;
                     }
                     match ep.recv_deadline(None, None, cfg.round_timeout) {
                         Err(TransportError::RecvTimeout { .. }) => {
+                            if grace_until.is_some_and(|g| Instant::now() < g) {
+                                continue;
+                            }
                             // a crash inside the sync window: evict at once,
                             // the partial average keeps the survivors moving
-                            for &i in &contributors {
+                            for &i in &sync_members {
                                 if alive[i] && !pushes.contains_key(&i) {
                                     alive[i] = false;
                                     evictions.push((step, i));
@@ -281,6 +580,14 @@ where
                         Err(e) => return Err(e),
                         Ok(m) => {
                             let from = m.from;
+                            note_contact(
+                                &mut grace_until,
+                                &mut heard_since_start,
+                                &alive,
+                                &done,
+                                from,
+                                cfg.resume_grace,
+                            );
                             if m.tag == JOIN_TAG {
                                 if let Payload::Control(c) = m.payload {
                                     if c == CTRL_JOIN {
@@ -289,9 +596,15 @@ where
                                 }
                                 continue;
                             }
-                            if m.tag == stag && alive[from] && contributors.contains(&from) {
+                            if m.tag >= STANDBY_TAG {
+                                continue;
+                            }
+                            if m.tag == stag && alive[from] {
                                 match m.payload {
                                     Payload::Params(v) => {
+                                        if !sync_members.contains(&from) {
+                                            sync_members.push(from);
+                                        }
                                         pushes.insert(from, v);
                                     }
                                     p => {
@@ -308,9 +621,37 @@ where
                 }
                 if !pushes.is_empty() {
                     let views: Vec<&[f32]> = pushes.values().map(|v| v.as_slice()).collect();
-                    global = average(&views);
+                    let avg = average(&views);
+                    if let Some(ServerCrashPoint::MidSync(s)) = cfg.crash {
+                        if step >= s {
+                            // die with the average computed but nothing
+                            // durable: no checkpoint, no shadow, no reply
+                            crashed = true;
+                            break 'run;
+                        }
+                    }
+                    global = avg;
                     syncs += 1;
-                    on_sync(step, &global);
+                    // write-ahead: checkpoint + shadow BEFORE any reply,
+                    // so a durable sync implies no worker saw it early
+                    on_sync(&ServerState {
+                        step: step + 1,
+                        syncs,
+                        global: global.clone(),
+                        alive: alive.clone(),
+                        done: done.clone(),
+                        evictions: evictions.clone(),
+                        joins: joins.clone(),
+                    });
+                    if let Some(sb) = cfg.standby {
+                        let _ = ep.send(sb, STANDBY_TAG, Payload::Control(step));
+                        let _ = ep.send(sb, STANDBY_TAG, Payload::Params(global.clone()));
+                        let _ = ep.send(
+                            sb,
+                            STANDBY_TAG,
+                            Payload::Flags(membership_bytes(&alive, &done)),
+                        );
+                    }
                     let pushers: Vec<usize> = pushes.keys().copied().collect();
                     for i in pushers {
                         match ep.send(i, stag, Payload::Params(global.clone())) {
@@ -327,7 +668,7 @@ where
         }
 
         // ---- grant joins at the step boundary ----
-        for r in pending_joins {
+        for r in pending_joins.drain(..) {
             if r < n && !done[r] && !alive[r] {
                 alive[r] = true;
                 missed[r] = 0;
@@ -350,13 +691,136 @@ where
         step += 1;
     }
 
+    if !crashed {
+        if let Some(sb) = cfg.standby {
+            let _ = ep.send(sb, STANDBY_TAG, Payload::Control(STANDBY_RETIRE));
+        }
+    }
     Ok(ElasticReport {
         final_params: global,
         evictions,
         joins,
         syncs,
         rounds: step,
+        crashed,
     })
+}
+
+/// What a standby rank's watch ended in.
+#[derive(Debug)]
+pub enum StandbyOutcome {
+    /// The primary retired us (clean shutdown) or the whole cluster went
+    /// silent past the patience window; nothing to do.
+    Retired {
+        /// Sync rounds shadowed while on watch.
+        shadowed_syncs: u64,
+    },
+    /// Workers failed over to this rank; it ran the elastic server from
+    /// the shadowed state to completion.
+    Promoted(ElasticReport),
+}
+
+/// Run the hot-standby role: shadow the primary's [`STANDBY_TAG`] state
+/// updates, and promote to a full elastic server the moment worker
+/// traffic lands on this rank (workers only redirect here after their
+/// failover patience on the primary expires — see the worker retry
+/// layer). While waiting, worker messages are buffered, not consumed, so
+/// the promoted server's first round sees them all.
+///
+/// `max_silence` bounds how long the standby outlives a cluster that
+/// went completely quiet (primary died *and* no worker ever failed
+/// over, e.g. because they all finished).
+///
+/// # Errors
+/// Propagates unrecoverable transport faults.
+pub fn run_standby_server<T, F>(
+    mut ep: T,
+    n_workers: usize,
+    init_params: Vec<f32>,
+    cfg: &ElasticConfig,
+    max_silence: Duration,
+    on_sync: F,
+) -> Result<StandbyOutcome, TransportError>
+where
+    T: Transport,
+    F: FnMut(&ServerState),
+{
+    let ps = n_workers; // primary's rank, by fabric convention
+    let mut state = ServerState::fresh(n_workers, init_params);
+    let mut shadowed = 0u64;
+    let mut silence = Duration::ZERO;
+    loop {
+        match ep.recv_deadline(Some(ps), Some(STANDBY_TAG), cfg.round_timeout) {
+            Ok(m) => {
+                silence = Duration::ZERO;
+                match m.payload {
+                    Payload::Control(c) if c == STANDBY_RETIRE => {
+                        return Ok(StandbyOutcome::Retired {
+                            shadowed_syncs: shadowed,
+                        });
+                    }
+                    Payload::Control(sync_step) => {
+                        // a shadow triple: Params and membership follow on
+                        // the same tag; a torn triple (primary died mid-
+                        // send) leaves the previous consistent state
+                        let params = match ep.recv_deadline(
+                            Some(ps),
+                            Some(STANDBY_TAG),
+                            cfg.round_timeout,
+                        ) {
+                            Ok(pm) => match pm.payload {
+                                Payload::Params(v) => v,
+                                _ => continue,
+                            },
+                            Err(TransportError::RecvTimeout { .. }) => continue,
+                            Err(e) => return Err(e),
+                        };
+                        let mem = match ep.recv_deadline(
+                            Some(ps),
+                            Some(STANDBY_TAG),
+                            cfg.round_timeout,
+                        ) {
+                            Ok(fm) => match fm.payload {
+                                Payload::Flags(b) => b,
+                                _ => continue,
+                            },
+                            Err(TransportError::RecvTimeout { .. }) => continue,
+                            Err(e) => return Err(e),
+                        };
+                        state.step = sync_step + 1;
+                        state.syncs += 1;
+                        state.global = params;
+                        state.alive = mem.iter().map(|b| b & 1 != 0).collect();
+                        state.done = mem.iter().map(|b| b & 2 != 0).collect();
+                        shadowed += 1;
+                    }
+                    _ => {}
+                }
+            }
+            Err(TransportError::RecvTimeout { buffered, .. }) => {
+                if buffered > 0 {
+                    // workers are addressing this rank: the primary is
+                    // gone and the cluster failed over — promote. The
+                    // buffered worker traffic is drained by the server
+                    // loop's pending-first receives.
+                    let promoted_cfg = ElasticConfig {
+                        standby: None,
+                        crash: None,
+                        ..cfg.clone()
+                    };
+                    let report = run_elastic_server_from(ep, state, &promoted_cfg, on_sync)?;
+                    return Ok(StandbyOutcome::Promoted(report));
+                }
+                silence += cfg.round_timeout;
+                if silence >= max_silence {
+                    return Ok(StandbyOutcome::Retired {
+                        shadowed_syncs: shadowed,
+                    });
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Worker side of one heartbeat/flags round: send the local sync bit,
@@ -489,9 +953,28 @@ pub fn join_request<T: Transport>(
 mod tests {
     use super::*;
     use crate::fabric::Fabric;
+    use std::sync::{Arc, Mutex};
     use std::thread;
 
     const REPLY: Duration = Duration::from_secs(5);
+
+    /// Worker-side sync with re-send on timeout, as the trainer's retry
+    /// layer does — needed whenever the server may crash mid-round.
+    fn sync_with_retry(
+        ep: &mut crate::fabric::Endpoint,
+        server: usize,
+        step: u64,
+        params: Vec<f32>,
+    ) -> Vec<f32> {
+        for _ in 0..40 {
+            match elastic_sync_round(ep, server, step, params.clone(), Duration::from_millis(250)) {
+                Ok(v) => return v,
+                Err(TransportError::RecvTimeout { .. }) => continue,
+                Err(e) => panic!("sync failed: {e}"),
+            }
+        }
+        panic!("sync round never completed at step {step}");
+    }
 
     #[test]
     fn periodic_sync_rounds_average_across_members() {
@@ -501,9 +984,10 @@ mod tests {
         let cfg = ElasticConfig {
             round_timeout: Duration::from_millis(500),
             max_missed: 3,
+            ..ElasticConfig::default()
         };
         let server = thread::spawn(move || {
-            run_elastic_server(server_ep, n, vec![0.0; 4], &cfg, |_, _| {}).unwrap()
+            run_elastic_server(server_ep, n, vec![0.0; 4], &cfg, |_| {}).unwrap()
         });
         let handles: Vec<_> = eps
             .into_iter()
@@ -534,6 +1018,7 @@ mod tests {
         assert_eq!(report.syncs, 2, "steps 0 and 3 raised the flag");
         assert!(report.evictions.is_empty());
         assert!(report.joins.is_empty());
+        assert!(!report.crashed);
         assert_eq!(report.final_params, vec![1.0; 4]);
     }
 
@@ -546,9 +1031,10 @@ mod tests {
         let cfg = ElasticConfig {
             round_timeout: Duration::from_millis(100),
             max_missed: 2,
+            ..ElasticConfig::default()
         };
         let server = thread::spawn(move || {
-            run_elastic_server(server_ep, n, vec![0.0], &cfg, |_, _| {}).unwrap()
+            run_elastic_server(server_ep, n, vec![0.0], &cfg, |_| {}).unwrap()
         });
         let handles: Vec<_> = eps
             .into_iter()
@@ -607,9 +1093,10 @@ mod tests {
         let cfg = ElasticConfig {
             round_timeout: Duration::from_millis(80),
             max_missed: 2,
+            ..ElasticConfig::default()
         };
         let server = thread::spawn(move || {
-            run_elastic_server(server_ep, n, vec![7.0], &cfg, |_, _| {}).unwrap()
+            run_elastic_server(server_ep, n, vec![7.0], &cfg, |_| {}).unwrap()
         });
         let mut rejoiner = eps.pop().unwrap(); // rank 1
         let mut steady = eps.pop().unwrap(); // rank 0
@@ -647,5 +1134,272 @@ mod tests {
             steps + 1,
             "all rounds plus the shutdown round"
         );
+    }
+
+    /// A server that dies mid-sync (after consuming the pushes, before
+    /// checkpoint/replies) and resumes from its last on_sync snapshot
+    /// must complete the run with parameters bit-identical to a
+    /// fault-free schedule: the re-sent pushes rebuild the interrupted
+    /// average exactly.
+    #[test]
+    fn mid_sync_crash_resume_is_bit_identical() {
+        let n = 2;
+        let steps = 6u64;
+        let mut eps = Fabric::new(n + 1);
+        let mut server_ep = eps.pop().unwrap();
+        let last_state: Arc<Mutex<Option<ServerState>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&last_state);
+        let crash_cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(400),
+            max_missed: 5,
+            crash: Some(ServerCrashPoint::MidSync(3)),
+            ..ElasticConfig::default()
+        };
+        let resume_cfg = ElasticConfig {
+            crash: None,
+            ..crash_cfg.clone()
+        };
+        let server = thread::spawn(move || {
+            let crashed = run_elastic_server(&mut server_ep, n, vec![0.0], &crash_cfg, |s| {
+                *sink.lock().unwrap() = Some(s.clone());
+            })
+            .unwrap();
+            assert!(crashed.crashed, "the scheduled crash must fire");
+            assert_eq!(crashed.syncs, 3, "steps 0..2 synced before the crash");
+            // "restart": resume on the same endpoint from the last
+            // durable snapshot — exactly what --resume does from disk
+            let state = last_state.lock().unwrap().clone().expect("snapshot");
+            assert_eq!(state.step, 3, "snapshot is from the step-2 sync");
+            run_elastic_server_from(&mut server_ep, state, &resume_cfg, |_| {}).unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    for step in 0..steps {
+                        let status = heartbeat_round(&mut ep, n, step, 1, REPLY).unwrap();
+                        assert!(status.contains(&STATUS_SYNC));
+                        let avg =
+                            sync_with_retry(&mut ep, n, step, vec![(id * 10) as f32 + step as f32]);
+                        // avg of (0 + s, 10 + s) = 5 + s at every step
+                        assert_eq!(avg, vec![5.0 + step as f32], "step {step}");
+                    }
+                    elastic_shutdown(&mut ep, n, steps).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = server.join().unwrap();
+        assert!(!report.crashed);
+        assert_eq!(report.syncs, steps, "every step synced exactly once");
+        assert_eq!(
+            report.final_params,
+            vec![5.0 + (steps - 1) as f32],
+            "resumed run ends on the fault-free average"
+        );
+        assert!(report.evictions.is_empty(), "{:?}", report.evictions);
+    }
+
+    /// A server resumed far behind its workers (flags arriving at future
+    /// tags with nothing collected) fast-forwards to the workers' round
+    /// instead of evicting everyone or erroring.
+    #[test]
+    fn resumed_server_fast_forwards_to_future_rounds() {
+        let n = 2;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(300),
+            max_missed: 3,
+            ..ElasticConfig::default()
+        };
+        // the server believes it is at step 0; workers start at step 5
+        let server = thread::spawn(move || {
+            run_elastic_server(server_ep, n, vec![1.0], &cfg, |_| {}).unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    for step in 5..8u64 {
+                        heartbeat_round(&mut ep, n, step, 0, REPLY).unwrap();
+                    }
+                    elastic_shutdown(&mut ep, n, 8).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = server.join().unwrap();
+        assert!(report.evictions.is_empty(), "{:?}", report.evictions);
+        assert_eq!(report.syncs, 0);
+        assert_eq!(report.rounds, 9, "jumped to 5, ran 5..=8");
+    }
+
+    /// Clean shutdown retires the standby, which reports how many syncs
+    /// it shadowed.
+    #[test]
+    fn standby_is_retired_on_clean_shutdown() {
+        let n = 2;
+        let steps = 4u64;
+        let mut eps = Fabric::new(n + 2);
+        let standby_ep = eps.pop().unwrap(); // rank 3
+        let server_ep = eps.pop().unwrap(); // rank 2
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(400),
+            max_missed: 3,
+            standby: Some(n + 1),
+            ..ElasticConfig::default()
+        };
+        let standby_cfg = cfg.clone();
+        let server = thread::spawn(move || {
+            run_elastic_server(server_ep, n, vec![0.0], &cfg, |_| {}).unwrap()
+        });
+        let standby = thread::spawn(move || {
+            run_standby_server(
+                standby_ep,
+                n,
+                vec![0.0],
+                &standby_cfg,
+                Duration::from_secs(20),
+                |_| {},
+            )
+            .unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    for step in 0..steps {
+                        let status = heartbeat_round(&mut ep, n, step, 1, REPLY).unwrap();
+                        assert!(status.contains(&STATUS_SYNC));
+                        elastic_sync_round(&mut ep, n, step, vec![id as f32], REPLY).unwrap();
+                    }
+                    elastic_shutdown(&mut ep, n, steps).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = server.join().unwrap();
+        assert_eq!(report.syncs, steps);
+        match standby.join().unwrap() {
+            StandbyOutcome::Retired { shadowed_syncs } => {
+                assert_eq!(shadowed_syncs, steps, "every sync was shadowed");
+            }
+            StandbyOutcome::Promoted(_) => panic!("must not promote on a clean run"),
+        }
+    }
+
+    /// The primary dies mid-run; workers fail over to the standby rank,
+    /// which promotes itself from the shadowed state and finishes the
+    /// run with the fault-free averages.
+    #[test]
+    fn standby_promotes_when_workers_fail_over() {
+        let n = 2;
+        let steps = 6u64;
+        let mut eps = Fabric::new(n + 2);
+        let standby_ep = eps.pop().unwrap(); // rank 3
+        let server_ep = eps.pop().unwrap(); // rank 2
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(300),
+            max_missed: 5,
+            standby: Some(n + 1),
+            crash: Some(ServerCrashPoint::RoundStart(3)),
+            ..ElasticConfig::default()
+        };
+        let standby_cfg = ElasticConfig {
+            crash: None,
+            ..cfg.clone()
+        };
+        let server = thread::spawn(move || {
+            // endpoint dropped on return: the primary is truly dead
+            run_elastic_server(server_ep, n, vec![0.0], &cfg, |_| {}).unwrap()
+        });
+        let standby = thread::spawn(move || {
+            run_standby_server(
+                standby_ep,
+                n,
+                vec![0.0],
+                &standby_cfg,
+                Duration::from_secs(20),
+                |_| {},
+            )
+            .unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    let mut server = n; // primary until failover
+                    for step in 0..steps {
+                        // heartbeat with failover: on a dead primary,
+                        // redirect to the standby rank and retry
+                        let status = loop {
+                            match heartbeat_round(
+                                &mut ep,
+                                server,
+                                step,
+                                1,
+                                Duration::from_millis(250),
+                            ) {
+                                Ok(s) => break s,
+                                Err(TransportError::PeerUnreachable { peer })
+                                    if peer == n && server == n =>
+                                {
+                                    server = n + 1;
+                                }
+                                Err(TransportError::RecvTimeout { .. }) => {
+                                    // lost reply: the primary died after
+                                    // our send — fail over as well
+                                    if server == n {
+                                        server = n + 1;
+                                    }
+                                }
+                                Err(e) => panic!("heartbeat failed: {e}"),
+                            }
+                        };
+                        assert!(status.contains(&STATUS_SYNC));
+                        let avg = sync_with_retry(
+                            &mut ep,
+                            server,
+                            step,
+                            vec![(id * 10) as f32 + step as f32],
+                        );
+                        assert_eq!(avg, vec![5.0 + step as f32], "step {step}");
+                    }
+                    elastic_shutdown(&mut ep, server, steps).unwrap();
+                    server
+                })
+            })
+            .collect();
+        let mut final_servers = Vec::new();
+        for h in handles {
+            final_servers.push(h.join().unwrap());
+        }
+        assert_eq!(
+            final_servers,
+            vec![n + 1, n + 1],
+            "both workers ended on the standby"
+        );
+        let primary = server.join().unwrap();
+        assert!(primary.crashed);
+        assert_eq!(primary.syncs, 3, "steps 0..2 synced before the crash");
+        match standby.join().unwrap() {
+            StandbyOutcome::Promoted(report) => {
+                assert!(!report.crashed);
+                assert_eq!(report.syncs, steps, "shadowed 3 + ran 3 more");
+                assert_eq!(report.final_params, vec![5.0 + (steps - 1) as f32]);
+                assert!(report.evictions.is_empty(), "{:?}", report.evictions);
+            }
+            StandbyOutcome::Retired { .. } => panic!("standby must be promoted"),
+        }
     }
 }

@@ -191,7 +191,9 @@ impl Endpoint {
     ) -> Result<Msg, TransportError> {
         // scan buffered messages first
         if let Some(pos) = self.pending.iter().position(|m| m.matches(from, tag)) {
-            return Ok(self.pending.remove(pos).unwrap());
+            if let Some(m) = self.pending.remove(pos) {
+                return Ok(m);
+            }
         }
         let deadline = timeout.map(|t| Instant::now() + t);
         loop {

@@ -28,15 +28,16 @@ use crate::trainer::{evaluate, grad_sqnorm, AnyCursor, AnyOptimizer, WorkerOutpu
 use crate::workload::{Workload, WorkloadData, SEQ_LEN};
 use selsync_comm::elastic::{
     elastic_shutdown, elastic_sync_round, heartbeat_round, join_request, run_elastic_server,
-    ElasticConfig, ElasticReport, STATUS_DEAD, STATUS_SYNC,
+    run_elastic_server_from, run_standby_server, ElasticConfig, ElasticReport, ServerCrashPoint,
+    ServerState, StandbyOutcome, STATUS_DEAD, STATUS_SYNC,
 };
 use selsync_comm::{Transport, TransportError};
 use selsync_data::{partition_indices, BatchCursor, TextBatchCursor};
 use selsync_nn::flat::{clip_grad_norm, flat_params, set_flat_params};
 use selsync_nn::loss::softmax_cross_entropy;
 use selsync_stats::{LssrCounter, RelativeGradChange};
-use std::path::PathBuf;
-use std::time::Duration;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Knobs of an elastic run, shared by the server and worker ranks.
 #[derive(Debug, Clone)]
@@ -54,11 +55,22 @@ pub struct ElasticOptions {
     /// network can eat a heartbeat; the server answers stale resends
     /// with catch-up replies).
     pub comm_retries: u32,
-    /// Server: write the global parameters here after every sync.
-    /// Rejoining workers warm-start from this file.
+    /// Server: write a crash-consistent v2 state checkpoint here after
+    /// every sync. Rejoining workers warm-start from this file, a
+    /// restarted PS resumes from it, and each worker mirrors its own
+    /// private state next to it (see [`worker_state_path`]).
     pub checkpoint: Option<PathBuf>,
     /// Worker: go silent just before this step (scheduled crash).
     pub crash_at: Option<u64>,
+    /// Worker: total budget for re-reaching a silent or unreachable PS
+    /// (resend with capped-backoff redials) before failing over to the
+    /// standby — or, without one, giving up with the transport error.
+    pub ps_patience: Duration,
+    /// Cluster runs a hot-standby PS at rank `n_workers + 1`: the server
+    /// shadows state to it and workers fail over to it.
+    pub standby: bool,
+    /// Server: die at a scheduled point (chaos/fault experiments).
+    pub server_crash: Option<ServerCrashPoint>,
 }
 
 impl Default for ElasticOptions {
@@ -71,15 +83,35 @@ impl ElasticOptions {
     /// Build options with a consistent worker reply deadline derived
     /// from the server's liveness policy.
     pub fn with_liveness(round_timeout: Duration, max_missed: u32) -> Self {
+        let reply_timeout = round_timeout * (max_missed + 2);
         ElasticOptions {
             round_timeout,
-            reply_timeout: round_timeout * (max_missed + 2),
+            reply_timeout,
             max_missed,
             comm_retries: 3,
             checkpoint: None,
             crash_at: None,
+            ps_patience: reply_timeout * 3,
+            standby: false,
+            server_crash: None,
         }
     }
+
+    /// Rank of the hot standby, when configured.
+    pub fn standby_rank(&self, n_workers: usize) -> Option<usize> {
+        self.standby.then_some(n_workers + 1)
+    }
+}
+
+/// Where worker `rank` mirrors its private training state (optimizer
+/// slots, Δ(g) stream, cursor position) relative to the server's
+/// checkpoint path: `<ckpt>.w<rank>`.
+pub fn worker_state_path(base: &Path, rank: usize) -> PathBuf {
+    let mut name = base
+        .file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(&format!(".w{rank}"));
+    base.with_file_name(name)
 }
 
 fn validate_elastic(config: &RunConfig, workload: &Workload) {
@@ -150,40 +182,77 @@ fn build_cursor(
     }
 }
 
-fn heartbeat_retry<T: Transport>(
-    ep: &mut T,
+/// The worker's view of the parameter server, including the failover
+/// budget and target. Shared by every round helper so a mid-step
+/// failover sticks for the rest of the run.
+struct PsLink {
     server: usize,
-    step: u64,
-    bit: u8,
+    standby: Option<usize>,
+}
+
+/// Drive one PS round to completion through the failover policy: resend
+/// on a lost reply, redial with capped exponential backoff on an
+/// unreachable server, and — once the patience budget is spent — switch
+/// to the standby rank (at most once) before giving up.
+fn round_with_failover<R>(
+    link: &mut PsLink,
     opts: &ElasticOptions,
-) -> Result<Vec<u8>, TransportError> {
-    let mut attempts = 0;
+    mut round: impl FnMut(usize) -> Result<R, TransportError>,
+) -> Result<R, TransportError> {
+    let mut deadline: Option<Instant> = None;
+    let mut attempts = 0u32;
+    let mut backoff = Duration::from_millis(50);
     loop {
-        match heartbeat_round(ep, server, step, bit, opts.reply_timeout) {
-            Err(TransportError::RecvTimeout { .. }) if attempts < opts.comm_retries => {
-                attempts += 1;
+        let err = match round(link.server) {
+            Ok(r) => return Ok(r),
+            Err(e @ TransportError::RecvTimeout { .. }) => e,
+            Err(TransportError::PeerUnreachable { peer }) if peer == link.server => {
+                // instant failure: pace the redials
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+                TransportError::PeerUnreachable { peer }
             }
             other => return other,
+        };
+        attempts += 1;
+        let deadline = *deadline.get_or_insert_with(|| Instant::now() + opts.ps_patience);
+        if attempts > opts.comm_retries && Instant::now() >= deadline {
+            match link.standby.take() {
+                Some(sb) => {
+                    // fail over: the standby promotes itself on first
+                    // contact and answers from the shadowed state
+                    link.server = sb;
+                    attempts = 0;
+                    backoff = Duration::from_millis(50);
+                }
+                None => return Err(err),
+            }
         }
     }
 }
 
+fn heartbeat_retry<T: Transport>(
+    ep: &mut T,
+    link: &mut PsLink,
+    step: u64,
+    bit: u8,
+    opts: &ElasticOptions,
+) -> Result<Vec<u8>, TransportError> {
+    round_with_failover(link, opts, |server| {
+        heartbeat_round(ep, server, step, bit, opts.reply_timeout)
+    })
+}
+
 fn sync_retry<T: Transport>(
     ep: &mut T,
-    server: usize,
+    link: &mut PsLink,
     step: u64,
     params: &[f32],
     opts: &ElasticOptions,
 ) -> Result<Vec<f32>, TransportError> {
-    let mut attempts = 0;
-    loop {
-        match elastic_sync_round(ep, server, step, params.to_vec(), opts.reply_timeout) {
-            Err(TransportError::RecvTimeout { .. }) if attempts < opts.comm_retries => {
-                attempts += 1;
-            }
-            other => return other,
-        }
-    }
+    round_with_failover(link, opts, |server| {
+        elastic_sync_round(ep, server, step, params.to_vec(), opts.reply_timeout)
+    })
 }
 
 /// Run the elastic parameter server for one experiment. Blocks until
@@ -206,17 +275,136 @@ pub fn run_elastic_server_rank<T: Transport>(
         "the PS listens on rank n_workers"
     );
     let init = flat_params(workload.build_model().as_visitor());
-    let cfg = ElasticConfig {
+    let cfg = server_elastic_config(config, opts);
+    run_elastic_server(
+        ep,
+        config.n_workers,
+        init,
+        &cfg,
+        server_checkpoint_writer(config, opts),
+    )
+}
+
+/// Restart the elastic PS from a recovered [`checkpoint::TrainState`]
+/// (the durable image of its last completed sync): training continues
+/// from that sync boundary, reconciling workers wherever the crash left
+/// them (see [`selsync_comm::elastic::run_elastic_server_from`]).
+///
+/// # Errors
+/// As [`run_elastic_server_rank`].
+pub fn run_elastic_server_rank_from<T: Transport>(
+    ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+    state: &checkpoint::TrainState,
+) -> Result<ElasticReport, TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(
+        ep.id(),
+        config.n_workers,
+        "the PS listens on rank n_workers"
+    );
+    assert_eq!(
+        state.alive.len(),
+        config.n_workers,
+        "checkpoint membership must match the configured worker count"
+    );
+    let mut cfg = server_elastic_config(config, opts);
+    // the workers' in-flight rounds died with the old PS: hold off
+    // liveness judgements until their resends can possibly arrive.
+    // Two reply windows, not one — a resend written into the dying
+    // kernel socket before the reset surfaces is silently lost, and
+    // the worker only notices one full reply timeout later.
+    cfg.resume_grace = opts.reply_timeout * 2 + opts.round_timeout;
+    run_elastic_server_from(
+        ep,
+        ServerState {
+            step: state.step,
+            syncs: state.syncs,
+            global: state.params.clone(),
+            alive: state.alive.clone(),
+            done: state.done.clone(),
+            evictions: state.evictions.clone(),
+            joins: state.joins.clone(),
+        },
+        &cfg,
+        server_checkpoint_writer(config, opts),
+    )
+}
+
+/// Run the hot-standby PS rank (`n_workers + 1`): shadow the primary's
+/// sync state, promote to a full server if workers fail over here, and
+/// keep writing the same checkpoint once promoted.
+///
+/// # Errors
+/// Propagates unrecoverable transport faults.
+pub fn run_standby_server_rank<T: Transport>(
+    ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+) -> Result<StandbyOutcome, TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(
+        ep.id(),
+        config.n_workers + 1,
+        "the standby listens on rank n_workers + 1"
+    );
+    let init = flat_params(workload.build_model().as_visitor());
+    let mut cfg = server_elastic_config(config, opts);
+    // once promoted, wait out the failover skew: workers switch over one
+    // by one as their individual patience budgets run dry
+    cfg.resume_grace = opts.ps_patience + opts.reply_timeout;
+    // outlive every worker's failover budget before concluding the
+    // whole cluster is gone
+    let max_silence = (opts.ps_patience + opts.reply_timeout) * 3;
+    run_standby_server(
+        ep,
+        config.n_workers,
+        init,
+        &cfg,
+        max_silence,
+        server_checkpoint_writer(config, opts),
+    )
+}
+
+fn server_elastic_config(config: &RunConfig, opts: &ElasticOptions) -> ElasticConfig {
+    ElasticConfig {
         round_timeout: opts.round_timeout,
         max_missed: opts.max_missed,
-    };
+        standby: opts.standby_rank(config.n_workers),
+        crash: opts.server_crash,
+        resume_grace: Duration::ZERO,
+    }
+}
+
+/// The write-ahead checkpoint hook: persist every completed sync round's
+/// server state as a v2 checkpoint before any worker can see the round's
+/// result. Best effort — a full disk must not take the cluster down.
+fn server_checkpoint_writer(config: &RunConfig, opts: &ElasticOptions) -> impl FnMut(&ServerState) {
     let ckpt = opts.checkpoint.clone();
-    run_elastic_server(ep, config.n_workers, init, &cfg, move |_step, global| {
+    let seed = config.seed;
+    move |state: &ServerState| {
         if let Some(path) = &ckpt {
-            // best effort: a full disk must not take the cluster down
-            let _ = checkpoint::save_params(path, global);
+            let ts = checkpoint::TrainState {
+                step: state.step,
+                syncs: state.syncs,
+                rounds: state.step,
+                seed,
+                cursor_consumed: 0,
+                optim_t: 0,
+                params: state.global.clone(),
+                alive: state.alive.clone(),
+                done: state.done.clone(),
+                evictions: state.evictions.clone(),
+                joins: state.joins.clone(),
+                optim_slots: Vec::new(),
+                delta_state: None,
+            };
+            let _ = checkpoint::save_state(path, &ts);
         }
-    })
+    }
 }
 
 /// Run one elastic worker rank from step 0. Takes the endpoint by
@@ -237,7 +425,7 @@ pub fn run_elastic_worker_rank<T: Transport>(
     let worker = ep.id();
     assert!(worker < config.n_workers, "worker rank out of range");
     let members: Vec<usize> = (0..config.n_workers).collect();
-    elastic_loop(ep, config, workload, opts, None, 0, members)
+    elastic_loop(ep, config, workload, opts, None, None, 0, members)
 }
 
 /// Re-admit this rank into a running elastic experiment: warm-start from
@@ -265,35 +453,68 @@ pub fn rejoin_elastic_worker_rank<T: Transport>(
     let init = opts
         .checkpoint
         .as_ref()
-        .and_then(|p| checkpoint::load_params(p).ok())
+        .and_then(|p| checkpoint::load_state_with_fallback(p).ok())
+        .map(|(s, _)| s.params)
         .filter(|v| v.len() == grant.params.len())
         .unwrap_or(grant.params);
-    let out = elastic_loop(ep, config, workload, opts, Some(init), resume_step, members)?;
+    // this rank's private state (optimizer slots, Δ(g) stream) survives
+    // in its own mirror file; the parameters above stay authoritative
+    let private = opts
+        .checkpoint
+        .as_ref()
+        .and_then(|p| checkpoint::load_state_with_fallback(worker_state_path(p, worker)).ok())
+        .map(|(s, _)| s);
+    let out = elastic_loop(
+        ep,
+        config,
+        workload,
+        opts,
+        Some(init),
+        private,
+        resume_step,
+        members,
+    )?;
     Ok((resume_step, out))
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn elastic_loop<T: Transport>(
     ep: &mut T,
     config: &RunConfig,
     workload: &Workload,
     opts: &ElasticOptions,
     init_params: Option<Vec<f32>>,
+    private_state: Option<checkpoint::TrainState>,
     start_step: u64,
     mut members: Vec<usize>,
 ) -> Result<WorkerOutput, TransportError> {
     let worker = ep.id();
-    let server = config.n_workers;
+    let mut link = PsLink {
+        server: config.n_workers,
+        standby: opts.standby_rank(config.n_workers),
+    };
     let mut model = workload.build_model();
     if let Some(init) = init_params {
         set_flat_params(model.as_model(), &init);
     }
     let mut opt = AnyOptimizer::new(config.optim, config.lr.at(start_step));
-    let mut cursor = build_cursor(config, workload, &members, worker);
-    // a rejoiner restarts its Δ(g) EWMA from scratch: its first step
-    // reports an infinite relative change and forces a sync, which is
-    // exactly the conservative behaviour a returning replica wants
+    // without a private checkpoint, a rejoiner restarts its Δ(g) EWMA
+    // from scratch: its first step reports an infinite relative change
+    // and forces a sync — the conservative behaviour for a returning
+    // replica. With one, momentum and the Δ(g) stream pick up where the
+    // crashed incarnation's last sync left them.
     let mut relchange = RelativeGradChange::new(config.ewma_window, config.ewma_alpha);
+    let mut cursor_consumed = 0u64;
+    if let Some(st) = private_state {
+        opt.import_state(st.optim_t, st.optim_slots);
+        if let Some(d) = st.delta_state {
+            relchange = d;
+        }
+        // the cursor position is recorded for observability but not
+        // replayed: the rejoiner re-partitions over current members
+        cursor_consumed = st.cursor_consumed;
+    }
+    let mut cursor = build_cursor(config, workload, &members, worker);
     let mut lssr = LssrCounter::new();
     let mut records = Vec::new();
     let mut evals = Vec::new();
@@ -312,6 +533,7 @@ fn elastic_loop<T: Transport>(
             }
         }
         let batch = cursor.next_batch(&workload.data);
+        cursor_consumed += 1;
         let logits = model.as_model().forward(&batch.input, true);
         let (loss, dlogits) = softmax_cross_entropy(&logits, &batch.targets);
         model.as_model().zero_grad();
@@ -329,7 +551,7 @@ fn elastic_loop<T: Transport>(
         };
 
         // flags round = heartbeat; the reply is the membership status
-        let status = heartbeat_retry(ep, server, step, my_bit, opts)?;
+        let status = heartbeat_retry(ep, &mut link, step, my_bit, opts)?;
         let now_alive = alive_ranks(&status);
         if now_alive != members {
             // membership changed (eviction or rejoin): every survivor
@@ -345,8 +567,31 @@ fn elastic_loop<T: Transport>(
             opt.step(model.as_model());
             let params = flat_params(model.as_visitor());
             logical_bytes += 4 * params.len() as u64;
-            let global = sync_retry(ep, server, step, &params, opts)?;
+            let global = sync_retry(ep, &mut link, step, &params, opts)?;
             set_flat_params(model.as_model(), &global);
+            if let Some(base) = &opts.checkpoint {
+                // mirror this rank's private state next to the server's
+                // checkpoint so a rejoin resumes momentum and Δ(g)
+                let (optim_t, optim_slots) = opt.export_state();
+                let ts = checkpoint::TrainState {
+                    step: step + 1,
+                    syncs: lssr.sync_steps + 1,
+                    rounds: step + 1,
+                    seed: config.seed,
+                    cursor_consumed,
+                    optim_t,
+                    params: global.clone(),
+                    alive: (0..config.n_workers)
+                        .map(|i| members.contains(&i))
+                        .collect(),
+                    done: vec![false; config.n_workers],
+                    evictions: Vec::new(),
+                    joins: Vec::new(),
+                    optim_slots,
+                    delta_state: Some(relchange.clone()),
+                };
+                let _ = checkpoint::save_state(worker_state_path(base, worker), &ts);
+            }
             true
         } else {
             opt.step(model.as_model());
@@ -376,7 +621,7 @@ fn elastic_loop<T: Transport>(
     }
 
     if !crashed {
-        elastic_shutdown(ep, server, config.max_steps)?;
+        elastic_shutdown(ep, link.server, config.max_steps)?;
     }
 
     Ok(WorkerOutput {
@@ -417,6 +662,45 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("selsync_elastic_{}_{name}", std::process::id()));
         p
+    }
+
+    /// Remove a checkpoint, its previous generation, and every worker's
+    /// private mirror.
+    fn cleanup(ckpt: &Path, n_workers: usize) {
+        std::fs::remove_file(ckpt).ok();
+        std::fs::remove_file(checkpoint::prev_path(ckpt)).ok();
+        for w in 0..n_workers {
+            let p = worker_state_path(ckpt, w);
+            std::fs::remove_file(checkpoint::prev_path(&p)).ok();
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// Run a full fault-free elastic cluster and return the server
+    /// report plus worker outputs sorted by rank.
+    fn run_cluster(
+        cfg: &RunConfig,
+        wl: &Workload,
+        opts: &ElasticOptions,
+    ) -> (ElasticReport, Vec<WorkerOutput>) {
+        let mut eps = Fabric::new(cfg.n_workers + 1);
+        let server_ep = eps.pop().unwrap();
+        let (s_cfg, s_wl, s_opts) = (cfg.clone(), wl.clone(), opts.clone());
+        let server =
+            thread::spawn(move || run_elastic_server_rank(server_ep, &s_cfg, &s_wl, &s_opts));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let (cfg, wl, opts) = (cfg.clone(), wl.clone(), opts.clone());
+                thread::spawn(move || run_elastic_worker_rank(&mut ep, &cfg, &wl, &opts))
+            })
+            .collect();
+        let mut outs: Vec<WorkerOutput> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        outs.sort_by_key(|o| o.worker);
+        (server.join().unwrap().unwrap(), outs)
     }
 
     #[test]
@@ -500,10 +784,13 @@ mod tests {
                 assert_eq!(o.final_params, report.final_params);
             }
         }
-        // the checkpoint holds the final global state
-        let saved = checkpoint::load_params(&ckpt).unwrap();
-        assert_eq!(saved, report.final_params);
-        std::fs::remove_file(&ckpt).ok();
+        // the v2 checkpoint holds the final global state and membership
+        let (saved, used_prev) = checkpoint::load_state_with_fallback(&ckpt).unwrap();
+        assert!(!used_prev, "current generation must be loadable");
+        assert_eq!(saved.params, report.final_params);
+        assert_eq!(saved.alive, vec![true, true, false]);
+        assert_eq!(saved.evictions, report.evictions);
+        cleanup(&ckpt, n);
     }
 
     #[test]
@@ -551,6 +838,124 @@ mod tests {
         // δ=0 ⇒ both members end on the synced global state
         assert_eq!(steady_out.final_params, report.final_params);
         assert_eq!(rejoined_out.final_params, report.final_params);
-        std::fs::remove_file(&ckpt).ok();
+        cleanup(&ckpt, n);
+    }
+
+    #[test]
+    fn ps_mid_sync_crash_resumes_bit_identically() {
+        let n = 2;
+        let steps = 8;
+        let cfg = elastic_cfg(n, steps, 0.0); // δ=0: sync every step
+        let wl = small_workload();
+
+        // reference: the same cluster with no faults
+        let mut ref_opts = ElasticOptions::with_liveness(Duration::from_millis(400), 3);
+        ref_opts.ps_patience = Duration::from_secs(30);
+        let (ref_report, ref_outs) = run_cluster(&cfg, &wl, &ref_opts);
+        assert!(!ref_report.crashed);
+
+        // faulted run: PS dies mid-sync at step 4, then resumes from the
+        // durable checkpoint on the same endpoint
+        let ckpt = tmp("ps_resume.bin");
+        let mut opts = ref_opts.clone();
+        opts.checkpoint = Some(ckpt.clone());
+        let mut eps = Fabric::new(n + 1);
+        let mut server_ep = eps.pop().unwrap();
+        let (s_cfg, s_wl, s_opts, s_ckpt) = (cfg.clone(), wl.clone(), opts.clone(), ckpt.clone());
+        let server = thread::spawn(move || {
+            let mut crash_opts = s_opts.clone();
+            crash_opts.server_crash = Some(ServerCrashPoint::MidSync(4));
+            let dead = run_elastic_server_rank(&mut server_ep, &s_cfg, &s_wl, &crash_opts).unwrap();
+            assert!(dead.crashed, "the scheduled crash must fire");
+            assert_eq!(dead.syncs, 4, "rounds 0..4 completed before the crash");
+            // the write-ahead snapshot for round 4 is already durable
+            let (state, used_prev) = checkpoint::load_state_with_fallback(&s_ckpt).unwrap();
+            assert!(!used_prev);
+            assert_eq!(state.step, 4);
+            run_elastic_server_rank_from(&mut server_ep, &s_cfg, &s_wl, &s_opts, &state).unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let (cfg, wl, opts) = (cfg.clone(), wl.clone(), opts.clone());
+                thread::spawn(move || run_elastic_worker_rank(&mut ep, &cfg, &wl, &opts))
+            })
+            .collect();
+        let mut outs: Vec<WorkerOutput> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        outs.sort_by_key(|o| o.worker);
+        let report = server.join().unwrap();
+
+        assert!(!report.crashed);
+        assert!(
+            report.evictions.is_empty(),
+            "recovery must not evict anyone"
+        );
+        assert_eq!(report.syncs, steps, "every round syncs after resume");
+        // bit-identical to the unfailed run from the last sync boundary on
+        assert_eq!(report.final_params, ref_report.final_params);
+        for (o, r) in outs.iter().zip(&ref_outs) {
+            assert_eq!(o.lssr.total(), steps);
+            assert_eq!(o.final_params, r.final_params);
+        }
+        cleanup(&ckpt, n);
+    }
+
+    #[test]
+    fn workers_promote_standby_after_ps_death() {
+        let n = 2;
+        let steps = 8;
+        let cfg = elastic_cfg(n, steps, 0.0);
+        let wl = small_workload();
+        let mut opts = ElasticOptions::with_liveness(Duration::from_millis(300), 5);
+        opts.reply_timeout = Duration::from_millis(400);
+        opts.ps_patience = Duration::from_millis(900);
+        opts.standby = true;
+
+        let mut eps = Fabric::new(n + 2);
+        let standby_ep = eps.pop().unwrap(); // rank n+1
+        let server_ep = eps.pop().unwrap(); // rank n
+        let (s_cfg, s_wl, mut s_opts) = (cfg.clone(), wl.clone(), opts.clone());
+        s_opts.server_crash = Some(ServerCrashPoint::RoundStart(4));
+        let primary = thread::spawn(move || {
+            // the endpoint drops with this thread: the PS stays dead
+            run_elastic_server_rank(server_ep, &s_cfg, &s_wl, &s_opts).unwrap()
+        });
+        let (b_cfg, b_wl, b_opts) = (cfg.clone(), wl.clone(), opts.clone());
+        let standby = thread::spawn(move || {
+            run_standby_server_rank(standby_ep, &b_cfg, &b_wl, &b_opts).unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let (cfg, wl, opts) = (cfg.clone(), wl.clone(), opts.clone());
+                thread::spawn(move || run_elastic_worker_rank(&mut ep, &cfg, &wl, &opts))
+            })
+            .collect();
+        let outs: Vec<WorkerOutput> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        let dead = primary.join().unwrap();
+        let outcome = standby.join().unwrap();
+
+        assert!(dead.crashed);
+        assert_eq!(dead.syncs, 4, "rounds 0..4 completed before the crash");
+        let StandbyOutcome::Promoted(report) = outcome else {
+            panic!("the standby must be promoted, got {outcome:?}");
+        };
+        assert!(!report.crashed);
+        assert_eq!(report.syncs, steps, "shadowed rounds + promoted rounds");
+        assert!(
+            report.evictions.is_empty(),
+            "failover must not evict anyone"
+        );
+        for o in &outs {
+            assert_eq!(o.lssr.total(), steps);
+            // δ=0 ⇒ the last step synced against the promoted standby
+            assert_eq!(o.final_params, report.final_params);
+        }
     }
 }

@@ -33,9 +33,11 @@ pub mod timing;
 pub mod trainer;
 pub mod workload;
 
+pub use checkpoint::{CheckpointError, TrainState};
 pub use config::{Aggregation, CompressionKind, OptimKind, RunConfig, Strategy, SyncBackend};
 pub use elastic::{
-    rejoin_elastic_worker_rank, run_elastic_server_rank, run_elastic_worker_rank, ElasticOptions,
+    rejoin_elastic_worker_rank, run_elastic_server_rank, run_elastic_server_rank_from,
+    run_elastic_worker_rank, run_standby_server_rank, worker_state_path, ElasticOptions,
 };
 pub use metrics::{EvalRecord, RunResult, StepRecord};
 pub use trainer::{run_distributed, run_server_rank, run_worker_rank, WorkerOutput};

@@ -280,6 +280,22 @@ impl AnyOptimizer {
             AnyOptimizer::Adam(o) => o.set_lr(lr),
         }
     }
+    /// Snapshot `(step_counter, slot_buffers)` for a checkpoint: SGD has
+    /// no counter and one velocity slot per param; Adam exports its bias
+    /// correction `t` and `m ++ v`.
+    pub(crate) fn export_state(&self) -> (u64, Vec<Vec<f32>>) {
+        match self {
+            AnyOptimizer::Sgd(o) => (0, o.export_slots()),
+            AnyOptimizer::Adam(o) => (o.t(), o.export_slots()),
+        }
+    }
+    /// Restore state captured by [`AnyOptimizer::export_state`].
+    pub(crate) fn import_state(&mut self, t: u64, slots: Vec<Vec<f32>>) {
+        match self {
+            AnyOptimizer::Sgd(o) => o.import_slots(slots),
+            AnyOptimizer::Adam(o) => o.import_slots(t, slots),
+        }
+    }
 }
 
 pub(crate) enum AnyCursor {

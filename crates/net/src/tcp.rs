@@ -45,6 +45,13 @@ pub struct TcpFabricConfig {
     /// message for this long returns [`TransportError::RecvTimeout`]
     /// (deadlock/peer-death detector).
     pub recv_timeout: Duration,
+    /// Budget for re-establishing a *broken* established link (peer
+    /// crashed and restarted, transient network fault). Writer threads
+    /// redial with capped exponential backoff for this long before the
+    /// peer is declared unreachable; failover protocols need this to
+    /// survive a parameter-server restart without tearing the fabric
+    /// down.
+    pub reconnect_timeout: Duration,
 }
 
 impl TcpFabricConfig {
@@ -56,7 +63,105 @@ impl TcpFabricConfig {
             connect_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             recv_timeout: Duration::from_secs(300),
+            reconnect_timeout: Duration::from_secs(15),
         }
+    }
+}
+
+/// Bind a listener with `SO_REUSEADDR`, so a restarted rank can
+/// reclaim its advertised port while the previous process's accepted
+/// connections still sit in `TIME_WAIT` / `FIN_WAIT` (a parameter
+/// server respawned with `--resume` rebinds the same address seconds
+/// after the old one was killed). `std::net::TcpListener::bind` offers
+/// no hook between `socket()` and `bind()`, so on Linux the socket is
+/// assembled through the already-linked C library directly; elsewhere
+/// — and for anything but a literal IPv4 address — it falls back to
+/// the plain std bind, which costs only restart latency, never
+/// correctness.
+fn bind_reuse(addr: &str) -> io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    if let Ok(SocketAddr::V4(v4)) = addr.parse::<SocketAddr>() {
+        return bind_reuse_v4(&v4);
+    }
+    TcpListener::bind(addr)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_reuse_v4(addr: &std::net::SocketAddrV4) -> io::Result<TcpListener> {
+    use std::ffi::{c_int, c_void};
+    use std::os::fd::{FromRawFd, RawFd};
+
+    const AF_INET: c_int = 2;
+    const SOCK_STREAM: c_int = 1;
+    const SOCK_CLOEXEC: c_int = 0o2000000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_REUSEADDR: c_int = 2;
+
+    /// `struct sockaddr_in`; `sin_port` and `sin_addr` in network order.
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+        fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        fn listen(fd: c_int, backlog: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    // SAFETY: plain libc socket calls on a fd this function owns until
+    // it is handed to `TcpListener`; on any failure the fd is closed
+    // before returning the OS error.
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: c_int| -> io::Error {
+            let e = io::Error::last_os_error();
+            close(fd);
+            e
+        };
+        let one: c_int = 1;
+        if setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&raw const one).cast::<c_void>(),
+            std::mem::size_of::<c_int>() as u32,
+        ) != 0
+        {
+            return Err(fail(fd));
+        }
+        let sa = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        if bind(
+            fd,
+            (&raw const sa).cast::<c_void>(),
+            std::mem::size_of::<SockaddrIn>() as u32,
+        ) != 0
+        {
+            return Err(fail(fd));
+        }
+        if listen(fd, 128) != 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd as RawFd))
     }
 }
 
@@ -93,7 +198,7 @@ impl TcpEndpoint {
         let addr = config.peers[config.rank].as_str();
         let deadline = Instant::now() + config.connect_timeout;
         let listener = loop {
-            match TcpListener::bind(addr) {
+            match bind_reuse(addr) {
                 Ok(l) => break l,
                 Err(e) if e.kind() == io::ErrorKind::AddrInUse && Instant::now() < deadline => {
                     std::thread::sleep(Duration::from_millis(50));
@@ -140,8 +245,18 @@ impl TcpEndpoint {
             stream.set_write_timeout(Some(config.write_timeout))?;
             let (tx, rx) = unbounded::<Bytes>();
             let writer_shutdown = Arc::clone(&shutdown);
+            let writer_addr = addr.clone();
+            let write_timeout = config.write_timeout;
+            let reconnect_timeout = config.reconnect_timeout;
             threads.push(std::thread::spawn(move || {
-                write_loop(stream, rx, writer_shutdown);
+                write_loop(
+                    stream,
+                    &writer_addr,
+                    rx,
+                    &writer_shutdown,
+                    write_timeout,
+                    reconnect_timeout,
+                );
             }));
             outbound.push(Some(tx));
         }
@@ -189,7 +304,9 @@ impl TcpEndpoint {
         mut matches: impl FnMut(&Msg) -> bool,
     ) -> Result<Msg, TransportError> {
         if let Some(pos) = self.pending.iter().position(&mut matches) {
-            return Ok(self.pending.remove(pos).unwrap());
+            if let Some(m) = self.pending.remove(pos) {
+                return Ok(m);
+            }
         }
         let deadline = Instant::now() + timeout;
         loop {
@@ -437,17 +554,69 @@ fn report_read_error(shutdown: &AtomicBool, e: &io::Error) {
     }
 }
 
-fn write_loop(mut stream: TcpStream, frames: Receiver<Bytes>, shutdown: Arc<AtomicBool>) {
+fn write_loop(
+    mut stream: TcpStream,
+    addr: &str,
+    frames: Receiver<Bytes>,
+    shutdown: &AtomicBool,
+    write_timeout: Duration,
+    reconnect_timeout: Duration,
+) {
     // recv() errors once the endpoint drops the sender: drain then FIN.
     while let Ok(frame) = frames.recv() {
+        if stream.write_all(&frame).is_ok() {
+            continue;
+        }
+        // The established link broke (peer crashed/restarted, transient
+        // fault). Redial within the reconnect budget and resend the
+        // failed frame; a frame already buffered by the dead kernel
+        // socket is lost, which the protocol-level retry layers absorb.
+        // Only when the budget is exhausted does this thread exit, after
+        // which sends to this peer surface as `PeerUnreachable`.
+        match reconnect(addr, write_timeout, reconnect_timeout, shutdown) {
+            Some(s) => stream = s,
+            None => return,
+        }
         if let Err(e) = stream.write_all(&frame) {
             if !shutdown.load(Ordering::SeqCst) {
-                eprintln!("selsync-net: write error: {e}");
+                eprintln!("selsync-net: write to {addr} failed after reconnect: {e}");
             }
             return;
         }
     }
     let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// Redial a broken established link with capped exponential backoff
+/// until `budget` elapses or shutdown is requested.
+fn reconnect(
+    addr: &str,
+    write_timeout: Duration,
+    budget: Duration,
+    shutdown: &AtomicBool,
+) -> Option<TcpStream> {
+    let deadline = Instant::now() + budget;
+    let mut backoff = Duration::from_millis(20);
+    while !shutdown.load(Ordering::SeqCst) {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_write_timeout(Some(write_timeout));
+                return Some(s);
+            }
+            Err(e) => {
+                if Instant::now() + backoff >= deadline {
+                    if !shutdown.load(Ordering::SeqCst) {
+                        eprintln!("selsync-net: reconnect to {addr} failed after {budget:?}: {e}");
+                    }
+                    return None;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(500));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -475,6 +644,28 @@ mod tests {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    /// A restarted rank must reclaim its advertised port immediately,
+    /// even though the dead process's accepted connections (local port
+    /// = the listen port) linger in `TIME_WAIT` after an active close.
+    /// This is exactly the `--resume` respawn path: without
+    /// `SO_REUSEADDR` the rebind fails with `AddrInUse` for up to a
+    /// minute.
+    #[test]
+    fn rebind_same_port_after_active_close_succeeds() {
+        let first = bind_reuse("127.0.0.1:0").unwrap();
+        let addr = first.local_addr().unwrap().to_string();
+        let client = TcpStream::connect(&addr).unwrap();
+        let (accepted, _) = first.accept().unwrap();
+        // accepted side closes first (the active closer) → its end of
+        // the connection, which owns the listen port, enters TIME_WAIT
+        drop(accepted);
+        drop(client);
+        drop(first);
+        thread::sleep(Duration::from_millis(50));
+        let again = bind_reuse(&addr).expect("rebind of a just-released port");
+        assert_eq!(again.local_addr().unwrap().to_string(), addr);
     }
 
     #[test]
@@ -587,6 +778,72 @@ mod tests {
         let err = a.send(1, 0, Payload::Control(1)).unwrap_err();
         assert_eq!(err, TransportError::Closed);
         b.close();
+    }
+
+    /// Read one wire frame (length prefix + body) off a raw socket.
+    fn read_raw_frame(stream: &mut TcpStream) -> io::Result<Msg> {
+        let mut len_bytes = [0u8; 4];
+        stream.read_exact(&mut len_bytes)?;
+        let mut body = vec![0u8; u32::from_be_bytes(len_bytes) as usize];
+        stream.read_exact(&mut body)?;
+        decode_after_len(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// A broken established link is redialed by the writer thread: drop
+    /// the first accepted connection mid-run and frames keep arriving on
+    /// a second one — sends never surface `PeerUnreachable`.
+    #[test]
+    fn writer_reconnects_after_peer_restart() {
+        // rank 1 is a raw listener the test controls, standing in for a
+        // peer that crashes and restarts
+        let raw = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            raw.local_addr().unwrap().to_string(),
+        ];
+        let mut config = TcpFabricConfig::new(0, peers);
+        config.reconnect_timeout = Duration::from_secs(10);
+        let accept_first = thread::spawn(move || raw.accept().map(|(s, _)| (s, raw)));
+        let mut ep = TcpEndpoint::connect_with_listener(config, l0).unwrap();
+        let (mut conn1, raw) = accept_first.join().unwrap().unwrap();
+
+        ep.send(1, 7, Payload::Control(7)).unwrap();
+        assert_eq!(read_raw_frame(&mut conn1).unwrap().tag, 7);
+
+        // "crash" the peer: kill the established connection
+        conn1.shutdown(Shutdown::Both).unwrap();
+        drop(conn1);
+
+        // keep sending until the writer notices the dead link and
+        // redials; the listener is still bound, so the redial lands here
+        let (tx, rx) = std::sync::mpsc::channel();
+        let accept_second = thread::spawn(move || {
+            let conn = raw.accept().map(|(s, _)| s);
+            tx.send(()).ok();
+            conn
+        });
+        let mut probes = 0u64;
+        while rx.try_recv().is_err() {
+            probes += 1;
+            assert!(probes < 200, "writer never redialed the restarted peer");
+            ep.send(1, 100 + probes, Payload::Control(probes)).unwrap();
+            thread::sleep(Duration::from_millis(25));
+        }
+        let mut conn2 = accept_second.join().unwrap().unwrap();
+
+        // everything sent after the reconnect arrives on the new link
+        ep.send(1, 999, Payload::Params(vec![1.0, 2.0])).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let m = read_raw_frame(&mut conn2).unwrap();
+            if m.tag == 999 {
+                assert_eq!(m.payload, Payload::Params(vec![1.0, 2.0]));
+                break;
+            }
+            assert!(Instant::now() < deadline, "tag 999 never arrived");
+        }
+        ep.close();
     }
 
     #[test]

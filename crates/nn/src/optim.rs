@@ -51,6 +51,18 @@ impl Sgd {
             velocity: Vec::new(),
         }
     }
+
+    /// Snapshot the momentum buffers (one flat vector per parameter, in
+    /// visit order). Empty when momentum is disabled or before the first
+    /// step — both resume correctly through [`Sgd::import_slots`].
+    pub fn export_slots(&self) -> Vec<Vec<f32>> {
+        self.velocity.clone()
+    }
+
+    /// Restore momentum buffers captured by [`Sgd::export_slots`].
+    pub fn import_slots(&mut self, slots: Vec<Vec<f32>>) {
+        self.velocity = slots;
+    }
 }
 
 impl Optimizer for Sgd {
@@ -122,6 +134,33 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
         }
+    }
+
+    /// Bias-correction step counter (number of [`Optimizer::step`] calls
+    /// applied so far).
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Snapshot the moment buffers: all first moments in visit order,
+    /// then all second moments (`2 × n_params` flat vectors).
+    pub fn export_slots(&self) -> Vec<Vec<f32>> {
+        self.m.iter().chain(&self.v).cloned().collect()
+    }
+
+    /// Restore state captured by [`Adam::export_slots`] plus the step
+    /// counter. A malformed (odd-length) slot list is ignored rather
+    /// than corrupting the moments.
+    pub fn import_slots(&mut self, t: u64, slots: Vec<Vec<f32>>) {
+        if !slots.len().is_multiple_of(2) {
+            return;
+        }
+        let half = slots.len() / 2;
+        self.t = t;
+        self.v = slots[half..].to_vec();
+        let mut m = slots;
+        m.truncate(half);
+        self.m = m;
     }
 }
 
