@@ -24,6 +24,12 @@ done
 echo "==> chaos smoke (fault_experiments, reduced)"
 SELSYNC_WORKERS=2 SELSYNC_STEPS=6 ./target/release/fault_experiments > /dev/null
 
+# Regenerates BENCH_kernels.json and exits nonzero if the file is
+# malformed or any optimized kernel's checksum diverges from the naive
+# reference kernels beyond float-reassociation tolerance.
+echo "==> kernel bench (quick; checksum + JSON validation)"
+./target/release/kernel_bench --quick > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

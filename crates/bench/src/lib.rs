@@ -52,13 +52,22 @@ impl Scale {
             }
         };
         if let Ok(w) = std::env::var("SELSYNC_WORKERS") {
-            s.workers = w.parse().expect("SELSYNC_WORKERS must be an integer");
+            s.workers = parse_env_int("SELSYNC_WORKERS", &w);
         }
         if let Ok(st) = std::env::var("SELSYNC_STEPS") {
-            s.steps = st.parse().expect("SELSYNC_STEPS must be an integer");
+            s.steps = parse_env_int("SELSYNC_STEPS", &st);
         }
         s
     }
+}
+
+/// Parse an integer-valued environment variable, panicking with a
+/// diagnostic that names both the variable and the offending value —
+/// `SELSYNC_WORKERS=8x` should say so, not just "invalid digit".
+fn parse_env_int<T: std::str::FromStr>(name: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        panic!("{name} must be an integer, got {name}={value:?}");
+    })
 }
 
 /// Print an experiment banner.
@@ -217,6 +226,25 @@ mod tests {
         assert!(matches!(opt_a, OptimKind::Adam));
         let (lr_t, _) = recipe(ModelKind::TransformerMini, 400);
         assert!(matches!(lr_t, LrSchedule::Exponential { .. }));
+    }
+
+    #[test]
+    fn parse_env_int_accepts_integers() {
+        let w: usize = parse_env_int("SELSYNC_WORKERS", "12");
+        assert_eq!(w, 12);
+        let s: u64 = parse_env_int("SELSYNC_STEPS", "400");
+        assert_eq!(s, 400);
+    }
+
+    #[test]
+    fn parse_env_int_names_variable_and_value_on_failure() {
+        let err = std::panic::catch_unwind(|| -> usize { parse_env_int("SELSYNC_WORKERS", "8x") })
+            .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(msg.contains("SELSYNC_WORKERS"), "names the variable: {msg}");
+        assert!(msg.contains("\"8x\""), "names the offending value: {msg}");
     }
 
     #[test]

@@ -64,7 +64,7 @@
 
 use crate::collectives::{phase_tag, tag_step, FLAGS_PHASE};
 use crate::error::TransportError;
-use crate::fabric::Payload;
+use crate::fabric::{FlatVec, Payload};
 use crate::ps::{average, CTRL_JOIN, CTRL_SHUTDOWN};
 use crate::transport::Transport;
 use std::collections::BTreeMap;
@@ -652,9 +652,16 @@ where
                             Payload::Flags(membership_bytes(&alive, &done)),
                         );
                     }
+                    // one model copy shared across every reply: the
+                    // per-pusher sends clone only the Arc
+                    let shared = std::sync::Arc::new(global.clone());
                     let pushers: Vec<usize> = pushes.keys().copied().collect();
                     for i in pushers {
-                        match ep.send(i, stag, Payload::Params(global.clone())) {
+                        match ep.send(
+                            i,
+                            stag,
+                            Payload::SharedParams(std::sync::Arc::clone(&shared)),
+                        ) {
                             Ok(()) => {}
                             Err(TransportError::PeerUnreachable { .. }) => {
                                 alive[i] = false;
@@ -770,6 +777,7 @@ where
                         ) {
                             Ok(pm) => match pm.payload {
                                 Payload::Params(v) => v,
+                                Payload::SharedParams(a) => FlatVec::Shared(a).into_vec(),
                                 _ => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
@@ -868,12 +876,13 @@ pub fn elastic_sync_round<T: Transport>(
     step: u64,
     params: Vec<f32>,
     reply_timeout: Duration,
-) -> Result<Vec<f32>, TransportError> {
+) -> Result<FlatVec, TransportError> {
     let tag = phase_tag(step, SYNC_PHASE);
     ep.send(server, tag, Payload::Params(params))?;
     let m = ep.recv_deadline(Some(server), Some(tag), reply_timeout)?;
     match m.payload {
-        Payload::Params(v) => Ok(v),
+        Payload::Params(v) => Ok(FlatVec::Owned(v)),
+        Payload::SharedParams(a) => Ok(FlatVec::Shared(a)),
         p => Err(TransportError::Protocol(format!(
             "sync reply was {p:?}, expected Params"
         ))),
@@ -925,6 +934,7 @@ pub fn join_request<T: Transport>(
         .payload
     {
         Payload::Params(v) => v,
+        Payload::SharedParams(a) => FlatVec::Shared(a).into_vec(),
         p => {
             return Err(TransportError::Protocol(format!(
                 "join grant missing Params, got {p:?}"
@@ -968,7 +978,7 @@ mod tests {
     ) -> Vec<f32> {
         for _ in 0..40 {
             match elastic_sync_round(ep, server, step, params.clone(), Duration::from_millis(250)) {
-                Ok(v) => return v,
+                Ok(v) => return v.into_vec(),
                 Err(TransportError::RecvTimeout { .. }) => continue,
                 Err(e) => panic!("sync failed: {e}"),
             }
@@ -1002,7 +1012,8 @@ mod tests {
                         if status.contains(&STATUS_SYNC) {
                             last_sync =
                                 elastic_sync_round(&mut ep, n, step, vec![id as f32; 4], REPLY)
-                                    .unwrap();
+                                    .unwrap()
+                                    .into_vec();
                         }
                     }
                     elastic_shutdown(&mut ep, n, 6).unwrap();

@@ -14,6 +14,12 @@ use std::time::{Duration, Instant};
 pub enum Payload {
     /// A flat parameter vector (pushToPS / pullFromPS of Alg. 1).
     Params(Vec<f32>),
+    /// A flat parameter vector broadcast to several receivers from one
+    /// shared allocation: cloning the payload bumps the `Arc`, so an
+    /// N-worker fan-out costs O(1) model copies instead of O(N).
+    /// Wire-identical to [`Payload::Params`] — the codec emits the same
+    /// frame kind and the byte accounting matches exactly.
+    SharedParams(Arc<Vec<f32>>),
     /// A flat gradient vector (gradient-aggregation mode).
     Grads(Vec<f32>),
     /// Synchronization-status bits, one per worker (Alg. 1 line 12).
@@ -42,6 +48,7 @@ impl Payload {
     pub fn body_bytes(&self) -> u64 {
         match self {
             Payload::Params(v) | Payload::Grads(v) => 4 + 4 * v.len() as u64,
+            Payload::SharedParams(v) => 4 + 4 * v.len() as u64,
             Payload::Flags(v) => 4 + v.len() as u64,
             Payload::Samples {
                 data,
@@ -58,6 +65,40 @@ impl Payload {
     /// the unit every [`CommStats`] counter is denominated in.
     pub fn wire_bytes(&self) -> u64 {
         FRAME_HEADER_BYTES + self.body_bytes()
+    }
+}
+
+/// A received flat `f32` vector: exclusively owned, or a view of a
+/// buffer shared with the other receivers of the same broadcast.
+/// Derefs to `[f32]` — read-only consumers (e.g. `set_flat_params`)
+/// never copy; call [`FlatVec::into_vec`] only when ownership is
+/// genuinely needed.
+#[derive(Debug, Clone)]
+pub enum FlatVec {
+    /// Exclusively owned (arrived as `Params`/`Grads`).
+    Owned(Vec<f32>),
+    /// Shared with the broadcast's other receivers (`SharedParams`).
+    Shared(Arc<Vec<f32>>),
+}
+
+impl std::ops::Deref for FlatVec {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        match self {
+            FlatVec::Owned(v) => v,
+            FlatVec::Shared(a) => a,
+        }
+    }
+}
+
+impl FlatVec {
+    /// Extract an owned vector, copying only if other receivers still
+    /// hold the shared buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        match self {
+            FlatVec::Owned(v) => v,
+            FlatVec::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
     }
 }
 

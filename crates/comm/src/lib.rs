@@ -24,7 +24,7 @@ pub mod transport;
 
 pub use clock::ClusterClock;
 pub use error::TransportError;
-pub use fabric::{Endpoint, Fabric, Msg, Payload, FRAME_HEADER_BYTES};
+pub use fabric::{Endpoint, Fabric, FlatVec, Msg, Payload, FRAME_HEADER_BYTES};
 pub use netmodel::NetworkModel;
 pub use stats::CommStats;
 pub use transport::Transport;

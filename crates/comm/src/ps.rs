@@ -17,8 +17,9 @@
 //! retry, shut down), not a process abort.
 
 use crate::error::TransportError;
-use crate::fabric::{Msg, Payload};
+use crate::fabric::{FlatVec, Msg, Payload};
 use crate::transport::Transport;
+use std::sync::Arc;
 
 /// Control code: pull-only request.
 pub const CTRL_PULL: u64 = 1;
@@ -49,7 +50,7 @@ pub fn sync_round<T: Transport>(
     server: usize,
     step: u64,
     req: SyncRequest,
-) -> Result<Vec<f32>, TransportError> {
+) -> Result<FlatVec, TransportError> {
     let payload = match req {
         SyncRequest::PushParams(v) => Payload::Params(v),
         SyncRequest::PushGrads(v) => Payload::Grads(v),
@@ -58,7 +59,8 @@ pub fn sync_round<T: Transport>(
     ep.send(server, step, payload)?;
     let reply = ep.recv_tagged(Some(server), step)?;
     match reply.payload {
-        Payload::Params(v) | Payload::Grads(v) => Ok(v),
+        Payload::Params(v) | Payload::Grads(v) => Ok(FlatVec::Owned(v)),
+        Payload::SharedParams(a) => Ok(FlatVec::Shared(a)),
         other => Err(TransportError::Protocol(format!(
             "unexpected PS reply {other:?}"
         ))),
@@ -144,13 +146,15 @@ pub fn run_round_server<T: Transport>(
             }
             continue;
         }
+        // one model copy into the shared buffer; each per-worker send
+        // below clones only the Arc, so the fan-out is O(1) copies
         let reply = if !param_pushes.is_empty() {
             global = average(&param_pushes);
-            Payload::Params(global.clone())
+            Payload::SharedParams(Arc::new(global.clone()))
         } else if !grad_pushes.is_empty() {
-            Payload::Grads(average(&grad_pushes))
+            Payload::SharedParams(Arc::new(average(&grad_pushes)))
         } else {
-            Payload::Params(global.clone())
+            Payload::SharedParams(Arc::new(global.clone()))
         };
         for m in &batch {
             ep.send(m.from, tag, reply.clone())?;
@@ -185,12 +189,13 @@ pub fn ssp_step<T: Transport>(
     server: usize,
     step: u64,
     delta: Vec<f32>,
-) -> Result<Vec<f32>, TransportError> {
+) -> Result<FlatVec, TransportError> {
     ep.send(server, step, Payload::Grads(delta))?;
     ep.send(server, step, Payload::Control(CTRL_PULL))?;
     let reply = ep.recv_tagged(Some(server), step)?;
     match reply.payload {
-        Payload::Params(v) => Ok(v),
+        Payload::Params(v) => Ok(FlatVec::Owned(v)),
+        Payload::SharedParams(a) => Ok(FlatVec::Shared(a)),
         other => Err(TransportError::Protocol(format!(
             "unexpected SSP reply {other:?}"
         ))),
@@ -297,7 +302,7 @@ mod tests {
     #[test]
     fn initial_pull_round_returns_init() {
         let (results, _) = with_round_server(3, vec![1.0, 2.0], |ep, _, n| {
-            let v = sync_round(ep, n, 0, SyncRequest::Pull).unwrap();
+            let v = sync_round(ep, n, 0, SyncRequest::Pull).unwrap().into_vec();
             send_shutdown(ep, n, 1).unwrap();
             v
         });
@@ -309,7 +314,9 @@ mod tests {
     #[test]
     fn param_push_round_averages_and_updates_global() {
         let (results, global) = with_round_server(4, vec![0.0], |ep, id, n| {
-            let v = sync_round(ep, n, 0, SyncRequest::PushParams(vec![id as f32])).unwrap();
+            let v = sync_round(ep, n, 0, SyncRequest::PushParams(vec![id as f32]))
+                .unwrap()
+                .into_vec();
             send_shutdown(ep, n, 1).unwrap();
             v
         });
@@ -322,7 +329,9 @@ mod tests {
     #[test]
     fn grad_push_round_averages_without_touching_global() {
         let (results, global) = with_round_server(2, vec![9.0], |ep, id, n| {
-            let g = sync_round(ep, n, 0, SyncRequest::PushGrads(vec![id as f32 * 2.0])).unwrap();
+            let g = sync_round(ep, n, 0, SyncRequest::PushGrads(vec![id as f32 * 2.0]))
+                .unwrap()
+                .into_vec();
             send_shutdown(ep, n, 1).unwrap();
             g
         });
@@ -341,7 +350,7 @@ mod tests {
             } else {
                 SyncRequest::Pull
             };
-            let v = sync_round(ep, n, 0, req).unwrap();
+            let v = sync_round(ep, n, 0, req).unwrap().into_vec();
             send_shutdown(ep, n, 1).unwrap();
             v
         });
@@ -355,7 +364,9 @@ mod tests {
         let (results, global) = with_round_server(2, vec![0.0], |ep, id, n| {
             let mut v = vec![id as f32 + 1.0];
             for step in 0..5u64 {
-                v = sync_round(ep, n, step, SyncRequest::PushParams(v.clone())).unwrap();
+                v = sync_round(ep, n, step, SyncRequest::PushParams(v.clone()))
+                    .unwrap()
+                    .into_vec();
                 v[0] += 1.0; // local drift between rounds
             }
             send_shutdown(ep, n, 99).unwrap();
@@ -380,7 +391,7 @@ mod tests {
                 thread::spawn(move || {
                     let mut last = Vec::new();
                     for step in 0..10u64 {
-                        last = ssp_step(&mut ep, n, step, vec![1.0]).unwrap();
+                        last = ssp_step(&mut ep, n, step, vec![1.0]).unwrap().into_vec();
                     }
                     send_shutdown(&mut ep, n, 10).unwrap();
                     last

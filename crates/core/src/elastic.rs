@@ -31,9 +31,9 @@ use selsync_comm::elastic::{
     run_elastic_server_from, run_standby_server, ElasticConfig, ElasticReport, ServerCrashPoint,
     ServerState, StandbyOutcome, STATUS_DEAD, STATUS_SYNC,
 };
-use selsync_comm::{Transport, TransportError};
+use selsync_comm::{FlatVec, Transport, TransportError};
 use selsync_data::{partition_indices, BatchCursor, TextBatchCursor};
-use selsync_nn::flat::{clip_grad_norm, flat_params, set_flat_params};
+use selsync_nn::flat::{clip_grad_norm, flat_params, flat_params_into, set_flat_params};
 use selsync_nn::loss::softmax_cross_entropy;
 use selsync_stats::{LssrCounter, RelativeGradChange};
 use std::path::{Path, PathBuf};
@@ -249,7 +249,7 @@ fn sync_retry<T: Transport>(
     step: u64,
     params: &[f32],
     opts: &ElasticOptions,
-) -> Result<Vec<f32>, TransportError> {
+) -> Result<FlatVec, TransportError> {
     round_with_failover(link, opts, |server| {
         elastic_sync_round(ep, server, step, params.to_vec(), opts.reply_timeout)
     })
@@ -520,6 +520,9 @@ fn elastic_loop<T: Transport>(
     let mut evals = Vec::new();
     let mut logical_bytes = 0u64;
     let mut crashed = false;
+    // loop-persistent flat-parameter buffer: sync rounds borrow it, so
+    // after the first sync the snapshot is allocation-free
+    let mut params: Vec<f32> = Vec::new();
 
     for step in start_step..config.max_steps {
         if opts.crash_at == Some(step) {
@@ -565,7 +568,7 @@ fn elastic_loop<T: Transport>(
         // receiver of one participates in the parameter-averaging round
         let synced = if status.contains(&STATUS_SYNC) {
             opt.step(model.as_model());
-            let params = flat_params(model.as_visitor());
+            flat_params_into(model.as_visitor(), &mut params);
             logical_bytes += 4 * params.len() as u64;
             let global = sync_retry(ep, &mut link, step, &params, opts)?;
             set_flat_params(model.as_model(), &global);
@@ -580,7 +583,7 @@ fn elastic_loop<T: Transport>(
                     seed: config.seed,
                     cursor_consumed,
                     optim_t,
-                    params: global.clone(),
+                    params: global.to_vec(),
                     alive: (0..config.n_workers)
                         .map(|i| members.contains(&i))
                         .collect(),

@@ -19,7 +19,9 @@ use selsync_comm::{Transport, TransportError};
 use selsync_data::{
     noniid_label_partition, partition_indices, BatchCursor, InjectionConfig, TextBatchCursor,
 };
-use selsync_nn::flat::{flat_grads, flat_params, set_flat_grads, set_flat_params};
+use selsync_nn::flat::{
+    flat_grads, flat_params, flat_params_into, set_flat_grads, set_flat_params,
+};
 use selsync_nn::loss::{accuracy, softmax_cross_entropy, topk_accuracy};
 use selsync_nn::models::ModelKind;
 use selsync_nn::module::ParamVisitor;
@@ -445,6 +447,10 @@ fn worker_main<T: Transport>(
     let mut lssr = LssrCounter::new();
     let mut records = Vec::new();
     let mut evals = Vec::new();
+    // loop-persistent snapshot buffer for SSP (allocation-free after the
+    // first sync; the outgoing delta itself is wire-bound and moves into
+    // the message)
+    let mut ssp_before: Vec<f32> = Vec::new();
 
     for step in 0..config.max_steps {
         opt.set_lr(config.lr.at(step));
@@ -514,11 +520,18 @@ fn worker_main<T: Transport>(
                 }
             }
             Strategy::Ssp { .. } => {
-                let before = flat_params(model.as_visitor());
+                flat_params_into(model.as_visitor(), &mut ssp_before);
                 opt.step(model.as_model());
-                let after = flat_params(model.as_visitor());
-                let delta: Vec<f32> = after.iter().zip(&before).map(|(a, b)| a - b).collect();
-                ctx.logical_bytes += 4 * before.len() as u64;
+                // delta = after − before, streamed straight off the
+                // updated params without materializing `after`
+                let mut delta = Vec::with_capacity(ssp_before.len());
+                let mut off = 0;
+                model.as_visitor().visit_params(&mut |p| {
+                    let prev = &ssp_before[off..off + p.numel()];
+                    delta.extend(p.value.as_slice().iter().zip(prev).map(|(a, b)| a - b));
+                    off += p.numel();
+                });
+                ctx.logical_bytes += 4 * ssp_before.len() as u64;
                 let global = ssp_step(ep, ctx.server, step, delta)?;
                 set_flat_params(model.as_model(), &global);
                 (true, f32::NAN)

@@ -60,7 +60,9 @@ impl std::error::Error for CodecError {}
 
 fn kind_of(payload: &Payload) -> u8 {
     match payload {
-        Payload::Params(_) => KIND_PARAMS,
+        // SharedParams is an in-process optimization; on the wire it is
+        // indistinguishable from Params (decode always yields Params)
+        Payload::Params(_) | Payload::SharedParams(_) => KIND_PARAMS,
         Payload::Grads(_) => KIND_GRADS,
         Payload::Flags(_) => KIND_FLAGS,
         Payload::Samples { .. } => KIND_SAMPLES,
@@ -83,6 +85,7 @@ pub fn encode_frame(from: usize, tag: u64, payload: &Payload) -> Bytes {
     buf.put_u8(kind_of(payload));
     match payload {
         Payload::Params(v) | Payload::Grads(v) => put_f32_section(&mut buf, v),
+        Payload::SharedParams(v) => put_f32_section(&mut buf, v),
         Payload::Flags(v) => {
             buf.put_u32(v.len() as u32);
             buf.put_slice(v);

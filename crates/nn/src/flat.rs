@@ -21,6 +21,22 @@ pub fn flat_grads(m: &dyn ParamVisitor) -> Vec<f32> {
     out
 }
 
+/// [`flat_params`] into a caller-owned buffer (cleared first). After the
+/// first call on a loop-persistent buffer, subsequent calls are
+/// allocation-free — the step-loop hot path.
+pub fn flat_params_into(m: &dyn ParamVisitor, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(m.num_params());
+    m.visit_params(&mut |p| out.extend_from_slice(p.value.as_slice()));
+}
+
+/// [`flat_grads`] into a caller-owned buffer (cleared first).
+pub fn flat_grads_into(m: &dyn ParamVisitor, out: &mut Vec<f32>) {
+    out.clear();
+    out.reserve(m.num_params());
+    m.visit_params(&mut |p| out.extend_from_slice(p.grad.as_slice()));
+}
+
 /// Overwrite all parameters from a flat vector (inverse of
 /// [`flat_params`]).
 ///
@@ -115,6 +131,22 @@ mod tests {
         assert_eq!(flat_params(&m), vec![1.0, 2.0, 3.0]);
         set_flat_params(&mut m, &[9.0, 8.0, 7.0]);
         assert_eq!(flat_params(&m), vec![9.0, 8.0, 7.0]);
+    }
+
+    #[test]
+    fn into_variants_match_and_reuse_capacity() {
+        let mut m = module();
+        m.a.grad.fill(0.5);
+        m.b.grad.fill(-1.0);
+        let mut buf = Vec::new();
+        flat_params_into(&m, &mut buf);
+        assert_eq!(buf, flat_params(&m));
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        flat_grads_into(&m, &mut buf);
+        assert_eq!(buf, flat_grads(&m));
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
+        assert_eq!(buf.as_ptr(), ptr, "refill must reuse the same storage");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::layers::linear::Linear;
 use crate::module::{Module, Param, ParamVisitor};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use selsync_tensor::{ops, Tensor};
 
@@ -160,6 +161,160 @@ impl MultiHeadSelfAttention {
         ops::add_assign(&mut dx, &self.wk.backward(&dk));
         ops::add_assign(&mut dx, &self.wv.backward(&dv));
         dx
+    }
+
+    /// [`MultiHeadSelfAttention::forward_seq`] drawing every temporary
+    /// from `ws`; the q/k/v and attention-weight caches persist in the
+    /// layer and are recycled in place across steps.
+    pub fn forward_seq_ws(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        causal: bool,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        assert_eq!(
+            x.shape().dims(),
+            &[batch * seq, self.dim],
+            "layout mismatch"
+        );
+        self.batch = batch;
+        self.seq = seq;
+        let q = self.wq.forward_ws(x, true, ws);
+        ws.give(std::mem::replace(&mut self.q, q));
+        let k = self.wk.forward_ws(x, true, ws);
+        ws.give(std::mem::replace(&mut self.k, k));
+        let v = self.wv.forward_ws(x, true, ws);
+        ws.give(std::mem::replace(&mut self.v, v));
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let hd = self.head_dim;
+        let mut ctx = ws.take([batch * seq, self.dim]);
+        // Recycle attention-weight buffers when the batch shape changes.
+        while self.attn.len() > batch * self.heads {
+            let t = self.attn.pop().expect("length checked above");
+            ws.give(t);
+        }
+        while self.attn.len() < batch * self.heads {
+            self.attn.push(Tensor::zeros([0]));
+        }
+        let mut qh = ws.take([seq, hd]);
+        let mut kh = ws.take([seq, hd]);
+        let mut vh = ws.take([seq, hd]);
+        let mut out = ws.take([seq, hd]);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                slice_head_into(&self.q, b, h, seq, hd, &mut qh);
+                slice_head_into(&self.k, b, h, seq, hd, &mut kh);
+                slice_head_into(&self.v, b, h, seq, hd, &mut vh);
+                let scores = &mut self.attn[b * self.heads + h];
+                scores.ensure_shape([seq, seq]);
+                selsync_tensor::matmul::matmul_nt_into(&qh, &kh, scores);
+                ops::scale_assign(scores, scale);
+                for i in 0..seq {
+                    let row = scores.row_mut(i);
+                    if causal {
+                        for v in row.iter_mut().skip(i + 1) {
+                            *v = f32::NEG_INFINITY;
+                        }
+                    }
+                    softmax_in_place(row);
+                }
+                selsync_tensor::matmul::matmul_into(scores, &vh, &mut out);
+                write_head_into(&mut ctx, &out, b, h, seq, hd);
+            }
+        }
+        ws.give(qh);
+        ws.give(kh);
+        ws.give(vh);
+        ws.give(out);
+        let y = self.wo.forward_ws(&ctx, true, ws);
+        ws.give(ctx);
+        y
+    }
+
+    /// [`MultiHeadSelfAttention::backward_seq`] drawing every temporary
+    /// from `ws`.
+    pub fn backward_seq_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (batch, seq) = (self.batch, self.seq);
+        let (hd, heads) = (self.head_dim, self.heads);
+        let scale = 1.0 / (hd as f32).sqrt();
+        let dctx = self.wo.backward_ws(dy, ws);
+        let mut dq = ws.take([batch * seq, self.dim]);
+        let mut dk = ws.take([batch * seq, self.dim]);
+        let mut dv = ws.take([batch * seq, self.dim]);
+        let mut dctx_h = ws.take([seq, hd]);
+        let mut vh = ws.take([seq, hd]);
+        let mut qh = ws.take([seq, hd]);
+        let mut kh = ws.take([seq, hd]);
+        let mut dvh = ws.take([seq, hd]);
+        let mut dqh = ws.take([seq, hd]);
+        let mut dkh = ws.take([seq, hd]);
+        let mut da = ws.take([seq, seq]);
+        for b in 0..batch {
+            for h in 0..heads {
+                let a = &self.attn[b * heads + h];
+                slice_head_into(&dctx, b, h, seq, hd, &mut dctx_h);
+                slice_head_into(&self.v, b, h, seq, hd, &mut vh);
+                slice_head_into(&self.q, b, h, seq, hd, &mut qh);
+                slice_head_into(&self.k, b, h, seq, hd, &mut kh);
+                // dV = Aᵀ · dctx, dA = dctx · Vᵀ
+                selsync_tensor::matmul::matmul_tn_into(a, &dctx_h, &mut dvh);
+                selsync_tensor::matmul::matmul_nt_into(&dctx_h, &vh, &mut da);
+                // softmax backward per row: dS = A ⊙ (dA - sum(dA ⊙ A))
+                for i in 0..seq {
+                    let arow = a.row(i);
+                    let darow = da.row_mut(i);
+                    let dot: f32 = darow.iter().zip(arow).map(|(x, y)| x * y).sum();
+                    for (dv_, av) in darow.iter_mut().zip(arow) {
+                        *dv_ = av * (*dv_ - dot);
+                    }
+                }
+                ops::scale_assign(&mut da, scale);
+                // dQ = dS · K ;  dK = dSᵀ · Q
+                selsync_tensor::matmul::matmul_into(&da, &kh, &mut dqh);
+                selsync_tensor::matmul::matmul_tn_into(&da, &qh, &mut dkh);
+                write_head_into(&mut dq, &dqh, b, h, seq, hd);
+                write_head_into(&mut dk, &dkh, b, h, seq, hd);
+                write_head_into(&mut dv, &dvh, b, h, seq, hd);
+            }
+        }
+        ws.give(dctx_h);
+        ws.give(vh);
+        ws.give(qh);
+        ws.give(kh);
+        ws.give(dvh);
+        ws.give(dqh);
+        ws.give(dkh);
+        ws.give(da);
+        ws.give(dctx);
+        let mut dx = self.wq.backward_ws(&dq, ws);
+        let dxk = self.wk.backward_ws(&dk, ws);
+        ops::add_assign(&mut dx, &dxk);
+        ws.give(dxk);
+        let dxv = self.wv.backward_ws(&dv, ws);
+        ops::add_assign(&mut dx, &dxv);
+        ws.give(dxv);
+        ws.give(dq);
+        ws.give(dk);
+        ws.give(dv);
+        dx
+    }
+}
+
+/// Extract head `h` of sequence `b` from `[batch*seq, dim]` into a
+/// preallocated `[seq, head_dim]` tensor.
+fn slice_head_into(t: &Tensor, b: usize, h: usize, seq: usize, hd: usize, out: &mut Tensor) {
+    for s in 0..seq {
+        out.row_mut(s)
+            .copy_from_slice(&t.row(b * seq + s)[h * hd..(h + 1) * hd]);
+    }
+}
+
+/// Scatter `[seq, head_dim]` into head `h` of sequence `b` (overwrite).
+fn write_head_into(dst: &mut Tensor, src: &Tensor, b: usize, h: usize, seq: usize, hd: usize) {
+    for s in 0..seq {
+        dst.row_mut(b * seq + s)[h * hd..(h + 1) * hd].copy_from_slice(src.row(s));
     }
 }
 

@@ -1,8 +1,9 @@
 //! 2-D convolution via the im2col lowering.
 
 use crate::module::{Module, Param, ParamVisitor};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
-use selsync_tensor::conv::{col2im, im2col, ConvGeom};
+use selsync_tensor::conv::{col2im, col2im_into, im2col, im2col_into, ConvGeom};
 use selsync_tensor::{init, matmul, ops, reduce, Tensor};
 
 /// A 2-D convolution layer.
@@ -77,6 +78,14 @@ impl Conv2d {
     fn rows_to_nchw(&self, rows: &Tensor, n: usize) -> Tensor {
         let (oh, ow, oc) = (self.out_h(), self.out_w(), self.out_ch);
         let mut out = Tensor::zeros([n, oc, oh, ow]);
+        self.rows_to_nchw_into(rows, n, &mut out);
+        out
+    }
+
+    /// [`Conv2d::rows_to_nchw`] into a preallocated `[n, oc, oh, ow]`.
+    fn rows_to_nchw_into(&self, rows: &Tensor, n: usize, out: &mut Tensor) {
+        let (oh, ow, oc) = (self.out_h(), self.out_w(), self.out_ch);
+        debug_assert_eq!(out.shape().dims(), &[n, oc, oh, ow]);
         let src = rows.as_slice();
         let dst = out.as_mut_slice();
         for b in 0..n {
@@ -87,7 +96,6 @@ impl Conv2d {
                 }
             }
         }
-        out
     }
 
     /// Inverse of [`Conv2d::rows_to_nchw`].
@@ -95,6 +103,15 @@ impl Conv2d {
         let dims = x.shape().dims();
         let (n, oc, oh, ow) = (dims[0], dims[1], dims[2], dims[3]);
         let mut out = Tensor::zeros([n * oh * ow, oc]);
+        self.nchw_to_rows_into(x, &mut out);
+        out
+    }
+
+    /// [`Conv2d::nchw_to_rows`] into a preallocated `[n*oh*ow, oc]`.
+    fn nchw_to_rows_into(&self, x: &Tensor, out: &mut Tensor) {
+        let dims = x.shape().dims();
+        let (n, oc, oh, ow) = (dims[0], dims[1], dims[2], dims[3]);
+        debug_assert_eq!(out.shape().dims(), &[n * oh * ow, oc]);
         let src = x.as_slice();
         let dst = out.as_mut_slice();
         for b in 0..n {
@@ -105,7 +122,6 @@ impl Conv2d {
                 }
             }
         }
-        out
     }
 }
 
@@ -139,6 +155,42 @@ impl Module for Conv2d {
         // dcols = dy_rows · W, then scatter back to the input image
         let dcols = matmul::matmul(&dy_rows, &self.w.value);
         col2im(&dcols, self.cache_n, &self.geom)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
+        let n = x.shape().dim(0);
+        let (oh, ow, oc) = (self.out_h(), self.out_w(), self.out_ch);
+        self.cache_n = n;
+        self.cache_cols
+            .ensure_shape([n * oh * ow, self.geom.patch_len()]);
+        im2col_into(x, &self.geom, &mut self.cache_cols);
+        let mut rows = ws.take([n * oh * ow, oc]);
+        matmul::matmul_nt_into(&self.cache_cols, &self.w.value, &mut rows);
+        ops::add_row_bias(&mut rows, &self.b.value);
+        let mut out = ws.take([n, oc, oh, ow]);
+        self.rows_to_nchw_into(&rows, n, &mut out);
+        ws.give(rows);
+        out
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (n, oh, ow, oc) = (self.cache_n, self.out_h(), self.out_w(), self.out_ch);
+        let mut dy_rows = ws.take([n * oh * ow, oc]);
+        self.nchw_to_rows_into(dy, &mut dy_rows);
+        // dW += dy_rowsᵀ · cols    ([oc, rows]·[rows, plen])
+        let mut dw = ws.take(self.w.value.shape().clone());
+        matmul::matmul_tn_into(&dy_rows, &self.cache_cols, &mut dw);
+        ops::add_assign(&mut self.w.grad, &dw);
+        ws.give(dw);
+        reduce::sum_axis0_acc(&dy_rows, self.b.grad.as_mut_slice());
+        // dcols = dy_rows · W, then scatter back to the input image
+        let mut dcols = ws.take(self.cache_cols.shape().clone());
+        matmul::matmul_into(&dy_rows, &self.w.value, &mut dcols);
+        ws.give(dy_rows);
+        let mut dx = ws.take([n, self.geom.in_ch, self.geom.in_h, self.geom.in_w]);
+        col2im_into(&dcols, n, &self.geom, &mut dx);
+        ws.give(dcols);
+        dx
     }
 }
 

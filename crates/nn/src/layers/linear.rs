@@ -1,6 +1,7 @@
 //! Fully-connected layer `y = x·Wᵀ + b`.
 
 use crate::module::{Module, Param, ParamVisitor};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use selsync_tensor::{init, matmul, ops, reduce, Tensor};
 
@@ -105,6 +106,33 @@ impl Module for Linear {
         }
         // dx = dy · W     ([n, out]·[out, in] = [n, in])
         matmul::matmul(dy, &self.w.value)
+    }
+
+    fn forward_ws(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
+        assert_eq!(x.shape().ndim(), 2, "Linear expects [n, in] input");
+        self.cache_x.ensure_shape(x.shape().clone());
+        self.cache_x.copy_from(x);
+        let mut y = ws.take([x.shape().dim(0), self.out_features()]);
+        matmul::matmul_nt_into(x, &self.w.value, &mut y);
+        if let Some(b) = &self.b {
+            ops::add_row_bias(&mut y, &b.value);
+        }
+        y
+    }
+
+    fn backward_ws(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
+        // dW += dyᵀ · x   ([out, n]·[n, in] = [out, in])
+        let mut dw = ws.take(self.w.value.shape().clone());
+        matmul::matmul_tn_into(dy, &self.cache_x, &mut dw);
+        ops::add_assign(&mut self.w.grad, &dw);
+        ws.give(dw);
+        if let Some(b) = &mut self.b {
+            reduce::sum_axis0_acc(dy, b.grad.as_mut_slice());
+        }
+        // dx = dy · W     ([n, out]·[out, in] = [n, in])
+        let mut dx = ws.take([dy.shape().dim(0), self.in_features()]);
+        matmul::matmul_into(dy, &self.w.value, &mut dx);
+        dx
     }
 }
 

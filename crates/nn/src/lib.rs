@@ -20,9 +20,14 @@ pub mod models;
 pub mod module;
 pub mod optim;
 pub mod schedule;
+pub mod workspace;
 
 pub use batch::{Batch, Input};
-pub use flat::{add_flat_to_params, clip_grad_norm, flat_grads, flat_params, set_flat_params};
+pub use flat::{
+    add_flat_to_params, clip_grad_norm, flat_grads, flat_grads_into, flat_params, flat_params_into,
+    set_flat_params,
+};
 pub use module::{Module, Param};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use schedule::LrSchedule;
+pub use workspace::Workspace;

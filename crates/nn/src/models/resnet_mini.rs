@@ -12,6 +12,7 @@ use crate::batch::Input;
 use crate::layers::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
 use crate::models::Model;
 use crate::module::{Module, Param, ParamVisitor};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selsync_tensor::{ops, Tensor};
@@ -28,7 +29,6 @@ struct ResBlock {
     relu_out: Relu,
     /// 1×1 projection when channel count or spatial size changes.
     shortcut: Option<(Conv2d, BatchNorm2d)>,
-    cache_x: Tensor,
 }
 
 impl ResBlock {
@@ -91,41 +91,49 @@ impl ResBlock {
             bn2: BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
             relu_out: Relu::new(),
             shortcut,
-            cache_x: Tensor::zeros([0]),
         }
     }
 
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        self.cache_x = x.clone();
-        let mut h = self.conv1.forward(x, train);
-        h = self.bn1.forward(&h, train);
-        h = self.relu1.forward(&h, train);
-        h = self.conv2.forward(&h, train);
-        h = self.bn2.forward(&h, train);
-        let skip = match &mut self.shortcut {
+    /// Forward pass. Convolution temporaries come from `ws`; the returned
+    /// activation is heap-owned (ReLU output) so callers just drop it.
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let c1 = self.conv1.forward_ws(x, train, ws);
+        let h = self.bn1.forward(&c1, train);
+        ws.give(c1);
+        let h = self.relu1.forward(&h, train);
+        let c2 = self.conv2.forward_ws(&h, train, ws);
+        let mut h = self.bn2.forward(&c2, train);
+        ws.give(c2);
+        match &mut self.shortcut {
             Some((conv, bn)) => {
-                let s = conv.forward(x, train);
-                bn.forward(&s, train)
+                let s = conv.forward_ws(x, train, ws);
+                let sb = bn.forward(&s, train);
+                ws.give(s);
+                ops::add_assign(&mut h, &sb);
             }
-            None => x.clone(),
-        };
-        ops::add_assign(&mut h, &skip);
+            None => ops::add_assign(&mut h, x),
+        }
         self.relu_out.forward(&h, train)
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    /// Backward pass. The returned `dx` is workspace-owned — the caller
+    /// must `ws.give` it back once consumed.
+    fn backward(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let dsum = self.relu_out.backward(dy);
         // main branch
-        let mut g = self.bn2.backward(&dsum);
-        g = self.conv2.backward(&g);
-        g = self.relu1.backward(&g);
-        g = self.bn1.backward(&g);
-        let mut dx = self.conv1.backward(&g);
+        let g = self.bn2.backward(&dsum);
+        let gc = self.conv2.backward_ws(&g, ws);
+        let g = self.relu1.backward(&gc);
+        ws.give(gc);
+        let g = self.bn1.backward(&g);
+        let mut dx = self.conv1.backward_ws(&g, ws);
         // skip branch
         match &mut self.shortcut {
             Some((conv, bn)) => {
                 let s = bn.backward(&dsum);
-                ops::add_assign(&mut dx, &conv.backward(&s));
+                let sc = conv.backward_ws(&s, ws);
+                ops::add_assign(&mut dx, &sc);
+                ws.give(sc);
             }
             None => ops::add_assign(&mut dx, &dsum),
         }
@@ -167,6 +175,9 @@ pub struct ResNetMini {
     pool: GlobalAvgPool,
     fc: Linear,
     classes: usize,
+    /// Scratch-buffer arena recycled across steps (`Clone` yields a fresh
+    /// empty arena, so cloned models never share buffers).
+    ws: Workspace,
 }
 
 impl ResNetMini {
@@ -195,6 +206,7 @@ impl ResNetMini {
             pool: GlobalAvgPool::new(),
             fc,
             classes,
+            ws: Workspace::new(),
         }
     }
 }
@@ -221,25 +233,33 @@ impl ParamVisitor for ResNetMini {
 impl Model for ResNetMini {
     fn forward(&mut self, input: &Input, train: bool) -> Tensor {
         let x = input.dense();
-        let mut h = self.conv1.forward(x, train);
-        h = self.bn1.forward(&h, train);
-        h = self.relu1.forward(&h, train);
-        h = self.block1.forward(&h, train);
-        h = self.block2.forward(&h, train);
-        h = self.block3.forward(&h, train);
-        h = self.pool.forward(&h, train);
+        let c1 = self.conv1.forward_ws(x, train, &mut self.ws);
+        let h = self.bn1.forward(&c1, train);
+        self.ws.give(c1);
+        let h = self.relu1.forward(&h, train);
+        let h = self.block1.forward(&h, train, &mut self.ws);
+        let h = self.block2.forward(&h, train, &mut self.ws);
+        let h = self.block3.forward(&h, train, &mut self.ws);
+        let h = self.pool.forward(&h, train);
+        // last layer stays on the allocating path: the logits escape to
+        // the caller and would otherwise drain the arena every step
         self.fc.forward(&h, train)
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
-        let mut g = self.fc.backward(dlogits);
-        g = self.pool.backward(&g);
-        g = self.block3.backward(&g);
-        g = self.block2.backward(&g);
-        g = self.block1.backward(&g);
-        g = self.relu1.backward(&g);
-        g = self.bn1.backward(&g);
-        let _ = self.conv1.backward(&g);
+        let g = self.fc.backward_ws(dlogits, &mut self.ws);
+        let gp = self.pool.backward(&g);
+        self.ws.give(g);
+        let g3 = self.block3.backward(&gp, &mut self.ws);
+        let g2 = self.block2.backward(&g3, &mut self.ws);
+        self.ws.give(g3);
+        let g1 = self.block1.backward(&g2, &mut self.ws);
+        self.ws.give(g2);
+        let g = self.relu1.backward(&g1);
+        self.ws.give(g1);
+        let g = self.bn1.backward(&g);
+        let gc = self.conv1.backward_ws(&g, &mut self.ws);
+        self.ws.give(gc);
     }
 
     fn num_classes(&self) -> usize {

@@ -12,6 +12,7 @@ use crate::layers::embedding::PositionalEncoding;
 use crate::layers::{Embedding, Gelu, LayerNorm, Linear, MultiHeadSelfAttention};
 use crate::models::Model;
 use crate::module::{Module, Param, ParamVisitor};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selsync_tensor::{ops, Tensor};
@@ -39,28 +40,45 @@ impl EncoderLayer {
         }
     }
 
-    fn forward(&mut self, x: &Tensor, batch: usize, seq: usize, train: bool) -> Tensor {
-        let mut a = self.attn.forward_seq(x, batch, seq, true);
+    /// Forward pass; attention and feed-forward temporaries come from
+    /// `ws`. The returned activation is heap-owned (LayerNorm output).
+    fn forward(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        seq: usize,
+        train: bool,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        let mut a = self.attn.forward_seq_ws(x, batch, seq, true, ws);
         ops::add_assign(&mut a, x);
         let h = self.norm1.forward(&a, train);
-        let mut f = self.ff1.forward(&h, train);
-        f = self.act.forward(&f, train);
-        f = self.ff2.forward(&f, train);
-        ops::add_assign(&mut f, &h);
-        self.norm2.forward(&f, train)
+        ws.give(a);
+        let f1 = self.ff1.forward_ws(&h, train, ws);
+        let f = self.act.forward(&f1, train);
+        ws.give(f1);
+        let mut f2 = self.ff2.forward_ws(&f, train, ws);
+        ops::add_assign(&mut f2, &h);
+        let out = self.norm2.forward(&f2, train);
+        ws.give(f2);
+        out
     }
 
-    fn backward(&mut self, dy: &Tensor) -> Tensor {
+    /// Backward pass. The returned `dx` is workspace-owned — the caller
+    /// must `ws.give` it back once consumed.
+    fn backward(&mut self, dy: &Tensor, ws: &mut Workspace) -> Tensor {
         let dsum2 = self.norm2.backward(dy);
         // ffn branch
-        let mut g = self.ff2.backward(&dsum2);
-        g = self.act.backward(&g);
-        g = self.ff1.backward(&g);
+        let g2 = self.ff2.backward_ws(&dsum2, ws);
+        let ga = self.act.backward(&g2);
+        ws.give(g2);
+        let mut g = self.ff1.backward_ws(&ga, ws);
         // + residual into norm1 output
         ops::add_assign(&mut g, &dsum2);
         let dsum1 = self.norm1.backward(&g);
+        ws.give(g);
         // attention branch + residual into layer input
-        let mut dx = self.attn.backward_seq(&dsum1);
+        let mut dx = self.attn.backward_seq_ws(&dsum1, ws);
         ops::add_assign(&mut dx, &dsum1);
         dx
     }
@@ -92,6 +110,7 @@ pub struct TransformerMini {
     vocab: usize,
     cache_batch: usize,
     cache_seq: usize,
+    ws: Workspace,
 }
 
 impl TransformerMini {
@@ -128,6 +147,7 @@ impl TransformerMini {
             vocab,
             cache_batch: 0,
             cache_seq: 0,
+            ws: Workspace::new(),
         }
     }
 }
@@ -162,17 +182,21 @@ impl Model for TransformerMini {
         let mut h = self.embed.forward_tokens(&flat_ids);
         self.pos.add_to(&mut h, seq);
         for l in &mut self.layers {
-            h = l.forward(&h, batch, seq, train);
+            h = l.forward(&h, batch, seq, train, &mut self.ws);
         }
+        // last layer stays on the allocating path: the logits escape
         self.head.forward(&h, train)
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
-        let mut g = self.head.backward(dlogits);
+        let mut g = self.head.backward_ws(dlogits, &mut self.ws);
         for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+            let g2 = l.backward(&g, &mut self.ws);
+            self.ws.give(g);
+            g = g2;
         }
         self.embed.backward_tokens(&g);
+        self.ws.give(g);
     }
 
     fn num_classes(&self) -> usize {

@@ -11,6 +11,7 @@ use crate::batch::Input;
 use crate::layers::{Conv2d, Linear, MaxPool2d, Relu};
 use crate::models::Model;
 use crate::module::{Module, Param, ParamVisitor};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selsync_tensor::Tensor;
@@ -31,6 +32,7 @@ pub struct VggMini {
     flat_dim: usize,
     cache_n: usize,
     cache_conv_dims: Vec<usize>,
+    ws: Workspace,
 }
 
 impl VggMini {
@@ -58,6 +60,7 @@ impl VggMini {
             flat_dim,
             cache_n: 0,
             cache_conv_dims: Vec::new(),
+            ws: Workspace::new(),
         }
     }
 }
@@ -81,30 +84,38 @@ impl Model for VggMini {
     fn forward(&mut self, input: &Input, train: bool) -> Tensor {
         let x = input.dense();
         self.cache_n = x.shape().dim(0);
-        let mut h = self.conv1.forward(x, train);
-        h = self.relu1.forward(&h, train);
-        h = self.pool1.forward(&h, train);
-        h = self.conv2.forward(&h, train);
-        h = self.relu2.forward(&h, train);
-        h = self.pool2.forward(&h, train);
+        let c1 = self.conv1.forward_ws(x, train, &mut self.ws);
+        let h = self.relu1.forward(&c1, train);
+        self.ws.give(c1);
+        let h = self.pool1.forward(&h, train);
+        let c2 = self.conv2.forward_ws(&h, train, &mut self.ws);
+        let h = self.relu2.forward(&c2, train);
+        self.ws.give(c2);
+        let h = self.pool2.forward(&h, train);
         self.cache_conv_dims = h.shape().dims().to_vec();
         let h = h.reshape([self.cache_n, self.flat_dim]);
-        let h = self.fc1.forward(&h, train);
-        let h = self.relu3.forward(&h, train);
+        let f1 = self.fc1.forward_ws(&h, train, &mut self.ws);
+        let h = self.relu3.forward(&f1, train);
+        self.ws.give(f1);
+        // last layer stays on the allocating path: the logits escape
         self.fc2.forward(&h, train)
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
-        let g = self.fc2.backward(dlogits);
-        let g = self.relu3.backward(&g);
-        let g = self.fc1.backward(&g);
-        let g = g.reshape(self.cache_conv_dims.as_slice());
-        let g = self.pool2.backward(&g);
+        let g = self.fc2.backward_ws(dlogits, &mut self.ws);
+        let gr = self.relu3.backward(&g);
+        self.ws.give(g);
+        let g = self.fc1.backward_ws(&gr, &mut self.ws);
+        let g2 = g.reshape(self.cache_conv_dims.as_slice());
+        let g = self.pool2.backward(&g2);
+        self.ws.give(g2);
         let g = self.relu2.backward(&g);
-        let g = self.conv2.backward(&g);
-        let g = self.pool1.backward(&g);
+        let gc = self.conv2.backward_ws(&g, &mut self.ws);
+        let g = self.pool1.backward(&gc);
+        self.ws.give(gc);
         let g = self.relu1.backward(&g);
-        let _ = self.conv1.backward(&g);
+        let gc = self.conv1.backward_ws(&g, &mut self.ws);
+        self.ws.give(gc);
     }
 
     fn num_classes(&self) -> usize {

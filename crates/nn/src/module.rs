@@ -1,6 +1,7 @@
 //! The [`Module`] trait and [`Param`] — the contract every layer and
 //! model in the workspace satisfies.
 
+use crate::workspace::Workspace;
 use selsync_tensor::Tensor;
 
 /// A learnable parameter: its value and the gradient accumulated by the
@@ -84,6 +85,22 @@ pub trait Module: ParamVisitor + Send {
     /// Must be called after `forward`; returns the gradient w.r.t. the
     /// forward input.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Workspace-aware forward: like [`Module::forward`] but drawing
+    /// every temporary (including the returned output) from `ws`, so
+    /// steady-state steps allocate nothing. Callers should `ws.give`
+    /// the returned tensor back once consumed. The default delegates to
+    /// the allocating path; hot layers override it.
+    fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let _ = &mut *ws;
+        self.forward(x, train)
+    }
+
+    /// Workspace-aware backward, mirroring [`Module::forward_ws`].
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let _ = &mut *ws;
+        self.backward(grad_out)
+    }
 }
 
 #[cfg(test)]

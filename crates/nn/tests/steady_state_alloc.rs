@@ -1,0 +1,92 @@
+//! Steady-state allocation discipline for the workspace-aware layer
+//! paths: after a warmup step has sized the arena and the layer caches,
+//! repeated `forward_ws` + `backward_ws` must draw every temporary from
+//! the workspace — the arena's allocation counter stays flat.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selsync_nn::layers::{Conv2d, Linear};
+use selsync_nn::module::ParamVisitor;
+use selsync_nn::{Module, Workspace};
+use selsync_tensor::{init, Tensor};
+
+/// Run `steps` forward+backward pairs, returning the arena's allocation
+/// count after warmup and at the end.
+fn drive(
+    layer: &mut dyn Module,
+    x: &Tensor,
+    dy: &Tensor,
+    ws: &mut Workspace,
+    warmup: usize,
+    steps: usize,
+) -> (u64, u64) {
+    let mut after_warmup = 0;
+    for step in 0..warmup + steps {
+        if step == warmup {
+            after_warmup = ws.allocations();
+        }
+        let y = layer.forward_ws(x, true, ws);
+        ws.give(y);
+        layer.zero_grad();
+        let dx = layer.backward_ws(dy, ws);
+        ws.give(dx);
+    }
+    (after_warmup, ws.allocations())
+}
+
+#[test]
+fn linear_steady_state_is_allocation_free() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut l = Linear::new("l", 64, 32, &mut rng);
+    let x = init::randn([8, 64], 1.0, &mut rng);
+    let dy = Tensor::ones([8, 32]);
+    let mut ws = Workspace::new();
+    let (start, end) = drive(&mut l, &x, &dy, &mut ws, 2, 8);
+    assert!(start > 0, "warmup must have populated the arena");
+    assert_eq!(end, start, "steady-state Linear steps must not allocate");
+}
+
+#[test]
+fn conv2d_steady_state_is_allocation_free() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut c = Conv2d::new("c", 3, 8, 8, 8, 3, 1, 1, &mut rng);
+    let x = init::randn([4, 3, 8, 8], 1.0, &mut rng);
+    let dy = Tensor::ones([4, 8, 8, 8]);
+    let mut ws = Workspace::new();
+    let (start, end) = drive(&mut c, &x, &dy, &mut ws, 2, 8);
+    assert!(start > 0, "warmup must have populated the arena");
+    assert_eq!(end, start, "steady-state Conv2d steps must not allocate");
+}
+
+#[test]
+fn shared_arena_across_layers_stays_flat() {
+    // A Linear and a Conv2d sharing one arena (as models do) must also
+    // reach a fixed point: best-fit take never steals a buffer it can't
+    // return in equivalent capacity.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut c = Conv2d::new("c", 3, 4, 8, 8, 3, 1, 1, &mut rng);
+    let mut l = Linear::new("l", 4 * 8 * 8, 16, &mut rng);
+    let xc = init::randn([2, 3, 8, 8], 1.0, &mut rng);
+    let dyc = Tensor::ones([2, 4, 8, 8]);
+    let xl = init::randn([2, 4 * 8 * 8], 1.0, &mut rng);
+    let dyl = Tensor::ones([2, 16]);
+    let mut ws = Workspace::new();
+    let mut after_warmup = 0;
+    for step in 0..10 {
+        if step == 2 {
+            after_warmup = ws.allocations();
+        }
+        let y = c.forward_ws(&xc, true, &mut ws);
+        ws.give(y);
+        c.zero_grad();
+        let dx = c.backward_ws(&dyc, &mut ws);
+        ws.give(dx);
+        let y = l.forward_ws(&xl, true, &mut ws);
+        ws.give(y);
+        l.zero_grad();
+        let dx = l.backward_ws(&dyl, &mut ws);
+        ws.give(dx);
+    }
+    assert!(after_warmup > 0);
+    assert_eq!(ws.allocations(), after_warmup);
+}

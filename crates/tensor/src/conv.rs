@@ -4,8 +4,17 @@
 //! im2col expansion, the same lowering the reference frameworks use on
 //! CPU. The column matrix has one row per output pixel and one column per
 //! receptive-field element.
+//!
+//! Both directions have `*_into` variants writing into caller-provided
+//! buffers (the workspace path allocates nothing in steady state) and
+//! fan the batch dimension out over threads once the expansion is large
+//! enough to amortize the spawn cost. Images are independent, so the
+//! parallel and serial paths are bit-identical by construction.
 
+use crate::matmul::reference_mode;
 use crate::tensor::Tensor;
+use crate::{COL2IM_PAR_ELEMS, IM2COL_PAR_ELEMS};
+use rayon::prelude::*;
 
 /// Geometry of a conv / pooling window sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +54,15 @@ impl ConvGeom {
 
 /// Expand input `[n, c, h, w]` into columns `[n*out_h*out_w, c*k_h*k_w]`.
 pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
+    let n = input.shape().dim(0);
+    let mut cols = Tensor::zeros([n * g.out_h() * g.out_w(), g.patch_len()]);
+    im2col_into(input, g, &mut cols);
+    cols
+}
+
+/// [`im2col`] writing into a preallocated `[n*out_h*out_w, c*k_h*k_w]`
+/// output (contents overwritten).
+pub fn im2col_into(input: &Tensor, g: &ConvGeom, cols: &mut Tensor) {
     let dims = input.shape().dims();
     assert_eq!(dims.len(), 4, "im2col expects [n,c,h,w]");
     let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -52,42 +70,72 @@ pub fn im2col(input: &Tensor, g: &ConvGeom) -> Tensor {
     assert_eq!(h, g.in_h, "height mismatch");
     assert_eq!(w, g.in_w, "width mismatch");
     let (oh, ow, plen) = (g.out_h(), g.out_w(), g.patch_len());
-    let mut cols = Tensor::zeros([n * oh * ow, plen]);
+    assert_eq!(
+        cols.shape().dims(),
+        &[n * oh * ow, plen],
+        "im2col output shape mismatch"
+    );
     let src = input.as_slice();
     let dst = cols.as_mut_slice();
-    let mut row = 0usize;
-    for b in 0..n {
-        let img = &src[b * c * h * w..(b + 1) * c * h * w];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let out_row = &mut dst[row * plen..(row + 1) * plen];
-                let mut col = 0usize;
-                for ch in 0..c {
-                    let plane = &img[ch * h * w..(ch + 1) * h * w];
-                    for ky in 0..g.k_h {
-                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                        for kx in 0..g.k_w {
-                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                            out_row[col] =
-                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                    plane[iy as usize * w + ix as usize]
-                                } else {
-                                    0.0
-                                };
-                            col += 1;
-                        }
-                    }
-                }
-                row += 1;
-            }
+    let img_len = c * h * w;
+    let rows_len = oh * ow * plen;
+    if n == 0 || rows_len == 0 {
+        return;
+    }
+    if !reference_mode() && n > 1 && n * rows_len >= IM2COL_PAR_ELEMS {
+        dst.par_chunks_exact_mut(rows_len)
+            .enumerate()
+            .for_each(|(b, rows)| {
+                im2col_image(&src[b * img_len..(b + 1) * img_len], rows, g);
+            });
+    } else {
+        for (b, rows) in dst.chunks_exact_mut(rows_len).enumerate() {
+            im2col_image(&src[b * img_len..(b + 1) * img_len], rows, g);
         }
     }
-    cols
+}
+
+/// Expand one `[c, h, w]` image into its `out_h*out_w` patch rows.
+fn im2col_image(img: &[f32], rows: &mut [f32], g: &ConvGeom) {
+    let (c, h, w) = (g.in_ch, g.in_h, g.in_w);
+    let (oh, ow, plen) = (g.out_h(), g.out_w(), g.patch_len());
+    let mut row = 0usize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let out_row = &mut rows[row * plen..(row + 1) * plen];
+            let mut col = 0usize;
+            for ch in 0..c {
+                let plane = &img[ch * h * w..(ch + 1) * h * w];
+                for ky in 0..g.k_h {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for kx in 0..g.k_w {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        out_row[col] =
+                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                plane[iy as usize * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                        col += 1;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
 }
 
 /// Scatter column gradients `[n*out_h*out_w, c*k_h*k_w]` back onto the
 /// input gradient `[n, c, h, w]` (the adjoint of [`im2col`]).
 pub fn col2im(cols: &Tensor, n: usize, g: &ConvGeom) -> Tensor {
+    let mut out = Tensor::zeros([n, g.in_ch, g.in_h, g.in_w]);
+    col2im_into(cols, n, g, &mut out);
+    out
+}
+
+/// [`col2im`] writing into a preallocated `[n, c, h, w]` output
+/// (contents overwritten, not accumulated into).
+pub fn col2im_into(cols: &Tensor, n: usize, g: &ConvGeom, out: &mut Tensor) {
     let (oh, ow, plen) = (g.out_h(), g.out_w(), g.patch_len());
     assert_eq!(
         cols.shape().dims(),
@@ -95,34 +143,57 @@ pub fn col2im(cols: &Tensor, n: usize, g: &ConvGeom) -> Tensor {
         "col2im input shape mismatch"
     );
     let (c, h, w) = (g.in_ch, g.in_h, g.in_w);
-    let mut out = Tensor::zeros([n, c, h, w]);
+    assert_eq!(
+        out.shape().dims(),
+        &[n, c, h, w],
+        "col2im output shape mismatch"
+    );
     let src = cols.as_slice();
     let dst = out.as_mut_slice();
-    let mut row = 0usize;
-    for b in 0..n {
-        let img = &mut dst[b * c * h * w..(b + 1) * c * h * w];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let in_row = &src[row * plen..(row + 1) * plen];
-                let mut col = 0usize;
-                for ch in 0..c {
-                    let plane_off = ch * h * w;
-                    for ky in 0..g.k_h {
-                        let iy = (oy * g.stride + ky) as isize - g.pad as isize;
-                        for kx in 0..g.k_w {
-                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
-                            if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                img[plane_off + iy as usize * w + ix as usize] += in_row[col];
-                            }
-                            col += 1;
-                        }
-                    }
-                }
-                row += 1;
-            }
+    let img_len = c * h * w;
+    let rows_len = oh * ow * plen;
+    if n == 0 || img_len == 0 {
+        return;
+    }
+    if !reference_mode() && n > 1 && n * rows_len >= COL2IM_PAR_ELEMS {
+        dst.par_chunks_exact_mut(img_len)
+            .enumerate()
+            .for_each(|(b, img)| {
+                col2im_image(&src[b * rows_len..(b + 1) * rows_len], img, g);
+            });
+    } else {
+        for (b, img) in dst.chunks_exact_mut(img_len).enumerate() {
+            col2im_image(&src[b * rows_len..(b + 1) * rows_len], img, g);
         }
     }
-    out
+}
+
+/// Scatter one image's patch-row gradients onto its `[c, h, w]` plane.
+fn col2im_image(rows: &[f32], img: &mut [f32], g: &ConvGeom) {
+    let (_c, h, w) = (g.in_ch, g.in_h, g.in_w);
+    let (oh, ow, plen) = (g.out_h(), g.out_w(), g.patch_len());
+    img.fill(0.0);
+    let mut row = 0usize;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let in_row = &rows[row * plen..(row + 1) * plen];
+            let mut col = 0usize;
+            for ch in 0..g.in_ch {
+                let plane_off = ch * h * w;
+                for ky in 0..g.k_h {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for kx in 0..g.k_w {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                            img[plane_off + iy as usize * w + ix as usize] += in_row[col];
+                        }
+                        col += 1;
+                    }
+                }
+            }
+            row += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,5 +277,40 @@ mod tests {
         let img = col2im(&cols, 1, &g);
         assert_eq!(img.at(&[0, 0, 1, 1]), 4.0);
         assert_eq!(img.at(&[0, 0, 0, 0]), 1.0);
+    }
+
+    #[test]
+    fn batched_matches_per_image() {
+        // A 2-image batch must expand to exactly the two single-image
+        // expansions stacked — the invariant the parallel split relies on.
+        let g = geom(2, 5, 5, 3, 1, 1);
+        let batch = Tensor::from_vec(
+            (0..2 * 2 * 5 * 5)
+                .map(|i| (i as f32 * 0.13).sin())
+                .collect(),
+            [2, 2, 5, 5],
+        );
+        let both = im2col(&batch, &g);
+        for b in 0..2 {
+            let one = Tensor::from_vec(
+                batch.as_slice()[b * 50..(b + 1) * 50].to_vec(),
+                [1, 2, 5, 5],
+            );
+            let solo = im2col(&one, &g);
+            let rows = g.out_h() * g.out_w();
+            for r in 0..rows {
+                assert_eq!(both.row(b * rows + r), solo.row(r), "image {b} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_into_overwrites_stale_contents() {
+        let g = geom(1, 3, 3, 2, 1, 0);
+        let cols = Tensor::ones([4, 4]);
+        let mut out = Tensor::full([1, 1, 3, 3], 99.0);
+        col2im_into(&cols, 1, &g, &mut out);
+        assert_eq!(out.at(&[0, 0, 1, 1]), 4.0);
+        assert_eq!(out.at(&[0, 0, 0, 0]), 1.0);
     }
 }

@@ -1,4 +1,4 @@
-//! Blocked, optionally rayon-parallel matrix multiplication.
+//! Packed, tiled, optionally rayon-parallel matrix multiplication.
 //!
 //! Three kernels cover everything backpropagation needs without ever
 //! materializing a transposed copy:
@@ -6,63 +6,551 @@
 //! * [`matmul`]     — `C = A·B`      (forward pass)
 //! * [`matmul_tn`]  — `C = Aᵀ·B`     (weight gradients)
 //! * [`matmul_nt`]  — `C = A·Bᵀ`     (input gradients)
+//!
+//! All three route through one packed gemm core: operands are described
+//! by a strided [`MatRef`] view (so a transpose is just swapped strides,
+//! never a copy), then blocked MC×KC×NC and packed into contiguous
+//! panels so the MR×NR register microkernel always streams unit-stride
+//! memory regardless of the caller's layout. `matmul_tn` in particular
+//! used to stride column-wise through `A` on every output row; packing
+//! turns that into one strided sweep per KC block.
+//!
+//! Parallelism fans the MC row-blocks of `C` out over threads. Each
+//! block runs byte-for-byte the same code serially or in parallel, so
+//! results are bit-identical for any thread count — a requirement for
+//! the distributed bit-exactness tests (same-seed single-process vs TCP
+//! multi-process runs must agree exactly).
+//!
+//! The pre-rewrite scalar kernels survive in [`reference`] as the test
+//! oracle and the `kernel_bench --reference` baseline; flipping
+//! [`set_reference_mode`] routes the public entry points through them.
 
-use crate::ops::dot_slice;
 use crate::tensor::Tensor;
-use crate::PAR_FLOP_THRESHOLD;
+use crate::{MATMUL_NN_PAR_MACS, MATMUL_NT_PAR_MACS, MATMUL_TN_PAR_MACS};
 use rayon::prelude::*;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Register-block rows: each microkernel invocation produces an MR×NR
+/// tile of `C` held entirely in accumulator registers. 6×16 f32 = 12
+/// ymm accumulators on AVX2, leaving registers for the B loads and the
+/// A broadcast.
+const MR: usize = 6;
+/// Register-block columns; 16 f32 = two AVX2 lanes / four NEON lanes,
+/// wide enough for the compiler to autovectorize the inner update.
+const NR: usize = 16;
+/// K-dimension block: one packed A panel (KC×MR floats = 4 KiB, kept on
+/// the stack) and one B panel row-run fit comfortably in L1/L2.
+const KC: usize = 256;
+/// Row block fanned out as the unit of parallelism; MC×KC of packed A
+/// is 64 KiB, well inside L2.
+const MC: usize = 64;
+/// Column block bounding the packed B buffer at KC×NC = 512 KiB.
+const NC: usize = 512;
+
+/// Explicit parallelism control for the `*_into_with` kernel variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Par {
+    /// Parallelize when the kernel's MAC count crosses its threshold.
+    Auto,
+    /// Force the serial path.
+    Never,
+    /// Force the row-block fan-out (used by determinism tests).
+    Always,
+}
+
+static REFERENCE_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Route every tensor kernel (matmul family and im2col/col2im) through
+/// the naive [`reference`] implementations. Used by `kernel_bench
+/// --reference` to measure the pre-optimization baseline; not intended
+/// for concurrent toggling mid-computation.
+pub fn set_reference_mode(on: bool) {
+    REFERENCE_MODE.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`set_reference_mode`] routing is active.
+pub fn reference_mode() -> bool {
+    REFERENCE_MODE.load(Ordering::SeqCst)
+}
+
+/// Strided read-only view of a rank-2 operand. A transpose is expressed
+/// by swapping `rs`/`cs`, so one gemm core serves NN, TN and NT.
+#[derive(Clone, Copy)]
+struct MatRef<'a> {
+    data: &'a [f32],
+    /// Element distance between consecutive rows.
+    rs: usize,
+    /// Element distance between consecutive columns.
+    cs: usize,
+}
+
+impl MatRef<'_> {
+    #[inline(always)]
+    fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+thread_local! {
+    /// Packed-B scratch, reused across gemm calls on the same thread so
+    /// steady-state training steps do not reallocate it.
+    static PACK_B: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k, n) = dims_nn(a, b);
+    let (m, _k, n) = dims_nn(a, b);
     let mut c = Tensor::zeros([m, n]);
     matmul_into(a, b, &mut c);
-    let _ = k;
     c
 }
 
-/// `C = A·B` writing into a preallocated `C[m,n]`.
+/// `C = A·B` writing into a preallocated `C[m,n]` (contents overwritten).
 pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    matmul_into_with(a, b, c, Par::Auto);
+}
+
+/// [`matmul_into`] with explicit parallelism control.
+pub fn matmul_into_with(a: &Tensor, b: &Tensor, c: &mut Tensor, par: Par) {
     let (m, k, n) = dims_nn(a, b);
     assert_eq!(c.shape().dims(), &[m, n], "output shape mismatch");
-    let (a, b) = (a.as_slice(), b.as_slice());
-    let kernel = |row_i: usize, c_row: &mut [f32]| {
-        c_row.fill(0.0);
-        let a_row = &a[row_i * k..(row_i + 1) * k];
-        // ikj loop order: the inner loop streams B and C rows contiguously.
-        for (p, &aval) in a_row.iter().enumerate() {
-            if aval == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aval * bv;
-            }
-        }
-    };
-    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
-        c.as_mut_slice()
-            .par_chunks_exact_mut(n)
-            .enumerate()
-            .for_each(|(i, row)| kernel(i, row));
-    } else {
-        for (i, row) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
-            kernel(i, row);
-        }
+    if reference_mode() {
+        reference::matmul_into(a, b, c);
+        return;
     }
+    let av = MatRef {
+        data: a.as_slice(),
+        rs: k,
+        cs: 1,
+    };
+    let bv = MatRef {
+        data: b.as_slice(),
+        rs: n,
+        cs: 1,
+    };
+    gemm(m, n, k, av, bv, c.as_mut_slice(), par, MATMUL_NN_PAR_MACS);
 }
 
 /// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (_m, k) = dims2(a);
+    let (_m2, n) = dims2(b);
+    let mut c = Tensor::zeros([k, n]);
+    matmul_tn_into(a, b, &mut c);
+    c
+}
+
+/// `C = Aᵀ·B` writing into a preallocated `C[k,n]` (contents overwritten).
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    matmul_tn_into_with(a, b, c, Par::Auto);
+}
+
+/// [`matmul_tn_into`] with explicit parallelism control.
+pub fn matmul_tn_into_with(a: &Tensor, b: &Tensor, c: &mut Tensor, par: Par) {
     let (m, k) = dims2(a);
     let (m2, n) = dims2(b);
     assert_eq!(m, m2, "matmul_tn inner dimension mismatch ({m} vs {m2})");
-    let mut c = Tensor::zeros([k, n]);
-    {
+    assert_eq!(c.shape().dims(), &[k, n], "output shape mismatch");
+    if reference_mode() {
+        reference::matmul_tn_into(a, b, c);
+        return;
+    }
+    // Effective operand Aᵀ is [k, m]: element (i, p) lives at A[p, i],
+    // i.e. row stride 1, column stride k.
+    let av = MatRef {
+        data: a.as_slice(),
+        rs: 1,
+        cs: k,
+    };
+    let bv = MatRef {
+        data: b.as_slice(),
+        rs: n,
+        cs: 1,
+    };
+    gemm(k, n, m, av, bv, c.as_mut_slice(), par, MATMUL_TN_PAR_MACS);
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, _n) = dims2(a);
+    let (k, _n2) = dims2(b);
+    let mut c = Tensor::zeros([m, k]);
+    matmul_nt_into(a, b, &mut c);
+    c
+}
+
+/// `C = A·Bᵀ` writing into a preallocated `C[m,k]` (contents overwritten).
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    matmul_nt_into_with(a, b, c, Par::Auto);
+}
+
+/// [`matmul_nt_into`] with explicit parallelism control.
+pub fn matmul_nt_into_with(a: &Tensor, b: &Tensor, c: &mut Tensor, par: Par) {
+    let (m, n) = dims2(a);
+    let (k, n2) = dims2(b);
+    assert_eq!(n, n2, "matmul_nt inner dimension mismatch ({n} vs {n2})");
+    assert_eq!(c.shape().dims(), &[m, k], "output shape mismatch");
+    if reference_mode() {
+        reference::matmul_nt_into(a, b, c);
+        return;
+    }
+    let av = MatRef {
+        data: a.as_slice(),
+        rs: n,
+        cs: 1,
+    };
+    // Effective operand Bᵀ is [n, k]: element (p, j) lives at B[j, p].
+    let bv = MatRef {
+        data: b.as_slice(),
+        rs: 1,
+        cs: n,
+    };
+    gemm(m, k, n, av, bv, c.as_mut_slice(), par, MATMUL_NT_PAR_MACS);
+}
+
+/// Packed gemm core: `C[m,n] = A_eff[m,k] · B_eff[k,n]` with both
+/// operands given as strided views. `C` is fully overwritten.
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut [f32],
+    par: Par,
+    threshold: usize,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    // Parallelize only when there are at least two row blocks to fan
+    // out AND the work amortizes the per-call OS-thread spawn of the
+    // vendored rayon (no persistent pool). The decision depends only on
+    // the shape, so every rank in a distributed run takes the same path.
+    let parallel = match par {
+        Par::Auto => m * n * k >= threshold && m > MC,
+        Par::Never => false,
+        Par::Always => true,
+    };
+    PACK_B.with(|pb| {
+        let mut pb = pb.borrow_mut();
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let first = pc == 0;
+            for jc in (0..n).step_by(NC) {
+                let nc = NC.min(n - jc);
+                let need = nc.div_ceil(NR) * NR * kc;
+                if pb.len() < need {
+                    pb.resize(need, 0.0);
+                }
+                pack_b(&mut pb[..need], b, pc, kc, jc, nc);
+                let bp = &pb[..need];
+                if parallel {
+                    c.par_chunks_mut(MC * n)
+                        .enumerate()
+                        .for_each(|(blk, rows)| {
+                            gemm_block(
+                                blk * MC,
+                                rows.len() / n,
+                                n,
+                                kc,
+                                pc,
+                                jc,
+                                nc,
+                                a,
+                                bp,
+                                rows,
+                                first,
+                            );
+                        });
+                } else {
+                    for (blk, rows) in c.chunks_mut(MC * n).enumerate() {
+                        gemm_block(
+                            blk * MC,
+                            rows.len() / n,
+                            n,
+                            kc,
+                            pc,
+                            jc,
+                            nc,
+                            a,
+                            bp,
+                            rows,
+                            first,
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Compute one MC row-block of `C` against the packed B panels.
+/// `c_rows` is the block's `mc` full rows of `C`; `first` selects store
+/// vs accumulate (KC blocks after the first add into `C`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    ic: usize,
+    mc: usize,
+    n: usize,
+    kc: usize,
+    pc: usize,
+    jc: usize,
+    nc: usize,
+    a: MatRef<'_>,
+    bp: &[f32],
+    c_rows: &mut [f32],
+    first: bool,
+) {
+    // One packed A panel ([kc × MR], zero-padded) lives on the stack.
+    let mut ap = [0.0f32; KC * MR];
+    for ir in (0..mc).step_by(MR) {
+        let mr = MR.min(mc - ir);
+        pack_a(&mut ap, a, ic + ir, mr, pc, kc);
+        for (jp, bpanel) in bp.chunks_exact(kc * NR).enumerate() {
+            let j0 = jc + jp * NR;
+            let nr = NR.min(jc + nc - j0);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(&ap, bpanel, kc, &mut acc);
+            for (i, acc_row) in acc.iter().enumerate().take(mr) {
+                let base = (ir + i) * n + j0;
+                let row = &mut c_rows[base..base + nr];
+                if first {
+                    row.copy_from_slice(&acc_row[..nr]);
+                } else {
+                    for (cv, av) in row.iter_mut().zip(acc_row) {
+                        *cv += av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack `mr` rows (zero-padding to MR) of the A view's KC block into
+/// `ap` in panel-major order: `ap[p*MR + i] = A_eff[row0+i, pc+p]`.
+fn pack_a(ap: &mut [f32; KC * MR], a: MatRef<'_>, row0: usize, mr: usize, pc: usize, kc: usize) {
+    for p in 0..kc {
+        let dst = &mut ap[p * MR..(p + 1) * MR];
+        for (i, d) in dst.iter_mut().enumerate().take(mr) {
+            *d = a.at(row0 + i, pc + p);
+        }
+        for d in dst.iter_mut().take(MR).skip(mr) {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Pack the B view's KC×NC block into NR-wide panels (zero-padded):
+/// panel `jp` holds `bp[jp*kc*NR + p*NR + j] = B_eff[pc+p, jc+jp*NR+j]`.
+fn pack_b(bp: &mut [f32], b: MatRef<'_>, pc: usize, kc: usize, jc: usize, nc: usize) {
+    for (jp, panel) in bp.chunks_exact_mut(kc * NR).enumerate() {
+        let j0 = jc + jp * NR;
+        let nr = NR.min(jc + nc - j0);
+        for p in 0..kc {
+            let dst = &mut panel[p * NR..(p + 1) * NR];
+            if b.cs == 1 {
+                let src = (pc + p) * b.rs + j0;
+                dst[..nr].copy_from_slice(&b.data[src..src + nr]);
+            } else {
+                for (j, d) in dst.iter_mut().enumerate().take(nr) {
+                    *d = b.at(pc + p, j0 + j);
+                }
+            }
+            for d in dst.iter_mut().take(NR).skip(nr) {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Whether the AVX2+FMA microkernel can run on this host. Detected
+/// once; the result is stable for the process lifetime, so kernel
+/// dispatch is deterministic.
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// MR×NR register microkernel: `acc = Apanel[kc×MR]ᵀ · Bpanel[kc×NR]`.
+/// Both panels are contiguous and zero-padded, so the loop body is
+/// branch-free. Dispatches to the AVX2+FMA variant when the host
+/// supports it (rustc's baseline x86-64 target only autovectorizes the
+/// portable loop to SSE2 width, which caps it near the old scalar
+/// kernels' throughput).
+#[inline(always)]
+fn microkernel(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: avx2_available() verified the avx2 and fma features.
+        unsafe { microkernel_avx2(ap, bp, kc, acc) };
+        return;
+    }
+    microkernel_portable(ap, bp, kc, acc);
+}
+
+/// Portable fallback microkernel (autovectorizes at the target's
+/// baseline SIMD width).
+#[inline(always)]
+fn microkernel_portable(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    for p in 0..kc {
+        let arow: &[f32; MR] = ap[p * MR..(p + 1) * MR].try_into().unwrap();
+        let brow: &[f32; NR] = bp[p * NR..(p + 1) * NR].try_into().unwrap();
+        for (i, acc_row) in acc.iter_mut().enumerate() {
+            let ai = arow[i];
+            for (av, bv) in acc_row.iter_mut().zip(brow) {
+                *av += ai * bv;
+            }
+        }
+    }
+}
+
+/// AVX2+FMA microkernel: the 6×16 accumulator tile is 12 ymm registers,
+/// leaving two for the B panel row and one for the A broadcast.
+///
+/// # Safety
+/// Caller must ensure the CPU supports `avx2` and `fma`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut c = [[_mm256_setzero_ps(); 2]; MR];
+    for p in 0..kc {
+        let b0 = _mm256_loadu_ps(bp.as_ptr().add(p * NR));
+        let b1 = _mm256_loadu_ps(bp.as_ptr().add(p * NR + 8));
+        for (i, ci) in c.iter_mut().enumerate() {
+            let a = _mm256_broadcast_ss(&ap[p * MR + i]);
+            ci[0] = _mm256_fmadd_ps(a, b0, ci[0]);
+            ci[1] = _mm256_fmadd_ps(a, b1, ci[1]);
+        }
+    }
+    for (row, ci) in acc.iter_mut().zip(&c) {
+        _mm256_storeu_ps(row.as_mut_ptr(), ci[0]);
+        _mm256_storeu_ps(row.as_mut_ptr().add(8), ci[1]);
+    }
+}
+
+/// Transpose of a rank-2 tensor (materialized copy), 16×16 blocked so
+/// both the read and the write stream touch whole cache lines per tile.
+pub fn transpose(a: &Tensor) -> Tensor {
+    const TB: usize = 16;
+    let (m, n) = dims2(a);
+    let mut out = Tensor::zeros([n, m]);
+    let src = a.as_slice();
+    let dst = out.as_mut_slice();
+    for ib in (0..m).step_by(TB) {
+        let im = (ib + TB).min(m);
+        for jb in (0..n).step_by(TB) {
+            let jm = (jb + TB).min(n);
+            for i in ib..im {
+                for j in jb..jm {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn dims2(t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.shape().ndim(), 2, "matmul operands must be rank-2");
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+pub(crate) fn dims_nn(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
+    let (m, k) = dims2(a);
+    let (k2, n) = dims2(b);
+    assert_eq!(k, k2, "matmul inner dimension mismatch ({k} vs {k2})");
+    (m, k, n)
+}
+
+/// Pre-rewrite scalar kernels, kept verbatim as the proptest oracle and
+/// the `kernel_bench --reference` baseline. They retain the original
+/// single `PAR_FLOP_THRESHOLD` row-parallel dispatch so baseline
+/// numbers reflect what the repo actually shipped before the packed
+/// rewrite.
+pub mod reference {
+    use super::{dims2, dims_nn};
+    use crate::ops::dot_slice;
+    use crate::tensor::Tensor;
+    use rayon::prelude::*;
+
+    /// The old single global dispatch threshold (MACs).
+    pub const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+    /// Naive `C = A·B` (ikj scalar loop).
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, _k, n) = dims_nn(a, b);
+        let mut c = Tensor::zeros([m, n]);
+        matmul_into(a, b, &mut c);
+        c
+    }
+
+    /// Naive `C = A·B` into a preallocated output.
+    pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+        let (m, k, n) = dims_nn(a, b);
+        assert_eq!(c.shape().dims(), &[m, n], "output shape mismatch");
+        let (a, b) = (a.as_slice(), b.as_slice());
+        let kernel = |row_i: usize, c_row: &mut [f32]| {
+            c_row.fill(0.0);
+            let a_row = &a[row_i * k..(row_i + 1) * k];
+            for (p, &aval) in a_row.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aval * bv;
+                }
+            }
+        };
+        if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+            c.as_mut_slice()
+                .par_chunks_exact_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| kernel(i, row));
+        } else {
+            for (i, row) in c.as_mut_slice().chunks_exact_mut(n).enumerate() {
+                kernel(i, row);
+            }
+        }
+    }
+
+    /// Naive `C = Aᵀ·B` (column-strided reads of A).
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+        let (_m, k) = dims2(a);
+        let (_m2, n) = dims2(b);
+        let mut c = Tensor::zeros([k, n]);
+        matmul_tn_into(a, b, &mut c);
+        c
+    }
+
+    /// Naive `C = Aᵀ·B` into a preallocated output.
+    pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+        let (m, k) = dims2(a);
+        let (m2, n) = dims2(b);
+        assert_eq!(m, m2, "matmul_tn inner dimension mismatch ({m} vs {m2})");
+        assert_eq!(c.shape().dims(), &[k, n], "output shape mismatch");
         let (a, b) = (a.as_slice(), b.as_slice());
         let kernel = |row_p: usize, c_row: &mut [f32]| {
             c_row.fill(0.0);
-            // C[p, :] = sum_i A[i, p] * B[i, :]
             for i in 0..m {
                 let aval = a[i * k + row_p];
                 if aval == 0.0 {
@@ -85,20 +573,25 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    c
-}
 
-/// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
-pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, n) = dims2(a);
-    let (k, n2) = dims2(b);
-    assert_eq!(n, n2, "matmul_nt inner dimension mismatch ({n} vs {n2})");
-    let mut c = Tensor::zeros([m, k]);
-    {
+    /// Naive `C = A·Bᵀ` (row-dot-row).
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, _n) = dims2(a);
+        let (k, _n2) = dims2(b);
+        let mut c = Tensor::zeros([m, k]);
+        matmul_nt_into(a, b, &mut c);
+        c
+    }
+
+    /// Naive `C = A·Bᵀ` into a preallocated output.
+    pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+        let (m, n) = dims2(a);
+        let (k, n2) = dims2(b);
+        assert_eq!(n, n2, "matmul_nt inner dimension mismatch ({n} vs {n2})");
+        assert_eq!(c.shape().dims(), &[m, k], "output shape mismatch");
         let (a, b) = (a.as_slice(), b.as_slice());
         let kernel = |row_i: usize, c_row: &mut [f32]| {
             let a_row = &a[row_i * n..(row_i + 1) * n];
-            // C[i, j] = A[i, :] · B[j, :] — both operands stream contiguously.
             for (j, cv) in c_row.iter_mut().enumerate() {
                 *cv = dot_slice(a_row, &b[j * n..(j + 1) * n]);
             }
@@ -114,33 +607,6 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
             }
         }
     }
-    c
-}
-
-/// Transpose of a rank-2 tensor (materialized copy).
-pub fn transpose(a: &Tensor) -> Tensor {
-    let (m, n) = dims2(a);
-    let mut out = Tensor::zeros([n, m]);
-    let src = a.as_slice();
-    let dst = out.as_mut_slice();
-    for i in 0..m {
-        for j in 0..n {
-            dst[j * m + i] = src[i * n + j];
-        }
-    }
-    out
-}
-
-fn dims2(t: &Tensor) -> (usize, usize) {
-    assert_eq!(t.shape().ndim(), 2, "matmul operands must be rank-2");
-    (t.shape().dim(0), t.shape().dim(1))
-}
-
-fn dims_nn(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
-    let (m, k) = dims2(a);
-    let (k2, n) = dims2(b);
-    assert_eq!(k, k2, "matmul inner dimension mismatch ({k} vs {k2})");
-    (m, k, n)
 }
 
 #[cfg(test)]
@@ -194,6 +660,19 @@ mod tests {
     }
 
     #[test]
+    fn blocked_transpose_matches_naive_on_odd_shape() {
+        // 33×17 straddles the 16×16 tile in both dimensions.
+        let (m, n) = (33, 17);
+        let a = Tensor::from_vec((0..m * n).map(|i| i as f32).collect(), [m, n]);
+        let t = transpose(&a);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(t.at(&[j, i]), a.at(&[i, j]));
+            }
+        }
+    }
+
+    #[test]
     fn identity_is_neutral() {
         let a = t2(3, 3, &[2.0, 0.0, 1.0, 0.0, 3.0, 0.0, 1.0, 0.0, 4.0]);
         let id = {
@@ -209,8 +688,9 @@ mod tests {
 
     #[test]
     fn large_matmul_parallel_path_matches_serial() {
-        // Exceed PAR_FLOP_THRESHOLD so the rayon path executes, and compare
-        // against the naive triple loop.
+        // Force both dispatch paths and compare against the naive
+        // triple loop; the packed kernel must agree exactly with itself
+        // across thread counts and closely with the scalar reference.
         let m = 70;
         let k = 70;
         let n = 70;
@@ -220,6 +700,9 @@ mod tests {
         );
         let b = Tensor::from_vec((0..k * n).map(|i| ((i % 7) as f32) - 3.0).collect(), [k, n]);
         let c = matmul(&a, &b);
+        let mut c_par = Tensor::zeros([m, n]);
+        matmul_into_with(&a, &b, &mut c_par, Par::Always);
+        assert_eq!(c.as_slice(), c_par.as_slice(), "serial vs parallel");
         for i in (0..m).step_by(17) {
             for j in (0..n).step_by(23) {
                 let mut s = 0.0;
@@ -229,6 +712,61 @@ mod tests {
                 assert!((c.at(&[i, j]) - s).abs() < 1e-3);
             }
         }
+    }
+
+    #[test]
+    fn packed_matches_reference_on_tile_straddling_shapes() {
+        // 70 = MR·17 + 2 and NR·4 + 6: every edge path (partial MR row
+        // panel, partial NR column panel) is exercised.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 33),
+            (5, 70, 3),
+            (70, 70, 70),
+            (65, 257, 17),
+        ] {
+            let a = Tensor::from_vec(
+                (0..m * k).map(|i| ((i % 13) as f32) - 6.0).collect(),
+                [m, k],
+            );
+            let b = Tensor::from_vec((0..k * n).map(|i| ((i % 7) as f32) - 3.0).collect(), [k, n]);
+            let c = matmul(&a, &b);
+            let r = reference::matmul(&a, &b);
+            assert_eq!(c.as_slice(), r.as_slice(), "nn {m}x{k}x{n}");
+            // TN contracts over rows: B here must be [m, n].
+            let b2 = Tensor::from_vec((0..m * n).map(|i| ((i % 5) as f32) - 2.0).collect(), [m, n]);
+            let ct = matmul_tn(&a, &b2);
+            let rt = reference::matmul_tn(&a, &b2);
+            for (x, y) in ct.as_slice().iter().zip(rt.as_slice()) {
+                assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0), "tn {m}x{k}x{n}");
+            }
+            // NT contracts over columns: B here must be [n2, k].
+            let b3 = Tensor::from_vec((0..n * k).map(|i| ((i % 9) as f32) - 4.0).collect(), [n, k]);
+            let cn = matmul_nt(&a, &b3);
+            let rn = reference::matmul_nt(&a, &b3);
+            for (x, y) in cn.as_slice().iter().zip(rn.as_slice()) {
+                assert!((x - y).abs() <= 1e-3 * y.abs().max(1.0), "nt {m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_mode_routes_to_naive_kernels() {
+        let a = t2(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t2(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        set_reference_mode(true);
+        let c = matmul(&a, &b);
+        set_reference_mode(false);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn zero_inner_dimension_yields_zero_matrix() {
+        let a = Tensor::zeros([3, 0]);
+        let b = Tensor::zeros([0, 4]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape().dims(), &[3, 4]);
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

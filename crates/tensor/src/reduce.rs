@@ -109,6 +109,20 @@ pub fn sum_axis0(t: &Tensor) -> Tensor {
     out
 }
 
+/// Column sums of a rank-2 tensor accumulated into an existing
+/// length-`cols` slice (the allocation-free bias-gradient path:
+/// `acc[j] += Σ_i t[i, j]`).
+pub fn sum_axis0_acc(t: &Tensor, acc: &mut [f32]) {
+    assert_eq!(t.shape().ndim(), 2, "sum_axis0_acc needs rank-2 input");
+    let cols = t.shape().dim(1);
+    assert_eq!(acc.len(), cols, "sum_axis0_acc accumulator length mismatch");
+    for row in t.as_slice().chunks_exact(cols) {
+        for (ov, rv) in acc.iter_mut().zip(row) {
+            *ov += rv;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +180,13 @@ mod tests {
     fn axis0_sum() {
         let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], [2, 2]);
         assert_eq!(sum_axis0(&x).as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn axis0_sum_accumulates() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], [2, 2]);
+        let mut acc = [100.0, 200.0];
+        sum_axis0_acc(&x, &mut acc);
+        assert_eq!(acc, [111.0, 222.0]);
     }
 }

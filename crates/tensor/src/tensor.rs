@@ -90,6 +90,20 @@ impl Tensor {
         self.data
     }
 
+    /// Resize this tensor to `shape`, reusing the existing storage when
+    /// its capacity suffices. Contents are unspecified afterwards — the
+    /// caller is expected to overwrite every element. Returns `true` if
+    /// the underlying buffer had to grow (i.e. a heap allocation
+    /// happened), which the nn workspace uses for its allocation audit.
+    pub fn ensure_shape(&mut self, shape: impl Into<Shape>) -> bool {
+        let shape = shape.into();
+        let n = shape.numel();
+        let grew = n > self.data.capacity();
+        self.data.resize(n, 0.0);
+        self.shape = shape;
+        grew
+    }
+
     /// Element at a multi-dimensional index.
     pub fn at(&self, idx: &[usize]) -> f32 {
         self.data[self.shape.offset(idx)]

@@ -13,12 +13,25 @@ pub trait ParallelSliceMut<T: Send> {
     /// remainder, if any, is untouched — matching rayon's
     /// `par_chunks_exact_mut`) to be processed in parallel.
     fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
+
+    /// Split into non-overlapping `chunk_size`-element chunks, the last
+    /// of which may be shorter (matching rayon's `par_chunks_mut`), to
+    /// be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
         assert!(chunk_size > 0, "chunk size must be positive");
         ParChunksExactMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
             slice: self,
             chunk_size,
         }
@@ -99,6 +112,81 @@ impl<T: Send> EnumeratedChunks<'_, T> {
     }
 }
 
+/// Parallel chunks iterator including the trailing remainder chunk
+/// (see [`ParallelSliceMut`]).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its index, as rayon's `enumerate`.
+    pub fn enumerate(self) -> EnumeratedChunksInclusive<'a, T> {
+        EnumeratedChunksInclusive {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    /// Apply `f` to every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct EnumeratedChunksInclusive<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> EnumeratedChunksInclusive<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair — the last chunk may be
+    /// shorter than `chunk_size` — fanning the chunk list out over
+    /// scoped OS threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let n_chunks = self.slice.len().div_ceil(self.chunk_size);
+        if n_chunks == 0 {
+            return;
+        }
+        let workers = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(n_chunks);
+        if workers <= 1 {
+            for (i, chunk) in self.slice.chunks_mut(self.chunk_size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // split the chunk list into `workers` contiguous runs
+        let per = n_chunks.div_ceil(workers);
+        let f = &f;
+        thread::scope(|scope| {
+            let mut rest = self.slice;
+            let mut base = 0usize;
+            while !rest.is_empty() {
+                let take = (per * self.chunk_size).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let chunk_size = self.chunk_size;
+                scope.spawn(move || {
+                    for (i, chunk) in head.chunks_mut(chunk_size).enumerate() {
+                        f((base + i, chunk));
+                    }
+                });
+                base += take.div_ceil(self.chunk_size);
+                rest = tail;
+            }
+        });
+    }
+}
+
 /// Rayon-compatible prelude: import the slice extension trait.
 pub mod prelude {
     pub use crate::ParallelSliceMut;
@@ -132,6 +220,22 @@ mod tests {
             .for_each(|c| c.fill(0));
         assert_eq!(&v[8..], &[7, 7], "tail shorter than a chunk is skipped");
         assert!(v[..8].iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn inclusive_chunks_cover_remainder() {
+        let mut v = vec![0u64; 16 * 64 + 13];
+        v.as_mut_slice()
+            .par_chunks_mut(64)
+            .enumerate()
+            .for_each(|(i, row)| {
+                for x in row {
+                    *x += i as u64 + 1;
+                }
+            });
+        for (i, row) in v.chunks(64).enumerate() {
+            assert!(row.iter().all(|&x| x == i as u64 + 1), "row {i}");
+        }
     }
 
     #[test]
