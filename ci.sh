@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
-# Full local CI: build, test, format check, lint. Run before every PR.
+# Full local CI: build, format check, lint, static analysis, test. Run
+# before every PR.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 echo "==> cargo build --release"
 cargo build --release --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Workspace-wide determinism & protocol-invariant linter (DESIGN.md §8).
+# Exit 1 = unsuppressed findings; the --json pass re-runs with the
+# machine report, which the binary self-validates before printing and
+# exits 2 on if malformed.
+echo "==> selsync-lint (workspace)"
+./target/release/selsync-lint
+./target/release/selsync-lint --json > /dev/null
 
 echo "==> cargo test -q (workspace, minus multi-process suites)"
 cargo test -q --workspace --exclude selsync-bench
@@ -29,11 +44,5 @@ SELSYNC_WORKERS=2 SELSYNC_STEPS=6 ./target/release/fault_experiments > /dev/null
 # reference kernels beyond float-reassociation tolerance.
 echo "==> kernel bench (quick; checksum + JSON validation)"
 ./target/release/kernel_bench --quick > /dev/null
-
-echo "==> cargo fmt --check"
-cargo fmt --check
-
-echo "==> cargo clippy -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
 
 echo "CI OK"

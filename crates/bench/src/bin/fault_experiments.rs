@@ -43,6 +43,8 @@ use selsync_core::{
 use selsync_net::{TcpEndpoint, TcpFabricConfig};
 use selsync_nn::models::ModelKind;
 use serde::Serialize;
+// lint:allow(raw-net): binds port 0 only to reserve free loopback ports
+// for the spawned cluster; no protocol traffic flows over this listener
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;

@@ -14,6 +14,10 @@
 //! The mapping from paper artifact → binary is the experiment index in
 //! DESIGN.md §3.
 
+// The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
+// SIMD and socket code live in crates/tensor and crates/net only.
+#![deny(unsafe_code)]
+
 pub mod cli;
 
 use selsync_core::prelude::*;

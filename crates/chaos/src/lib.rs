@@ -27,6 +27,10 @@
 //! what was actually forwarded, so chaos runs can assert
 //! `sent − dropped + duplicated = forwarded` exactly.
 
+// The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
+// SIMD and socket code live in crates/tensor and crates/net only.
+#![deny(unsafe_code)]
+
 use selsync_comm::{CommStats, Msg, Payload, Transport, TransportError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;

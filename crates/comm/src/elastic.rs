@@ -778,7 +778,12 @@ where
                             Ok(pm) => match pm.payload {
                                 Payload::Params(v) => v,
                                 Payload::SharedParams(a) => FlatVec::Shared(a).into_vec(),
-                                _ => continue,
+                                // explicit so new wire variants fail here
+                                // at compile time instead of being dropped
+                                Payload::Grads(_)
+                                | Payload::Flags(_)
+                                | Payload::Samples { .. }
+                                | Payload::Control(_) => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -790,7 +795,13 @@ where
                         ) {
                             Ok(fm) => match fm.payload {
                                 Payload::Flags(b) => b,
-                                _ => continue,
+                                // explicit so new wire variants fail here
+                                // at compile time instead of being dropped
+                                Payload::Params(_)
+                                | Payload::SharedParams(_)
+                                | Payload::Grads(_)
+                                | Payload::Samples { .. }
+                                | Payload::Control(_) => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -802,7 +813,14 @@ where
                         state.done = mem.iter().map(|b| b & 2 != 0).collect();
                         shadowed += 1;
                     }
-                    _ => {}
+                    // stray non-control traffic on the standby tag is
+                    // ignored; listed explicitly so new wire variants
+                    // fail here at compile time instead of being dropped
+                    Payload::Params(_)
+                    | Payload::SharedParams(_)
+                    | Payload::Grads(_)
+                    | Payload::Flags(_)
+                    | Payload::Samples { .. } => {}
                 }
             }
             Err(TransportError::RecvTimeout { buffered, .. }) => {

@@ -287,6 +287,8 @@ pub fn encode_state(state: &TrainState) -> Vec<u8> {
     put_section(&mut out, SEC_OPTIM, &body);
 
     if let Some(delta) = &state.delta_state {
+        // lint:allow(unwrap-in-prod): serializing a plain struct of numeric
+        // fields (no maps, no non-UTF8) is infallible in serde_json
         let json = serde_json::to_string(delta).expect("δ-tracker serializes");
         put_section(&mut out, SEC_DELTA, json.as_bytes());
     }

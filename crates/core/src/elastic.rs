@@ -130,6 +130,8 @@ fn validate_elastic(config: &RunConfig, workload: &Workload) {
         | Strategy::Bsp {
             aggregation: Aggregation::Parameter,
         } => {}
+        // lint:allow(unwrap-in-prod): startup config validation alongside
+        // the assert!s above, rejected before any protocol traffic flows
         _ => panic!("elastic mode supports parameter-averaged SelSync/BSP"),
     }
     assert!(
@@ -165,6 +167,9 @@ fn build_cursor(
 ) -> AnyCursor {
     let slot = members
         .binary_search(&me)
+        // lint:allow(unwrap-in-prod): every caller passes a membership
+        // vector it just observed itself in; a miss is an addressing bug,
+        // not a runtime fault
         .expect("repartition: this rank must be a member");
     let partition = partition_indices(
         workload.num_train_units(),

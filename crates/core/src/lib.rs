@@ -23,6 +23,10 @@
 //! println!("LSSR = {:.3}, final metric = {:.3}", result.lssr.lssr(), result.final_metric);
 //! ```
 
+// The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
+// SIMD and socket code live in crates/tensor and crates/net only.
+#![deny(unsafe_code)]
+
 pub mod checkpoint;
 pub mod compression;
 pub mod config;

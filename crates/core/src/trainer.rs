@@ -45,6 +45,8 @@ pub fn run_distributed(config: &RunConfig, workload: &Workload) -> RunResult {
     validate(config, workload);
     let n = config.n_workers;
     let mut endpoints = Fabric::new(n + 1);
+    // lint:allow(unwrap-in-prod): Fabric::new(n + 1) always returns n + 1
+    // endpoints, so the pop cannot come up empty
     let server_ep = endpoints.pop().expect("server endpoint");
     let stats = Arc::clone(server_ep.stats());
 
@@ -64,8 +66,12 @@ pub fn run_distributed(config: &RunConfig, workload: &Workload) -> RunResult {
                     // in-process fabric: a comm fault here means a worker
                     // thread panicked, which join() below reports anyway
                     .spawn(move || {
+                        // lint:allow(unwrap-in-prod): in-process harness —
+                        // run_distributed documents that it panics on faults
                         run_server_rank(server_ep, &cfg, &wl).expect("parameter server comm fault")
                     })
+                    // lint:allow(unwrap-in-prod): thread spawn fails only on
+                    // OS resource exhaustion; no recovery path in the harness
                     .expect("spawn PS"),
             )
         }
@@ -79,17 +85,25 @@ pub fn run_distributed(config: &RunConfig, workload: &Workload) -> RunResult {
         handles.push(
             thread::Builder::new()
                 .name(format!("selsync-w{worker}"))
+                // lint:allow(unwrap-in-prod): in-process harness —
+                // run_distributed documents that it panics on faults
                 .spawn(move || run_worker_rank(ep, &cfg, &wl).expect("worker comm fault"))
+                // lint:allow(unwrap-in-prod): thread spawn fails only on
+                // OS resource exhaustion; no recovery path in the harness
                 .expect("spawn worker"),
         );
     }
 
     let mut outputs: Vec<WorkerOutput> = handles
         .into_iter()
+        // lint:allow(unwrap-in-prod): propagating a worker panic is this
+        // harness's documented failure mode
         .map(|h| h.join().expect("worker thread panicked"))
         .collect();
     outputs.sort_by_key(|o| o.worker);
     let final_params = match server_handle {
+        // lint:allow(unwrap-in-prod): propagating a server panic is this
+        // harness's documented failure mode
         Some(h) => h.join().expect("server thread panicked"),
         // decentralized: the "global" state is the replica average
         None => {
@@ -171,6 +185,8 @@ fn build_partitions(config: &RunConfig, workload: &Workload) -> Vec<Vec<usize>> 
                 config.seed,
             );
         }
+        // lint:allow(unwrap-in-prod): validate() already rejected non-Vision
+        // workloads combined with noniid_labels before training starts
         unreachable!("validated above");
     }
     (0..n)
@@ -251,6 +267,8 @@ pub fn run_worker_rank<T: Transport>(
     let partition = build_partitions(config, workload)
         .into_iter()
         .nth(worker)
+        // lint:allow(unwrap-in-prod): build_partitions returns exactly
+        // n_workers entries and the rank was range-asserted above
         .expect("partition for rank");
     worker_main(worker, &mut ep, config, workload, partition)
 }
@@ -310,6 +328,8 @@ impl AnyCursor {
         match (self, data) {
             (AnyCursor::Vision(c), WorkloadData::Vision { train, .. }) => c.next_batch(train),
             (AnyCursor::Text(c), WorkloadData::Text { train, .. }) => c.next_batch(train),
+            // lint:allow(unwrap-in-prod): the cursor is constructed from the
+            // same WorkloadData variant it is later stepped with
             _ => unreachable!("cursor/data kind mismatch"),
         }
     }

@@ -11,6 +11,10 @@
 //! * randomized data injection with the Eqn. (3) batch-size correction
 //!   (§III-E).
 
+// The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
+// SIMD and socket code live in crates/tensor and crates/net only.
+#![deny(unsafe_code)]
+
 pub mod injection;
 pub mod loader;
 pub mod noniid;

@@ -1,0 +1,249 @@
+//! Hand-rolled JSON emission and validation for the `--json` report.
+//!
+//! The lint crate is dependency-free by policy (it must build from std
+//! alone), so it carries its own emitter plus a minimal parser used to
+//! self-check every emitted report before it reaches CI — `--json`
+//! output that does not parse is itself a build failure.
+
+use crate::engine::Report;
+
+/// Escape a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize a report. Schema:
+///
+/// ```json
+/// {
+///   "version": 1,
+///   "files_scanned": 104,
+///   "unsuppressed": 0,
+///   "suppressed": 3,
+///   "findings": [
+///     {"path": "...", "line": 12, "rule": "...", "message": "...",
+///      "suppressed": false, "justification": null}
+///   ]
+/// }
+/// ```
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"unsuppressed\": {},\n",
+        report.unsuppressed_count()
+    ));
+    out.push_str(&format!(
+        "  \"suppressed\": {},\n",
+        report.suppressed_count()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"path\": \"{}\", ", escape(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(&f.rule)));
+        out.push_str(&format!("\"message\": \"{}\", ", escape(&f.message)));
+        out.push_str(&format!("\"suppressed\": {}, ", f.suppressed));
+        match &f.justification {
+            Some(j) => out.push_str(&format!("\"justification\": \"{}\"", escape(j))),
+            None => out.push_str("\"justification\": null"),
+        }
+        out.push('}');
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Validate that `s` is one well-formed JSON value with nothing
+/// trailing. Returns a position-annotated error otherwise.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing bytes at offset {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, "true"),
+        Some(b'f') => literal(b, i, "false"),
+        Some(b'n') => literal(b, i, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        other => Err(format!("unexpected {:?} at offset {}", other, *i)),
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at offset {}", *i));
+        }
+        *i += 1;
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}', got {:?} at {}", other, *i)),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']', got {:?} at {}", other, *i)),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    if b.get(*i) != Some(&b'"') {
+        return Err(format!("expected string at offset {}", *i));
+    }
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'\\' => *i += 2,
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            c if c < 0x20 => return Err(format!("raw control byte in string at {}", *i)),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    while *i < b.len()
+        && (b[*i].is_ascii_digit() || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *i += 1;
+    }
+    if *i == start {
+        return Err(format!("empty number at offset {start}"));
+    }
+    Ok(())
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {}", *i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RecordedFinding;
+
+    #[test]
+    fn empty_report_roundtrips() {
+        let r = Report::default();
+        validate(&to_json(&r)).expect("empty report must be valid JSON");
+    }
+
+    #[test]
+    fn hostile_strings_are_escaped() {
+        let mut r = Report {
+            files_scanned: 1,
+            ..Default::default()
+        };
+        r.findings.push(RecordedFinding {
+            path: "a\\b\"c.rs".to_string(),
+            line: 3,
+            rule: "nondet-iteration".to_string(),
+            message: "quote \" backslash \\ newline \n tab \t control \u{1}".to_string(),
+            suppressed: true,
+            justification: Some("multi\nline".to_string()),
+        });
+        validate(&to_json(&r)).expect("escaped report must be valid JSON");
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        assert!(validate("{").is_err());
+        assert!(validate("{\"a\": }").is_err());
+        assert!(validate("[1, 2,]").is_err());
+        assert!(validate("{\"a\": 1} trailing").is_err());
+        assert!(validate("\"unterminated").is_err());
+        assert!(validate("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn validator_accepts_wellformed() {
+        assert!(validate("{\"a\": [1, -2.5e3, true, null, \"s\"], \"b\": {}}").is_ok());
+    }
+}

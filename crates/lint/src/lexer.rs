@@ -1,0 +1,492 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in this crate reason about *tokens*, never raw text, so a
+//! `HashMap` mentioned inside a string literal, a `// comment`, or a
+//! raw string does not produce a false positive the way a grep would.
+//! The lexer handles exactly the surface syntax that matters for that
+//! guarantee: line and (nested) block comments, string/char/byte/raw
+//! literals, lifetimes vs char literals, numbers, identifiers, and
+//! single-character punctuation. It does not build an AST — the rule
+//! engine works on the flat token stream plus per-line metadata.
+
+/// Token classification. Keywords lex as [`TokKind::Ident`]; the rules
+/// match on the identifier text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `_`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `#`, `{`, `=`, ...).
+    Punct,
+    /// Numeric literal (integer or float, any radix, with suffix).
+    Num,
+    /// String literal of any flavour (plain, raw, byte, raw byte).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text. For [`TokKind::Str`] this is a placeholder, not the
+    /// literal's contents — rules must never see inside strings.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// One comment, preserved separately from the token stream so the
+/// `SAFETY:` and `lint:allow` scanners can read it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// Comment body with the `//`/`/*` markers and doc-comment sigils
+    /// stripped, trimmed.
+    pub text: String,
+    /// Whether only whitespace precedes the comment on its first line.
+    pub own_line: bool,
+}
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    s: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    /// Whether a non-whitespace, non-comment byte has appeared on the
+    /// current line (drives [`Comment::own_line`]).
+    line_has_code: bool,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            s: src.as_bytes(),
+            src,
+            i: 0,
+            line: 1,
+            line_has_code: false,
+            toks: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, off: usize) -> u8 {
+        *self.s.get(self.i + off).unwrap_or(&0)
+    }
+
+    fn bump_line(&mut self) {
+        self.line += 1;
+        self.line_has_code = false;
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.line_has_code = true;
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        while self.i < self.s.len() {
+            let c = self.s[self.i];
+            match c {
+                b'\n' => {
+                    self.i += 1;
+                    self.bump_line();
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    // one punctuation char (multi-byte UTF-8 outside
+                    // strings only occurs in idents, handled above for
+                    // ASCII; treat stray bytes as punctuation)
+                    let ch_len = utf8_len(c);
+                    let text = self.src[self.i..self.i + ch_len].to_string();
+                    let line = self.line;
+                    self.push(TokKind::Punct, text, line);
+                    self.i += ch_len;
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let own_line = !self.line_has_code;
+        let begin = self.i;
+        while self.i < self.s.len() && self.s[self.i] != b'\n' {
+            self.i += 1;
+        }
+        let raw = &self.src[begin..self.i];
+        // strip `//`, `///`, `//!`
+        let body = raw
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim()
+            .to_string();
+        self.comments.push(Comment {
+            line: start_line,
+            end_line: start_line,
+            text: body,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let own_line = !self.line_has_code;
+        let begin = self.i;
+        self.i += 2;
+        let mut depth = 1u32;
+        while self.i < self.s.len() && depth > 0 {
+            if self.s[self.i] == b'\n' {
+                self.bump_line();
+                self.i += 1;
+            } else if self.s[self.i] == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.i += 2;
+            } else if self.s[self.i] == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += 1;
+            }
+        }
+        let raw = &self.src[begin..self.i];
+        let body = raw
+            .trim_start_matches("/*")
+            .trim_start_matches(['*', '!'])
+            .trim_end_matches("*/")
+            .trim()
+            .to_string();
+        self.comments.push(Comment {
+            line: start_line,
+            end_line: self.line,
+            text: body,
+            own_line,
+        });
+    }
+
+    /// Plain (or byte) string literal starting at `"`; escapes and
+    /// embedded newlines handled.
+    fn string(&mut self) {
+        let line = self.line;
+        self.i += 1;
+        while self.i < self.s.len() {
+            match self.s[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.bump_line();
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.push(TokKind::Str, "\"...\"".to_string(), line);
+    }
+
+    /// Raw string starting at the first `#` or `"` after the `r`
+    /// prefix: `r"..."`, `r#"..."#`, `r##"..."##`, ...
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.i += 1;
+        }
+        debug_assert_eq!(self.peek(0), b'"');
+        self.i += 1;
+        'scan: while self.i < self.s.len() {
+            if self.s[self.i] == b'\n' {
+                self.bump_line();
+                self.i += 1;
+                continue;
+            }
+            if self.s[self.i] == b'"' {
+                let mut ok = true;
+                for h in 0..hashes {
+                    if self.peek(1 + h) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.i += 1 + hashes;
+                    break 'scan;
+                }
+            }
+            self.i += 1;
+        }
+        self.push(TokKind::Str, "r\"...\"".to_string(), line);
+    }
+
+    /// Handle `r"`, `r#"`, `r#ident`, `b"`, `b'`, `br"`, `br#"`.
+    /// Returns true if it consumed something; false means the leading
+    /// `r`/`b` is an ordinary identifier start.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let c0 = self.s[self.i];
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        match (c0, c1) {
+            (b'r', b'"') => {
+                self.i += 1;
+                self.raw_string();
+                true
+            }
+            (b'r', b'#') => {
+                // raw string `r#"` vs raw identifier `r#ident`
+                if c2 == b'"' || c2 == b'#' {
+                    self.i += 1;
+                    self.raw_string();
+                } else {
+                    self.i += 2;
+                    self.ident(); // raw identifier: lex the bare name
+                }
+                true
+            }
+            (b'b', b'"') => {
+                self.i += 1;
+                self.string();
+                true
+            }
+            (b'b', b'\'') => {
+                self.i += 1;
+                self.char_or_lifetime();
+                true
+            }
+            (b'b', b'r') if c2 == b'"' || c2 == b'#' => {
+                self.i += 2;
+                self.raw_string();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime/label).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // self.s[self.i] == b'\''
+        let c1 = self.peek(1);
+        if c1 == b'\\' {
+            // escaped char literal: skip `'\` and the escaped char
+            // (handles `'\''` and `'\\'`), then scan to the close quote
+            self.i += 3;
+            while self.i < self.s.len() && self.s[self.i] != b'\'' {
+                self.i += 1;
+            }
+            self.i += 1;
+            self.push(TokKind::Char, "'.'".to_string(), line);
+            return;
+        }
+        if c1 == b'_' || c1.is_ascii_alphabetic() {
+            // scan the identifier-shaped run after the quote
+            let mut j = self.i + 1;
+            while j < self.s.len() && (self.s[j] == b'_' || self.s[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if self.s.get(j) == Some(&b'\'') {
+                self.i = j + 1;
+                self.push(TokKind::Char, "'.'".to_string(), line);
+            } else {
+                let text = self.src[self.i..j].to_string();
+                self.i = j;
+                self.push(TokKind::Lifetime, text, line);
+            }
+            return;
+        }
+        // non-alphabetic char literal (`'('`, `'0'`, multi-byte `'é'`)
+        let mut j = self.i + 1;
+        while j < self.s.len() && self.s[j] != b'\'' && self.s[j] != b'\n' {
+            j += 1;
+        }
+        self.i = (j + 1).min(self.s.len());
+        self.push(TokKind::Char, "'.'".to_string(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let begin = self.i;
+        while self.i < self.s.len()
+            && (self.s[self.i] == b'_'
+                || self.s[self.i].is_ascii_alphanumeric()
+                || self.s[self.i] >= 0x80)
+        {
+            self.i += utf8_len(self.s[self.i]);
+        }
+        let text = self.src[begin..self.i].to_string();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let begin = self.i;
+        // integer part (handles 0x/0b/0o, digits, `_`, type suffixes)
+        while self.i < self.s.len()
+            && (self.s[self.i] == b'_' || self.s[self.i].is_ascii_alphanumeric())
+        {
+            // exponent sign: `1e-3`, `2.5E+7`
+            if (self.s[self.i] == b'e' || self.s[self.i] == b'E')
+                && (self.peek(1) == b'+' || self.peek(1) == b'-')
+                && self.peek(2).is_ascii_digit()
+                && !self.src[begin..self.i].starts_with("0x")
+            {
+                self.i += 2;
+                continue;
+            }
+            self.i += 1;
+        }
+        // fraction: `.` followed by a digit (so `0..n` stays a range)
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.i += 1;
+            while self.i < self.s.len()
+                && (self.s[self.i] == b'_' || self.s[self.i].is_ascii_alphanumeric())
+            {
+                if (self.s[self.i] == b'e' || self.s[self.i] == b'E')
+                    && (self.peek(1) == b'+' || self.peek(1) == b'-')
+                    && self.peek(2).is_ascii_digit()
+                {
+                    self.i += 2;
+                    continue;
+                }
+                self.i += 1;
+            }
+        } else if self.peek(0) == b'.'
+            && !self.peek(1).is_ascii_alphanumeric()
+            && self.peek(1) != b'.'
+            && self.peek(1) != b'_'
+        {
+            // trailing-dot float `1.`
+            self.i += 1;
+        }
+        let text = self.src[begin..self.i].to_string();
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let x = "HashMap in a string"; // HashMap in a comment
+            let y = r#"HashMap raw"#;
+            /* HashMap in /* a nested */ block */
+            let z = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].text.contains("HashMap in a comment"));
+        assert!(comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = lex(src).0;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literal_with_quote() {
+        let src = r"let q = '\''; let n = '\n'; unsafe {}";
+        let ids = idents(src);
+        assert!(ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let src = "for i in 0..10 { let x = 1.5e-3; let y = 2.max(3); }";
+        let toks = lex(src).0;
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "2", "3"]);
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn comment_own_line_flag() {
+        let src = "let a = 1; // trailing\n// own line\nlet b = 2;";
+        let (_, comments) = lex(src);
+        assert!(!comments[0].own_line);
+        assert!(comments[1].own_line);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"line\none\";\nlet t = 3;";
+        let toks = lex(src).0;
+        let t = toks.iter().find(|t| t.is_ident("t")).unwrap();
+        assert_eq!(t.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ids = idents("let r#match = 1;");
+        assert!(ids.contains(&"match".to_string()));
+    }
+}

@@ -1,0 +1,101 @@
+//! CLI for the workspace determinism & protocol-invariant linter.
+//!
+//! ```text
+//! selsync-lint [--json] [--root DIR] [PATH...]
+//! ```
+//!
+//! Scans `crates/ src/ tests/ examples/` under the workspace root (or
+//! the given PATHs, relative to it) and exits nonzero on any
+//! unsuppressed finding. `--json` emits the machine-readable report on
+//! stdout, self-validated before printing — malformed JSON is a build
+//! failure, not a silent artifact.
+#![deny(unsafe_code)]
+
+use selsync_lint::{engine, json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+selsync-lint: workspace determinism & protocol-invariant linter
+
+USAGE:
+  selsync-lint [--json] [--root DIR] [PATH...]
+
+OPTIONS:
+  --json        emit the machine-readable report (self-validated)
+  --root DIR    workspace root to scan from (default: .)
+  PATH...       sub-paths to scan instead of crates/ src/ tests/ examples/
+  -h, --help    show this help
+
+EXIT CODES:
+  0  no unsuppressed findings
+  1  unsuppressed findings
+  2  usage / IO / internal error
+";
+
+fn main() -> ExitCode {
+    let mut json_mode = false;
+    let mut root = PathBuf::from(".");
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_mode = true,
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("selsync-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("selsync-lint: unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        paths = engine::DEFAULT_ROOTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let report = match engine::run(&root, &paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("selsync-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        eprintln!(
+            "selsync-lint: no .rs files under {} in {:?}",
+            root.display(),
+            paths
+        );
+        return ExitCode::from(2);
+    }
+
+    if json_mode {
+        let out = json::to_json(&report);
+        if let Err(e) = json::validate(&out) {
+            eprintln!("selsync-lint: internal error: emitted JSON is malformed: {e}");
+            return ExitCode::from(2);
+        }
+        print!("{out}");
+    } else {
+        print!("{}", engine::format_human(&report));
+    }
+
+    if report.unsuppressed_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

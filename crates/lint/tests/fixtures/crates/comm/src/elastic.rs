@@ -1,0 +1,8 @@
+// fixture: true negative for nondet-time — this path IS the allowlisted
+// timeout/watchdog module crates/comm/src/elastic.rs, where liveness
+// deadlines may read the clock.
+use std::time::{Duration, Instant};
+
+fn eviction_deadline(grace: Duration) -> Instant {
+    Instant::now() + grace
+}

@@ -1,0 +1,13 @@
+// fixture: true negative for nondet-iteration — BTreeMap iterates in
+// key order, and the word HashMap below only appears where a
+// token-aware linter must not look: a string and this comment: HashMap.
+use std::collections::BTreeMap;
+
+fn membership_fingerprint(seen: &BTreeMap<usize, u64>) -> u64 {
+    let banner = "deterministic, unlike a HashMap";
+    let mut acc = banner.len() as u64;
+    for (rank, step) in seen.iter() {
+        acc ^= (*rank as u64).wrapping_mul(*step);
+    }
+    acc
+}

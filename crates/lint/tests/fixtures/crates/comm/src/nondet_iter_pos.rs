@@ -1,0 +1,11 @@
+// fixture: true positive for nondet-iteration — HashMap in a protocol
+// crate path.
+use std::collections::HashMap;
+
+fn membership_fingerprint(seen: &HashMap<usize, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (rank, step) in seen.iter() {
+        acc ^= (*rank as u64).wrapping_mul(*step);
+    }
+    acc
+}

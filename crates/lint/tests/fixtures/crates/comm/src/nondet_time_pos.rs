@@ -1,0 +1,7 @@
+// fixture: true positive for nondet-time — a wall-clock read in a comm
+// module that is not on the timeout/watchdog allowlist.
+use std::time::Instant;
+
+fn decide_sync() -> bool {
+    Instant::now().elapsed().as_millis() % 2 == 0
+}

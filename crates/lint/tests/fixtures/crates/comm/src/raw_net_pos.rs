@@ -1,0 +1,7 @@
+// fixture: true positive for raw-net — direct socket use outside the
+// transport crate.
+use std::net::TcpStream;
+
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}

@@ -1,0 +1,8 @@
+// fixture: a bare allow (no justification) still suppresses the target
+// finding but raises an unsuppressable bare-allow finding of its own.
+use std::time::Instant;
+
+fn probe_latency() -> u128 {
+    let t0 = Instant::now(); // lint:allow(nondet-time)
+    t0.elapsed().as_micros()
+}

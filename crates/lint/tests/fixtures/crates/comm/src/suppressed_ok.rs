@@ -1,0 +1,13 @@
+// fixture: a justified suppression silences its finding — both the
+// trailing form and the own-line form.
+use std::time::Instant;
+
+fn probe_latency() -> u128 {
+    let t0 = Instant::now(); // lint:allow(nondet-time): latency probe is diagnostics-only, never feeds control flow
+    t0.elapsed().as_micros()
+}
+
+fn dial(addr: &str) -> bool {
+    // lint:allow(raw-net): fixture exercising the own-line suppression form
+    std::net::TcpStream::connect(addr).is_ok()
+}

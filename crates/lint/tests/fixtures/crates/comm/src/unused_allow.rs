@@ -1,0 +1,11 @@
+// fixture: an allow that silences nothing (or names an unknown rule)
+// raises unused-allow.
+fn add(a: u32, b: u32) -> u32 {
+    // lint:allow(nondet-time): nothing on the next line reads a clock
+    a + b
+}
+
+fn sub(a: u32, b: u32) -> u32 {
+    // lint:allow(no-such-rule): this rule name does not exist
+    a - b
+}

@@ -1,0 +1,25 @@
+// fixture: true negative for wire-wildcard — the payload match lists
+// every variant explicitly (new variants become compile errors), and a
+// wildcard over a non-protocol enum is fine.
+enum Payload {
+    Params(Vec<f32>),
+    Control(u8),
+}
+
+struct Message {
+    payload: Payload,
+}
+
+fn route(m: Message) -> bool {
+    match m.payload {
+        Payload::Control(_) => true,
+        Payload::Params(_) => false,
+    }
+}
+
+fn bucket(n: u32) -> &'static str {
+    match n {
+        0 => "zero",
+        _ => "many",
+    }
+}

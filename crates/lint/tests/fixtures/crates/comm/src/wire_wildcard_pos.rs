@@ -1,0 +1,18 @@
+// fixture: true positive for wire-wildcard — a catch-all arm in a
+// Payload match silently drops any variant added to the wire protocol
+// later.
+enum Payload {
+    Params(Vec<f32>),
+    Control(u8),
+}
+
+struct Message {
+    payload: Payload,
+}
+
+fn route(m: Message) -> bool {
+    match m.payload {
+        Payload::Control(_) => true,
+        _ => false,
+    }
+}

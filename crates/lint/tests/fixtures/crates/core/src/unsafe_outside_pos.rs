@@ -1,0 +1,9 @@
+// fixture: true positive for unsafe-outside-kernels — unsafe in a crate
+// that is neither crates/tensor nor crates/net. The SAFETY comment is
+// present so unsafe-needs-safety stays quiet and this fixture isolates
+// one rule.
+fn first(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees one element.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,19 @@
+// fixture: true negative for unwrap-in-prod — fallible handling in
+// production code; unwraps confined to #[cfg(test)] items.
+fn load(path: &str) -> Result<Vec<u8>, std::io::Error> {
+    let bytes = std::fs::read(path)?;
+    Ok(bytes)
+}
+
+fn fallback(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 7)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn loads() {
+        super::load("/dev/null").unwrap();
+        assert!(super::fallback(None) == 7, "{}", "fallback".to_string());
+    }
+}

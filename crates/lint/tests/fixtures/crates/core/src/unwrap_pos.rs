@@ -1,0 +1,9 @@
+// fixture: true positive for unwrap-in-prod — panicking escape hatches
+// in production code of a distributed-stack crate.
+fn load(path: &str) -> Vec<u8> {
+    let bytes = std::fs::read(path).unwrap();
+    if bytes.is_empty() {
+        panic!("empty checkpoint");
+    }
+    bytes
+}

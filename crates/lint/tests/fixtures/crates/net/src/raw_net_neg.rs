@@ -1,0 +1,7 @@
+// fixture: true negative for raw-net — crates/net is the transport
+// layer, the one place allowed to touch std::net.
+use std::net::TcpStream;
+
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}

@@ -1,0 +1,20 @@
+// fixture: true negative for float-order — serial reductions are
+// always ordered, and a parallel for_each over disjoint chunks does not
+// combine partials at all (each chunk runs byte-identical code).
+use rayon::prelude::*;
+
+fn grad_norm_sq(grads: &[f32]) -> f32 {
+    grads.iter().map(|g| g * g).sum::<f32>()
+}
+
+fn scale(out: &mut [f32], k: f32) {
+    out.par_chunks_mut(1024).for_each(|chunk| {
+        for x in chunk {
+            *x *= k;
+        }
+    });
+}
+
+fn serial_sum_inside_parallel_map(rows: &[Vec<f32>]) -> Vec<f32> {
+    rows.par_iter().map(|row| row.iter().sum::<f32>()).collect()
+}

@@ -1,0 +1,13 @@
+// fixture: true positive for float-order — an unordered parallel float
+// reduction whose combine order depends on the scheduler.
+use rayon::prelude::*;
+
+fn grad_norm_sq(grads: &[f32]) -> f32 {
+    grads.par_iter().map(|g| g * g).sum::<f32>()
+}
+
+fn total(loss_parts: Vec<f32>) -> f32 {
+    loss_parts
+        .into_par_iter()
+        .reduce(|| 0.0, |a, b| a + b)
+}

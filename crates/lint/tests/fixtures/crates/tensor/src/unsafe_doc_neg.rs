@@ -1,0 +1,17 @@
+// fixture: true negative for unsafe-needs-safety — every unsafe is
+// immediately preceded by a SAFETY comment, including one separated
+// only by attribute lines and one with a multi-line comment block.
+fn first(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees xs has at least one element,
+    // so reading element zero is in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+// SAFETY: unsafe only because of #[target_feature]; the caller is gated
+// on runtime CPU-feature detection.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(x: f32) -> f32 {
+    x
+}

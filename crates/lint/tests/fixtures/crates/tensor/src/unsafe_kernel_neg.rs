@@ -1,0 +1,7 @@
+// fixture: true negative for unsafe-outside-kernels — unsafe is
+// permitted inside crates/tensor (SIMD kernels live here).
+fn first(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees one element.
+    unsafe { *xs.as_ptr() }
+}

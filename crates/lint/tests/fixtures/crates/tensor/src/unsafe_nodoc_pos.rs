@@ -1,0 +1,6 @@
+// fixture: true positive for unsafe-needs-safety — an unsafe block with
+// no SAFETY comment (in crates/tensor, so unsafe-outside-kernels stays
+// quiet and this fixture isolates one rule).
+fn first(xs: &[f32]) -> f32 {
+    unsafe { *xs.as_ptr() }
+}

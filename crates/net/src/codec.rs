@@ -132,6 +132,8 @@ pub fn decode_frame(frame: &[u8]) -> Result<Msg, CodecError> {
             have: frame.len(),
         });
     }
+    // lint:allow(unwrap-in-prod): frame.len() >= 4 checked above, so the
+    // 4-byte slice always converts into [u8; 4]
     let declared = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
     let rest = &frame[4..];
     if rest.len() != declared {
@@ -192,11 +194,15 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
 
 fn get_u32_checked(buf: &mut &[u8]) -> Result<u32, CodecError> {
     let b = take(buf, 4)?;
+    // lint:allow(unwrap-in-prod): take() returned exactly 4 bytes, so the
+    // conversion into [u8; 4] cannot fail
     Ok(u32::from_be_bytes(b.try_into().unwrap()))
 }
 
 fn get_u64_checked(buf: &mut &[u8]) -> Result<u64, CodecError> {
     let b = take(buf, 8)?;
+    // lint:allow(unwrap-in-prod): take() returned exactly 8 bytes, so the
+    // conversion into [u8; 8] cannot fail
     Ok(u64::from_be_bytes(b.try_into().unwrap()))
 }
 
@@ -205,6 +211,7 @@ fn get_f32_section(buf: &mut &[u8]) -> Result<Vec<f32>, CodecError> {
     let raw = take(buf, count * 4)?;
     Ok(raw
         .chunks_exact(4)
+        // lint:allow(unwrap-in-prod): chunks_exact(4) yields 4-byte slices
         .map(|c| f32::from_bits(u32::from_be_bytes(c.try_into().unwrap())))
         .collect())
 }
@@ -214,6 +221,7 @@ fn get_u64_section(buf: &mut &[u8]) -> Result<Vec<usize>, CodecError> {
     let raw = take(buf, count * 8)?;
     Ok(raw
         .chunks_exact(8)
+        // lint:allow(unwrap-in-prod): chunks_exact(8) yields 8-byte slices
         .map(|c| u64::from_be_bytes(c.try_into().unwrap()) as usize)
         .collect())
 }

@@ -523,6 +523,8 @@ fn read_loop(mut stream: TcpStream, inbox: Sender<Msg>, shutdown: Arc<AtomicBool
         let mut body = vec![0u8; len];
         match read_full(&mut stream, &mut body, &shutdown, false) {
             Ok(ReadOutcome::Full) => {}
+            // lint:allow(unwrap-in-prod): read_full(eof_ok = false) maps a
+            // mid-frame EOF to an error, so CleanEof cannot reach this arm
             Ok(ReadOutcome::CleanEof) => unreachable!("clean EOF not allowed mid-frame"),
             Ok(ReadOutcome::Shutdown) => return,
             Err(e) => {

@@ -12,6 +12,10 @@
 //! [`module::ParamVisitor::visit_params_mut`], which gives the distributed layer a flat,
 //! deterministic parameter order for push/pull aggregation.
 
+// The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
+// SIMD and socket code live in crates/tensor and crates/net only.
+#![deny(unsafe_code)]
+
 pub mod batch;
 pub mod flat;
 pub mod layers;

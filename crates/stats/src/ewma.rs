@@ -66,6 +66,8 @@ impl WindowedEwma {
             self.window.pop_front();
         }
         self.window.push_back(x);
+        // lint:allow(unwrap-in-prod): the push_back directly above makes
+        // the window non-empty, so value() always returns Some
         self.value().expect("window is non-empty after a push")
     }
 

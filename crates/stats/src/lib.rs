@@ -13,6 +13,10 @@
 //! * streaming Welford statistics and the gradient SNR indicator the
 //!   paper's §III-A cites (KungFu / Pollux / AdaScale).
 
+// The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
+// SIMD and socket code live in crates/tensor and crates/net only.
+#![deny(unsafe_code)]
+
 pub mod ewma;
 pub mod hessian;
 pub mod kde;

@@ -426,6 +426,11 @@ fn microkernel_portable(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR];
 ///
 /// # Safety
 /// Caller must ensure the CPU supports `avx2` and `fma`.
+// SAFETY: unsafe only because of #[target_feature] — the sole caller is
+// gated on avx2_available(). All pointer arithmetic stays in bounds: the
+// debug_assert'd panel lengths bound `p * NR + 8 + 8 <= bp.len()` and
+// `p * MR + i < ap.len()`, and each acc row is NR = 16 floats, covering
+// the two 8-lane stores.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn microkernel_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
