@@ -22,19 +22,26 @@ echo "==> selsync-lint (workspace)"
 ./target/release/selsync-lint --json > /dev/null
 
 echo "==> cargo test -q (workspace, minus multi-process suites)"
-cargo test -q --workspace --exclude selsync-bench
+cargo test -q --workspace --exclude selsync-bench --exclude selsync-serve
 
 echo "==> cargo test -q (bench unit tests)"
 cargo test -q -p selsync-bench --lib --bins
 
-# The multi-process suites spawn real selsync_dist OS processes on
-# loopback TCP with liveness timeouts; under workspace-wide parallel
-# load they miss heartbeat deadlines and flake. Run each binary alone,
-# single-threaded.
+echo "==> cargo test -q (serve unit + steady-state tests)"
+cargo test -q -p selsync-serve --lib --bins
+cargo test -q -p selsync-serve --test steady_state
+
+# The multi-process suites spawn real selsync_dist / selsync_serve OS
+# processes on loopback TCP with liveness timeouts; under
+# workspace-wide parallel load they miss heartbeat deadlines and flake.
+# Run each binary alone, single-threaded.
 for suite in dist_processes chaos_processes ps_failover_processes; do
   echo "==> cargo test -q (${suite}, isolated)"
   cargo test -q -p selsync-bench --test "${suite}" -- --test-threads=1
 done
+
+echo "==> cargo test -q (serve_processes, isolated)"
+cargo test -q -p selsync-serve --test serve_processes -- --test-threads=1
 
 echo "==> chaos smoke (fault_experiments, reduced)"
 SELSYNC_WORKERS=2 SELSYNC_STEPS=6 ./target/release/fault_experiments > /dev/null
@@ -44,5 +51,11 @@ SELSYNC_WORKERS=2 SELSYNC_STEPS=6 ./target/release/fault_experiments > /dev/null
 # reference kernels beyond float-reassociation tolerance.
 echo "==> kernel bench (quick; checksum + JSON validation)"
 ./target/release/kernel_bench --quick > /dev/null
+
+# Regenerates BENCH_serve.json from an in-process serving group and
+# exits nonzero if any grid point dropped a request, produced a
+# non-finite rate, or wrote a malformed file.
+echo "==> serve bench (quick; request-accounting + JSON validation)"
+./target/release/serve_bench --quick --out /tmp/BENCH_serve_ci.json > /dev/null
 
 echo "CI OK"

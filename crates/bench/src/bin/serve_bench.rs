@@ -1,0 +1,274 @@
+//! Serving-tier benchmark — the inference throughput/latency recorder.
+//!
+//! Spins up a full in-process serving group (replica threads + router
+//! thread + a closed-loop client on the main thread, all over the
+//! channel fabric) for every point of a (batch deadline × replica
+//! count) grid, serving a real SSV2 checkpoint through the same
+//! `selsync_serve` code paths the TCP deployment runs, and writes
+//! req/s, p50 and p99 latency per point to `BENCH_serve.json` at the
+//! repo root.
+//!
+//! The grid makes the batcher's tradeoff measurable: a tight deadline
+//! flushes small batches early (lower p50, fewer rows per dispatch), a
+//! loose one rides `max_batch` (higher throughput ceiling). Rows are
+//! validated from disk — finite positive rates, p50 ≤ p99 — so CI
+//! catches a serving path that silently degenerated.
+//!
+//! Flags:
+//!
+//! * `--quick`    fewer requests per grid point (CI scale)
+//! * `--out PATH` write the JSON table here (default BENCH_serve.json)
+
+use selsync_comm::Fabric;
+use selsync_core::checkpoint::{prev_path, save_state, TrainState};
+use selsync_nn::flat::flat_params;
+use selsync_nn::models::Mlp;
+use selsync_serve::{
+    run_client, run_replica, run_router, ClientConfig, ModelSpec, PredictEngine, Ranks,
+    ReplicaConfig, RouterConfig,
+};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+const MLP_DIMS: [usize; 3] = [16, 32, 8];
+const MAX_BATCH: usize = 8;
+const CONCURRENCY: usize = 4;
+
+// Plain field names: the vendored offline serde derive does not process
+// field attributes, so the schema uses what the derive actually emits.
+#[derive(Debug, Serialize, Deserialize)]
+struct Row {
+    bench: String,
+    deadline_ms: u64,
+    replicas: usize,
+    max_batch: usize,
+    concurrency: usize,
+    requests: u64,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Report {
+    schema: String,
+    mode: String,
+    rows: Vec<Row>,
+}
+
+fn percentile_ms(sorted_us: &[u128], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx] as f64 / 1000.0
+}
+
+/// One grid point: a complete serving group over the channel fabric,
+/// torn down before the function returns.
+fn run_point(ckpt: &std::path::Path, replicas: usize, deadline: Duration, requests: u64) -> Row {
+    let ranks = Ranks::new(replicas);
+    let mut eps = Fabric::new(replicas + 2);
+    let client_ep = eps.pop().expect("client endpoint");
+    let router_ep = eps.pop().expect("router endpoint");
+
+    let mut handles = Vec::new();
+    for mut ep in eps {
+        let ckpt = ckpt.to_path_buf();
+        let router = ranks.router();
+        handles.push(std::thread::spawn(move || {
+            let (state, _) = load_checkpoint(&ckpt);
+            let spec = ModelSpec::Mlp {
+                dims: MLP_DIMS.to_vec(),
+            };
+            let mut engine =
+                PredictEngine::new(&spec, 0, &state).expect("bench checkpoint fits its spec");
+            let cfg = ReplicaConfig {
+                router,
+                heartbeat: Duration::from_millis(50),
+                warmup_rows: MAX_BATCH,
+                warmup_dims: vec![MLP_DIMS[0]],
+                crash_after_batches: None,
+            };
+            run_replica(&mut ep, &mut engine, None, &cfg).expect("bench replica");
+        }));
+    }
+    let router_cfg = RouterConfig {
+        replicas,
+        clients: 1,
+        max_batch: MAX_BATCH,
+        deadline,
+        heartbeat: Duration::from_millis(50),
+        max_missed: 3,
+    };
+    handles.push(std::thread::spawn(move || {
+        let mut ep = router_ep;
+        run_router(&mut ep, &router_cfg).expect("bench router");
+    }));
+
+    let client_cfg = ClientConfig {
+        router: ranks.router(),
+        requests,
+        concurrency: CONCURRENCY,
+        dims: vec![MLP_DIMS[0]],
+        spacing: Duration::ZERO,
+        seed: 1,
+        fixed_input: false,
+        recv_timeout: Duration::from_secs(60),
+    };
+    let t0 = Instant::now();
+    let mut ep = client_ep;
+    let report = run_client(&mut ep, &client_cfg).expect("bench client");
+    let elapsed = t0.elapsed();
+    for h in handles {
+        h.join().expect("serving thread");
+    }
+
+    let mut lat_us: Vec<u128> = report
+        .replies
+        .iter()
+        .map(|r| r.latency.as_micros())
+        .collect();
+    lat_us.sort_unstable();
+    Row {
+        bench: "serve".to_string(),
+        deadline_ms: deadline.as_millis() as u64,
+        replicas,
+        max_batch: MAX_BATCH,
+        concurrency: CONCURRENCY,
+        requests: report.completed,
+        req_per_sec: report.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile_ms(&lat_us, 0.50),
+        p99_ms: percentile_ms(&lat_us, 0.99),
+    }
+}
+
+fn load_checkpoint(path: &std::path::Path) -> (Vec<f32>, u64) {
+    let (state, _) = selsync_core::checkpoint::load_state_with_fallback(path)
+        .expect("bench checkpoint readable");
+    (state.params, state.step)
+}
+
+fn parse_flags(args: &[String]) -> Result<(bool, String), String> {
+    let mut quick = false;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--out needs a path".to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (serve_bench [--quick] [--out PATH])"
+                ))
+            }
+        }
+    }
+    Ok((quick, out))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (quick, out_path) = match parse_flags(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let requests: u64 = if quick { 400 } else { 2000 };
+
+    // a real SSV2 checkpoint, served exactly as the TCP deployment
+    // serves the trainer's
+    let mut ckpt = std::env::temp_dir();
+    ckpt.push(format!("selsync_serve_bench_{}.ckpt", std::process::id()));
+    let params = flat_params(&Mlp::new(&MLP_DIMS, 77));
+    let state = TrainState {
+        step: 1,
+        ..TrainState::fresh(0, params)
+    };
+    save_state(&ckpt, &state).expect("write bench checkpoint");
+
+    let deadlines_ms: [u64; 2] = [1, 5];
+    let replica_counts: [usize; 2] = [1, 2];
+    let mut rows = Vec::new();
+    for &replicas in &replica_counts {
+        for &dl in &deadlines_ms {
+            let row = run_point(&ckpt, replicas, Duration::from_millis(dl), requests);
+            println!(
+                "serve replicas={replicas} deadline_ms={dl}: {:.0} req/s p50={:.2}ms p99={:.2}ms",
+                row.req_per_sec, row.p50_ms, row.p99_ms
+            );
+            rows.push(row);
+        }
+    }
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(prev_path(&ckpt)).ok();
+
+    let expected_rows = deadlines_ms.len() * replica_counts.len();
+    let report = Report {
+        schema: "selsync-serve-bench-v1".to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+
+    // Re-read and validate what actually landed on disk: CI trusts the
+    // file, so the file (not the in-memory table) is what gets checked.
+    let disk = std::fs::read_to_string(&out_path).expect("re-read report");
+    let parsed: Report = match serde_json::from_str(&disk) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: {out_path} is not valid serve-bench JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failures = Vec::new();
+    if parsed.rows.len() != expected_rows {
+        failures.push(format!(
+            "expected {expected_rows} grid rows, found {}",
+            parsed.rows.len()
+        ));
+    }
+    for row in &parsed.rows {
+        let tag = format!("replicas={} deadline_ms={}", row.replicas, row.deadline_ms);
+        if row.requests != requests {
+            failures.push(format!(
+                "{tag}: {} of {requests} requests answered",
+                row.requests
+            ));
+        }
+        if !row.req_per_sec.is_finite() || row.req_per_sec <= 0.0 {
+            failures.push(format!(
+                "{tag}: non-positive req_per_sec {}",
+                row.req_per_sec
+            ));
+        }
+        if !row.p50_ms.is_finite() || !row.p99_ms.is_finite() || row.p50_ms <= 0.0 {
+            failures.push(format!(
+                "{tag}: degenerate latency p50={} p99={}",
+                row.p50_ms, row.p99_ms
+            ));
+        }
+        if row.p50_ms > row.p99_ms {
+            failures.push(format!(
+                "{tag}: p50 {} exceeds p99 {}",
+                row.p50_ms, row.p99_ms
+            ));
+        }
+    }
+    println!("\nwrote {} rows to {out_path}", parsed.rows.len());
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all serve grid points answered every request with sane latency");
+}

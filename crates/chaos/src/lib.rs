@@ -146,6 +146,20 @@ impl FaultPlan {
         p
     }
 
+    /// Scenario: serving replica `rank` crashes after answering
+    /// `after_batches` batches, nothing else. Reuses the `crashes`
+    /// schedule — the serving tier reads `at_step` as a served-batch
+    /// count (`selsync-serve`'s `crash_after_batches`), the same way
+    /// the training tier reads it as a step count.
+    pub fn crash_replica(seed: u64, rank: usize, after_batches: u64) -> FaultPlan {
+        let mut p = FaultPlan::quiet(seed);
+        p.crashes.push(Crash {
+            rank,
+            at_step: after_batches,
+        });
+        p
+    }
+
     /// Scenario: `rank` is `delay_ms` slower per send, nothing else.
     pub fn slow_straggler(seed: u64, rank: usize, delay_ms: u64) -> FaultPlan {
         let mut p = FaultPlan::quiet(seed);
@@ -603,6 +617,21 @@ mod tests {
         let plan = FaultPlan::slow_straggler(5, 1, 25);
         assert_eq!(plan.straggler_delay(1), Some(Duration::from_millis(25)));
         assert_eq!(plan.straggler_delay(0), None);
+    }
+
+    #[test]
+    fn crash_replica_schedules_a_served_batch_crash() {
+        let plan = FaultPlan::crash_replica(7, 1, 12);
+        assert_eq!(plan.crash_step(1), Some(12));
+        assert_eq!(plan.crash_step(0), None);
+        // nothing else is injected: the plan is otherwise quiet
+        assert_eq!(plan.drop_prob, 0.0);
+        assert_eq!(plan.duplicate_prob, 0.0);
+        assert!(plan.server_crash.is_none());
+        // and it survives the JSON wire like every other scenario
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.crash_step(1), Some(12));
     }
 
     #[test]

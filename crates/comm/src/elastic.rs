@@ -783,7 +783,9 @@ where
                                 Payload::Grads(_)
                                 | Payload::Flags(_)
                                 | Payload::Samples { .. }
-                                | Payload::Control(_) => continue,
+                                | Payload::Control(_)
+                                | Payload::Predict { .. }
+                                | Payload::Logits { .. } => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -801,7 +803,9 @@ where
                                 | Payload::SharedParams(_)
                                 | Payload::Grads(_)
                                 | Payload::Samples { .. }
-                                | Payload::Control(_) => continue,
+                                | Payload::Control(_)
+                                | Payload::Predict { .. }
+                                | Payload::Logits { .. } => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -820,7 +824,9 @@ where
                     | Payload::SharedParams(_)
                     | Payload::Grads(_)
                     | Payload::Flags(_)
-                    | Payload::Samples { .. } => {}
+                    | Payload::Samples { .. }
+                    | Payload::Predict { .. }
+                    | Payload::Logits { .. } => {}
                 }
             }
             Err(TransportError::RecvTimeout { buffered, .. }) => {

@@ -35,6 +35,22 @@ pub enum Payload {
     },
     /// Small control message (requests, acks, shutdown).
     Control(u64),
+    /// Inference request: one or more samples flattened back-to-back,
+    /// each of shape `dims` (serving tier, `selsync-serve`). The number
+    /// of rows is `data.len() / dims.iter().product()`.
+    Predict {
+        /// Flattened sample features, row-major, rows back-to-back.
+        data: Vec<f32>,
+        /// Per-sample feature dimensions (e.g. `[16]` or `[3, 8, 8]`).
+        dims: Vec<usize>,
+    },
+    /// Inference reply: logits rows back-to-back, `classes` per row.
+    Logits {
+        /// Flattened logits, `rows × classes` values.
+        rows: Vec<f32>,
+        /// Logits per row (the model's class count).
+        classes: usize,
+    },
 }
 
 /// Bytes every encoded frame spends before the payload body:
@@ -58,6 +74,10 @@ impl Payload {
                 4 + 4 * data.len() as u64 + 4 + 8 * targets.len() as u64 + 4 + 8 * dims.len() as u64
             }
             Payload::Control(_) => 8,
+            Payload::Predict { data, dims } => {
+                4 + 4 * data.len() as u64 + 4 + 8 * dims.len() as u64
+            }
+            Payload::Logits { rows, .. } => 4 + 4 * rows.len() as u64 + 8,
         }
     }
 
@@ -344,6 +364,18 @@ mod tests {
             dims: vec![3, 2],
         };
         assert_eq!(s.wire_bytes(), 17 + (4 + 24) + (4 + 16) + (4 + 16));
+        // header + f32 section + u64 dims section
+        let p = Payload::Predict {
+            data: vec![0.0; 8],
+            dims: vec![2, 4],
+        };
+        assert_eq!(p.wire_bytes(), 17 + (4 + 32) + (4 + 16));
+        // header + f32 section + u64 class count
+        let l = Payload::Logits {
+            rows: vec![0.0; 6],
+            classes: 3,
+        };
+        assert_eq!(l.wire_bytes(), 17 + (4 + 24) + 8);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use crate::metrics::RunResult;
 use selsync_stats::RelativeGradChange;
 use std::fmt;
 use std::fs::{self, File};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"SSYN";
@@ -548,6 +548,103 @@ pub fn load_state_with_fallback(
 }
 
 // ---------------------------------------------------------------------
+// v2 generation probing (serving-tier rolling reload)
+// ---------------------------------------------------------------------
+
+/// A checkpoint file's generation identity, cheap enough to poll: the
+/// serving tier's reload watcher compares successive probes to notice
+/// that the trainer atomically renamed a new SSV2 image into place,
+/// without reading the (large) parameter section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateGeneration {
+    /// `step` from the checkpoint's meta section.
+    pub step: u64,
+    /// `syncs` from the checkpoint's meta section.
+    pub syncs: u64,
+    /// Total file length in bytes.
+    pub file_len: u64,
+}
+
+fn read_exact_probe(
+    f: &mut File,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), CheckpointError> {
+    f.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated { what }
+        } else {
+            CheckpointError::Io(e)
+        }
+    })
+}
+
+/// Probe `path` for its generation: validates magic/version, walks the
+/// section table reading only headers, and CRC-checks just the 48-byte
+/// meta section. Reads O(sections) bytes regardless of model size, so a
+/// replica can poll it on a short interval without touching the
+/// parameter payload.
+///
+/// # Errors
+/// Typed [`CheckpointError`] on a missing/unreadable file, bad magic or
+/// version, truncation, a corrupt meta section, or a missing meta
+/// section — the same taxonomy as the full loader, so a watcher can log
+/// a torn in-progress write distinctly from real damage.
+pub fn probe_state_generation(path: impl AsRef<Path>) -> Result<StateGeneration, CheckpointError> {
+    let mut f = File::open(path.as_ref())?;
+    let file_len = f.metadata()?.len();
+    let mut head = [0u8; 12];
+    read_exact_probe(&mut f, &mut head, "header")?;
+    if &head[..4] != STATE_MAGIC {
+        return Err(CheckpointError::BadMagic {
+            found: [head[0], head[1], head[2], head[3]],
+        });
+    }
+    let version = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if version > STATE_VERSION {
+        return Err(CheckpointError::BadVersion { found: version });
+    }
+    let n_sections = u32::from_le_bytes([head[8], head[9], head[10], head[11]]);
+    for _ in 0..n_sections {
+        let mut sh = [0u8; 16];
+        read_exact_probe(&mut f, &mut sh, "section header")?;
+        let id = u32::from_le_bytes([sh[0], sh[1], sh[2], sh[3]]);
+        let len = u64::from_le_bytes([sh[4], sh[5], sh[6], sh[7], sh[8], sh[9], sh[10], sh[11]]);
+        let stored_crc = u32::from_le_bytes([sh[12], sh[13], sh[14], sh[15]]);
+        if id == SEC_META {
+            if len != 48 {
+                return Err(CheckpointError::Malformed {
+                    section: SEC_META,
+                    what: format!("meta section is {len} bytes, expected 48"),
+                });
+            }
+            let mut body = [0u8; 48];
+            read_exact_probe(&mut f, &mut body, "meta body")?;
+            if crc32(&body) != stored_crc {
+                return Err(CheckpointError::CrcMismatch { section: SEC_META });
+            }
+            let step = u64::from_le_bytes([
+                body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+            ]);
+            let syncs = u64::from_le_bytes([
+                body[8], body[9], body[10], body[11], body[12], body[13], body[14], body[15],
+            ]);
+            return Ok(StateGeneration {
+                step,
+                syncs,
+                file_len,
+            });
+        }
+        let skip = i64::try_from(len).map_err(|_| CheckpointError::Malformed {
+            section: id,
+            what: format!("section length {len} overflows a seek"),
+        })?;
+        f.seek(SeekFrom::Current(skip))?;
+    }
+    Err(CheckpointError::MissingSection { section: SEC_META })
+}
+
+// ---------------------------------------------------------------------
 // Results + v1 params (kept for --save-params / warm-start compat)
 // ---------------------------------------------------------------------
 
@@ -868,6 +965,74 @@ mod tests {
             let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
             prop_assert!(decode_state(&bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn probe_reports_generation_and_tracks_rewrites() {
+        let path = tmp("probe.ckpt");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
+        assert!(matches!(
+            probe_state_generation(&path),
+            Err(CheckpointError::Io(_))
+        ));
+
+        let gen1 = sample_state(30);
+        save_state(&path, &gen1).unwrap();
+        let g1 = probe_state_generation(&path).unwrap();
+        assert_eq!(g1.step, gen1.step);
+        assert_eq!(g1.syncs, gen1.syncs);
+        assert_eq!(g1.file_len, encode_state(&gen1).len() as u64);
+
+        // same state re-saved probes equal; a new generation differs
+        save_state(&path, &gen1).unwrap();
+        assert_eq!(probe_state_generation(&path).unwrap(), g1);
+        let gen2 = sample_state(31);
+        save_state(&path, &gen2).unwrap();
+        let g2 = probe_state_generation(&path).unwrap();
+        assert_ne!(g2, g1);
+        assert_eq!(g2.step, gen2.step);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
+    }
+
+    #[test]
+    fn probe_rejects_damage_with_typed_errors() {
+        let path = tmp("probe_bad.ckpt");
+        let state = sample_state(32);
+        let image = encode_state(&state);
+
+        std::fs::write(&path, b"XXXX").unwrap();
+        assert!(matches!(
+            probe_state_generation(&path),
+            Err(CheckpointError::Truncated { .. })
+        ));
+
+        let mut bad = image.clone();
+        bad[0] = b'Z';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            probe_state_generation(&path),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+
+        // flip a byte inside the meta body: CRC catches it
+        let mut bad = image.clone();
+        bad[12 + 16] ^= 0xFF; // first byte of the meta section body
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            probe_state_generation(&path),
+            Err(CheckpointError::CrcMismatch { section: 1 })
+        ));
+
+        // cut inside the meta body: truncation, not a parse
+        std::fs::write(&path, &image[..12 + 16 + 20]).unwrap();
+        assert!(matches!(
+            probe_state_generation(&path),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl Rule for NondetIteration {
         "nondet-iteration"
     }
     fn in_scope(&self, rel: &str) -> bool {
-        in_crates(rel, &["comm", "core", "net", "chaos"])
+        in_crates(rel, &["comm", "core", "net", "chaos", "serve"])
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
         for t in &f.toks {
@@ -125,11 +125,12 @@ struct NondetTime;
 
 /// Modules allowed to read the clock: they implement timeouts,
 /// watchdogs and liveness deadlines, where wall time is the point.
-const TIME_ALLOWLIST: [&str; 4] = [
+const TIME_ALLOWLIST: [&str; 5] = [
     "crates/comm/src/elastic.rs",
     "crates/comm/src/fabric.rs",
     "crates/core/src/elastic.rs",
     "crates/net/src/tcp.rs",
+    "crates/serve/src/timer.rs",
 ];
 
 impl Rule for NondetTime {
@@ -137,7 +138,7 @@ impl Rule for NondetTime {
         "nondet-time"
     }
     fn in_scope(&self, rel: &str) -> bool {
-        in_crates(rel, &["comm", "core", "net"]) && !TIME_ALLOWLIST.contains(&rel)
+        in_crates(rel, &["comm", "core", "net", "serve"]) && !TIME_ALLOWLIST.contains(&rel)
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
         for w in f.toks.windows(4) {
@@ -178,7 +179,10 @@ impl Rule for UnwrapInProd {
         "unwrap-in-prod"
     }
     fn in_scope(&self, rel: &str) -> bool {
-        in_crates(rel, &["net", "comm", "chaos", "core", "data", "stats"])
+        in_crates(
+            rel,
+            &["net", "comm", "chaos", "core", "data", "stats", "serve"],
+        )
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
         let toks = &f.toks;
@@ -452,7 +456,7 @@ impl Rule for WireWildcard {
         "wire-wildcard"
     }
     fn in_scope(&self, rel: &str) -> bool {
-        in_crates(rel, &["comm", "net", "core", "chaos"])
+        in_crates(rel, &["comm", "net", "core", "chaos", "serve"])
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
         let toks = &f.toks;

@@ -1,0 +1,8 @@
+// fixture: true positive for nondet-time — a serving module reading
+// the wall clock directly instead of taking an Instant from the
+// crate's allowlisted timer module.
+use std::time::Instant;
+
+fn batch_is_due(deadline_ms: u128) -> bool {
+    Instant::now().elapsed().as_millis() >= deadline_ms
+}

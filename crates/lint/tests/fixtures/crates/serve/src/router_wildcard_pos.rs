@@ -1,0 +1,19 @@
+// fixture: true positive for wire-wildcard — a serving router match
+// over Payload with a catch-all arm would silently drop any variant
+// added to the wire protocol later (exactly how a new Predict/Logits
+// kind could vanish into a router built before it existed).
+enum Payload {
+    Predict(Vec<f32>),
+    Logits(Vec<f32>),
+}
+
+struct Message {
+    payload: Payload,
+}
+
+fn route(m: Message) -> usize {
+    match m.payload {
+        Payload::Predict(d) => d.len(),
+        _ => 0,
+    }
+}

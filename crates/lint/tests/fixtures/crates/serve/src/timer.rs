@@ -1,0 +1,8 @@
+// fixture: true negative for nondet-time — this path IS the serving
+// tier's allowlisted clock source crates/serve/src/timer.rs; every
+// other serve module takes Instants from here.
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -136,6 +136,24 @@ fn wire_wildcard_positive_and_negative() {
 }
 
 #[test]
+fn serve_crate_is_in_scope_with_timer_allowlisted() {
+    let r = run_fixtures();
+    // a serving module reading the clock directly fires nondet-time...
+    assert_eq!(
+        findings(&r, "crates/serve/src/deadline_pos.rs"),
+        vec![("nondet-time".into(), 7, false)]
+    );
+    // ...but the crate's designated clock source is allowlisted, so the
+    // identical call there stays silent
+    assert!(rules_hit(&r, "crates/serve/src/timer.rs").is_empty());
+    // and a wildcard arm in a router Payload match fires wire-wildcard
+    assert_eq!(
+        findings(&r, "crates/serve/src/router_wildcard_pos.rs"),
+        vec![("wire-wildcard".into(), 17, false)]
+    );
+}
+
+#[test]
 fn justified_allow_suppresses_both_forms() {
     let r = run_fixtures();
     let f = findings(&r, "crates/comm/src/suppressed_ok.rs");

@@ -13,6 +13,9 @@
 //! * `Samples`:        three sections — `u32 count + count × f32` data,
 //!   `u32 count + count × u64` targets, `u32 count + count × u64` dims
 //! * `Control`:        `u64 code`
+//! * `Predict`:        two sections — `u32 count + count × f32` data,
+//!   `u32 count + count × u64` dims
+//! * `Logits`:         `u32 count + count × f32` rows, then `u64 classes`
 //!
 //! Floats travel as raw IEEE-754 bits, so a decoded vector is
 //! bit-identical to the encoded one (NaN payloads included) — the
@@ -27,6 +30,8 @@ const KIND_GRADS: u8 = 1;
 const KIND_FLAGS: u8 = 2;
 const KIND_SAMPLES: u8 = 3;
 const KIND_CONTROL: u8 = 4;
+const KIND_PREDICT: u8 = 5;
+const KIND_LOGITS: u8 = 6;
 
 /// Decoding failure; encoding cannot fail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +72,8 @@ fn kind_of(payload: &Payload) -> u8 {
         Payload::Flags(_) => KIND_FLAGS,
         Payload::Samples { .. } => KIND_SAMPLES,
         Payload::Control(_) => KIND_CONTROL,
+        Payload::Predict { .. } => KIND_PREDICT,
+        Payload::Logits { .. } => KIND_LOGITS,
     }
 }
 
@@ -100,6 +107,14 @@ pub fn encode_frame(from: usize, tag: u64, payload: &Payload) -> Bytes {
             put_u64_section(&mut buf, dims);
         }
         Payload::Control(code) => buf.put_u64(*code),
+        Payload::Predict { data, dims } => {
+            put_f32_section(&mut buf, data);
+            put_u64_section(&mut buf, dims);
+        }
+        Payload::Logits { rows, classes } => {
+            put_f32_section(&mut buf, rows);
+            buf.put_u64(*classes as u64);
+        }
     }
     assert_eq!(
         buf.len(),
@@ -172,6 +187,16 @@ pub fn decode_after_len(mut buf: &[u8]) -> Result<Msg, CodecError> {
             }
         }
         KIND_CONTROL => Payload::Control(get_u64_checked(&mut buf)?),
+        KIND_PREDICT => {
+            let data = get_f32_section(&mut buf)?;
+            let dims = get_u64_section(&mut buf)?;
+            Payload::Predict { data, dims }
+        }
+        KIND_LOGITS => {
+            let rows = get_f32_section(&mut buf)?;
+            let classes = get_u64_checked(&mut buf)? as usize;
+            Payload::Logits { rows, classes }
+        }
         other => return Err(CodecError::BadKind(other)),
     };
     if buf.has_remaining() {
@@ -248,6 +273,14 @@ mod tests {
                 dims: vec![3, 8, 8],
             },
             Payload::Control(u64::MAX),
+            Payload::Predict {
+                data: vec![1.5, -0.25, 42.0, 0.0],
+                dims: vec![2, 2],
+            },
+            Payload::Logits {
+                rows: vec![0.1, -9.0, 7.5],
+                classes: 3,
+            },
         ];
         for (i, p) in cases.into_iter().enumerate() {
             let m = roundtrip(i, i as u64 * 1000, p.clone());

@@ -107,4 +107,45 @@ proptest! {
         let out = roundtrip(from, tag, &Payload::Control(code));
         prop_assert_eq!(out, Payload::Control(code));
     }
+
+    #[test]
+    fn predict_roundtrip_bit_exact(
+        data in prop::collection::vec(-100.0f32..100.0, 0..128usize),
+        dims in prop::collection::vec(1usize..4096, 0..8usize),
+        from in 0usize..256,
+        tag in 0u64..u64::MAX,
+    ) {
+        let data = splice_specials(data, tag);
+        let payload = Payload::Predict {
+            data: data.clone(),
+            dims: dims.clone(),
+        };
+        match roundtrip(from, tag, &payload) {
+            Payload::Predict { data: d, dims: m } => {
+                prop_assert_eq!(bits(&d), bits(&data));
+                prop_assert_eq!(m, dims);
+            }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn logits_roundtrip_bit_exact(
+        rows in prop::collection::vec(-1e6f32..1e6, 0..256usize),
+        classes in 1usize..100_000,
+        tag in 0u64..u64::MAX,
+    ) {
+        let rows = splice_specials(rows, tag);
+        let payload = Payload::Logits {
+            rows: rows.clone(),
+            classes,
+        };
+        match roundtrip(2, tag, &payload) {
+            Payload::Logits { rows: r, classes: c } => {
+                prop_assert_eq!(bits(&r), bits(&rows));
+                prop_assert_eq!(c, classes);
+            }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
 }

@@ -5,6 +5,7 @@ use crate::batch::Input;
 use crate::layers::{Linear, Relu};
 use crate::models::Model;
 use crate::module::{Module, Param, ParamVisitor};
+use crate::workspace::Workspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selsync_tensor::Tensor;
@@ -80,6 +81,29 @@ impl Model for Mlp {
         h
     }
 
+    /// Allocation-free inference for `[rows, features]` batches: every
+    /// intermediate comes from the arena via `Linear::forward_ws`, and
+    /// ReLU runs in place on the hidden activations (inference needs no
+    /// saved mask). Image-shaped input falls back to the allocating
+    /// path, since flattening it requires a copy anyway.
+    fn predict_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        if x.shape().ndim() != 2 {
+            return self.forward(&Input::Dense(x.clone()), false);
+        }
+        let mut h = self.layers[0].forward_ws(x, false, ws);
+        for i in 1..self.layers.len() {
+            for v in h.as_mut_slice() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            let next = self.layers[i].forward_ws(&h, false, ws);
+            ws.give(h);
+            h = next;
+        }
+        h
+    }
+
     fn backward(&mut self, dlogits: &Tensor) {
         // forward order is L0 R0 L1 R1 … L_last (no ReLU after the last
         // layer), so ReLU i-1 precedes layer i on the way back.
@@ -121,6 +145,28 @@ mod tests {
     fn flattens_image_input() {
         let mut m = Mlp::new(&[12, 6, 2], 1);
         let y = m.forward(&Input::Dense(Tensor::zeros([2, 3, 2, 2])), true);
+        assert_eq!(y.shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn predict_ws_matches_forward_bit_exactly() {
+        let mut m = Mlp::new(&[6, 12, 4], 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = init::randn([5, 6], 1.0, &mut rng);
+        let want = m.forward(&Input::Dense(x.clone()), false);
+        let mut ws = Workspace::new();
+        let got = m.predict_ws(&x, &mut ws);
+        assert_eq!(got.shape().dims(), want.shape().dims());
+        let wb: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+        let gb: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(gb, wb, "workspace predict must be bit-identical");
+    }
+
+    #[test]
+    fn predict_ws_flattens_image_input() {
+        let mut m = Mlp::new(&[12, 6, 2], 1);
+        let mut ws = Workspace::new();
+        let y = m.predict_ws(&Tensor::zeros([2, 3, 2, 2]), &mut ws);
         assert_eq!(y.shape().dims(), &[2, 2]);
     }
 

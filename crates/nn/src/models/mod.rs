@@ -27,6 +27,7 @@ pub use vgg_mini::VggMini;
 
 use crate::batch::Input;
 use crate::module::ParamVisitor;
+use crate::workspace::Workspace;
 use selsync_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -39,6 +40,20 @@ pub trait Model: ParamVisitor + Send {
     /// Backward pass from the logits gradient (as produced by
     /// [`crate::loss::softmax_cross_entropy`]).
     fn backward(&mut self, dlogits: &Tensor);
+
+    /// Workspace-aware inference entry point for the serving tier:
+    /// logits `[rows, classes]` for a dense batch `x` of shape
+    /// `[rows, features…]`, drawing every temporary from `ws` so a
+    /// steady-state predict loop performs zero arena allocations after
+    /// warmup. The caller owns the returned tensor and should `give` it
+    /// back to `ws` once consumed to keep the arena balanced.
+    ///
+    /// The default delegates to the allocating [`Model::forward`] path;
+    /// models with a full `_ws` pipeline (the MLP) override it.
+    fn predict_ws(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let _ = &mut *ws;
+        self.forward(&Input::Dense(x.clone()), false)
+    }
 
     /// Number of output classes (vocab size for language models).
     fn num_classes(&self) -> usize;

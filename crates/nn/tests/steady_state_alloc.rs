@@ -6,6 +6,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use selsync_nn::layers::{Conv2d, Linear};
+use selsync_nn::models::{Mlp, Model};
 use selsync_nn::module::ParamVisitor;
 use selsync_nn::{Module, Workspace};
 use selsync_tensor::{init, Tensor};
@@ -56,6 +57,33 @@ fn conv2d_steady_state_is_allocation_free() {
     let (start, end) = drive(&mut c, &x, &dy, &mut ws, 2, 8);
     assert!(start > 0, "warmup must have populated the arena");
     assert_eq!(end, start, "steady-state Conv2d steps must not allocate");
+}
+
+#[test]
+fn mlp_predict_steady_state_is_allocation_free() {
+    // The serving hot path: after one warmup batch at the largest row
+    // count, repeated predict_ws calls (including smaller batches, as a
+    // dynamic batcher produces) must draw every temporary from the
+    // arena. Mirrors the layer-level assertions above at model level.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut m = Mlp::new(&[16, 32, 8], 9);
+    let big = init::randn([8, 16], 1.0, &mut rng);
+    let small = init::randn([3, 16], 1.0, &mut rng);
+    let mut ws = Workspace::new();
+    let y = m.predict_ws(&big, &mut ws);
+    ws.give(y);
+    let after_warmup = ws.allocations();
+    assert!(after_warmup > 0, "warmup must have populated the arena");
+    for step in 0..16 {
+        let x = if step % 3 == 0 { &small } else { &big };
+        let y = m.predict_ws(x, &mut ws);
+        ws.give(y);
+    }
+    assert_eq!(
+        ws.allocations(),
+        after_warmup,
+        "steady-state predict must not allocate"
+    );
 }
 
 #[test]

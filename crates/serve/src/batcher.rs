@@ -1,0 +1,254 @@
+//! The dynamic batcher: a pure batch-or-deadline state machine.
+//!
+//! Requests queue until either the pending row count reaches
+//! `max_batch` (flush immediately — the throughput path) or the oldest
+//! queued request has waited `deadline` (flush on time — the latency
+//! path). The router drives it with explicit `Instant`s from
+//! [`crate::timer`], so the machine itself never reads the clock and
+//! unit tests can replay any timing deterministically.
+//!
+//! All requests in one batch share their per-sample `dims`; a request
+//! with different dims flushes the pending batch first and starts a new
+//! one (a serving group normally hosts one model, so this is the rare
+//! path, not an error).
+
+use std::time::{Duration, Instant};
+
+/// One client request parked in the batcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuedRequest {
+    /// Client rank to route the reply to.
+    pub client: usize,
+    /// The client's request id (reply tag).
+    pub tag: u64,
+    /// Flattened sample features, rows back-to-back.
+    pub data: Vec<f32>,
+    /// Number of samples in `data`.
+    pub rows: usize,
+}
+
+/// A flushed batch, ready to dispatch to a replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Per-sample feature dimensions shared by every request.
+    pub dims: Vec<usize>,
+    /// The member requests, in arrival order.
+    pub requests: Vec<QueuedRequest>,
+    /// Total sample rows across the requests.
+    pub rows: usize,
+}
+
+impl Batch {
+    /// Concatenate the member requests' features into one flat buffer
+    /// (the replica-bound `Predict` body).
+    pub fn concat_data(&self) -> Vec<f32> {
+        let total: usize = self.requests.iter().map(|r| r.data.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for r in &self.requests {
+            out.extend_from_slice(&r.data);
+        }
+        out
+    }
+}
+
+/// Batcher tuning: the `--max-batch` / `--deadline-ms` pair.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Flush as soon as this many rows are pending.
+    pub max_batch: usize,
+    /// Flush once the oldest pending request has waited this long.
+    pub deadline: Duration,
+}
+
+/// The batch-or-deadline state machine.
+#[derive(Debug)]
+pub struct Batcher {
+    cfg: BatcherConfig,
+    dims: Vec<usize>,
+    pending: Vec<QueuedRequest>,
+    rows: usize,
+    oldest: Option<Instant>,
+}
+
+impl Batcher {
+    /// An empty batcher.
+    pub fn new(cfg: BatcherConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be at least 1");
+        Batcher {
+            cfg,
+            dims: Vec::new(),
+            pending: Vec::new(),
+            rows: 0,
+            oldest: None,
+        }
+    }
+
+    /// Queue a request observed at `now`, returning every batch the
+    /// push caused to flush: a dims change flushes the old batch, and
+    /// reaching `max_batch` rows flushes the new one, so up to two
+    /// batches can emerge from a single push.
+    pub fn push(&mut self, req: QueuedRequest, dims: Vec<usize>, now: Instant) -> Vec<Batch> {
+        let mut out = Vec::new();
+        if !self.pending.is_empty() && self.dims != dims {
+            out.extend(self.flush());
+        }
+        if self.pending.is_empty() {
+            self.dims = dims;
+            self.oldest = Some(now);
+        }
+        self.rows += req.rows;
+        self.pending.push(req);
+        if self.rows >= self.cfg.max_batch {
+            out.extend(self.flush());
+        }
+        out
+    }
+
+    /// Flush the pending batch if its deadline has passed at `now`.
+    pub fn poll(&mut self, now: Instant) -> Option<Batch> {
+        match self.oldest {
+            Some(t0) if now.duration_since(t0) >= self.cfg.deadline => self.flush(),
+            _ => None,
+        }
+    }
+
+    /// Unconditionally flush whatever is pending.
+    pub fn flush(&mut self) -> Option<Batch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.oldest = None;
+        let rows = self.rows;
+        self.rows = 0;
+        Some(Batch {
+            dims: self.dims.clone(),
+            requests: std::mem::take(&mut self.pending),
+            rows,
+        })
+    }
+
+    /// Time remaining until the pending batch's deadline (zero if
+    /// already due), or `None` when nothing is pending — the router's
+    /// receive-timeout pacing hint.
+    pub fn time_to_deadline(&self, now: Instant) -> Option<Duration> {
+        self.oldest
+            .map(|t0| (t0 + self.cfg.deadline).saturating_duration_since(now))
+    }
+
+    /// True when no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Pending sample rows.
+    pub fn pending_rows(&self) -> usize {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tag: u64, rows: usize, feat: usize) -> QueuedRequest {
+        QueuedRequest {
+            client: 9,
+            tag,
+            data: vec![tag as f32; rows * feat],
+            rows,
+        }
+    }
+
+    fn cfg(max_batch: usize, deadline_ms: u64) -> BatcherConfig {
+        BatcherConfig {
+            max_batch,
+            deadline: Duration::from_millis(deadline_ms),
+        }
+    }
+
+    #[test]
+    fn flushes_at_max_batch_rows() {
+        let mut b = Batcher::new(cfg(4, 1000));
+        let t0 = Instant::now();
+        assert!(b.push(req(0, 1, 2), vec![2], t0).is_empty());
+        assert!(b.push(req(1, 2, 2), vec![2], t0).is_empty());
+        let batches = b.push(req(2, 1, 2), vec![2], t0);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].rows, 4);
+        assert_eq!(batches[0].requests.len(), 3);
+        assert!(b.is_empty());
+        assert_eq!(b.time_to_deadline(t0), None);
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let mut b = Batcher::new(cfg(8, 5));
+        let t0 = Instant::now();
+        assert!(b.push(req(0, 1, 3), vec![3], t0).is_empty());
+        // before the deadline: nothing
+        assert!(b.poll(t0 + Duration::from_millis(4)).is_none());
+        assert_eq!(
+            b.time_to_deadline(t0 + Duration::from_millis(4)),
+            Some(Duration::from_millis(1))
+        );
+        // at the deadline: the partial batch flushes
+        let batch = b.poll(t0 + Duration::from_millis(5)).expect("due");
+        assert_eq!(batch.rows, 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn deadline_measured_from_oldest_request() {
+        let mut b = Batcher::new(cfg(8, 10));
+        let t0 = Instant::now();
+        b.push(req(0, 1, 1), vec![1], t0);
+        b.push(req(1, 1, 1), vec![1], t0 + Duration::from_millis(8));
+        // 10ms after the *first* push the batch is due, even though the
+        // second request is only 2ms old
+        let batch = b.poll(t0 + Duration::from_millis(10)).expect("due");
+        assert_eq!(batch.requests.len(), 2);
+    }
+
+    #[test]
+    fn dims_change_flushes_old_batch_first() {
+        let mut b = Batcher::new(cfg(4, 1000));
+        let t0 = Instant::now();
+        b.push(req(0, 1, 2), vec![2], t0);
+        let batches = b.push(req(1, 1, 6), vec![2, 3], t0);
+        assert_eq!(batches.len(), 1, "old-dims batch flushed");
+        assert_eq!(batches[0].dims, vec![2]);
+        assert_eq!(b.pending_rows(), 1, "new-dims request now pending");
+        let due = b.poll(t0 + Duration::from_secs(2)).expect("due");
+        assert_eq!(due.dims, vec![2, 3]);
+    }
+
+    #[test]
+    fn oversized_request_flushes_alone() {
+        let mut b = Batcher::new(cfg(4, 1000));
+        let t0 = Instant::now();
+        let batches = b.push(req(0, 9, 1), vec![1], t0);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].rows, 9, "a request may exceed max_batch");
+    }
+
+    #[test]
+    fn concat_preserves_arrival_order() {
+        let mut b = Batcher::new(cfg(3, 1000));
+        let t0 = Instant::now();
+        b.push(req(7, 1, 2), vec![2], t0);
+        let batches = b.push(req(8, 2, 2), vec![2], t0);
+        let data = batches[0].concat_data();
+        assert_eq!(data, vec![7.0, 7.0, 8.0, 8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn max_batch_one_flushes_every_push() {
+        let mut b = Batcher::new(cfg(1, 1000));
+        let t0 = Instant::now();
+        for tag in 0..3 {
+            let batches = b.push(req(tag, 1, 1), vec![1], t0);
+            assert_eq!(batches.len(), 1);
+            assert_eq!(batches[0].requests[0].tag, tag);
+        }
+    }
+}

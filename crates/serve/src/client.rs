@@ -1,0 +1,164 @@
+//! A closed-loop load-generating client: keep `concurrency` requests
+//! outstanding against the router, fingerprint every reply, and record
+//! per-request latency for the bench tier.
+
+use crate::protocol::{logits_fingerprint, CONTROL_TAG, CTRL_CLIENT_DONE};
+use crate::timer;
+use selsync_comm::{Payload, Transport, TransportError};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Client tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The router's rank.
+    pub router: usize,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Requests kept outstanding at once (closed loop).
+    pub concurrency: usize,
+    /// Per-sample feature dims of every request (one row each).
+    pub dims: Vec<usize>,
+    /// Pause after each send — shapes arrival rate so the batcher's
+    /// deadline path is actually exercised.
+    pub spacing: Duration,
+    /// Seeds the deterministic request payloads.
+    pub seed: u64,
+    /// Send the identical payload every time (the reload test wants
+    /// replies that differ only by parameter generation).
+    pub fixed_input: bool,
+    /// Give up if no reply arrives for this long (a hang here means the
+    /// serving group lost a request — fail loudly, never spin).
+    pub recv_timeout: Duration,
+}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Request id (0-based issue order).
+    pub request: u64,
+    /// FNV-1a fingerprint of the logits bits (0 for an empty reply).
+    pub fingerprint: u64,
+    /// Send-to-reply latency.
+    pub latency: Duration,
+}
+
+/// What the client observed, replies in arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReport {
+    /// Requests answered (== `cfg.requests` on success).
+    pub completed: u64,
+    /// Every reply, in arrival order.
+    pub replies: Vec<Reply>,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic request payload: values in roughly [-1, 1), fully
+/// determined by (seed, request id) — or by seed alone under
+/// `fixed_input`. Public so the reload process test and the bench tier
+/// can reproduce the exact bytes a client sends.
+pub fn request_payload(seed: u64, request: u64, len: usize) -> Vec<f32> {
+    let mut state = seed ^ request.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    (0..len)
+        .map(|_| {
+            let bits = splitmix64(&mut state) >> 40; // 24 mantissa-safe bits
+            (bits as f32) / ((1u64 << 23) as f32) - 1.0
+        })
+        .collect()
+}
+
+/// Run the closed loop to completion and tell the router we are done.
+///
+/// # Errors
+/// [`TransportError::RecvTimeout`] when a reply never arrives — the
+/// serving group dropped a request, which the tests treat as fatal.
+pub fn run_client<T: Transport>(
+    mut ep: T,
+    cfg: &ClientConfig,
+) -> Result<ClientReport, TransportError> {
+    let feat: usize = cfg.dims.iter().product();
+    let mut report = ClientReport {
+        completed: 0,
+        replies: Vec::with_capacity(cfg.requests as usize),
+    };
+    let mut outstanding: BTreeMap<u64, Instant> = BTreeMap::new();
+    let mut next_request: u64 = 0;
+    while report.completed < cfg.requests {
+        // fill the window
+        while next_request < cfg.requests && outstanding.len() < cfg.concurrency.max(1) {
+            let input_id = if cfg.fixed_input { 0 } else { next_request };
+            let data = request_payload(cfg.seed, input_id, feat);
+            ep.send(
+                cfg.router,
+                next_request,
+                Payload::Predict {
+                    data,
+                    dims: cfg.dims.clone(),
+                },
+            )?;
+            outstanding.insert(next_request, timer::now());
+            next_request += 1;
+            if !cfg.spacing.is_zero() {
+                std::thread::sleep(cfg.spacing);
+            }
+        }
+        let m = ep.recv_deadline(Some(cfg.router), None, cfg.recv_timeout)?;
+        match m.payload {
+            Payload::Logits { rows, .. } => {
+                let Some(sent) = outstanding.remove(&m.tag) else {
+                    continue; // duplicate or stray reply
+                };
+                report.replies.push(Reply {
+                    request: m.tag,
+                    fingerprint: if rows.is_empty() {
+                        0
+                    } else {
+                        logits_fingerprint(&rows)
+                    },
+                    latency: timer::now().duration_since(sent),
+                });
+                report.completed += 1;
+            }
+            // explicit so new wire variants fail here at compile time
+            // instead of being dropped
+            Payload::Params(_)
+            | Payload::SharedParams(_)
+            | Payload::Grads(_)
+            | Payload::Flags(_)
+            | Payload::Samples { .. }
+            | Payload::Control(_)
+            | Payload::Predict { .. } => {}
+        }
+    }
+    ep.send(cfg.router, CONTROL_TAG, Payload::Control(CTRL_CLIENT_DONE))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_request_is_deterministic_and_bounded() {
+        let a = request_payload(42, 7, 64);
+        let b = request_payload(42, 7, 64);
+        assert_eq!(a, b);
+        let c = request_payload(42, 8, 64);
+        assert_ne!(a, c, "different requests get different payloads");
+        for v in &a {
+            assert!(*v >= -1.0 && *v < 1.5, "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn fixed_input_means_identical_payloads() {
+        assert_eq!(request_payload(9, 0, 16), request_payload(9, 0, 16));
+    }
+}

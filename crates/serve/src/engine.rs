@@ -1,0 +1,331 @@
+//! The model side of a replica: reconstruct a model from a spec + flat
+//! parameters, and answer batched predict calls through the
+//! allocation-free `Workspace` path.
+
+use selsync_core::workload::{AnyModel, Workload};
+use selsync_nn::flat::set_flat_params;
+use selsync_nn::models::{Mlp, ModelKind};
+use selsync_nn::Workspace;
+use std::fmt;
+
+/// How to rebuild the served model's architecture. The checkpoint holds
+/// only the flat parameter vector, so the architecture travels as CLI
+/// flags (`--model`, `--mlp-dims`, `--data-scale`) and must match what
+/// the trainer ran — enforced by the parameter-count check in
+/// [`PredictEngine::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// One of the four paper workloads at a data scale (the scale fixes
+    /// the class count through the workload builder, exactly as the
+    /// trainer's own model construction does).
+    Kind {
+        /// Which paper workload.
+        kind: ModelKind,
+        /// Data scale the trainer used (`--data` in the harnesses).
+        data_scale: usize,
+    },
+    /// An MLP with explicit layer widths (tests, overhead harnesses).
+    Mlp {
+        /// Layer widths, input first.
+        dims: Vec<usize>,
+    },
+}
+
+impl ModelSpec {
+    /// Parse a `--model` name. MLP widths arrive separately
+    /// (`--mlp-dims`), so `mlp` here yields an error directing the
+    /// caller to supply them.
+    pub fn parse(
+        model: &str,
+        mlp_dims: Option<&[usize]>,
+        data_scale: usize,
+    ) -> Result<Self, String> {
+        match model {
+            "mlp" => match mlp_dims {
+                Some(dims) if dims.len() >= 2 => Ok(ModelSpec::Mlp {
+                    dims: dims.to_vec(),
+                }),
+                _ => Err("--model mlp requires --mlp-dims w0,w1,... (>= 2 widths)".to_string()),
+            },
+            "resnet" => Ok(ModelSpec::Kind {
+                kind: ModelKind::ResNetMini,
+                data_scale,
+            }),
+            "vgg" => Ok(ModelSpec::Kind {
+                kind: ModelKind::VggMini,
+                data_scale,
+            }),
+            "alexnet" => Ok(ModelSpec::Kind {
+                kind: ModelKind::AlexNetMini,
+                data_scale,
+            }),
+            "transformer" => Ok(ModelSpec::Kind {
+                kind: ModelKind::TransformerMini,
+                data_scale,
+            }),
+            other => Err(format!(
+                "unknown model '{other}' (mlp | resnet | vgg | alexnet | transformer)"
+            )),
+        }
+    }
+
+    /// Instantiate the architecture (seeded init; the caller overwrites
+    /// the parameters from the checkpoint).
+    pub fn build(&self, seed: u64) -> AnyModel {
+        match self {
+            ModelSpec::Mlp { dims } => AnyModel::Mlp(Mlp::new(dims, seed)),
+            ModelSpec::Kind { kind, data_scale } => {
+                Workload::for_kind(*kind, *data_scale, seed).build_model()
+            }
+        }
+    }
+}
+
+/// Why a predict call or parameter swap was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The flat parameter vector does not match the architecture.
+    ParamCount {
+        /// Parameters the architecture has.
+        expected: usize,
+        /// Parameters supplied.
+        got: usize,
+    },
+    /// The request's data length is not a whole number of `dims` rows.
+    BadShape {
+        /// Flattened feature values supplied.
+        data_len: usize,
+        /// Features per sample implied by the request dims.
+        feat: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ParamCount { expected, got } => {
+                write!(
+                    f,
+                    "parameter count mismatch: model has {expected}, got {got}"
+                )
+            }
+            EngineError::BadShape { data_len, feat } => {
+                write!(
+                    f,
+                    "{data_len} values is not a whole number of {feat}-feature rows"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One replica's inference engine: the model plus its private arena.
+pub struct PredictEngine {
+    model: AnyModel,
+    ws: Workspace,
+    classes: usize,
+    num_params: usize,
+}
+
+impl PredictEngine {
+    /// Build the architecture from `spec` and load `params` into it.
+    ///
+    /// # Errors
+    /// [`EngineError::ParamCount`] when the checkpoint's parameter
+    /// vector does not fit the architecture — the spec and the trainer
+    /// disagree, and serving garbage would be worse than refusing.
+    pub fn new(spec: &ModelSpec, seed: u64, params: &[f32]) -> Result<Self, EngineError> {
+        let mut model = spec.build(seed);
+        let num_params = model.as_visitor().num_params();
+        if params.len() != num_params {
+            return Err(EngineError::ParamCount {
+                expected: num_params,
+                got: params.len(),
+            });
+        }
+        set_flat_params(model.as_model(), params);
+        let classes = model.as_model().num_classes();
+        Ok(PredictEngine {
+            model,
+            ws: Workspace::new(),
+            classes,
+            num_params,
+        })
+    }
+
+    /// Logits per row.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Trainable parameter count of the architecture.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Swap in a new parameter generation. Copies into the existing
+    /// parameter tensors — no allocation, and strictly between batches
+    /// (the replica loop never calls this mid-predict).
+    ///
+    /// # Errors
+    /// [`EngineError::ParamCount`] on a length mismatch (e.g. the
+    /// trainer redeployed a different architecture); the old weights
+    /// stay in place.
+    pub fn set_params(&mut self, params: &[f32]) -> Result<(), EngineError> {
+        if params.len() != self.num_params {
+            return Err(EngineError::ParamCount {
+                expected: self.num_params,
+                got: params.len(),
+            });
+        }
+        set_flat_params(self.model.as_model(), params);
+        Ok(())
+    }
+
+    /// Run one warmup batch of `rows` zero samples shaped `dims`,
+    /// sizing the arena so subsequent batches of up to `rows` rows are
+    /// allocation-free.
+    pub fn warmup(&mut self, rows: usize, dims: &[usize]) {
+        let feat: usize = dims.iter().product();
+        if rows == 0 || feat == 0 {
+            return;
+        }
+        let zeros = vec![0.0; rows * feat];
+        // a warmup over zeros cannot fail the shape check
+        let _ = self.predict(&zeros, dims);
+    }
+
+    /// Logits for a batch: `data` holds `rows` samples of shape `dims`
+    /// back-to-back; the reply holds `rows × classes` values in request
+    /// order. Temporaries come from the arena — after [`Self::warmup`]
+    /// at the largest row count, steady-state calls allocate nothing
+    /// there (asserted by `tests/steady_state.rs`).
+    ///
+    /// # Errors
+    /// [`EngineError::BadShape`] when `data` is empty or not a whole
+    /// number of `dims` rows.
+    pub fn predict(&mut self, data: &[f32], dims: &[usize]) -> Result<Vec<f32>, EngineError> {
+        let feat: usize = dims.iter().product();
+        // an empty dims list would alias "6 scalars" (empty product = 1)
+        if dims.is_empty() || feat == 0 || data.is_empty() || !data.len().is_multiple_of(feat) {
+            return Err(EngineError::BadShape {
+                data_len: data.len(),
+                feat,
+            });
+        }
+        let rows = data.len() / feat;
+        let mut shape = Vec::with_capacity(dims.len() + 1);
+        shape.push(rows);
+        shape.extend_from_slice(dims);
+        let mut x = self.ws.take(&shape[..]);
+        x.as_mut_slice().copy_from_slice(data);
+        let y = self.model.as_model().predict_ws(&x, &mut self.ws);
+        let out = y.as_slice().to_vec();
+        self.ws.give(x);
+        self.ws.give(y);
+        Ok(out)
+    }
+
+    /// The arena's allocation counter (flat across steady-state predict
+    /// calls — the serving-tier analogue of `steady_state_alloc.rs`).
+    pub fn allocations(&self) -> u64 {
+        self.ws.allocations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_nn::flat::flat_params;
+
+    fn mlp_spec() -> ModelSpec {
+        ModelSpec::Mlp {
+            dims: vec![6, 10, 4],
+        }
+    }
+
+    fn mlp_params(seed: u64) -> Vec<f32> {
+        flat_params(&Mlp::new(&[6, 10, 4], seed))
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert_eq!(
+            ModelSpec::parse("mlp", Some(&[4, 2]), 64).unwrap(),
+            ModelSpec::Mlp { dims: vec![4, 2] }
+        );
+        assert!(ModelSpec::parse("mlp", None, 64).is_err());
+        assert!(ModelSpec::parse("mlp", Some(&[4]), 64).is_err());
+        assert_eq!(
+            ModelSpec::parse("resnet", None, 64).unwrap(),
+            ModelSpec::Kind {
+                kind: ModelKind::ResNetMini,
+                data_scale: 64
+            }
+        );
+        assert!(ModelSpec::parse("nope", None, 64).is_err());
+    }
+
+    #[test]
+    fn engine_rejects_wrong_param_count() {
+        let err = match PredictEngine::new(&mlp_spec(), 0, &[0.0; 3]) {
+            Ok(_) => panic!("3 parameters must not satisfy a [6,10,4] MLP"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, EngineError::ParamCount { got: 3, .. }));
+    }
+
+    #[test]
+    fn predict_matches_direct_model_bit_exactly() {
+        use selsync_nn::models::Model;
+        let params = mlp_params(5);
+        let mut engine = PredictEngine::new(&mlp_spec(), 0, &params).unwrap();
+        // the engine's seed differs from the params' seed on purpose:
+        // the checkpoint parameters must fully determine the output
+        let mut reference = Mlp::new(&[6, 10, 4], 5);
+        let data: Vec<f32> = (0..12).map(|i| (i as f32 * 0.7).sin()).collect();
+        let got = engine.predict(&data, &[6]).unwrap();
+        let mut ws = Workspace::new();
+        let x = selsync_tensor::Tensor::from_vec(data, [2, 6]);
+        let want = reference.predict_ws(&x, &mut ws);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(engine.classes(), 4);
+    }
+
+    #[test]
+    fn predict_rejects_ragged_rows() {
+        let params = mlp_params(1);
+        let mut engine = PredictEngine::new(&mlp_spec(), 0, &params).unwrap();
+        assert!(engine.predict(&[0.0; 7], &[6]).is_err());
+        assert!(engine.predict(&[], &[6]).is_err());
+        assert!(engine.predict(&[0.0; 6], &[]).is_err());
+    }
+
+    #[test]
+    fn set_params_swaps_output_and_rejects_mismatch() {
+        let a = mlp_params(1);
+        let b = mlp_params(2);
+        let mut engine = PredictEngine::new(&mlp_spec(), 0, &a).unwrap();
+        let x: Vec<f32> = (0..6).map(|i| i as f32 * 0.3).collect();
+        let ya = engine.predict(&x, &[6]).unwrap();
+        engine.set_params(&b).unwrap();
+        let yb = engine.predict(&x, &[6]).unwrap();
+        assert_ne!(ya, yb, "new generation must change the logits");
+        engine.set_params(&a).unwrap();
+        let ya2 = engine.predict(&x, &[6]).unwrap();
+        assert_eq!(
+            ya.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ya2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "swapping back must be bit-exact"
+        );
+        assert!(engine.set_params(&[0.0; 2]).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # selsync-serve
+//!
+//! Closes the loop the ROADMAP calls "serve it to millions of users":
+//! a high-throughput inference tier over the same fabric the trainer
+//! uses. A **router** rank batches client predict requests (flush at
+//! `max_batch` rows or a deadline) and dispatches them least-loaded to
+//! a group of **replica** ranks; replicas run the model through the
+//! allocation-free `Workspace` predict path and watch the trainer's
+//! SSV2 checkpoint for new generations, swapping parameters atomically
+//! *between* batches — a reload never mixes weights within one batch,
+//! and in-flight requests finish on the old weights.
+//!
+//! Module map (DESIGN.md §9):
+//!
+//! * [`timer`] — the crate's single wall-clock source;
+//! * [`protocol`] — rank layout, control codes, reply fingerprints;
+//! * [`batcher`] — the pure batch-or-deadline state machine;
+//! * [`engine`] — model reconstruction + workspace-backed predict;
+//! * [`reload`] — checkpoint generation watcher (off the hot path);
+//! * [`replica`] — the serving loop of one replica rank;
+//! * [`router`] — dispatch, replica liveness, reply splitting;
+//! * [`client`] — a closed-loop load generator / example client.
+
+// The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
+// SIMD and socket code live in crates/tensor and crates/net only.
+#![deny(unsafe_code)]
+
+pub mod batcher;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod reload;
+pub mod replica;
+pub mod router;
+pub mod timer;
+
+pub use batcher::{Batch, Batcher, BatcherConfig, QueuedRequest};
+pub use client::{request_payload, run_client, ClientConfig, ClientReport, Reply};
+pub use engine::{EngineError, ModelSpec, PredictEngine};
+pub use protocol::{logits_fingerprint, Ranks};
+pub use reload::{spawn_watcher, PublishedParams, ReloadHandle};
+pub use replica::{run_replica, ReplicaConfig, ReplicaReport};
+pub use router::{run_router, RouterConfig, RouterReport};

@@ -1,0 +1,104 @@
+//! Serving-tier wire conventions: rank layout, control codes, and the
+//! reply fingerprint used by tests and the example client.
+//!
+//! A serving fabric of size `R + 1 + C` is laid out as:
+//!
+//! * ranks `0..R` — replicas,
+//! * rank `R` — the router,
+//! * ranks `R+1..` — clients.
+//!
+//! Clients send [`Payload::Predict`](selsync_comm::Payload) to the
+//! router with the tag carrying a client-local request id; the router
+//! forwards concatenated batches to replicas with the tag carrying a
+//! router-local batch id, and replies route back under the original
+//! request id. Control traffic (heartbeats, shutdown, client-done)
+//! travels as `Payload::Control` under [`CONTROL_TAG`] so it can never
+//! collide with a request or batch id.
+
+/// Tag reserved for control traffic. Request ids count up from zero, so
+/// a near-`u64::MAX` constant cannot collide with them.
+pub const CONTROL_TAG: u64 = u64::MAX - 16;
+
+/// Control code: replica → router liveness beacon.
+pub const CTRL_HEARTBEAT: u64 = 0x5345_0001;
+/// Control code: router → replica "drain and exit".
+pub const CTRL_SHUTDOWN_REPLICA: u64 = 0x5345_0002;
+/// Control code: client → router "no more requests from me".
+pub const CTRL_CLIENT_DONE: u64 = 0x5345_0003;
+
+/// The serving fabric's rank layout: replicas first, then the router,
+/// then clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ranks {
+    /// Number of replica ranks (`0..replicas`).
+    pub replicas: usize,
+}
+
+impl Ranks {
+    /// Layout for `replicas` replica ranks.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0, "a serving group needs at least one replica");
+        Ranks { replicas }
+    }
+
+    /// The router's rank.
+    pub fn router(&self) -> usize {
+        self.replicas
+    }
+
+    /// Is `rank` a replica?
+    pub fn is_replica(&self, rank: usize) -> bool {
+        rank < self.replicas
+    }
+
+    /// Is `rank` a client?
+    pub fn is_client(&self, rank: usize) -> bool {
+        rank > self.replicas
+    }
+
+    /// Number of client ranks in a fabric of `fabric_size`.
+    pub fn clients(&self, fabric_size: usize) -> usize {
+        fabric_size.saturating_sub(self.replicas + 1)
+    }
+}
+
+/// FNV-1a fingerprint over the IEEE-754 bit patterns of a logits
+/// vector. Bit-exact — two replies fingerprint equal iff every float is
+/// bit-identical, which is how the rolling-reload test proves a batch
+/// never mixes weight generations.
+pub fn logits_fingerprint(rows: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in rows {
+        for b in v.to_bits().to_be_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_layout() {
+        let r = Ranks::new(3);
+        assert_eq!(r.router(), 3);
+        assert!(r.is_replica(0) && r.is_replica(2) && !r.is_replica(3));
+        assert!(!r.is_client(3) && r.is_client(4));
+        assert_eq!(r.clients(6), 2);
+        assert_eq!(r.clients(3), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_bit_sensitive() {
+        let a = logits_fingerprint(&[1.0, 2.0, 3.0]);
+        let b = logits_fingerprint(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_ne!(a, logits_fingerprint(&[1.0, 2.0, 3.0000002]));
+        // -0.0 == 0.0 under PartialEq but must fingerprint differently
+        assert_ne!(logits_fingerprint(&[0.0]), logits_fingerprint(&[-0.0]));
+        assert_ne!(logits_fingerprint(&[]), logits_fingerprint(&[0.0]));
+    }
+}

@@ -1,0 +1,236 @@
+//! Rolling checkpoint reload: watch the trainer's SSV2 checkpoint path
+//! for new generations off the hot path, and publish loaded parameter
+//! buffers for the replica loop to swap in between batches.
+//!
+//! The watcher thread polls [`probe_state_generation`] — a header-only
+//! read, O(sections) bytes — and only when the generation changes does
+//! it pay for a full [`load_state_with_fallback`]. The loaded buffer is
+//! published behind an `Arc` into a single-slot mailbox; the replica
+//! loop takes the latest generation at a batch boundary and swaps it
+//! into the model with a no-allocation parameter copy. In-flight
+//! batches therefore always finish on the weights they started with,
+//! and a batch never mixes generations.
+//!
+//! Torn in-progress writes are harmless by construction: the trainer's
+//! `save_state` renames atomically, the probe CRC-checks the meta
+//! section, and the loader falls back to the retained `.prev`
+//! generation — a failed probe or load just means "try again next
+//! poll".
+
+use crate::engine::PredictEngine;
+use selsync_core::checkpoint::{load_state_with_fallback, probe_state_generation, StateGeneration};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A parameter generation published by the watcher.
+#[derive(Debug, Clone)]
+pub struct PublishedParams {
+    /// The flat parameter buffer, shared with the watcher's load.
+    pub params: Arc<Vec<f32>>,
+    /// Training step recorded in the checkpoint.
+    pub step: u64,
+    /// Sync rounds recorded in the checkpoint.
+    pub syncs: u64,
+    /// Whether the loader fell back to the `.prev` generation.
+    pub fell_back: bool,
+}
+
+/// Handle on the watcher thread: take published generations, stop it.
+pub struct ReloadHandle {
+    latest: Arc<Mutex<Option<PublishedParams>>>,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<u64>>,
+}
+
+impl ReloadHandle {
+    /// Take the most recently published generation, if any arrived
+    /// since the last take. Newer publications overwrite older unseen
+    /// ones — the replica only ever wants the latest.
+    pub fn take_latest(&self) -> Option<PublishedParams> {
+        match self.latest.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(_) => None, // watcher panicked mid-publish; treat as empty
+        }
+    }
+
+    /// Stop and join the watcher, returning how many generations it
+    /// published.
+    pub fn stop(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for ReloadHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawn the checkpoint watcher for `path`. `initial` is the generation
+/// already loaded into the engine (so the watcher does not immediately
+/// re-publish it); `poll` is the probe interval.
+pub fn spawn_watcher(path: PathBuf, initial: StateGeneration, poll: Duration) -> ReloadHandle {
+    let latest: Arc<Mutex<Option<PublishedParams>>> = Arc::new(Mutex::new(None));
+    let stop = Arc::new(AtomicBool::new(false));
+    let slot = Arc::clone(&latest);
+    let stop_flag = Arc::clone(&stop);
+    let thread = thread::spawn(move || {
+        let mut last_probe = initial;
+        let mut last_loaded = (initial.step, initial.syncs);
+        let mut published = 0u64;
+        while !stop_flag.load(Ordering::Relaxed) {
+            thread::sleep(poll);
+            let gen = match probe_state_generation(&path) {
+                Ok(g) => g,
+                // missing file / torn write / probe races the trainer's
+                // rename: nothing to do until the next poll
+                Err(_) => continue,
+            };
+            if gen == last_probe {
+                continue;
+            }
+            last_probe = gen;
+            let (state, fell_back) = match load_state_with_fallback(&path) {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            if (state.step, state.syncs) == last_loaded {
+                // the fallback generation is what we already serve
+                continue;
+            }
+            last_loaded = (state.step, state.syncs);
+            let update = PublishedParams {
+                params: Arc::new(state.params),
+                step: state.step,
+                syncs: state.syncs,
+                fell_back,
+            };
+            if let Ok(mut s) = slot.lock() {
+                *s = Some(update);
+                published += 1;
+            }
+        }
+        published
+    });
+    ReloadHandle {
+        latest,
+        stop,
+        thread: Some(thread),
+    }
+}
+
+/// Apply the watcher's latest generation to `engine`, if one arrived.
+/// Returns `true` when a swap happened. Called by the replica loop
+/// strictly between batches. A parameter-count mismatch (trainer
+/// redeployed a different architecture) is reported to stderr and the
+/// old weights keep serving.
+pub fn apply_latest(handle: &ReloadHandle, engine: &mut PredictEngine) -> bool {
+    match handle.take_latest() {
+        Some(p) => match engine.set_params(&p.params) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("reload skipped (step {}): {e}", p.step);
+                false
+            }
+        },
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_core::checkpoint::{prev_path, save_state, TrainState};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "selsync_serve_reload_{}_{name}",
+            std::process::id()
+        ));
+        p
+    }
+
+    fn state(step: u64, params: Vec<f32>) -> TrainState {
+        TrainState {
+            step,
+            ..TrainState::fresh(0, params)
+        }
+    }
+
+    fn wait_for_publish(h: &ReloadHandle) -> PublishedParams {
+        for _ in 0..200 {
+            if let Some(p) = h.take_latest() {
+                return p;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        panic!("watcher never published");
+    }
+
+    #[test]
+    fn watcher_publishes_new_generations_only() {
+        let path = tmp("gen.ckpt");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
+        let gen1 = state(1, vec![1.0; 8]);
+        save_state(&path, &gen1).unwrap();
+        let initial = probe_state_generation(&path).unwrap();
+
+        let handle = spawn_watcher(path.clone(), initial, Duration::from_millis(5));
+        // the already-loaded generation is never re-published
+        thread::sleep(Duration::from_millis(40));
+        assert!(handle.take_latest().is_none());
+
+        let gen2 = state(2, vec![2.0; 8]);
+        save_state(&path, &gen2).unwrap();
+        let p = wait_for_publish(&handle);
+        assert_eq!(p.step, 2);
+        assert_eq!(&*p.params, &vec![2.0; 8]);
+        assert!(!p.fell_back);
+
+        // a take drains the slot; the same generation is not re-served
+        thread::sleep(Duration::from_millis(40));
+        assert!(handle.take_latest().is_none());
+
+        assert_eq!(handle.stop(), 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
+    }
+
+    #[test]
+    fn corrupt_rewrite_falls_back_without_publishing_garbage() {
+        let path = tmp("torn.ckpt");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
+        let gen1 = state(5, vec![5.0; 4]);
+        save_state(&path, &gen1).unwrap();
+        let initial = probe_state_generation(&path).unwrap();
+        let handle = spawn_watcher(path.clone(), initial, Duration::from_millis(5));
+
+        // scribble garbage over the checkpoint: the probe rejects it,
+        // so nothing is published and the old weights keep serving
+        std::fs::write(&path, b"garbage").unwrap();
+        thread::sleep(Duration::from_millis(50));
+        assert!(handle.take_latest().is_none());
+
+        // the next valid generation recovers the pipeline
+        let gen2 = state(6, vec![6.0; 4]);
+        save_state(&path, &gen2).unwrap();
+        let p = wait_for_publish(&handle);
+        assert_eq!(p.step, 6);
+        handle.stop();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
+    }
+}

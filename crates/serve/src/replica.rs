@@ -1,0 +1,144 @@
+//! The serving loop of one replica rank: answer router batches through
+//! the workspace predict path, heartbeat the router, and swap in new
+//! parameter generations strictly between batches.
+
+use crate::engine::PredictEngine;
+use crate::protocol::{CONTROL_TAG, CTRL_HEARTBEAT, CTRL_SHUTDOWN_REPLICA};
+use crate::reload::{apply_latest, ReloadHandle};
+use crate::timer;
+use selsync_comm::{Payload, Transport, TransportError};
+use std::time::Duration;
+
+/// Replica tuning.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// The router's rank.
+    pub router: usize,
+    /// Heartbeat interval (the router evicts after `max_missed` silent
+    /// intervals, so this must be well under that product).
+    pub heartbeat: Duration,
+    /// Warmup batch rows — the router's `max_batch`, so steady-state
+    /// batches never outgrow the arena.
+    pub warmup_rows: usize,
+    /// Warmup per-sample dims (the served model's input shape); empty
+    /// skips the warmup pass.
+    pub warmup_dims: Vec<usize>,
+    /// Chaos plan: exit abruptly (simulated crash) after serving this
+    /// many batches.
+    pub crash_after_batches: Option<u64>,
+}
+
+/// What one replica did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaReport {
+    /// Batches answered.
+    pub served_batches: u64,
+    /// Sample rows answered.
+    pub served_rows: u64,
+    /// Parameter generations swapped in.
+    pub reloads: u64,
+    /// Arena allocation count right after the warmup pass.
+    pub alloc_after_warmup: u64,
+    /// Arena allocation count at exit — equals `alloc_after_warmup` in
+    /// a steady-state run (the serving-tier allocation-free claim).
+    pub alloc_final: u64,
+    /// True when the fault plan crashed this replica mid-service.
+    pub crashed: bool,
+}
+
+/// Serve until the router sends a shutdown (or the fault plan crashes
+/// us). `reload` is the checkpoint watcher; `None` serves the initial
+/// weights forever.
+///
+/// # Errors
+/// Fatal transport failures only; timeouts are the heartbeat pace and
+/// an unreachable router during a reply is fatal (nothing to serve
+/// without a router).
+pub fn run_replica<T: Transport>(
+    mut ep: T,
+    engine: &mut PredictEngine,
+    reload: Option<&ReloadHandle>,
+    cfg: &ReplicaConfig,
+) -> Result<ReplicaReport, TransportError> {
+    if !cfg.warmup_dims.is_empty() {
+        engine.warmup(cfg.warmup_rows.max(1), &cfg.warmup_dims);
+    }
+    let mut report = ReplicaReport {
+        served_batches: 0,
+        served_rows: 0,
+        reloads: 0,
+        alloc_after_warmup: engine.allocations(),
+        alloc_final: 0,
+        crashed: false,
+    };
+    // announce liveness immediately so the router's clock starts fresh
+    ep.send(cfg.router, CONTROL_TAG, Payload::Control(CTRL_HEARTBEAT))?;
+    let mut last_hb = timer::now();
+    loop {
+        // parameter swaps happen here and only here — between batches,
+        // so an in-flight batch always finishes on the weights it
+        // started with
+        if let Some(h) = reload {
+            if apply_latest(h, engine) {
+                report.reloads += 1;
+            }
+        }
+        let now = timer::now();
+        if now.duration_since(last_hb) >= cfg.heartbeat {
+            let _ = ep.send(cfg.router, CONTROL_TAG, Payload::Control(CTRL_HEARTBEAT));
+            last_hb = now;
+        }
+        let wait = cfg
+            .heartbeat
+            .saturating_sub(now.duration_since(last_hb))
+            .max(Duration::from_millis(1));
+        match ep.recv_deadline(Some(cfg.router), None, wait) {
+            Ok(m) => match m.payload {
+                Payload::Predict { data, dims } => {
+                    let rows = match engine.predict(&data, &dims) {
+                        Ok(logits) => logits,
+                        Err(e) => {
+                            // malformed batch: reply empty so the router
+                            // can fail the member requests instead of
+                            // timing them out
+                            eprintln!("replica {}: batch {} rejected: {e}", ep.id(), m.tag);
+                            Vec::new()
+                        }
+                    };
+                    let served = (rows.len() / engine.classes().max(1)) as u64;
+                    ep.send(
+                        cfg.router,
+                        m.tag,
+                        Payload::Logits {
+                            rows,
+                            classes: engine.classes(),
+                        },
+                    )?;
+                    report.served_batches += 1;
+                    report.served_rows += served;
+                    if let Some(at) = cfg.crash_after_batches {
+                        if report.served_batches >= at {
+                            report.crashed = true;
+                            report.alloc_final = engine.allocations();
+                            return Ok(report);
+                        }
+                    }
+                }
+                Payload::Control(c) if c == CTRL_SHUTDOWN_REPLICA => break,
+                // explicit so new wire variants fail here at compile
+                // time instead of being dropped
+                Payload::Params(_)
+                | Payload::SharedParams(_)
+                | Payload::Grads(_)
+                | Payload::Flags(_)
+                | Payload::Samples { .. }
+                | Payload::Control(_)
+                | Payload::Logits { .. } => {}
+            },
+            Err(TransportError::RecvTimeout { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    report.alloc_final = engine.allocations();
+    Ok(report)
+}

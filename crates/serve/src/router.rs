@@ -1,0 +1,319 @@
+//! The router rank: batch client requests, dispatch least-loaded to
+//! live replicas, split replies back per request, and keep the replica
+//! group healthy (heartbeat liveness, eviction, re-dispatch of a dead
+//! replica's in-flight batches).
+
+use crate::batcher::{Batch, Batcher, BatcherConfig, QueuedRequest};
+use crate::protocol::{
+    Ranks, CONTROL_TAG, CTRL_CLIENT_DONE, CTRL_HEARTBEAT, CTRL_SHUTDOWN_REPLICA,
+};
+use crate::timer;
+use selsync_comm::{Payload, Transport, TransportError};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Number of replica ranks (`0..replicas`; this rank is `replicas`).
+    pub replicas: usize,
+    /// Number of client ranks (`replicas+1 ..`).
+    pub clients: usize,
+    /// Batcher: flush at this many pending rows.
+    pub max_batch: usize,
+    /// Batcher: flush the oldest request after this long.
+    pub deadline: Duration,
+    /// Expected replica heartbeat interval.
+    pub heartbeat: Duration,
+    /// Evict a replica after this many silent heartbeat intervals.
+    pub max_missed: u32,
+}
+
+/// What the router did over its lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterReport {
+    /// Client requests answered.
+    pub served_requests: u64,
+    /// Sample rows answered.
+    pub served_rows: u64,
+    /// Batches dispatched (re-dispatches included).
+    pub batches: u64,
+    /// Replica ranks evicted for silence, in eviction order.
+    pub evicted: Vec<usize>,
+    /// Batches re-dispatched off dead replicas.
+    pub requeued_batches: u64,
+    /// Batches answered per replica rank.
+    pub per_replica_batches: Vec<u64>,
+}
+
+struct InFlight {
+    replica: usize,
+    batch: Batch,
+}
+
+/// Least-loaded live replica, round-robin from `cursor` on ties.
+fn pick_replica(alive: &[bool], load: &[usize], cursor: &mut usize) -> Option<usize> {
+    let n = alive.len();
+    let mut best: Option<usize> = None;
+    for off in 0..n {
+        let r = (*cursor + off) % n;
+        if !alive[r] {
+            continue;
+        }
+        match best {
+            None => best = Some(r),
+            Some(b) if load[r] < load[b] => best = Some(r),
+            Some(_) => {}
+        }
+    }
+    if let Some(b) = best {
+        *cursor = (b + 1) % n;
+    }
+    best
+}
+
+/// Serve until every client has reported done and all work has drained,
+/// then shut the replica group down.
+///
+/// # Errors
+/// [`TransportError::Protocol`] when every replica is dead with work
+/// still queued (nothing can serve it), or a fatal transport failure.
+pub fn run_router<T: Transport>(
+    mut ep: T,
+    cfg: &RouterConfig,
+) -> Result<RouterReport, TransportError> {
+    let ranks = Ranks::new(cfg.replicas);
+    let mut batcher = Batcher::new(BatcherConfig {
+        max_batch: cfg.max_batch,
+        deadline: cfg.deadline,
+    });
+    let mut report = RouterReport {
+        served_requests: 0,
+        served_rows: 0,
+        batches: 0,
+        evicted: Vec::new(),
+        requeued_batches: 0,
+        per_replica_batches: vec![0; cfg.replicas],
+    };
+    let dead_after = cfg.heartbeat * cfg.max_missed.max(1);
+    let mut alive = vec![true; cfg.replicas];
+    let mut last_seen: Vec<Instant> = vec![timer::now(); cfg.replicas];
+    let mut load = vec![0usize; cfg.replicas];
+    let mut cursor = 0usize;
+    let mut inflight: BTreeMap<u64, InFlight> = BTreeMap::new();
+    let mut next_batch_id: u64 = 0;
+    let mut clients_done = vec![false; cfg.clients];
+
+    // dispatch one batch, failing over past replicas whose endpoint is
+    // already gone (in-process crash); heartbeat silence catches the rest
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<T: Transport>(
+        ep: &mut T,
+        batch: Batch,
+        id: u64,
+        alive: &mut [bool],
+        load: &mut [usize],
+        cursor: &mut usize,
+        inflight: &mut BTreeMap<u64, InFlight>,
+        report: &mut RouterReport,
+    ) -> Result<(), TransportError> {
+        loop {
+            let Some(r) = pick_replica(alive, load, cursor) else {
+                return Err(TransportError::Protocol(
+                    "no live replicas left to serve queued batches".to_string(),
+                ));
+            };
+            let payload = Payload::Predict {
+                data: batch.concat_data(),
+                dims: batch.dims.clone(),
+            };
+            match ep.send(r, id, payload) {
+                Ok(()) => {
+                    load[r] += 1;
+                    report.batches += 1;
+                    report.per_replica_batches[r] += 1;
+                    inflight.insert(id, InFlight { replica: r, batch });
+                    return Ok(());
+                }
+                Err(TransportError::PeerUnreachable { .. }) => {
+                    alive[r] = false;
+                    report.evicted.push(r);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    loop {
+        let now = timer::now();
+        // flush the deadline-due batch, if any
+        if let Some(b) = batcher.poll(now) {
+            let id = next_batch_id;
+            next_batch_id += 1;
+            dispatch(
+                &mut ep,
+                b,
+                id,
+                &mut alive,
+                &mut load,
+                &mut cursor,
+                &mut inflight,
+                &mut report,
+            )?;
+        }
+        // liveness sweep: evict silent replicas, re-dispatch their work
+        for r in 0..cfg.replicas {
+            if alive[r] && now.duration_since(last_seen[r]) > dead_after {
+                alive[r] = false;
+                report.evicted.push(r);
+                let orphaned: Vec<u64> = inflight
+                    .iter()
+                    .filter(|(_, inf)| inf.replica == r)
+                    .map(|(id, _)| *id)
+                    .collect();
+                for id in orphaned {
+                    // lint:allow(unwrap-in-prod): the id was collected from
+                    // the map two lines up and nothing removed it since
+                    let inf = inflight.remove(&id).unwrap();
+                    report.requeued_batches += 1;
+                    dispatch(
+                        &mut ep,
+                        inf.batch,
+                        id,
+                        &mut alive,
+                        &mut load,
+                        &mut cursor,
+                        &mut inflight,
+                        &mut report,
+                    )?;
+                }
+            }
+        }
+        // drained and every client done → shut the group down
+        if clients_done.iter().all(|d| *d) && batcher.is_empty() && inflight.is_empty() {
+            break;
+        }
+        // pace receives by the nearer of batch deadline and heartbeat
+        let tick = batcher
+            .time_to_deadline(now)
+            .unwrap_or(cfg.heartbeat)
+            .min(cfg.heartbeat)
+            .max(Duration::from_millis(1));
+        let m = match ep.recv_deadline(None, None, tick) {
+            Ok(m) => m,
+            Err(TransportError::RecvTimeout { .. }) => continue,
+            Err(e) => return Err(e),
+        };
+        if ranks.is_client(m.from) {
+            match m.payload {
+                Payload::Predict { data, dims } => {
+                    let feat: usize = dims.iter().product();
+                    if dims.is_empty() || feat == 0 || data.is_empty() || data.len() % feat != 0 {
+                        // malformed request: fail it immediately rather
+                        // than poisoning a batch
+                        let _ = ep.send(
+                            m.from,
+                            m.tag,
+                            Payload::Logits {
+                                rows: Vec::new(),
+                                classes: 0,
+                            },
+                        );
+                        continue;
+                    }
+                    let rows = data.len() / feat;
+                    let req = QueuedRequest {
+                        client: m.from,
+                        tag: m.tag,
+                        data,
+                        rows,
+                    };
+                    for b in batcher.push(req, dims, timer::now()) {
+                        let id = next_batch_id;
+                        next_batch_id += 1;
+                        dispatch(
+                            &mut ep,
+                            b,
+                            id,
+                            &mut alive,
+                            &mut load,
+                            &mut cursor,
+                            &mut inflight,
+                            &mut report,
+                        )?;
+                    }
+                }
+                Payload::Control(c) if c == CTRL_CLIENT_DONE => {
+                    let idx = m.from - cfg.replicas - 1;
+                    if idx < clients_done.len() {
+                        clients_done[idx] = true;
+                    }
+                }
+                // explicit so new wire variants fail here at compile
+                // time instead of being dropped
+                Payload::Params(_)
+                | Payload::SharedParams(_)
+                | Payload::Grads(_)
+                | Payload::Flags(_)
+                | Payload::Samples { .. }
+                | Payload::Control(_)
+                | Payload::Logits { .. } => {}
+            }
+        } else if ranks.is_replica(m.from) {
+            last_seen[m.from] = timer::now();
+            match m.payload {
+                Payload::Logits { rows, classes } => {
+                    load[m.from] = load[m.from].saturating_sub(1);
+                    // a reply for a batch requeued after eviction (the
+                    // "dead" replica was merely slow) is dropped: the
+                    // re-dispatch owns the reply now
+                    let Some(inf) = inflight.remove(&m.tag) else {
+                        continue;
+                    };
+                    let complete = rows.len() == inf.batch.rows * classes && classes > 0;
+                    let mut offset = 0usize;
+                    for req in &inf.batch.requests {
+                        let body = if complete {
+                            let take = req.rows * classes;
+                            let slice = rows[offset..offset + take].to_vec();
+                            offset += take;
+                            slice
+                        } else {
+                            // replica rejected the batch: fail every
+                            // member request with an empty reply
+                            Vec::new()
+                        };
+                        report.served_requests += 1;
+                        report.served_rows += req.rows as u64;
+                        // a vanished client only loses its own reply
+                        let _ = ep.send(
+                            req.client,
+                            req.tag,
+                            Payload::Logits {
+                                rows: body,
+                                classes,
+                            },
+                        );
+                    }
+                }
+                Payload::Control(c) if c == CTRL_HEARTBEAT => {}
+                // explicit so new wire variants fail here at compile
+                // time instead of being dropped
+                Payload::Params(_)
+                | Payload::SharedParams(_)
+                | Payload::Grads(_)
+                | Payload::Flags(_)
+                | Payload::Samples { .. }
+                | Payload::Control(_)
+                | Payload::Predict { .. } => {}
+            }
+        }
+        // traffic from this rank itself is impossible; ignore anything else
+    }
+    for (r, live) in alive.iter().enumerate() {
+        if *live {
+            let _ = ep.send(r, CONTROL_TAG, Payload::Control(CTRL_SHUTDOWN_REPLICA));
+        }
+    }
+    Ok(report)
+}

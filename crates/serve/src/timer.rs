@@ -1,0 +1,15 @@
+//! The serving tier's single clock source.
+//!
+//! Batch deadlines, heartbeat pacing, and replica liveness all read
+//! wall-clock time from this one function, so the nondet-time lint can
+//! confine `Instant::now()` to a single audited module (allowlisted,
+//! like the transport watchdogs) while the batcher and router remain
+//! pure functions of the `Instant`s handed to them — which is what lets
+//! their state machines be unit-tested with synthetic clocks.
+
+use std::time::Instant;
+
+/// The current instant — the only `Instant::now()` in the crate.
+pub fn now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,374 @@
+//! Process-level serving acceptance: real `selsync_serve` OS processes
+//! on localhost TCP. Run with `--test-threads=1` (ci.sh does) — each
+//! test spawns a full serving group and the port allocator assumes one
+//! group at a time.
+//!
+//! Two properties close the serving story:
+//!
+//! 1. **Replica crash transparency** — SIGKILL one of two replicas
+//!    mid-stream; the router evicts it on heartbeat silence, re-dispatches
+//!    its in-flight batches, and the client still gets every reply.
+//! 2. **Reload atomicity** — rewrite the checkpoint mid-stream under a
+//!    fixed input; every reply fingerprints to exactly generation A or
+//!    generation B (never a mix), the switch is a single monotone
+//!    boundary, and the replica's arena allocation count is flat across
+//!    the swap.
+
+use selsync_core::checkpoint::{prev_path, save_state, TrainState};
+use selsync_nn::flat::flat_params;
+use selsync_nn::models::Mlp;
+use selsync_serve::{logits_fingerprint, request_payload, ModelSpec, PredictEngine};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Reserve distinct loopback ports below the ephemeral range; base
+/// disjoint from the dist (23000), ps-failover (25000) and chaos
+/// (27000) suites so concurrent test binaries cannot collide.
+fn free_ports(n: usize) -> Vec<String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static PORT_CURSOR: AtomicUsize = AtomicUsize::new(0);
+    let base = 20000 + (std::process::id() as usize % 1900);
+    let mut held = Vec::new();
+    let mut addrs = Vec::new();
+    while addrs.len() < n {
+        let port = base + PORT_CURSOR.fetch_add(1, Ordering::Relaxed) % 1900;
+        if let Ok(l) = TcpListener::bind(("127.0.0.1", port as u16)) {
+            addrs.push(format!("127.0.0.1:{port}"));
+            held.push(l);
+        }
+    }
+    addrs
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("selsync_serve_{}_{name}", std::process::id()));
+    p
+}
+
+fn spawn_rank(role: &str, rank: usize, replicas: usize, peers: &str, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_selsync_serve"))
+        .args([
+            "--role",
+            role,
+            "--rank",
+            &rank.to_string(),
+            "--replicas",
+            &replicas.to_string(),
+            "--peers",
+            peers,
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn selsync_serve")
+}
+
+/// Extract `key=value` from stdout (pairs may share a line).
+fn field(stdout: &str, key: &str) -> String {
+    stdout
+        .lines()
+        .flat_map(|l| l.split_whitespace())
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("missing {key} in output:\n{stdout}"))
+        .to_string()
+}
+
+fn wait_for_file(path: &Path, budget: Duration) {
+    let deadline = Instant::now() + budget;
+    while !path.exists() {
+        assert!(
+            Instant::now() < deadline,
+            "ready file {} never appeared",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn finish(child: Child) -> (i32, String, String) {
+    let out = child.wait_with_output().unwrap();
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8(out.stdout).unwrap(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const MLP_DIMS: &str = "16,32,8";
+
+fn write_checkpoint(path: &Path, step: u64, seed: u64) -> Vec<f32> {
+    let params = flat_params(&Mlp::new(&[16, 32, 8], seed));
+    let state = TrainState {
+        step,
+        ..TrainState::fresh(0, params.clone())
+    };
+    save_state(path, &state).expect("write serving checkpoint");
+    params
+}
+
+#[test]
+fn sigkill_one_replica_router_serves_every_request_from_survivor() {
+    let ckpt = tmp("kill.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(prev_path(&ckpt)).ok();
+    write_checkpoint(&ckpt, 1, 11);
+    let ckpt_s = ckpt.to_str().unwrap().to_string();
+    let ready = tmp("kill.ready");
+    std::fs::remove_file(&ready).ok();
+    let ready_s = ready.to_str().unwrap().to_string();
+
+    let peers = free_ports(4).join(",");
+    let replica_flags: &[&str] = &[
+        "--checkpoint",
+        &ckpt_s,
+        "--model",
+        "mlp",
+        "--mlp-dims",
+        MLP_DIMS,
+        "--dims",
+        "16",
+        "--max-batch",
+        "4",
+        "--heartbeat-ms",
+        "20",
+        "--reload-poll-ms",
+        "0",
+    ];
+    let r0 = spawn_rank("replica", 0, 2, &peers, replica_flags);
+    let r1 = spawn_rank("replica", 1, 2, &peers, replica_flags);
+    let router = spawn_rank(
+        "router",
+        2,
+        2,
+        &peers,
+        &[
+            "--max-batch",
+            "4",
+            "--deadline-ms",
+            "2",
+            "--heartbeat-ms",
+            "50",
+            "--max-missed",
+            "3",
+        ],
+    );
+    let client = spawn_rank(
+        "client",
+        3,
+        2,
+        &peers,
+        &[
+            "--requests",
+            "600",
+            "--concurrency",
+            "2",
+            "--dims",
+            "16",
+            "--spacing-ms",
+            "1",
+            "--seed",
+            "7",
+            "--recv-timeout",
+            "60",
+            "--ready-file",
+            &ready_s,
+        ],
+    );
+
+    // the client's ready file means the whole fabric is connected and
+    // the request stream has started; give it a beat, then SIGKILL
+    // replica 0 with no warning — possibly mid-batch
+    wait_for_file(&ready, Duration::from_secs(30));
+    std::thread::sleep(Duration::from_millis(150));
+    let mut r0 = r0;
+    r0.kill().expect("SIGKILL replica 0");
+
+    let (_c0, _o0, _e0) = finish(r0);
+    let (c1, o1, e1) = finish(r1);
+    let (cr, or, er) = finish(router);
+    let (cc, oc, ec) = finish(client);
+
+    assert_eq!(cc, 0, "client must exit clean:\n{ec}");
+    assert_eq!(
+        field(&oc, "completed"),
+        "600",
+        "every request must be answered despite the crash"
+    );
+    assert_eq!(cr, 0, "router must exit clean:\n{er}");
+    let evicted = field(&or, "evicted");
+    assert!(
+        evicted.split(',').any(|r| r == "0"),
+        "router must evict the killed replica, got evicted={evicted}"
+    );
+    assert_eq!(c1, 0, "surviving replica must exit clean:\n{e1}");
+    let survivor_batches: u64 = field(&o1, "served_batches").parse().unwrap();
+    assert!(
+        survivor_batches > 0,
+        "the survivor must have carried the load"
+    );
+    // the survivor's serving stayed allocation-free through the failover
+    assert_eq!(
+        field(&o1, "alloc_after_warmup"),
+        field(&o1, "alloc_final"),
+        "survivor allocated outside warmup:\n{o1}"
+    );
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(prev_path(&ckpt)).ok();
+    std::fs::remove_file(&ready).ok();
+}
+
+#[test]
+fn rolling_reload_never_mixes_generations_within_a_reply() {
+    let ckpt = tmp("reload.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(prev_path(&ckpt)).ok();
+    let params_a = write_checkpoint(&ckpt, 1, 21);
+    let ckpt_s = ckpt.to_str().unwrap().to_string();
+    let ready = tmp("reload.ready");
+    std::fs::remove_file(&ready).ok();
+    let ready_s = ready.to_str().unwrap().to_string();
+
+    // precompute the generation-A and generation-B fingerprints of the
+    // client's fixed single-row payload, exactly as a replica computes
+    // them (same engine, same workspace path)
+    let spec = ModelSpec::Mlp {
+        dims: vec![16, 32, 8],
+    };
+    let input = request_payload(9, 0, 16);
+    let mut engine = PredictEngine::new(&spec, 0, &params_a).unwrap();
+    let fp_a = logits_fingerprint(&engine.predict(&input, &[16]).unwrap());
+    let params_b = flat_params(&Mlp::new(&[16, 32, 8], 22));
+    engine.set_params(&params_b).unwrap();
+    let fp_b = logits_fingerprint(&engine.predict(&input, &[16]).unwrap());
+    assert_ne!(fp_a, fp_b, "the two generations must be distinguishable");
+
+    let peers = free_ports(3).join(",");
+    let replica = spawn_rank(
+        "replica",
+        0,
+        1,
+        &peers,
+        &[
+            "--checkpoint",
+            &ckpt_s,
+            "--model",
+            "mlp",
+            "--mlp-dims",
+            MLP_DIMS,
+            "--dims",
+            "16",
+            "--max-batch",
+            "4",
+            "--heartbeat-ms",
+            "20",
+            "--reload-poll-ms",
+            "10",
+        ],
+    );
+    let router = spawn_rank(
+        "router",
+        1,
+        1,
+        &peers,
+        &[
+            "--max-batch",
+            "4",
+            "--deadline-ms",
+            "2",
+            "--heartbeat-ms",
+            "50",
+            "--max-missed",
+            "3",
+        ],
+    );
+    let client = spawn_rank(
+        "client",
+        2,
+        1,
+        &peers,
+        &[
+            "--requests",
+            "600",
+            "--concurrency",
+            "4",
+            "--dims",
+            "16",
+            "--spacing-ms",
+            "1",
+            "--seed",
+            "9",
+            "--fixed-input",
+            "--print-replies",
+            "--recv-timeout",
+            "60",
+            "--ready-file",
+            &ready_s,
+        ],
+    );
+
+    // rewrite the checkpoint mid-stream: generation B lands while
+    // requests are in flight on generation A
+    wait_for_file(&ready, Duration::from_secs(30));
+    std::thread::sleep(Duration::from_millis(150));
+    let state_b = TrainState {
+        step: 2,
+        ..TrainState::fresh(0, params_b.clone())
+    };
+    save_state(&ckpt, &state_b).expect("rewrite checkpoint mid-stream");
+
+    let (crep, orep, erep) = finish(replica);
+    let (cr, _or, er) = finish(router);
+    let (cc, oc, ec) = finish(client);
+
+    assert_eq!(cc, 0, "client must exit clean:\n{ec}");
+    assert_eq!(field(&oc, "completed"), "600");
+    assert_eq!(cr, 0, "router must exit clean:\n{er}");
+    assert_eq!(crep, 0, "replica must exit clean:\n{erep}");
+
+    // every reply is exactly generation A or generation B — a reply
+    // computed from a half-swapped parameter vector would fingerprint
+    // to neither
+    let fps: Vec<u64> = oc
+        .lines()
+        .filter(|l| l.starts_with("reply="))
+        .map(|l| {
+            let hex = field(l, "fp");
+            u64::from_str_radix(hex.trim_start_matches("0x"), 16).unwrap()
+        })
+        .collect();
+    assert_eq!(fps.len(), 600, "one fingerprint per reply");
+    for (i, fp) in fps.iter().enumerate() {
+        assert!(
+            *fp == fp_a || *fp == fp_b,
+            "reply {i} fingerprints to neither generation: 0x{fp:016x} \
+             (A=0x{fp_a:016x} B=0x{fp_b:016x})"
+        );
+    }
+    // the swap is atomic between batches and replies arrive in batch
+    // order from the single replica, so the generation switches exactly
+    // once: after the first B reply, no A reply may follow
+    let first_b = fps.iter().position(|fp| *fp == fp_b);
+    let first_b = first_b.expect("generation B must reach the client before the stream ends");
+    assert!(
+        fps[first_b..].iter().all(|fp| *fp == fp_b),
+        "generation A reply observed after the swap to B"
+    );
+    assert!(first_b > 0, "some replies must predate the swap");
+
+    // the replica applied at least one reload and its arena stayed flat
+    // across the parameter swap
+    let reloads: u64 = field(&orep, "reloads").parse().unwrap();
+    assert!(reloads >= 1, "the replica never applied the new generation");
+    assert_eq!(
+        field(&orep, "alloc_after_warmup"),
+        field(&orep, "alloc_final"),
+        "reload allocated in the serving arena:\n{orep}"
+    );
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(prev_path(&ckpt)).ok();
+    std::fs::remove_file(&ready).ok();
+}
