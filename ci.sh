@@ -35,7 +35,7 @@ cargo test -q -p selsync-serve --test steady_state
 # processes on loopback TCP with liveness timeouts; under
 # workspace-wide parallel load they miss heartbeat deadlines and flake.
 # Run each binary alone, single-threaded.
-for suite in dist_processes chaos_processes ps_failover_processes; do
+for suite in dist_processes chaos_processes ps_failover_processes shard_processes; do
   echo "==> cargo test -q (${suite}, isolated)"
   cargo test -q -p selsync-bench --test "${suite}" -- --test-threads=1
 done
@@ -51,6 +51,14 @@ SELSYNC_WORKERS=2 SELSYNC_STEPS=6 ./target/release/fault_experiments > /dev/null
 # reference kernels beyond float-reassociation tolerance.
 echo "==> kernel bench (quick; checksum + JSON validation)"
 ./target/release/kernel_bench --quick > /dev/null
+
+# Merges the sharded-PS sweep rows into BENCH_kernels.json (must run
+# after kernel_bench, which rewrites the file wholesale) and exits
+# nonzero if the fan-out byte accounting drifts, results diverge across
+# shard counts, or the modeled K=4 stops beating K=1 at the congested
+# point.
+echo "==> shard bench (quick; byte-accounting + crossover validation)"
+./target/release/shard_bench --quick > /dev/null
 
 # Regenerates BENCH_serve.json from an in-process serving group and
 # exits nonzero if any grid point dropped a request, produced a

@@ -26,6 +26,12 @@
 //!   checkpoint generation is torn on top of that; recovery falls back
 //!   to the retained `.prev` generation and replays the lost round from
 //!   the workers' resent pushes.
+//! * `crash-one-shard`  — sharded PS group (K = 2): one shard dies
+//!   mid-sync and resumes from *its own* `.s<shard>` checkpoint while
+//!   the sibling shard keeps serving its range; nobody is evicted.
+//! * `shard-skew`       — sharded PS group (K = 2): one shard answers
+//!   slowly, pacing every fan-out round at the slowest shard — the
+//!   sharded analogue of `slow-straggler`.
 //!
 //! One JSON row per (scenario × fabric), after the aligned table.
 
@@ -40,8 +46,12 @@ use selsync_core::ElasticOptions;
 use selsync_core::{
     run_elastic_server_rank, run_elastic_server_rank_from, run_elastic_worker_rank,
 };
+use selsync_core::{
+    run_shard_server_rank, run_shard_server_rank_from, run_shard_worker_rank, shard_state_path,
+};
 use selsync_net::{TcpEndpoint, TcpFabricConfig};
 use selsync_nn::models::ModelKind;
+use selsync_shard::{Role, ShardLayout};
 use serde::Serialize;
 // lint:allow(raw-net): binds port 0 only to reserve free loopback ports
 // for the spawned cluster; no protocol traffic flows over this listener
@@ -220,6 +230,124 @@ fn run_scenario<T: Transport + Send + 'static>(
     }
 }
 
+/// Drive one elastic run over a K-shard PS group laid out shards-first
+/// ([`ShardLayout`]); `crash_shard` names the shard whose server honors
+/// the scheduled `opts.server_crash` and then recovers from its own
+/// `.s<shard>` checkpoint, while the sibling shards keep serving.
+#[allow(clippy::too_many_arguments)]
+fn run_shard_scenario<T: Transport + Send + 'static>(
+    mut endpoints: Vec<T>,
+    layout: ShardLayout,
+    cfg: &RunConfig,
+    wl: &Workload,
+    opts: &ElasticOptions,
+    plan: &FaultPlan,
+    crash_shard: Option<usize>,
+    recovery: Option<PsRecovery>,
+) -> Outcome {
+    let start = Instant::now();
+    let mut shard_handles = Vec::new();
+    let mut worker_handles = Vec::new();
+    while let Some(ep) = endpoints.pop() {
+        let (cfg, wl, plan) = (cfg.clone(), wl.clone(), plan.clone());
+        let mut opts = opts.clone();
+        match layout.role_of(ep.id()) {
+            Role::Shard(s) => {
+                let rec = recovery.clone().filter(|_| crash_shard == Some(s));
+                if crash_shard != Some(s) {
+                    // the crash schedule is per-process: siblings serve on
+                    opts.server_crash = None;
+                }
+                shard_handles.push((
+                    s,
+                    thread::spawn(move || {
+                        let mut cep = ChaosTransport::new(ep, plan);
+                        let mut recovered = false;
+                        let mut res = run_shard_server_rank(&mut cep, &cfg, &wl, &opts, layout);
+                        if let (Ok(report), Some(rec)) = (&res, &rec) {
+                            if report.crashed {
+                                thread::sleep(rec.restart_after);
+                                let ckpt = shard_state_path(&rec.checkpoint, s);
+                                if rec.tear_current {
+                                    tear_checkpoint(&ckpt);
+                                }
+                                res = match load_state_with_fallback(&ckpt) {
+                                    Ok((state, fallback)) => {
+                                        println!(
+                                            "  recovery=shard_resumed shard={s} step={} \
+                                             syncs={} fallback_prev={}",
+                                            state.step,
+                                            state.syncs,
+                                            u8::from(fallback)
+                                        );
+                                        recovered = true;
+                                        let mut ropts = opts.clone();
+                                        ropts.server_crash = None;
+                                        run_shard_server_rank_from(
+                                            &mut cep, &cfg, &wl, &ropts, layout, &state,
+                                        )
+                                    }
+                                    Err(e) => Err(TransportError::Protocol(format!(
+                                        "recovering {}: {e}",
+                                        ckpt.display()
+                                    ))),
+                                };
+                            }
+                        }
+                        (res, snapshot(&cep), recovered)
+                    }),
+                ));
+            }
+            Role::Worker(_) => {
+                opts.crash_at = plan.crash_step(ep.id());
+                worker_handles.push(thread::spawn(move || {
+                    let mut cep = ChaosTransport::new(ep, plan);
+                    let res = run_shard_worker_rank(&mut cep, &cfg, &wl, &opts, layout);
+                    (res, snapshot(&cep))
+                }));
+            }
+            Role::Standby(_) => unreachable!("shard scenarios run without standbys"),
+        }
+    }
+
+    let mut completed = Vec::new();
+    let mut failed = 0;
+    let mut chaos = Vec::new();
+    for h in worker_handles {
+        let (res, snap) = h.join().expect("worker thread");
+        chaos.push(snap);
+        match res {
+            Ok(out) => completed.push(out),
+            Err(e) => {
+                eprintln!("  worker fault (absorbed by eviction): {e}");
+                failed += 1;
+            }
+        }
+    }
+    shard_handles.sort_by_key(|(s, _)| *s);
+    let mut ps_recovered = false;
+    let mut reports = Vec::new();
+    for (_, h) in shard_handles {
+        let (res, snap, recovered) = h.join().expect("shard thread");
+        chaos.push(snap);
+        ps_recovered |= recovered;
+        reports.push(res.expect("every shard must survive (or recover from) the scenario"));
+    }
+    completed.sort_by_key(|o| o.worker);
+
+    Outcome {
+        // shard 0 is the authoritative membership view
+        rounds: reports[0].rounds,
+        syncs: reports[0].syncs,
+        evictions: reports[0].evictions.len(),
+        completed,
+        failed,
+        chaos,
+        ps_recovered,
+        wall: start.elapsed(),
+    }
+}
+
 /// Bind `n_ranks` ephemeral loopback ports and connect the full mesh,
 /// as `tests/integration_tcp.rs` does.
 fn tcp_fabric(n_ranks: usize) -> Vec<TcpEndpoint> {
@@ -385,6 +513,107 @@ fn main() {
             if let Some(rec) = &recovery {
                 let _ = std::fs::remove_file(&rec.checkpoint);
                 let _ = std::fs::remove_file(selsync_core::checkpoint::prev_path(&rec.checkpoint));
+            }
+            let full_run = outcome
+                .completed
+                .iter()
+                .filter(|o| o.lssr.total() == steps)
+                .count();
+            let final_metric = outcome
+                .completed
+                .iter()
+                .find(|o| o.worker == 0)
+                .and_then(|o| o.evals.last())
+                .map(|e| e.metric);
+            emit(&Row {
+                scenario: name,
+                fabric,
+                workers: n,
+                steps,
+                seed,
+                rounds: outcome.rounds,
+                syncs: outcome.syncs,
+                evictions: outcome.evictions,
+                completed_workers: outcome.completed.len(),
+                failed_workers: outcome.failed,
+                full_run_workers: full_run,
+                final_metric,
+                ps_recovered: outcome.ps_recovered,
+                chaos_sent_messages: outcome.chaos.iter().map(|c| c.sent).sum(),
+                chaos_dropped_messages: outcome.chaos.iter().map(|c| c.dropped).sum(),
+                chaos_duplicated_messages: outcome.chaos.iter().map(|c| c.duplicated).sum(),
+                fault_fingerprint: format!(
+                    "0x{:016x}",
+                    outcome.chaos.iter().fold(0u64, |a, c| a ^ c.fingerprint)
+                ),
+                wall_ms: outcome.wall.as_millis() as u64,
+            });
+        }
+    }
+    // sharded PS group scenarios: K = 2 shards (shards-first ranks), no
+    // standbys — per-shard recovery and fan-out pacing under one roof
+    let layout = ShardLayout::new(2, n, false);
+    let shard_scenarios: Vec<(&'static str, FaultPlan, &ElasticOptions, bool)> = vec![
+        (
+            "crash-one-shard",
+            FaultPlan::crash_one_shard(seed, 2, 150),
+            &ps_crash_opts,
+            true,
+        ),
+        (
+            "shard-skew",
+            FaultPlan::slow_shard(seed, 1, 3),
+            &calm,
+            false,
+        ),
+    ];
+    for (name, plan, opts, crashes) in &shard_scenarios {
+        for fabric in ["channel", "tcp"] {
+            let mut opts = (*opts).clone();
+            // shard 1 is the victim; shard 0 stays authoritative
+            let crash_shard = crashes.then_some(1usize);
+            let recovery = crashes.then(|| {
+                let mut ckpt = std::env::temp_dir();
+                ckpt.push(format!(
+                    "selsync_faultexp_{}_{name}_{fabric}.ckpt",
+                    std::process::id()
+                ));
+                opts.server_crash = Some(ServerCrashPoint::MidSync(2));
+                opts.checkpoint = Some(ckpt.clone());
+                PsRecovery {
+                    checkpoint: ckpt,
+                    restart_after: Duration::from_millis(150),
+                    tear_current: false,
+                }
+            });
+            let outcome = match fabric {
+                "channel" => run_shard_scenario(
+                    Fabric::new(layout.total_ranks()),
+                    layout,
+                    &cfg,
+                    &wl,
+                    &opts,
+                    plan,
+                    crash_shard,
+                    recovery.clone(),
+                ),
+                _ => run_shard_scenario(
+                    tcp_fabric(layout.total_ranks()),
+                    layout,
+                    &cfg,
+                    &wl,
+                    &opts,
+                    plan,
+                    crash_shard,
+                    recovery.clone(),
+                ),
+            };
+            if let Some(rec) = &recovery {
+                for s in 0..layout.k {
+                    let p = shard_state_path(&rec.checkpoint, s);
+                    let _ = std::fs::remove_file(&p);
+                    let _ = std::fs::remove_file(selsync_core::checkpoint::prev_path(&p));
+                }
             }
             let full_run = outcome
                 .completed

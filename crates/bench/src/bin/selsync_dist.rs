@@ -30,9 +30,14 @@ use selsync_core::elastic::{
     run_elastic_server_rank, run_elastic_server_rank_from, run_elastic_worker_rank,
     run_standby_server_rank, ElasticOptions,
 };
-use selsync_core::trainer::{run_server_rank, run_worker_rank};
+use selsync_core::shard::{
+    run_shard_server_rank, run_shard_server_rank_from, run_shard_standby_rank,
+    run_shard_worker_rank, shard_state_path,
+};
+use selsync_core::trainer::{run_server_rank, run_worker_rank, WorkerOutput};
 use selsync_core::Workload;
 use selsync_net::{TcpEndpoint, TcpFabricConfig};
+use selsync_shard::{Role, ShardLayout};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -79,6 +84,20 @@ RECOVERY (all require --elastic):
   --ps-patience-ms     worker budget for re-reaching a silent ps before
                        failing over (default 3 x reply timeout)
 
+SHARDED PS (requires --elastic):
+  --ps-shards K        run a K-shard PS group instead of one monolithic
+                       ps. Rank layout changes to shards-first: shards
+                       are ranks 0..K, workers K..K+W, and (with
+                       --standby) one standby per shard at K+W..K+W+K.
+                       --role ps serves the shard equal to its rank;
+                       each shard checkpoints to FILE.s<shard> and
+                       --resume reloads that shard's own file, so one
+                       shard can be killed and restarted while the
+                       others keep serving. --ps-shards 1 runs the
+                       sharded code path with one shard — bit-identical
+                       results to the monolithic layout, different rank
+                       numbering.
+
 The worker count is taken from --peers (entries minus the ps, minus the
 standby when --standby is given); any --workers flag must agree. All
 ranks must be given identical training flags and the same --seed, or
@@ -107,6 +126,7 @@ struct DistArgs {
     resume: Option<PathBuf>,
     standby: bool,
     ps_patience: Option<Duration>,
+    ps_shards: Option<usize>,
     rest: Vec<String>,
 }
 
@@ -125,6 +145,7 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
     let mut resume = None;
     let mut standby = false;
     let mut ps_patience = None;
+    let mut ps_shards = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(key) = it.next() {
@@ -189,6 +210,15 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
                         |_| "--ps-patience-ms must be milliseconds".to_string(),
                     )?))
             }
+            "--ps-shards" => {
+                let k: usize = dist_value()?
+                    .parse()
+                    .map_err(|_| "--ps-shards must be an integer".to_string())?;
+                if k == 0 {
+                    return Err("--ps-shards must be at least 1".to_string());
+                }
+                ps_shards = Some(k);
+            }
             _ => {
                 rest.push(key.clone());
                 rest.push(
@@ -213,6 +243,7 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
         resume,
         standby,
         ps_patience,
+        ps_shards,
         rest,
     })
 }
@@ -237,6 +268,46 @@ struct RankJob<'a> {
     fabric_stats: Arc<selsync_comm::CommStats>,
     crash_at: Option<u64>,
     server_crash: Option<ServerCrash>,
+    /// Shards-first rank layout when `--ps-shards` is given.
+    shards: Option<ShardLayout>,
+}
+
+/// The worker's result lines, identical across the monolithic and
+/// sharded paths so same-seed runs can be compared field by field.
+fn print_worker_output(job: &RankJob, out: &WorkerOutput) {
+    let dist = job.dist;
+    println!(
+        "role=worker rank={} steps={} steps_run={}",
+        dist.rank,
+        job.run.config.max_steps,
+        out.lssr.total()
+    );
+    println!("lssr={:.6}", out.lssr.lssr());
+    println!(
+        "params_fingerprint=0x{:016x}",
+        params_fingerprint(&out.final_params)
+    );
+    println!("fabric_bytes_sent={}", job.fabric_stats.total_bytes());
+    if out.worker == 0 {
+        // step-for-step sync decision log: 1 = synchronized step
+        let decisions: String = out
+            .records
+            .iter()
+            .map(|r| if r.synced { '1' } else { '0' })
+            .collect();
+        println!("decisions={decisions}");
+        if let Some(r) = out.records.last() {
+            println!("final_loss={:.6}", r.loss);
+        }
+        if let Some(e) = out.evals.last() {
+            println!("final_metric={:.6}", e.metric);
+        }
+    }
+    if let Some(path) = &job.run.save_params {
+        selsync_core::checkpoint::save_params(path, &out.final_params)
+            .expect("writable checkpoint path");
+        eprintln!("[rank {}] saved replica params to {path}", dist.rank);
+    }
 }
 
 fn print_ps_report(rank: usize, steps: u64, report: &ElasticReport) {
@@ -326,6 +397,9 @@ fn run_one_rank<T: Transport>(ep: &mut T, job: &RankJob) -> i32 {
     if let Some(p) = dist.ps_patience {
         eopts.ps_patience = p;
     }
+    if let Some(layout) = job.shards {
+        return run_sharded_rank(&mut *ep, job, layout, &mut eopts);
+    }
     if dist.role == "standby" {
         return match run_standby_server_rank(&mut *ep, &run.config, job.workload, &eopts) {
             Ok(StandbyOutcome::Retired { shadowed_syncs }) => {
@@ -408,38 +482,151 @@ fn run_one_rank<T: Transport>(ep: &mut T, job: &RankJob) -> i32 {
                 }
             }
         };
-        println!(
-            "role=worker rank={} steps={steps} steps_run={}",
-            dist.rank,
-            out.lssr.total()
-        );
-        println!("lssr={:.6}", out.lssr.lssr());
-        println!(
-            "params_fingerprint=0x{:016x}",
-            params_fingerprint(&out.final_params)
-        );
-        println!("fabric_bytes_sent={}", job.fabric_stats.total_bytes());
-        if out.worker == 0 {
-            // step-for-step sync decision log: 1 = synchronized step
-            let decisions: String = out
-                .records
-                .iter()
-                .map(|r| if r.synced { '1' } else { '0' })
-                .collect();
-            println!("decisions={decisions}");
-            if let Some(r) = out.records.last() {
-                println!("final_loss={:.6}", r.loss);
-            }
-            if let Some(e) = out.evals.last() {
-                println!("final_metric={:.6}", e.metric);
-            }
-        }
-        if let Some(path) = &run.save_params {
-            selsync_core::checkpoint::save_params(path, &out.final_params)
-                .expect("writable checkpoint path");
-            eprintln!("[rank {}] saved replica params to {path}", dist.rank);
-        }
+        print_worker_output(job, &out);
         0
+    }
+}
+
+/// Run one shard of the PS group to completion: honor `--resume` from
+/// this shard's own `FILE.s<shard>` checkpoint, then re-enter the serve
+/// loop after any scheduled `server_crash`, exactly mirroring the
+/// monolithic [`run_elastic_ps`] recovery loop but scoped to one range.
+fn run_shard_ps<T: Transport>(
+    ep: &mut T,
+    job: &RankJob,
+    layout: ShardLayout,
+    shard: usize,
+    eopts: &mut ElasticOptions,
+) -> Result<ElasticReport, TransportError> {
+    let (dist, run) = (job.dist, job.run);
+    let load = |base: &PathBuf| {
+        let path = shard_state_path(base, shard);
+        load_state_with_fallback(&path).map_err(|e| {
+            TransportError::Protocol(format!("loading checkpoint {}: {e}", path.display()))
+        })
+    };
+    eopts.server_crash = job
+        .server_crash
+        .as_ref()
+        .map(|c| ServerCrashPoint::MidSync(c.at_step));
+    let mut report = if let Some(base) = &dist.resume {
+        let (state, fallback) = load(base)?;
+        println!(
+            "recovery=shard_resumed shard={shard} step={} syncs={} fallback_prev={}",
+            state.step,
+            state.syncs,
+            u8::from(fallback)
+        );
+        run_shard_server_rank_from(&mut *ep, &run.config, job.workload, eopts, layout, &state)?
+    } else {
+        run_shard_server_rank(&mut *ep, &run.config, job.workload, eopts, layout)?
+    };
+    while report.crashed {
+        let restart_ms = job.server_crash.as_ref().map_or(0, |c| c.restart_after_ms);
+        let Some(base) = eopts.checkpoint.clone().filter(|_| restart_ms > 0) else {
+            println!("recovery=shard_dead shard={shard} syncs={}", report.syncs);
+            break;
+        };
+        eprintln!(
+            "[rank {}] shard {shard} crashed at a scheduled point; restarting in {restart_ms} ms",
+            dist.rank
+        );
+        std::thread::sleep(Duration::from_millis(restart_ms));
+        let (state, fallback) = load(&base)?;
+        println!(
+            "recovery=shard_resumed shard={shard} step={} syncs={} fallback_prev={}",
+            state.step,
+            state.syncs,
+            u8::from(fallback)
+        );
+        eopts.server_crash = None;
+        report =
+            run_shard_server_rank_from(&mut *ep, &run.config, job.workload, eopts, layout, &state)?;
+    }
+    Ok(report)
+}
+
+/// Sharded-layout dispatch: the same three roles as [`run_one_rank`],
+/// but ranks are laid out shards-first and each PS rank serves one
+/// range of the parameter vector.
+fn run_sharded_rank<T: Transport>(
+    ep: &mut T,
+    job: &RankJob,
+    layout: ShardLayout,
+    eopts: &mut ElasticOptions,
+) -> i32 {
+    let dist = job.dist;
+    let steps = job.run.config.max_steps;
+    match layout.role_of(dist.rank) {
+        Role::Standby(shard) => {
+            match run_shard_standby_rank(&mut *ep, &job.run.config, job.workload, eopts, layout) {
+                Ok(StandbyOutcome::Retired { shadowed_syncs }) => {
+                    println!(
+                        "role=standby rank={} shard={shard} promoted=0 shadowed_syncs={shadowed_syncs}",
+                        dist.rank
+                    );
+                    0
+                }
+                Ok(StandbyOutcome::Promoted(report)) => {
+                    println!(
+                        "recovery=promoted_standby shard={shard} syncs={}",
+                        report.syncs
+                    );
+                    print_ps_report(dist.rank, steps, &report);
+                    println!(
+                        "params_fingerprint=0x{:016x}",
+                        params_fingerprint(&report.final_params)
+                    );
+                    println!("fabric_bytes_sent={}", job.fabric_stats.total_bytes());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("[rank {}] fatal: {e}", dist.rank);
+                    1
+                }
+            }
+        }
+        Role::Shard(shard) => match run_shard_ps(&mut *ep, job, layout, shard, eopts) {
+            Ok(report) => {
+                print_ps_report(dist.rank, steps, &report);
+                println!("shard={shard} shard_len={}", report.final_params.len());
+                println!(
+                    "params_fingerprint=0x{:016x}",
+                    params_fingerprint(&report.final_params)
+                );
+                println!("fabric_bytes_sent={}", job.fabric_stats.total_bytes());
+                if let Some(path) = &job.run.save_params {
+                    // per-shard range in the same v1 format, suffixed
+                    // like the durable checkpoints
+                    let p = shard_state_path(std::path::Path::new(path), shard);
+                    selsync_core::checkpoint::save_params(&p, &report.final_params)
+                        .expect("writable checkpoint path");
+                    eprintln!(
+                        "[rank {}] saved shard {shard} params to {}",
+                        dist.rank,
+                        p.display()
+                    );
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("[rank {}] fatal: {e}", dist.rank);
+                1
+            }
+        },
+        Role::Worker(_) => {
+            let out =
+                match run_shard_worker_rank(&mut *ep, &job.run.config, job.workload, eopts, layout)
+                {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("[rank {}] fatal: {e}", dist.rank);
+                        return 1;
+                    }
+                };
+            print_worker_output(job, &out);
+            0
+        }
     }
 }
 
@@ -456,15 +643,20 @@ fn main() {
             });
         }
     };
-    let n_workers = dist
-        .peers
-        .len()
-        .saturating_sub(1 + usize::from(dist.standby));
+    // server ranks the peer list must carry: K shards (plus K standbys)
+    // in sharded mode, 1 ps (plus 1 standby) otherwise
+    let k = dist.ps_shards.unwrap_or(1);
+    let servers = k * (1 + usize::from(dist.standby));
+    let n_workers = dist.peers.len().saturating_sub(servers);
     if n_workers == 0 {
         eprintln!(
-            "--peers needs at least {} entries (1 worker + the ps{})",
-            2 + usize::from(dist.standby),
-            if dist.standby { " + the standby" } else { "" }
+            "--peers needs at least {} entries (1 worker + {k} server rank(s){})",
+            1 + servers,
+            if dist.standby {
+                " + their standbys"
+            } else {
+                ""
+            }
         );
         std::process::exit(2);
     }
@@ -472,6 +664,13 @@ fn main() {
         eprintln!("--standby / --resume / --checkpoint require --elastic");
         std::process::exit(2);
     }
+    if dist.ps_shards.is_some() && !dist.elastic {
+        eprintln!("--ps-shards requires --elastic");
+        std::process::exit(2);
+    }
+    let shards = dist
+        .ps_shards
+        .map(|k| ShardLayout::new(k, n_workers, dist.standby));
 
     // force the cluster size the peer list implies; reject contradictions
     let mut training = dist.rest.clone();
@@ -496,39 +695,72 @@ fn main() {
         }
     };
 
-    let role_label = match dist.role.as_str() {
-        "ps" => {
-            if dist.rank != n_workers {
-                eprintln!("the ps must be rank {n_workers}, got {}", dist.rank);
-                std::process::exit(2);
-            }
-            "ps"
-        }
-        "worker" => {
-            if dist.rank >= n_workers {
-                eprintln!("worker rank {} out of range 0..{n_workers}", dist.rank);
-                std::process::exit(2);
-            }
-            "worker"
-        }
-        "standby" => {
-            if !dist.standby {
-                eprintln!("--role standby requires the --standby cluster flag");
-                std::process::exit(2);
-            }
-            if dist.rank != n_workers + 1 {
-                eprintln!(
-                    "the standby must be rank {}, got {}",
-                    n_workers + 1,
-                    dist.rank
-                );
-                std::process::exit(2);
-            }
-            "standby"
-        }
-        other => {
-            eprintln!("unknown role '{other}' (ps | worker | standby)");
+    let role_label = if let Some(layout) = shards {
+        // shards-first layout: the rank decides the role, the --role
+        // flag must agree
+        if dist.rank >= layout.total_ranks() {
+            eprintln!(
+                "rank {} out of range 0..{} for a {k}-shard layout",
+                dist.rank,
+                layout.total_ranks()
+            );
             std::process::exit(2);
+        }
+        let expected = match layout.role_of(dist.rank) {
+            Role::Shard(_) => "ps",
+            Role::Worker(_) => "worker",
+            Role::Standby(_) => "standby",
+        };
+        if dist.role != expected {
+            eprintln!(
+                "rank {} is the {expected} rank in a {k}-shard layout (shards 0..{k}, \
+                 workers {k}..{}, standbys after), got --role {}",
+                dist.rank,
+                k + n_workers,
+                dist.role
+            );
+            std::process::exit(2);
+        }
+        if dist.role == "standby" && !dist.standby {
+            eprintln!("--role standby requires the --standby cluster flag");
+            std::process::exit(2);
+        }
+        expected
+    } else {
+        match dist.role.as_str() {
+            "ps" => {
+                if dist.rank != n_workers {
+                    eprintln!("the ps must be rank {n_workers}, got {}", dist.rank);
+                    std::process::exit(2);
+                }
+                "ps"
+            }
+            "worker" => {
+                if dist.rank >= n_workers {
+                    eprintln!("worker rank {} out of range 0..{n_workers}", dist.rank);
+                    std::process::exit(2);
+                }
+                "worker"
+            }
+            "standby" => {
+                if !dist.standby {
+                    eprintln!("--role standby requires the --standby cluster flag");
+                    std::process::exit(2);
+                }
+                if dist.rank != n_workers + 1 {
+                    eprintln!(
+                        "the standby must be rank {}, got {}",
+                        n_workers + 1,
+                        dist.rank
+                    );
+                    std::process::exit(2);
+                }
+                "standby"
+            }
+            other => {
+                eprintln!("unknown role '{other}' (ps | worker | standby)");
+                std::process::exit(2);
+            }
         }
     };
 
@@ -576,6 +808,7 @@ fn main() {
         fabric_stats: Arc::clone(ep.stats()),
         crash_at: plan.as_ref().and_then(|p| p.crash_step(dist.rank)),
         server_crash: plan.as_ref().and_then(|p| p.server_crash.clone()),
+        shards,
     };
     let code = match plan {
         Some(plan) => {

@@ -167,6 +167,25 @@ impl FaultPlan {
         p
     }
 
+    /// Scenario (sharded PS): shard server `shard_rank` dies at sync
+    /// round `at_step` and restarts from its own `FILE.s<shard>`
+    /// checkpoint `restart_after_ms` later, while the sibling shards
+    /// keep serving. The plan is given only to the dying shard's
+    /// process — `server_crash` has no rank field because the
+    /// monolithic launcher had exactly one server; in a shard group
+    /// "which server" is chosen by which process loads the plan.
+    pub fn crash_one_shard(seed: u64, at_step: u64, restart_after_ms: u64) -> FaultPlan {
+        FaultPlan::crash_server(seed, at_step, restart_after_ms)
+    }
+
+    /// Scenario (sharded PS): shard server `shard_rank` answers every
+    /// send `delay_ms` late — one slow shard skews the whole fan-out,
+    /// since a worker's round completes only when the slowest shard
+    /// replies. Give this plan to the slow shard's process.
+    pub fn slow_shard(seed: u64, shard_rank: usize, delay_ms: u64) -> FaultPlan {
+        FaultPlan::slow_straggler(seed, shard_rank, delay_ms)
+    }
+
     /// Scenario: lossy, duplicating, jittery network on every link.
     pub fn flaky_network(
         seed: u64,
@@ -677,5 +696,28 @@ mod tests {
             .collect();
         assert!(!delays.is_empty());
         assert!(delays.iter().all(|&ms| ms <= 3));
+    }
+
+    #[test]
+    fn shard_scenarios_roundtrip_and_read_back() {
+        // crash-one-shard: the per-process server_crash schedule,
+        // targeted by giving the plan to the dying shard only
+        let plan = FaultPlan::crash_one_shard(7, 4, 300);
+        assert_eq!(
+            plan.server_crash,
+            Some(ServerCrash {
+                at_step: 4,
+                restart_after_ms: 300
+            })
+        );
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+
+        // slow shard: an ordinary straggler pinned to a shard rank
+        let plan = FaultPlan::slow_shard(7, 1, 80);
+        assert_eq!(plan.straggler_delay(1), Some(Duration::from_millis(80)));
+        assert_eq!(plan.straggler_delay(0), None);
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
     }
 }

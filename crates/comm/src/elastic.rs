@@ -64,7 +64,7 @@
 
 use crate::collectives::{phase_tag, tag_step, FLAGS_PHASE};
 use crate::error::TransportError;
-use crate::fabric::{FlatVec, Payload};
+use crate::fabric::{FlatVec, Payload, ShardSpec};
 use crate::ps::{average, CTRL_JOIN, CTRL_SHUTDOWN};
 use crate::transport::Transport;
 use std::collections::BTreeMap;
@@ -75,6 +75,13 @@ pub const JOIN_TAG: u64 = u64::MAX - 1;
 
 /// Tag reserved for PS→standby shadow updates.
 pub const STANDBY_TAG: u64 = u64::MAX - 2;
+
+/// Tag reserved for the shard-map agreement handshake (outside every
+/// step's tag space): a worker sends its locally computed
+/// [`Payload::ShardMap`] to a shard server, which echoes its own map
+/// back. The worker errors out on any mismatch, so no parameter
+/// sub-frame ever flows under a disputed partition.
+pub const SHARD_MAP_TAG: u64 = u64::MAX - 3;
 
 /// `Control` value (on [`STANDBY_TAG`]) telling the standby the run
 /// ended cleanly and it will never be promoted. Outside the valid step
@@ -123,6 +130,14 @@ pub struct ElasticConfig {
     pub standby: Option<usize>,
     /// Simulated server death for chaos/fault experiments.
     pub crash: Option<ServerCrashPoint>,
+    /// When serving one shard of a range-partitioned PS group: the
+    /// partition map this server computed locally. Enables the sharded
+    /// wire protocol ([`Payload::ShardPush`] pushes, [`Payload::ShardPull`]
+    /// replies) and the [`SHARD_MAP_TAG`] agreement handshake, under
+    /// which the server echoes this map so every worker can prove it
+    /// partitioned identically. `None` = monolithic server (unchanged
+    /// behavior).
+    pub shard_map: Option<ShardSpec>,
     /// Initial window during which collection timeouts neither count as
     /// missed rounds nor advance the step. A restarted or promoted
     /// server sets this to cover the workers' resend budget: their
@@ -144,6 +159,7 @@ impl Default for ElasticConfig {
             max_missed: 3,
             standby: None,
             crash: None,
+            shard_map: None,
             resume_grace: Duration::ZERO,
         }
     }
@@ -244,6 +260,22 @@ fn status_vec(
             }
         })
         .collect()
+}
+
+/// Deterministic range partition of a flat parameter vector of `total`
+/// elements across `k` shards: shard `i` owns the contiguous range
+/// `starts[i] .. starts[i+1]` (or `total` for the last shard), with
+/// every shard sized `ceil(total / k)` except possibly the tail. A pure
+/// function of `(total, k)`, so every rank computes the identical map
+/// with no coordination — the [`SHARD_MAP_TAG`] handshake then *proves*
+/// the agreement instead of establishing it.
+///
+/// # Panics
+/// Panics on `k == 0` — a configuration bug, not a runtime fault.
+pub fn shard_starts(total: u64, k: usize) -> Vec<u64> {
+    assert!(k > 0, "shard count must be positive");
+    let chunk = total.div_ceil(k as u64).max(1);
+    (0..k as u64).map(|i| (i * chunk).min(total)).collect()
 }
 
 /// Membership encoded for the standby shadow: bit 0 = alive, bit 1 =
@@ -394,6 +426,7 @@ where
                     if grace_until.is_some_and(|g| Instant::now() < g) {
                         continue;
                     }
+                    let mut evicted_now = false;
                     for i in 0..n {
                         if alive[i]
                             && !done[i]
@@ -404,8 +437,23 @@ where
                             if missed[i] >= cfg.max_missed {
                                 alive[i] = false;
                                 evictions.push((step, i));
+                                evicted_now = true;
                             }
                         }
+                    }
+                    // A round nobody joined is a liveness tick, not a
+                    // round: closing it would free-run this server's
+                    // step past workers that are alive but stalled
+                    // elsewhere (sharded: on a sibling shard's
+                    // recovery), stranding all their later traffic in
+                    // the stale arms — whose status replies carry no
+                    // sync bits, so the group can never agree on a sync
+                    // again. Keep collecting at this step; the `missed`
+                    // counters above still age silent workers toward
+                    // eviction, which is the only thing an empty round
+                    // was good for.
+                    if bits.is_empty() && early_pushes.is_empty() && !evicted_now {
+                        continue;
                     }
                     break;
                 }
@@ -428,6 +476,14 @@ where
                         }
                         continue;
                     }
+                    if m.tag == SHARD_MAP_TAG {
+                        // map-agreement handshake: echo our map so the
+                        // worker can prove both sides partitioned alike
+                        if let Some(mine) = &cfg.shard_map {
+                            let _ = ep.send(from, SHARD_MAP_TAG, Payload::ShardMap(mine.clone()));
+                        }
+                        continue;
+                    }
                     if m.tag >= STANDBY_TAG {
                         // reserved tags this role never consumes
                         continue;
@@ -445,7 +501,7 @@ where
                         (t, Payload::Flags(b)) if t == ftag => {
                             bits.insert(from, b.first().copied().unwrap_or(0));
                         }
-                        (t, Payload::Params(v)) if t == stag => {
+                        (t, Payload::Params(v) | Payload::ShardPush(v)) if t == stag => {
                             // a re-sent push for *this* round: the sender
                             // already holds a SYNC status from before a
                             // server restart — count it as a contributor
@@ -469,6 +525,10 @@ where
                             // which is exactly that round's average
                             let _ = ep.send(from, t, Payload::Params(global.clone()));
                         }
+                        (t, Payload::ShardPush(_)) if t < ftag => {
+                            // sharded flavor of the stale-push reply
+                            let _ = ep.send(from, t, Payload::ShardPull(global.clone()));
+                        }
                         (t, Payload::Flags(b)) if t > ftag => {
                             let s = tag_step(t);
                             future_flags
@@ -480,7 +540,7 @@ where
                                 break;
                             }
                         }
-                        (t, Payload::Params(v))
+                        (t, Payload::Params(v) | Payload::ShardPush(v))
                             if t > ftag && t == phase_tag(tag_step(t), SYNC_PHASE) =>
                         {
                             let s = tag_step(t);
@@ -557,6 +617,21 @@ where
             // ---- sync round: every contributor pushes, server averages ----
             if any_sync {
                 let mut pushes: BTreeMap<usize, Vec<f32>> = early_pushes;
+                // how many empty round_timeouts to sit through before
+                // declaring the missing pushers crashed. A monolithic
+                // server evicts after one: a worker that flagged a sync
+                // and then fell silent is gone. A shard server extends
+                // the window to its (recovery-widened) miss budget — the
+                // pusher may be stalled in its fan-out on a *sibling*
+                // shard that is crashing and resuming, and evicting it
+                // here would tear down a cluster that is seconds from
+                // recovering (DESIGN.md §10).
+                let push_patience = if cfg.shard_map.is_some() {
+                    cfg.max_missed.max(1)
+                } else {
+                    1
+                };
+                let mut empty_waits = 0u32;
                 loop {
                     let expected = sync_members.iter().filter(|&&i| alive[i]).count();
                     if expected == 0 || pushes.len() >= expected {
@@ -565,6 +640,10 @@ where
                     match ep.recv_deadline(None, None, cfg.round_timeout) {
                         Err(TransportError::RecvTimeout { .. }) => {
                             if grace_until.is_some_and(|g| Instant::now() < g) {
+                                continue;
+                            }
+                            empty_waits += 1;
+                            if empty_waits < push_patience {
                                 continue;
                             }
                             // a crash inside the sync window: evict at once,
@@ -580,6 +659,7 @@ where
                         Err(e) => return Err(e),
                         Ok(m) => {
                             let from = m.from;
+                            empty_waits = 0;
                             note_contact(
                                 &mut grace_until,
                                 &mut heard_since_start,
@@ -596,12 +676,22 @@ where
                                 }
                                 continue;
                             }
+                            if m.tag == SHARD_MAP_TAG {
+                                if let Some(mine) = &cfg.shard_map {
+                                    let _ = ep.send(
+                                        from,
+                                        SHARD_MAP_TAG,
+                                        Payload::ShardMap(mine.clone()),
+                                    );
+                                }
+                                continue;
+                            }
                             if m.tag >= STANDBY_TAG {
                                 continue;
                             }
                             if m.tag == stag && alive[from] {
                                 match m.payload {
-                                    Payload::Params(v) => {
+                                    Payload::Params(v) | Payload::ShardPush(v) => {
                                         if !sync_members.contains(&from) {
                                             sync_members.push(from);
                                         }
@@ -653,15 +743,19 @@ where
                         );
                     }
                     // one model copy shared across every reply: the
-                    // per-pusher sends clone only the Arc
+                    // per-pusher sends clone only the Arc. A shard
+                    // server replies ShardPull instead (same wire
+                    // bytes), copying its — K× smaller — range per
+                    // pusher.
                     let shared = std::sync::Arc::new(global.clone());
                     let pushers: Vec<usize> = pushes.keys().copied().collect();
                     for i in pushers {
-                        match ep.send(
-                            i,
-                            stag,
-                            Payload::SharedParams(std::sync::Arc::clone(&shared)),
-                        ) {
+                        let reply = if cfg.shard_map.is_some() {
+                            Payload::ShardPull(global.clone())
+                        } else {
+                            Payload::SharedParams(std::sync::Arc::clone(&shared))
+                        };
+                        match ep.send(i, stag, reply) {
                             Ok(()) => {}
                             Err(TransportError::PeerUnreachable { .. }) => {
                                 alive[i] = false;
@@ -785,7 +879,10 @@ where
                                 | Payload::Samples { .. }
                                 | Payload::Control(_)
                                 | Payload::Predict { .. }
-                                | Payload::Logits { .. } => continue,
+                                | Payload::Logits { .. }
+                                | Payload::ShardMap(_)
+                                | Payload::ShardPush(_)
+                                | Payload::ShardPull(_) => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -805,7 +902,10 @@ where
                                 | Payload::Samples { .. }
                                 | Payload::Control(_)
                                 | Payload::Predict { .. }
-                                | Payload::Logits { .. } => continue,
+                                | Payload::Logits { .. }
+                                | Payload::ShardMap(_)
+                                | Payload::ShardPush(_)
+                                | Payload::ShardPull(_) => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -826,7 +926,10 @@ where
                     | Payload::Flags(_)
                     | Payload::Samples { .. }
                     | Payload::Predict { .. }
-                    | Payload::Logits { .. } => {}
+                    | Payload::Logits { .. }
+                    | Payload::ShardMap(_)
+                    | Payload::ShardPush(_)
+                    | Payload::ShardPull(_) => {}
                 }
             }
             Err(TransportError::RecvTimeout { buffered, .. }) => {
@@ -1436,5 +1539,154 @@ mod tests {
             }
             StandbyOutcome::Retired { .. } => panic!("standby must be promoted"),
         }
+    }
+
+    /// The eviction rule replayed as the pure function it is: a worker
+    /// is dead once it has missed `max_missed` consecutive heartbeat
+    /// rounds. `history[round][worker]` is `Some(bit)` if the worker's
+    /// flag arrived that round.
+    fn replay_survivors(history: &[Vec<Option<u8>>], max_missed: u32) -> Vec<bool> {
+        let n = history[0].len();
+        let mut missed = vec![0u32; n];
+        let mut alive = vec![true; n];
+        for round in history {
+            for w in 0..n {
+                if !alive[w] {
+                    continue;
+                }
+                match round[w] {
+                    Some(_) => missed[w] = 0,
+                    None => {
+                        missed[w] += 1;
+                        if missed[w] >= max_missed {
+                            alive[w] = false;
+                        }
+                    }
+                }
+            }
+        }
+        alive
+    }
+
+    /// Every shard server applies the same membership rule to the same
+    /// flags history, so K independent replicas of the decision agree —
+    /// and so do everything downstream of it: the survivor list, each
+    /// survivor's partition slot, and the parameter shard map. This is
+    /// the agreement argument that lets the sharded PS group skip any
+    /// cross-shard membership consensus.
+    #[test]
+    fn independent_replays_agree_on_survivors_slots_and_shard_map() {
+        let n = 5;
+        // worker 2 goes silent at round 3, worker 4 flaps but recovers
+        let history: Vec<Vec<Option<u8>>> = (0..10u64)
+            .map(|r| {
+                (0..n)
+                    .map(|w| {
+                        if (w == 2 && r >= 3) || (w == 4 && r % 3 == 1) {
+                            None
+                        } else {
+                            Some(u8::from(r % 2 == 0))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        // replica A: batch replay of the full history; replica B: the
+        // same rule applied incrementally, one round at a time
+        let a = replay_survivors(&history, 2);
+        let mut b = vec![true; n];
+        for upto in 1..=history.len() {
+            b = replay_survivors(&history[..upto], 2);
+        }
+        assert_eq!(a, b, "replicas of the eviction rule must agree");
+        assert_eq!(a, vec![true, true, false, true, true]);
+
+        // identical survivor sets => identical sorted survivor lists and
+        // partition slots (the cursor-rebuild rule: slot = index of the
+        // worker among the sorted survivors)
+        let survivors = |alive: &[bool]| -> Vec<usize> { (0..n).filter(|&w| alive[w]).collect() };
+        let (sa, sb) = (survivors(&a), survivors(&b));
+        assert_eq!(sa, sb);
+        for &w in &sa {
+            assert_eq!(
+                sa.binary_search(&w).unwrap(),
+                sb.binary_search(&w).unwrap(),
+                "worker {w} must land in the same partition slot"
+            );
+        }
+        // ... and identical shard maps, since the map is a pure function
+        // of (total, k) — membership changes never move range boundaries
+        for k in [1, 2, 4] {
+            assert_eq!(shard_starts(1000, k), shard_starts(1000, k));
+        }
+    }
+
+    #[test]
+    fn shard_starts_partitions_evenly_and_handles_edges() {
+        assert_eq!(shard_starts(10, 1), vec![0]);
+        assert_eq!(shard_starts(10, 4), vec![0, 3, 6, 9]);
+        assert_eq!(shard_starts(8, 4), vec![0, 2, 4, 6]);
+        // more shards than elements: trailing shards own empty ranges
+        assert_eq!(shard_starts(2, 4), vec![0, 1, 2, 2]);
+        assert_eq!(shard_starts(0, 2), vec![0, 0]);
+    }
+
+    /// Workers that stall together (e.g. on a sibling shard's recovery)
+    /// and come back many round-timeouts later must return as *current*
+    /// traffic: an empty round is a liveness tick, not a round, so the
+    /// server's step may not free-run ahead of them. Under the old
+    /// clock-driven advancement the step-2 flags below would arrive
+    /// stale, their sync bits would be dropped from the status reply,
+    /// and the sync could never complete.
+    #[test]
+    fn server_step_does_not_free_run_past_stalled_workers() {
+        let n = 2;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(60),
+            // plenty of miss budget: the stall must age, not evict
+            max_missed: 50,
+            ..ElasticConfig::default()
+        };
+        let server = thread::spawn(move || {
+            run_elastic_server(server_ep, n, vec![0.0; 2], &cfg, |_| {}).unwrap()
+        });
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let id = ep.id();
+                    for step in 0..2u64 {
+                        heartbeat_round(&mut ep, n, step, 0, REPLY).unwrap();
+                    }
+                    // both workers go dark for ~7 empty round-timeouts
+                    thread::sleep(Duration::from_millis(400));
+                    let status = heartbeat_round(&mut ep, n, 2, 1, REPLY).unwrap();
+                    assert!(
+                        status.contains(&STATUS_SYNC),
+                        "sync bit after the stall must survive into the status, got {status:?}"
+                    );
+                    let avg = elastic_sync_round(&mut ep, n, 2, vec![id as f32; 2], REPLY).unwrap();
+                    assert_eq!(
+                        &*avg,
+                        &[0.5, 0.5],
+                        "post-stall sync must average both replicas"
+                    );
+                    elastic_shutdown(&mut ep, n, 3).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = server.join().unwrap();
+        assert!(report.evictions.is_empty(), "{:?}", report.evictions);
+        assert_eq!(report.syncs, 1);
+        assert!(
+            report.rounds <= 4,
+            "the stall must not inflate the round counter, got {}",
+            report.rounds
+        );
     }
 }

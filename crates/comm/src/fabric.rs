@@ -51,6 +51,37 @@ pub enum Payload {
         /// Logits per row (the model's class count).
         classes: usize,
     },
+    /// The range-partition map of the flat parameter vector across a
+    /// sharded PS group (`crates/shard`). Carried on the wire so every
+    /// rank can prove it agrees with its peers before any sub-frame
+    /// traffic flows — a silent partition mismatch would scatter
+    /// parameters across the wrong servers.
+    ShardMap(ShardSpec),
+    /// A worker's parameter push restricted to one shard's range. Body
+    /// layout is identical to [`Payload::Params`] (count + values):
+    /// the shard index is implied by the destination rank and the
+    /// range by the agreed [`Payload::ShardMap`], so at `K = 1` the
+    /// sharded path moves exactly as many bytes as the monolithic one.
+    ShardPush(Vec<f32>),
+    /// A shard server's reply carrying its updated range. Body layout
+    /// is identical to [`Payload::Params`], mirroring [`Payload::ShardPush`].
+    ShardPull(Vec<f32>),
+}
+
+/// Wire form of the shard partition map: `starts[i]` is the first flat
+/// parameter index owned by shard `i`, `total` is one past the last.
+/// `version` counts map revisions so a stale map is detectable (the
+/// initial map is version 1). The rich, validated view with range
+/// arithmetic lives in `selsync-shard`; this type is deliberately dumb
+/// data so the wire layer stays free of partition policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Map revision (1 = initial).
+    pub version: u64,
+    /// Flat parameter vector length the map partitions.
+    pub total: u64,
+    /// First owned index per shard, ascending, `starts.len()` = K.
+    pub starts: Vec<u64>,
 }
 
 /// Bytes every encoded frame spends before the payload body:
@@ -78,6 +109,8 @@ impl Payload {
                 4 + 4 * data.len() as u64 + 4 + 8 * dims.len() as u64
             }
             Payload::Logits { rows, .. } => 4 + 4 * rows.len() as u64 + 8,
+            Payload::ShardMap(spec) => 8 + 8 + 4 + 8 * spec.starts.len() as u64,
+            Payload::ShardPush(v) | Payload::ShardPull(v) => 4 + 4 * v.len() as u64,
         }
     }
 
@@ -376,6 +409,23 @@ mod tests {
             classes: 3,
         };
         assert_eq!(l.wire_bytes(), 17 + (4 + 24) + 8);
+        // header + version + total + u32 count + 8 bytes per start
+        let m = Payload::ShardMap(ShardSpec {
+            version: 1,
+            total: 100,
+            starts: vec![0, 25, 50, 75],
+        });
+        assert_eq!(m.wire_bytes(), 17 + 8 + 8 + (4 + 32));
+        // shard push/pull bodies are byte-identical to Params of the
+        // same length — the K=1 accounting-equivalence invariant
+        assert_eq!(
+            Payload::ShardPush(vec![0.0; 10]).wire_bytes(),
+            Payload::Params(vec![0.0; 10]).wire_bytes()
+        );
+        assert_eq!(
+            Payload::ShardPull(vec![0.0; 10]).wire_bytes(),
+            Payload::Params(vec![0.0; 10]).wire_bytes()
+        );
     }
 
     #[test]

@@ -19,12 +19,14 @@ pub mod error;
 pub mod fabric;
 pub mod netmodel;
 pub mod ps;
+pub mod shard;
 pub mod stats;
 pub mod transport;
 
 pub use clock::ClusterClock;
 pub use error::TransportError;
-pub use fabric::{Endpoint, Fabric, FlatVec, Msg, Payload, FRAME_HEADER_BYTES};
+pub use fabric::{Endpoint, Fabric, FlatVec, Msg, Payload, ShardSpec, FRAME_HEADER_BYTES};
 pub use netmodel::NetworkModel;
+pub use shard::ShardedPsClient;
 pub use stats::CommStats;
 pub use transport::Transport;

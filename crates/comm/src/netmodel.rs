@@ -50,6 +50,41 @@ impl NetworkModel {
         2.0 * (self.latency_s + serialized)
     }
 
+    /// One full synchronization against a **K-shard PS group**: each
+    /// worker splits its `model_bytes` push into K ranges and fans them
+    /// out concurrently, so the server-side ingress congestion term of
+    /// [`ps_sync_time`](Self::ps_sync_time) divides by K — but never
+    /// below the floor of a single worker's own transfer (a worker still
+    /// serializes its whole model through its own NIC, so `k >= n`
+    /// shards cannot beat that). Each extra shard costs one extra
+    /// request dispatch worth of latency that pipelining does not fully
+    /// hide, which is what makes K = 1 win for small models and many
+    /// shards lose for tiny clusters.
+    ///
+    /// `sharded_ps_sync_time(m, n, 1) == ps_sync_time(m, n)` exactly —
+    /// the cost-model mirror of the wire-level K = 1 byte identity.
+    pub fn sharded_ps_sync_time(&self, model_bytes: u64, n: usize, k: usize) -> f64 {
+        assert!(k >= 1, "need at least one shard");
+        let eff = self.bandwidth_bps * self.ps_parallelism;
+        let congested = (n as u64 * model_bytes) as f64 * 8.0 / (k as f64 * eff);
+        let floor = model_bytes as f64 * 8.0 / eff;
+        let serialized = congested.max(floor);
+        2.0 * (self.latency_s + serialized) + (k as f64 - 1.0) * self.latency_s
+    }
+
+    /// The model size (bytes) above which a K-shard PS beats the single
+    /// PS for `n` workers under this model: the point where the saved
+    /// ingress serialization `2·(n·M/eff)·(1 − 1/K)` outgrows the
+    /// `(K−1)·latency` fan-out overhead. Meaningful for `1 < k <= n`
+    /// (beyond `n` shards the saving saturates at the single-worker
+    /// floor).
+    pub fn shard_crossover_bytes(&self, n: usize, k: usize) -> u64 {
+        assert!(k > 1, "crossover is defined against the K = 1 baseline");
+        let eff = self.bandwidth_bps * self.ps_parallelism;
+        // 2·(n·M·8/eff)·(k−1)/k = (k−1)·latency  ⇒  M = k·latency·eff/(16·n)
+        (k as f64 * self.latency_s * eff / (16.0 * n as f64)) as u64
+    }
+
     /// Partial PS round: `pushers` upload, `pullers` download.
     pub fn ps_partial_sync_time(&self, model_bytes: u64, pushers: usize, pullers: usize) -> f64 {
         let eff = self.bandwidth_bps * self.ps_parallelism;
@@ -132,6 +167,63 @@ mod tests {
     #[test]
     fn single_worker_ring_is_free() {
         assert_eq!(nm().ring_allreduce_time(1_000_000, 1), 0.0);
+    }
+
+    #[test]
+    fn sharded_k1_equals_monolithic_exactly() {
+        for m in [1_000u64, 5_000_000, 507_000_000] {
+            for n in [2usize, 8, 16] {
+                assert_eq!(nm().sharded_ps_sync_time(m, n, 1), nm().ps_sync_time(m, n));
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_wins_at_the_congested_point() {
+        // VGG11-scale on 16 workers: the paper's PS bandwidth wall
+        let m = 507_000_000;
+        let t1 = nm().sharded_ps_sync_time(m, 16, 1);
+        let t2 = nm().sharded_ps_sync_time(m, 16, 2);
+        let t4 = nm().sharded_ps_sync_time(m, 16, 4);
+        assert!(t4 < t2 && t2 < t1, "t4={t4} t2={t2} t1={t1}");
+        assert!(t1 / t4 > 3.0, "4 shards ≈ 4× the congested ingress");
+    }
+
+    #[test]
+    fn tiny_models_prefer_one_shard() {
+        // the flags-scale payload: fan-out dispatch overhead dominates
+        let m = 1_000;
+        assert!(nm().sharded_ps_sync_time(m, 16, 4) > nm().sharded_ps_sync_time(m, 16, 1));
+    }
+
+    #[test]
+    fn oversharding_saturates_at_the_worker_uplink_floor() {
+        let m = 507_000_000;
+        let n = 4;
+        let eff = nm().bandwidth_bps * nm().ps_parallelism;
+        let floor = m as f64 * 8.0 / eff;
+        // k = n already hits the floor; more shards only add overhead
+        let t = nm().sharded_ps_sync_time(m, n, 8);
+        assert!(t >= 2.0 * floor, "cannot beat one worker's own transfer");
+        assert!(nm().sharded_ps_sync_time(m, n, 8) > nm().sharded_ps_sync_time(m, n, 4));
+    }
+
+    #[test]
+    fn crossover_separates_the_regimes() {
+        let n = 16;
+        let k = 4;
+        let cross = nm().shard_crossover_bytes(n, k);
+        assert!(cross > 0);
+        let below = cross / 2;
+        let above = cross * 2;
+        assert!(
+            nm().sharded_ps_sync_time(below, n, k) > nm().sharded_ps_sync_time(below, n, 1),
+            "below the crossover the single PS wins"
+        );
+        assert!(
+            nm().sharded_ps_sync_time(above, n, k) < nm().sharded_ps_sync_time(above, n, 1),
+            "above the crossover the shard group wins"
+        );
     }
 
     #[test]

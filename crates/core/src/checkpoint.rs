@@ -585,13 +585,32 @@ fn read_exact_probe(
 /// replica can poll it on a short interval without touching the
 /// parameter payload.
 ///
+/// Falls back to the retained `.prev` generation when the current file
+/// is missing, torn, or fails its header CRC — the same policy as
+/// [`load_state_with_fallback`], so the watcher and the loader agree on
+/// which generation is live: a torn in-progress rewrite of the current
+/// file surfaces the previous generation instead of stalling the reload
+/// loop on an error.
+///
 /// # Errors
-/// Typed [`CheckpointError`] on a missing/unreadable file, bad magic or
-/// version, truncation, a corrupt meta section, or a missing meta
-/// section — the same taxonomy as the full loader, so a watcher can log
-/// a torn in-progress write distinctly from real damage.
+/// The *primary* file's typed [`CheckpointError`] when neither
+/// generation probes (missing/unreadable file, bad magic or version,
+/// truncation, a corrupt meta section, or a missing meta section) — the
+/// same taxonomy as the full loader, so a watcher can log a torn
+/// in-progress write distinctly from real damage.
 pub fn probe_state_generation(path: impl AsRef<Path>) -> Result<StateGeneration, CheckpointError> {
-    let mut f = File::open(path.as_ref())?;
+    let path = path.as_ref();
+    match probe_one_generation(path) {
+        Ok(gen) => Ok(gen),
+        Err(primary) => match probe_one_generation(&prev_path(path)) {
+            Ok(gen) => Ok(gen),
+            Err(_) => Err(primary),
+        },
+    }
+}
+
+fn probe_one_generation(path: &Path) -> Result<StateGeneration, CheckpointError> {
+    let mut f = File::open(path)?;
     let file_len = f.metadata()?.len();
     let mut head = [0u8; 12];
     read_exact_probe(&mut f, &mut head, "header")?;
@@ -1033,6 +1052,40 @@ mod tests {
             Err(CheckpointError::Truncated { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn probe_falls_back_to_prev_on_torn_header() {
+        let path = tmp("probe_torn.ckpt");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
+        let gen1 = sample_state(33);
+        let gen2 = sample_state(34);
+        save_state(&path, &gen1).unwrap();
+        save_state(&path, &gen2).unwrap(); // .prev now holds gen1
+
+        // tear the current file mid-header, as a crash during a rewrite
+        // would: the probe must surface the durable .prev generation
+        let image = encode_state(&gen2);
+        std::fs::write(&path, &image[..7]).unwrap();
+        let g = probe_state_generation(&path).unwrap();
+        assert_eq!(g.step, gen1.step, "fallback reports the .prev state");
+        assert_eq!(g.syncs, gen1.syncs);
+
+        // a meta-CRC failure in the current file falls back the same way
+        let mut bad = image.clone();
+        bad[12 + 16] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert_eq!(probe_state_generation(&path).unwrap().step, gen1.step);
+
+        // both generations damaged: the *primary* error is reported
+        std::fs::write(prev_path(&path), b"XX").unwrap();
+        assert!(matches!(
+            probe_state_generation(&path),
+            Err(CheckpointError::CrcMismatch { section: 1 })
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(prev_path(&path)).ok();
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub fn worker_state_path(base: &Path, rank: usize) -> PathBuf {
     base.with_file_name(name)
 }
 
-fn validate_elastic(config: &RunConfig, workload: &Workload) {
+pub(crate) fn validate_elastic(config: &RunConfig, workload: &Workload) {
     assert!(config.n_workers >= 1, "need at least one worker");
     assert!(config.max_steps >= 1, "need at least one step");
     assert_eq!(
@@ -147,7 +147,7 @@ fn validate_elastic(config: &RunConfig, workload: &Workload) {
 
 /// Ranks a status vector reports as members (anything but dead — a rank
 /// that merely missed a round is still in the membership).
-fn alive_ranks(status: &[u8]) -> Vec<usize> {
+pub(crate) fn alive_ranks(status: &[u8]) -> Vec<usize> {
     status
         .iter()
         .enumerate()
@@ -258,6 +258,60 @@ fn sync_retry<T: Transport>(
     round_with_failover(link, opts, |server| {
         elastic_sync_round(ep, server, step, params.to_vec(), opts.reply_timeout)
     })
+}
+
+/// The worker's session onto its parameter service — a single
+/// monolithic PS ([`MonoSession`]) or a K-shard group
+/// (`crate::shard::ShardSession`) — so the elastic training loop is one
+/// code path regardless of how the service is deployed. At K = 1 the
+/// sharded implementation performs the identical message sequence, which
+/// is what makes the bit-identity guarantee a structural property rather
+/// than a testing accident.
+pub(crate) trait PsSession {
+    /// This worker's logical id (its index in status vectors).
+    fn me(&self) -> usize;
+    /// One flags/heartbeat round; returns the membership status vector.
+    fn heartbeat(&mut self, step: u64, bit: u8) -> Result<Vec<u8>, TransportError>;
+    /// One parameter-averaging round; returns the new global vector.
+    fn sync(&mut self, step: u64, params: &[f32]) -> Result<FlatVec, TransportError>;
+    /// Announce a clean finish to the service.
+    fn shutdown(&mut self, step: u64) -> Result<(), TransportError>;
+}
+
+/// [`PsSession`] over the monolithic single-PS deployment: rank
+/// `n_workers`, with the PR 3 failover policy toward its hot standby.
+pub(crate) struct MonoSession<'a, T: Transport> {
+    ep: &'a mut T,
+    link: PsLink,
+    opts: &'a ElasticOptions,
+}
+
+impl<'a, T: Transport> MonoSession<'a, T> {
+    pub(crate) fn new(ep: &'a mut T, n_workers: usize, opts: &'a ElasticOptions) -> Self {
+        let link = PsLink {
+            server: n_workers,
+            standby: opts.standby_rank(n_workers),
+        };
+        MonoSession { ep, link, opts }
+    }
+}
+
+impl<T: Transport> PsSession for MonoSession<'_, T> {
+    fn me(&self) -> usize {
+        self.ep.id()
+    }
+
+    fn heartbeat(&mut self, step: u64, bit: u8) -> Result<Vec<u8>, TransportError> {
+        heartbeat_retry(&mut *self.ep, &mut self.link, step, bit, self.opts)
+    }
+
+    fn sync(&mut self, step: u64, params: &[f32]) -> Result<FlatVec, TransportError> {
+        sync_retry(&mut *self.ep, &mut self.link, step, params, self.opts)
+    }
+
+    fn shutdown(&mut self, step: u64) -> Result<(), TransportError> {
+        elastic_shutdown(&mut *self.ep, self.link.server, step)
+    }
 }
 
 /// Run the elastic parameter server for one experiment. Blocks until
@@ -374,12 +428,13 @@ pub fn run_standby_server_rank<T: Transport>(
     )
 }
 
-fn server_elastic_config(config: &RunConfig, opts: &ElasticOptions) -> ElasticConfig {
+pub(crate) fn server_elastic_config(config: &RunConfig, opts: &ElasticOptions) -> ElasticConfig {
     ElasticConfig {
         round_timeout: opts.round_timeout,
         max_missed: opts.max_missed,
         standby: opts.standby_rank(config.n_workers),
         crash: opts.server_crash,
+        shard_map: None,
         resume_grace: Duration::ZERO,
     }
 }
@@ -387,7 +442,10 @@ fn server_elastic_config(config: &RunConfig, opts: &ElasticOptions) -> ElasticCo
 /// The write-ahead checkpoint hook: persist every completed sync round's
 /// server state as a v2 checkpoint before any worker can see the round's
 /// result. Best effort — a full disk must not take the cluster down.
-fn server_checkpoint_writer(config: &RunConfig, opts: &ElasticOptions) -> impl FnMut(&ServerState) {
+pub(crate) fn server_checkpoint_writer(
+    config: &RunConfig,
+    opts: &ElasticOptions,
+) -> impl FnMut(&ServerState) {
     let ckpt = opts.checkpoint.clone();
     let seed = config.seed;
     move |state: &ServerState| {
@@ -430,7 +488,8 @@ pub fn run_elastic_worker_rank<T: Transport>(
     let worker = ep.id();
     assert!(worker < config.n_workers, "worker rank out of range");
     let members: Vec<usize> = (0..config.n_workers).collect();
-    elastic_loop(ep, config, workload, opts, None, None, 0, members)
+    let mut sess = MonoSession::new(ep, config.n_workers, opts);
+    elastic_loop(&mut sess, config, workload, opts, None, None, 0, members)
 }
 
 /// Re-admit this rank into a running elastic experiment: warm-start from
@@ -469,8 +528,9 @@ pub fn rejoin_elastic_worker_rank<T: Transport>(
         .as_ref()
         .and_then(|p| checkpoint::load_state_with_fallback(worker_state_path(p, worker)).ok())
         .map(|(s, _)| s);
+    let mut sess = MonoSession::new(ep, config.n_workers, opts);
     let out = elastic_loop(
-        ep,
+        &mut sess,
         config,
         workload,
         opts,
@@ -483,8 +543,8 @@ pub fn rejoin_elastic_worker_rank<T: Transport>(
 }
 
 #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
-fn elastic_loop<T: Transport>(
-    ep: &mut T,
+pub(crate) fn elastic_loop<S: PsSession>(
+    sess: &mut S,
     config: &RunConfig,
     workload: &Workload,
     opts: &ElasticOptions,
@@ -493,11 +553,7 @@ fn elastic_loop<T: Transport>(
     start_step: u64,
     mut members: Vec<usize>,
 ) -> Result<WorkerOutput, TransportError> {
-    let worker = ep.id();
-    let mut link = PsLink {
-        server: config.n_workers,
-        standby: opts.standby_rank(config.n_workers),
-    };
+    let worker = sess.me();
     let mut model = workload.build_model();
     if let Some(init) = init_params {
         set_flat_params(model.as_model(), &init);
@@ -559,7 +615,7 @@ fn elastic_loop<T: Transport>(
         };
 
         // flags round = heartbeat; the reply is the membership status
-        let status = heartbeat_retry(ep, &mut link, step, my_bit, opts)?;
+        let status = sess.heartbeat(step, my_bit)?;
         let now_alive = alive_ranks(&status);
         if now_alive != members {
             // membership changed (eviction or rejoin): every survivor
@@ -575,7 +631,7 @@ fn elastic_loop<T: Transport>(
             opt.step(model.as_model());
             flat_params_into(model.as_visitor(), &mut params);
             logical_bytes += 4 * params.len() as u64;
-            let global = sync_retry(ep, &mut link, step, &params, opts)?;
+            let global = sess.sync(step, &params)?;
             set_flat_params(model.as_model(), &global);
             if let Some(base) = &opts.checkpoint {
                 // mirror this rank's private state next to the server's
@@ -629,7 +685,7 @@ fn elastic_loop<T: Transport>(
     }
 
     if !crashed {
-        elastic_shutdown(ep, link.server, config.max_steps)?;
+        sess.shutdown(config.max_steps)?;
     }
 
     Ok(WorkerOutput {

@@ -1,0 +1,612 @@
+//! Sharded parameter-server training: K instances of the *unmodified*
+//! elastic PS, each serving one contiguous range of the flat parameter
+//! vector, plus the worker loop that fans its pushes out to all of them.
+//!
+//! Every entry point here is a thin adapter. The servers run
+//! [`selsync_comm::elastic::run_elastic_server`] verbatim over a
+//! [`ShardView`] that relabels the shards-first physical fabric as the
+//! monolithic logical world, so each shard inherits the full PR 3
+//! recovery story — crash-consistent `.prev` checkpoints, resumable
+//! restart, hot-standby promotion — *per shard*: one shard can crash,
+//! promote its standby or resume from its own checkpoint file
+//! ([`shard_state_path`]), and catch its workers up while the other
+//! K − 1 shards keep serving their ranges. The workers run the ordinary
+//! elastic training loop over a `ShardSession` whose rounds go through
+//! [`ShardedPsClient`]'s parallel fan-out.
+//!
+//! At K = 1 the view is a pure relabeling and the client's fan-out
+//! degenerates to the monolithic message sequence byte-for-byte, so a
+//! K = 1 sharded run is bit-identical to the monolithic path (proved by
+//! the `shard_processes` suite).
+
+use crate::checkpoint;
+use crate::config::RunConfig;
+use crate::elastic::{
+    alive_ranks, elastic_loop, server_checkpoint_writer, server_elastic_config, validate_elastic,
+    ElasticOptions, PsSession,
+};
+use crate::trainer::WorkerOutput;
+use crate::workload::Workload;
+use selsync_comm::elastic::{
+    join_request, run_elastic_server, run_elastic_server_from, run_standby_server, ElasticReport,
+    ServerState, StandbyOutcome,
+};
+use selsync_comm::shard::{ShardClientConfig, ShardedPsClient};
+use selsync_comm::{FlatVec, Transport, TransportError};
+use selsync_nn::flat::flat_params;
+use selsync_shard::{Role, ShardLayout, ShardMap, ShardView, ViewRole};
+use std::path::{Path, PathBuf};
+
+/// Where shard `s` keeps its durable state relative to the run's base
+/// checkpoint path: `<ckpt>.s<s>` (each with its own `.prev`
+/// generation). One file per shard is what makes recovery independent:
+/// a crashed shard resumes from *its* last sync without touching its
+/// siblings' files.
+pub fn shard_state_path(base: &Path, s: usize) -> PathBuf {
+    let mut name = base
+        .file_name()
+        .map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+    name.push_str(&format!(".s{s}"));
+    base.with_file_name(name)
+}
+
+/// Options for one shard: same knobs, checkpoint redirected to the
+/// shard's own file.
+fn shard_opts(opts: &ElasticOptions, s: usize) -> ElasticOptions {
+    let mut so = opts.clone();
+    so.checkpoint = opts.checkpoint.as_ref().map(|p| shard_state_path(p, s));
+    so
+}
+
+/// Widen one shard server's eviction budget to cover a *sibling*
+/// shard's recovery window. A worker whose fan-out is stalled on a dead
+/// shard goes silent toward the healthy shards for up to `ps_patience`
+/// (its per-shard failover budget); without this allowance the healthy
+/// shards' free-running round clocks would read that stall as worker
+/// death and evict the whole cluster. Fault-free rounds never
+/// accumulate misses, so this does not perturb the K = 1 bit-identity
+/// with the monolithic path — it only slows eviction of genuinely dead
+/// workers by the patience window (documented in DESIGN.md §10).
+fn widen_for_sibling_recovery(
+    cfg: &mut selsync_comm::elastic::ElasticConfig,
+    opts: &ElasticOptions,
+) {
+    let round_ms = cfg.round_timeout.as_millis().max(1);
+    let stall_rounds = (opts.ps_patience.as_millis() / round_ms) as u32 + 1;
+    cfg.max_missed = cfg.max_missed.saturating_add(stall_rounds);
+}
+
+/// The partition map every rank of a sharded run computes: the model's
+/// flat parameter count split over the layout's K shards.
+pub fn shard_map_for(workload: &Workload, layout: &ShardLayout) -> ShardMap {
+    let total = flat_params(workload.build_model().as_visitor()).len() as u64;
+    ShardMap::compute(total, layout.k)
+}
+
+fn expect_shard(rank: usize, layout: &ShardLayout) -> usize {
+    match layout.role_of(rank) {
+        Role::Shard(s) => s,
+        // lint:allow(unwrap-in-prod): launch-time wiring check — a rank
+        // started under the wrong role must die loudly before serving
+        r => panic!("rank {rank} is {r:?}, not a shard server"),
+    }
+}
+
+/// Run one shard server of a sharded run. Blocks until every worker has
+/// finished or been evicted; returns this shard's membership history and
+/// final range parameters.
+///
+/// # Errors
+/// As [`crate::elastic::run_elastic_server_rank`].
+pub fn run_shard_server_rank<T: Transport>(
+    ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+    layout: ShardLayout,
+) -> Result<ElasticReport, TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(layout.n_workers, config.n_workers, "layout/config mismatch");
+    let s = expect_shard(ep.id(), &layout);
+    let full = flat_params(workload.build_model().as_visitor());
+    let map = ShardMap::compute(full.len() as u64, layout.k);
+    let init = map.slice(&full, s).to_vec();
+    let sopts = shard_opts(opts, s);
+    let mut cfg = server_elastic_config(config, &sopts);
+    cfg.shard_map = Some(map.spec().clone());
+    widen_for_sibling_recovery(&mut cfg, opts);
+    let view = ShardView::new(ep, layout, s, ViewRole::Server);
+    run_elastic_server(
+        view,
+        config.n_workers,
+        init,
+        &cfg,
+        server_checkpoint_writer(config, &sopts),
+    )
+}
+
+/// Restart one shard server from its recovered
+/// [`checkpoint::TrainState`] (loaded from [`shard_state_path`]):
+/// training on this range resumes from its last durable sync while the
+/// sibling shards keep serving uninterrupted.
+///
+/// # Errors
+/// As [`run_shard_server_rank`].
+pub fn run_shard_server_rank_from<T: Transport>(
+    ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+    layout: ShardLayout,
+    state: &checkpoint::TrainState,
+) -> Result<ElasticReport, TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(layout.n_workers, config.n_workers, "layout/config mismatch");
+    let s = expect_shard(ep.id(), &layout);
+    let map = shard_map_for(workload, &layout);
+    assert_eq!(
+        state.params.len(),
+        map.len_of(s),
+        "checkpoint holds a different range than shard {s} owns"
+    );
+    assert_eq!(
+        state.alive.len(),
+        config.n_workers,
+        "checkpoint membership must match the configured worker count"
+    );
+    let sopts = shard_opts(opts, s);
+    let mut cfg = server_elastic_config(config, &sopts);
+    cfg.shard_map = Some(map.spec().clone());
+    widen_for_sibling_recovery(&mut cfg, opts);
+    // same liveness grace as the monolithic restart: the workers'
+    // in-flight rounds died with the old shard process
+    cfg.resume_grace = opts.reply_timeout * 2 + opts.round_timeout;
+    let view = ShardView::new(ep, layout, s, ViewRole::Server);
+    run_elastic_server_from(
+        view,
+        ServerState {
+            step: state.step,
+            syncs: state.syncs,
+            global: state.params.clone(),
+            alive: state.alive.clone(),
+            done: state.done.clone(),
+            evictions: state.evictions.clone(),
+            joins: state.joins.clone(),
+        },
+        &cfg,
+        server_checkpoint_writer(config, &sopts),
+    )
+}
+
+/// Run one shard's hot standby: shadow that shard's sync state, promote
+/// to a full shard server if its workers fail over here, and keep
+/// writing the same per-shard checkpoint once promoted.
+///
+/// # Errors
+/// Propagates unrecoverable transport faults.
+pub fn run_shard_standby_rank<T: Transport>(
+    ep: T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+    layout: ShardLayout,
+) -> Result<StandbyOutcome, TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(layout.n_workers, config.n_workers, "layout/config mismatch");
+    let s = match layout.role_of(ep.id()) {
+        Role::Standby(s) => s,
+        // lint:allow(unwrap-in-prod): launch-time wiring check, as above
+        r => panic!("rank {} is {r:?}, not a shard standby", ep.id()),
+    };
+    let full = flat_params(workload.build_model().as_visitor());
+    let map = ShardMap::compute(full.len() as u64, layout.k);
+    let init = map.slice(&full, s).to_vec();
+    let sopts = shard_opts(opts, s);
+    let mut cfg = server_elastic_config(config, &sopts);
+    cfg.shard_map = Some(map.spec().clone());
+    widen_for_sibling_recovery(&mut cfg, opts);
+    // the same promotion grace/silence budget as the monolithic standby
+    cfg.resume_grace = opts.ps_patience + opts.reply_timeout;
+    let max_silence = (opts.ps_patience + opts.reply_timeout) * 3;
+    let view = ShardView::new(ep, layout, s, ViewRole::Standby);
+    run_standby_server(
+        view,
+        config.n_workers,
+        init,
+        &cfg,
+        max_silence,
+        server_checkpoint_writer(config, &sopts),
+    )
+}
+
+/// [`PsSession`] over a sharded PS group: each round fans out through
+/// the [`ShardedPsClient`].
+struct ShardSession<'a, T: Transport> {
+    ep: &'a mut T,
+    client: ShardedPsClient,
+}
+
+impl<T: Transport> PsSession for ShardSession<'_, T> {
+    fn me(&self) -> usize {
+        self.client.me()
+    }
+
+    fn heartbeat(&mut self, step: u64, bit: u8) -> Result<Vec<u8>, TransportError> {
+        self.client.heartbeat(&mut *self.ep, step, bit)
+    }
+
+    fn sync(&mut self, step: u64, params: &[f32]) -> Result<FlatVec, TransportError> {
+        self.client.sync(&mut *self.ep, step, params)
+    }
+
+    fn shutdown(&mut self, step: u64) -> Result<(), TransportError> {
+        self.client.shutdown(&mut *self.ep, step);
+        Ok(())
+    }
+}
+
+fn build_client(
+    ep_rank: usize,
+    opts: &ElasticOptions,
+    layout: &ShardLayout,
+    map: &ShardMap,
+) -> ShardedPsClient {
+    let w = match layout.role_of(ep_rank) {
+        Role::Worker(w) => w,
+        // lint:allow(unwrap-in-prod): launch-time wiring check, as above
+        r => panic!("rank {ep_rank} is {r:?}, not a worker"),
+    };
+    ShardedPsClient::new(
+        w,
+        map.spec().clone(),
+        &layout.shard_ranks(),
+        layout.standby_ranks().as_deref(),
+        ShardClientConfig {
+            reply_timeout: opts.reply_timeout,
+            comm_retries: opts.comm_retries,
+            ps_patience: opts.ps_patience,
+        },
+    )
+}
+
+/// Run one worker of a sharded run from step 0: prove map agreement
+/// with every shard, then train the ordinary elastic loop with fan-out
+/// rounds.
+///
+/// # Errors
+/// [`TransportError::Evicted`] if any shard expelled this rank;
+/// [`TransportError::Protocol`] if the map handshake fails; other
+/// variants on unrecoverable comm faults.
+pub fn run_shard_worker_rank<T: Transport>(
+    ep: &mut T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+    layout: ShardLayout,
+) -> Result<WorkerOutput, TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(layout.n_workers, config.n_workers, "layout/config mismatch");
+    let map = shard_map_for(workload, &layout);
+    let mut client = build_client(ep.id(), opts, &layout, &map);
+    client.handshake(&mut *ep)?;
+    let members: Vec<usize> = (0..config.n_workers).collect();
+    let mut sess = ShardSession { ep, client };
+    elastic_loop(&mut sess, config, workload, opts, None, None, 0, members)
+}
+
+/// Re-admit this rank into a running sharded experiment: request a join
+/// grant from every shard, assemble the warm-start parameters from the
+/// per-range grants, and resume at shard 0's assigned step (shard 0 is
+/// the authoritative membership, and all shards grant at the same sync
+/// boundary because they see the same flags history).
+///
+/// # Errors
+/// `RecvTimeout` if any shard never grants the join; otherwise as
+/// [`run_shard_worker_rank`].
+pub fn rejoin_shard_worker_rank<T: Transport>(
+    ep: &mut T,
+    config: &RunConfig,
+    workload: &Workload,
+    opts: &ElasticOptions,
+    layout: ShardLayout,
+) -> Result<(u64, WorkerOutput), TransportError> {
+    validate_elastic(config, workload);
+    assert_eq!(layout.n_workers, config.n_workers, "layout/config mismatch");
+    let map = shard_map_for(workload, &layout);
+    let worker = match layout.role_of(ep.id()) {
+        Role::Worker(w) => w,
+        // lint:allow(unwrap-in-prod): launch-time wiring check, as above
+        r => panic!("rank {} is {r:?}, not a worker", ep.id()),
+    };
+    let mut init = vec![0.0f32; map.total() as usize];
+    let mut members = Vec::new();
+    let mut resume_step = 0;
+    for s in 0..layout.k {
+        let grant = join_request(ep, layout.shard_rank(s), opts.reply_timeout)?;
+        let range = map.range(s);
+        if grant.params.len() != range.len() {
+            return Err(TransportError::Protocol(format!(
+                "shard {s} join grant carried {} params, its range holds {}",
+                grant.params.len(),
+                range.len()
+            )));
+        }
+        init[range].copy_from_slice(&grant.params);
+        if s == 0 {
+            members = alive_ranks(&grant.status);
+            resume_step = grant.resume_step;
+        }
+    }
+    // this rank's private state (optimizer slots, Δ(g) stream) survives
+    // in the same per-worker mirror file as the monolithic path
+    let private = opts
+        .checkpoint
+        .as_ref()
+        .and_then(|p| {
+            checkpoint::load_state_with_fallback(crate::elastic::worker_state_path(p, worker)).ok()
+        })
+        .map(|(st, _)| st);
+    let mut client = build_client(ep.id(), opts, &layout, &map);
+    client.handshake(&mut *ep)?;
+    let mut sess = ShardSession { ep, client };
+    let out = elastic_loop(
+        &mut sess,
+        config,
+        workload,
+        opts,
+        Some(init),
+        private,
+        resume_step,
+        members,
+    )?;
+    Ok((resume_step, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Aggregation, RunConfig, Strategy};
+    use crate::elastic::{run_elastic_server_rank, run_elastic_worker_rank};
+    use selsync_comm::Fabric;
+    use selsync_nn::models::ModelKind;
+    use std::thread;
+    use std::time::Duration;
+
+    fn elastic_cfg(n_workers: usize, steps: u64, delta: f32) -> RunConfig {
+        RunConfig {
+            strategy: Strategy::SelSync {
+                delta,
+                aggregation: Aggregation::Parameter,
+            },
+            n_workers,
+            max_steps: steps,
+            eval_every: steps,
+            ..RunConfig::quick_defaults()
+        }
+    }
+
+    fn small_workload() -> Workload {
+        Workload::vision(ModelKind::VggMini, 96, 32, 7)
+    }
+
+    /// Run a full sharded cluster on one fabric; returns shard reports
+    /// (by shard) and worker outputs (by logical worker).
+    fn run_sharded(
+        cfg: &RunConfig,
+        wl: &Workload,
+        opts: &ElasticOptions,
+        k: usize,
+    ) -> (Vec<ElasticReport>, Vec<WorkerOutput>) {
+        let layout = ShardLayout::new(k, cfg.n_workers, opts.standby);
+        let mut eps: Vec<_> = Fabric::new(layout.total_ranks()).into_iter().collect();
+        let mut shard_handles = Vec::new();
+        let mut worker_handles = Vec::new();
+        // spawn back-to-front so remove() indices stay valid
+        while let Some(ep) = eps.pop() {
+            let (cfg, wl, opts) = (cfg.clone(), wl.clone(), opts.clone());
+            match layout.role_of(ep.id()) {
+                Role::Shard(s) => shard_handles.push((
+                    s,
+                    thread::spawn(move || run_shard_server_rank(ep, &cfg, &wl, &opts, layout)),
+                )),
+                Role::Worker(w) => worker_handles.push((
+                    w,
+                    thread::spawn(move || {
+                        let mut ep = ep;
+                        run_shard_worker_rank(&mut ep, &cfg, &wl, &opts, layout)
+                    }),
+                )),
+                Role::Standby(_) => {
+                    thread::spawn(move || run_shard_standby_rank(ep, &cfg, &wl, &opts, layout));
+                }
+            }
+        }
+        shard_handles.sort_by_key(|(s, _)| *s);
+        worker_handles.sort_by_key(|(w, _)| *w);
+        let reports = shard_handles
+            .into_iter()
+            .map(|(_, h)| h.join().unwrap().unwrap())
+            .collect();
+        let outs = worker_handles
+            .into_iter()
+            .map(|(_, h)| h.join().unwrap().unwrap())
+            .collect();
+        (reports, outs)
+    }
+
+    #[test]
+    fn k1_sharded_run_is_bit_identical_to_monolithic() {
+        let n = 2;
+        let cfg = elastic_cfg(n, 8, 0.25);
+        let wl = small_workload();
+        let opts = ElasticOptions::with_liveness(Duration::from_millis(500), 3);
+
+        // monolithic reference
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let (s_cfg, s_wl, s_opts) = (cfg.clone(), wl.clone(), opts.clone());
+        let server =
+            thread::spawn(move || run_elastic_server_rank(server_ep, &s_cfg, &s_wl, &s_opts));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let (cfg, wl, opts) = (cfg.clone(), wl.clone(), opts.clone());
+                thread::spawn(move || run_elastic_worker_rank(&mut ep, &cfg, &wl, &opts))
+            })
+            .collect();
+        let mut mono: Vec<WorkerOutput> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        mono.sort_by_key(|o| o.worker);
+        let mono_report = server.join().unwrap().unwrap();
+
+        // K = 1 sharded run of the same seed/config
+        let (reports, sharded) = run_sharded(&cfg, &wl, &opts, 1);
+
+        assert_eq!(reports[0].final_params, mono_report.final_params);
+        assert_eq!(reports[0].syncs, mono_report.syncs);
+        for (m, s) in mono.iter().zip(&sharded) {
+            assert_eq!(m.worker, s.worker);
+            assert_eq!(m.final_params, s.final_params, "worker {}", m.worker);
+            assert_eq!(m.records.len(), s.records.len());
+            for (rm, rs) in m.records.iter().zip(&s.records) {
+                assert_eq!(rm.synced, rs.synced, "step {}", rm.step);
+                assert_eq!(rm.loss.to_bits(), rs.loss.to_bits(), "step {}", rm.step);
+            }
+            assert_eq!(m.logical_sync_bytes, s.logical_sync_bytes);
+        }
+    }
+
+    #[test]
+    fn k2_shards_reassemble_the_global_vector() {
+        let n = 2;
+        let cfg = elastic_cfg(n, 6, 0.0); // δ=0: sync every step
+        let wl = small_workload();
+        let opts = ElasticOptions::with_liveness(Duration::from_millis(500), 3);
+        let (reports, outs) = run_sharded(&cfg, &wl, &opts, 2);
+        assert_eq!(reports.len(), 2);
+        // both shards saw the same sync schedule
+        assert_eq!(reports[0].syncs, reports[1].syncs);
+        // concatenating the shard ranges rebuilds every worker's final
+        // params exactly (δ=0 ⇒ the last step synced)
+        let mut global = reports[0].final_params.clone();
+        global.extend_from_slice(&reports[1].final_params);
+        for o in &outs {
+            assert_eq!(o.final_params, global, "worker {}", o.worker);
+        }
+    }
+
+    /// One shard dies mid-sync (the most adversarial point: pushes
+    /// consumed, nothing durable, no replies) and resumes from its own
+    /// `.s<shard>` checkpoint while shard 0 keeps serving. The workers
+    /// must finish with parameters bit-identical to a fault-free run.
+    #[test]
+    fn one_shard_crash_resumes_from_its_own_checkpoint() {
+        use selsync_comm::elastic::ServerCrashPoint;
+        let n = 2;
+        let cfg = elastic_cfg(n, 8, 0.25);
+        let wl = small_workload();
+        let mut opts = ElasticOptions::with_liveness(Duration::from_millis(300), 5);
+        let dir = std::env::temp_dir().join(format!("selsync_shard_crash_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ckpt.bin");
+        opts.checkpoint = Some(base.clone());
+
+        // fault-free reference (no checkpointing, same seed)
+        let ref_opts = ElasticOptions::with_liveness(Duration::from_millis(300), 5);
+        let (_, reference) = run_sharded(&cfg, &wl, &ref_opts, 2);
+
+        let layout = ShardLayout::new(2, n, false);
+        let mut eps: Vec<_> = Fabric::new(layout.total_ranks()).into_iter().collect();
+        let mut shard_handles = Vec::new();
+        let mut worker_handles = Vec::new();
+        while let Some(ep) = eps.pop() {
+            let (cfg, wl, mut opts) = (cfg.clone(), wl.clone(), opts.clone());
+            match layout.role_of(ep.id()) {
+                Role::Shard(s) => {
+                    if s == 1 {
+                        opts.server_crash = Some(ServerCrashPoint::MidSync(1));
+                    }
+                    let base = base.clone();
+                    shard_handles.push((
+                        s,
+                        thread::spawn(move || {
+                            let mut ep = ep;
+                            let mut report =
+                                run_shard_server_rank(&mut ep, &cfg, &wl, &opts, layout).unwrap();
+                            if report.crashed {
+                                assert_eq!(s, 1, "only shard 1 is scheduled to die");
+                                thread::sleep(Duration::from_millis(100));
+                                let (state, _) = checkpoint::load_state_with_fallback(
+                                    shard_state_path(&base, s),
+                                )
+                                .unwrap();
+                                let mut ropts = opts.clone();
+                                ropts.server_crash = None;
+                                report = run_shard_server_rank_from(
+                                    &mut ep, &cfg, &wl, &ropts, layout, &state,
+                                )
+                                .unwrap();
+                            }
+                            report
+                        }),
+                    ));
+                }
+                Role::Worker(w) => worker_handles.push((
+                    w,
+                    thread::spawn(move || {
+                        let mut ep = ep;
+                        run_shard_worker_rank(&mut ep, &cfg, &wl, &opts, layout)
+                    }),
+                )),
+                Role::Standby(_) => unreachable!(),
+            }
+        }
+        worker_handles.sort_by_key(|(w, _)| *w);
+        let outs: Vec<WorkerOutput> = worker_handles
+            .into_iter()
+            .map(|(_, h)| h.join().unwrap().unwrap())
+            .collect();
+        shard_handles.sort_by_key(|(s, _)| *s);
+        let reports: Vec<ElasticReport> = shard_handles
+            .into_iter()
+            .map(|(_, h)| h.join().unwrap())
+            .collect();
+
+        assert!(
+            reports[1].evictions.is_empty(),
+            "{:?}",
+            reports[1].evictions
+        );
+        assert!(
+            reports[0].evictions.is_empty(),
+            "{:?}",
+            reports[0].evictions
+        );
+        for (r, o) in reference.iter().zip(&outs) {
+            assert_eq!(
+                o.lssr.total(),
+                cfg.max_steps,
+                "worker {} ran every step",
+                o.worker
+            );
+            assert_eq!(
+                r.final_params, o.final_params,
+                "worker {}: surviving params must be bit-identical to fault-free",
+                o.worker
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_state_path_is_per_shard() {
+        let base = PathBuf::from("/tmp/run/ckpt.bin");
+        assert_eq!(
+            shard_state_path(&base, 0),
+            PathBuf::from("/tmp/run/ckpt.bin.s0")
+        );
+        assert_ne!(shard_state_path(&base, 1), shard_state_path(&base, 2));
+    }
+}

@@ -92,7 +92,7 @@ impl Rule for NondetIteration {
         "nondet-iteration"
     }
     fn in_scope(&self, rel: &str) -> bool {
-        in_crates(rel, &["comm", "core", "net", "chaos", "serve"])
+        in_crates(rel, &["comm", "core", "net", "chaos", "serve", "shard"])
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
         for t in &f.toks {
@@ -125,9 +125,10 @@ struct NondetTime;
 
 /// Modules allowed to read the clock: they implement timeouts,
 /// watchdogs and liveness deadlines, where wall time is the point.
-const TIME_ALLOWLIST: [&str; 5] = [
+const TIME_ALLOWLIST: [&str; 6] = [
     "crates/comm/src/elastic.rs",
     "crates/comm/src/fabric.rs",
+    "crates/comm/src/shard.rs",
     "crates/core/src/elastic.rs",
     "crates/net/src/tcp.rs",
     "crates/serve/src/timer.rs",
@@ -138,7 +139,7 @@ impl Rule for NondetTime {
         "nondet-time"
     }
     fn in_scope(&self, rel: &str) -> bool {
-        in_crates(rel, &["comm", "core", "net", "serve"]) && !TIME_ALLOWLIST.contains(&rel)
+        in_crates(rel, &["comm", "core", "net", "serve", "shard"]) && !TIME_ALLOWLIST.contains(&rel)
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
         for w in f.toks.windows(4) {
@@ -181,7 +182,9 @@ impl Rule for UnwrapInProd {
     fn in_scope(&self, rel: &str) -> bool {
         in_crates(
             rel,
-            &["net", "comm", "chaos", "core", "data", "stats", "serve"],
+            &[
+                "net", "comm", "chaos", "core", "data", "stats", "serve", "shard",
+            ],
         )
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
@@ -456,7 +459,7 @@ impl Rule for WireWildcard {
         "wire-wildcard"
     }
     fn in_scope(&self, rel: &str) -> bool {
-        in_crates(rel, &["comm", "net", "core", "chaos", "serve"])
+        in_crates(rel, &["comm", "net", "core", "chaos", "serve", "shard"])
     }
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
         let toks = &f.toks;

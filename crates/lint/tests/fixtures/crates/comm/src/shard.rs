@@ -1,0 +1,8 @@
+// fixture: true negative for nondet-time — the sharded client's
+// per-shard failover deadlines live in crates/comm/src/shard.rs, which
+// is on the clock allowlist exactly like the elastic watchdog beside it.
+use std::time::Instant;
+
+pub fn failover_deadline() -> Instant {
+    Instant::now()
+}

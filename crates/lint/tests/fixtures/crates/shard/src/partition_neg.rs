@@ -1,0 +1,7 @@
+// fixture: true negative — BTreeMap iteration is deterministic and the
+// missing-shard case is returned as an Option, not unwrapped.
+use std::collections::BTreeMap;
+
+fn owners(by_rank: &BTreeMap<usize, u64>) -> Option<u64> {
+    by_rank.values().next().copied()
+}

@@ -1,0 +1,8 @@
+// fixture: true positives in the shard crate — the partition map is
+// replicated protocol state, so the determinism rules apply here too.
+use std::collections::HashMap;
+
+fn owners(by_rank: &HashMap<usize, u64>) -> u64 {
+    let first = by_rank.keys().next().unwrap();
+    *by_rank.get(first).unwrap()
+}

@@ -1,0 +1,18 @@
+// fixture: true positive for wire-wildcard in the shard crate — a
+// catch-all arm in a sub-frame router would silently drop any variant
+// added to the wire protocol later.
+enum Payload {
+    ShardPush(Vec<f32>),
+    ShardPull(Vec<f32>),
+}
+
+struct Message {
+    payload: Payload,
+}
+
+fn is_push(m: Message) -> bool {
+    match m.payload {
+        Payload::ShardPush(_) => true,
+        _ => false,
+    }
+}

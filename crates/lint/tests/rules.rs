@@ -154,6 +154,31 @@ fn serve_crate_is_in_scope_with_timer_allowlisted() {
 }
 
 #[test]
+fn shard_crate_is_in_scope_with_failover_clock_allowlisted() {
+    let r = run_fixtures();
+    // the partition map is replicated protocol state: nondeterministic
+    // iteration and panicking escape hatches both fire in crates/shard
+    assert_eq!(
+        findings(&r, "crates/shard/src/partition_pos.rs"),
+        vec![
+            ("nondet-iteration".into(), 3, false),
+            ("nondet-iteration".into(), 5, false),
+            ("unwrap-in-prod".into(), 6, false),
+            ("unwrap-in-prod".into(), 7, false),
+        ]
+    );
+    assert!(rules_hit(&r, "crates/shard/src/partition_neg.rs").is_empty());
+    // a wildcard arm in a sub-frame Payload match fires wire-wildcard
+    assert_eq!(
+        findings(&r, "crates/shard/src/route_wildcard_pos.rs"),
+        vec![("wire-wildcard".into(), 16, false)]
+    );
+    // the sharded client's failover-deadline module reads the clock from
+    // the allowlist, like the elastic watchdog beside it
+    assert!(rules_hit(&r, "crates/comm/src/shard.rs").is_empty());
+}
+
+#[test]
 fn justified_allow_suppresses_both_forms() {
     let r = run_fixtures();
     let f = findings(&r, "crates/comm/src/suppressed_ok.rs");

@@ -16,13 +16,15 @@
 //! * `Predict`:        two sections — `u32 count + count × f32` data,
 //!   `u32 count + count × u64` dims
 //! * `Logits`:         `u32 count + count × f32` rows, then `u64 classes`
+//! * `ShardMap`:       `u64 version` + `u64 total` + `u32 count + count × u64` starts
+//! * `ShardPush`/`ShardPull`: `u32 count` + `count × f32` (Params-shaped)
 //!
 //! Floats travel as raw IEEE-754 bits, so a decoded vector is
 //! bit-identical to the encoded one (NaN payloads included) — the
 //! property the loopback determinism tests rely on.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use selsync_comm::{Msg, Payload};
+use selsync_comm::{Msg, Payload, ShardSpec};
 use std::fmt;
 
 const KIND_PARAMS: u8 = 0;
@@ -32,6 +34,9 @@ const KIND_SAMPLES: u8 = 3;
 const KIND_CONTROL: u8 = 4;
 const KIND_PREDICT: u8 = 5;
 const KIND_LOGITS: u8 = 6;
+const KIND_SHARD_MAP: u8 = 7;
+const KIND_SHARD_PUSH: u8 = 8;
+const KIND_SHARD_PULL: u8 = 9;
 
 /// Decoding failure; encoding cannot fail.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +79,9 @@ fn kind_of(payload: &Payload) -> u8 {
         Payload::Control(_) => KIND_CONTROL,
         Payload::Predict { .. } => KIND_PREDICT,
         Payload::Logits { .. } => KIND_LOGITS,
+        Payload::ShardMap(_) => KIND_SHARD_MAP,
+        Payload::ShardPush(_) => KIND_SHARD_PUSH,
+        Payload::ShardPull(_) => KIND_SHARD_PULL,
     }
 }
 
@@ -115,6 +123,17 @@ pub fn encode_frame(from: usize, tag: u64, payload: &Payload) -> Bytes {
             put_f32_section(&mut buf, rows);
             buf.put_u64(*classes as u64);
         }
+        Payload::ShardMap(spec) => {
+            buf.put_u64(spec.version);
+            buf.put_u64(spec.total);
+            buf.put_u32(spec.starts.len() as u32);
+            for s in &spec.starts {
+                buf.put_u64(*s);
+            }
+        }
+        // shard push/pull bodies are deliberately Params-shaped so the
+        // K=1 sharded path moves exactly the monolithic byte count
+        Payload::ShardPush(v) | Payload::ShardPull(v) => put_f32_section(&mut buf, v),
     }
     assert_eq!(
         buf.len(),
@@ -197,6 +216,22 @@ pub fn decode_after_len(mut buf: &[u8]) -> Result<Msg, CodecError> {
             let classes = get_u64_checked(&mut buf)? as usize;
             Payload::Logits { rows, classes }
         }
+        KIND_SHARD_MAP => {
+            let version = get_u64_checked(&mut buf)?;
+            let total = get_u64_checked(&mut buf)?;
+            let count = get_u32_checked(&mut buf)? as usize;
+            let mut starts = Vec::with_capacity(count);
+            for _ in 0..count {
+                starts.push(get_u64_checked(&mut buf)?);
+            }
+            Payload::ShardMap(ShardSpec {
+                version,
+                total,
+                starts,
+            })
+        }
+        KIND_SHARD_PUSH => Payload::ShardPush(get_f32_section(&mut buf)?),
+        KIND_SHARD_PULL => Payload::ShardPull(get_f32_section(&mut buf)?),
         other => return Err(CodecError::BadKind(other)),
     };
     if buf.has_remaining() {
@@ -281,6 +316,13 @@ mod tests {
                 rows: vec![0.1, -9.0, 7.5],
                 classes: 3,
             },
+            Payload::ShardMap(ShardSpec {
+                version: 1,
+                total: 1000,
+                starts: vec![0, 250, 500, 750],
+            }),
+            Payload::ShardPush(vec![2.0, -0.5, 9.75]),
+            Payload::ShardPull(vec![]),
         ];
         for (i, p) in cases.into_iter().enumerate() {
             let m = roundtrip(i, i as u64 * 1000, p.clone());

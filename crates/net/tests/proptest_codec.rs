@@ -3,7 +3,7 @@
 //! analytic `Payload::wire_bytes` used by `CommStats`.
 
 use proptest::prelude::*;
-use selsync_comm::Payload;
+use selsync_comm::{Payload, ShardSpec};
 use selsync_net::{decode_frame, encode_frame};
 
 /// Bit patterns `PartialEq` would mishandle (NaN) or conflate (-0.0);
@@ -125,6 +125,56 @@ proptest! {
                 prop_assert_eq!(bits(&d), bits(&data));
                 prop_assert_eq!(m, dims);
             }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn shard_map_roundtrip(
+        version in 0u64..u64::MAX,
+        total in 0u64..u64::MAX,
+        starts in prop::collection::vec(0u64..u64::MAX, 0..64usize),
+        from in 0usize..256,
+        tag in 0u64..u64::MAX,
+    ) {
+        // the codec carries any spec verbatim; validity is the shard
+        // subsystem's concern, not the wire's
+        let spec = ShardSpec { version, total, starts };
+        let out = roundtrip(from, tag, &Payload::ShardMap(spec.clone()));
+        prop_assert_eq!(out, Payload::ShardMap(spec));
+    }
+
+    #[test]
+    fn shard_push_roundtrip_bit_exact(
+        v in prop::collection::vec(-1e30f32..1e30, 0..256usize),
+        from in 0usize..256,
+        tag in 0u64..u64::MAX,
+    ) {
+        let v = splice_specials(v, tag);
+        // the sub-frame body is Params-shaped by design: the fan-out's
+        // byte accounting depends on this equality
+        prop_assert_eq!(
+            Payload::ShardPush(v.clone()).wire_bytes(),
+            Payload::Params(v.clone()).wire_bytes()
+        );
+        match roundtrip(from, tag, &Payload::ShardPush(v.clone())) {
+            Payload::ShardPush(out) => prop_assert_eq!(bits(&out), bits(&v)),
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn shard_pull_roundtrip_bit_exact(
+        v in prop::collection::vec(-1e30f32..1e30, 0..256usize),
+        tag in 0u64..u64::MAX,
+    ) {
+        let v = splice_specials(v, tag);
+        prop_assert_eq!(
+            Payload::ShardPull(v.clone()).wire_bytes(),
+            Payload::Params(v.clone()).wire_bytes()
+        );
+        match roundtrip(0, tag, &Payload::ShardPull(v.clone())) {
+            Payload::ShardPull(out) => prop_assert_eq!(bits(&out), bits(&v)),
             other => prop_assert!(false, "wrong variant decoded: {:?}", other),
         }
     }

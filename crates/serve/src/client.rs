@@ -134,6 +134,9 @@ pub fn run_client<T: Transport>(
             | Payload::Flags(_)
             | Payload::Samples { .. }
             | Payload::Control(_)
+            | Payload::ShardMap(_)
+            | Payload::ShardPush(_)
+            | Payload::ShardPull(_)
             | Payload::Predict { .. } => {}
         }
     }

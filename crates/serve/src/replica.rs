@@ -133,6 +133,9 @@ pub fn run_replica<T: Transport>(
                 | Payload::Flags(_)
                 | Payload::Samples { .. }
                 | Payload::Control(_)
+                | Payload::ShardMap(_)
+                | Payload::ShardPush(_)
+                | Payload::ShardPull(_)
                 | Payload::Logits { .. } => {}
             },
             Err(TransportError::RecvTimeout { .. }) => {}

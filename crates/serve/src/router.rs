@@ -257,6 +257,9 @@ pub fn run_router<T: Transport>(
                 | Payload::Flags(_)
                 | Payload::Samples { .. }
                 | Payload::Control(_)
+                | Payload::ShardMap(_)
+                | Payload::ShardPush(_)
+                | Payload::ShardPull(_)
                 | Payload::Logits { .. } => {}
             }
         } else if ranks.is_replica(m.from) {
@@ -305,6 +308,9 @@ pub fn run_router<T: Transport>(
                 | Payload::Flags(_)
                 | Payload::Samples { .. }
                 | Payload::Control(_)
+                | Payload::ShardMap(_)
+                | Payload::ShardPush(_)
+                | Payload::ShardPull(_)
                 | Payload::Predict { .. } => {}
             }
         }

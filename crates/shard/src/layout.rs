@@ -1,0 +1,154 @@
+//! The shards-first physical rank layout and its inverse.
+//!
+//! A sharded cluster assigns ranks as
+//!
+//! ```text
+//! 0 .. K            the K shard servers
+//! K .. K+W          the W workers (logical worker w = rank − K)
+//! K+W .. K+W+K      one hot standby per shard (only with standbys on)
+//! ```
+//!
+//! Putting shards first keeps worker logical ids (`rank − K`) dense and
+//! ordered identically to the monolithic layout's worker ids `0..W`,
+//! which is what makes the K = 1 sharded run replay the monolithic run
+//! exactly (same per-worker seeds, same data partitions, same
+//! rank-ordered reduction).
+
+/// What a physical rank does in a sharded cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Serves shard `.0`.
+    Shard(usize),
+    /// Trains as logical worker `.0`.
+    Worker(usize),
+    /// Hot standby for shard `.0`.
+    Standby(usize),
+}
+
+/// Rank arithmetic for a K-shard, W-worker cluster. One definition,
+/// shared by the launcher, the benches, and the process tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// Shard count K (>= 1).
+    pub k: usize,
+    /// Worker count W (>= 1).
+    pub n_workers: usize,
+    /// Whether every shard has a hot standby.
+    pub standby: bool,
+}
+
+impl ShardLayout {
+    /// Build a layout.
+    ///
+    /// # Panics
+    /// Panics on zero shards or zero workers — configuration bugs.
+    pub fn new(k: usize, n_workers: usize, standby: bool) -> Self {
+        assert!(k > 0, "need at least one shard");
+        assert!(n_workers > 0, "need at least one worker");
+        ShardLayout {
+            k,
+            n_workers,
+            standby,
+        }
+    }
+
+    /// Total ranks in the fabric.
+    pub fn total_ranks(&self) -> usize {
+        self.k + self.n_workers + if self.standby { self.k } else { 0 }
+    }
+
+    /// Physical rank serving shard `s`.
+    pub fn shard_rank(&self, s: usize) -> usize {
+        assert!(s < self.k);
+        s
+    }
+
+    /// Physical rank of logical worker `w`.
+    pub fn worker_rank(&self, w: usize) -> usize {
+        assert!(w < self.n_workers);
+        self.k + w
+    }
+
+    /// Physical rank of shard `s`'s standby.
+    ///
+    /// # Panics
+    /// Panics when the layout has no standbys.
+    pub fn standby_rank(&self, s: usize) -> usize {
+        assert!(self.standby, "layout has no standbys");
+        assert!(s < self.k);
+        self.k + self.n_workers + s
+    }
+
+    /// All shard-serving ranks, in shard order.
+    pub fn shard_ranks(&self) -> Vec<usize> {
+        (0..self.k).collect()
+    }
+
+    /// All standby ranks in shard order, if the layout has them.
+    pub fn standby_ranks(&self) -> Option<Vec<usize>> {
+        self.standby
+            .then(|| (0..self.k).map(|s| self.k + self.n_workers + s).collect())
+    }
+
+    /// What physical rank `rank` does.
+    ///
+    /// # Panics
+    /// Panics if `rank` is outside the layout — an addressing bug.
+    pub fn role_of(&self, rank: usize) -> Role {
+        if rank < self.k {
+            Role::Shard(rank)
+        } else if rank < self.k + self.n_workers {
+            Role::Worker(rank - self.k)
+        } else if self.standby && rank < self.total_ranks() {
+            Role::Standby(rank - self.k - self.n_workers)
+        } else {
+            // lint:allow(unwrap-in-prod): asking for a rank outside the
+            // layout is a wiring bug in the caller, not a runtime fault
+            panic!("rank {rank} outside layout {self:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trips_every_rank() {
+        for (k, w, sb) in [(1, 2, false), (2, 3, true), (4, 1, true)] {
+            let l = ShardLayout::new(k, w, sb);
+            for s in 0..k {
+                assert_eq!(l.role_of(l.shard_rank(s)), Role::Shard(s));
+            }
+            for wk in 0..w {
+                assert_eq!(l.role_of(l.worker_rank(wk)), Role::Worker(wk));
+            }
+            if sb {
+                for s in 0..k {
+                    assert_eq!(l.role_of(l.standby_rank(s)), Role::Standby(s));
+                }
+            }
+            // every rank maps to exactly one role and back
+            assert_eq!(l.total_ranks(), k + w + if sb { k } else { 0 });
+        }
+    }
+
+    #[test]
+    fn k1_matches_shards_first_relabeling() {
+        // at K = 1 with no standby: shard at 0, workers 1..=W — worker
+        // logical ids are dense 0..W exactly as in the monolithic layout
+        let l = ShardLayout::new(1, 3, false);
+        assert_eq!(l.shard_ranks(), vec![0]);
+        assert_eq!(
+            (0..3).map(|w| l.worker_rank(w)).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(l.standby_ranks(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside layout")]
+    fn out_of_range_rank_panics() {
+        ShardLayout::new(2, 2, false).role_of(4);
+    }
+}

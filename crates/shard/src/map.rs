@@ -1,0 +1,181 @@
+//! Validated range-partition maps over the flat parameter vector.
+
+use selsync_comm::elastic::shard_starts;
+use selsync_comm::ShardSpec;
+use std::ops::Range;
+
+/// A *validated* partition of `[0, total)` into K contiguous ranges.
+///
+/// The wire carries the raw [`ShardSpec`]; this wrapper is the only way
+/// the rest of the subsystem obtains one, so every map in circulation is
+/// known to be well-formed: `starts[0] == 0`, starts non-decreasing and
+/// bounded by `total`, `K >= 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    spec: ShardSpec,
+}
+
+impl ShardMap {
+    /// The canonical map for `total` parameters over `k` shards —
+    /// contiguous ranges of `ceil(total / k)`, the same pure function
+    /// every rank evaluates.
+    pub fn compute(total: u64, k: usize) -> Self {
+        ShardMap {
+            spec: ShardSpec {
+                version: 1,
+                total,
+                starts: shard_starts(total, k),
+            },
+        }
+    }
+
+    /// Adopt a spec received off the wire, rejecting malformed ones.
+    ///
+    /// # Errors
+    /// A human-readable description of the violation; the caller turns
+    /// it into a protocol error (a bad map must never carry traffic).
+    pub fn from_spec(spec: ShardSpec) -> Result<Self, String> {
+        if spec.starts.is_empty() {
+            return Err("shard map has zero shards".into());
+        }
+        if spec.starts[0] != 0 {
+            return Err(format!(
+                "shard 0 must start at 0, starts at {}",
+                spec.starts[0]
+            ));
+        }
+        for w in spec.starts.windows(2) {
+            if w[1] < w[0] {
+                return Err(format!(
+                    "shard starts not monotonic: {} then {}",
+                    w[0], w[1]
+                ));
+            }
+        }
+        // lint:allow(unwrap-in-prod): non-empty is checked above
+        let last = *spec.starts.last().unwrap();
+        if last > spec.total {
+            return Err(format!(
+                "last shard starts at {last}, past total {}",
+                spec.total
+            ));
+        }
+        Ok(ShardMap { spec })
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.spec.starts.len()
+    }
+
+    /// Total parameter count partitioned by this map.
+    pub fn total(&self) -> u64 {
+        self.spec.total
+    }
+
+    /// The wire-level spec (for handshakes and membership echoes).
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Shard `s`'s element range.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        let start = self.spec.starts[s] as usize;
+        let end = self
+            .spec
+            .starts
+            .get(s + 1)
+            .map_or(self.spec.total as usize, |&e| e as usize);
+        start..end
+    }
+
+    /// Number of elements shard `s` owns.
+    pub fn len_of(&self, s: usize) -> usize {
+        self.range(s).len()
+    }
+
+    /// Shard `s`'s slice of a full parameter vector.
+    ///
+    /// # Panics
+    /// Panics if `params` does not match `total()` — a wiring bug.
+    pub fn slice<'a>(&self, params: &'a [f32], s: usize) -> &'a [f32] {
+        assert_eq!(
+            params.len() as u64,
+            self.spec.total,
+            "vector does not match this map"
+        );
+        &params[self.range(s)]
+    }
+
+    /// Which shard owns flat index `i`.
+    pub fn shard_of(&self, i: u64) -> usize {
+        debug_assert!(i < self.spec.total);
+        match self.spec.starts.binary_search(&i) {
+            // on a boundary: the shard that *starts* there owns it, but
+            // empty trailing shards share a start — take the first
+            Ok(s) => {
+                let mut s = s;
+                while s > 0 && self.spec.starts[s - 1] == self.spec.starts[s] {
+                    s -= 1;
+                }
+                s
+            }
+            Err(ins) => ins - 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_partitions_exactly() {
+        let m = ShardMap::compute(10, 4);
+        assert_eq!(m.k(), 4);
+        assert_eq!(m.range(0), 0..3);
+        assert_eq!(m.range(3), 9..10);
+        let covered: usize = (0..4).map(|s| m.len_of(s)).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn slices_tile_the_vector() {
+        let params: Vec<f32> = (0..103).map(|i| i as f32).collect();
+        for k in [1, 2, 4, 7] {
+            let m = ShardMap::compute(params.len() as u64, k);
+            let rebuilt: Vec<f32> = (0..k).flat_map(|s| m.slice(&params, s).to_vec()).collect();
+            assert_eq!(rebuilt, params, "k={k}");
+        }
+    }
+
+    #[test]
+    fn shard_of_matches_ranges() {
+        for k in [1, 2, 4, 5] {
+            let m = ShardMap::compute(17, k);
+            for i in 0..17u64 {
+                let s = m.shard_of(i);
+                assert!(m.range(s).contains(&(i as usize)), "i={i} k={k} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_spec_rejects_malformed_maps() {
+        let bad = |starts: Vec<u64>, total| {
+            ShardMap::from_spec(ShardSpec {
+                version: 1,
+                total,
+                starts,
+            })
+        };
+        assert!(bad(vec![], 10).is_err(), "zero shards");
+        assert!(bad(vec![1, 5], 10).is_err(), "must start at 0");
+        assert!(bad(vec![0, 6, 3], 10).is_err(), "non-monotonic");
+        assert!(bad(vec![0, 11], 10).is_err(), "start past total");
+        assert!(bad(vec![0, 5], 10).is_ok());
+        // round-trips the canonical map
+        let m = ShardMap::compute(100, 3);
+        assert_eq!(ShardMap::from_spec(m.spec().clone()).unwrap(), m);
+    }
+}

@@ -1,0 +1,236 @@
+//! [`ShardView`]: the rank-translation transport that lets the
+//! *unmodified* monolithic elastic server serve one shard.
+//!
+//! The elastic server, its resumable checkpoint writer, and the hot
+//! standby all address a logical world of `W` workers at `0..W`, a
+//! server at `W`, and a standby at `W+1`. A sharded cluster's physical
+//! world is shards-first ([`ShardLayout`]). This adapter sits between
+//! them: sends translate logical → physical, received messages
+//! translate physical → logical, and nothing else changes — so one
+//! shard's server is *literally* the monolithic code path, including
+//! every recovery behavior PR 3 proved about it.
+
+use crate::layout::ShardLayout;
+use selsync_comm::{CommStats, Msg, Payload, Transport, TransportError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which logical identity this view presents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewRole {
+    /// The shard's serving rank (logical id `W`).
+    Server,
+    /// The shard's hot standby (logical id `W+1`).
+    Standby,
+}
+
+/// A shard-local logical world over a physical transport. See the
+/// module docs.
+pub struct ShardView<T: Transport> {
+    inner: T,
+    layout: ShardLayout,
+    shard: usize,
+    role: ViewRole,
+}
+
+impl<T: Transport> ShardView<T> {
+    /// Wrap `inner` (the physical endpoint of shard `shard`'s server or
+    /// standby rank) as its logical identity.
+    ///
+    /// # Panics
+    /// Panics if `inner`'s physical rank does not match the layout's
+    /// rank for (`shard`, `role`) — an addressing bug.
+    pub fn new(inner: T, layout: ShardLayout, shard: usize, role: ViewRole) -> Self {
+        let expect = match role {
+            ViewRole::Server => layout.shard_rank(shard),
+            ViewRole::Standby => layout.standby_rank(shard),
+        };
+        assert_eq!(
+            inner.id(),
+            expect,
+            "endpoint rank does not match shard {shard} {role:?}"
+        );
+        ShardView {
+            inner,
+            layout,
+            shard,
+            role,
+        }
+    }
+
+    /// Unwrap the physical endpoint (e.g. to flush or close it).
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Logical → physical rank.
+    fn to_physical(&self, logical: usize) -> usize {
+        let w = self.layout.n_workers;
+        if logical < w {
+            self.layout.worker_rank(logical)
+        } else if logical == w {
+            self.layout.shard_rank(self.shard)
+        } else if logical == w + 1 && self.layout.standby {
+            self.layout.standby_rank(self.shard)
+        } else {
+            // lint:allow(unwrap-in-prod): the elastic server only ever
+            // addresses its logical workers and standby; any other id is
+            // a relabeling bug that must fail loudly, not misroute
+            panic!(
+                "logical rank {logical} has no physical peer in shard {}'s world",
+                self.shard
+            );
+        }
+    }
+
+    /// Physical → logical rank. `None` for ranks outside this shard's
+    /// world (a sibling shard's server/standby) — those never converse
+    /// with this one, so seeing such a sender is a protocol violation.
+    fn to_logical(&self, physical: usize) -> Option<usize> {
+        use crate::layout::Role;
+        match self.layout.role_of(physical) {
+            Role::Worker(w) => Some(w),
+            Role::Shard(s) if s == self.shard => Some(self.layout.n_workers),
+            Role::Standby(s) if s == self.shard => Some(self.layout.n_workers + 1),
+            Role::Shard(_) | Role::Standby(_) => None,
+        }
+    }
+
+    /// Translate a received message into the logical world.
+    fn translate(&self, m: Msg) -> Result<Msg, TransportError> {
+        match self.to_logical(m.from) {
+            Some(from) => Ok(Msg { from, ..m }),
+            None => Err(TransportError::Protocol(format!(
+                "shard {} received a message from foreign rank {}",
+                self.shard, m.from
+            ))),
+        }
+    }
+}
+
+impl<T: Transport> Transport for ShardView<T> {
+    fn id(&self) -> usize {
+        match self.role {
+            ViewRole::Server => self.layout.n_workers,
+            ViewRole::Standby => self.layout.n_workers + 1,
+        }
+    }
+
+    fn fabric_size(&self) -> usize {
+        self.layout.n_workers + 1 + usize::from(self.layout.standby)
+    }
+
+    fn stats(&self) -> &Arc<CommStats> {
+        self.inner.stats()
+    }
+
+    fn send(&mut self, to: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
+        let phys = self.to_physical(to);
+        self.inner.send(phys, tag, payload)
+    }
+
+    fn recv_any(&mut self) -> Result<Msg, TransportError> {
+        let m = self.inner.recv_any()?;
+        self.translate(m)
+    }
+
+    fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Result<Msg, TransportError> {
+        let phys = from.map(|f| self.to_physical(f));
+        let m = self.inner.recv_tagged(phys, tag)?;
+        self.translate(m)
+    }
+
+    fn recv_deadline(
+        &mut self,
+        from: Option<usize>,
+        tag: Option<u64>,
+        timeout: Duration,
+    ) -> Result<Msg, TransportError> {
+        let phys = from.map(|f| self.to_physical(f));
+        let m = self.inner.recv_deadline(phys, tag, timeout)?;
+        self.translate(m)
+    }
+
+    fn try_recv(&mut self) -> Option<Msg> {
+        let m = self.inner.try_recv()?;
+        // a foreign sender here is unrecoverable through Option — keep
+        // the panic loud rather than silently dropping the message
+        match self.translate(m) {
+            Ok(m) => Some(m),
+            // lint:allow(unwrap-in-prod): documented above — a foreign
+            // sender is unrecoverable through Option
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use selsync_comm::Fabric;
+
+    /// 2 shards, 2 workers, standbys: ranks 0,1 shards; 2,3 workers;
+    /// 4,5 standbys.
+    fn layout() -> ShardLayout {
+        ShardLayout::new(2, 2, true)
+    }
+
+    #[test]
+    fn server_view_translates_both_directions() {
+        let mut eps = Fabric::new(6);
+        let mut worker0 = eps.remove(2); // physical worker rank 2
+        let shard1_ep = eps.remove(1); // physical shard rank 1
+        let mut view = ShardView::new(shard1_ep, layout(), 1, ViewRole::Server);
+        // the view presents the monolithic logical identity
+        assert_eq!(view.id(), 2, "logical server id is W");
+        assert_eq!(view.fabric_size(), 4, "W workers + server + standby");
+
+        // physical worker 2 is logical worker 0
+        worker0.send(1, 7, Payload::Control(1)).unwrap();
+        let m = view.recv_tagged(Some(0), 7).unwrap();
+        assert_eq!(m.from, 0);
+
+        // replying to logical 0 reaches physical rank 2
+        view.send(0, 8, Payload::Control(2)).unwrap();
+        let m = worker0.recv_tagged(Some(1), 8).unwrap();
+        assert_eq!(m.payload, Payload::Control(2));
+    }
+
+    #[test]
+    fn standby_view_is_logical_w_plus_one() {
+        let mut eps = Fabric::new(6);
+        let standby1_ep = eps.remove(5); // physical standby of shard 1
+        let shard1_ep = eps.remove(1);
+        let mut server = ShardView::new(shard1_ep, layout(), 1, ViewRole::Server);
+        let mut standby = ShardView::new(standby1_ep, layout(), 1, ViewRole::Standby);
+        assert_eq!(standby.id(), 3, "logical standby id is W+1");
+
+        // server shadows to its logical standby, standby hears it from
+        // the logical server
+        server.send(3, 9, Payload::Control(5)).unwrap();
+        let m = standby.recv_tagged(Some(2), 9).unwrap();
+        assert_eq!(m.from, 2);
+        assert_eq!(m.payload, Payload::Control(5));
+    }
+
+    #[test]
+    fn foreign_shard_traffic_is_a_protocol_error() {
+        let mut eps = Fabric::new(6);
+        let shard1_ep = eps.remove(1);
+        let shard0_ep = eps.remove(0);
+        let mut view = ShardView::new(shard1_ep, layout(), 1, ViewRole::Server);
+        let foreign = shard0_ep;
+        foreign.send(1, 3, Payload::Control(0)).unwrap();
+        let err = view.recv_tagged(None, 3).unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no physical peer")]
+    fn sending_outside_the_logical_world_panics() {
+        let mut eps = Fabric::new(6);
+        let shard0_ep = eps.remove(0);
+        let mut view = ShardView::new(shard0_ep, layout(), 0, ViewRole::Server);
+        let _ = view.send(7, 0, Payload::Control(0));
+    }
+}
