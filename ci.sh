@@ -46,6 +46,19 @@ cargo test -q -p selsync-serve --test serve_processes -- --test-threads=1
 echo "==> chaos smoke (fault_experiments, reduced)"
 SELSYNC_WORKERS=2 SELSYNC_STEPS=6 ./target/release/fault_experiments > /dev/null
 
+# Seeded mutational fuzzing of the frame codec: ~12k mutated frames
+# across every payload kind must decode to Ok or a typed FrameError —
+# never a panic — and every accepted frame must re-encode bit-identical.
+echo "==> frame-fuzz smoke (codec totality)"
+cargo test -q -p selsync-net --test frame_fuzz
+
+# Randomized fault-schedule sweep: 51 seeded FaultPlans across the
+# monolithic / sharded / serve topologies, each checked against the
+# soak invariants (deadline, conservation, classified recovery,
+# bit-identity). Exits 1 and writes a shrunk JSON repro on violation.
+echo "==> selsync_soak --quick (randomized fault sweep)"
+./target/release/selsync_soak --quick --out /tmp/SOAK_repro_ci.json > /dev/null
+
 # Regenerates BENCH_kernels.json and exits nonzero if the file is
 # malformed or any optimized kernel's checksum diverges from the naive
 # reference kernels beyond float-reassociation tolerance.

@@ -19,6 +19,10 @@
 //! * `flaky-network`    — seeded random drops/duplicates/delays on every
 //!   link; retries and catch-up replies absorb most of it, and any rank
 //!   the PS gives up on is evicted while the rest finish.
+//! * `corrupt-link`     — seeded bit-flips and truncations damage the
+//!   encoded bytes of random frames; every damaged frame flows through
+//!   the real decoder, fails its CRC (or length audit), and is counted
+//!   corrupt and lost — the protocol absorbs it exactly like a drop.
 //! * `crash-ps-midrun`  — the PS itself dies at a round boundary and
 //!   restarts from its crash-consistent checkpoint; workers resend
 //!   until it answers and nobody is evicted.
@@ -79,6 +83,7 @@ struct Row {
     chaos_sent_messages: u64,
     chaos_dropped_messages: u64,
     chaos_duplicated_messages: u64,
+    chaos_corrupt_messages: u64,
     fault_fingerprint: String,
     wall_ms: u64,
 }
@@ -88,6 +93,7 @@ struct RankChaos {
     sent: u64,
     dropped: u64,
     duplicated: u64,
+    corrupt: u64,
     fingerprint: u64,
 }
 
@@ -97,6 +103,7 @@ fn snapshot<T: Transport>(cep: &ChaosTransport<T>) -> RankChaos {
         sent: stats.total_messages(),
         dropped: stats.dropped_messages(),
         duplicated: stats.duplicated_messages(),
+        corrupt: stats.corrupt_messages(),
         fingerprint: cep.log_fingerprint(),
     }
 }
@@ -372,7 +379,7 @@ fn tcp_fabric(n_ranks: usize) -> Vec<TcpEndpoint> {
 
 fn emit(row: &Row) {
     println!(
-        "{:<18} {:<8} {:>6} {:>5} {:>6} {:>5}/{:<2} {:>5} {:>4} {:>8} {:>7}",
+        "{:<18} {:<8} {:>6} {:>5} {:>6} {:>5}/{:<2} {:>5} {:>4} {:>4} {:>8} {:>7}",
         row.scenario,
         row.fabric,
         row.rounds,
@@ -382,6 +389,7 @@ fn emit(row: &Row) {
         row.workers,
         row.chaos_dropped_messages,
         row.chaos_duplicated_messages,
+        row.chaos_corrupt_messages,
         row.final_metric
             .map_or_else(|| "-".to_string(), |m| format!("{:.3}", m)),
         format!("{}ms", row.wall_ms),
@@ -462,6 +470,16 @@ fn main() {
             None,
         ),
         (
+            // byte-level damage at roughly the flaky-network loss rate:
+            // a corrupted frame dies at the decoder's CRC check, a
+            // truncated one at the length audit — either way the
+            // protocol sees a lost message and resends
+            "corrupt-link",
+            FaultPlan::corrupt_link(seed, 0.02, 0.01),
+            &flaky_opts,
+            None,
+        ),
+        (
             "crash-ps-midrun",
             FaultPlan::crash_server(seed, steps / 3, 150),
             &ps_crash_opts,
@@ -479,8 +497,18 @@ fn main() {
     ];
 
     println!(
-        "{:<18} {:<8} {:>6} {:>5} {:>6} {:>8} {:>5} {:>4} {:>8} {:>7}",
-        "scenario", "fabric", "rounds", "syncs", "evict", "full/N", "drop", "dup", "metric", "wall",
+        "{:<18} {:<8} {:>6} {:>5} {:>6} {:>8} {:>5} {:>4} {:>4} {:>8} {:>7}",
+        "scenario",
+        "fabric",
+        "rounds",
+        "syncs",
+        "evict",
+        "full/N",
+        "drop",
+        "dup",
+        "corr",
+        "metric",
+        "wall",
     );
     for (name, plan, opts, crash) in &scenarios {
         for fabric in ["channel", "tcp"] {
@@ -542,6 +570,7 @@ fn main() {
                 chaos_sent_messages: outcome.chaos.iter().map(|c| c.sent).sum(),
                 chaos_dropped_messages: outcome.chaos.iter().map(|c| c.dropped).sum(),
                 chaos_duplicated_messages: outcome.chaos.iter().map(|c| c.duplicated).sum(),
+                chaos_corrupt_messages: outcome.chaos.iter().map(|c| c.corrupt).sum(),
                 fault_fingerprint: format!(
                     "0x{:016x}",
                     outcome.chaos.iter().fold(0u64, |a, c| a ^ c.fingerprint)
@@ -643,6 +672,7 @@ fn main() {
                 chaos_sent_messages: outcome.chaos.iter().map(|c| c.sent).sum(),
                 chaos_dropped_messages: outcome.chaos.iter().map(|c| c.dropped).sum(),
                 chaos_duplicated_messages: outcome.chaos.iter().map(|c| c.duplicated).sum(),
+                chaos_corrupt_messages: outcome.chaos.iter().map(|c| c.corrupt).sum(),
                 fault_fingerprint: format!(
                     "0x{:016x}",
                     outcome.chaos.iter().fold(0u64, |a, c| a ^ c.fingerprint)

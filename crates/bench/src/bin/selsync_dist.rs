@@ -814,20 +814,25 @@ fn main() {
         Some(plan) => {
             let mut cep = ChaosTransport::new(ep, plan);
             let code = run_one_rank(&mut cep, &job);
-            // chaos-layer accounting: sent − dropped + duplicated must
-            // equal the bytes the inner fabric actually framed
+            // chaos-layer accounting: sent − dropped − corrupt
+            // + duplicated must equal the messages the inner fabric
+            // actually framed
             let cs = Arc::clone(cep.stats());
             println!(
-                "chaos_sent_messages={} chaos_dropped_messages={} chaos_duplicated_messages={}",
+                "chaos_sent_messages={} chaos_dropped_messages={} \
+                 chaos_duplicated_messages={} chaos_corrupt_messages={}",
                 cs.total_messages(),
                 cs.dropped_messages(),
-                cs.duplicated_messages()
+                cs.duplicated_messages(),
+                cs.corrupt_messages()
             );
             println!(
-                "chaos_sent_bytes={} chaos_dropped_bytes={} chaos_duplicated_bytes={}",
+                "chaos_sent_bytes={} chaos_dropped_bytes={} \
+                 chaos_duplicated_bytes={} chaos_corrupt_bytes={}",
                 cs.total_bytes(),
                 cs.dropped_bytes(),
-                cs.duplicated_bytes()
+                cs.duplicated_bytes(),
+                cs.corrupt_bytes()
             );
             println!("fault_fingerprint=0x{:016x}", cep.log_fingerprint());
             // `std::process::exit` below skips destructors; flush the

@@ -1,0 +1,275 @@
+//! `selsync_soak` — randomized fault-schedule sweeper with shrinking.
+//!
+//! Sweeps N seeded random [`FaultPlan`]s across three topologies
+//! (monolithic elastic PS, sharded PS group with K = 2, serve
+//! router/replica group), asserting the soak invariants on every run:
+//! deadline, no panic, CommStats conservation, classified recovery,
+//! no unexpected eviction, and bit-identity for benign schedules. On a
+//! violation the failing plan is greedily shrunk to a 1-minimal
+//! reproducing schedule and written as JSON (`--out`, default
+//! `SOAK_repro.json`) so the exact failure replays from one file.
+//!
+//! Flags:
+//!
+//! * `--quick`        CI scale: 51 schedules, short runs
+//! * `--schedules N`  override the schedule count
+//! * `--seed S`       sweep seed (default 42); every plan is a pure
+//!   function of `(seed, index, topology)`
+//! * `--out PATH`     where a repro JSON lands on failure
+//!
+//! Exit status: 0 all green, 1 at least one violation (repro written),
+//! 2 bad usage or a broken fault-free baseline.
+
+use selsync_bench::banner;
+use selsync_bench::soak::{
+    classify, describe, random_plan, run_serve, run_training, shrink, verify_serve,
+    verify_training, PlanClass, Repro, ServeKnobs, Topology, TrainingKnobs, Violation,
+};
+use selsync_chaos::FaultPlan;
+use selsync_core::checkpoint::{prev_path, save_state, TrainState};
+use selsync_nn::flat::flat_params;
+use selsync_nn::models::Mlp;
+use std::time::Instant;
+
+struct Flags {
+    quick: bool,
+    schedules: u64,
+    seed: u64,
+    out: String,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        quick: false,
+        schedules: 0,
+        seed: 42,
+        out: "SOAK_repro.json".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => f.quick = true,
+            "--schedules" => {
+                f.schedules = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--schedules needs a number".to_string())?;
+            }
+            "--seed" => {
+                f.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| "--seed needs a number".to_string())?;
+            }
+            "--out" => {
+                f.out = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--out needs a path".to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' \
+                     (selsync_soak [--quick] [--schedules N] [--seed S] [--out PATH])"
+                ))
+            }
+        }
+    }
+    if f.schedules == 0 {
+        f.schedules = if f.quick { 51 } else { 120 };
+    }
+    Ok(f)
+}
+
+fn class_name(c: PlanClass) -> &'static str {
+    match c {
+        PlanClass::Benign => "benign",
+        PlanClass::CrashOnly => "crash",
+        PlanClass::Lossy => "lossy",
+    }
+}
+
+/// Run + verify one schedule, returning the violation if any and a
+/// short stats string for the table.
+fn run_one(
+    topo: Topology,
+    plan: &FaultPlan,
+    tk: &TrainingKnobs,
+    sk: &ServeKnobs,
+    baselines: &Baselines,
+) -> (Option<Violation>, String) {
+    match topo {
+        Topology::Serve => match run_serve(plan, sk) {
+            Ok(run) => {
+                let v = verify_serve(plan, &run, baselines.serve, sk);
+                let s = format!(
+                    "req={} evict={} corrupt={} {}ms",
+                    run.completed,
+                    run.evicted.len(),
+                    run.corrupt,
+                    run.wall_ms
+                );
+                (v, s)
+            }
+            Err(v) => (Some(v), "-".to_string()),
+        },
+        _ => match run_training(topo, plan, tk) {
+            Ok(run) => {
+                let baseline = match topo {
+                    Topology::Sharded(_) => baselines.sharded,
+                    _ => baselines.monolithic,
+                };
+                let v = verify_training(plan, &run, baseline, tk);
+                let s = format!(
+                    "sync={} evict={} fail={} drop={} corrupt={} {}ms",
+                    run.syncs, run.evictions, run.failed, run.dropped, run.corrupt, run.wall_ms
+                );
+                (v, s)
+            }
+            Err(v) => (Some(v), "-".to_string()),
+        },
+    }
+}
+
+struct Baselines {
+    monolithic: u64,
+    sharded: u64,
+    serve: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    banner(
+        "selsync_soak",
+        "Randomized fault-schedule sweep with invariant checks and shrinking",
+    );
+
+    let steps = if flags.quick { 4 } else { 8 };
+    let requests = if flags.quick { 30 } else { 120 };
+    let tk = TrainingKnobs::quick(steps);
+
+    // one SSV2 checkpoint shared by every serve schedule
+    let mut ckpt = std::env::temp_dir();
+    ckpt.push(format!("selsync_soak_{}.ckpt", std::process::id()));
+    let dims = selsync_bench::soak::soak_model_dims();
+    let params = flat_params(&Mlp::new(&dims, 77));
+    let state = TrainState {
+        step: 1,
+        ..TrainState::fresh(0, params)
+    };
+    save_state(&ckpt, &state).expect("write soak checkpoint");
+    let sk = ServeKnobs::quick(ckpt.clone(), requests);
+
+    // fault-free baselines per topology: the fingerprints the benign
+    // invariant compares against — and a sanity gate: if the quiet
+    // schedule itself misbehaves, the sweep has nothing to stand on
+    let quiet = FaultPlan::quiet(flags.seed);
+    let baselines = {
+        let mono = run_training(Topology::Monolithic, &quiet, &tk)
+            .map_err(|v| format!("{}: {}", v.invariant, v.detail));
+        let shard = run_training(Topology::Sharded(2), &quiet, &tk)
+            .map_err(|v| format!("{}: {}", v.invariant, v.detail));
+        let serve = run_serve(&quiet, &sk).map_err(|v| format!("{}: {}", v.invariant, v.detail));
+        match (mono, shard, serve) {
+            (Ok(m), Ok(s), Ok(v)) => Baselines {
+                monolithic: m.fingerprint,
+                sharded: s.fingerprint,
+                serve: v.fingerprint,
+            },
+            (m, s, v) => {
+                for (name, err) in [
+                    ("monolithic", m.err()),
+                    ("sharded", s.err()),
+                    ("serve", v.err().map(|e| e.to_string())),
+                ] {
+                    if let Some(e) = err {
+                        eprintln!("FAIL: fault-free {name} baseline: {e}");
+                    }
+                }
+                std::fs::remove_file(&ckpt).ok();
+                std::fs::remove_file(prev_path(&ckpt)).ok();
+                std::process::exit(2);
+            }
+        }
+    };
+
+    println!(
+        "{:<5} {:<11} {:<7} {:<38} {:<6} stats",
+        "idx", "topology", "class", "plan", "result"
+    );
+    let topos = [Topology::Monolithic, Topology::Sharded(2), Topology::Serve];
+    let t0 = Instant::now();
+    let mut violations = 0u64;
+    for i in 0..flags.schedules {
+        let topo = topos[(i % 3) as usize];
+        // serve plans target replica ranks; training plans worker ranks
+        let ranks = match topo {
+            Topology::Serve => sk.replicas,
+            _ => tk.workers,
+        };
+        let plan = random_plan(flags.seed, i, topo, ranks, tk.steps);
+        let (violation, stats) = run_one(topo, &plan, &tk, &sk, &baselines);
+        let verdict = if violation.is_some() { "FAIL" } else { "ok" };
+        println!(
+            "{:<5} {:<11} {:<7} {:<38} {:<6} {}",
+            i,
+            topo.name(),
+            class_name(classify(&plan)),
+            describe(&plan),
+            verdict,
+            stats
+        );
+        let Some(v) = violation else { continue };
+        violations += 1;
+        println!(
+            "  violation: {} — {}; shrinking the schedule...",
+            v.invariant, v.detail
+        );
+        // greedy shrink: keep any one-step-simpler plan that still
+        // reproduces *some* violation of the same sweep
+        let minimal = shrink(&plan, |cand| {
+            run_one(topo, cand, &tk, &sk, &baselines).0.is_some()
+        });
+        let (min_violation, _) = run_one(topo, &minimal, &tk, &sk, &baselines);
+        let v = min_violation.unwrap_or(v);
+        let repro = Repro {
+            schema: "selsync-soak-repro-v1".to_string(),
+            sweep_seed: flags.seed,
+            schedule: i,
+            topology: topo.name().to_string(),
+            invariant: v.invariant.clone(),
+            detail: v.detail.clone(),
+            shrunk_plan: minimal,
+            original_plan: plan,
+        };
+        let json = repro.to_json();
+        println!("  minimal repro:\n{json}");
+        std::fs::write(&flags.out, &json)
+            .unwrap_or_else(|e| eprintln!("  (could not write {}: {e})", flags.out));
+    }
+
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(prev_path(&ckpt)).ok();
+    println!();
+    if violations == 0 {
+        println!(
+            "soak: {} schedules green in {:.1}s (seed {})",
+            flags.schedules,
+            t0.elapsed().as_secs_f64(),
+            flags.seed
+        );
+    } else {
+        println!(
+            "soak: {violations} violation(s) in {} schedules; last minimal repro in {}",
+            flags.schedules, flags.out
+        );
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 #![deny(unsafe_code)]
 
 pub mod cli;
+pub mod soak;
 
 use selsync_core::prelude::*;
 use serde::Serialize;

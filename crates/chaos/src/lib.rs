@@ -4,9 +4,19 @@
 //!
 //! A [`FaultPlan`] is a *seeded, declarative* chaos schedule: message
 //! drops, duplicate deliveries, per-message delays, per-rank straggler
-//! slowdowns, scheduled crashes, and transient link partitions. A
+//! slowdowns, scheduled crashes, transient link partitions, and
+//! byte-level wire damage (seeded bit flips and truncation). A
 //! [`ChaosTransport`] wraps any [`Transport`] and applies the plan on
 //! the send path.
+//!
+//! **Byte-level damage** is not simulated at the payload layer: a
+//! corrupted or truncated message is encoded with the real
+//! `selsync-net` codec, damaged, and fed back through the real
+//! decoder. A damaged frame the CRC trailer (or length/section guards)
+//! rejects is consumed like a drop and tallied as *corrupt*; in the
+//! astronomically unlikely event the damage still decodes, whatever
+//! decoded is what gets delivered — exactly the semantics of a real
+//! link with a checksummed wire format.
 //!
 //! **Determinism.** Every per-message decision is a pure function of
 //! `(seed, sender, receiver, link_sequence_number)` — a splitmix64 hash,
@@ -23,9 +33,9 @@
 //! scheduled step — a transport cannot kill its owner.
 //!
 //! **Conservation.** The wrapper's [`CommStats`] counts every attempted
-//! send, plus drop/duplicate tallies, while the inner transport counts
-//! what was actually forwarded, so chaos runs can assert
-//! `sent − dropped + duplicated = forwarded` exactly.
+//! send, plus drop/duplicate/corrupt tallies, while the inner transport
+//! counts what was actually forwarded, so chaos runs can assert
+//! `sent − dropped − corrupt + duplicated = forwarded` exactly.
 
 // The unsafe-outside-kernels invariant (selsync-lint), compiler-enforced:
 // SIMD and socket code live in crates/tensor and crates/net only.
@@ -103,6 +113,14 @@ pub struct FaultPlan {
     /// Upper bound for the per-message injected delay (uniform in
     /// `0..=delay_ms_max`, chosen by hash); `0` disables delays.
     pub delay_ms_max: u64,
+    /// Per-message probability in `[0, 1]` that the *encoded bytes* of
+    /// the frame take 1–4 seeded bit flips before decoding. The CRC
+    /// trailer rejects essentially all of them, so a corrupted message
+    /// is lost (and tallied as corrupt), not delivered wrong.
+    pub corrupt_prob: f64,
+    /// Per-message probability in `[0, 1]` that the encoded frame is
+    /// cut short at a seeded byte boundary, modelling a torn stream.
+    pub truncate_prob: f64,
     /// Uniformly slow ranks.
     pub stragglers: Vec<Straggler>,
     /// Scheduled crashes.
@@ -121,6 +139,8 @@ impl FaultPlan {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             delay_ms_max: 0,
+            corrupt_prob: 0.0,
+            truncate_prob: 0.0,
             stragglers: Vec::new(),
             crashes: Vec::new(),
             partitions: Vec::new(),
@@ -186,6 +206,16 @@ impl FaultPlan {
         FaultPlan::slow_straggler(seed, shard_rank, delay_ms)
     }
 
+    /// Scenario: a dirty link that flips bits in (and occasionally
+    /// tears) encoded frames on every link, nothing else. The wire
+    /// CRC must convert every hit into a clean loss.
+    pub fn corrupt_link(seed: u64, corrupt_prob: f64, truncate_prob: f64) -> FaultPlan {
+        let mut p = FaultPlan::quiet(seed);
+        p.corrupt_prob = corrupt_prob;
+        p.truncate_prob = truncate_prob;
+        p
+    }
+
     /// Scenario: lossy, duplicating, jittery network on every link.
     pub fn flaky_network(
         seed: u64,
@@ -229,6 +259,7 @@ impl FaultPlan {
         if self.is_partitioned(from, to, seq) {
             return FaultDecision {
                 drop: Some(DropReason::Partition),
+                damage: None,
                 duplicate: false,
                 delay: Duration::ZERO,
             };
@@ -236,6 +267,26 @@ impl FaultPlan {
         if unit(link_hash(self.seed, from, to, seq, 0x0D0D)) < self.drop_prob {
             return FaultDecision {
                 drop: Some(DropReason::Random),
+                damage: None,
+                duplicate: false,
+                delay: Duration::ZERO,
+            };
+        }
+        // byte-level damage preempts duplicate/delay: the frame is
+        // (almost certainly) lost in the decoder, so layering more
+        // faults on top would be unobservable anyway
+        let damage = if unit(link_hash(self.seed, from, to, seq, SALT_CORRUPT)) < self.corrupt_prob
+        {
+            Some(WireDamage::Corrupt)
+        } else if unit(link_hash(self.seed, from, to, seq, SALT_TRUNCATE)) < self.truncate_prob {
+            Some(WireDamage::Truncate)
+        } else {
+            None
+        };
+        if damage.is_some() {
+            return FaultDecision {
+                drop: None,
+                damage,
                 duplicate: false,
                 delay: Duration::ZERO,
             };
@@ -250,6 +301,7 @@ impl FaultPlan {
         };
         FaultDecision {
             drop: None,
+            damage: None,
             duplicate,
             delay,
         }
@@ -284,10 +336,21 @@ impl FaultPlan {
 pub struct FaultDecision {
     /// `Some` if the message is discarded (and why).
     pub drop: Option<DropReason>,
+    /// `Some` if the encoded bytes take seeded damage before decoding.
+    pub damage: Option<WireDamage>,
     /// Deliver an extra copy.
     pub duplicate: bool,
     /// Sender-side delay before forwarding (preserves link FIFO order).
     pub delay: Duration,
+}
+
+/// The kind of byte-level damage applied to an encoded frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum WireDamage {
+    /// 1–4 seeded bit flips anywhere in the frame.
+    Corrupt,
+    /// The frame is cut short at a seeded byte boundary.
+    Truncate,
 }
 
 /// Why a message was dropped.
@@ -323,7 +386,17 @@ pub enum FaultAction {
     Duplicated,
     /// Delivery delayed by this many milliseconds.
     DelayedMs(u64),
+    /// This many bit flips applied to the encoded frame.
+    Corrupted(u64),
+    /// Encoded frame truncated to this many bytes.
+    TruncatedWire(u64),
 }
+
+/// Hash salts for the byte-damage decisions (drop/dup/delay use
+/// 0x0D0D/0xD0B1/0xDE1A; these must differ from them and each other so
+/// every fault kind draws independent randomness per message).
+const SALT_CORRUPT: u64 = 0xC0DE;
+const SALT_TRUNCATE: u64 = 0x7EA4;
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -352,7 +425,8 @@ pub struct ChaosTransport<T: Transport> {
     plan: FaultPlan,
     /// Per-destination sequence counters (the determinism backbone).
     seq: Vec<u64>,
-    /// Chaos-layer counters: attempted sends + drop/duplicate tallies.
+    /// Chaos-layer counters: resolved sends (fabric-accepted or eaten
+    /// by chaos) + drop/duplicate/corrupt tallies.
     stats: Arc<CommStats>,
     log: Vec<FaultEvent>,
 }
@@ -410,6 +484,8 @@ impl<T: Transport> ChaosTransport<T> {
                 FaultAction::Dropped(DropReason::Random) => 2,
                 FaultAction::Duplicated => 3,
                 FaultAction::DelayedMs(ms) => 4 ^ (ms << 8),
+                FaultAction::Corrupted(flips) => 5 ^ (flips << 8),
+                FaultAction::TruncatedWire(cut) => 6 ^ (cut << 8),
             });
         }
         h
@@ -425,8 +501,9 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         self.inner.fabric_size()
     }
 
-    /// Chaos-layer counters: `record` = attempted sends, plus the
-    /// drop/duplicate tallies. The *forwarded* traffic is on
+    /// Chaos-layer counters: `record` = resolved sends (accepted by
+    /// the inner fabric, or eaten by a drop/corruption), plus the
+    /// drop/duplicate/corrupt tallies. The *forwarded* traffic is on
     /// [`inner`](Self::inner)`.stats()`.
     fn stats(&self) -> &Arc<CommStats> {
         &self.stats
@@ -440,9 +517,15 @@ impl<T: Transport> Transport for ChaosTransport<T> {
         let seq = self.seq[to];
         self.seq[to] += 1;
         let bytes = payload.wire_bytes();
-        self.stats.record(bytes);
+        // `sent` counts messages the chaos layer *resolved*: eaten by a
+        // drop/corruption, or accepted by the inner fabric. A send the
+        // fabric rejects (dead peer) is counted on neither side — its
+        // error propagates to the protocol layer instead — so the
+        // conservation law `sent − dropped − corrupt + duplicated =
+        // forwarded` holds exactly even while ranks are dying.
         let decision = self.plan.decide(from, to, seq);
         if let Some(reason) = decision.drop {
+            self.stats.record(bytes);
             self.stats.record_drop(bytes);
             self.log.push(FaultEvent {
                 from,
@@ -452,6 +535,59 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                 action: FaultAction::Dropped(reason),
             });
             return Ok(()); // silently eaten, like a real lossy link
+        }
+        if let Some(damage) = decision.damage {
+            // damage the *encoded bytes* and push them through the real
+            // decoder, so corruption exercises the CRC trailer and the
+            // section guards, not a payload-level shortcut
+            let mut frame = selsync_net::encode_frame(from, tag, &payload).to_vec();
+            let action = match damage {
+                WireDamage::Corrupt => {
+                    let flips =
+                        1 + link_hash(self.plan.seed, from, to, seq, SALT_CORRUPT ^ 0x55) % 4;
+                    for k in 0..flips {
+                        let h = link_hash(
+                            self.plan.seed,
+                            from,
+                            to,
+                            seq,
+                            SALT_CORRUPT.wrapping_add(0x100 + k),
+                        );
+                        let pos = (h % frame.len() as u64) as usize;
+                        frame[pos] ^= 1 << ((h >> 32) & 7);
+                    }
+                    FaultAction::Corrupted(flips)
+                }
+                WireDamage::Truncate => {
+                    let cut = link_hash(self.plan.seed, from, to, seq, SALT_TRUNCATE ^ 0x55)
+                        % frame.len() as u64;
+                    frame.truncate(cut as usize);
+                    FaultAction::TruncatedWire(cut)
+                }
+            };
+            self.log.push(FaultEvent {
+                from,
+                to,
+                seq,
+                tag,
+                action,
+            });
+            return match selsync_net::decode_frame(&frame) {
+                // essentially impossible past the CRC, but decode is
+                // total: if the damage still parses, deliver what parsed
+                Ok(msg) => {
+                    let res = self.inner.send(to, msg.tag, msg.payload);
+                    if res.is_ok() {
+                        self.stats.record(bytes);
+                    }
+                    res
+                }
+                Err(_) => {
+                    self.stats.record(bytes);
+                    self.stats.record_corrupt(bytes);
+                    Ok(()) // rejected by the wire check: lost, tallied
+                }
+            };
         }
         if !decision.delay.is_zero() {
             self.log.push(FaultEvent {
@@ -464,6 +600,7 @@ impl<T: Transport> Transport for ChaosTransport<T> {
             std::thread::sleep(decision.delay);
         }
         if decision.duplicate {
+            self.inner.send(to, tag, payload.clone())?;
             self.stats.record_duplicate(bytes);
             self.log.push(FaultEvent {
                 from,
@@ -472,9 +609,12 @@ impl<T: Transport> Transport for ChaosTransport<T> {
                 tag,
                 action: FaultAction::Duplicated,
             });
-            self.inner.send(to, tag, payload.clone())?;
         }
-        self.inner.send(to, tag, payload)
+        let res = self.inner.send(to, tag, payload);
+        if res.is_ok() {
+            self.stats.record(bytes);
+        }
+        res
     }
 
     fn recv_any(&mut self) -> Result<Msg, TransportError> {
@@ -654,8 +794,65 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_link_loses_messages_through_the_real_decoder() {
+        let plan = FaultPlan::corrupt_link(31, 0.25, 0.1);
+        let (mut a, mut b) = wrap_pair(&plan);
+        for i in 0..400u64 {
+            a.send(1, i, Payload::Params(vec![1.0, 2.0, 3.0])).unwrap();
+        }
+        let corrupt = a.stats().corrupt_messages();
+        assert!(corrupt > 0, "corruption actually happened");
+        // both damage kinds fired and were logged
+        let flips = a
+            .fault_log()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::Corrupted(_)))
+            .count();
+        let cuts = a
+            .fault_log()
+            .iter()
+            .filter(|e| matches!(e.action, FaultAction::TruncatedWire(_)))
+            .count();
+        assert!(flips > 0, "bit flips fired");
+        assert!(cuts > 0, "truncations fired");
+        // conservation with the corrupt term: every damaged frame the
+        // decoder rejected is accounted for, nothing was mis-delivered
+        let forwarded = a.inner().stats().total_messages();
+        assert_eq!(
+            a.stats().total_messages() - a.stats().dropped_messages() - corrupt
+                + a.stats().duplicated_messages(),
+            forwarded
+        );
+        // survivors decode to exactly what was sent (the CRC turned
+        // every hit into a loss, never a wrong value)
+        let mut got = 0;
+        while let Some(m) = b.try_recv() {
+            assert_eq!(m.payload, Payload::Params(vec![1.0, 2.0, 3.0]));
+            got += 1;
+        }
+        assert_eq!(got, forwarded);
+    }
+
+    #[test]
+    fn corrupt_schedule_is_deterministic() {
+        let plan = FaultPlan::corrupt_link(77, 0.2, 0.2);
+        let mut prints = Vec::new();
+        for _ in 0..2 {
+            let (mut a, _b) = wrap_pair(&plan);
+            for i in 0..300u64 {
+                a.send(1, i, Payload::Flags(vec![9])).unwrap();
+            }
+            prints.push((a.log_fingerprint(), a.stats().corrupt_messages()));
+        }
+        assert_eq!(prints[0], prints[1]);
+        assert!(prints[0].1 > 0);
+    }
+
+    #[test]
     fn json_roundtrip_preserves_the_plan() {
         let mut plan = FaultPlan::flaky_network(11, 0.05, 0.01, 30);
+        plan.corrupt_prob = 0.02;
+        plan.truncate_prob = 0.03;
         plan.crashes.push(Crash {
             rank: 1,
             at_step: 17,

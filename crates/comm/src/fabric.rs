@@ -88,6 +88,12 @@ pub struct ShardSpec {
 /// `u32` frame length + `u32` sender id + `u64` tag + `u8` payload kind.
 pub const FRAME_HEADER_BYTES: u64 = 4 + 4 + 8 + 1;
 
+/// Bytes every encoded frame spends after the payload body: a `u32`
+/// CRC-32 trailer covering everything after the length prefix. The
+/// in-process fabric never computes the checksum, but it accounts for
+/// the trailer so channel and TCP byte totals stay bit-identical.
+pub const FRAME_CRC_BYTES: u64 = 4;
+
 impl Payload {
     /// Bytes of the payload body as the wire codec encodes it (length
     /// prefixes included). `selsync-net` asserts this against real
@@ -114,10 +120,11 @@ impl Payload {
         }
     }
 
-    /// Exact bytes this payload occupies on the wire, header included —
-    /// the unit every [`CommStats`] counter is denominated in.
+    /// Exact bytes this payload occupies on the wire, header and CRC
+    /// trailer included — the unit every [`CommStats`] counter is
+    /// denominated in.
     pub fn wire_bytes(&self) -> u64 {
-        FRAME_HEADER_BYTES + self.body_bytes()
+        FRAME_HEADER_BYTES + self.body_bytes() + FRAME_CRC_BYTES
     }
 }
 
@@ -384,38 +391,40 @@ mod tests {
 
     #[test]
     fn wire_bytes_accounting() {
-        // header (17) + u32 count + 4 bytes per f32
-        assert_eq!(Payload::Params(vec![0.0; 10]).wire_bytes(), 17 + 4 + 40);
-        // header + u32 count + 1 byte per flag
-        assert_eq!(Payload::Flags(vec![0; 16]).wire_bytes(), 17 + 4 + 16);
-        // header + u64 code
-        assert_eq!(Payload::Control(0).wire_bytes(), 17 + 8);
-        // header + three length-prefixed sections
+        // fixed per-frame overhead: header (17) + CRC trailer (4)
+        const OH: u64 = 17 + 4;
+        // overhead + u32 count + 4 bytes per f32
+        assert_eq!(Payload::Params(vec![0.0; 10]).wire_bytes(), OH + 4 + 40);
+        // overhead + u32 count + 1 byte per flag
+        assert_eq!(Payload::Flags(vec![0; 16]).wire_bytes(), OH + 4 + 16);
+        // overhead + u64 code
+        assert_eq!(Payload::Control(0).wire_bytes(), OH + 8);
+        // overhead + three length-prefixed sections
         let s = Payload::Samples {
             data: vec![0.0; 6],
             targets: vec![1, 2],
             dims: vec![3, 2],
         };
-        assert_eq!(s.wire_bytes(), 17 + (4 + 24) + (4 + 16) + (4 + 16));
-        // header + f32 section + u64 dims section
+        assert_eq!(s.wire_bytes(), OH + (4 + 24) + (4 + 16) + (4 + 16));
+        // overhead + f32 section + u64 dims section
         let p = Payload::Predict {
             data: vec![0.0; 8],
             dims: vec![2, 4],
         };
-        assert_eq!(p.wire_bytes(), 17 + (4 + 32) + (4 + 16));
-        // header + f32 section + u64 class count
+        assert_eq!(p.wire_bytes(), OH + (4 + 32) + (4 + 16));
+        // overhead + f32 section + u64 class count
         let l = Payload::Logits {
             rows: vec![0.0; 6],
             classes: 3,
         };
-        assert_eq!(l.wire_bytes(), 17 + (4 + 24) + 8);
-        // header + version + total + u32 count + 8 bytes per start
+        assert_eq!(l.wire_bytes(), OH + (4 + 24) + 8);
+        // overhead + version + total + u32 count + 8 bytes per start
         let m = Payload::ShardMap(ShardSpec {
             version: 1,
             total: 100,
             starts: vec![0, 25, 50, 75],
         });
-        assert_eq!(m.wire_bytes(), 17 + 8 + 8 + (4 + 32));
+        assert_eq!(m.wire_bytes(), OH + 8 + 8 + (4 + 32));
         // shard push/pull bodies are byte-identical to Params of the
         // same length — the K=1 accounting-equivalence invariant
         assert_eq!(
@@ -438,11 +447,11 @@ mod tests {
         c.send(0, 0, Payload::Flags(vec![0; 3])).unwrap();
         let _ = a.recv_any().unwrap();
         let _ = a.recv_any().unwrap();
-        // Params(100): 17 + 4 + 400; Flags(3): 17 + 4 + 3
-        assert_eq!(a.stats().total_bytes(), 421 + 24);
+        // Params(100): 21 + 4 + 400; Flags(3): 21 + 4 + 3
+        assert_eq!(a.stats().total_bytes(), 425 + 28);
         assert_eq!(a.stats().total_messages(), 2);
         // both deliveries were drained, so received mirrors sent
-        assert_eq!(a.stats().recv_bytes(), 421 + 24);
+        assert_eq!(a.stats().recv_bytes(), 425 + 28);
         assert_eq!(a.stats().recv_messages(), 2);
     }
 

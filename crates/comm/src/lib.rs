@@ -25,7 +25,9 @@ pub mod transport;
 
 pub use clock::ClusterClock;
 pub use error::TransportError;
-pub use fabric::{Endpoint, Fabric, FlatVec, Msg, Payload, ShardSpec, FRAME_HEADER_BYTES};
+pub use fabric::{
+    Endpoint, Fabric, FlatVec, Msg, Payload, ShardSpec, FRAME_CRC_BYTES, FRAME_HEADER_BYTES,
+};
 pub use netmodel::NetworkModel;
 pub use shard::ShardedPsClient;
 pub use stats::CommStats;

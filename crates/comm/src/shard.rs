@@ -30,7 +30,8 @@
 //!
 //! Sub-frame bodies are deliberately Params-shaped (`u32 count` +
 //! values), so the fan-out moves exactly the monolithic payload bytes
-//! plus `(K−1) × (FRAME_HEADER_BYTES + 4)` of per-frame framing — see
+//! plus `(K−1) × (FRAME_HEADER_BYTES + 4 + FRAME_CRC_BYTES)` of
+//! per-frame framing — see
 //! [`monolithic_push_wire_bytes`]/[`fanout_push_wire_bytes`]. At K = 1
 //! the sharded path is byte-for-byte identical to the monolithic one.
 //! Per-shard [`CommStats`] instances record every sub-frame, so the
@@ -39,23 +40,23 @@
 use crate::collectives::{phase_tag, FLAGS_PHASE};
 use crate::elastic::{SHARD_MAP_TAG, STATUS_DEAD, SYNC_PHASE};
 use crate::error::TransportError;
-use crate::fabric::{FlatVec, Payload, ShardSpec, FRAME_HEADER_BYTES};
+use crate::fabric::{FlatVec, Payload, ShardSpec, FRAME_CRC_BYTES, FRAME_HEADER_BYTES};
 use crate::ps::CTRL_SHUTDOWN;
 use crate::stats::CommStats;
 use crate::transport::Transport;
 use std::time::{Duration, Instant};
 
 /// Exact wire bytes of a monolithic parameter push (or pull reply) of
-/// `len` floats: frame header + `u32 count` + the values.
+/// `len` floats: frame header + `u32 count` + the values + CRC trailer.
 pub fn monolithic_push_wire_bytes(len: usize) -> u64 {
-    FRAME_HEADER_BYTES + 4 + 4 * len as u64
+    FRAME_HEADER_BYTES + 4 + 4 * len as u64 + FRAME_CRC_BYTES
 }
 
 /// Exact wire bytes of the same push split into `k` sub-frames: the
 /// payload bytes are conserved, each extra frame costs exactly one
-/// header + one `u32` count prefix.
+/// header + one `u32` count prefix + one CRC trailer.
 pub fn fanout_push_wire_bytes(len: usize, k: usize) -> u64 {
-    monolithic_push_wire_bytes(len) + (k as u64 - 1) * (FRAME_HEADER_BYTES + 4)
+    monolithic_push_wire_bytes(len) + (k as u64 - 1) * (FRAME_HEADER_BYTES + 4 + FRAME_CRC_BYTES)
 }
 
 /// Timeouts and retry budget for the sharded client, mirroring the
@@ -430,8 +431,11 @@ mod tests {
                 let mono = monolithic_push_wire_bytes(len);
                 let fan = fanout_push_wire_bytes(len, k);
                 // payload bytes conserved; overhead is exactly one extra
-                // header + count prefix per extra frame
-                assert_eq!(fan, mono + (k as u64 - 1) * (FRAME_HEADER_BYTES + 4));
+                // header + count prefix + CRC trailer per extra frame
+                assert_eq!(
+                    fan,
+                    mono + (k as u64 - 1) * (FRAME_HEADER_BYTES + 4 + FRAME_CRC_BYTES)
+                );
                 if k == 1 {
                     assert_eq!(fan, mono, "K=1 must be byte-identical");
                 }

@@ -4,14 +4,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fabric-wide message/byte counters, shared by all endpoints.
 ///
-/// Four tallies cover the life of a message: **sent** (the application
+/// Five tallies cover the life of a message: **sent** (the application
 /// asked for it), **received** (an endpoint drained it off the fabric),
-/// **dropped** (a fault-injection layer discarded it), and
-/// **duplicated** (a fault-injection layer delivered an extra copy).
-/// On a fault-free fabric sent = received once all traffic drains; with
-/// chaos injected the conservation law becomes
-/// `sent - dropped + duplicated = received` — the invariant the chaos
-/// tests assert.
+/// **dropped** (a fault-injection layer discarded it), **duplicated**
+/// (a fault-injection layer delivered an extra copy), and **corrupt**
+/// (the frame's bytes were damaged in flight and the decoder rejected
+/// it — counted by whichever layer detects the damage, the chaos
+/// transport or a TCP reader thread). On a fault-free fabric
+/// sent = received once all traffic drains; with chaos injected the
+/// conservation law becomes
+/// `sent - dropped - corrupt + duplicated = received` — the invariant
+/// the chaos and soak tests assert.
 ///
 /// Relaxed ordering suffices: counters are monotonic tallies read after
 /// the threads join, never used for synchronization.
@@ -25,6 +28,8 @@ pub struct CommStats {
     dropped_messages: AtomicU64,
     duplicated_bytes: AtomicU64,
     duplicated_messages: AtomicU64,
+    corrupt_bytes: AtomicU64,
+    corrupt_messages: AtomicU64,
 }
 
 impl CommStats {
@@ -51,6 +56,13 @@ impl CommStats {
     pub fn record_duplicate(&self, bytes: u64) {
         self.duplicated_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.duplicated_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one message lost to byte-level damage (CRC mismatch,
+    /// torn frame, hostile length) of `bytes` intended wire bytes.
+    pub fn record_corrupt(&self, bytes: u64) {
+        self.corrupt_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.corrupt_messages.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total wire bytes sent so far.
@@ -93,6 +105,16 @@ impl CommStats {
         self.duplicated_messages.load(Ordering::Relaxed)
     }
 
+    /// Total wire bytes lost to byte-level damage.
+    pub fn corrupt_bytes(&self) -> u64 {
+        self.corrupt_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages lost to byte-level damage.
+    pub fn corrupt_messages(&self) -> u64 {
+        self.corrupt_messages.load(Ordering::Relaxed)
+    }
+
     /// Reset every counter (between experiment phases).
     pub fn reset(&self) {
         self.bytes.store(0, Ordering::Relaxed);
@@ -103,6 +125,8 @@ impl CommStats {
         self.dropped_messages.store(0, Ordering::Relaxed);
         self.duplicated_bytes.store(0, Ordering::Relaxed);
         self.duplicated_messages.store(0, Ordering::Relaxed);
+        self.corrupt_bytes.store(0, Ordering::Relaxed);
+        self.corrupt_messages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -124,24 +148,31 @@ mod tests {
     }
 
     #[test]
-    fn recv_drop_duplicate_tallies_are_independent() {
+    fn recv_drop_duplicate_corrupt_tallies_are_independent() {
         let s = CommStats::default();
+        s.record(100);
         s.record(100);
         s.record(100);
         s.record_recv(100);
         s.record_drop(100);
         s.record_duplicate(100);
-        assert_eq!(s.total_messages(), 2);
+        s.record_corrupt(100);
+        assert_eq!(s.total_messages(), 3);
         assert_eq!(s.recv_messages(), 1);
         assert_eq!(s.dropped_messages(), 1);
         assert_eq!(s.duplicated_messages(), 1);
-        // conservation: sent - dropped + duplicated = deliverable
+        assert_eq!(s.corrupt_messages(), 1);
+        // conservation: sent - dropped - corrupt + duplicated = deliverable
         assert_eq!(
-            s.total_messages() - s.dropped_messages() + s.duplicated_messages(),
+            s.total_messages() - s.dropped_messages() - s.corrupt_messages()
+                + s.duplicated_messages(),
             2
         );
         s.reset();
-        assert_eq!(s.recv_bytes() + s.dropped_bytes() + s.duplicated_bytes(), 0);
+        assert_eq!(
+            s.recv_bytes() + s.dropped_bytes() + s.duplicated_bytes() + s.corrupt_bytes(),
+            0
+        );
     }
 
     #[test]

@@ -1,0 +1,14 @@
+// fixture: true negative — a total decoder in the real codec's idiom:
+// the `kind` match lists every wire variant explicitly and surfaces an
+// unknown byte as a typed error binding, never a wildcard or a panic.
+enum FrameError {
+    BadKind(u8),
+}
+
+fn decode_kind(kind: u8) -> Result<&'static str, FrameError> {
+    match kind {
+        0 => Ok("params"),
+        1 => Ok("grads"),
+        k => Err(FrameError::BadKind(k)),
+    }
+}

@@ -1,0 +1,11 @@
+// fixture: true positive for wire-wildcard in the codec — a catch-all
+// arm over the frame `kind` byte silently discards any payload kind
+// added to the wire protocol later instead of rejecting it as a typed
+// BadKind error.
+fn decode_kind(kind: u8) -> Option<&'static str> {
+    match kind {
+        0 => Some("params"),
+        1 => Some("grads"),
+        _ => None,
+    }
+}

@@ -1,0 +1,10 @@
+// fixture: true positive for unwrap-in-prod in handshake-shaped code —
+// a version check that panics on mismatch kills the dialing rank
+// instead of surfacing a typed VersionMismatch error.
+fn accept_handshake(bytes: &[u8]) -> u16 {
+    let magic: [u8; 4] = bytes[..4].try_into().unwrap();
+    if magic != *b"SSYN" {
+        panic!("bad magic");
+    }
+    u16::from_be_bytes([bytes[4], bytes[5]])
+}

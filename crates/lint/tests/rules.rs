@@ -136,6 +136,28 @@ fn wire_wildcard_positive_and_negative() {
 }
 
 #[test]
+fn net_codec_fixtures_cover_kind_matches_and_handshake_panics() {
+    let r = run_fixtures();
+    // in crates/net the frame `kind` byte is a protocol scrutinee: a
+    // catch-all arm over it fires wire-wildcard
+    assert_eq!(
+        findings(&r, "crates/net/src/codec_wildcard_pos.rs"),
+        vec![("wire-wildcard".into(), 9, false)]
+    );
+    // panicking escape hatches in handshake code fire unwrap-in-prod
+    assert_eq!(
+        findings(&r, "crates/net/src/handshake_unwrap_pos.rs"),
+        vec![
+            ("unwrap-in-prod".into(), 5, false),
+            ("unwrap-in-prod".into(), 7, false),
+        ]
+    );
+    // the real codec idiom — exhaustive kinds plus a typed BadKind
+    // binding for the rest — stays silent under both rules
+    assert!(rules_hit(&r, "crates/net/src/codec_total_neg.rs").is_empty());
+}
+
+#[test]
 fn serve_crate_is_in_scope_with_timer_allowlisted() {
     let r = run_fixtures();
     // a serving module reading the clock directly fires nondet-time...

@@ -3,8 +3,14 @@
 //! One encoded frame per [`Msg`]:
 //!
 //! ```text
-//! [u32 rest_len][u32 from][u64 tag][u8 kind][body]
+//! [u32 rest_len][u32 from][u64 tag][u8 kind][body][u32 crc32]
 //! ```
+//!
+//! The trailing CRC-32 (IEEE) covers everything after the length
+//! prefix — `[from][tag][kind][body]` — and is verified before any
+//! body byte is interpreted, so a bit-flipped frame is rejected as
+//! [`FrameError::Crc`] instead of decoding into garbage parameters.
+//! `rest_len` includes the trailer.
 //!
 //! Body layouts by kind (big-endian, length prefixes inline):
 //!
@@ -19,9 +25,25 @@
 //! * `ShardMap`:       `u64 version` + `u64 total` + `u32 count + count × u64` starts
 //! * `ShardPush`/`ShardPull`: `u32 count` + `count × f32` (Params-shaped)
 //!
+//! Every inner `u32 count` is validated against the bytes actually
+//! remaining in the frame *before* anything is allocated, so a hostile
+//! count can never drive an oversized allocation — decode is total:
+//! any byte string either decodes or returns a typed [`FrameError`],
+//! never panics (the mutational fuzzer in `tests/frame_fuzz.rs` proves
+//! this over every payload kind).
+//!
 //! Floats travel as raw IEEE-754 bits, so a decoded vector is
 //! bit-identical to the encoded one (NaN payloads included) — the
 //! property the loopback determinism tests rely on.
+//!
+//! ## Connection handshake
+//!
+//! Before any frame flows on a TCP connection, each side sends an
+//! 8-byte preamble `[u32 magic][u16 version][u16 features]`
+//! ([`encode_handshake`]). Mixed protocol versions or a non-SelSync
+//! peer fail fast with [`FrameError::VersionMismatch`] /
+//! [`FrameError::BadMagic`] instead of mis-parsing each other's
+//! frames indefinitely.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use selsync_comm::{Msg, Payload, ShardSpec};
@@ -38,10 +60,36 @@ const KIND_SHARD_MAP: u8 = 7;
 const KIND_SHARD_PUSH: u8 = 8;
 const KIND_SHARD_PULL: u8 = 9;
 
-/// Decoding failure; encoding cannot fail.
+/// Wire-protocol magic: `b"SSYN"` as a big-endian `u32`. A peer that
+/// opens with anything else is not speaking this protocol at all.
+pub const PROTOCOL_MAGIC: u32 = u32::from_be_bytes(*b"SSYN");
+
+/// Wire-protocol version. Bumped on any incompatible frame-format
+/// change; mixed versions refuse to talk rather than mis-parse.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Feature bit: frames carry a CRC-32 trailer.
+pub const FEATURE_CRC32: u16 = 0x0001;
+
+/// The feature set this build advertises in its handshake.
+pub const PROTOCOL_FEATURES: u16 = FEATURE_CRC32;
+
+/// Bytes of the connection preamble: `[u32 magic][u16 version][u16 features]`.
+pub const HANDSHAKE_BYTES: usize = 8;
+
+/// Bytes of the CRC-32 trailer closing every frame.
+pub const CRC_BYTES: usize = 4;
+
+/// The fixed bytes of a frame after the length prefix that are not
+/// body: `u32 from` + `u64 tag` + `u8 kind` + `u32 crc`.
+const MIN_REST_BYTES: usize = 4 + 8 + 1 + CRC_BYTES;
+
+/// Decoding failure; encoding cannot fail. Every decode path is total:
+/// arbitrary bytes produce one of these variants, never a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum CodecError {
-    /// Frame ended before its declared length.
+pub enum FrameError {
+    /// Frame ended before its declared length, or an inner section's
+    /// `u32 count` asks for more bytes than the frame holds.
     Truncated {
         /// Bytes the frame declared or the section required.
         needed: usize,
@@ -52,21 +100,138 @@ pub enum CodecError {
     BadKind(u8),
     /// Frame bytes left over after the body was fully decoded.
     TrailingBytes(usize),
+    /// The CRC-32 trailer disagrees with the received bytes: the frame
+    /// was damaged in flight.
+    Crc {
+        /// Checksum the sender stamped on the frame.
+        expected: u32,
+        /// Checksum computed over the bytes as received.
+        computed: u32,
+    },
+    /// The connection preamble did not open with [`PROTOCOL_MAGIC`] —
+    /// the peer is not speaking this protocol.
+    BadMagic(u32),
+    /// The peer speaks a different protocol version; refuse to talk
+    /// rather than mis-parse its frames.
+    VersionMismatch {
+        /// Version this build implements.
+        ours: u16,
+        /// Version the peer advertised.
+        theirs: u16,
+    },
 }
 
-impl fmt::Display for CodecError {
+impl fmt::Display for FrameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::Truncated { needed, have } => {
+            FrameError::Truncated { needed, have } => {
                 write!(f, "truncated frame: needed {needed} bytes, have {have}")
             }
-            CodecError::BadKind(k) => write!(f, "unknown payload kind {k}"),
-            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload body"),
+            FrameError::BadKind(k) => write!(f, "unknown payload kind {k}"),
+            FrameError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload body"),
+            FrameError::Crc { expected, computed } => write!(
+                f,
+                "frame CRC mismatch: expected {expected:#010x}, computed {computed:#010x}"
+            ),
+            FrameError::BadMagic(m) => {
+                write!(
+                    f,
+                    "bad protocol magic {m:#010x}, expected {PROTOCOL_MAGIC:#010x}"
+                )
+            }
+            FrameError::VersionMismatch { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
         }
     }
 }
 
-impl std::error::Error for CodecError {}
+impl std::error::Error for FrameError {}
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3 reflected polynomial) — local implementation, no
+// external dependency. Table built at compile time. Mirrors the
+// checkpoint checksum in `selsync-core` (`net` deliberately does not
+// depend on `core`).
+// ---------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `bytes` (IEEE, as used by zip/gzip/ethernet) — the checksum
+/// stamped on every frame trailer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// A decoded connection preamble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handshake {
+    /// Protocol version the peer implements.
+    pub version: u16,
+    /// Feature bits the peer advertises.
+    pub features: u16,
+}
+
+/// Encode the 8-byte connection preamble this build sends on every new
+/// TCP connection: `[u32 magic][u16 version][u16 features]`.
+pub fn encode_handshake() -> [u8; HANDSHAKE_BYTES] {
+    let mut out = [0u8; HANDSHAKE_BYTES];
+    out[..4].copy_from_slice(&PROTOCOL_MAGIC.to_be_bytes());
+    out[4..6].copy_from_slice(&PROTOCOL_VERSION.to_be_bytes());
+    out[6..8].copy_from_slice(&PROTOCOL_FEATURES.to_be_bytes());
+    out
+}
+
+/// Decode and validate a peer's connection preamble.
+///
+/// # Errors
+/// [`FrameError::BadMagic`] if the peer is not speaking this protocol;
+/// [`FrameError::VersionMismatch`] if it speaks an incompatible
+/// version. Unknown *feature* bits are tolerated (they are advertisory,
+/// not load-bearing) and returned for the caller to inspect.
+pub fn decode_handshake(raw: &[u8; HANDSHAKE_BYTES]) -> Result<Handshake, FrameError> {
+    // lint:allow(unwrap-in-prod): fixed-size sub-slices of an 8-byte
+    // array always convert
+    let magic = u32::from_be_bytes(raw[..4].try_into().unwrap());
+    if magic != PROTOCOL_MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    // lint:allow(unwrap-in-prod): fixed-size sub-slice, see above
+    let version = u16::from_be_bytes(raw[4..6].try_into().unwrap());
+    // lint:allow(unwrap-in-prod): fixed-size sub-slice, see above
+    let features = u16::from_be_bytes(raw[6..8].try_into().unwrap());
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::VersionMismatch {
+            ours: PROTOCOL_VERSION,
+            theirs: version,
+        });
+    }
+    Ok(Handshake { version, features })
+}
 
 fn kind_of(payload: &Payload) -> u8 {
     match payload {
@@ -85,7 +250,7 @@ fn kind_of(payload: &Payload) -> u8 {
     }
 }
 
-/// Encode one message as a complete wire frame.
+/// Encode one message as a complete wire frame, CRC trailer included.
 ///
 /// The returned buffer's length always equals
 /// [`Payload::wire_bytes`] — asserted here, so any drift between the
@@ -135,6 +300,9 @@ pub fn encode_frame(from: usize, tag: u64, payload: &Payload) -> Bytes {
         // K=1 sharded path moves exactly the monolithic byte count
         Payload::ShardPush(v) | Payload::ShardPull(v) => put_f32_section(&mut buf, v),
     }
+    // CRC covers everything after the length prefix
+    let crc = crc32(&buf[4..]);
+    buf.put_u32(crc);
     assert_eq!(
         buf.len(),
         wire,
@@ -158,10 +326,10 @@ fn put_u64_section(buf: &mut BytesMut, v: &[usize]) {
 }
 
 /// Decode a complete frame (as produced by [`encode_frame`]) back into
-/// a [`Msg`].
-pub fn decode_frame(frame: &[u8]) -> Result<Msg, CodecError> {
+/// a [`Msg`], verifying the CRC trailer first.
+pub fn decode_frame(frame: &[u8]) -> Result<Msg, FrameError> {
     if frame.len() < 4 {
-        return Err(CodecError::Truncated {
+        return Err(FrameError::Truncated {
             needed: 4,
             have: frame.len(),
         });
@@ -171,7 +339,7 @@ pub fn decode_frame(frame: &[u8]) -> Result<Msg, CodecError> {
     let declared = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
     let rest = &frame[4..];
     if rest.len() != declared {
-        return Err(CodecError::Truncated {
+        return Err(FrameError::Truncated {
             needed: declared,
             have: rest.len(),
         });
@@ -180,8 +348,23 @@ pub fn decode_frame(frame: &[u8]) -> Result<Msg, CodecError> {
 }
 
 /// Decode the portion of a frame after the `u32 rest_len` prefix — what
-/// the TCP reader hands over once it has read a full frame body.
-pub fn decode_after_len(mut buf: &[u8]) -> Result<Msg, CodecError> {
+/// the TCP reader hands over once it has read a full frame body. The
+/// CRC trailer is verified before any body byte is interpreted.
+pub fn decode_after_len(buf: &[u8]) -> Result<Msg, FrameError> {
+    if buf.len() < MIN_REST_BYTES {
+        return Err(FrameError::Truncated {
+            needed: MIN_REST_BYTES,
+            have: buf.len(),
+        });
+    }
+    let (covered, trailer) = buf.split_at(buf.len() - CRC_BYTES);
+    // lint:allow(unwrap-in-prod): split_at leaves exactly CRC_BYTES = 4
+    let expected = u32::from_be_bytes(trailer.try_into().unwrap());
+    let computed = crc32(covered);
+    if computed != expected {
+        return Err(FrameError::Crc { expected, computed });
+    }
+    let mut buf = covered;
     let from = get_u32_checked(&mut buf)? as usize;
     let tag = get_u64_checked(&mut buf)?;
     let kind = {
@@ -191,10 +374,7 @@ pub fn decode_after_len(mut buf: &[u8]) -> Result<Msg, CodecError> {
     let payload = match kind {
         KIND_PARAMS => Payload::Params(get_f32_section(&mut buf)?),
         KIND_GRADS => Payload::Grads(get_f32_section(&mut buf)?),
-        KIND_FLAGS => {
-            let count = get_u32_checked(&mut buf)? as usize;
-            Payload::Flags(take(&mut buf, count)?.to_vec())
-        }
+        KIND_FLAGS => Payload::Flags(take_section(&mut buf, 1)?.to_vec()),
         KIND_SAMPLES => {
             let data = get_f32_section(&mut buf)?;
             let targets = get_u64_section(&mut buf)?;
@@ -219,11 +399,15 @@ pub fn decode_after_len(mut buf: &[u8]) -> Result<Msg, CodecError> {
         KIND_SHARD_MAP => {
             let version = get_u64_checked(&mut buf)?;
             let total = get_u64_checked(&mut buf)?;
-            let count = get_u32_checked(&mut buf)? as usize;
-            let mut starts = Vec::with_capacity(count);
-            for _ in 0..count {
-                starts.push(get_u64_checked(&mut buf)?);
-            }
+            // the count is validated against the frame's remaining bytes
+            // BEFORE any allocation — a hostile count of 4 billion must
+            // not reserve 32 GB
+            let raw = take_section(&mut buf, 8)?;
+            let starts = raw
+                .chunks_exact(8)
+                // lint:allow(unwrap-in-prod): chunks_exact(8) yields 8-byte slices
+                .map(|c| u64::from_be_bytes(c.try_into().unwrap()))
+                .collect();
             Payload::ShardMap(ShardSpec {
                 version,
                 total,
@@ -232,17 +416,17 @@ pub fn decode_after_len(mut buf: &[u8]) -> Result<Msg, CodecError> {
         }
         KIND_SHARD_PUSH => Payload::ShardPush(get_f32_section(&mut buf)?),
         KIND_SHARD_PULL => Payload::ShardPull(get_f32_section(&mut buf)?),
-        other => return Err(CodecError::BadKind(other)),
+        other => return Err(FrameError::BadKind(other)),
     };
     if buf.has_remaining() {
-        return Err(CodecError::TrailingBytes(buf.remaining()));
+        return Err(FrameError::TrailingBytes(buf.remaining()));
     }
     Ok(Msg { from, tag, payload })
 }
 
-fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], FrameError> {
     if buf.len() < n {
-        return Err(CodecError::Truncated {
+        return Err(FrameError::Truncated {
             needed: n,
             have: buf.len(),
         });
@@ -252,23 +436,37 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
     Ok(head)
 }
 
-fn get_u32_checked(buf: &mut &[u8]) -> Result<u32, CodecError> {
+/// Read an inner section's `u32 count` and hand back its `count × elem`
+/// raw bytes, rejecting before any allocation or overflow if the frame
+/// does not actually hold that many bytes.
+fn take_section<'a>(buf: &mut &'a [u8], elem: usize) -> Result<&'a [u8], FrameError> {
+    let count = get_u32_checked(buf)? as u64;
+    let needed = count * elem as u64; // <= (2^32 - 1) * 8, cannot overflow u64
+    if needed > buf.len() as u64 {
+        return Err(FrameError::Truncated {
+            needed: usize::try_from(needed).unwrap_or(usize::MAX),
+            have: buf.len(),
+        });
+    }
+    take(buf, needed as usize)
+}
+
+fn get_u32_checked(buf: &mut &[u8]) -> Result<u32, FrameError> {
     let b = take(buf, 4)?;
     // lint:allow(unwrap-in-prod): take() returned exactly 4 bytes, so the
     // conversion into [u8; 4] cannot fail
     Ok(u32::from_be_bytes(b.try_into().unwrap()))
 }
 
-fn get_u64_checked(buf: &mut &[u8]) -> Result<u64, CodecError> {
+fn get_u64_checked(buf: &mut &[u8]) -> Result<u64, FrameError> {
     let b = take(buf, 8)?;
     // lint:allow(unwrap-in-prod): take() returned exactly 8 bytes, so the
     // conversion into [u8; 8] cannot fail
     Ok(u64::from_be_bytes(b.try_into().unwrap()))
 }
 
-fn get_f32_section(buf: &mut &[u8]) -> Result<Vec<f32>, CodecError> {
-    let count = get_u32_checked(buf)? as usize;
-    let raw = take(buf, count * 4)?;
+fn get_f32_section(buf: &mut &[u8]) -> Result<Vec<f32>, FrameError> {
+    let raw = take_section(buf, 4)?;
     Ok(raw
         .chunks_exact(4)
         // lint:allow(unwrap-in-prod): chunks_exact(4) yields 4-byte slices
@@ -276,9 +474,8 @@ fn get_f32_section(buf: &mut &[u8]) -> Result<Vec<f32>, CodecError> {
         .collect())
 }
 
-fn get_u64_section(buf: &mut &[u8]) -> Result<Vec<usize>, CodecError> {
-    let count = get_u32_checked(buf)? as usize;
-    let raw = take(buf, count * 8)?;
+fn get_u64_section(buf: &mut &[u8]) -> Result<Vec<usize>, FrameError> {
+    let raw = take_section(buf, 8)?;
     Ok(raw
         .chunks_exact(8)
         // lint:allow(unwrap-in-prod): chunks_exact(8) yields 8-byte slices
@@ -352,17 +549,101 @@ mod tests {
         }
     }
 
+    /// Recompute and overwrite the CRC trailer after a test mutated the
+    /// covered bytes, so the mutation under test is reached at all.
+    fn restamp(frame: &mut [u8]) {
+        let end = frame.len() - CRC_BYTES;
+        let crc = crc32(&frame[4..end]);
+        frame[end..].copy_from_slice(&crc.to_be_bytes());
+    }
+
     #[test]
     fn bad_kind_and_trailing_bytes_error() {
         let mut frame = encode_frame(0, 0, &Payload::Control(1)).to_vec();
         let kind_pos = 4 + 4 + 8;
         frame[kind_pos] = 200;
-        assert_eq!(decode_frame(&frame), Err(CodecError::BadKind(200)));
+        restamp(&mut frame);
+        assert_eq!(decode_frame(&frame), Err(FrameError::BadKind(200)));
 
         let mut padded = encode_frame(0, 0, &Payload::Control(1)).to_vec();
-        padded.push(0);
+        let crc_at = padded.len() - CRC_BYTES;
+        padded.insert(crc_at, 0); // extra body byte before the trailer
         let declared = (padded.len() - 4) as u32;
         padded[..4].copy_from_slice(&declared.to_be_bytes());
-        assert_eq!(decode_frame(&padded), Err(CodecError::TrailingBytes(1)));
+        restamp(&mut padded);
+        assert_eq!(decode_frame(&padded), Err(FrameError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn flipped_bit_is_caught_by_crc() {
+        let frame = encode_frame(3, 9, &Payload::Params(vec![1.0, 2.0, 3.0])).to_vec();
+        // flip one bit in every covered byte position in turn; the CRC
+        // must reject each damaged frame
+        for pos in 4..frame.len() - CRC_BYTES {
+            let mut bad = frame.clone();
+            bad[pos] ^= 0x10;
+            match decode_frame(&bad) {
+                Err(FrameError::Crc { .. }) => {}
+                other => panic!("flip at {pos} decoded as {other:?}"),
+            }
+        }
+        // damage confined to the trailer itself is also a CRC error
+        let mut bad = frame.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(decode_frame(&bad), Err(FrameError::Crc { .. })));
+    }
+
+    #[test]
+    fn hostile_section_count_is_rejected_without_allocation() {
+        // a ShardMap frame whose inner count claims 2^32-1 entries: the
+        // decoder must reject it via Truncated, not reserve ~32 GB
+        let mut frame = encode_frame(
+            0,
+            0,
+            &Payload::ShardMap(ShardSpec {
+                version: 1,
+                total: 10,
+                starts: vec![0],
+            }),
+        )
+        .to_vec();
+        let count_pos = 4 + 4 + 8 + 1 + 8 + 8;
+        frame[count_pos..count_pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        restamp(&mut frame);
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn handshake_roundtrips_and_rejects_strangers() {
+        let raw = encode_handshake();
+        let hs = decode_handshake(&raw).expect("own handshake");
+        assert_eq!(hs.version, PROTOCOL_VERSION);
+        assert_eq!(hs.features, PROTOCOL_FEATURES);
+
+        let mut alien = raw;
+        alien[0] ^= 0xFF;
+        assert!(matches!(
+            decode_handshake(&alien),
+            Err(FrameError::BadMagic(_))
+        ));
+
+        let mut future = raw;
+        future[4..6].copy_from_slice(&(PROTOCOL_VERSION + 1).to_be_bytes());
+        assert_eq!(
+            decode_handshake(&future),
+            Err(FrameError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: PROTOCOL_VERSION + 1,
+            })
+        );
+
+        // unknown feature bits are advertisory, not fatal
+        let mut extra = raw;
+        extra[7] |= 0x80;
+        assert!(decode_handshake(&extra).is_ok());
     }
 }

@@ -10,17 +10,28 @@
 //! Wire format (all integers big-endian):
 //!
 //! ```text
-//! [u32 rest_len][u32 from][u64 tag][u8 kind][body...]
+//! [u32 rest_len][u32 from][u64 tag][u8 kind][body...][u32 crc32]
 //! ```
 //!
-//! `rest_len` counts every byte after itself. The frame length is the
-//! authoritative [`Payload::wire_bytes`]: the codec asserts the two
-//! agree on every encode, so `CommStats` totals equal bytes moved.
+//! `rest_len` counts every byte after itself, the CRC-32 trailer
+//! included. The trailer covers `[from][tag][kind][body]` and is
+//! verified before any body byte is interpreted, so in-flight damage
+//! is rejected as a typed [`FrameError`] instead of decoding into
+//! garbage. The frame length is the authoritative
+//! [`Payload::wire_bytes`]: the codec asserts the two agree on every
+//! encode, so `CommStats` totals equal bytes moved.
+//!
+//! Every TCP connection additionally opens with an 8-byte preamble
+//! `[u32 magic][u16 version][u16 features]` so mixed protocol versions
+//! fail fast at connect time (see [`codec::encode_handshake`]).
 //!
 //! [`Payload::wire_bytes`]: selsync_comm::Payload::wire_bytes
 
 pub mod codec;
 pub mod tcp;
 
-pub use codec::{decode_frame, encode_frame, CodecError};
-pub use tcp::{TcpEndpoint, TcpFabricConfig};
+pub use codec::{
+    crc32, decode_frame, decode_handshake, encode_frame, encode_handshake, FrameError, Handshake,
+    CRC_BYTES, HANDSHAKE_BYTES, PROTOCOL_MAGIC, PROTOCOL_VERSION,
+};
+pub use tcp::{LinkFault, TcpEndpoint, TcpFabricConfig, DEFAULT_MAX_FRAME_BYTES};

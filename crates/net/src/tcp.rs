@@ -3,14 +3,30 @@
 //!
 //! Topology: rank `i` listens on `peers[i]` and dials one outbound
 //! connection to every other rank, so each ordered pair owns a
-//! unidirectional stream. Frames self-identify their sender, so no
-//! handshake is needed. Per-peer writer threads drain an unbounded
-//! frame queue (keeping [`Transport::send`] non-blocking, like the
-//! channel fabric), and per-connection reader threads decode frames
-//! into one shared inbox feeding the same tagged-receive semantics as
-//! the in-process endpoint.
+//! unidirectional frame stream. Every new connection opens with the
+//! 8-byte protocol preamble ([`crate::codec::encode_handshake`]):
+//! each side sends its own and validates the peer's, so a mixed-version
+//! fleet (or a stranger speaking another protocol entirely) fails fast
+//! instead of mis-parsing frames. Per-peer writer threads drain an
+//! unbounded frame queue (keeping [`Transport::send`] non-blocking,
+//! like the channel fabric), and per-connection reader threads decode
+//! frames into one shared inbox feeding the same tagged-receive
+//! semantics as the in-process endpoint.
+//!
+//! Byte-level damage on an inbound connection — a torn frame, a CRC
+//! mismatch, a hostile length prefix — is surfaced as a typed
+//! [`LinkFault`] (peer address + stream byte offset + a
+//! [`TransportError::Protocol`] error) and tallied in
+//! [`CommStats::corrupt_messages`], then the connection is torn down:
+//! a stream that has lost framing cannot be resynchronized, so the
+//! peer's writer redials and the protocol retry layers absorb the
+//! loss. Blocking receives never return these faults as errors — a
+//! damaged frame behaves like a lost one (`RecvTimeout` + resend), so
+//! clean-link behavior is unchanged.
 
-use crate::codec::{decode_after_len, encode_frame};
+use crate::codec::{
+    decode_after_len, decode_handshake, encode_frame, encode_handshake, HANDSHAKE_BYTES,
+};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use selsync_comm::{CommStats, Msg, Payload, Transport, TransportError};
@@ -22,9 +38,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Ceiling on a single frame's declared size; a corrupted length
-/// prefix fails fast instead of attempting a huge allocation.
-const MAX_FRAME_BYTES: usize = 1 << 30;
+/// Default ceiling on a single frame's declared size; a corrupted
+/// length prefix fails fast instead of attempting a huge allocation.
+/// Configurable per fabric via [`TcpFabricConfig::max_frame_bytes`].
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 30;
 
 /// How often blocked reader/acceptor threads wake to check shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -52,6 +69,10 @@ pub struct TcpFabricConfig {
     /// survive a parameter-server restart without tearing the fabric
     /// down.
     pub reconnect_timeout: Duration,
+    /// Ceiling on a single inbound frame's declared size. A length
+    /// prefix above this — hostile or corrupt — is rejected as a
+    /// [`LinkFault`] before any allocation is attempted.
+    pub max_frame_bytes: usize,
 }
 
 impl TcpFabricConfig {
@@ -64,8 +85,43 @@ impl TcpFabricConfig {
             write_timeout: Duration::from_secs(30),
             recv_timeout: Duration::from_secs(300),
             reconnect_timeout: Duration::from_secs(15),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
         }
     }
+}
+
+/// A byte-level fault a reader thread detected on one inbound
+/// connection: a frame torn mid-read, a CRC mismatch, a hostile length
+/// prefix, or a rejected handshake. Distinguishes in-flight damage
+/// from a peer crash (which shows up as a clean EOF or
+/// `PeerUnreachable` instead) in soak and chaos logs.
+#[derive(Debug, Clone)]
+pub struct LinkFault {
+    /// Remote address of the damaged connection.
+    pub peer: SocketAddr,
+    /// Bytes successfully consumed from this connection's stream
+    /// before the fault (handshake included) — where in the stream the
+    /// damage was detected.
+    pub offset: u64,
+    /// The typed error, always [`TransportError::Protocol`].
+    pub error: TransportError,
+}
+
+fn link_fault(peer: SocketAddr, offset: u64, detail: &str) -> LinkFault {
+    LinkFault {
+        peer,
+        offset,
+        error: TransportError::Protocol(format!(
+            "{detail} (peer {peer}, stream byte offset {offset})"
+        )),
+    }
+}
+
+/// What reader threads feed the shared inbox: decoded messages, plus
+/// typed fault reports the endpoint collects off to the side.
+enum InboxEvent {
+    Msg(Msg),
+    Fault(LinkFault),
 }
 
 /// Bind a listener with `SO_REUSEADDR`, so a restarted rank can
@@ -173,9 +229,11 @@ pub struct TcpEndpoint {
     /// Frame queues to each peer's writer thread; `None` at `id`
     /// (self-sends loop back through `inbox_tx`).
     outbound: Vec<Option<Sender<Bytes>>>,
-    inbox_tx: Sender<Msg>,
-    inbox: Receiver<Msg>,
+    inbox_tx: Sender<InboxEvent>,
+    inbox: Receiver<InboxEvent>,
     pending: VecDeque<Msg>,
+    /// Byte-level faults reader threads have reported, in arrival order.
+    faults: Vec<LinkFault>,
     stats: Arc<CommStats>,
     recv_timeout: Duration,
     shutdown: Arc<AtomicBool>,
@@ -218,31 +276,43 @@ impl TcpEndpoint {
         let n = config.peers.len();
         assert!(config.rank < n, "rank {} out of range 0..{n}", config.rank);
         let local_addr = listener.local_addr()?;
-        let (inbox_tx, inbox) = unbounded::<Msg>();
+        let (inbox_tx, inbox) = unbounded::<InboxEvent>();
         let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(CommStats::default());
         let mut threads = Vec::new();
 
         // Acceptor: owns the listener and every reader thread it spawns.
         if n > 1 {
             let acceptor_inbox = inbox_tx.clone();
             let acceptor_shutdown = Arc::clone(&shutdown);
+            let acceptor_stats = Arc::clone(&stats);
+            let max_frame = config.max_frame_bytes;
             listener.set_nonblocking(true)?;
             threads.push(std::thread::spawn(move || {
-                accept_loop(listener, acceptor_inbox, acceptor_shutdown);
+                accept_loop(
+                    listener,
+                    acceptor_inbox,
+                    acceptor_shutdown,
+                    acceptor_stats,
+                    max_frame,
+                );
             }));
         }
 
         // Dial every peer. Synchronous here is deadlock-free: inbound
-        // connections land in the already-running acceptor.
+        // connections land in the already-running acceptor, and the
+        // handshake echo each dial waits for is produced by the *peer's*
+        // reader thread, never by a thread blocked in this loop.
         let mut outbound: Vec<Option<Sender<Bytes>>> = Vec::with_capacity(n);
         for (peer, addr) in config.peers.iter().enumerate() {
             if peer == config.rank {
                 outbound.push(None);
                 continue;
             }
-            let stream = dial(addr, config.connect_timeout)?;
+            let mut stream = dial(addr, config.connect_timeout)?;
             stream.set_nodelay(true)?;
             stream.set_write_timeout(Some(config.write_timeout))?;
+            shake_hands_as_dialer(&mut stream, config.connect_timeout)?;
             let (tx, rx) = unbounded::<Bytes>();
             let writer_shutdown = Arc::clone(&shutdown);
             let writer_addr = addr.clone();
@@ -268,7 +338,8 @@ impl TcpEndpoint {
             inbox_tx,
             inbox,
             pending: VecDeque::new(),
-            stats: Arc::new(CommStats::default()),
+            faults: Vec::new(),
+            stats,
             recv_timeout: config.recv_timeout,
             shutdown,
             threads,
@@ -279,6 +350,24 @@ impl TcpEndpoint {
     /// The address this rank's listener actually bound.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Byte-level faults reader threads have reported so far (torn
+    /// frames, CRC mismatches, hostile lengths, rejected handshakes),
+    /// in arrival order. Drains freshly reported faults first, so a
+    /// caller polling after an injected corruption sees it without an
+    /// intervening receive.
+    pub fn link_faults(&mut self) -> &[LinkFault] {
+        while let Ok(ev) = self.inbox.try_recv() {
+            match ev {
+                InboxEvent::Msg(m) => {
+                    self.stats.record_recv(m.payload.wire_bytes());
+                    self.pending.push_back(m);
+                }
+                InboxEvent::Fault(f) => self.faults.push(f),
+            }
+        }
+        &self.faults
     }
 
     /// Flush queued frames to every peer, close the outbound streams,
@@ -321,13 +410,17 @@ impl TcpEndpoint {
                 }
             };
             match self.inbox.recv_timeout(remaining) {
-                Ok(m) => {
+                Ok(InboxEvent::Msg(m)) => {
                     self.stats.record_recv(m.payload.wire_bytes());
                     if matches(&m) {
                         return Ok(m);
                     }
                     self.pending.push_back(m);
                 }
+                // a damaged frame behaves like a lost one: collect the
+                // typed report and keep waiting — the caller's timeout
+                // and resend layers handle the loss
+                Ok(InboxEvent::Fault(f)) => self.faults.push(f),
                 Err(RecvTimeoutError::Timeout) => continue, // errors above
                 Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
             }
@@ -355,11 +448,11 @@ impl Transport for TcpEndpoint {
             // loop back without touching a socket, like the channel
             // fabric's self-send
             self.inbox_tx
-                .send(Msg {
+                .send(InboxEvent::Msg(Msg {
                     from: self.id,
                     tag,
                     payload,
-                })
+                }))
                 .map_err(|_| TransportError::Closed)?;
             self.stats.record(bytes);
             return Ok(());
@@ -398,9 +491,15 @@ impl Transport for TcpEndpoint {
         if let Some(m) = self.pending.pop_front() {
             return Some(m);
         }
-        let m = self.inbox.try_recv().ok()?;
-        self.stats.record_recv(m.payload.wire_bytes());
-        Some(m)
+        loop {
+            match self.inbox.try_recv().ok()? {
+                InboxEvent::Msg(m) => {
+                    self.stats.record_recv(m.payload.wire_bytes());
+                    return Some(m);
+                }
+                InboxEvent::Fault(f) => self.faults.push(f),
+            }
+        }
     }
 }
 
@@ -432,7 +531,31 @@ fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
     }
 }
 
-fn accept_loop(listener: TcpListener, inbox: Sender<Msg>, shutdown: Arc<AtomicBool>) {
+/// Dialer half of the connection preamble: advertise our protocol,
+/// read the peer's echo, and fail fast (typed, as an
+/// `InvalidData` [`io::Error`] wrapping [`crate::codec::FrameError`],
+/// recoverable via [`io::Error::get_ref`]) if the peer speaks a
+/// different version or no SelSync at all.
+fn shake_hands_as_dialer(stream: &mut TcpStream, timeout: Duration) -> io::Result<()> {
+    stream.write_all(&encode_handshake())?;
+    stream.set_read_timeout(Some(timeout))?;
+    let mut echo = [0u8; HANDSHAKE_BYTES];
+    stream
+        .read_exact(&mut echo)
+        .map_err(|e| io::Error::new(e.kind(), format!("reading the handshake echo: {e}")))?;
+    stream.set_read_timeout(None)?;
+    decode_handshake(&echo)
+        .map(|_| ())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inbox: Sender<InboxEvent>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<CommStats>,
+    max_frame: usize,
+) {
     let mut readers = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -443,8 +566,15 @@ fn accept_loop(listener: TcpListener, inbox: Sender<Msg>, shutdown: Arc<AtomicBo
                 let _ = stream.set_nodelay(true);
                 let reader_inbox = inbox.clone();
                 let reader_shutdown = Arc::clone(&shutdown);
+                let reader_stats = Arc::clone(&stats);
                 readers.push(std::thread::spawn(move || {
-                    read_loop(stream, reader_inbox, reader_shutdown);
+                    read_loop(
+                        stream,
+                        reader_inbox,
+                        reader_shutdown,
+                        reader_stats,
+                        max_frame,
+                    );
                 }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -467,12 +597,20 @@ enum ReadOutcome {
     Shutdown,
 }
 
+/// A read that died partway through a fixed-size unit: how many bytes
+/// made it, and why it stopped. Lets the reader report *where* in the
+/// stream a frame was torn instead of a generic connection error.
+struct ShortRead {
+    filled: usize,
+    error: io::Error,
+}
+
 fn read_full(
     stream: &mut TcpStream,
     buf: &mut [u8],
     shutdown: &AtomicBool,
     allow_clean_eof: bool,
-) -> io::Result<ReadOutcome> {
+) -> Result<ReadOutcome, ShortRead> {
     let mut filled = 0;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
@@ -480,7 +618,10 @@ fn read_full(
                 return if filled == 0 && allow_clean_eof {
                     Ok(ReadOutcome::CleanEof)
                 } else {
-                    Err(io::ErrorKind::UnexpectedEof.into())
+                    Err(ShortRead {
+                        filled,
+                        error: io::ErrorKind::UnexpectedEof.into(),
+                    })
                 };
             }
             Ok(k) => filled += k,
@@ -492,67 +633,117 @@ fn read_full(
                     return Ok(ReadOutcome::Shutdown);
                 }
             }
-            Err(e) => return Err(e),
+            Err(error) => return Err(ShortRead { filled, error }),
         }
     }
     Ok(ReadOutcome::Full)
 }
 
-fn read_loop(mut stream: TcpStream, inbox: Sender<Msg>, shutdown: Arc<AtomicBool>) {
+fn read_loop(
+    mut stream: TcpStream,
+    inbox: Sender<InboxEvent>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<CommStats>,
+    max_frame: usize,
+) {
+    let Ok(peer) = stream.peer_addr() else { return };
+    let report = |offset: u64, detail: &str| {
+        if !shutdown.load(Ordering::SeqCst) {
+            let _ = inbox.send(InboxEvent::Fault(link_fault(peer, offset, detail)));
+        }
+    };
+
+    // Acceptor half of the connection preamble: advertise ours first
+    // (so the dialer can diagnose a mismatch symmetrically), then
+    // require a valid one before any frame byte is interpreted.
+    if stream.write_all(&encode_handshake()).is_err() {
+        return;
+    }
+    let mut preamble = [0u8; HANDSHAKE_BYTES];
+    match read_full(&mut stream, &mut preamble, &shutdown, true) {
+        Ok(ReadOutcome::Full) => {}
+        Ok(ReadOutcome::CleanEof) | Ok(ReadOutcome::Shutdown) => return,
+        Err(short) => {
+            report(
+                short.filled as u64,
+                &format!(
+                    "connection died {} bytes into the {HANDSHAKE_BYTES}-byte handshake: {}",
+                    short.filled, short.error
+                ),
+            );
+            return;
+        }
+    }
+    if let Err(e) = decode_handshake(&preamble) {
+        report(0, &format!("handshake rejected: {e}"));
+        return;
+    }
+
+    // bytes consumed from this connection's stream so far
+    let mut offset = HANDSHAKE_BYTES as u64;
     loop {
+        let frame_start = offset;
         let mut len_bytes = [0u8; 4];
         match read_full(&mut stream, &mut len_bytes, &shutdown, true) {
-            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::Full) => offset += 4,
             Ok(ReadOutcome::CleanEof) | Ok(ReadOutcome::Shutdown) => return,
-            Err(e) => {
-                report_read_error(&shutdown, &e);
+            Err(short) => {
+                // a partial length prefix is already a torn frame
+                stats.record_corrupt(short.filled as u64);
+                report(
+                    frame_start + short.filled as u64,
+                    &format!(
+                        "torn frame: {} of 4 length-prefix bytes, then {}",
+                        short.filled, short.error
+                    ),
+                );
                 return;
             }
         }
         let len = u32::from_be_bytes(len_bytes) as usize;
-        if len > MAX_FRAME_BYTES {
-            report_read_error(
-                &shutdown,
-                &io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("frame length {len} exceeds cap"),
-                ),
+        if len > max_frame {
+            stats.record_corrupt(4);
+            report(
+                frame_start,
+                &format!("hostile frame length {len} exceeds the {max_frame}-byte cap"),
             );
             return;
         }
         let mut body = vec![0u8; len];
         match read_full(&mut stream, &mut body, &shutdown, false) {
-            Ok(ReadOutcome::Full) => {}
+            Ok(ReadOutcome::Full) => offset += len as u64,
             // lint:allow(unwrap-in-prod): read_full(eof_ok = false) maps a
             // mid-frame EOF to an error, so CleanEof cannot reach this arm
             Ok(ReadOutcome::CleanEof) => unreachable!("clean EOF not allowed mid-frame"),
             Ok(ReadOutcome::Shutdown) => return,
-            Err(e) => {
-                report_read_error(&shutdown, &e);
+            Err(short) => {
+                stats.record_corrupt(4 + short.filled as u64);
+                report(
+                    frame_start + 4 + short.filled as u64,
+                    &format!(
+                        "torn frame: {} of {len} body bytes, then {}",
+                        short.filled, short.error
+                    ),
+                );
                 return;
             }
         }
         match decode_after_len(&body) {
             Ok(msg) => {
-                if inbox.send(msg).is_err() {
+                if inbox.send(InboxEvent::Msg(msg)).is_err() {
                     return; // endpoint gone
                 }
             }
             Err(e) => {
-                report_read_error(
-                    &shutdown,
-                    &io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
-                );
+                // CRC mismatch or structural damage: the whole frame
+                // (prefix included) is lost, and a stream that produced
+                // it cannot be trusted to still be frame-aligned — tear
+                // the connection down and let the writer side redial
+                stats.record_corrupt(4 + len as u64);
+                report(frame_start, &format!("frame rejected: {e}"));
                 return;
             }
         }
-    }
-}
-
-fn report_read_error(shutdown: &AtomicBool, e: &io::Error) {
-    // Errors during teardown are expected (peers racing to close).
-    if !shutdown.load(Ordering::SeqCst) {
-        eprintln!("selsync-net: connection error: {e}");
     }
 }
 
@@ -590,7 +781,10 @@ fn write_loop(
 }
 
 /// Redial a broken established link with capped exponential backoff
-/// until `budget` elapses or shutdown is requested.
+/// until `budget` elapses or shutdown is requested. Every fresh
+/// connection re-runs the protocol handshake: a version mismatch is
+/// permanent (the peer restarted under a different build), so it ends
+/// the redial early rather than burning the whole budget.
 fn reconnect(
     addr: &str,
     write_timeout: Duration,
@@ -601,10 +795,32 @@ fn reconnect(
     let mut backoff = Duration::from_millis(20);
     while !shutdown.load(Ordering::SeqCst) {
         match TcpStream::connect(addr) {
-            Ok(s) => {
+            Ok(mut s) => {
                 let _ = s.set_nodelay(true);
                 let _ = s.set_write_timeout(Some(write_timeout));
-                return Some(s);
+                match shake_hands_as_dialer(&mut s, write_timeout) {
+                    Ok(()) => return Some(s),
+                    Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                        if !shutdown.load(Ordering::SeqCst) {
+                            eprintln!("selsync-net: reconnect to {addr}: handshake rejected: {e}");
+                        }
+                        return None;
+                    }
+                    // transient (peer still restarting): retry within
+                    // the budget like any other failed dial
+                    Err(e) => {
+                        if Instant::now() + backoff >= deadline {
+                            if !shutdown.load(Ordering::SeqCst) {
+                                eprintln!(
+                                    "selsync-net: reconnect to {addr} failed after {budget:?}: {e}"
+                                );
+                            }
+                            return None;
+                        }
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(500));
+                    }
+                }
             }
             Err(e) => {
                 if Instant::now() + backoff >= deadline {
@@ -782,6 +998,15 @@ mod tests {
         b.close();
     }
 
+    /// Answer the SelSync preamble on a raw test-controlled socket, the
+    /// way a real acceptor's reader thread would.
+    fn raw_handshake(conn: &mut TcpStream) {
+        let mut preamble = [0u8; HANDSHAKE_BYTES];
+        conn.read_exact(&mut preamble).unwrap();
+        decode_handshake(&preamble).unwrap();
+        conn.write_all(&encode_handshake()).unwrap();
+    }
+
     /// Read one wire frame (length prefix + body) off a raw socket.
     fn read_raw_frame(stream: &mut TcpStream) -> io::Result<Msg> {
         let mut len_bytes = [0u8; 4];
@@ -806,7 +1031,11 @@ mod tests {
         ];
         let mut config = TcpFabricConfig::new(0, peers);
         config.reconnect_timeout = Duration::from_secs(10);
-        let accept_first = thread::spawn(move || raw.accept().map(|(s, _)| (s, raw)));
+        let accept_first = thread::spawn(move || {
+            let (mut s, _) = raw.accept()?;
+            raw_handshake(&mut s);
+            Ok::<_, io::Error>((s, raw))
+        });
         let mut ep = TcpEndpoint::connect_with_listener(config, l0).unwrap();
         let (mut conn1, raw) = accept_first.join().unwrap().unwrap();
 
@@ -821,7 +1050,10 @@ mod tests {
         // redials; the listener is still bound, so the redial lands here
         let (tx, rx) = std::sync::mpsc::channel();
         let accept_second = thread::spawn(move || {
-            let conn = raw.accept().map(|(s, _)| s);
+            let conn = raw.accept().map(|(s, _)| s).map(|mut s| {
+                raw_handshake(&mut s);
+                s
+            });
             tx.send(()).ok();
             conn
         });
@@ -846,6 +1078,49 @@ mod tests {
             assert!(Instant::now() < deadline, "tag 999 never arrived");
         }
         ep.close();
+    }
+
+    /// Mixed protocol versions must fail the connect, fast and typed:
+    /// the dialer gets an `InvalidData` error wrapping
+    /// `FrameError::VersionMismatch`, not a hang or a garbled fabric.
+    #[test]
+    fn mixed_versions_fail_the_connect_handshake() {
+        use crate::codec::{FrameError, PROTOCOL_VERSION};
+        let raw = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            raw.local_addr().unwrap().to_string(),
+        ];
+        let mut config = TcpFabricConfig::new(0, peers);
+        config.connect_timeout = Duration::from_secs(5);
+        let future_peer = thread::spawn(move || {
+            let (mut s, _) = raw.accept().unwrap();
+            let mut preamble = [0u8; HANDSHAKE_BYTES];
+            s.read_exact(&mut preamble).unwrap();
+            // echo a preamble from one protocol version ahead
+            let mut echo = encode_handshake();
+            echo[4..6].copy_from_slice(&(PROTOCOL_VERSION + 1).to_be_bytes());
+            s.write_all(&echo).unwrap();
+            s
+        });
+        let err = match TcpEndpoint::connect_with_listener(config, l0) {
+            Err(e) => e,
+            Ok(_) => panic!("connect accepted a mismatched protocol version"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let inner = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<FrameError>())
+            .expect("typed FrameError inside the io::Error");
+        assert_eq!(
+            *inner,
+            FrameError::VersionMismatch {
+                ours: PROTOCOL_VERSION,
+                theirs: PROTOCOL_VERSION + 1,
+            }
+        );
+        drop(future_peer.join().unwrap());
     }
 
     #[test]

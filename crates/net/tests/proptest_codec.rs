@@ -1,10 +1,15 @@
 //! Property test: every `Payload` variant survives an encode→decode
-//! round trip bit-exactly, and the real frame length always equals the
-//! analytic `Payload::wire_bytes` used by `CommStats`.
+//! round trip bit-exactly, the real frame length always equals the
+//! analytic `Payload::wire_bytes` used by `CommStats`, the CRC trailer
+//! catches arbitrary single-byte damage, and the connection handshake
+//! accepts exactly its own protocol version.
 
 use proptest::prelude::*;
 use selsync_comm::{Payload, ShardSpec};
-use selsync_net::{decode_frame, encode_frame};
+use selsync_net::{
+    crc32, decode_frame, decode_handshake, encode_frame, encode_handshake, FrameError, CRC_BYTES,
+    HANDSHAKE_BYTES, PROTOCOL_VERSION,
+};
 
 /// Bit patterns `PartialEq` would mishandle (NaN) or conflate (-0.0);
 /// spliced into generated vectors so the bit-exactness claim covers
@@ -176,6 +181,65 @@ proptest! {
         match roundtrip(0, tag, &Payload::ShardPull(v.clone())) {
             Payload::ShardPull(out) => prop_assert_eq!(bits(&out), bits(&v)),
             other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    /// Every encoded frame closes with a CRC-32 trailer over the bytes
+    /// after the length prefix, and XOR-ing any nonzero pattern into
+    /// any covered byte is rejected as `FrameError::Crc`.
+    #[test]
+    fn crc_trailer_covers_every_byte(
+        v in prop::collection::vec(-1e30f32..1e30, 0..64usize),
+        from in 0usize..256,
+        tag in 0u64..u64::MAX,
+        pos_seed in 0usize..usize::MAX,
+        pattern_seed in 0u8..255,
+    ) {
+        let pattern = pattern_seed.wrapping_add(1); // any nonzero XOR mask
+        let frame = encode_frame(from, tag, &Payload::Params(v)).to_vec();
+        let covered_end = frame.len() - CRC_BYTES;
+        let stamped =
+            u32::from_be_bytes(frame[covered_end..].try_into().expect("4-byte trailer"));
+        prop_assert_eq!(stamped, crc32(&frame[4..covered_end]));
+
+        let pos = 4 + pos_seed % (covered_end - 4);
+        let mut bad = frame.clone();
+        bad[pos] ^= pattern;
+        match decode_frame(&bad) {
+            Err(FrameError::Crc { expected, computed }) => {
+                prop_assert_eq!(expected, stamped);
+                prop_assert_ne!(computed, stamped);
+            }
+            other => prop_assert!(false, "damage at {} gave {:?}", pos, other),
+        }
+    }
+
+    /// The 8-byte preamble round-trips, accepts exactly our version,
+    /// and rejects every other version as a typed mismatch.
+    #[test]
+    fn handshake_roundtrip_and_version_gate(
+        version in 0u16..u16::MAX,
+        features in 0u16..u16::MAX,
+    ) {
+        let own = encode_handshake();
+        let hs = decode_handshake(&own).expect("own preamble must decode");
+        prop_assert_eq!(hs.version, PROTOCOL_VERSION);
+
+        let mut doctored = [0u8; HANDSHAKE_BYTES];
+        doctored[..4].copy_from_slice(&own[..4]);
+        doctored[4..6].copy_from_slice(&version.to_be_bytes());
+        doctored[6..8].copy_from_slice(&features.to_be_bytes());
+        match decode_handshake(&doctored) {
+            Ok(hs) => {
+                prop_assert_eq!(version, PROTOCOL_VERSION);
+                prop_assert_eq!(hs.features, features);
+            }
+            Err(FrameError::VersionMismatch { ours, theirs }) => {
+                prop_assert_eq!(ours, PROTOCOL_VERSION);
+                prop_assert_eq!(theirs, version);
+                prop_assert_ne!(version, PROTOCOL_VERSION);
+            }
+            Err(other) => prop_assert!(false, "unexpected handshake error {:?}", other),
         }
     }
 
