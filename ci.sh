@@ -35,7 +35,7 @@ cargo test -q -p selsync-serve --test steady_state
 # processes on loopback TCP with liveness timeouts; under
 # workspace-wide parallel load they miss heartbeat deadlines and flake.
 # Run each binary alone, single-threaded.
-for suite in dist_processes chaos_processes ps_failover_processes shard_processes; do
+for suite in dist_processes chaos_processes ps_failover_processes shard_processes overlap_processes; do
   echo "==> cargo test -q (${suite}, isolated)"
   cargo test -q -p selsync-bench --test "${suite}" -- --test-threads=1
 done
@@ -61,8 +61,11 @@ echo "==> selsync_soak --quick (randomized fault sweep)"
 
 # Regenerates BENCH_kernels.json and exits nonzero if the file is
 # malformed or any optimized kernel's checksum diverges from the naive
-# reference kernels beyond float-reassociation tolerance.
-echo "==> kernel bench (quick; checksum + JSON validation)"
+# reference kernels beyond float-reassociation tolerance. The overlap
+# smoke rides along: the `overlap_steps_per_sec` rows re-run the real
+# bucketed vs monolithic BSP cluster and fail the run unless the two
+# are bit-identical (DESIGN.md §12).
+echo "==> kernel bench (quick; checksum + overlap bit-identity + JSON validation)"
 ./target/release/kernel_bench --quick > /dev/null
 
 # Merges the sharded-PS sweep rows into BENCH_kernels.json (must run

@@ -12,6 +12,10 @@
 //! a kernel that got fast by getting wrong. Training rows carry no
 //! checksum comparison — reference and optimized kernels reassociate
 //! float sums differently, so their trajectories legitimately diverge.
+//! The `overlap_steps_per_sec` rows are stricter: the bucketed pipeline
+//! reduces in a fixed order by construction (DESIGN.md §12), so the
+//! `overlap=on` row must match `overlap=off` **bit for bit** — any
+//! divergence fails the run.
 //!
 //! Flags:
 //!
@@ -193,6 +197,73 @@ impl Bench {
         }
     }
 
+    /// Bucketed compute/comm overlap rows (DESIGN.md §12): run the
+    /// real BSP+GA cluster monolithic (`overlap=off`) and bucketed
+    /// (`overlap=on`) — the two runs must produce bit-identical final
+    /// parameters, checked here exactly, not within tolerance — and
+    /// report the paper-scale modeled steps/sec at the 5 Gbps point:
+    /// serial `1/(Tc+Ts)` vs pipelined `1/max(Tc, Ts)`. The `ms_per_call`
+    /// column carries the real local wall time per step.
+    fn overlap(&mut self, kind: ModelKind, scale: &Scale) {
+        let workload = Workload::for_kind(kind, scale.data, 42);
+        let base = paper_config(
+            kind,
+            Strategy::Bsp {
+                aggregation: Aggregation::Gradient,
+            },
+            scale,
+        );
+        let p = TimingParams::paper(kind, scale.workers);
+        let serial_step = p.compute_time_s + p.net.ps_sync_time(p.model_bytes, p.n_workers);
+        let pipelined_step =
+            p.net
+                .pipelined_sync_time(p.model_bytes, p.n_workers, p.compute_time_s);
+        set_reference_mode(self.reference_only);
+        let mut baseline_bits: Option<Vec<u32>> = None;
+        for overlap_on in [false, true] {
+            let mut config = base.clone();
+            config.overlap_buckets = overlap_on.then_some(4096);
+            let start = Instant::now();
+            let result = run_distributed(&config, &workload);
+            let secs = start.elapsed().as_secs_f64();
+            let bits: Vec<u32> = result.final_params.iter().map(|v| v.to_bits()).collect();
+            let checksum_ok = if overlap_on {
+                Some(baseline_bits.as_deref() == Some(&bits[..]))
+            } else {
+                baseline_bits = Some(bits);
+                None
+            };
+            if checksum_ok == Some(false) {
+                self.failures.push(format!(
+                    "overlap_steps_per_sec {}: bucketed run diverged bit-wise from monolithic",
+                    kind.paper_name()
+                ));
+            }
+            self.push(Row {
+                bench: "overlap_steps_per_sec".to_string(),
+                shape: format!("{}:w{}b8", kind.paper_name(), scale.workers),
+                impl_name: if overlap_on {
+                    "overlap=on"
+                } else {
+                    "overlap=off"
+                }
+                .to_string(),
+                ms_per_call: secs * 1e3 / scale.steps as f64,
+                gflops: None,
+                steps_per_sec: Some(
+                    1.0 / if overlap_on {
+                        pipelined_step
+                    } else {
+                        serial_step
+                    },
+                ),
+                checksum: result.final_params.iter().map(|&x| x as f64).sum(),
+                checksum_ok,
+            });
+        }
+        set_reference_mode(false);
+    }
+
     fn push(&mut self, row: Row) {
         println!(
             "{:<20} {:<26} {:<10} {:>10.3} ms {}",
@@ -352,6 +423,9 @@ fn main() {
     };
     for &kind in kinds {
         b.train(kind, &train_scale);
+    }
+    for &kind in kinds {
+        b.overlap(kind, &train_scale);
     }
 
     let report = Report {

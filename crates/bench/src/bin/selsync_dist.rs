@@ -36,7 +36,7 @@ use selsync_core::shard::{
 };
 use selsync_core::trainer::{run_server_rank, run_worker_rank, WorkerOutput};
 use selsync_core::Workload;
-use selsync_net::{TcpEndpoint, TcpFabricConfig};
+use selsync_net::{PollTcpEndpoint, TcpEndpoint, TcpFabricConfig};
 use selsync_shard::{Role, ShardLayout};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -59,6 +59,10 @@ DIST KEYS:
   --connect-timeout  seconds to keep redialing peers    (default 60)
   --recv-timeout     watchdog seconds for blocking receives; a silent
                      fabric fails instead of hanging    (default 300)
+  --fabric           tcp | poll — thread-per-connection blocking fabric
+                     or the single-thread event-driven poll loop; the
+                     wire protocol is identical, so ranks may mix
+                     fabrics freely                     (default tcp)
 
 FAULT TOLERANCE:
   --elastic            run the elastic membership protocol: the ps
@@ -118,6 +122,7 @@ struct DistArgs {
     peers: Vec<String>,
     connect_timeout: Duration,
     recv_timeout: Duration,
+    poll_fabric: bool,
     elastic: bool,
     round_timeout: Duration,
     max_missed: u32,
@@ -137,6 +142,7 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
     let mut peers: Option<Vec<String>> = None;
     let mut connect_timeout = Duration::from_secs(60);
     let mut recv_timeout = Duration::from_secs(300);
+    let mut poll_fabric = false;
     let mut elastic = false;
     let mut round_timeout = Duration::from_millis(1000);
     let mut max_missed = 3u32;
@@ -189,6 +195,13 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
                         .map_err(|_| "--recv-timeout must be seconds".to_string())?,
                 )
             }
+            "--fabric" => {
+                poll_fabric = match dist_value()?.as_str() {
+                    "tcp" => false,
+                    "poll" => true,
+                    other => return Err(format!("--fabric takes tcp|poll, got '{other}'")),
+                }
+            }
             "--round-timeout-ms" => {
                 round_timeout = Duration::from_millis(
                     dist_value()?
@@ -235,6 +248,7 @@ fn split_dist_args(args: &[String]) -> Result<DistArgs, String> {
         peers: peers.ok_or("--peers is required")?,
         connect_timeout,
         recv_timeout,
+        poll_fabric,
         elastic,
         round_timeout,
         max_missed,
@@ -793,24 +807,47 @@ fn main() {
         run.config.strategy.label(),
         dist.peers[dist.rank]
     );
-    let mut ep = match TcpEndpoint::connect(fabric) {
-        Ok(ep) => ep,
-        Err(e) => {
-            eprintln!("[rank {}] fabric setup failed: {e}", dist.rank);
-            std::process::exit(1);
+    let code = if dist.poll_fabric {
+        match PollTcpEndpoint::connect(fabric) {
+            Ok(ep) => drive_endpoint(ep, &dist, &run, &workload, plan, shards),
+            Err(e) => {
+                eprintln!("[rank {}] fabric setup failed: {e}", dist.rank);
+                1
+            }
+        }
+    } else {
+        match TcpEndpoint::connect(fabric) {
+            Ok(ep) => drive_endpoint(ep, &dist, &run, &workload, plan, shards),
+            Err(e) => {
+                eprintln!("[rank {}] fabric setup failed: {e}", dist.rank);
+                1
+            }
         }
     };
+    std::process::exit(code);
+}
 
+/// Run this rank over an established fabric endpoint (blocking or
+/// poll — the training code is fabric-agnostic) and return the exit
+/// code, with the fabric cleanly flushed before `main` exits.
+fn drive_endpoint<T: Transport>(
+    mut ep: T,
+    dist: &DistArgs,
+    run: &selsync_bench::cli::CliRun,
+    workload: &Workload,
+    plan: Option<FaultPlan>,
+    shards: Option<ShardLayout>,
+) -> i32 {
     let job = RankJob {
-        dist: &dist,
-        run: &run,
-        workload: &workload,
+        dist,
+        run,
+        workload,
         fabric_stats: Arc::clone(ep.stats()),
         crash_at: plan.as_ref().and_then(|p| p.crash_step(dist.rank)),
         server_crash: plan.as_ref().and_then(|p| p.server_crash.clone()),
         shards,
     };
-    let code = match plan {
+    match plan {
         Some(plan) => {
             let mut cep = ChaosTransport::new(ep, plan);
             let code = run_one_rank(&mut cep, &job);
@@ -835,7 +872,7 @@ fn main() {
                 cs.corrupt_bytes()
             );
             println!("fault_fingerprint=0x{:016x}", cep.log_fingerprint());
-            // `std::process::exit` below skips destructors; flush the
+            // `std::process::exit` in main skips destructors; flush the
             // fabric here or the last queued frames (a worker's shutdown
             // round, the PS's final replies) race the process teardown
             // and can be silently lost, stranding peers until their
@@ -845,9 +882,8 @@ fn main() {
         }
         None => {
             let code = run_one_rank(&mut ep, &job);
-            ep.close(); // same reason as the chaos arm's drop
+            drop(ep); // same reason as the chaos arm's drop
             code
         }
-    };
-    std::process::exit(code);
+    }
 }

@@ -1,8 +1,9 @@
 //! `selsync_soak` — randomized fault-schedule sweeper with shrinking.
 //!
-//! Sweeps N seeded random [`FaultPlan`]s across three topologies
-//! (monolithic elastic PS, sharded PS group with K = 2, serve
-//! router/replica group), asserting the soak invariants on every run:
+//! Sweeps N seeded random [`FaultPlan`]s across four topologies
+//! (monolithic elastic PS, the same cluster with bucketed parameter
+//! pushes, sharded PS group with K = 2, serve router/replica group),
+//! asserting the soak invariants on every run:
 //! deadline, no panic, CommStats conservation, classified recovery,
 //! no unexpected eviction, and bit-identity for benign schedules. On a
 //! violation the failing plan is greedily shrunk to a 1-minimal
@@ -117,6 +118,8 @@ fn run_one(
             Ok(run) => {
                 let baseline = match topo {
                     Topology::Sharded(_) => baselines.sharded,
+                    // bucketed is monolithic in a different wire format;
+                    // benign schedules must land on the same fingerprint
                     _ => baselines.monolithic,
                 };
                 let v = verify_training(plan, &run, baseline, tk);
@@ -204,11 +207,16 @@ fn main() {
         "{:<5} {:<11} {:<7} {:<38} {:<6} stats",
         "idx", "topology", "class", "plan", "result"
     );
-    let topos = [Topology::Monolithic, Topology::Sharded(2), Topology::Serve];
+    let topos = [
+        Topology::Monolithic,
+        Topology::Bucketed,
+        Topology::Sharded(2),
+        Topology::Serve,
+    ];
     let t0 = Instant::now();
     let mut violations = 0u64;
     for i in 0..flags.schedules {
-        let topo = topos[(i % 3) as usize];
+        let topo = topos[(i % topos.len() as u64) as usize];
         // serve plans target replica ranks; training plans worker ranks
         let ranks = match topo {
             Topology::Serve => sk.replicas,

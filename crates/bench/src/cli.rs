@@ -49,6 +49,10 @@ KEYS:
   --compression  topk:<ratio> | sign | powersgd:<rank>
   --seed         RNG seed                                (default 42)
   --grad-clip    global gradient-norm clip
+  --overlap-buckets  pipelined push bucket size in f32 values
+                     (bsp+ga over ps only; see DESIGN.md §12)
+  --wire-compression on | off   ship compressed payloads in compact
+                     wire form (requires --compression; default off)
   --save-params  write the final global parameters to this file
   --load-params  warm-start replicas from a saved checkpoint
   --help         print this text
@@ -79,6 +83,8 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, String> {
     let mut save_params = None;
     let mut load_params = None;
     let mut grad_clip = None;
+    let mut overlap_buckets = None;
+    let mut wire_compression = false;
 
     let mut it = args.iter();
     while let Some(key) = it.next() {
@@ -135,6 +141,14 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, String> {
             "--compression" => compression = Some(parse_compression(value)?),
             "--seed" => seed = num(key, value)?,
             "--grad-clip" => grad_clip = Some(num(key, value)?),
+            "--overlap-buckets" => overlap_buckets = Some(num(key, value)?),
+            "--wire-compression" => {
+                wire_compression = match value.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--wire-compression takes on|off, got '{other}'")),
+                }
+            }
             "--save-params" => save_params = Some(value.clone()),
             "--load-params" => load_params = Some(value.clone()),
             other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
@@ -179,6 +193,8 @@ pub fn parse_args(args: &[String]) -> Result<CliRun, String> {
             backend,
             compression,
             grad_clip,
+            overlap_buckets,
+            wire_compression,
         },
     })
 }
@@ -269,6 +285,21 @@ mod tests {
     fn grad_clip_flag_parses() {
         let r = parse("--grad-clip 1.5").unwrap();
         assert_eq!(r.config.grad_clip, Some(1.5));
+    }
+
+    #[test]
+    fn overlap_and_wire_flags_parse() {
+        let r = parse("--strategy bsp --aggregation ga --overlap-buckets 4096").unwrap();
+        assert_eq!(r.config.overlap_buckets, Some(4096));
+        assert!(!r.config.wire_compression, "off by default");
+        let w = parse("--strategy bsp --aggregation ga --compression sign --wire-compression on")
+            .unwrap();
+        assert!(w.config.wire_compression);
+        let off = parse("--wire-compression off").unwrap();
+        assert!(!off.config.wire_compression);
+        assert!(parse("--wire-compression yes")
+            .unwrap_err()
+            .contains("on|off"));
     }
 
     #[test]

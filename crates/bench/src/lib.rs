@@ -112,6 +112,8 @@ pub fn paper_config(kind: ModelKind, strategy: Strategy, scale: &Scale) -> RunCo
         backend: SyncBackend::ParameterServer,
         compression: None,
         grad_clip: None,
+        overlap_buckets: None,
+        wire_compression: false,
     }
 }
 

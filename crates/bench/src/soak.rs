@@ -2,9 +2,10 @@
 //!
 //! `selsync_soak` sweeps N seeded random [`FaultPlan`]s — drops,
 //! duplicates, delays, stragglers, partitions, worker crashes, and
-//! byte-level corruption/truncation — across three topologies
-//! (monolithic elastic PS, sharded PS group, serve router/replica) and
-//! asserts global invariants on every run:
+//! byte-level corruption/truncation — across four topologies
+//! (monolithic elastic PS, the same cluster with bucketed parameter
+//! pushes, sharded PS group, serve router/replica) and asserts global
+//! invariants on every run:
 //!
 //! 1. **Deadline** — the run terminates within a budget (a watchdog
 //!    thread converts a hang into a violation instead of a wedged CI).
@@ -58,16 +59,26 @@ use std::time::{Duration, Instant};
 pub enum Topology {
     /// Workers `0..W`, one elastic PS on rank `W`.
     Monolithic,
+    /// Same cluster as [`Topology::Monolithic`], but every parameter
+    /// push ships as [`SOAK_BUCKET_VALUES`]-value `Bucket` frames, so
+    /// drops/corruption land mid-assembly and retries resend whole
+    /// bucket sets (DESIGN.md §12).
+    Bucketed,
     /// Sharded PS group: shards `0..K`, workers `K..K+W`.
     Sharded(usize),
     /// Serving tier: replicas `0..R`, router `R`, client `R+1`.
     Serve,
 }
 
+/// Bucket size (in f32 values) used by [`Topology::Bucketed`]: small
+/// enough to split the soak model's flat vector into several frames.
+pub const SOAK_BUCKET_VALUES: usize = 1000;
+
 impl Topology {
     pub fn name(&self) -> &'static str {
         match self {
             Topology::Monolithic => "monolithic",
+            Topology::Bucketed => "bucketed",
             Topology::Sharded(_) => "sharded",
             Topology::Serve => "serve",
         }
@@ -166,7 +177,7 @@ pub fn random_plan(
                 _ => plan.delay_ms_max = 1 + d.below(2),
             }
         }
-        Topology::Monolithic | Topology::Sharded(_) => {
+        Topology::Monolithic | Topology::Bucketed | Topology::Sharded(_) => {
             let wbase = match topo {
                 Topology::Sharded(k) => k,
                 _ => 0,
@@ -507,6 +518,13 @@ pub fn run_training(
         thread::spawn(move || {
             let res = match topo {
                 Topology::Monolithic => drive_monolithic(&plan, &knobs),
+                Topology::Bucketed => {
+                    // identical cluster, bucketed wire format: the
+                    // elastic param push becomes several Bucket frames
+                    let mut knobs = knobs;
+                    knobs.cfg.overlap_buckets = Some(SOAK_BUCKET_VALUES);
+                    drive_monolithic(&plan, &knobs)
+                }
                 Topology::Sharded(k) => drive_sharded(k, &plan, &knobs),
                 Topology::Serve => unreachable!("serve schedules use run_serve"),
             };
@@ -1026,10 +1044,15 @@ mod tests {
 
     #[test]
     fn plan_generator_is_pure_and_covers_all_classes() {
-        let topos = [Topology::Monolithic, Topology::Sharded(2), Topology::Serve];
+        let topos = [
+            Topology::Monolithic,
+            Topology::Bucketed,
+            Topology::Sharded(2),
+            Topology::Serve,
+        ];
         let mut seen = std::collections::HashSet::new();
-        for i in 0..120u64 {
-            let topo = topos[(i % 3) as usize];
+        for i in 0..160u64 {
+            let topo = topos[(i % 4) as usize];
             // serve plans are drawn over the replica count (2), not the
             // training worker count — rank 2 would be the router
             let ranks = if topo == Topology::Serve { 2 } else { 3 };
@@ -1174,5 +1197,30 @@ mod tests {
         assert_eq!(a.evictions, 0);
         assert_eq!(a.failed, 0);
         assert_eq!(a.full_run, knobs.workers);
+    }
+
+    /// The bucketed topology is the monolithic one in a different wire
+    /// format: fault-free it must land on the *same* fingerprint, and a
+    /// lossy schedule (drops + frame corruption, landing mid-assembly)
+    /// must still satisfy every sweep invariant.
+    #[test]
+    fn bucketed_topology_matches_monolithic_and_survives_loss() {
+        let knobs = TrainingKnobs::quick(3);
+        let quiet = FaultPlan::quiet(1);
+        let bucketed = run_training(Topology::Bucketed, &quiet, &knobs).expect("bucketed baseline");
+        let mono = run_training(Topology::Monolithic, &quiet, &knobs).expect("monolithic baseline");
+        assert_eq!(
+            bucketed.fingerprint, mono.fingerprint,
+            "bucketing changes the wire format, not the outcome"
+        );
+        assert!(verify_training(&quiet, &bucketed, mono.fingerprint, &knobs).is_none());
+
+        let mut lossy = FaultPlan::flaky_network(7, 0.05, 0.0, 0);
+        lossy.corrupt_prob = 0.03;
+        let run = run_training(Topology::Bucketed, &lossy, &knobs).expect("lossy bucketed run");
+        assert!(
+            verify_training(&lossy, &run, bucketed.fingerprint, &knobs).is_none(),
+            "lossy bucketed run must terminate, conserve, and resolve every worker"
+        );
     }
 }

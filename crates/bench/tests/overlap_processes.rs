@@ -1,0 +1,158 @@
+//! End-to-end acceptance for the pipelined bucketed push and the
+//! event-driven poll fabric (DESIGN.md §12): spawn real `selsync_dist`
+//! OS processes (2 workers + 1 PS on localhost TCP) and check that the
+//! same-seed run is **bit-identical** — fingerprint-for-fingerprint —
+//! across every combination of push layout (monolithic vs bucketed)
+//! and fabric (blocking thread-per-connection vs single-thread poll
+//! loop), including a mixed-fabric cluster. The bucketed pipeline and
+//! the poll loop are allowed to change scheduling, threading and frame
+//! boundaries; they are not allowed to change a single bit of the
+//! result.
+
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+
+const TRAINING_FLAGS: &[&str] = &[
+    "--model",
+    "vgg",
+    "--strategy",
+    "bsp",
+    "--aggregation",
+    "ga",
+    "--steps",
+    "12",
+    "--batch",
+    "8",
+    "--data",
+    "96",
+    "--eval-every",
+    "12",
+    "--seed",
+    "42",
+    "--workers",
+    "2",
+];
+
+/// Reserve `n` distinct loopback ports below the kernel's ephemeral
+/// range (see dist_processes.rs for why port-0 probing is unsafe here).
+fn free_ports(n: usize) -> Vec<String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static PORT_CURSOR: AtomicUsize = AtomicUsize::new(0);
+    let base = 33000 + (std::process::id() as usize % 4000);
+    let mut held = Vec::new();
+    let mut addrs = Vec::new();
+    while addrs.len() < n {
+        let port = base + PORT_CURSOR.fetch_add(1, Ordering::Relaxed) % 5000;
+        if let Ok(l) = TcpListener::bind(("127.0.0.1", port as u16)) {
+            addrs.push(format!("127.0.0.1:{port}"));
+            held.push(l);
+        }
+    }
+    addrs
+}
+
+fn spawn_rank(role: &str, rank: usize, peers: &str, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_selsync_dist"))
+        .args([
+            "--role",
+            role,
+            "--rank",
+            &rank.to_string(),
+            "--peers",
+            peers,
+        ])
+        .args(TRAINING_FLAGS)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn selsync_dist")
+}
+
+fn stdout_field(stdout: &str, key: &str) -> String {
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("missing {key} in output:\n{stdout}"))
+        .to_string()
+}
+
+/// One cluster run's observable identity: the PS's and worker 0's
+/// `params_fingerprint` lines (FNV over the exact f32 bit patterns).
+struct ClusterResult {
+    ps_fingerprint: String,
+    w0_fingerprint: String,
+}
+
+/// Run 2 workers + 1 PS to completion; `per_rank_extra[rank]` lets a
+/// caller give each rank different fabric flags (mixed-fabric interop).
+fn run_cluster(per_rank_extra: [&[&str]; 3]) -> ClusterResult {
+    let peers = free_ports(3).join(",");
+    let ps = spawn_rank("ps", 2, &peers, per_rank_extra[2]);
+    let w0 = spawn_rank("worker", 0, &peers, per_rank_extra[0]);
+    let w1 = spawn_rank("worker", 1, &peers, per_rank_extra[1]);
+    let ps_out = ps.wait_with_output().unwrap();
+    let w0_out = w0.wait_with_output().unwrap();
+    let w1_out = w1.wait_with_output().unwrap();
+    for (name, out) in [
+        ("ps", &ps_out),
+        ("worker 0", &w0_out),
+        ("worker 1", &w1_out),
+    ] {
+        assert!(
+            out.status.success(),
+            "{name} exited nonzero; stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let ps_stdout = String::from_utf8(ps_out.stdout).unwrap();
+    let w0_stdout = String::from_utf8(w0_out.stdout).unwrap();
+    ClusterResult {
+        ps_fingerprint: stdout_field(&ps_stdout, "params_fingerprint"),
+        w0_fingerprint: stdout_field(&w0_stdout, "params_fingerprint"),
+    }
+}
+
+fn assert_same(a: &ClusterResult, b: &ClusterResult, what: &str) {
+    assert_eq!(
+        a.ps_fingerprint, b.ps_fingerprint,
+        "{what}: PS params diverged"
+    );
+    assert_eq!(
+        a.w0_fingerprint, b.w0_fingerprint,
+        "{what}: worker 0 params diverged"
+    );
+}
+
+#[test]
+fn bucketed_and_poll_fabric_runs_are_bit_identical_to_the_baseline() {
+    // the baseline: monolithic pushes over the blocking fabric
+    let baseline = run_cluster([&[], &[], &[]]);
+
+    // bucketed pipelined pushes (1000-value Bucket frames) — the
+    // tentpole bit-identity claim, across real OS processes
+    let bucketed = run_cluster([
+        &["--overlap-buckets", "1000"],
+        &["--overlap-buckets", "1000"],
+        &["--overlap-buckets", "1000"],
+    ]);
+    assert_same(&baseline, &bucketed, "bucketed vs monolithic");
+
+    // the event-driven poll fabric on every rank
+    let polled = run_cluster([
+        &["--fabric", "poll"],
+        &["--fabric", "poll"],
+        &["--fabric", "poll"],
+    ]);
+    assert_same(&baseline, &polled, "poll fabric vs blocking fabric");
+
+    // both at once, on a *mixed* cluster: worker 0 and the PS speak the
+    // poll loop, worker 1 the blocking fabric — same wire protocol, so
+    // same bits
+    let mixed = run_cluster([
+        &["--fabric", "poll", "--overlap-buckets", "500"],
+        &["--overlap-buckets", "500"],
+        &["--fabric", "poll", "--overlap-buckets", "500"],
+    ]);
+    assert_same(&baseline, &mixed, "mixed fabrics + buckets vs baseline");
+}

@@ -1,0 +1,489 @@
+//! DDP-style bucketing of flat `f32` vectors.
+//!
+//! A flat parameter/gradient vector of length `n` splits into
+//! `ceil(n / B)` fixed-size buckets of `B` values (the last one takes
+//! the remainder). Senders ship each bucket as a [`Payload::Bucket`]
+//! frame the moment its values are final, so communication overlaps
+//! whatever work still produces the rest of the vector; receivers feed
+//! the frames — in *any* arrival order — into a [`BucketAssembler`],
+//! which reconstructs the flat vector strictly by bucket index. The
+//! reassembled vector is bit-identical to a monolithic push of the same
+//! values, which is what keeps the bucketed and monolithic sync paths
+//! interchangeable (DESIGN.md §12).
+//!
+//! The assembler is resend-tolerant by design: a duplicate bucket
+//! overwrites its slot instead of erroring, so elastic retries (which
+//! re-ship the whole set) and chaos-duplicated frames converge to the
+//! same completed vector. Structural lies — an index past the declared
+//! count, or a frame disagreeing about the count — are
+//! [`BucketError`]s, which callers surface as
+//! [`TransportError::Protocol`](crate::TransportError).
+
+use crate::densify::densify_payload;
+use crate::error::TransportError;
+use crate::fabric::{Msg, Payload};
+use crate::transport::Transport;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Number of buckets a `len`-value vector splits into at bucket size
+/// `bucket_size` (at least 1: an empty vector still ships one empty
+/// bucket so the receiver observes a complete set).
+pub fn n_buckets(len: usize, bucket_size: usize) -> usize {
+    assert!(bucket_size > 0, "bucket size must be positive");
+    len.div_ceil(bucket_size).max(1)
+}
+
+/// Flat index range bucket `i` covers in a `len`-value vector.
+pub fn bucket_range(len: usize, bucket_size: usize, i: usize) -> Range<usize> {
+    let n = n_buckets(len, bucket_size);
+    assert!(i < n, "bucket {i} out of range ({n} buckets)");
+    let start = i * bucket_size;
+    start.min(len)..((i + 1) * bucket_size).min(len)
+}
+
+/// Send buckets `lo..hi` of `values` (index order) to rank `to`.
+///
+/// # Errors
+/// Propagates the first transport failure; earlier buckets in the range
+/// may already be on the wire.
+pub fn send_bucket_range<T: Transport>(
+    t: &mut T,
+    to: usize,
+    tag: u64,
+    values: &[f32],
+    bucket_size: usize,
+    range: Range<usize>,
+) -> Result<(), TransportError> {
+    let total = n_buckets(values.len(), bucket_size) as u32;
+    for i in range {
+        let r = bucket_range(values.len(), bucket_size, i);
+        t.send(
+            to,
+            tag,
+            Payload::Bucket {
+                bucket: i as u32,
+                n_buckets: total,
+                values: values[r].to_vec(),
+            },
+        )?;
+    }
+    Ok(())
+}
+
+/// Send every bucket of `values` to rank `to`, lowest index first —
+/// the bucketed equivalent of one monolithic push.
+///
+/// # Errors
+/// Propagates the first transport failure.
+pub fn send_all_buckets<T: Transport>(
+    t: &mut T,
+    to: usize,
+    tag: u64,
+    values: &[f32],
+    bucket_size: usize,
+) -> Result<(), TransportError> {
+    let total = n_buckets(values.len(), bucket_size);
+    send_bucket_range(t, to, tag, values, bucket_size, 0..total)
+}
+
+/// The [`Payload::Bucket`] frames of one complete push of `values`,
+/// lowest index first — for callers that fan frames out themselves
+/// (e.g. the sharded client's per-shard retry loop) instead of sending
+/// through [`send_all_buckets`].
+pub fn bucket_payloads(values: &[f32], bucket_size: usize) -> Vec<Payload> {
+    let total = n_buckets(values.len(), bucket_size);
+    (0..total)
+        .map(|i| Payload::Bucket {
+            bucket: i as u32,
+            n_buckets: total as u32,
+            values: values[bucket_range(values.len(), bucket_size, i)].to_vec(),
+        })
+        .collect()
+}
+
+/// Why a bucket frame could not be absorbed: the sender is lying about
+/// the set's structure (never a legal fault-recovery artifact).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BucketError {
+    /// A frame declared a zero-bucket set.
+    ZeroBuckets,
+    /// A frame disagreed with the set's established bucket count.
+    CountMismatch {
+        /// Count the first frame of the set declared.
+        expected: u32,
+        /// Count this frame declared.
+        got: u32,
+    },
+    /// A frame's index is past the declared count.
+    IndexOutOfRange {
+        /// The offending index.
+        bucket: u32,
+        /// The declared count.
+        n_buckets: u32,
+    },
+}
+
+impl std::fmt::Display for BucketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BucketError::ZeroBuckets => write!(f, "bucket frame declared a zero-bucket set"),
+            BucketError::CountMismatch { expected, got } => {
+                write!(f, "bucket count changed mid-set: {expected} then {got}")
+            }
+            BucketError::IndexOutOfRange { bucket, n_buckets } => {
+                write!(
+                    f,
+                    "bucket index {bucket} out of range ({n_buckets} buckets)"
+                )
+            }
+        }
+    }
+}
+
+impl From<BucketError> for TransportError {
+    fn from(e: BucketError) -> TransportError {
+        TransportError::Protocol(e.to_string())
+    }
+}
+
+/// Reassembles one sender's [`Payload::Bucket`] stream back into the
+/// flat vector, strictly by bucket index. Arrival order is irrelevant;
+/// duplicates overwrite (resend tolerance). One assembler per
+/// (sender, vector) stream; [`BucketAssembler::absorb`] returns the
+/// completed vector and resets the assembler for the next set.
+#[derive(Debug, Default)]
+pub struct BucketAssembler {
+    chunks: Vec<Option<Vec<f32>>>,
+    filled: usize,
+}
+
+impl BucketAssembler {
+    /// A fresh, empty assembler.
+    pub fn new() -> BucketAssembler {
+        BucketAssembler::default()
+    }
+
+    /// Is any bucket of the current set outstanding or absorbed?
+    pub fn in_progress(&self) -> bool {
+        self.filled > 0
+    }
+
+    /// Drop any partially-assembled set (e.g. on round change).
+    pub fn reset(&mut self) {
+        self.chunks.clear();
+        self.filled = 0;
+    }
+
+    /// Absorb one bucket frame. Returns the reassembled flat vector —
+    /// buckets concatenated in index order — once every bucket of the
+    /// set has arrived, resetting the assembler for the next set.
+    ///
+    /// # Errors
+    /// [`BucketError`] when the frame structurally contradicts the set
+    /// (zero count, count mismatch, index out of range). The assembler
+    /// state is unchanged on error.
+    pub fn absorb(
+        &mut self,
+        bucket: u32,
+        n_buckets: u32,
+        values: Vec<f32>,
+    ) -> Result<Option<Vec<f32>>, BucketError> {
+        if n_buckets == 0 {
+            return Err(BucketError::ZeroBuckets);
+        }
+        if self.filled == 0 && self.chunks.len() != n_buckets as usize {
+            self.chunks.clear();
+            self.chunks.resize_with(n_buckets as usize, || None);
+        }
+        if self.chunks.len() != n_buckets as usize {
+            return Err(BucketError::CountMismatch {
+                expected: self.chunks.len() as u32,
+                got: n_buckets,
+            });
+        }
+        if bucket >= n_buckets {
+            return Err(BucketError::IndexOutOfRange { bucket, n_buckets });
+        }
+        let slot = &mut self.chunks[bucket as usize];
+        if slot.is_none() {
+            self.filled += 1;
+        }
+        *slot = Some(values);
+        if self.filled < self.chunks.len() {
+            return Ok(None);
+        }
+        let total: usize = self.chunks.iter().flatten().map(Vec::len).sum();
+        let mut flat = Vec::with_capacity(total);
+        for c in &mut self.chunks {
+            // lint:allow(unwrap-in-prod): filled == chunks.len() means
+            // every slot is Some
+            flat.extend_from_slice(c.as_ref().unwrap());
+        }
+        self.reset();
+        Ok(Some(flat))
+    }
+}
+
+/// Per-sender intake that normalizes round contributions at arrival:
+/// bucket streams reassemble (any arrival order, duplicates overwrite)
+/// and compressed payloads densify, so the round logic downstream only
+/// ever sees the payload kinds it handled before pipelining existed —
+/// which is what keeps the bucketed path bit-identical to the
+/// monolithic one by construction.
+#[derive(Debug, Default)]
+pub struct BucketIntake {
+    as_params: bool,
+    asm: BTreeMap<usize, BucketAssembler>,
+}
+
+impl BucketIntake {
+    /// Intake surfacing completed sets as [`Payload::Grads`].
+    pub fn grads() -> BucketIntake {
+        BucketIntake::default()
+    }
+
+    /// Intake surfacing completed sets as [`Payload::Params`].
+    pub fn params() -> BucketIntake {
+        BucketIntake {
+            as_params: true,
+            asm: BTreeMap::new(),
+        }
+    }
+
+    /// Accept one raw message. `Ok(Some)` is a complete, normalized
+    /// contribution; `Ok(None)` means a partial bucket was absorbed and
+    /// the sender's set is still in flight.
+    ///
+    /// # Errors
+    /// [`TransportError::Protocol`] on a structurally invalid bucket
+    /// frame or compressed payload.
+    pub fn accept(&mut self, m: Msg) -> Result<Option<Msg>, TransportError> {
+        let Msg { from, tag, payload } = m;
+        let payload = match payload {
+            Payload::Bucket {
+                bucket,
+                n_buckets,
+                values,
+            } => match self
+                .asm
+                .entry(from)
+                .or_default()
+                .absorb(bucket, n_buckets, values)?
+            {
+                Some(flat) if self.as_params => Payload::Params(flat),
+                Some(flat) => Payload::Grads(flat),
+                None => return Ok(None),
+            },
+            other => densify_payload(other)?,
+        };
+        Ok(Some(Msg { from, tag, payload }))
+    }
+
+    /// Does sender `from` have a partially-assembled set in flight?
+    pub fn in_progress(&self, from: usize) -> bool {
+        self.asm
+            .get(&from)
+            .is_some_and(BucketAssembler::in_progress)
+    }
+
+    /// Drop all partial state (round abort, membership change).
+    pub fn reset(&mut self) {
+        self.asm.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Fabric;
+
+    #[test]
+    fn ranges_tile_the_vector_exactly() {
+        for (len, b) in [(10, 3), (12, 4), (1, 8), (0, 5), (7, 7), (8, 1)] {
+            let n = n_buckets(len, b);
+            let mut covered = 0;
+            for i in 0..n {
+                let r = bucket_range(len, b, i);
+                assert_eq!(r.start, covered, "len {len} b {b} bucket {i}");
+                assert!(r.end - r.start <= b);
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "len {len} bucket {b}");
+        }
+        // an empty vector still forms one (empty) bucket
+        assert_eq!(n_buckets(0, 4), 1);
+        assert_eq!(bucket_range(0, 4, 0), 0..0);
+    }
+
+    #[test]
+    fn out_of_order_arrival_reassembles_in_index_order() {
+        let mut a = BucketAssembler::new();
+        // 7 values at B=3 → buckets [0,1,2][3,4,5][6]
+        assert_eq!(a.absorb(2, 3, vec![6.0]).unwrap(), None);
+        assert!(a.in_progress());
+        assert_eq!(a.absorb(0, 3, vec![0.0, 1.0, 2.0]).unwrap(), None);
+        let flat = a.absorb(1, 3, vec![3.0, 4.0, 5.0]).unwrap().unwrap();
+        assert_eq!(flat, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // the assembler reset for the next set
+        assert!(!a.in_progress());
+        assert_eq!(a.absorb(0, 1, vec![9.0]).unwrap(), Some(vec![9.0]));
+    }
+
+    #[test]
+    fn duplicates_overwrite_instead_of_erroring() {
+        let mut a = BucketAssembler::new();
+        assert_eq!(a.absorb(0, 2, vec![1.0]).unwrap(), None);
+        // a resend of the same bucket (elastic retry / chaos duplicate)
+        assert_eq!(a.absorb(0, 2, vec![1.5]).unwrap(), None);
+        let flat = a.absorb(1, 2, vec![2.0]).unwrap().unwrap();
+        assert_eq!(flat, vec![1.5, 2.0], "latest copy wins");
+    }
+
+    #[test]
+    fn structural_lies_are_rejected() {
+        let mut a = BucketAssembler::new();
+        assert_eq!(a.absorb(0, 0, vec![]), Err(BucketError::ZeroBuckets));
+        a.absorb(0, 3, vec![1.0]).unwrap();
+        assert_eq!(
+            a.absorb(1, 4, vec![2.0]),
+            Err(BucketError::CountMismatch {
+                expected: 3,
+                got: 4
+            })
+        );
+        assert_eq!(
+            a.absorb(5, 3, vec![2.0]),
+            Err(BucketError::IndexOutOfRange {
+                bucket: 5,
+                n_buckets: 3
+            })
+        );
+        // errors left the in-flight set intact
+        assert!(a.in_progress());
+        a.absorb(1, 3, vec![2.0]).unwrap();
+        assert_eq!(
+            a.absorb(2, 3, vec![3.0]).unwrap(),
+            Some(vec![1.0, 2.0, 3.0])
+        );
+    }
+
+    #[test]
+    fn intake_interleaves_senders_and_normalizes_compressed() {
+        let mut intake = BucketIntake::grads();
+        let b = |from, bucket, values: Vec<f32>| Msg {
+            from,
+            tag: 3,
+            payload: Payload::Bucket {
+                bucket,
+                n_buckets: 2,
+                values,
+            },
+        };
+        // two senders' bucket streams interleaved on one intake
+        assert!(intake.accept(b(0, 0, vec![1.0])).unwrap().is_none());
+        assert!(intake.accept(b(1, 1, vec![20.0])).unwrap().is_none());
+        assert!(intake.in_progress(0) && intake.in_progress(1));
+        let m = intake.accept(b(0, 1, vec![2.0])).unwrap().unwrap();
+        assert_eq!(m.from, 0);
+        assert!(matches!(m.payload, Payload::Grads(v) if v == vec![1.0, 2.0]));
+        let m = intake.accept(b(1, 0, vec![10.0])).unwrap().unwrap();
+        assert!(matches!(m.payload, Payload::Grads(v) if v == vec![10.0, 20.0]));
+        // compressed contributions densify in place
+        let m = intake
+            .accept(Msg {
+                from: 2,
+                tag: 3,
+                payload: Payload::SparseGrad {
+                    len: 3,
+                    indices: vec![2],
+                    values: vec![7.0],
+                },
+            })
+            .unwrap()
+            .unwrap();
+        assert!(matches!(m.payload, Payload::Grads(v) if v == vec![0.0, 0.0, 7.0]));
+        // non-bucket, non-compressed traffic passes through untouched
+        let m = intake
+            .accept(Msg {
+                from: 0,
+                tag: 4,
+                payload: Payload::Control(9),
+            })
+            .unwrap()
+            .unwrap();
+        assert!(matches!(m.payload, Payload::Control(9)));
+    }
+
+    #[test]
+    fn params_intake_surfaces_param_pushes() {
+        let mut intake = BucketIntake::params();
+        let m = intake
+            .accept(Msg {
+                from: 1,
+                tag: 0,
+                payload: Payload::Bucket {
+                    bucket: 0,
+                    n_buckets: 1,
+                    values: vec![5.0],
+                },
+            })
+            .unwrap()
+            .unwrap();
+        assert!(matches!(m.payload, Payload::Params(v) if v == vec![5.0]));
+    }
+
+    #[test]
+    fn bucket_payloads_tile_the_vector_and_agree_with_send() {
+        let values: Vec<f32> = (0..11).map(|i| i as f32 * 0.5).collect();
+        let frames = bucket_payloads(&values, 4);
+        assert_eq!(frames.len(), n_buckets(values.len(), 4));
+        let mut cat = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            match f {
+                Payload::Bucket {
+                    bucket,
+                    n_buckets,
+                    values,
+                } => {
+                    assert_eq!(*bucket as usize, i);
+                    assert_eq!(*n_buckets as usize, frames.len());
+                    cat.extend_from_slice(values);
+                }
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+        assert_eq!(cat, values);
+        // an empty vector still forms one empty frame
+        assert_eq!(bucket_payloads(&[], 4).len(), 1);
+    }
+
+    #[test]
+    fn sent_buckets_reassemble_bit_identically() {
+        let mut eps = Fabric::new(2);
+        let mut rx = eps.pop().unwrap();
+        let mut tx = eps.pop().unwrap();
+        let values: Vec<f32> = (0..23).map(|i| (i as f32).sin()).collect();
+        send_all_buckets(&mut tx, 1, 5, &values, 4).unwrap();
+        let mut asm = BucketAssembler::new();
+        let mut out = None;
+        while out.is_none() {
+            let m = rx.recv_tagged(Some(0), 5).unwrap();
+            match m.payload {
+                Payload::Bucket {
+                    bucket,
+                    n_buckets,
+                    values,
+                } => out = asm.absorb(bucket, n_buckets, values).unwrap(),
+                other => panic!("unexpected payload {other:?}"),
+            }
+        }
+        let out = out.unwrap();
+        assert_eq!(
+            out.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        // byte accounting: 6 buckets of ≤4 values, each a full frame
+        assert_eq!(tx.stats().total_messages(), 6);
+    }
+}

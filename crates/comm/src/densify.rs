@@ -1,0 +1,194 @@
+//! Server-side densification of compressed wire payloads.
+//!
+//! Workers may ship a gradient as [`Payload::SparseGrad`] (Top-k
+//! index+value pairs), [`Payload::SignGrad`] (1-bit signs plus one
+//! scale) or [`Payload::LowRank`] (PowerSGD factor pair) instead of a
+//! dense [`Payload::Grads`] vector — fewer wire bytes for the same
+//! round (DESIGN.md §12). The parameter server densifies each
+//! contribution *at arrival* so the rest of the round pipeline
+//! (sort-by-rank, classify, average) never sees a compressed payload
+//! and therefore stays bit-identical to the dense path by
+//! construction.
+//!
+//! The decode conventions mirror `selsync-core`'s compression module
+//! exactly (the comm crate cannot depend on core, so they are restated
+//! here and pinned by tests):
+//! * sparse: unique flat indices, `out[i] = v`, zeros elsewhere;
+//! * sign: little-endian bits within bytes, set bit ⇒ `+scale`,
+//!   clear ⇒ `-scale`;
+//! * low-rank: `M = P·Qᵀ` with `P: [rows, rank]`, `Q: [cols, rank]`,
+//!   both row-major.
+//!
+//! Every structural lie a hostile peer could tell (index past `len`,
+//! bit-buffer length mismatch, factor shape mismatch) is a
+//! [`TransportError::Protocol`], never a panic or a silent
+//! mis-reconstruction.
+
+use crate::error::TransportError;
+use crate::fabric::Payload;
+
+/// Densify a Top-k sparse gradient: `out[indices[j]] = values[j]`,
+/// zeros elsewhere.
+///
+/// # Errors
+/// [`TransportError::Protocol`] if the index/value sections differ in
+/// length or any index is out of range.
+pub fn densify_sparse(
+    len: u32,
+    indices: &[u32],
+    values: &[f32],
+) -> Result<Vec<f32>, TransportError> {
+    if indices.len() != values.len() {
+        return Err(TransportError::Protocol(format!(
+            "sparse grad has {} indices but {} values",
+            indices.len(),
+            values.len()
+        )));
+    }
+    let mut out = vec![0.0f32; len as usize];
+    for (&i, &v) in indices.iter().zip(values) {
+        let slot = out
+            .get_mut(i as usize)
+            .ok_or_else(|| TransportError::Protocol(format!("sparse index {i} >= len {len}")))?;
+        *slot = v;
+    }
+    Ok(out)
+}
+
+/// Densify a sign-quantized gradient: bit `i` of the little-endian
+/// bitmap selects `+scale` (set) or `-scale` (clear).
+///
+/// # Errors
+/// [`TransportError::Protocol`] if the bitmap length is not exactly
+/// `ceil(len / 8)` bytes.
+pub fn densify_sign(len: u32, scale: f32, bits: &[u8]) -> Result<Vec<f32>, TransportError> {
+    let want = (len as usize).div_ceil(8);
+    if bits.len() != want {
+        return Err(TransportError::Protocol(format!(
+            "sign grad of len {len} needs {want} bitmap bytes, got {}",
+            bits.len()
+        )));
+    }
+    Ok((0..len as usize)
+        .map(|i| {
+            if bits[i / 8] & (1 << (i % 8)) != 0 {
+                scale
+            } else {
+                -scale
+            }
+        })
+        .collect())
+}
+
+/// Densify a PowerSGD factor pair: `out[r*cols + c] = Σ_k P[r,k]·Q[c,k]`.
+///
+/// The naive triple loop is deliberate — the comm crate has no tensor
+/// dependency, and server-side reconstruction is off the per-step hot
+/// path (it runs once per compressed contribution per round).
+///
+/// # Errors
+/// [`TransportError::Protocol`] if either factor's length disagrees
+/// with the claimed `rows`/`cols`/`rank`.
+pub fn densify_low_rank(
+    rows: u32,
+    cols: u32,
+    rank: u32,
+    p: &[f32],
+    q: &[f32],
+) -> Result<Vec<f32>, TransportError> {
+    let (rows, cols, rank) = (rows as usize, cols as usize, rank as usize);
+    if p.len() != rows * rank || q.len() != cols * rank {
+        return Err(TransportError::Protocol(format!(
+            "low-rank factors P:{} Q:{} do not match {rows}x{cols} rank {rank}",
+            p.len(),
+            q.len()
+        )));
+    }
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut acc = 0.0f32;
+            for k in 0..rank {
+                acc += p[r * rank + k] * q[c * rank + k];
+            }
+            out[r * cols + c] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Map a compressed payload to dense [`Payload::Grads`]; any other
+/// payload passes through unchanged.
+///
+/// # Errors
+/// Propagates the structural errors of the `densify_*` helpers.
+pub fn densify_payload(payload: Payload) -> Result<Payload, TransportError> {
+    Ok(match payload {
+        Payload::SparseGrad {
+            len,
+            indices,
+            values,
+        } => Payload::Grads(densify_sparse(len, &indices, &values)?),
+        Payload::SignGrad { len, scale, bits } => Payload::Grads(densify_sign(len, scale, &bits)?),
+        Payload::LowRank {
+            rows,
+            cols,
+            rank,
+            p,
+            q,
+        } => Payload::Grads(densify_low_rank(rows, cols, rank, &p, &q)?),
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_densify_places_values_and_zeros() {
+        let d = densify_sparse(5, &[1, 3], &[-5.0, 4.0]).unwrap();
+        assert_eq!(d, vec![0.0, -5.0, 0.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn sparse_densify_rejects_structural_lies() {
+        assert!(densify_sparse(5, &[5], &[1.0]).is_err(), "index == len");
+        assert!(densify_sparse(5, &[0, 1], &[1.0]).is_err(), "count skew");
+        assert!(densify_sparse(0, &[0], &[1.0]).is_err(), "empty target");
+    }
+
+    #[test]
+    fn sign_densify_matches_core_bit_convention() {
+        // core's sign_compress: bit set (little-endian in byte) = positive
+        let d = densify_sign(4, 1.5, &[0b0000_0101]).unwrap();
+        assert_eq!(d, vec![1.5, -1.5, 1.5, -1.5]);
+    }
+
+    #[test]
+    fn sign_densify_rejects_wrong_bitmap_length() {
+        assert!(densify_sign(9, 1.0, &[0xFF]).is_err(), "needs 2 bytes");
+        assert!(densify_sign(8, 1.0, &[0xFF, 0x00]).is_err(), "needs 1");
+    }
+
+    #[test]
+    fn low_rank_densify_is_p_q_transpose() {
+        // rank-1: P = [1, 2]ᵀ, Q = [3, 4, 5]ᵀ → M[r][c] = P[r]·Q[c]
+        let d = densify_low_rank(2, 3, 1, &[1.0, 2.0], &[3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(d, vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn low_rank_densify_rejects_shape_mismatch() {
+        assert!(densify_low_rank(2, 3, 1, &[1.0], &[3.0, 4.0, 5.0]).is_err());
+        assert!(densify_low_rank(2, 3, 2, &[1.0, 2.0], &[3.0, 4.0, 5.0]).is_err());
+    }
+
+    #[test]
+    fn densify_payload_passes_dense_through() {
+        let p = densify_payload(Payload::Grads(vec![1.0])).unwrap();
+        assert!(matches!(p, Payload::Grads(v) if v == vec![1.0]));
+        let p = densify_payload(Payload::Control(7)).unwrap();
+        assert!(matches!(p, Payload::Control(7)));
+    }
+}

@@ -62,6 +62,7 @@
 //! workers start addressing it — which they only do after their own
 //! failover patience on the primary expires.
 
+use crate::bucket::BucketAssembler;
 use crate::collectives::{phase_tag, tag_step, FLAGS_PHASE};
 use crate::error::TransportError;
 use crate::fabric::{FlatVec, Payload, ShardSpec};
@@ -387,6 +388,13 @@ where
     let mut future_flags: BTreeMap<u64, BTreeMap<usize, u8>> = BTreeMap::new();
     let mut future_pushes: BTreeMap<u64, BTreeMap<usize, Vec<f32>>> = BTreeMap::new();
     let mut pending_joins: Vec<usize> = Vec::new();
+    // Bucketed parameter pushes (DESIGN.md §12): partial Bucket frames
+    // assemble per (tag, sender); only *completed* sets enter the
+    // protocol below, as ordinary Params pushes, so every arm still
+    // sees whole vectors. A retrying worker resends its complete set
+    // and duplicate frames overwrite, making assembly idempotent under
+    // the failover policy.
+    let mut bucket_asm: BTreeMap<(u64, usize), BucketAssembler> = BTreeMap::new();
 
     'run: loop {
         if (0..n).all(|i| !alive[i] || done[i]) {
@@ -400,6 +408,9 @@ where
         }
         let ftag = phase_tag(step, FLAGS_PHASE);
         let stag = phase_tag(step, SYNC_PHASE);
+        // drop bucket partials from rounds that already closed — a
+        // retrying worker resends its complete set, so nothing is lost
+        bucket_asm.retain(|&(t, _), a| a.in_progress() && tag_step(t) + 1 >= step);
         // seed the round with any buffered traffic that raced ahead
         let mut bits: BTreeMap<usize, u8> = future_flags.remove(&step).unwrap_or_default();
         let mut early_pushes: BTreeMap<usize, Vec<f32>> =
@@ -497,7 +508,24 @@ where
                         }
                         continue;
                     }
-                    match (m.tag, m.payload) {
+                    let payload = match m.payload {
+                        // bucketed push: absorb the frame; only a
+                        // completed set proceeds, as a Params push
+                        Payload::Bucket {
+                            bucket,
+                            n_buckets,
+                            values,
+                        } => match bucket_asm
+                            .entry((m.tag, from))
+                            .or_default()
+                            .absorb(bucket, n_buckets, values)?
+                        {
+                            Some(flat) => Payload::Params(flat),
+                            None => continue,
+                        },
+                        p => p,
+                    };
+                    match (m.tag, payload) {
                         (t, Payload::Flags(b)) if t == ftag => {
                             bits.insert(from, b.first().copied().unwrap_or(0));
                         }
@@ -689,8 +717,25 @@ where
                             if m.tag >= STANDBY_TAG {
                                 continue;
                             }
+                            let payload = match m.payload {
+                                // bucketed push mid-sync: absorb; only a
+                                // completed set counts as a contribution
+                                Payload::Bucket {
+                                    bucket,
+                                    n_buckets,
+                                    values,
+                                } => match bucket_asm
+                                    .entry((m.tag, from))
+                                    .or_default()
+                                    .absorb(bucket, n_buckets, values)?
+                                {
+                                    Some(flat) => Payload::Params(flat),
+                                    None => continue,
+                                },
+                                p => p,
+                            };
                             if m.tag == stag && alive[from] {
-                                match m.payload {
+                                match payload {
                                     Payload::Params(v) | Payload::ShardPush(v) => {
                                         if !sync_members.contains(&from) {
                                             sync_members.push(from);
@@ -882,7 +927,11 @@ where
                                 | Payload::Logits { .. }
                                 | Payload::ShardMap(_)
                                 | Payload::ShardPush(_)
-                                | Payload::ShardPull(_) => continue,
+                                | Payload::ShardPull(_)
+                                | Payload::Bucket { .. }
+                                | Payload::SparseGrad { .. }
+                                | Payload::SignGrad { .. }
+                                | Payload::LowRank { .. } => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -905,7 +954,11 @@ where
                                 | Payload::Logits { .. }
                                 | Payload::ShardMap(_)
                                 | Payload::ShardPush(_)
-                                | Payload::ShardPull(_) => continue,
+                                | Payload::ShardPull(_)
+                                | Payload::Bucket { .. }
+                                | Payload::SparseGrad { .. }
+                                | Payload::SignGrad { .. }
+                                | Payload::LowRank { .. } => continue,
                             },
                             Err(TransportError::RecvTimeout { .. }) => continue,
                             Err(e) => return Err(e),
@@ -929,7 +982,11 @@ where
                     | Payload::Logits { .. }
                     | Payload::ShardMap(_)
                     | Payload::ShardPush(_)
-                    | Payload::ShardPull(_) => {}
+                    | Payload::ShardPull(_)
+                    | Payload::Bucket { .. }
+                    | Payload::SparseGrad { .. }
+                    | Payload::SignGrad { .. }
+                    | Payload::LowRank { .. } => {}
                 }
             }
             Err(TransportError::RecvTimeout { buffered, .. }) => {
@@ -1006,6 +1063,36 @@ pub fn elastic_sync_round<T: Transport>(
 ) -> Result<FlatVec, TransportError> {
     let tag = phase_tag(step, SYNC_PHASE);
     ep.send(server, tag, Payload::Params(params))?;
+    let m = ep.recv_deadline(Some(server), Some(tag), reply_timeout)?;
+    match m.payload {
+        Payload::Params(v) => Ok(FlatVec::Owned(v)),
+        Payload::SharedParams(a) => Ok(FlatVec::Shared(a)),
+        p => Err(TransportError::Protocol(format!(
+            "sync reply was {p:?}, expected Params"
+        ))),
+    }
+}
+
+/// Bucketed flavor of [`elastic_sync_round`] (DESIGN.md §12): the
+/// parameter push ships as `bucket_size`-value [`Payload::Bucket`]
+/// frames instead of one monolithic vector. The server reassembles per
+/// sender and averages the completed set, so the result is bit-identical
+/// to the monolithic push. A retry under the failover policy resends
+/// the *complete* set; duplicate frames overwrite at the assembler,
+/// which makes the round idempotent across lost partial pushes.
+///
+/// # Errors
+/// As [`elastic_sync_round`].
+pub fn elastic_sync_round_bucketed<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    params: &[f32],
+    bucket_size: usize,
+    reply_timeout: Duration,
+) -> Result<FlatVec, TransportError> {
+    let tag = phase_tag(step, SYNC_PHASE);
+    crate::bucket::send_all_buckets(ep, server, tag, params, bucket_size)?;
     let m = ep.recv_deadline(Some(server), Some(tag), reply_timeout)?;
     match m.payload {
         Payload::Params(v) => Ok(FlatVec::Owned(v)),
@@ -1158,6 +1245,62 @@ mod tests {
         assert!(report.joins.is_empty());
         assert!(!report.crashed);
         assert_eq!(report.final_params, vec![1.0; 4]);
+    }
+
+    /// A worker pushing its parameters as Bucket frames must land in the
+    /// same average as a monolithic pusher in the same round — and a
+    /// full resend of an already-consumed set (the retry layer's move
+    /// after a lost reply) must draw the stale-push catch-up reply, not
+    /// wedge the server.
+    #[test]
+    fn bucketed_param_push_averages_with_monolithic_peers() {
+        let n = 2;
+        let mut eps = Fabric::new(n + 1);
+        let server_ep = eps.pop().unwrap();
+        let cfg = ElasticConfig {
+            round_timeout: Duration::from_millis(400),
+            max_missed: 3,
+            ..ElasticConfig::default()
+        };
+        let server = thread::spawn(move || {
+            run_elastic_server(server_ep, n, vec![0.0; 5], &cfg, |_| {}).unwrap()
+        });
+        let mut bucketed = eps.pop().unwrap(); // rank 1
+        let mut mono = eps.pop().unwrap(); // rank 0
+        let mono_h = thread::spawn(move || {
+            let status = heartbeat_round(&mut mono, n, 0, 1, REPLY).unwrap();
+            assert!(status.contains(&STATUS_SYNC));
+            let avg = elastic_sync_round(&mut mono, n, 0, vec![1.0; 5], REPLY)
+                .unwrap()
+                .into_vec();
+            elastic_shutdown(&mut mono, n, 1).unwrap();
+            avg
+        });
+        let bucketed_h = thread::spawn(move || {
+            let status = heartbeat_round(&mut bucketed, n, 0, 1, REPLY).unwrap();
+            assert!(status.contains(&STATUS_SYNC));
+            let params = vec![2.0, 4.0, 6.0, 8.0, 10.0];
+            let avg = elastic_sync_round_bucketed(&mut bucketed, n, 0, &params, 2, REPLY)
+                .unwrap()
+                .into_vec();
+            // simulate a lost reply: resend the whole set; the server
+            // answers the stale push with the current global
+            let catch_up = elastic_sync_round_bucketed(&mut bucketed, n, 0, &params, 2, REPLY)
+                .unwrap()
+                .into_vec();
+            elastic_shutdown(&mut bucketed, n, 1).unwrap();
+            (avg, catch_up)
+        });
+        let mono_avg = mono_h.join().unwrap();
+        let (bucket_avg, catch_up) = bucketed_h.join().unwrap();
+        let want = vec![1.5, 2.5, 3.5, 4.5, 5.5];
+        assert_eq!(mono_avg, want);
+        assert_eq!(bucket_avg, want);
+        assert_eq!(catch_up, want, "stale bucketed resend draws the global");
+        let report = server.join().unwrap();
+        assert_eq!(report.syncs, 1);
+        assert_eq!(report.final_params, want);
+        assert!(report.evictions.is_empty(), "{:?}", report.evictions);
     }
 
     #[test]

@@ -66,6 +66,60 @@ pub enum Payload {
     /// A shard server's reply carrying its updated range. Body layout
     /// is identical to [`Payload::Params`], mirroring [`Payload::ShardPush`].
     ShardPull(Vec<f32>),
+    /// One fixed-size chunk of a flat `f32` vector, shipped the moment
+    /// its values are final so communication overlaps the rest of the
+    /// step (DDP-style gradient bucketing). `bucket` is the chunk index
+    /// — bucket `i` covers flat range `[i·B, i·B + values.len())` for
+    /// the sender's bucket size `B` — and `n_buckets` the total chunk
+    /// count of the vector being shipped. Receivers reassemble strictly
+    /// by index ([`BucketAssembler`](crate::BucketAssembler)), so
+    /// arrival order can never change the reduction order.
+    Bucket {
+        /// Chunk index within the flat vector (0-based).
+        bucket: u32,
+        /// Total chunks the sender will ship for this vector.
+        n_buckets: u32,
+        /// The chunk's values.
+        values: Vec<f32>,
+    },
+    /// Top-k sparse gradient: `len` is the dense vector length, and
+    /// `indices`/`values` are parallel sections of the surviving
+    /// coordinates (indices ascending). Wire twin of
+    /// `core::compression::SparseGrad`.
+    SparseGrad {
+        /// Dense length of the gradient this sparsifies.
+        len: u32,
+        /// Flat indices of the kept coordinates, ascending.
+        indices: Vec<u32>,
+        /// Values at those indices.
+        values: Vec<f32>,
+    },
+    /// 1-bit sign-compressed gradient: bit `i` of the little-endian
+    /// bitmap gives the sign of coordinate `i` (1 ⇒ `+scale`, 0 ⇒
+    /// `-scale`). Wire twin of `core::compression::SignGrad`.
+    SignGrad {
+        /// Dense length of the gradient (bits beyond `len` are padding).
+        len: u32,
+        /// Magnitude applied to every coordinate.
+        scale: f32,
+        /// Sign bitmap, `ceil(len / 8)` bytes.
+        bits: Vec<u8>,
+    },
+    /// Low-rank factor pair: the dense `rows × cols` gradient matrix is
+    /// `P · Qᵀ` with `P` of shape `rows × rank` and `Q` of shape
+    /// `cols × rank`, both row-major. Wire form of a PowerSGD step.
+    LowRank {
+        /// Rows of the dense matrix.
+        rows: u32,
+        /// Columns of the dense matrix.
+        cols: u32,
+        /// Factor rank.
+        rank: u32,
+        /// Left factor, `rows × rank` row-major.
+        p: Vec<f32>,
+        /// Right factor, `cols × rank` row-major.
+        q: Vec<f32>,
+    },
 }
 
 /// Wire form of the shard partition map: `starts[i]` is the first flat
@@ -117,6 +171,14 @@ impl Payload {
             Payload::Logits { rows, .. } => 4 + 4 * rows.len() as u64 + 8,
             Payload::ShardMap(spec) => 8 + 8 + 4 + 8 * spec.starts.len() as u64,
             Payload::ShardPush(v) | Payload::ShardPull(v) => 4 + 4 * v.len() as u64,
+            Payload::Bucket { values, .. } => 4 + 4 + 4 + 4 * values.len() as u64,
+            Payload::SparseGrad {
+                indices, values, ..
+            } => 4 + (4 + 4 * indices.len() as u64) + (4 + 4 * values.len() as u64),
+            Payload::SignGrad { bits, .. } => 4 + 4 + 4 + bits.len() as u64,
+            Payload::LowRank { p, q, .. } => {
+                4 + 4 + 4 + (4 + 4 * p.len() as u64) + (4 + 4 * q.len() as u64)
+            }
         }
     }
 
@@ -435,6 +497,41 @@ mod tests {
             Payload::ShardPull(vec![0.0; 10]).wire_bytes(),
             Payload::Params(vec![0.0; 10]).wire_bytes()
         );
+        // overhead + bucket index + total count + f32 section
+        let b = Payload::Bucket {
+            bucket: 2,
+            n_buckets: 4,
+            values: vec![0.0; 6],
+        };
+        assert_eq!(b.wire_bytes(), OH + 4 + 4 + (4 + 24));
+        // overhead + dense len + u32 index section + f32 value section
+        let sg = Payload::SparseGrad {
+            len: 100,
+            indices: vec![1, 7, 42],
+            values: vec![0.5, -0.5, 2.0],
+        };
+        assert_eq!(sg.wire_bytes(), OH + 4 + (4 + 12) + (4 + 12));
+        // a k-sparse frame beats dense f32 whenever 8k + 4 < 4n
+        assert!(sg.wire_bytes() < Payload::Grads(vec![0.0; 100]).wire_bytes());
+        // overhead + dense len + scale + byte section
+        let sign = Payload::SignGrad {
+            len: 16,
+            scale: 0.25,
+            bits: vec![0xAA, 0x55],
+        };
+        assert_eq!(sign.wire_bytes(), OH + 4 + 4 + (4 + 2));
+        assert!(sign.wire_bytes() < Payload::Grads(vec![0.0; 16]).wire_bytes());
+        // overhead + rows + cols + rank + two f32 factor sections
+        let lr = Payload::LowRank {
+            rows: 32,
+            cols: 32,
+            rank: 1,
+            p: vec![0.0; 32],
+            q: vec![0.0; 32],
+        };
+        assert_eq!(lr.wire_bytes(), OH + 4 + 4 + 4 + (4 + 128) + (4 + 128));
+        // rank-1 factors of a 32×32 matrix beat the 1024-value dense frame
+        assert!(lr.wire_bytes() < Payload::Grads(vec![0.0; 1024]).wire_bytes());
     }
 
     #[test]

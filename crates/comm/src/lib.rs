@@ -12,8 +12,10 @@
 //! only wall-clock *claims* about a 16×V100/5 Gbps cluster come from the
 //! cost model.
 
+pub mod bucket;
 pub mod clock;
 pub mod collectives;
+pub mod densify;
 pub mod elastic;
 pub mod error;
 pub mod fabric;
@@ -23,7 +25,9 @@ pub mod shard;
 pub mod stats;
 pub mod transport;
 
+pub use bucket::{BucketAssembler, BucketError, BucketIntake};
 pub use clock::ClusterClock;
+pub use densify::densify_payload;
 pub use error::TransportError;
 pub use fabric::{
     Endpoint, Fabric, FlatVec, Msg, Payload, ShardSpec, FRAME_CRC_BYTES, FRAME_HEADER_BYTES,

@@ -85,6 +85,43 @@ impl NetworkModel {
         (k as f64 * self.latency_s * eff / (16.0 * n as f64)) as u64
     }
 
+    /// One bucketed-pipeline synchronization (DESIGN.md §12): the push
+    /// streams bucket-by-bucket *during* the remaining backward pass,
+    /// so the wall-clock cost of the round is the larger of the two
+    /// overlapped phases — the backward tail still computing
+    /// (`compute_tail_s`) and the full PS round — instead of their sum.
+    /// The serialized baseline pays `compute_tail_s +
+    /// ps_sync_time(...)`; pipelining saves the smaller term.
+    ///
+    /// The bucket granularity itself does not appear: with buckets much
+    /// smaller than the model the pipeline's fill/drain stubs are one
+    /// bucket's transfer each, which the latency term already dwarfs at
+    /// paper scale.
+    pub fn pipelined_sync_time(&self, model_bytes: u64, n: usize, compute_tail_s: f64) -> f64 {
+        compute_tail_s.max(self.ps_sync_time(model_bytes, n))
+    }
+
+    /// The model size (bytes) at which a PS round exactly fills a
+    /// backward tail of `compute_tail_s` seconds — the crossover of the
+    /// two [`pipelined_sync_time`](Self::pipelined_sync_time) regimes,
+    /// mirroring [`shard_crossover_bytes`](Self::shard_crossover_bytes).
+    /// Below it the push hides entirely under compute (overlap saves
+    /// the whole sync, the job is compute-bound); above it compute
+    /// hides under the push (overlap saves the whole tail, the job is
+    /// at the PS bandwidth wall and only sharding or compression —
+    /// not more overlap — buys further speedup). Returns 0 when the
+    /// tail is too short to cover even the two latency hops.
+    pub fn overlap_crossover_bytes(&self, n: usize, compute_tail_s: f64) -> u64 {
+        let eff = self.bandwidth_bps * self.ps_parallelism;
+        // 2·(latency + n·M·8/eff) = T  ⇒  M = (T/2 − latency)·eff/(8·n)
+        let m = (compute_tail_s / 2.0 - self.latency_s) * eff / (8.0 * n as f64);
+        if m > 0.0 {
+            m as u64
+        } else {
+            0
+        }
+    }
+
     /// Partial PS round: `pushers` upload, `pullers` download.
     pub fn ps_partial_sync_time(&self, model_bytes: u64, pushers: usize, pullers: usize) -> f64 {
         let eff = self.bandwidth_bps * self.ps_parallelism;
@@ -224,6 +261,49 @@ mod tests {
             nm().sharded_ps_sync_time(above, n, k) < nm().sharded_ps_sync_time(above, n, 1),
             "above the crossover the shard group wins"
         );
+    }
+
+    #[test]
+    fn pipelined_sync_is_the_max_of_the_overlapped_phases() {
+        let m = 100_000_000u64;
+        let n = 8;
+        let sync = nm().ps_sync_time(m, n);
+        for tail in [sync / 4.0, sync, 4.0 * sync] {
+            let t = nm().pipelined_sync_time(m, n, tail);
+            assert_eq!(t, tail.max(sync));
+            // never worse than serial, and the saving is the hidden term
+            let serial = tail + sync;
+            assert!((serial - t - tail.min(sync)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlap_crossover_separates_compute_and_comm_bound_regimes() {
+        let n = 16;
+        let tail = 0.1; // a ~100 ms backward tail
+        let cross = nm().overlap_crossover_bytes(n, tail);
+        assert!(cross > 0);
+        // below the crossover the push hides under compute...
+        assert!(nm().ps_sync_time(cross / 2, n) < tail);
+        assert_eq!(nm().pipelined_sync_time(cross / 2, n, tail), tail);
+        // ...above it the job sits at the PS bandwidth wall
+        assert!(nm().ps_sync_time(cross * 2, n) > tail);
+        assert!(nm().pipelined_sync_time(cross * 2, n, tail) > tail);
+    }
+
+    #[test]
+    fn degenerate_overlap_crossover_is_zero() {
+        // a tail shorter than the two latency hops can hide nothing
+        assert_eq!(nm().overlap_crossover_bytes(16, 1e-6), 0);
+    }
+
+    #[test]
+    fn vgg11_overlap_cannot_fix_the_bandwidth_wall() {
+        // paper §I: 507 MB VGG11 on 5 Gbps is comm-bound; overlap only
+        // hides the compute tail, leaving the sync time itself exposed
+        let m = 507_000_000;
+        let sync = nm().ps_sync_time(m, 2);
+        assert_eq!(nm().pipelined_sync_time(m, 2, 0.1), sync);
     }
 
     #[test]

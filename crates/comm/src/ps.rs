@@ -16,6 +16,7 @@
 //! a malformed conversation is an error the caller can handle (evict,
 //! retry, shut down), not a process abort.
 
+use crate::bucket::BucketIntake;
 use crate::error::TransportError;
 use crate::fabric::{FlatVec, Msg, Payload};
 use crate::transport::Transport;
@@ -57,6 +58,21 @@ pub fn sync_round<T: Transport>(
         SyncRequest::Pull => Payload::Control(CTRL_PULL),
     };
     ep.send(server, step, payload)?;
+    recv_round_reply(ep, server, step)
+}
+
+/// Block for the server's round reply — the tail half of [`sync_round`],
+/// used on its own by clients that stream their push as
+/// [`Payload::Bucket`] frames (or a compressed payload) and then wait.
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] if the
+/// reply is not a parameter/gradient vector.
+pub fn recv_round_reply<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+) -> Result<FlatVec, TransportError> {
     let reply = ep.recv_tagged(Some(server), step)?;
     match reply.payload {
         Payload::Params(v) | Payload::Grads(v) => Ok(FlatVec::Owned(v)),
@@ -65,6 +81,26 @@ pub fn sync_round<T: Transport>(
             "unexpected PS reply {other:?}"
         ))),
     }
+}
+
+/// Client side of one bucketed synchronous round: stream `values` to
+/// the server as [`Payload::Bucket`] frames (lowest index first) and
+/// block for the averaged reply. Produces bit-identical results to
+/// [`sync_round`] with a monolithic `PushGrads` of the same values —
+/// the server reassembles strictly by bucket index.
+///
+/// # Errors
+/// Propagates transport faults; [`TransportError::Protocol`] on a
+/// malformed reply.
+pub fn sync_round_bucketed<T: Transport>(
+    ep: &mut T,
+    server: usize,
+    step: u64,
+    values: &[f32],
+    bucket_size: usize,
+) -> Result<FlatVec, TransportError> {
+    crate::bucket::send_all_buckets(ep, server, step, values, bucket_size)?;
+    recv_round_reply(ep, server, step)
 }
 
 /// Tell the server this worker is finished.
@@ -90,9 +126,16 @@ pub fn send_shutdown<T: Transport>(
 ///   exactly the local/global divergence GA exhibits in Fig. 10/11;
 /// * pure pull round → reply the stored global.
 ///
+/// A push may arrive as a stream of [`Payload::Bucket`] frames (the
+/// pipelined path) or as a compressed payload — both are normalized at
+/// arrival by a [`BucketIntake`] into the dense `Grads` the round logic
+/// has always consumed, so reduction order (sorted by worker id) and
+/// results stay bit-identical to the monolithic path.
+///
 /// # Errors
 /// Propagates transport faults; [`TransportError::Protocol`] on a
-/// malformed round (mixed push kinds, partial shutdown, unknown payload).
+/// malformed round (mixed push kinds, partial shutdown, unknown payload,
+/// structurally invalid bucket/compressed frame).
 pub fn run_round_server<T: Transport>(
     mut ep: T,
     n_workers: usize,
@@ -100,14 +143,22 @@ pub fn run_round_server<T: Transport>(
 ) -> Result<Vec<f32>, TransportError> {
     let mut global = init_params;
     let mut done = vec![false; n_workers];
+    let mut intake = BucketIntake::grads();
     while done.iter().any(|d| !d) {
-        // first message of the round fixes the tag
+        // first message of the round fixes the tag, even when it is a
+        // partial bucket frame of a still-streaming push
         let first = ep.recv_any()?;
         let tag = first.tag;
-        let mut batch: Vec<Msg> = vec![first];
         let expected = done.iter().filter(|d| !**d).count();
+        let mut batch: Vec<Msg> = Vec::with_capacity(expected);
+        if let Some(m) = intake.accept(first)? {
+            batch.push(m);
+        }
         while batch.len() < expected {
-            batch.push(ep.recv_tagged(None, tag)?);
+            let m = ep.recv_tagged(None, tag)?;
+            if let Some(m) = intake.accept(m)? {
+                batch.push(m);
+            }
         }
         // arrival order is scheduler-dependent; fix the reduction order
         // by worker id so runs are bit-reproducible
@@ -377,6 +428,91 @@ mod tests {
             assert_eq!(r, &vec![6.5]);
         }
         assert_eq!(global, vec![5.5]);
+    }
+
+    fn wavy(id: usize) -> Vec<f32> {
+        (0..13).map(|i| ((id * 31 + i) as f32).sin()).collect()
+    }
+
+    #[test]
+    fn bucketed_grad_push_matches_monolithic_bitwise() {
+        let (mono, _) = with_round_server(3, vec![0.0; 13], |ep, id, n| {
+            let v = sync_round(ep, n, 0, SyncRequest::PushGrads(wavy(id)))
+                .unwrap()
+                .into_vec();
+            send_shutdown(ep, n, 1).unwrap();
+            v
+        });
+        let (bucketed, _) = with_round_server(3, vec![0.0; 13], |ep, id, n| {
+            let v = sync_round_bucketed(ep, n, 0, &wavy(id), 4)
+                .unwrap()
+                .into_vec();
+            send_shutdown(ep, n, 1).unwrap();
+            v
+        });
+        let bits = |vs: &[Vec<f32>]| -> Vec<Vec<u32>> {
+            vs.iter()
+                .map(|v| v.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        assert_eq!(
+            bits(&bucketed),
+            bits(&mono),
+            "bucketed and monolithic rounds must agree bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn mixed_bucketed_compressed_and_dense_round() {
+        // worker 0 streams buckets, worker 1 pushes dense, worker 2
+        // ships a sparse payload — one round, all normalized at intake
+        let (results, _) = with_round_server(3, vec![0.0; 4], |ep, id, n| {
+            let v = match id {
+                0 => sync_round_bucketed(ep, n, 0, &[4.0, 0.0, 0.0, 0.0], 2).unwrap(),
+                1 => {
+                    sync_round(ep, n, 0, SyncRequest::PushGrads(vec![0.0, 8.0, 0.0, 0.0])).unwrap()
+                }
+                _ => {
+                    ep.send(
+                        n,
+                        0,
+                        Payload::SparseGrad {
+                            len: 4,
+                            indices: vec![2],
+                            values: vec![12.0],
+                        },
+                    )
+                    .unwrap();
+                    recv_round_reply(ep, n, 0).unwrap()
+                }
+            }
+            .into_vec();
+            send_shutdown(ep, n, 1).unwrap();
+            v
+        });
+        for r in results {
+            assert_eq!(r, vec![4.0 / 3.0, 8.0 / 3.0, 4.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn hostile_compressed_push_errors_the_server() {
+        let mut eps = Fabric::new(2);
+        let server_ep = eps.pop().unwrap();
+        let w = eps.pop().unwrap();
+        let server = thread::spawn(move || run_round_server(server_ep, 1, vec![0.0]));
+        w.send(
+            1,
+            0,
+            Payload::SparseGrad {
+                len: 2,
+                indices: vec![9],
+                values: vec![1.0],
+            },
+        )
+        .unwrap();
+        let err = server.join().unwrap().unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)), "{err:?}");
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub struct ShardClientConfig {
     /// Per-shard budget for re-reaching a silent or unreachable shard
     /// before failing over to its standby (or giving up without one).
     pub ps_patience: Duration,
+    /// `Some(B)` ships each shard's push as B-value [`Payload::Bucket`]
+    /// frames instead of one [`Payload::ShardPush`]; the shard server
+    /// reassembles them by index, so retries (which resend the whole
+    /// per-shard set) stay idempotent. `None` keeps the monolithic
+    /// sub-frame.
+    pub bucket: Option<usize>,
 }
 
 impl Default for ShardClientConfig {
@@ -78,6 +84,7 @@ impl Default for ShardClientConfig {
             reply_timeout: Duration::from_secs(2),
             comm_retries: 3,
             ps_patience: Duration::from_secs(6),
+            bucket: None,
         }
     }
 }
@@ -208,15 +215,32 @@ impl ShardedPsClient {
         }
     }
 
+    /// Best-effort send of one shard's whole request (one frame, or a
+    /// bucket set). A partial set on the wire is fine: the retry path
+    /// resends the full set and the server's assembler overwrites.
+    fn send_shard_all<T: Transport>(
+        &self,
+        ep: &mut T,
+        s: usize,
+        tag: u64,
+        payloads: Vec<Payload>,
+    ) -> bool {
+        let mut ok = true;
+        for p in payloads {
+            ok &= self.send_shard(ep, s, tag, p);
+        }
+        ok
+    }
+
     /// Fan one request out to every shard and collect one reply from
     /// each, resending and failing over per shard as needed. `mk` builds
-    /// shard `s`'s request payload; replies are returned indexed by
-    /// shard.
+    /// shard `s`'s request frames (one payload, or a bucket set);
+    /// replies are returned indexed by shard.
     fn fanout_exchange<T: Transport>(
         &mut self,
         ep: &mut T,
         tag: u64,
-        mk: impl Fn(&Self, usize) -> Payload,
+        mk: impl Fn(&Self, usize) -> Vec<Payload>,
     ) -> Result<Vec<Payload>, TransportError> {
         let k = self.k();
         let mut replies: Vec<Option<Payload>> = (0..k).map(|_| None).collect();
@@ -225,7 +249,7 @@ impl ShardedPsClient {
         let mut backoff = Duration::from_millis(50);
         let deadline = Instant::now() + self.cfg.ps_patience;
         for s in 0..k {
-            self.send_shard(ep, s, tag, mk(self, s));
+            self.send_shard_all(ep, s, tag, mk(self, s));
         }
         while outstanding.iter().any(|&o| o) {
             match ep.recv_deadline(None, Some(tag), self.cfg.reply_timeout) {
@@ -268,7 +292,7 @@ impl ShardedPsClient {
                                 }
                             }
                         }
-                        if !self.send_shard(ep, s, tag, mk(self, s)) {
+                        if !self.send_shard_all(ep, s, tag, mk(self, s)) {
                             // unreachable target: pace the redials
                             std::thread::sleep(backoff);
                             backoff = (backoff * 2).min(Duration::from_secs(1));
@@ -290,8 +314,9 @@ impl ShardedPsClient {
     /// [`TransportError::Protocol`] on any mismatch — no parameter
     /// traffic may flow under a disputed partition.
     pub fn handshake<T: Transport>(&mut self, ep: &mut T) -> Result<(), TransportError> {
-        let replies =
-            self.fanout_exchange(ep, SHARD_MAP_TAG, |c, _| Payload::ShardMap(c.spec.clone()))?;
+        let replies = self.fanout_exchange(ep, SHARD_MAP_TAG, |c, _| {
+            vec![Payload::ShardMap(c.spec.clone())]
+        })?;
         for (s, r) in replies.into_iter().enumerate() {
             match r {
                 Payload::ShardMap(theirs) if theirs == self.spec => {}
@@ -325,7 +350,7 @@ impl ShardedPsClient {
         my_bit: u8,
     ) -> Result<Vec<u8>, TransportError> {
         let tag = phase_tag(step, FLAGS_PHASE);
-        let replies = self.fanout_exchange(ep, tag, |_, _| Payload::Flags(vec![my_bit]))?;
+        let replies = self.fanout_exchange(ep, tag, |_, _| vec![Payload::Flags(vec![my_bit])])?;
         let me = self.me;
         let mut first: Option<Vec<u8>> = None;
         for (s, r) in replies.into_iter().enumerate() {
@@ -371,7 +396,10 @@ impl ShardedPsClient {
         let tag = phase_tag(step, SYNC_PHASE);
         let replies = self.fanout_exchange(ep, tag, |c, s| {
             let (start, end) = c.range(s);
-            Payload::ShardPush(params[start..end].to_vec())
+            match c.cfg.bucket {
+                Some(b) => crate::bucket::bucket_payloads(&params[start..end], b),
+                None => vec![Payload::ShardPush(params[start..end].to_vec())],
+            }
         })?;
         let mut assembled = std::mem::take(&mut self.assembled);
         assembled.clear();
@@ -400,6 +428,11 @@ impl ShardedPsClient {
         // empty one and re-grows it (allocation-free once both are warm)
         let out = FlatVec::Owned(assembled);
         Ok(out)
+    }
+
+    /// Enable or disable bucketed pushes after construction.
+    pub fn set_bucket(&mut self, bucket: Option<usize>) {
+        self.cfg.bucket = bucket;
     }
 
     /// Tell every shard this worker is finished (fire-and-forget).

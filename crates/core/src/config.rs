@@ -152,6 +152,23 @@ pub struct RunConfig {
     /// Global gradient-norm clipping applied after every backward pass
     /// (one of the §II-E hyperparameters shaping gradient trajectories).
     pub grad_clip: Option<f32>,
+    /// Pipelined gradient pushes (DDP-style bucketing, DESIGN.md §12):
+    /// chunk the flat gradient into buckets of this many values and ship
+    /// each bucket to the PS the moment backward finalizes it,
+    /// overlapping communication with the remaining backprop. `None`
+    /// keeps the monolithic push. Requires `Bsp { Gradient }` over the
+    /// parameter server with no clipping or compression — both are
+    /// whole-vector transforms that need the full gradient first.
+    #[serde(default)]
+    pub overlap_buckets: Option<usize>,
+    /// Ship gradient-aggregation payloads in their compact wire form
+    /// (`SparseGrad` / `SignGrad` / `LowRank` codec variants) instead of
+    /// densifying before the send; the server densifies at arrival.
+    /// Cuts physical wire bytes without changing `logical_sync_bytes`
+    /// accounting. Off by default so existing ablation byte counts stay
+    /// stable. Requires `compression` to be set and the PS backend.
+    #[serde(default)]
+    pub wire_compression: bool,
 }
 
 impl RunConfig {
@@ -181,6 +198,8 @@ impl RunConfig {
             backend: SyncBackend::ParameterServer,
             compression: None,
             grad_clip: None,
+            overlap_buckets: None,
+            wire_compression: false,
         }
     }
 

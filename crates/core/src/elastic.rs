@@ -27,9 +27,9 @@ use crate::metrics::{EvalRecord, StepRecord};
 use crate::trainer::{evaluate, grad_sqnorm, AnyCursor, AnyOptimizer, WorkerOutput};
 use crate::workload::{Workload, WorkloadData, SEQ_LEN};
 use selsync_comm::elastic::{
-    elastic_shutdown, elastic_sync_round, heartbeat_round, join_request, run_elastic_server,
-    run_elastic_server_from, run_standby_server, ElasticConfig, ElasticReport, ServerCrashPoint,
-    ServerState, StandbyOutcome, STATUS_DEAD, STATUS_SYNC,
+    elastic_shutdown, elastic_sync_round, elastic_sync_round_bucketed, heartbeat_round,
+    join_request, run_elastic_server, run_elastic_server_from, run_standby_server, ElasticConfig,
+    ElasticReport, ServerCrashPoint, ServerState, StandbyOutcome, STATUS_DEAD, STATUS_SYNC,
 };
 use selsync_comm::{FlatVec, Transport, TransportError};
 use selsync_data::{partition_indices, BatchCursor, TextBatchCursor};
@@ -142,6 +142,17 @@ pub(crate) fn validate_elastic(config: &RunConfig, workload: &Workload) {
         config.compression.is_none(),
         "compression applies to gradient aggregation, not elastic PA"
     );
+    assert!(
+        !config.wire_compression,
+        "wire compression rides on gradient compression, which elastic PA rejects"
+    );
+    if let Some(bucket) = config.overlap_buckets {
+        // elastic PA cannot overlap comm with backward (parameters only
+        // exist after the post-heartbeat optimizer step), but the push
+        // still ships as Bucket frames: a lossy fabric then retries the
+        // cheap frame set instead of wedging on one giant write
+        assert!(bucket > 0, "overlap bucket size must be positive");
+    }
     let _ = workload;
 }
 
@@ -253,10 +264,14 @@ fn sync_retry<T: Transport>(
     link: &mut PsLink,
     step: u64,
     params: &[f32],
+    bucket: Option<usize>,
     opts: &ElasticOptions,
 ) -> Result<FlatVec, TransportError> {
-    round_with_failover(link, opts, |server| {
-        elastic_sync_round(ep, server, step, params.to_vec(), opts.reply_timeout)
+    round_with_failover(link, opts, |server| match bucket {
+        // bucketed push (DESIGN.md §12): each retry resends the complete
+        // frame set, which the server assembles idempotently
+        Some(b) => elastic_sync_round_bucketed(ep, server, step, params, b, opts.reply_timeout),
+        None => elastic_sync_round(ep, server, step, params.to_vec(), opts.reply_timeout),
     })
 }
 
@@ -284,15 +299,28 @@ pub(crate) struct MonoSession<'a, T: Transport> {
     ep: &'a mut T,
     link: PsLink,
     opts: &'a ElasticOptions,
+    /// `Some(B)` ships parameter pushes as B-value Bucket frames
+    /// (DESIGN.md §12) instead of one monolithic vector.
+    bucket: Option<usize>,
 }
 
 impl<'a, T: Transport> MonoSession<'a, T> {
-    pub(crate) fn new(ep: &'a mut T, n_workers: usize, opts: &'a ElasticOptions) -> Self {
+    pub(crate) fn new(
+        ep: &'a mut T,
+        n_workers: usize,
+        opts: &'a ElasticOptions,
+        bucket: Option<usize>,
+    ) -> Self {
         let link = PsLink {
             server: n_workers,
             standby: opts.standby_rank(n_workers),
         };
-        MonoSession { ep, link, opts }
+        MonoSession {
+            ep,
+            link,
+            opts,
+            bucket,
+        }
     }
 }
 
@@ -306,7 +334,14 @@ impl<T: Transport> PsSession for MonoSession<'_, T> {
     }
 
     fn sync(&mut self, step: u64, params: &[f32]) -> Result<FlatVec, TransportError> {
-        sync_retry(&mut *self.ep, &mut self.link, step, params, self.opts)
+        sync_retry(
+            &mut *self.ep,
+            &mut self.link,
+            step,
+            params,
+            self.bucket,
+            self.opts,
+        )
     }
 
     fn shutdown(&mut self, step: u64) -> Result<(), TransportError> {
@@ -488,7 +523,7 @@ pub fn run_elastic_worker_rank<T: Transport>(
     let worker = ep.id();
     assert!(worker < config.n_workers, "worker rank out of range");
     let members: Vec<usize> = (0..config.n_workers).collect();
-    let mut sess = MonoSession::new(ep, config.n_workers, opts);
+    let mut sess = MonoSession::new(ep, config.n_workers, opts, config.overlap_buckets);
     elastic_loop(&mut sess, config, workload, opts, None, None, 0, members)
 }
 
@@ -528,7 +563,7 @@ pub fn rejoin_elastic_worker_rank<T: Transport>(
         .as_ref()
         .and_then(|p| checkpoint::load_state_with_fallback(worker_state_path(p, worker)).ok())
         .map(|(s, _)| s);
-    let mut sess = MonoSession::new(ep, config.n_workers, opts);
+    let mut sess = MonoSession::new(ep, config.n_workers, opts, config.overlap_buckets);
     let out = elastic_loop(
         &mut sess,
         config,
@@ -799,6 +834,36 @@ mod tests {
         }
         let w0 = outputs.iter().find(|o| o.worker == 0).unwrap();
         assert!(w0.records[0].synced, "first step always synchronizes");
+    }
+
+    /// Shipping elastic parameter pushes as Bucket frames must change
+    /// nothing but the wire format: same-seed runs end bit-identical.
+    #[test]
+    fn bucketed_elastic_sync_is_bit_identical_to_monolithic() {
+        let n = 2;
+        let mut cfg = elastic_cfg(n, 6, 0.0); // δ=0: sync every step
+        let wl = small_workload();
+        let opts = ElasticOptions::with_liveness(Duration::from_millis(500), 3);
+        let (mono_report, mono_outs) = run_cluster(&cfg, &wl, &opts);
+        cfg.overlap_buckets = Some(1000);
+        let (bucket_report, bucket_outs) = run_cluster(&cfg, &wl, &opts);
+        assert_eq!(
+            mono_report
+                .final_params
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            bucket_report
+                .final_params
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "bucketed elastic sync must be bit-identical"
+        );
+        assert_eq!(mono_report.syncs, bucket_report.syncs);
+        for (m, b) in mono_outs.iter().zip(&bucket_outs) {
+            assert_eq!(m.final_params, b.final_params);
+        }
     }
 
     #[test]

@@ -247,6 +247,7 @@ impl<T: Transport> PsSession for ShardSession<'_, T> {
 
 fn build_client(
     ep_rank: usize,
+    config: &RunConfig,
     opts: &ElasticOptions,
     layout: &ShardLayout,
     map: &ShardMap,
@@ -265,6 +266,8 @@ fn build_client(
             reply_timeout: opts.reply_timeout,
             comm_retries: opts.comm_retries,
             ps_patience: opts.ps_patience,
+            // per-shard Bucket frames; each shard reassembles its range
+            bucket: config.overlap_buckets,
         },
     )
 }
@@ -287,7 +290,7 @@ pub fn run_shard_worker_rank<T: Transport>(
     validate_elastic(config, workload);
     assert_eq!(layout.n_workers, config.n_workers, "layout/config mismatch");
     let map = shard_map_for(workload, &layout);
-    let mut client = build_client(ep.id(), opts, &layout, &map);
+    let mut client = build_client(ep.id(), config, opts, &layout, &map);
     client.handshake(&mut *ep)?;
     let members: Vec<usize> = (0..config.n_workers).collect();
     let mut sess = ShardSession { ep, client };
@@ -346,7 +349,7 @@ pub fn rejoin_shard_worker_rank<T: Transport>(
             checkpoint::load_state_with_fallback(crate::elastic::worker_state_path(p, worker)).ok()
         })
         .map(|(st, _)| st);
-    let mut client = build_client(ep.id(), opts, &layout, &map);
+    let mut client = build_client(ep.id(), config, opts, &layout, &map);
     client.handshake(&mut *ep)?;
     let mut sess = ShardSession { ep, client };
     let out = elastic_loop(
@@ -494,6 +497,38 @@ mod tests {
         global.extend_from_slice(&reports[1].final_params);
         for o in &outs {
             assert_eq!(o.final_params, global, "worker {}", o.worker);
+        }
+    }
+
+    /// Bucketing the per-shard pushes is a wire-format change only:
+    /// a K = 2 run with small Bucket frames must finish bit-identical
+    /// to the plain ShardPush run of the same seed.
+    #[test]
+    fn bucketed_sharded_run_is_bit_identical() {
+        let n = 2;
+        let mut cfg = elastic_cfg(n, 6, 0.0); // δ=0: sync every step
+        let wl = small_workload();
+        let opts = ElasticOptions::with_liveness(Duration::from_millis(500), 3);
+        let (plain_reports, plain_outs) = run_sharded(&cfg, &wl, &opts, 2);
+        cfg.overlap_buckets = Some(1000);
+        let (bucket_reports, bucket_outs) = run_sharded(&cfg, &wl, &opts, 2);
+        for (p, b) in plain_reports.iter().zip(&bucket_reports) {
+            assert_eq!(p.final_params, b.final_params);
+            assert_eq!(p.syncs, b.syncs);
+        }
+        for (p, b) in plain_outs.iter().zip(&bucket_outs) {
+            assert_eq!(
+                p.final_params
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                b.final_params
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "worker {}",
+                p.worker
+            );
         }
     }
 

@@ -10,17 +10,19 @@
 use crate::config::{Aggregation, CompressionKind, OptimKind, RunConfig, Strategy, SyncBackend};
 use crate::metrics::{EvalRecord, RunResult, StepRecord};
 use crate::workload::{AnyModel, Workload, WorkloadData, SEQ_LEN};
+use selsync_comm::bucket::{n_buckets, send_bucket_range};
 use selsync_comm::collectives::{allgather_flags, phase_tag, ring_allreduce};
 use selsync_comm::fabric::{Fabric, Payload};
 use selsync_comm::ps::{
-    run_round_server, run_ssp_server, send_shutdown, ssp_step, sync_round, SyncRequest,
+    recv_round_reply, run_round_server, run_ssp_server, send_shutdown, ssp_step, sync_round,
+    SyncRequest,
 };
 use selsync_comm::{Transport, TransportError};
 use selsync_data::{
     noniid_label_partition, partition_indices, BatchCursor, InjectionConfig, TextBatchCursor,
 };
 use selsync_nn::flat::{
-    flat_grads, flat_params, flat_params_into, set_flat_grads, set_flat_params,
+    flat_grads, flat_grads_into, flat_params, flat_params_into, set_flat_grads, set_flat_params,
 };
 use selsync_nn::loss::{accuracy, softmax_cross_entropy, topk_accuracy};
 use selsync_nn::models::ModelKind;
@@ -167,6 +169,42 @@ fn validate(config: &RunConfig, workload: &Workload) {
         assert!(
             grads_agg,
             "compression applies to gradient-aggregation syncs only"
+        );
+    }
+    if let Some(bucket) = config.overlap_buckets {
+        assert!(bucket > 0, "overlap bucket size must be positive");
+        assert!(
+            matches!(
+                config.strategy,
+                Strategy::Bsp {
+                    aggregation: Aggregation::Gradient
+                }
+            ),
+            "overlap_buckets pipelines the BSP gradient push; SelSync's \
+             sync decision needs the full gradient norm after backward"
+        );
+        assert_eq!(
+            config.backend,
+            SyncBackend::ParameterServer,
+            "overlap_buckets streams buckets to the PS; the ring is a barrier"
+        );
+        assert!(
+            config.grad_clip.is_none() && config.compression.is_none(),
+            "grad clipping and compression are whole-vector transforms; \
+             they cannot run while buckets are already on the wire"
+        );
+    }
+    if config.wire_compression {
+        assert!(
+            config.compression.is_some(),
+            "wire_compression ships the configured compression's wire form; \
+             set `compression` too"
+        );
+        assert_eq!(
+            config.backend,
+            SyncBackend::ParameterServer,
+            "compact wire payloads are densified by the PS; the ring \
+             reduces dense vectors"
         );
     }
 }
@@ -354,6 +392,9 @@ struct SyncCtx {
     n_workers: usize,
     backend: SyncBackend,
     compression: Option<CompressionKind>,
+    /// Ship the compact wire form ([`Payload::SparseGrad`] etc.) instead
+    /// of the densified reconstruction (DESIGN.md §12).
+    wire_compression: bool,
     /// DGC-style error-feedback residual for lossy compression.
     residual: Vec<f32>,
     /// Model bytes this worker contributed to syncs (post-compression).
@@ -362,10 +403,14 @@ struct SyncCtx {
 
 impl SyncCtx {
     /// Compress `grads` in place with error feedback; returns the wire
-    /// bytes the compressed representation would occupy.
-    fn compress_with_ef(&mut self, grads: &mut Vec<f32>) -> u64 {
+    /// bytes the compressed representation would occupy, plus the
+    /// compact wire payload itself when `wire_compression` is on (the
+    /// PS densifies it at arrival to exactly the same values as the
+    /// in-place reconstruction for Top-k and sign; PowerSGD's padded
+    /// reconstruction may reassociate float ops).
+    fn compress_with_ef(&mut self, grads: &mut Vec<f32>) -> (u64, Option<Payload>) {
         let Some(kind) = self.compression else {
-            return 4 * grads.len() as u64;
+            return (4 * grads.len() as u64, None);
         };
         if self.residual.len() != grads.len() {
             self.residual = vec![0.0; grads.len()];
@@ -374,15 +419,29 @@ impl SyncCtx {
         for (g, r) in grads.iter_mut().zip(&self.residual) {
             *g += r;
         }
-        let (lossy, bytes) = match kind {
+        let (lossy, bytes, wire) = match kind {
             CompressionKind::TopK { ratio } => {
                 let k = ((grads.len() as f32 * ratio) as usize).max(1);
                 let sparse = crate::compression::topk_compress(grads, k);
-                (sparse.to_dense(), sparse.wire_bytes())
+                let wire = self.wire_compression.then(|| Payload::SparseGrad {
+                    len: sparse.len as u32,
+                    indices: sparse.indices.clone(),
+                    values: sparse.values.clone(),
+                });
+                (sparse.to_dense(), sparse.wire_bytes(), wire)
             }
             CompressionKind::SignSgd => {
                 let sg = crate::compression::sign_compress(grads);
-                (crate::compression::sign_decompress(&sg), sg.wire_bytes())
+                let wire = self.wire_compression.then(|| Payload::SignGrad {
+                    len: sg.len as u32,
+                    scale: sg.scale,
+                    bits: sg.bits.clone(),
+                });
+                (
+                    crate::compression::sign_decompress(&sg),
+                    sg.wire_bytes(),
+                    wire,
+                )
             }
             CompressionKind::PowerSgd { rank } => {
                 // pad to a near-square matrix so the factorization is
@@ -393,11 +452,21 @@ impl SyncCtx {
                 let mut padded = grads.clone();
                 padded.resize(rows * cols, 0.0);
                 let (pm, qm) = crate::compression::powersgd_factorize(&padded, rows, rank, 1, 0);
+                // the factorization clamps the rank to the matrix shape
+                let eff_rank = pm.shape().dim(1);
+                let wire = self.wire_compression.then(|| Payload::LowRank {
+                    rows: rows as u32,
+                    cols: cols as u32,
+                    rank: eff_rank as u32,
+                    p: pm.as_slice().to_vec(),
+                    q: qm.as_slice().to_vec(),
+                });
                 let mut rec = crate::compression::powersgd_reconstruct(&pm, &qm);
                 rec.truncate(n);
                 (
                     rec,
-                    crate::compression::powersgd_wire_bytes(rows, cols, rank),
+                    crate::compression::powersgd_wire_bytes(rows, cols, eff_rank),
+                    wire,
                 )
             }
         };
@@ -405,7 +474,7 @@ impl SyncCtx {
             *r = g - l;
         }
         *grads = lossy;
-        bytes
+        (bytes, wire)
     }
 }
 
@@ -430,6 +499,7 @@ fn worker_main<T: Transport>(
         n_workers: n,
         backend: config.backend,
         compression: config.compression,
+        wire_compression: config.wire_compression,
         residual: Vec::new(),
         logical_bytes: 0,
     };
@@ -471,6 +541,8 @@ fn worker_main<T: Transport>(
     // first sync; the outgoing delta itself is wire-bound and moves into
     // the message)
     let mut ssp_before: Vec<f32> = Vec::new();
+    // loop-persistent flat-gradient scratch for the pipelined push
+    let mut grad_scratch: Vec<f32> = Vec::new();
 
     for step in 0..config.max_steps {
         opt.set_lr(config.lr.at(step));
@@ -492,7 +564,27 @@ fn worker_main<T: Transport>(
         let logits = model.as_model().forward(&batch.input, true);
         let (loss, dlogits) = softmax_cross_entropy(&logits, &batch.targets);
         model.as_model().zero_grad();
-        model.as_model().backward(&dlogits);
+        let pipelined = match config.overlap_buckets {
+            // pipelined BSP push (DESIGN.md §12): backward itself streams
+            // ready gradient buckets to the PS as the readiness watermark
+            // descends, overlapping comm with the rest of backprop
+            Some(bucket_size) => {
+                push_grad_buckets(
+                    ep,
+                    &mut ctx,
+                    step,
+                    &mut model,
+                    &dlogits,
+                    bucket_size,
+                    &mut grad_scratch,
+                )?;
+                true
+            }
+            None => {
+                model.as_model().backward(&dlogits);
+                false
+            }
+        };
         if let Some(max_norm) = config.grad_clip {
             selsync_nn::flat::clip_grad_norm(model.as_model(), max_norm);
         }
@@ -500,7 +592,15 @@ fn worker_main<T: Transport>(
         // --- strategy-specific update & communication ---
         let (synced, delta_g) = match config.strategy {
             Strategy::Bsp { aggregation } => {
-                apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation)?;
+                if pipelined {
+                    // the buckets are already on the wire; collect the
+                    // round average and apply it like the monolithic path
+                    let avg = recv_round_reply(ep, ctx.server, step)?;
+                    set_flat_grads(model.as_model(), &avg);
+                    opt.step(model.as_model());
+                } else {
+                    apply_sync(ep, &mut ctx, step, &mut model, &mut opt, aggregation)?;
+                }
                 (true, f32::NAN)
             }
             Strategy::LocalOnly => {
@@ -595,6 +695,68 @@ fn worker_main<T: Transport>(
     })
 }
 
+/// Pipelined backward + push (DESIGN.md §12): run
+/// [`Model::backward_hooked`] and ship every gradient bucket to the PS
+/// the moment the readiness watermark clears it, so communication
+/// overlaps the remaining backprop. Bucket `i` (covering flat range
+/// `[i·B, (i+1)·B)`) is final once `watermark <= i·B`; ready buckets
+/// are sent highest-index-first as the watermark descends. Buckets the
+/// hook never announced — e.g. a model falling back to the default
+/// un-hooked `backward` — are flushed after the pass, so the round
+/// always completes. The server reassembles strictly by bucket index,
+/// which keeps the result bit-identical to a monolithic push.
+///
+/// The caller still owns the round reply ([`recv_round_reply`]).
+fn push_grad_buckets<T: Transport>(
+    ep: &mut T,
+    ctx: &mut SyncCtx,
+    step: u64,
+    model: &mut AnyModel,
+    dlogits: &Tensor,
+    bucket_size: usize,
+    scratch: &mut Vec<f32>,
+) -> Result<(), TransportError> {
+    let total = model.as_visitor().num_params();
+    let server = ctx.server;
+    // lowest bucket index not yet sent, counting down from the top;
+    // everything in `unsent_hi..` is already on the wire
+    let mut unsent_hi = n_buckets(total, bucket_size);
+    let mut send_err: Option<TransportError> = None;
+    model
+        .as_model()
+        .backward_hooked(dlogits, &mut |watermark, m| {
+            if send_err.is_some() {
+                return;
+            }
+            // first bucket fully inside the finalized suffix [watermark..]
+            let ready_from = watermark.div_ceil(bucket_size).min(unsent_hi);
+            if ready_from >= unsent_hi {
+                return;
+            }
+            flat_grads_into(m, scratch);
+            match send_bucket_range(
+                ep,
+                server,
+                step,
+                scratch,
+                bucket_size,
+                ready_from..unsent_hi,
+            ) {
+                Ok(()) => unsent_hi = ready_from,
+                Err(e) => send_err = Some(e),
+            }
+        });
+    if let Some(e) = send_err {
+        return Err(e);
+    }
+    if unsent_hi > 0 {
+        flat_grads_into(model.as_visitor(), scratch);
+        send_bucket_range(ep, server, step, scratch, bucket_size, 0..unsent_hi)?;
+    }
+    ctx.logical_bytes += 4 * total as u64;
+    Ok(())
+}
+
 /// One synchronization (Alg. 1 lines 14–15 for PA; the §IV-D
 /// gradient-aggregation variant otherwise), through the configured
 /// transport: PS push/pull rounds or the decentralized ring allreduce
@@ -632,10 +794,24 @@ fn apply_sync<T: Transport>(
             // average (optionally compressed) gradients, then every
             // replica applies the same averaged update locally
             let mut grads = flat_grads(model.as_visitor());
-            ctx.logical_bytes += ctx.compress_with_ef(&mut grads);
+            let n_values = grads.len();
+            let (wire_bytes, wire_payload) = ctx.compress_with_ef(&mut grads);
+            ctx.logical_bytes += wire_bytes;
             match ctx.backend {
                 SyncBackend::ParameterServer => {
-                    let avg = sync_round(ep, ctx.server, step, SyncRequest::PushGrads(grads))?;
+                    let avg = match wire_payload {
+                        // ship the compact wire form; the server
+                        // densifies at arrival, and PowerSGD's matrix
+                        // padding is truncated back off the reply
+                        Some(payload) => {
+                            ep.send(ctx.server, step, payload)?;
+                            let mut v = recv_round_reply(ep, ctx.server, step)?.into_vec();
+                            v.truncate(n_values);
+                            v
+                        }
+                        None => sync_round(ep, ctx.server, step, SyncRequest::PushGrads(grads))?
+                            .into_vec(),
+                    };
                     set_flat_grads(model.as_model(), &avg);
                 }
                 SyncBackend::RingAllReduce => {
@@ -996,6 +1172,166 @@ mod tests {
             4,
         );
         cfg.compression = Some(CompressionKind::SignSgd);
+        let _ = run_distributed(&cfg, &mlp_workload());
+    }
+
+    #[test]
+    fn overlap_bucketed_run_matches_monolithic_bitwise() {
+        // the tentpole invariant (DESIGN.md §12): pipelining the push as
+        // buckets emitted during backward must not change a single bit —
+        // the PS fixes the reduction order by bucket index, not arrival
+        let wl = mlp_workload();
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Gradient,
+            },
+            3,
+            6,
+        );
+        let mono = run_distributed(&cfg, &wl);
+        cfg.overlap_buckets = Some(1000);
+        let bucketed = run_distributed(&cfg, &wl);
+        assert_eq!(mono.worker_params.len(), bucketed.worker_params.len());
+        for (m, b) in mono.worker_params.iter().zip(&bucketed.worker_params) {
+            let mb: Vec<u32> = m.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(mb, bb, "bucketed push must be bit-identical");
+        }
+        assert_eq!(
+            mono.logical_sync_bytes, bucketed.logical_sync_bytes,
+            "same model bytes either way"
+        );
+        assert!(
+            bucketed.comm_bytes > mono.comm_bytes,
+            "per-bucket frames carry header overhead: {} vs {}",
+            bucketed.comm_bytes,
+            mono.comm_bytes
+        );
+    }
+
+    #[test]
+    fn overlap_bucket_size_larger_than_model_still_works() {
+        let wl = mlp_workload();
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Gradient,
+            },
+            2,
+            4,
+        );
+        let mono = run_distributed(&cfg, &wl);
+        cfg.overlap_buckets = Some(usize::MAX / 2);
+        let one_bucket = run_distributed(&cfg, &wl);
+        assert_eq!(
+            mono.worker_params[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            one_bucket.worker_params[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_requires_gradient_aggregation() {
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Parameter,
+            },
+            2,
+            4,
+        );
+        cfg.overlap_buckets = Some(512);
+        let _ = run_distributed(&cfg, &mlp_workload());
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_rejects_whole_vector_transforms() {
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Gradient,
+            },
+            2,
+            4,
+        );
+        cfg.overlap_buckets = Some(512);
+        cfg.grad_clip = Some(1.0);
+        let _ = run_distributed(&cfg, &mlp_workload());
+    }
+
+    #[test]
+    fn wire_topk_matches_dense_push_bitwise_and_cuts_fabric_bytes() {
+        // top-k densification at the server is exact, so shipping the
+        // sparse wire form changes the physical bytes but not the math
+        let wl = mlp_workload();
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Gradient,
+            },
+            2,
+            6,
+        );
+        cfg.compression = Some(CompressionKind::TopK { ratio: 0.05 });
+        let dense_wire = run_distributed(&cfg, &wl);
+        cfg.wire_compression = true;
+        let compact = run_distributed(&cfg, &wl);
+        for (d, c) in dense_wire.worker_params.iter().zip(&compact.worker_params) {
+            let db: Vec<u32> = d.iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(db, cb, "server densification is exact for top-k");
+        }
+        assert!(
+            compact.comm_bytes < dense_wire.comm_bytes,
+            "sparse wire form must cut fabric bytes: {} vs {}",
+            compact.comm_bytes,
+            dense_wire.comm_bytes
+        );
+        assert_eq!(
+            compact.logical_sync_bytes, dense_wire.logical_sync_bytes,
+            "logical accounting is the compressed size either way"
+        );
+    }
+
+    #[test]
+    fn wire_sign_and_powersgd_runs_stay_finite() {
+        let wl = mlp_workload();
+        for kind in [
+            CompressionKind::SignSgd,
+            CompressionKind::PowerSgd { rank: 2 },
+        ] {
+            let mut cfg = quick(
+                Strategy::Bsp {
+                    aggregation: Aggregation::Gradient,
+                },
+                2,
+                4,
+            );
+            cfg.compression = Some(kind);
+            cfg.wire_compression = true;
+            let r = run_distributed(&cfg, &wl);
+            assert!(
+                r.final_params.iter().all(|v| v.is_finite()),
+                "{kind:?} wire run diverged"
+            );
+            assert!(r.comm_bytes > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn wire_compression_requires_a_compressor() {
+        let mut cfg = quick(
+            Strategy::Bsp {
+                aggregation: Aggregation::Gradient,
+            },
+            2,
+            4,
+        );
+        cfg.wire_compression = true;
         let _ = run_distributed(&cfg, &mlp_workload());
     }
 

@@ -125,11 +125,12 @@ struct NondetTime;
 
 /// Modules allowed to read the clock: they implement timeouts,
 /// watchdogs and liveness deadlines, where wall time is the point.
-const TIME_ALLOWLIST: [&str; 6] = [
+const TIME_ALLOWLIST: [&str; 7] = [
     "crates/comm/src/elastic.rs",
     "crates/comm/src/fabric.rs",
     "crates/comm/src/shard.rs",
     "crates/core/src/elastic.rs",
+    "crates/net/src/poll.rs",
     "crates/net/src/tcp.rs",
     "crates/serve/src/timer.rs",
 ];

@@ -1,0 +1,40 @@
+// fixture: true negative for wire-wildcard over the grown wire format —
+// a match covering the pipelined/compressed payload kinds (Bucket,
+// SparseGrad, SignGrad, LowRank) variant by variant, so the next codec
+// addition becomes a compile error at this site instead of silently
+// falling into a catch-all.
+enum Payload {
+    Params(Vec<f32>),
+    Bucket {
+        bucket: u32,
+        n_buckets: u32,
+        values: Vec<f32>,
+    },
+    SparseGrad {
+        len: u32,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    },
+    SignGrad {
+        len: u32,
+        scale: f32,
+        bits: Vec<u8>,
+    },
+    LowRank {
+        rows: u32,
+        cols: u32,
+        rank: u32,
+        factors: Vec<f32>,
+    },
+}
+
+struct Message {
+    payload: Payload,
+}
+
+fn densifiable(m: &Message) -> bool {
+    match &m.payload {
+        Payload::Params(_) | Payload::Bucket { .. } => false,
+        Payload::SparseGrad { .. } | Payload::SignGrad { .. } | Payload::LowRank { .. } => true,
+    }
+}

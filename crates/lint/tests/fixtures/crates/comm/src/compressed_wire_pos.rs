@@ -1,0 +1,27 @@
+// fixture: true positive for wire-wildcard over the grown wire format —
+// the catch-all arm would silently swallow the next compressed codec
+// variant (the exact bug exhaustive matching exists to prevent).
+enum Payload {
+    Params(Vec<f32>),
+    SparseGrad {
+        len: u32,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    },
+    SignGrad {
+        len: u32,
+        scale: f32,
+        bits: Vec<u8>,
+    },
+}
+
+struct Message {
+    payload: Payload,
+}
+
+fn compressed(m: &Message) -> bool {
+    match &m.payload {
+        Payload::SparseGrad { .. } | Payload::SignGrad { .. } => true,
+        _ => false,
+    }
+}

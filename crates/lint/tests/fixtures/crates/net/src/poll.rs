@@ -1,0 +1,8 @@
+// fixture: true negative for nondet-time — this path IS the allowlisted
+// event-driven poll-loop module crates/net/src/poll.rs, whose redial
+// pacing and idle-sleep scheduling may read the clock.
+use std::time::{Duration, Instant};
+
+fn next_redial(backoff: Duration) -> Instant {
+    Instant::now() + backoff
+}

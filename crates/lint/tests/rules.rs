@@ -61,6 +61,8 @@ fn nondet_time_positive_and_allowlisted_negative() {
     );
     // same call, but in the allowlisted watchdog module path
     assert!(rules_hit(&r, "crates/comm/src/elastic.rs").is_empty());
+    // and in the poll loop's allowlisted redial/idle-sleep module
+    assert!(rules_hit(&r, "crates/net/src/poll.rs").is_empty());
 }
 
 #[test]
@@ -133,6 +135,20 @@ fn wire_wildcard_positive_and_negative() {
     // exhaustive payload match, plus a wildcard over a non-protocol
     // scrutinee, both pass
     assert!(rules_hit(&r, "crates/comm/src/wire_wildcard_neg.rs").is_empty());
+}
+
+#[test]
+fn compressed_payload_kinds_demand_exhaustive_matches() {
+    let r = run_fixtures();
+    // a catch-all over the compressed wire kinds (SparseGrad/SignGrad)
+    // fires: it would silently swallow the next codec variant
+    assert_eq!(
+        findings(&r, "crates/comm/src/compressed_wire_pos.rs"),
+        vec![("wire-wildcard".into(), 25, false)]
+    );
+    // the variant-by-variant match over the full pipelined/compressed
+    // set (Bucket, SparseGrad, SignGrad, LowRank) stays silent
+    assert!(rules_hit(&r, "crates/comm/src/compressed_wire_neg.rs").is_empty());
 }
 
 #[test]

@@ -24,6 +24,12 @@
 //! * `Logits`:         `u32 count + count × f32` rows, then `u64 classes`
 //! * `ShardMap`:       `u64 version` + `u64 total` + `u32 count + count × u64` starts
 //! * `ShardPush`/`ShardPull`: `u32 count` + `count × f32` (Params-shaped)
+//! * `Bucket`:     `u32 bucket` + `u32 n_buckets` + `u32 count + count × f32` values
+//! * `SparseGrad`: `u32 len` + `u32 count + count × u32` indices +
+//!   `u32 count + count × f32` values
+//! * `SignGrad`:   `u32 len` + `f32 scale` + `u32 count + count × u8` bits
+//! * `LowRank`:    `u32 rows` + `u32 cols` + `u32 rank` +
+//!   `u32 count + count × f32` P + `u32 count + count × f32` Q
 //!
 //! Every inner `u32 count` is validated against the bytes actually
 //! remaining in the frame *before* anything is allocated, so a hostile
@@ -59,6 +65,10 @@ const KIND_LOGITS: u8 = 6;
 const KIND_SHARD_MAP: u8 = 7;
 const KIND_SHARD_PUSH: u8 = 8;
 const KIND_SHARD_PULL: u8 = 9;
+const KIND_BUCKET: u8 = 10;
+const KIND_SPARSE_GRAD: u8 = 11;
+const KIND_SIGN_GRAD: u8 = 12;
+const KIND_LOW_RANK: u8 = 13;
 
 /// Wire-protocol magic: `b"SSYN"` as a big-endian `u32`. A peer that
 /// opens with anything else is not speaking this protocol at all.
@@ -247,6 +257,10 @@ fn kind_of(payload: &Payload) -> u8 {
         Payload::ShardMap(_) => KIND_SHARD_MAP,
         Payload::ShardPush(_) => KIND_SHARD_PUSH,
         Payload::ShardPull(_) => KIND_SHARD_PULL,
+        Payload::Bucket { .. } => KIND_BUCKET,
+        Payload::SparseGrad { .. } => KIND_SPARSE_GRAD,
+        Payload::SignGrad { .. } => KIND_SIGN_GRAD,
+        Payload::LowRank { .. } => KIND_LOW_RANK,
     }
 }
 
@@ -299,6 +313,43 @@ pub fn encode_frame(from: usize, tag: u64, payload: &Payload) -> Bytes {
         // shard push/pull bodies are deliberately Params-shaped so the
         // K=1 sharded path moves exactly the monolithic byte count
         Payload::ShardPush(v) | Payload::ShardPull(v) => put_f32_section(&mut buf, v),
+        Payload::Bucket {
+            bucket,
+            n_buckets,
+            values,
+        } => {
+            buf.put_u32(*bucket);
+            buf.put_u32(*n_buckets);
+            put_f32_section(&mut buf, values);
+        }
+        Payload::SparseGrad {
+            len,
+            indices,
+            values,
+        } => {
+            buf.put_u32(*len);
+            put_u32_section(&mut buf, indices);
+            put_f32_section(&mut buf, values);
+        }
+        Payload::SignGrad { len, scale, bits } => {
+            buf.put_u32(*len);
+            buf.put_f32(*scale);
+            buf.put_u32(bits.len() as u32);
+            buf.put_slice(bits);
+        }
+        Payload::LowRank {
+            rows,
+            cols,
+            rank,
+            p,
+            q,
+        } => {
+            buf.put_u32(*rows);
+            buf.put_u32(*cols);
+            buf.put_u32(*rank);
+            put_f32_section(&mut buf, p);
+            put_f32_section(&mut buf, q);
+        }
     }
     // CRC covers everything after the length prefix
     let crc = crc32(&buf[4..]);
@@ -322,6 +373,13 @@ fn put_u64_section(buf: &mut BytesMut, v: &[usize]) {
     buf.put_u32(v.len() as u32);
     for x in v {
         buf.put_u64(*x as u64);
+    }
+}
+
+fn put_u32_section(buf: &mut BytesMut, v: &[u32]) {
+    buf.put_u32(v.len() as u32);
+    for x in v {
+        buf.put_u32(*x);
     }
 }
 
@@ -416,6 +474,53 @@ pub fn decode_after_len(buf: &[u8]) -> Result<Msg, FrameError> {
         }
         KIND_SHARD_PUSH => Payload::ShardPush(get_f32_section(&mut buf)?),
         KIND_SHARD_PULL => Payload::ShardPull(get_f32_section(&mut buf)?),
+        KIND_BUCKET => {
+            let bucket = get_u32_checked(&mut buf)?;
+            let n_buckets = get_u32_checked(&mut buf)?;
+            let values = get_f32_section(&mut buf)?;
+            // cross-field consistency (bucket < n_buckets) is the
+            // receiver's protocol layer's concern, like ShardMap's
+            // range sanity: the frame itself is well-formed
+            Payload::Bucket {
+                bucket,
+                n_buckets,
+                values,
+            }
+        }
+        KIND_SPARSE_GRAD => {
+            let len = get_u32_checked(&mut buf)?;
+            let indices = get_u32_section(&mut buf)?;
+            let values = get_f32_section(&mut buf)?;
+            Payload::SparseGrad {
+                len,
+                indices,
+                values,
+            }
+        }
+        KIND_SIGN_GRAD => {
+            let len = get_u32_checked(&mut buf)?;
+            let scale = {
+                let b = take(&mut buf, 4)?;
+                // lint:allow(unwrap-in-prod): take() returned exactly 4 bytes
+                f32::from_bits(u32::from_be_bytes(b.try_into().unwrap()))
+            };
+            let bits = take_section(&mut buf, 1)?.to_vec();
+            Payload::SignGrad { len, scale, bits }
+        }
+        KIND_LOW_RANK => {
+            let rows = get_u32_checked(&mut buf)?;
+            let cols = get_u32_checked(&mut buf)?;
+            let rank = get_u32_checked(&mut buf)?;
+            let p = get_f32_section(&mut buf)?;
+            let q = get_f32_section(&mut buf)?;
+            Payload::LowRank {
+                rows,
+                cols,
+                rank,
+                p,
+                q,
+            }
+        }
         other => return Err(FrameError::BadKind(other)),
     };
     if buf.has_remaining() {
@@ -474,6 +579,15 @@ fn get_f32_section(buf: &mut &[u8]) -> Result<Vec<f32>, FrameError> {
         .collect())
 }
 
+fn get_u32_section(buf: &mut &[u8]) -> Result<Vec<u32>, FrameError> {
+    let raw = take_section(buf, 4)?;
+    Ok(raw
+        .chunks_exact(4)
+        // lint:allow(unwrap-in-prod): chunks_exact(4) yields 4-byte slices
+        .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
 fn get_u64_section(buf: &mut &[u8]) -> Result<Vec<usize>, FrameError> {
     let raw = take_section(buf, 8)?;
     Ok(raw
@@ -520,6 +634,28 @@ mod tests {
             }),
             Payload::ShardPush(vec![2.0, -0.5, 9.75]),
             Payload::ShardPull(vec![]),
+            Payload::Bucket {
+                bucket: 3,
+                n_buckets: 7,
+                values: vec![1.0, -2.0, 0.5],
+            },
+            Payload::SparseGrad {
+                len: 64,
+                indices: vec![0, 31, 63],
+                values: vec![0.25, -1.5, 8.0],
+            },
+            Payload::SignGrad {
+                len: 12,
+                scale: 0.125,
+                bits: vec![0b1010_1010, 0b0000_1111],
+            },
+            Payload::LowRank {
+                rows: 3,
+                cols: 2,
+                rank: 1,
+                p: vec![1.0, 2.0, 3.0],
+                q: vec![-1.0, 0.5],
+            },
         ];
         for (i, p) in cases.into_iter().enumerate() {
             let m = roundtrip(i, i as u64 * 1000, p.clone());
@@ -609,6 +745,30 @@ mod tests {
         )
         .to_vec();
         let count_pos = 4 + 4 + 8 + 1 + 8 + 8;
+        frame[count_pos..count_pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        restamp(&mut frame);
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(FrameError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_sparse_index_count_is_rejected_without_allocation() {
+        // same property as the ShardMap case, for the u32 index section:
+        // a count claiming 2^32-1 indices must fail via Truncated before
+        // any allocation happens
+        let mut frame = encode_frame(
+            0,
+            0,
+            &Payload::SparseGrad {
+                len: 8,
+                indices: vec![1],
+                values: vec![2.0],
+            },
+        )
+        .to_vec();
+        let count_pos = 4 + 4 + 8 + 1 + 4; // header + dense-len field
         frame[count_pos..count_pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
         restamp(&mut frame);
         assert!(matches!(

@@ -1,0 +1,1165 @@
+//! Event-driven TCP fabric: one driver thread, nonblocking sockets, a
+//! std-only readiness loop.
+//!
+//! [`PollTcpEndpoint`] speaks exactly the wire protocol of the blocking
+//! fabric ([`crate::tcp::TcpEndpoint`]) — same 8-byte version
+//! handshake, same CRC-checked codec-v2 frames, same
+//! `max_frame_bytes` hostile-length cap, same typed
+//! [`TransportError`]s and [`LinkFault`] reports — but replaces the
+//! 2(N−1)+1 reader/writer/acceptor threads per rank with a **single
+//! driver thread** multiplexing every connection:
+//!
+//! * every socket (listener included) runs nonblocking; the driver
+//!   sweeps them in a loop, sleeping briefly only when a full sweep
+//!   makes no progress, so the loop needs nothing beyond `std` — no
+//!   epoll/kqueue binding — yet stays off-CPU when the fabric is idle;
+//! * each outbound peer owns a **write backpressure queue**: frames a
+//!   kernel send buffer will not take (`WouldBlock`) park in the queue
+//!   with a byte offset into the partially-written front frame, and the
+//!   driver resumes mid-frame on the next sweep — [`Transport::send`]
+//!   never blocks the caller, exactly like the channel fabric;
+//! * inbound connections parse incrementally: bytes accumulate in a
+//!   per-connection buffer and complete handshakes/frames peel off as
+//!   they arrive, so one slow peer trickling a large frame never stalls
+//!   the others (the head-of-line blocking a blocking `read_exact`
+//!   would impose).
+//!
+//! Byte-level damage — torn frames, CRC mismatches, hostile length
+//! prefixes, rejected handshakes — is reported and tallied exactly as
+//! the blocking fabric does: a typed [`LinkFault`] with the peer
+//! address and stream byte offset, a `corrupt_messages` tick, and the
+//! connection torn down (a stream that lost framing cannot be
+//! resynchronized; the peer's writer redials).
+//!
+//! A broken *established* outbound link redials with capped backoff
+//! within `reconnect_timeout`, paced by the sweep so the other peers
+//! keep flowing during the outage; only an exhausted budget (or a
+//! version-mismatch handshake, which a retry cannot fix) declares the
+//! peer unreachable.
+
+use crate::codec::{
+    decode_after_len, decode_handshake, encode_frame, encode_handshake, HANDSHAKE_BYTES,
+};
+use crate::tcp::{
+    bind_reuse, dial, link_fault, shake_hands_as_dialer, InboxEvent, LinkFault, TcpFabricConfig,
+};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use selsync_comm::{CommStats, Msg, Payload, Transport, TransportError};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long the driver sleeps after a sweep that made no progress —
+/// the poll loop's only timer, so it bounds added latency when a
+/// message arrives exactly as the driver dozes off.
+const IDLE_SLEEP: Duration = Duration::from_micros(500);
+
+/// Per-sweep cap on bytes read from one inbound connection, so a
+/// firehose peer cannot starve its neighbours within a sweep.
+const READ_CHUNK: usize = 256 * 1024;
+
+/// Dial budget for one *redial* attempt inside the driver loop. Short:
+/// a redial must not stall the sweep (and with it every other peer)
+/// for long; the overall budget is `reconnect_timeout` across
+/// attempts.
+const REDIAL_ATTEMPT: Duration = Duration::from_millis(100);
+
+/// One rank's handle on the event-driven TCP fabric. Implements
+/// [`Transport`] with the exact semantics of the blocking
+/// [`crate::tcp::TcpEndpoint`]; only the threading model differs.
+pub struct PollTcpEndpoint {
+    id: usize,
+    n: usize,
+    /// Frame queues into the driver; `None` at `id` (self-sends loop
+    /// back through `inbox_tx`). The driver drops a peer's receiver
+    /// when it declares the peer unreachable, which surfaces here as
+    /// `PeerUnreachable` on the next send — same contract as the
+    /// blocking fabric's writer threads.
+    outbound: Vec<Option<Sender<Bytes>>>,
+    inbox_tx: Sender<InboxEvent>,
+    inbox: Receiver<InboxEvent>,
+    pending: VecDeque<Msg>,
+    faults: Vec<LinkFault>,
+    stats: Arc<CommStats>,
+    recv_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+    driver: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl PollTcpEndpoint {
+    /// Bind `peers[rank]` and connect the mesh; see
+    /// [`crate::tcp::TcpEndpoint::connect`]. Dialing is blocking (ranks
+    /// may start in any order); once the mesh is up, everything runs on
+    /// the single driver thread.
+    ///
+    /// # Errors
+    /// Propagates bind/dial/handshake failures.
+    pub fn connect(config: TcpFabricConfig) -> io::Result<PollTcpEndpoint> {
+        let addr = config.peers[config.rank].as_str();
+        let deadline = Instant::now() + config.connect_timeout;
+        let listener = loop {
+            match bind_reuse(addr) {
+                Ok(l) => break l,
+                Err(e) if e.kind() == io::ErrorKind::AddrInUse && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        Self::connect_with_listener(config, listener)
+    }
+
+    /// Like [`connect`](Self::connect) but over a pre-bound listener —
+    /// lets tests bind port 0 and exchange the real addresses first.
+    ///
+    /// # Errors
+    /// Propagates dial/handshake failures.
+    pub fn connect_with_listener(
+        config: TcpFabricConfig,
+        listener: TcpListener,
+    ) -> io::Result<PollTcpEndpoint> {
+        let n = config.peers.len();
+        assert!(config.rank < n, "rank {} out of range 0..{n}", config.rank);
+        let local_addr = listener.local_addr()?;
+        let (inbox_tx, inbox) = unbounded::<InboxEvent>();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(CommStats::default());
+
+        // Spawn the driver *before* dialing: every dial below blocks on
+        // the peer's handshake echo, and the peer's own dials block on
+        // ours — so each rank's acceptor must already be serving while
+        // it dials, exactly as the blocking fabric's acceptor thread
+        // does. Established streams reach the driver over a channel.
+        listener.set_nonblocking(true)?;
+        let (conn_tx, conn_rx) = unbounded::<OutboundConn>();
+        let driver = {
+            let inbox = inbox_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let reconnect_timeout = config.reconnect_timeout;
+            let max_frame = config.max_frame_bytes;
+            let listener = (n > 1).then_some(listener);
+            std::thread::spawn(move || {
+                driver_loop(
+                    listener,
+                    &conn_rx,
+                    &inbox,
+                    &shutdown,
+                    &stats,
+                    max_frame,
+                    reconnect_timeout,
+                );
+            })
+        };
+
+        let mut outbound_tx: Vec<Option<Sender<Bytes>>> = Vec::with_capacity(n);
+        for (peer, addr) in config.peers.iter().enumerate() {
+            if peer == config.rank {
+                outbound_tx.push(None);
+                continue;
+            }
+            let established = dial(addr, config.connect_timeout).and_then(|mut stream| {
+                stream.set_nodelay(true)?;
+                shake_hands_as_dialer(&mut stream, config.connect_timeout)?;
+                stream.set_nonblocking(true)?;
+                Ok(stream)
+            });
+            match established {
+                Ok(stream) => {
+                    let (tx, rx) = unbounded::<Bytes>();
+                    outbound_tx.push(Some(tx));
+                    let _ = conn_tx.send(OutboundConn::established(addr.clone(), stream, rx));
+                }
+                Err(e) => {
+                    // unwind the half-built mesh before reporting
+                    shutdown.store(true, Ordering::SeqCst);
+                    drop(conn_tx);
+                    drop(outbound_tx);
+                    let _ = driver.join();
+                    return Err(e);
+                }
+            }
+        }
+        drop(conn_tx);
+
+        Ok(PollTcpEndpoint {
+            id: config.rank,
+            n,
+            outbound: outbound_tx,
+            inbox_tx,
+            inbox,
+            pending: VecDeque::new(),
+            faults: Vec::new(),
+            stats,
+            recv_timeout: config.recv_timeout,
+            shutdown,
+            driver: Some(driver),
+            local_addr,
+        })
+    }
+
+    /// The address this rank's listener actually bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Byte-level faults the driver has reported so far, in arrival
+    /// order (see [`crate::tcp::TcpEndpoint::link_faults`]).
+    pub fn link_faults(&mut self) -> &[LinkFault] {
+        while let Ok(ev) = self.inbox.try_recv() {
+            match ev {
+                InboxEvent::Msg(m) => {
+                    self.stats.record_recv(m.payload.wire_bytes());
+                    self.pending.push_back(m);
+                }
+                InboxEvent::Fault(f) => self.faults.push(f),
+            }
+        }
+        &self.faults
+    }
+
+    /// Flush queued frames to every peer, close the outbound streams,
+    /// and join the driver. Called implicitly on drop.
+    pub fn close(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        // Dropping the queues tells the driver to drain whatever is in
+        // flight, then FIN each peer and exit; only then raise the
+        // shutdown flag so inbound reading stops too.
+        self.outbound.clear();
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.driver.take() {
+            let _ = h.join();
+        }
+    }
+
+    fn blocking_recv(
+        &mut self,
+        timeout: Duration,
+        mut matches: impl FnMut(&Msg) -> bool,
+    ) -> Result<Msg, TransportError> {
+        if let Some(pos) = self.pending.iter().position(&mut matches) {
+            if let Some(m) = self.pending.remove(pos) {
+                return Ok(m);
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = match deadline.checked_duration_since(Instant::now()) {
+                Some(d) => d,
+                None => {
+                    return Err(TransportError::RecvTimeout {
+                        rank: self.id,
+                        waited: timeout,
+                        buffered: self.pending.len(),
+                    })
+                }
+            };
+            match self.inbox.recv_timeout(remaining) {
+                Ok(InboxEvent::Msg(m)) => {
+                    self.stats.record_recv(m.payload.wire_bytes());
+                    if matches(&m) {
+                        return Ok(m);
+                    }
+                    self.pending.push_back(m);
+                }
+                // a damaged frame behaves like a lost one, as on the
+                // blocking fabric
+                Ok(InboxEvent::Fault(f)) => self.faults.push(f),
+                Err(RecvTimeoutError::Timeout) => continue, // errors above
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Closed),
+            }
+        }
+    }
+}
+
+impl Transport for PollTcpEndpoint {
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn fabric_size(&self) -> usize {
+        self.n
+    }
+
+    fn stats(&self) -> &Arc<CommStats> {
+        &self.stats
+    }
+
+    fn send(&mut self, to: usize, tag: u64, payload: Payload) -> Result<(), TransportError> {
+        assert!(to < self.n, "destination {to} out of range");
+        let bytes = payload.wire_bytes();
+        if to == self.id {
+            self.inbox_tx
+                .send(InboxEvent::Msg(Msg {
+                    from: self.id,
+                    tag,
+                    payload,
+                }))
+                .map_err(|_| TransportError::Closed)?;
+            self.stats.record(bytes);
+            return Ok(());
+        }
+        let frame = encode_frame(self.id, tag, &payload);
+        match self.outbound.get(to).and_then(|s| s.as_ref()) {
+            None => return Err(TransportError::Closed),
+            Some(tx) => tx
+                .send(frame)
+                .map_err(|_| TransportError::PeerUnreachable { peer: to })?,
+        }
+        self.stats.record(bytes);
+        Ok(())
+    }
+
+    fn recv_any(&mut self) -> Result<Msg, TransportError> {
+        self.blocking_recv(self.recv_timeout, |_| true)
+    }
+
+    fn recv_tagged(&mut self, from: Option<usize>, tag: u64) -> Result<Msg, TransportError> {
+        self.blocking_recv(self.recv_timeout, |m| {
+            m.tag == tag && from.is_none_or(|f| m.from == f)
+        })
+    }
+
+    fn recv_deadline(
+        &mut self,
+        from: Option<usize>,
+        tag: Option<u64>,
+        timeout: Duration,
+    ) -> Result<Msg, TransportError> {
+        self.blocking_recv(timeout, |m| m.matches(from, tag))
+    }
+
+    fn try_recv(&mut self) -> Option<Msg> {
+        if let Some(m) = self.pending.pop_front() {
+            return Some(m);
+        }
+        loop {
+            match self.inbox.try_recv().ok()? {
+                InboxEvent::Msg(m) => {
+                    self.stats.record_recv(m.payload.wire_bytes());
+                    return Some(m);
+                }
+                InboxEvent::Fault(f) => self.faults.push(f),
+            }
+        }
+    }
+}
+
+impl Drop for PollTcpEndpoint {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// One accepted inbound connection: its socket, an accumulation buffer
+/// the incremental parser peels handshakes/frames off of, and the
+/// not-yet-written tail of our handshake echo.
+struct InboundConn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    /// Unparsed inbound bytes (at most a partial frame once parsing
+    /// catches up).
+    buf: Vec<u8>,
+    /// Stream bytes fully parsed so far — the frame-boundary offset
+    /// fault reports anchor to.
+    offset: u64,
+    handshaken: bool,
+    /// Our handshake preamble, written opportunistically (the peer's
+    /// dialer blocks on reading it, we must not block sending it).
+    echo_pending: Vec<u8>,
+    echo_off: usize,
+}
+
+/// One outbound peer: the live socket (when up), the frames the
+/// endpoint queued, and the redial state for a broken link.
+struct OutboundConn {
+    addr: String,
+    stream: Option<TcpStream>,
+    /// Frame source from the endpoint; dropped to signal
+    /// `PeerUnreachable` once the peer is given up on.
+    rx: Option<Receiver<Bytes>>,
+    /// Backpressure queue: frames the socket would not take yet.
+    queue: VecDeque<Bytes>,
+    /// Bytes of the front frame already written (mid-frame resume).
+    front_off: usize,
+    /// Redial pacing for a broken established link.
+    redial_deadline: Instant,
+    next_redial: Instant,
+    backoff: Duration,
+    /// FIN sent; nothing more to do for this peer.
+    finished: bool,
+}
+
+impl OutboundConn {
+    fn established(addr: String, stream: TcpStream, rx: Receiver<Bytes>) -> OutboundConn {
+        let now = Instant::now();
+        OutboundConn {
+            addr,
+            stream: Some(stream),
+            rx: Some(rx),
+            queue: VecDeque::new(),
+            front_off: 0,
+            redial_deadline: now,
+            next_redial: now,
+            backoff: Duration::from_millis(20),
+            finished: false,
+        }
+    }
+
+    /// The link just broke: drop the dead socket and arm the redial
+    /// clock. Bytes the dead kernel socket had buffered are lost, which
+    /// the protocol retry layers absorb — same contract as the blocking
+    /// fabric's writer threads.
+    fn mark_broken(&mut self, reconnect_timeout: Duration) {
+        self.stream = None;
+        self.front_off = 0; // the partial frame died with the socket
+        if !self.queue.is_empty() {
+            self.queue.pop_front();
+        }
+        let now = Instant::now();
+        self.redial_deadline = now + reconnect_timeout;
+        self.next_redial = now;
+        self.backoff = Duration::from_millis(20);
+    }
+
+    /// Give up on this peer: further sends surface `PeerUnreachable`.
+    fn give_up(&mut self) {
+        self.rx = None;
+        self.queue.clear();
+        self.front_off = 0;
+        self.finished = true;
+    }
+}
+
+/// The single-thread readiness loop. Sweeps: accept new inbound
+/// connections, read+parse every inbound socket, drain the endpoint's
+/// frame queues into per-peer write queues and flush them, pace
+/// redials for broken links. Sleeps [`IDLE_SLEEP`] only when a whole
+/// sweep moved no bytes.
+#[allow(clippy::too_many_lines)]
+fn driver_loop(
+    listener: Option<TcpListener>,
+    new_conns: &Receiver<OutboundConn>,
+    inbox: &Sender<InboxEvent>,
+    shutdown: &AtomicBool,
+    stats: &CommStats,
+    max_frame: usize,
+    reconnect_timeout: Duration,
+) {
+    let mut outbound: Vec<OutboundConn> = Vec::new();
+    let mut inbound: Vec<InboundConn> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        let mut progressed = false;
+        let shutting = shutdown.load(Ordering::SeqCst);
+
+        // adopt streams the connect path finished dialing
+        while let Ok(conn) = new_conns.try_recv() {
+            outbound.push(conn);
+            progressed = true;
+        }
+
+        // --- accept ---
+        if !shutting {
+            if let Some(l) = &listener {
+                loop {
+                    match l.accept() {
+                        Ok((stream, peer)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            let _ = stream.set_nodelay(true);
+                            inbound.push(InboundConn {
+                                stream,
+                                peer,
+                                buf: Vec::new(),
+                                offset: 0,
+                                handshaken: false,
+                                echo_pending: encode_handshake().to_vec(),
+                                echo_off: 0,
+                            });
+                            progressed = true;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+
+        // --- inbound: echo, read, parse ---
+        if !shutting {
+            let mut i = 0;
+            while i < inbound.len() {
+                match pump_inbound(
+                    &mut inbound[i],
+                    &mut chunk,
+                    inbox,
+                    stats,
+                    max_frame,
+                    shutdown,
+                ) {
+                    PumpOutcome::Progress => {
+                        progressed = true;
+                        i += 1;
+                    }
+                    PumpOutcome::Idle => i += 1,
+                    PumpOutcome::Closed => {
+                        inbound.swap_remove(i);
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // --- outbound: drain queues, flush, redial ---
+        for conn in &mut outbound {
+            if conn.finished {
+                continue;
+            }
+            // pull everything the endpoint has queued
+            let mut disconnected = false;
+            if let Some(rx) = &conn.rx {
+                loop {
+                    match rx.try_recv() {
+                        Ok(frame) => {
+                            conn.queue.push_back(frame);
+                            progressed = true;
+                        }
+                        Err(crossbeam::channel::TryRecvError::Empty) => break,
+                        Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // flush the backpressure queue into the socket
+            if let Some(stream) = &mut conn.stream {
+                let mut broken = false;
+                while let Some(front) = conn.queue.front() {
+                    match stream.write(&front[conn.front_off..]) {
+                        Ok(0) => {
+                            broken = true;
+                            break;
+                        }
+                        Ok(k) => {
+                            conn.front_off += k;
+                            progressed = true;
+                            if conn.front_off == front.len() {
+                                conn.queue.pop_front();
+                                conn.front_off = 0;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            broken = true;
+                            break;
+                        }
+                    }
+                }
+                if broken {
+                    conn.mark_broken(reconnect_timeout);
+                    progressed = true;
+                }
+            } else if conn.rx.is_some() || !conn.queue.is_empty() {
+                // broken link with traffic still owed: pace the redials
+                let now = Instant::now();
+                if now >= conn.redial_deadline {
+                    if !shutdown.load(Ordering::SeqCst) {
+                        eprintln!(
+                            "selsync-net: reconnect to {} failed after {reconnect_timeout:?}",
+                            conn.addr
+                        );
+                    }
+                    conn.give_up();
+                } else if now >= conn.next_redial {
+                    match redial_once(&conn.addr) {
+                        RedialOutcome::Up(s) => {
+                            conn.stream = Some(s);
+                            progressed = true;
+                        }
+                        RedialOutcome::Fatal => {
+                            if !shutdown.load(Ordering::SeqCst) {
+                                eprintln!(
+                                    "selsync-net: reconnect to {}: handshake rejected",
+                                    conn.addr
+                                );
+                            }
+                            conn.give_up();
+                        }
+                        RedialOutcome::Retry => {
+                            conn.next_redial = Instant::now() + conn.backoff;
+                            conn.backoff = (conn.backoff * 2).min(Duration::from_millis(500));
+                        }
+                    }
+                }
+            }
+            // endpoint gone and everything flushed: FIN and finish
+            if disconnected {
+                conn.rx = None;
+            }
+            if conn.rx.is_none() && conn.queue.is_empty() && !conn.finished {
+                if let Some(s) = &conn.stream {
+                    let _ = s.shutdown(Shutdown::Write);
+                }
+                conn.finished = true;
+            }
+        }
+
+        if outbound.iter().all(|c| c.finished) && shutting {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_SLEEP);
+        }
+    }
+}
+
+/// What one inbound sweep step did.
+enum PumpOutcome {
+    Progress,
+    Idle,
+    /// Clean EOF, fault, or local shutdown: the connection is done.
+    Closed,
+}
+
+/// One redial attempt's result.
+enum RedialOutcome {
+    Up(TcpStream),
+    /// Version mismatch — retrying cannot help.
+    Fatal,
+    Retry,
+}
+
+/// One short, bounded redial attempt (so the sweep never stalls long).
+fn redial_once(addr: &str) -> RedialOutcome {
+    let Ok(sock_addr) = addr.parse::<SocketAddr>() else {
+        // hostname peers resolve through the blocking dial path
+        return match dial(addr, REDIAL_ATTEMPT) {
+            Ok(s) => finish_redial(s),
+            Err(_) => RedialOutcome::Retry,
+        };
+    };
+    match TcpStream::connect_timeout(&sock_addr, REDIAL_ATTEMPT) {
+        Ok(s) => finish_redial(s),
+        Err(_) => RedialOutcome::Retry,
+    }
+}
+
+fn finish_redial(mut s: TcpStream) -> RedialOutcome {
+    let _ = s.set_nodelay(true);
+    match shake_hands_as_dialer(&mut s, REDIAL_ATTEMPT) {
+        Ok(()) => {
+            if s.set_nonblocking(true).is_err() {
+                return RedialOutcome::Retry;
+            }
+            RedialOutcome::Up(s)
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => RedialOutcome::Fatal,
+        Err(_) => RedialOutcome::Retry,
+    }
+}
+
+/// Service one inbound connection: push our handshake echo, read
+/// whatever the socket has (up to [`READ_CHUNK`]), and peel completed
+/// handshakes/frames off the buffer.
+fn pump_inbound(
+    conn: &mut InboundConn,
+    chunk: &mut [u8],
+    inbox: &Sender<InboxEvent>,
+    stats: &CommStats,
+    max_frame: usize,
+    shutdown: &AtomicBool,
+) -> PumpOutcome {
+    let mut progressed = false;
+
+    // write our half of the preamble (opportunistically, never blocking)
+    while conn.echo_off < conn.echo_pending.len() {
+        match conn.stream.write(&conn.echo_pending[conn.echo_off..]) {
+            Ok(0) => return PumpOutcome::Closed,
+            Ok(k) => {
+                conn.echo_off += k;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return PumpOutcome::Closed,
+        }
+    }
+
+    // read what the socket has
+    let mut eof = false;
+    let mut read_total = 0;
+    loop {
+        match conn.stream.read(chunk) {
+            Ok(0) => {
+                eof = true;
+                break;
+            }
+            Ok(k) => {
+                conn.buf.extend_from_slice(&chunk[..k]);
+                read_total += k;
+                progressed = true;
+                if read_total >= READ_CHUNK {
+                    break; // fairness: let the other connections run
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                eof = true; // connection reset mid-stream
+                break;
+            }
+        }
+    }
+
+    let report = |offset: u64, detail: &str| {
+        if !shutdown.load(Ordering::SeqCst) {
+            let _ = inbox.send(InboxEvent::Fault(link_fault(conn.peer, offset, detail)));
+        }
+    };
+
+    // parse: handshake first, then complete frames
+    let mut consumed = 0usize;
+    loop {
+        let avail = conn.buf.len() - consumed;
+        if !conn.handshaken {
+            if avail < HANDSHAKE_BYTES {
+                break;
+            }
+            let mut preamble = [0u8; HANDSHAKE_BYTES];
+            preamble.copy_from_slice(&conn.buf[consumed..consumed + HANDSHAKE_BYTES]);
+            match decode_handshake(&preamble) {
+                Ok(_) => {
+                    conn.handshaken = true;
+                    consumed += HANDSHAKE_BYTES;
+                    conn.offset += HANDSHAKE_BYTES as u64;
+                    progressed = true;
+                    continue;
+                }
+                Err(e) => {
+                    report(0, &format!("handshake rejected: {e}"));
+                    return PumpOutcome::Closed;
+                }
+            }
+        }
+        if avail < 4 {
+            break;
+        }
+        let len = u32::from_be_bytes(
+            conn.buf[consumed..consumed + 4]
+                .try_into()
+                .unwrap_or([0; 4]),
+        ) as usize;
+        if len > max_frame {
+            stats.record_corrupt(4);
+            report(
+                conn.offset,
+                &format!("hostile frame length {len} exceeds the {max_frame}-byte cap"),
+            );
+            return PumpOutcome::Closed;
+        }
+        if avail < 4 + len {
+            break; // partial frame: wait for more bytes
+        }
+        match decode_after_len(&conn.buf[consumed + 4..consumed + 4 + len]) {
+            Ok(msg) => {
+                if inbox.send(InboxEvent::Msg(msg)).is_err() {
+                    return PumpOutcome::Closed; // endpoint gone
+                }
+                consumed += 4 + len;
+                conn.offset += 4 + len as u64;
+                progressed = true;
+            }
+            Err(e) => {
+                // CRC mismatch or structural damage: frame lost, stream
+                // no longer trustworthy — tear the connection down
+                stats.record_corrupt(4 + len as u64);
+                report(conn.offset, &format!("frame rejected: {e}"));
+                return PumpOutcome::Closed;
+            }
+        }
+    }
+    if consumed > 0 {
+        conn.buf.drain(..consumed);
+    }
+
+    if eof {
+        if conn.buf.is_empty() {
+            return PumpOutcome::Closed; // clean EOF at a frame boundary
+        }
+        // torn frame: the peer died mid-frame (or mid-handshake)
+        let (filled, detail) = if !conn.handshaken {
+            (
+                conn.buf.len(),
+                format!(
+                    "connection died {} bytes into the {HANDSHAKE_BYTES}-byte handshake",
+                    conn.buf.len()
+                ),
+            )
+        } else if conn.buf.len() < 4 {
+            (
+                conn.buf.len(),
+                format!(
+                    "torn frame: {} of 4 length-prefix bytes, then EOF",
+                    conn.buf.len()
+                ),
+            )
+        } else {
+            let len = u32::from_be_bytes(conn.buf[..4].try_into().unwrap_or([0; 4])) as usize;
+            (
+                conn.buf.len(),
+                format!(
+                    "torn frame: {} of {len} body bytes, then EOF",
+                    conn.buf.len() - 4
+                ),
+            )
+        };
+        stats.record_corrupt(filled as u64);
+        report(conn.offset + filled as u64, &detail);
+        return PumpOutcome::Closed;
+    }
+    if progressed {
+        PumpOutcome::Progress
+    } else {
+        PumpOutcome::Idle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Bind `n` loopback listeners on ephemeral ports and connect a
+    /// full mesh of poll endpoints over them.
+    fn loopback_fabric(n: usize) -> Vec<PollTcpEndpoint> {
+        let listeners: Vec<TcpListener> = (0..n)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let peers: Vec<String> = listeners
+            .iter()
+            .map(|l| l.local_addr().unwrap().to_string())
+            .collect();
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let mut config = TcpFabricConfig::new(rank, peers.clone());
+                config.recv_timeout = Duration::from_secs(20);
+                thread::spawn(move || {
+                    PollTcpEndpoint::connect_with_listener(config, listener).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn point_to_point_and_self_send() {
+        let mut eps = loopback_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 1, Payload::Params(vec![1.0, -2.0])).unwrap();
+        let m = a.recv_tagged(Some(1), 1).unwrap();
+        assert_eq!(m.from, 1);
+        assert_eq!(m.payload, Payload::Params(vec![1.0, -2.0]));
+        a.send(0, 2, Payload::Control(9)).unwrap(); // self-send loops back
+        assert_eq!(
+            a.recv_tagged(Some(0), 2).unwrap().payload,
+            Payload::Control(9)
+        );
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn tagged_receive_buffers_out_of_order() {
+        let mut eps = loopback_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        b.send(0, 2, Payload::Control(2)).unwrap();
+        b.send(0, 1, Payload::Control(1)).unwrap();
+        assert_eq!(a.recv_tagged(None, 1).unwrap().payload, Payload::Control(1));
+        assert_eq!(
+            a.recv_tagged(Some(1), 2).unwrap().payload,
+            Payload::Control(2)
+        );
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn byte_accounting_matches_encoded_frames() {
+        let mut eps = loopback_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let payloads = [
+            Payload::Params(vec![0.5; 33]),
+            Payload::Bucket {
+                bucket: 1,
+                n_buckets: 3,
+                values: vec![2.0; 9],
+            },
+            Payload::SparseGrad {
+                len: 16,
+                indices: vec![3, 9],
+                values: vec![1.5, -0.5],
+            },
+            Payload::Control(7),
+        ];
+        let mut expected = 0u64;
+        for (i, p) in payloads.iter().enumerate() {
+            expected += encode_frame(1, i as u64, p).len() as u64;
+            b.send(0, i as u64, p.clone()).unwrap();
+        }
+        for i in 0..payloads.len() {
+            let _ = a.recv_tagged(Some(1), i as u64).unwrap();
+        }
+        assert_eq!(b.stats().total_bytes(), expected);
+        assert_eq!(b.stats().total_messages(), payloads.len() as u64);
+        a.close();
+        b.close();
+    }
+
+    /// One driver thread multiplexes all peers: a 4-rank mesh exchanges
+    /// ring traffic with every endpoint on its own thread.
+    #[test]
+    fn mesh_ring_traffic_across_threads() {
+        let n = 4;
+        let eps = loopback_fabric(n);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let me = ep.id();
+                    let next = (me + 1) % n;
+                    let prev = (me + n - 1) % n;
+                    for step in 0..50u64 {
+                        ep.send(next, step, Payload::Params(vec![me as f32, step as f32]))
+                            .unwrap();
+                        let m = ep.recv_tagged(Some(prev), step).unwrap();
+                        assert_eq!(m.payload, Payload::Params(vec![prev as f32, step as f32]));
+                    }
+                    ep.close();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// The write backpressure queue: a burst of large frames far beyond
+    /// any kernel send buffer parks in the driver's per-peer queue and
+    /// drains completely while the receiver slowly catches up.
+    #[test]
+    fn write_backpressure_queue_drains_a_large_burst() {
+        let mut eps = loopback_fabric(2);
+        let mut b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let big = vec![1.5f32; 128 * 1024]; // 512 KiB per frame
+        let frames = 32u64; // ~16 MiB total, far beyond SO_SNDBUF
+        for i in 0..frames {
+            b.send(0, i, Payload::Params(big.clone())).unwrap(); // never blocks
+        }
+        for i in 0..frames {
+            let m = a.recv_tagged(Some(1), i).unwrap();
+            assert!(matches!(m.payload, Payload::Params(v) if v.len() == big.len()));
+        }
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn recv_watchdog_is_an_error_not_a_panic() {
+        let mut eps = loopback_fabric(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        let err = a
+            .recv_deadline(None, Some(42), Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::RecvTimeout { rank: 0, .. }));
+        a.close();
+        b.close();
+    }
+
+    #[test]
+    fn send_after_close_is_an_error_not_a_panic() {
+        let mut eps = loopback_fabric(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        a.teardown();
+        let err = a.send(1, 0, Payload::Control(1)).unwrap_err();
+        assert_eq!(err, TransportError::Closed);
+        b.close();
+    }
+
+    /// The poll fabric speaks the exact wire protocol of the blocking
+    /// fabric: a mixed mesh (one blocking rank, one poll rank)
+    /// exchanges traffic transparently.
+    #[test]
+    fn interoperates_with_the_blocking_fabric() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let cfg0 = TcpFabricConfig::new(0, peers.clone());
+        let cfg1 = TcpFabricConfig::new(1, peers);
+        let t0 = thread::spawn(move || {
+            crate::tcp::TcpEndpoint::connect_with_listener(cfg0, l0).unwrap()
+        });
+        let t1 = thread::spawn(move || PollTcpEndpoint::connect_with_listener(cfg1, l1).unwrap());
+        let mut blocking = t0.join().unwrap();
+        let mut polled = t1.join().unwrap();
+        blocking
+            .send(1, 5, Payload::Grads(vec![0.25, -0.75]))
+            .unwrap();
+        assert_eq!(
+            polled.recv_tagged(Some(0), 5).unwrap().payload,
+            Payload::Grads(vec![0.25, -0.75])
+        );
+        polled
+            .send(
+                0,
+                6,
+                Payload::SignGrad {
+                    len: 5,
+                    scale: 0.5,
+                    bits: vec![0b10101],
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            blocking.recv_tagged(Some(1), 6).unwrap().payload,
+            Payload::SignGrad {
+                len: 5,
+                scale: 0.5,
+                bits: vec![0b10101],
+            }
+        );
+        polled.close();
+        blocking.close();
+    }
+
+    /// A CRC-corrupted frame surfaces as a typed `LinkFault` with the
+    /// stream offset, tallies `corrupt_messages`, and never decodes —
+    /// the same contract the blocking fabric's torn-frame suite proves.
+    #[test]
+    fn corrupt_frame_is_a_typed_fault_not_a_message() {
+        // 2-rank fabric where the test plays rank 1 over raw sockets:
+        // the answer thread completes rank 0's outbound handshake, then
+        // the test dials rank 0's listener directly to inject damage.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let raw = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            raw.local_addr().unwrap().to_string(),
+        ];
+        let mut cfg = TcpFabricConfig::new(0, peers);
+        cfg.recv_timeout = Duration::from_secs(5);
+        let answer = thread::spawn(move || {
+            let (mut s, _) = raw.accept().unwrap();
+            let mut preamble = [0u8; HANDSHAKE_BYTES];
+            s.read_exact(&mut preamble).unwrap();
+            decode_handshake(&preamble).unwrap();
+            s.write_all(&encode_handshake()).unwrap();
+            s
+        });
+        let mut ep = PollTcpEndpoint::connect_with_listener(cfg, l0).unwrap();
+        let _peer_side = answer.join().unwrap();
+
+        // dial rank 0's listener raw and send a handshake + a frame with
+        // a flipped CRC byte, then a clean frame on a fresh connection
+        let addr = ep.local_addr().to_string();
+        let mut evil = TcpStream::connect(&addr).unwrap();
+        evil.write_all(&encode_handshake()).unwrap();
+        let mut good = encode_frame(1, 9, &Payload::Control(9)).to_vec();
+        let last = good.len() - 1;
+        good[last] ^= 0xFF; // break the CRC trailer
+        evil.write_all(&good).unwrap();
+        evil.flush().unwrap();
+
+        // the fault arrives instead of a message
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let faults = ep.link_faults();
+            if !faults.is_empty() {
+                assert!(matches!(faults[0].error, TransportError::Protocol(_)));
+                assert_eq!(faults[0].offset, HANDSHAKE_BYTES as u64);
+                break;
+            }
+            assert!(Instant::now() < deadline, "fault never reported");
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(ep.stats().corrupt_messages(), 1);
+
+        // the damaged connection is torn down; a fresh one still works
+        let mut clean = TcpStream::connect(&addr).unwrap();
+        clean.write_all(&encode_handshake()).unwrap();
+        clean
+            .write_all(&encode_frame(1, 10, &Payload::Control(10)))
+            .unwrap();
+        let m = ep
+            .recv_deadline(None, Some(10), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(m.payload, Payload::Control(10));
+        ep.close();
+    }
+
+    /// A hostile length prefix is rejected before any allocation.
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let raw = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peers = vec![
+            l0.local_addr().unwrap().to_string(),
+            raw.local_addr().unwrap().to_string(),
+        ];
+        let mut cfg = TcpFabricConfig::new(0, peers);
+        cfg.recv_timeout = Duration::from_secs(5);
+        cfg.max_frame_bytes = 1024;
+        let answer = thread::spawn(move || {
+            let (mut s, _) = raw.accept().unwrap();
+            let mut preamble = [0u8; HANDSHAKE_BYTES];
+            s.read_exact(&mut preamble).unwrap();
+            s.write_all(&encode_handshake()).unwrap();
+            s
+        });
+        let mut ep = PollTcpEndpoint::connect_with_listener(cfg, l0).unwrap();
+        drop(answer.join().unwrap());
+
+        let mut evil = TcpStream::connect(ep.local_addr()).unwrap();
+        evil.write_all(&encode_handshake()).unwrap();
+        evil.write_all(&u32::MAX.to_be_bytes()).unwrap(); // 4 GiB "frame"
+        evil.flush().unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let faults = ep.link_faults();
+            if !faults.is_empty() {
+                let TransportError::Protocol(detail) = &faults[0].error else {
+                    panic!("expected a Protocol fault");
+                };
+                assert!(detail.contains("hostile frame length"), "{detail}");
+                break;
+            }
+            assert!(Instant::now() < deadline, "fault never reported");
+            thread::sleep(Duration::from_millis(10));
+        }
+        ep.close();
+    }
+}

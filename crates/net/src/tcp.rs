@@ -107,7 +107,7 @@ pub struct LinkFault {
     pub error: TransportError,
 }
 
-fn link_fault(peer: SocketAddr, offset: u64, detail: &str) -> LinkFault {
+pub(crate) fn link_fault(peer: SocketAddr, offset: u64, detail: &str) -> LinkFault {
     LinkFault {
         peer,
         offset,
@@ -119,7 +119,7 @@ fn link_fault(peer: SocketAddr, offset: u64, detail: &str) -> LinkFault {
 
 /// What reader threads feed the shared inbox: decoded messages, plus
 /// typed fault reports the endpoint collects off to the side.
-enum InboxEvent {
+pub(crate) enum InboxEvent {
     Msg(Msg),
     Fault(LinkFault),
 }
@@ -134,7 +134,7 @@ enum InboxEvent {
 /// — and for anything but a literal IPv4 address — it falls back to
 /// the plain std bind, which costs only restart latency, never
 /// correctness.
-fn bind_reuse(addr: &str) -> io::Result<TcpListener> {
+pub(crate) fn bind_reuse(addr: &str) -> io::Result<TcpListener> {
     #[cfg(target_os = "linux")]
     if let Ok(SocketAddr::V4(v4)) = addr.parse::<SocketAddr>() {
         return bind_reuse_v4(&v4);
@@ -511,7 +511,7 @@ impl Drop for TcpEndpoint {
 
 /// Dial `addr` until it answers or `timeout` elapses. Exponential
 /// backoff from 20ms; lets a whole fleet be launched in any order.
-fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
+pub(crate) fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
     let deadline = Instant::now() + timeout;
     let mut backoff = Duration::from_millis(20);
     loop {
@@ -536,7 +536,7 @@ fn dial(addr: &str, timeout: Duration) -> io::Result<TcpStream> {
 /// `InvalidData` [`io::Error`] wrapping [`crate::codec::FrameError`],
 /// recoverable via [`io::Error::get_ref`]) if the peer speaks a
 /// different version or no SelSync at all.
-fn shake_hands_as_dialer(stream: &mut TcpStream, timeout: Duration) -> io::Result<()> {
+pub(crate) fn shake_hands_as_dialer(stream: &mut TcpStream, timeout: Duration) -> io::Result<()> {
     stream.write_all(&encode_handshake())?;
     stream.set_read_timeout(Some(timeout))?;
     let mut echo = [0u8; HANDSHAKE_BYTES];

@@ -1,6 +1,6 @@
 //! Seeded mutational frame fuzzer: proof that decode is *total*.
 //!
-//! Every iteration encodes a frame from one of the 11 `Payload`
+//! Every iteration encodes a frame from one of the 15 `Payload`
 //! variants, damages it (bit flips, truncation, extension, hostile
 //! length/count overwrites with a restamped CRC, or pure garbage), and
 //! feeds it to the decoder. Two properties must hold for every input:
@@ -53,7 +53,7 @@ impl Rng {
     }
 }
 
-/// One of the 11 payload variants, sized small so tens of thousands of
+/// One of the 15 payload variants, sized small so tens of thousands of
 /// iterations stay fast.
 fn gen_payload(rng: &mut Rng, variant: usize) -> Payload {
     match variant {
@@ -81,7 +81,29 @@ fn gen_payload(rng: &mut Rng, variant: usize) -> Payload {
             starts: (0..rng.below(9)).map(|_| rng.next()).collect(),
         }),
         9 => Payload::ShardPush(rng.f32_vec(24)),
-        _ => Payload::ShardPull(rng.f32_vec(24)),
+        10 => Payload::ShardPull(rng.f32_vec(24)),
+        11 => Payload::Bucket {
+            bucket: rng.next() as u32,
+            n_buckets: rng.next() as u32,
+            values: rng.f32_vec(16),
+        },
+        12 => Payload::SparseGrad {
+            len: rng.next() as u32,
+            indices: (0..rng.below(9)).map(|_| rng.next() as u32).collect(),
+            values: rng.f32_vec(8),
+        },
+        13 => Payload::SignGrad {
+            len: rng.next() as u32,
+            scale: rng.f32(),
+            bits: (0..rng.below(9)).map(|_| rng.next() as u8).collect(),
+        },
+        _ => Payload::LowRank {
+            rows: rng.next() as u32,
+            cols: rng.next() as u32,
+            rank: rng.next() as u32,
+            p: rng.f32_vec(12),
+            q: rng.f32_vec(12),
+        },
     }
 }
 
@@ -155,7 +177,7 @@ fn mutated_frames_never_panic_or_misdecode() {
     let mut rng = Rng(seed);
     let (mut accepted, mut rejected) = (0u64, 0u64);
     for i in 0..iters {
-        let variant = i % 11;
+        let variant = i % 15;
         let payload = gen_payload(&mut rng, variant);
         let from = rng.below(1 << 16);
         let tag = rng.next();

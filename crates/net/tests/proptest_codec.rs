@@ -244,6 +244,104 @@ proptest! {
     }
 
     #[test]
+    fn bucket_roundtrip_bit_exact(
+        bucket in 0u32..u32::MAX,
+        n_buckets in 0u32..u32::MAX,
+        v in prop::collection::vec(-1e30f32..1e30, 0..256usize),
+        from in 0usize..256,
+        tag in 0u64..u64::MAX,
+    ) {
+        // the codec carries any (bucket, n_buckets) pair verbatim;
+        // cross-field sanity is the BucketAssembler's concern
+        let v = splice_specials(v, tag);
+        let payload = Payload::Bucket { bucket, n_buckets, values: v.clone() };
+        match roundtrip(from, tag, &payload) {
+            Payload::Bucket { bucket: b, n_buckets: n, values: out } => {
+                prop_assert_eq!(b, bucket);
+                prop_assert_eq!(n, n_buckets);
+                prop_assert_eq!(bits(&out), bits(&v));
+            }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn sparse_grad_roundtrip_bit_exact(
+        len in 0u32..u32::MAX,
+        indices in prop::collection::vec(0u32..u32::MAX, 0..128usize),
+        values in prop::collection::vec(-1e30f32..1e30, 0..128usize),
+        tag in 0u64..u64::MAX,
+    ) {
+        // index/value sections travel independently; length agreement
+        // is validated where the gradient is densified, not on the wire
+        let values = splice_specials(values, tag);
+        let payload = Payload::SparseGrad {
+            len,
+            indices: indices.clone(),
+            values: values.clone(),
+        };
+        match roundtrip(1, tag, &payload) {
+            Payload::SparseGrad { len: l, indices: i, values: v } => {
+                prop_assert_eq!(l, len);
+                prop_assert_eq!(i, indices);
+                prop_assert_eq!(bits(&v), bits(&values));
+            }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn sign_grad_roundtrip_bit_exact(
+        len in 0u32..u32::MAX,
+        scale_bits in 0u32..u32::MAX,
+        bits_vec in prop::collection::vec(0u8..=255, 0..128usize),
+        tag in 0u64..u64::MAX,
+    ) {
+        // scale is generated as a raw bit pattern so NaN/inf scales
+        // round-trip bit-exactly too
+        let scale = f32::from_bits(scale_bits);
+        let payload = Payload::SignGrad { len, scale, bits: bits_vec.clone() };
+        match roundtrip(2, tag, &payload) {
+            Payload::SignGrad { len: l, scale: s, bits: b } => {
+                prop_assert_eq!(l, len);
+                prop_assert_eq!(s.to_bits(), scale.to_bits());
+                prop_assert_eq!(b, bits_vec);
+            }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn low_rank_roundtrip_bit_exact(
+        rows in 0u32..u32::MAX,
+        cols in 0u32..u32::MAX,
+        rank in 0u32..u32::MAX,
+        p in prop::collection::vec(-1e30f32..1e30, 0..128usize),
+        q in prop::collection::vec(-1e30f32..1e30, 0..128usize),
+        tag in 0u64..u64::MAX,
+    ) {
+        let p = splice_specials(p, tag);
+        let q = splice_specials(q, tag.rotate_left(17));
+        let payload = Payload::LowRank {
+            rows,
+            cols,
+            rank,
+            p: p.clone(),
+            q: q.clone(),
+        };
+        match roundtrip(3, tag, &payload) {
+            Payload::LowRank { rows: r, cols: c, rank: k, p: po, q: qo } => {
+                prop_assert_eq!(r, rows);
+                prop_assert_eq!(c, cols);
+                prop_assert_eq!(k, rank);
+                prop_assert_eq!(bits(&po), bits(&p));
+                prop_assert_eq!(bits(&qo), bits(&q));
+            }
+            other => prop_assert!(false, "wrong variant decoded: {:?}", other),
+        }
+    }
+
+    #[test]
     fn logits_roundtrip_bit_exact(
         rows in prop::collection::vec(-1e6f32..1e6, 0..256usize),
         classes in 1usize..100_000,

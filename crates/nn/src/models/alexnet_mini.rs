@@ -106,21 +106,41 @@ impl Model for AlexNetMini {
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
+        self.backward_hooked(dlogits, &mut |_, _| {});
+    }
+
+    fn backward_hooked(
+        &mut self,
+        dlogits: &Tensor,
+        hook: &mut dyn FnMut(usize, &dyn ParamVisitor),
+    ) {
+        // visit order conv1 conv2 fc1 fc2; backward finalizes the exact
+        // reverse (dropout/pool/relu carry no params).
+        let mut watermark = self.num_params();
         let g = self.fc2.backward_ws(dlogits, &mut self.ws);
+        watermark -= self.fc2.num_params();
+        hook(watermark, &*self);
         let gr = self.relu3.backward(&g);
         self.ws.give(g);
         let g = self.fc1.backward_ws(&gr, &mut self.ws);
+        watermark -= self.fc1.num_params();
+        hook(watermark, &*self);
         let gd = self.drop.backward(&g);
         self.ws.give(g);
         let g = gd.reshape(self.cache_conv_dims.as_slice());
         let g = self.pool2.backward(&g);
         let g = self.relu2.backward(&g);
         let gc = self.conv2.backward_ws(&g, &mut self.ws);
+        watermark -= self.conv2.num_params();
+        hook(watermark, &*self);
         let g = self.pool1.backward(&gc);
         self.ws.give(gc);
         let g = self.relu1.backward(&g);
         let gc = self.conv1.backward_ws(&g, &mut self.ws);
         self.ws.give(gc);
+        watermark -= self.conv1.num_params();
+        debug_assert_eq!(watermark, 0);
+        hook(0, &*self);
     }
 
     fn num_classes(&self) -> usize {

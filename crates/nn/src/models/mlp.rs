@@ -105,15 +105,28 @@ impl Model for Mlp {
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
+        self.backward_hooked(dlogits, &mut |_, _| {});
+    }
+
+    fn backward_hooked(
+        &mut self,
+        dlogits: &Tensor,
+        hook: &mut dyn FnMut(usize, &dyn ParamVisitor),
+    ) {
         // forward order is L0 R0 L1 R1 … L_last (no ReLU after the last
-        // layer), so ReLU i-1 precedes layer i on the way back.
+        // layer), so ReLU i-1 precedes layer i on the way back; a
+        // layer's params are final the moment its backward returns.
         let mut g = dlogits.clone();
+        let mut watermark = self.num_params();
         for i in (0..self.layers.len()).rev() {
             g = self.layers[i].backward(&g);
+            watermark -= self.layers[i].num_params();
+            hook(watermark, &*self);
             if i > 0 {
                 g = self.relus[i - 1].backward(&g);
             }
         }
+        debug_assert_eq!(watermark, 0);
     }
 
     fn num_classes(&self) -> usize {

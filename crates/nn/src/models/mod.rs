@@ -41,6 +41,38 @@ pub trait Model: ParamVisitor + Send {
     /// [`crate::loss::softmax_cross_entropy`]).
     fn backward(&mut self, dlogits: &Tensor);
 
+    /// Backward pass that reports gradient readiness as it runs.
+    ///
+    /// Every in-tree model runs backprop in exactly the *reverse* of its
+    /// [`ParamVisitor::visit_params`] order, so mid-backward the
+    /// finalized gradients always form a **suffix** of the flat
+    /// parameter vector. After each parameterized stage finishes, `hook`
+    /// is invoked with the new *watermark* — the flat offset below which
+    /// gradients are still in flight. When `hook(w, m)` runs,
+    /// `flat_grads(m)[w..]` is final and will not change for the rest of
+    /// the pass.
+    ///
+    /// Contract (relied on by the bucketed gradient pipeline,
+    /// DESIGN.md §12):
+    /// - watermarks are strictly decreasing across calls and the final
+    ///   call passes 0;
+    /// - the gradients produced are bit-identical to a plain
+    ///   [`Model::backward`] — the hook observes, it never reorders
+    ///   arithmetic.
+    ///
+    /// The default ignores `hook` and delegates to [`Model::backward`]:
+    /// correct for any model — callers must flush buckets that were
+    /// never announced once this returns — but with zero
+    /// compute/communication overlap. All in-tree models override it.
+    fn backward_hooked(
+        &mut self,
+        dlogits: &Tensor,
+        hook: &mut dyn FnMut(usize, &dyn ParamVisitor),
+    ) {
+        let _ = hook;
+        self.backward(dlogits);
+    }
+
     /// Workspace-aware inference entry point for the serving tier:
     /// logits `[rows, classes]` for a dense batch `x` of shape
     /// `[rows, features…]`, drawing every temporary from `ws` so a
@@ -143,6 +175,128 @@ impl ModelKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flat::flat_grads;
+    use crate::loss::softmax_cross_entropy;
+    use crate::module::Param;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selsync_tensor::init;
+
+    /// The `backward_hooked` contract every model must satisfy: strictly
+    /// decreasing watermarks ending at 0, each announced suffix already
+    /// bit-final, and total grads bit-identical to plain `backward`.
+    fn assert_hook_contract<M: Model>(mut build: impl FnMut() -> M, input: Input) {
+        // reference: plain backward on a fresh same-seed model
+        let mut a = build();
+        let logits = a.forward(&input, true);
+        let rows = logits.shape().dim(0);
+        let classes = a.num_classes();
+        let targets: Vec<usize> = (0..rows).map(|i| i % classes).collect();
+        let (_, dl) = softmax_cross_entropy(&logits, &targets);
+        a.zero_grad();
+        a.backward(&dl);
+        let want = flat_grads(&a);
+
+        // hooked pass on an identical twin
+        let mut b = build();
+        let logits_b = b.forward(&input, true);
+        let (_, dl_b) = softmax_cross_entropy(&logits_b, &targets);
+        b.zero_grad();
+        let total = b.num_params();
+        let mut marks: Vec<usize> = Vec::new();
+        b.backward_hooked(&dl_b, &mut |w, m| {
+            let partial = flat_grads(m);
+            assert_eq!(partial.len(), total);
+            let got: Vec<u32> = partial[w..].iter().map(|v| v.to_bits()).collect();
+            let exp: Vec<u32> = want[w..].iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, exp, "suffix at watermark {w} not yet final");
+            marks.push(w);
+        });
+        assert!(!marks.is_empty(), "hook never fired");
+        assert!(
+            marks.windows(2).all(|p| p[0] > p[1]),
+            "watermarks must strictly decrease: {marks:?}"
+        );
+        assert!(marks[0] < total, "first watermark excludes the last layer");
+        assert_eq!(*marks.last().unwrap(), 0, "backward must finish at 0");
+        let got: Vec<u32> = flat_grads(&b).iter().map(|v| v.to_bits()).collect();
+        let exp: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, exp, "hooked grads must be bit-identical to plain");
+    }
+
+    fn image(n: usize, seed: u64) -> Input {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Input::Dense(init::randn([n, 3, 8, 8], 1.0, &mut rng))
+    }
+
+    #[test]
+    fn backward_hooked_contract_mlp() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = init::randn([3, 12], 1.0, &mut rng);
+        assert_hook_contract(|| Mlp::new(&[12, 10, 8, 4], 7), Input::Dense(x));
+    }
+
+    #[test]
+    fn backward_hooked_contract_vgg() {
+        assert_hook_contract(|| VggMini::new(4, 5), image(2, 6));
+    }
+
+    #[test]
+    fn backward_hooked_contract_alexnet() {
+        assert_hook_contract(|| AlexNetMini::new(4, 5), image(2, 6));
+    }
+
+    #[test]
+    fn backward_hooked_contract_resnet() {
+        assert_hook_contract(|| ResNetMini::new(4, 5), image(2, 6));
+    }
+
+    #[test]
+    fn backward_hooked_contract_transformer() {
+        assert_hook_contract(
+            || TransformerMini::new(16, 5),
+            Input::Tokens(vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]]),
+        );
+    }
+
+    struct Plain {
+        p: Param,
+    }
+
+    impl ParamVisitor for Plain {
+        fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+            f(&self.p);
+        }
+        fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    impl Model for Plain {
+        fn forward(&mut self, _input: &Input, _train: bool) -> Tensor {
+            Tensor::zeros([1, 1])
+        }
+        fn backward(&mut self, _dlogits: &Tensor) {
+            self.p.grad.fill(1.0);
+        }
+        fn num_classes(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "plain"
+        }
+    }
+
+    #[test]
+    fn default_backward_hooked_delegates_without_announcing() {
+        let mut m = Plain {
+            p: Param::new("w", Tensor::zeros([2])),
+        };
+        let mut calls = 0;
+        m.backward_hooked(&Tensor::zeros([1, 1]), &mut |_, _| calls += 1);
+        assert_eq!(calls, 0, "default must not announce partial progress");
+        assert_eq!(m.p.grad.as_slice(), &[1.0, 1.0], "still runs backward");
+    }
 
     #[test]
     fn kinds_cover_table1_rows() {

@@ -161,6 +161,13 @@ impl ResBlock {
             b.visit_params_mut(f);
         }
     }
+
+    /// Scalar parameter count across the whole block (both branches).
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| n += p.numel());
+        n
+    }
 }
 
 /// The ResNet-style mini model (see module docs).
@@ -247,19 +254,44 @@ impl Model for ResNetMini {
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
+        self.backward_hooked(dlogits, &mut |_, _| {});
+    }
+
+    fn backward_hooked(
+        &mut self,
+        dlogits: &Tensor,
+        hook: &mut dyn FnMut(usize, &dyn ParamVisitor),
+    ) {
+        // visit order conv1 bn1 block1 block2 block3 fc; a ResBlock's
+        // backward finalizes every param in the block (both branches)
+        // before returning, so the watermark steps down block-at-a-time.
+        let mut watermark = self.num_params();
         let g = self.fc.backward_ws(dlogits, &mut self.ws);
+        watermark -= self.fc.num_params();
+        hook(watermark, &*self);
         let gp = self.pool.backward(&g);
         self.ws.give(g);
         let g3 = self.block3.backward(&gp, &mut self.ws);
+        watermark -= self.block3.param_count();
+        hook(watermark, &*self);
         let g2 = self.block2.backward(&g3, &mut self.ws);
         self.ws.give(g3);
+        watermark -= self.block2.param_count();
+        hook(watermark, &*self);
         let g1 = self.block1.backward(&g2, &mut self.ws);
         self.ws.give(g2);
+        watermark -= self.block1.param_count();
+        hook(watermark, &*self);
         let g = self.relu1.backward(&g1);
         self.ws.give(g1);
         let g = self.bn1.backward(&g);
+        watermark -= self.bn1.num_params();
+        hook(watermark, &*self);
         let gc = self.conv1.backward_ws(&g, &mut self.ws);
         self.ws.give(gc);
+        watermark -= self.conv1.num_params();
+        debug_assert_eq!(watermark, 0);
+        hook(0, &*self);
     }
 
     fn num_classes(&self) -> usize {

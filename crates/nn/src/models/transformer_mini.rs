@@ -98,6 +98,13 @@ impl EncoderLayer {
         self.ff2.visit_params_mut(f);
         self.norm2.visit_params_mut(f);
     }
+
+    /// Scalar parameter count across the whole encoder layer.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| n += p.numel());
+        n
+    }
 }
 
 /// The Transformer-style mini language model (see module docs).
@@ -189,14 +196,34 @@ impl Model for TransformerMini {
     }
 
     fn backward(&mut self, dlogits: &Tensor) {
+        self.backward_hooked(dlogits, &mut |_, _| {});
+    }
+
+    fn backward_hooked(
+        &mut self,
+        dlogits: &Tensor,
+        hook: &mut dyn FnMut(usize, &dyn ParamVisitor),
+    ) {
+        // visit order embed layers[0..L] head; an EncoderLayer's
+        // backward finalizes all five of its modules before returning,
+        // and the embedding is untied from the decoder head, so the
+        // finalized region is always a clean suffix.
+        let mut watermark = self.num_params();
         let mut g = self.head.backward_ws(dlogits, &mut self.ws);
-        for l in self.layers.iter_mut().rev() {
-            let g2 = l.backward(&g, &mut self.ws);
+        watermark -= self.head.num_params();
+        hook(watermark, &*self);
+        for i in (0..self.layers.len()).rev() {
+            let g2 = self.layers[i].backward(&g, &mut self.ws);
             self.ws.give(g);
             g = g2;
+            watermark -= self.layers[i].param_count();
+            hook(watermark, &*self);
         }
         self.embed.backward_tokens(&g);
         self.ws.give(g);
+        watermark -= self.embed.num_params();
+        debug_assert_eq!(watermark, 0);
+        hook(0, &*self);
     }
 
     fn num_classes(&self) -> usize {

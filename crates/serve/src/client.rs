@@ -137,7 +137,11 @@ pub fn run_client<T: Transport>(
             | Payload::ShardMap(_)
             | Payload::ShardPush(_)
             | Payload::ShardPull(_)
-            | Payload::Predict { .. } => {}
+            | Payload::Predict { .. }
+            | Payload::Bucket { .. }
+            | Payload::SparseGrad { .. }
+            | Payload::SignGrad { .. }
+            | Payload::LowRank { .. } => {}
         }
     }
     ep.send(cfg.router, CONTROL_TAG, Payload::Control(CTRL_CLIENT_DONE))?;

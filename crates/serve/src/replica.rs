@@ -136,7 +136,11 @@ pub fn run_replica<T: Transport>(
                 | Payload::ShardMap(_)
                 | Payload::ShardPush(_)
                 | Payload::ShardPull(_)
-                | Payload::Logits { .. } => {}
+                | Payload::Logits { .. }
+                | Payload::Bucket { .. }
+                | Payload::SparseGrad { .. }
+                | Payload::SignGrad { .. }
+                | Payload::LowRank { .. } => {}
             },
             Err(TransportError::RecvTimeout { .. }) => {}
             Err(e) => return Err(e),

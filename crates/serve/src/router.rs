@@ -260,7 +260,11 @@ pub fn run_router<T: Transport>(
                 | Payload::ShardMap(_)
                 | Payload::ShardPush(_)
                 | Payload::ShardPull(_)
-                | Payload::Logits { .. } => {}
+                | Payload::Logits { .. }
+                | Payload::Bucket { .. }
+                | Payload::SparseGrad { .. }
+                | Payload::SignGrad { .. }
+                | Payload::LowRank { .. } => {}
             }
         } else if ranks.is_replica(m.from) {
             last_seen[m.from] = timer::now();
@@ -311,7 +315,11 @@ pub fn run_router<T: Transport>(
                 | Payload::ShardMap(_)
                 | Payload::ShardPush(_)
                 | Payload::ShardPull(_)
-                | Payload::Predict { .. } => {}
+                | Payload::Predict { .. }
+                | Payload::Bucket { .. }
+                | Payload::SparseGrad { .. }
+                | Payload::SignGrad { .. }
+                | Payload::LowRank { .. } => {}
             }
         }
         // traffic from this rank itself is impossible; ignore anything else
