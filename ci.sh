@@ -13,13 +13,36 @@ cargo fmt --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Workspace-wide determinism & protocol-invariant linter (DESIGN.md §8).
-# Exit 1 = unsuppressed findings; the --json pass re-runs with the
-# machine report, which the binary self-validates before printing and
-# exits 2 on if malformed.
-echo "==> selsync-lint (workspace)"
-./target/release/selsync-lint
-./target/release/selsync-lint --json > /dev/null
+# Workspace-wide determinism & protocol-invariant linter (DESIGN.md §8,
+# §13). The run is ratcheted against the committed baseline: any finding
+# not in lint-baseline.json (or any baseline entry the code no longer
+# produces) exits 1. The --json pass re-runs with the machine report,
+# which the binary self-validates before printing and exits 2 on if
+# malformed.
+echo "==> selsync-lint (workspace, baselined)"
+./target/release/selsync-lint --baseline lint-baseline.json
+./target/release/selsync-lint --json --baseline lint-baseline.json > /dev/null
+
+# The committed baseline must be byte-identical to a fresh snapshot —
+# a stale baseline (lines drifted, findings added/removed without
+# regenerating) fails here even when the diff above happens to be clean.
+echo "==> selsync-lint baseline regenerate-check"
+./target/release/selsync-lint --write-baseline /tmp/selsync_lint_baseline_ci.json 2> /dev/null
+diff -u lint-baseline.json /tmp/selsync_lint_baseline_ci.json || {
+  echo "lint-baseline.json is stale; regenerate with: ./target/release/selsync-lint --write-baseline lint-baseline.json" >&2
+  exit 1
+}
+
+# The wire-protocol table in DESIGN.md §13 is derived, not hand-written:
+# regenerate it from the Payload enum + codec and diff against the copy
+# committed between the wire-table markers.
+echo "==> selsync-lint --wire-table vs DESIGN.md"
+./target/release/selsync-lint --wire-table > /tmp/selsync_wire_table_ci.md
+awk '/<!-- wire-table:begin -->/{f=1;next} /<!-- wire-table:end -->/{f=0} f' DESIGN.md > /tmp/selsync_wire_table_design.md
+diff -u /tmp/selsync_wire_table_design.md /tmp/selsync_wire_table_ci.md || {
+  echo "DESIGN.md wire table is stale; paste the output of: ./target/release/selsync-lint --wire-table" >&2
+  exit 1
+}
 
 echo "==> cargo test -q (workspace, minus multi-process suites)"
 cargo test -q --workspace --exclude selsync-bench --exclude selsync-serve

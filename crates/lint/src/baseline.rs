@@ -1,0 +1,221 @@
+//! The `--baseline` snapshot: land new rules strict without a
+//! big-bang cleanup.
+//!
+//! A baseline is a committed snapshot of every current finding —
+//! suppressed ones included, with their justifications, so the debt is
+//! auditable in review. `--baseline <file>` then fails only on *drift*
+//! from the snapshot, in either direction:
+//!
+//! - a finding not in the baseline is **new** → fail (the rule is
+//!   strict for all code written after the snapshot), and
+//! - a baseline entry with no matching finding is **stale** → fail
+//!   (the snapshot must be regenerated with `--write-baseline` so it
+//!   never accumulates dead entries).
+//!
+//! Matching is exact on (path, line, rule, suppressed): a moved
+//! finding counts as new + stale, which forces the regeneration, which
+//! puts the fresh line numbers in review. That strictness is the
+//! point — the baseline is a ratchet, not a mute button.
+
+use crate::engine::{RecordedFinding, Report};
+use crate::json::{self, escape, Value};
+
+/// One snapshotted finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub path: String,
+    pub line: u32,
+    pub rule: String,
+    pub suppressed: bool,
+}
+
+impl BaselineEntry {
+    fn matches(&self, f: &RecordedFinding) -> bool {
+        self.path == f.path
+            && self.line == f.line
+            && self.rule == f.rule
+            && self.suppressed == f.suppressed
+    }
+}
+
+/// Serialize a report as a baseline snapshot. Deterministic: findings
+/// are already (path, line, rule)-sorted by the engine, so the
+/// regenerate-check in ci.sh can diff bytes.
+pub fn to_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"path\": \"{}\", ", escape(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"rule\": \"{}\", ", escape(&f.rule)));
+        out.push_str(&format!("\"suppressed\": {}, ", f.suppressed));
+        match &f.justification {
+            Some(j) => out.push_str(&format!("\"justification\": \"{}\"", escape(j))),
+            None => out.push_str("\"justification\": null"),
+        }
+        out.push('}');
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Parse a baseline file through the self-validating JSON parser.
+pub fn parse(s: &str) -> Result<Vec<BaselineEntry>, String> {
+    let v = json::parse(s)?;
+    let version = v
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or("baseline: missing \"version\"")?;
+    if version != 1 {
+        return Err(format!("baseline: unsupported version {version}"));
+    }
+    let findings = v
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or("baseline: missing \"findings\" array")?;
+    let mut out = Vec::with_capacity(findings.len());
+    for (i, f) in findings.iter().enumerate() {
+        let field = |name: &str| {
+            f.get(name)
+                .ok_or_else(|| format!("baseline: finding {i} missing \"{name}\""))
+        };
+        out.push(BaselineEntry {
+            path: field("path")?
+                .as_str()
+                .ok_or_else(|| format!("baseline: finding {i}: \"path\" not a string"))?
+                .to_string(),
+            line: field("line")?
+                .as_u64()
+                .ok_or_else(|| format!("baseline: finding {i}: \"line\" not an integer"))?
+                as u32,
+            rule: field("rule")?
+                .as_str()
+                .ok_or_else(|| format!("baseline: finding {i}: \"rule\" not a string"))?
+                .to_string(),
+            suppressed: field("suppressed")?
+                .as_bool()
+                .ok_or_else(|| format!("baseline: finding {i}: \"suppressed\" not a bool"))?,
+        });
+    }
+    Ok(out)
+}
+
+/// Result of diffing a report against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not in the baseline — new debt, fails the run.
+    pub new: Vec<RecordedFinding>,
+    /// Baseline entries with no matching finding — stale snapshot,
+    /// fails the run until regenerated.
+    pub stale: Vec<BaselineEntry>,
+    /// Findings covered by the baseline (tolerated).
+    pub matched: usize,
+}
+
+impl BaselineDiff {
+    /// Does the report agree with the snapshot?
+    pub fn clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Diff the report's findings against the snapshot.
+pub fn diff(report: &Report, baseline: &[BaselineEntry]) -> BaselineDiff {
+    let mut d = BaselineDiff::default();
+    let mut used = vec![false; baseline.len()];
+    for f in &report.findings {
+        match baseline
+            .iter()
+            .enumerate()
+            .position(|(i, b)| !used[i] && b.matches(f))
+        {
+            Some(i) => {
+                used[i] = true;
+                d.matched += 1;
+            }
+            None => d.new.push(f.clone()),
+        }
+    }
+    for (b, was_used) in baseline.iter().zip(&used) {
+        if !was_used {
+            d.stale.push(b.clone());
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, rule: &str, suppressed: bool) -> RecordedFinding {
+        RecordedFinding {
+            path: path.to_string(),
+            line,
+            rule: rule.to_string(),
+            message: "m".to_string(),
+            suppressed,
+            justification: suppressed.then(|| "a written justification".to_string()),
+        }
+    }
+
+    fn report(findings: Vec<RecordedFinding>) -> Report {
+        Report {
+            findings,
+            files_scanned: 1,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_parser() {
+        let r = report(vec![
+            finding("crates/net/src/poll.rs", 624, "poll-blocking", true),
+            finding("crates/comm/src/x.rs", 9, "lock-across-send", false),
+        ]);
+        let entries = parse(&to_json(&r)).expect("round-trip");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].path, "crates/net/src/poll.rs");
+        assert_eq!(entries[0].line, 624);
+        assert!(entries[0].suppressed);
+        assert!(!entries[1].suppressed);
+        // and the whole snapshot diffs clean against its own report
+        assert!(diff(&r, &entries).clean());
+    }
+
+    #[test]
+    fn new_and_stale_findings_both_dirty_the_diff() {
+        let r1 = report(vec![finding("a.rs", 1, "raw-net", false)]);
+        let base = parse(&to_json(&r1)).expect("parse");
+        // same finding moved two lines down: new at 3, stale at 1
+        let r2 = report(vec![finding("a.rs", 3, "raw-net", false)]);
+        let d = diff(&r2, &base);
+        assert!(!d.clean());
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.new[0].line, 3);
+        assert_eq!(d.stale[0].line, 1);
+    }
+
+    #[test]
+    fn suppression_flip_is_drift() {
+        let r1 = report(vec![finding("a.rs", 1, "raw-net", true)]);
+        let base = parse(&to_json(&r1)).expect("parse");
+        let r2 = report(vec![finding("a.rs", 1, "raw-net", false)]);
+        assert!(!diff(&r2, &base).clean());
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"version\": 2, \"findings\": []}").is_err());
+        assert!(parse("{\"version\": 1}").is_err());
+        assert!(parse("{\"version\": 1, \"findings\": [{\"path\": \"a\"}]}").is_err());
+    }
+}

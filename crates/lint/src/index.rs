@@ -1,0 +1,49 @@
+//! The once-per-run workspace symbol index.
+//!
+//! Cross-file rules cannot work from a single `SourceFile`: checking
+//! that every `Payload` variant has a decode arm requires the enum
+//! (crates/comm) and the codec (crates/net) in the same view. The
+//! engine loads every file first, builds this index, and hands it to
+//! the workspace rules after the per-file rules have run.
+//!
+//! Site discovery is anchored on *structure*, not paths: the payload
+//! site is the file that defines `enum Payload` **and** its byte
+//! accounting (`fn body_bytes` / `fn wire_bytes`); a codec site is any
+//! file defining `fn kind_of`. That way the fixture mini-workspace
+//! exercises the same resolution logic as the real repo, and fixture
+//! files that merely *mention* a `Payload` enum (the wire-wildcard
+//! fixtures) are never mistaken for the protocol definition.
+
+use crate::source::SourceFile;
+
+/// Every scanned file, parsed, in deterministic (sorted-path) order.
+pub struct WorkspaceIndex {
+    pub files: Vec<SourceFile>,
+}
+
+impl WorkspaceIndex {
+    /// The file at this workspace-relative path, if scanned.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// The protocol-definition site: the non-test file defining
+    /// `enum Payload` plus its byte accounting. First in path order if
+    /// several match (the real workspace has exactly one).
+    pub fn payload_site(&self) -> Option<&SourceFile> {
+        self.files.iter().find(|f| {
+            !f.is_test_file
+                && f.items.enum_named("Payload").is_some()
+                && (f.items.fn_named("body_bytes").is_some()
+                    || f.items.fn_named("wire_bytes").is_some())
+        })
+    }
+
+    /// Every non-test file defining `fn kind_of` — the codec sites that
+    /// must stay in lockstep with the payload enum.
+    pub fn codec_sites(&self) -> impl Iterator<Item = &SourceFile> {
+        self.files
+            .iter()
+            .filter(|f| !f.is_test_file && f.items.fn_named("kind_of").is_some())
+    }
+}

@@ -1,11 +1,66 @@
-//! Hand-rolled JSON emission and validation for the `--json` report.
+//! Hand-rolled JSON emission and parsing for the `--json` report and
+//! the `--baseline` snapshot.
 //!
 //! The lint crate is dependency-free by policy (it must build from std
-//! alone), so it carries its own emitter plus a minimal parser used to
-//! self-check every emitted report before it reaches CI — `--json`
-//! output that does not parse is itself a build failure.
+//! alone), so it carries its own emitter plus a small value-producing
+//! parser. The parser does double duty: every emitted report is
+//! self-checked before it reaches CI (`--json` output that does not
+//! parse is itself a build failure), and `lint-baseline.json` is read
+//! back through the same code path, so the snapshot round-trips
+//! through the exact grammar the emitter writes.
 
 use crate::engine::Report;
+
+/// A parsed JSON value. Object keys keep insertion order — the
+/// baseline differ never needs hashing, and output stays
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object; `None` for other shapes.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
 
 /// Escape a string for a JSON string literal.
 pub fn escape(s: &str) -> String {
@@ -77,18 +132,24 @@ pub fn to_json(report: &Report) -> String {
     out
 }
 
-/// Validate that `s` is one well-formed JSON value with nothing
-/// trailing. Returns a position-annotated error otherwise.
-pub fn validate(s: &str) -> Result<(), String> {
+/// Parse `s` as one well-formed JSON value with nothing trailing.
+/// Returns a position-annotated error otherwise.
+pub fn parse(s: &str) -> Result<Value, String> {
     let b = s.as_bytes();
     let mut i = 0usize;
     skip_ws(b, &mut i);
-    value(b, &mut i)?;
+    let v = value(b, &mut i)?;
     skip_ws(b, &mut i);
     if i != b.len() {
         return Err(format!("trailing bytes at offset {i}"));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Validate that `s` is one well-formed JSON value with nothing
+/// trailing. Returns a position-annotated error otherwise.
+pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
 }
 
 fn skip_ws(b: &[u8], i: &mut usize) {
@@ -97,89 +158,123 @@ fn skip_ws(b: &[u8], i: &mut usize) {
     }
 }
 
-fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
     skip_ws(b, i);
     match b.get(*i) {
         Some(b'{') => object(b, i),
         Some(b'[') => array(b, i),
-        Some(b'"') => string(b, i),
-        Some(b't') => literal(b, i, "true"),
-        Some(b'f') => literal(b, i, "false"),
-        Some(b'n') => literal(b, i, "null"),
+        Some(b'"') => string(b, i).map(Value::Str),
+        Some(b't') => literal(b, i, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => literal(b, i, "false").map(|_| Value::Bool(false)),
+        Some(b'n') => literal(b, i, "null").map(|_| Value::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
         other => Err(format!("unexpected {:?} at offset {}", other, *i)),
     }
 }
 
-fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], i: &mut usize) -> Result<Value, String> {
     *i += 1; // '{'
+    let mut members = Vec::new();
     skip_ws(b, i);
     if b.get(*i) == Some(&b'}') {
         *i += 1;
-        return Ok(());
+        return Ok(Value::Obj(members));
     }
     loop {
         skip_ws(b, i);
-        string(b, i)?;
+        let key = string(b, i)?;
         skip_ws(b, i);
         if b.get(*i) != Some(&b':') {
             return Err(format!("expected ':' at offset {}", *i));
         }
         *i += 1;
-        value(b, i)?;
+        let v = value(b, i)?;
+        members.push((key, v));
         skip_ws(b, i);
         match b.get(*i) {
             Some(b',') => *i += 1,
             Some(b'}') => {
                 *i += 1;
-                return Ok(());
+                return Ok(Value::Obj(members));
             }
             other => return Err(format!("expected ',' or '}}', got {:?} at {}", other, *i)),
         }
     }
 }
 
-fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], i: &mut usize) -> Result<Value, String> {
     *i += 1; // '['
+    let mut items = Vec::new();
     skip_ws(b, i);
     if b.get(*i) == Some(&b']') {
         *i += 1;
-        return Ok(());
+        return Ok(Value::Arr(items));
     }
     loop {
-        value(b, i)?;
+        items.push(value(b, i)?);
         skip_ws(b, i);
         match b.get(*i) {
             Some(b',') => *i += 1,
             Some(b']') => {
                 *i += 1;
-                return Ok(());
+                return Ok(Value::Arr(items));
             }
             other => return Err(format!("expected ',' or ']', got {:?} at {}", other, *i)),
         }
     }
 }
 
-fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
     if b.get(*i) != Some(&b'"') {
         return Err(format!("expected string at offset {}", *i));
     }
     *i += 1;
+    let mut out: Vec<u8> = Vec::new();
     while *i < b.len() {
         match b[*i] {
-            b'\\' => *i += 2,
+            b'\\' => {
+                let esc = b.get(*i + 1).copied();
+                *i += 2;
+                match esc {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i..*i + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {}", *i))?;
+                        *i += 4;
+                        // lone surrogates decode to the replacement
+                        // character; the emitter never writes them
+                        let c = char::from_u32(hex).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape {:?} at offset {}", other, *i)),
+                }
+            }
             b'"' => {
                 *i += 1;
-                return Ok(());
+                return String::from_utf8(out).map_err(|e| format!("bad UTF-8 in string: {e}"));
             }
             c if c < 0x20 => return Err(format!("raw control byte in string at {}", *i)),
-            _ => *i += 1,
+            c => {
+                out.push(c);
+                *i += 1;
+            }
         }
     }
     Err("unterminated string".to_string())
 }
 
-fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn number(b: &[u8], i: &mut usize) -> Result<Value, String> {
     let start = *i;
     if b.get(*i) == Some(&b'-') {
         *i += 1;
@@ -192,7 +287,10 @@ fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
     if *i == start {
         return Err(format!("empty number at offset {start}"));
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*i]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|e| format!("bad number {text:?} at offset {start}: {e}"))
 }
 
 fn literal(b: &[u8], i: &mut usize, lit: &str) -> Result<(), String> {
@@ -245,5 +343,42 @@ mod tests {
     #[test]
     fn validator_accepts_wellformed() {
         assert!(validate("{\"a\": [1, -2.5e3, true, null, \"s\"], \"b\": {}}").is_ok());
+    }
+
+    #[test]
+    fn parser_produces_values_and_unescapes() {
+        let v = parse("{\"path\": \"a\\\"b\\\\c\", \"line\": 12, \"ok\": true, \"j\": null}")
+            .expect("parse");
+        assert_eq!(v.get("path").and_then(Value::as_str), Some("a\"b\\c"));
+        assert_eq!(v.get("line").and_then(Value::as_u64), Some(12));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("j"), Some(&Value::Null));
+        let u = parse("\"tab\\tu\\u0041\"").expect("escapes");
+        assert_eq!(u.as_str(), Some("tab\tuA"));
+    }
+
+    #[test]
+    fn emitted_report_parses_back_to_matching_values() {
+        let mut r = Report {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        r.findings.push(RecordedFinding {
+            path: "crates/net/src/poll.rs".to_string(),
+            line: 7,
+            rule: "poll-blocking".to_string(),
+            message: "msg".to_string(),
+            suppressed: true,
+            justification: Some("bounded idle backoff".to_string()),
+        });
+        let v = parse(&to_json(&r)).expect("round-trip");
+        let fs = v.get("findings").and_then(Value::as_arr).expect("findings");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].get("line").and_then(Value::as_u64), Some(7));
+        assert_eq!(
+            fs[0].get("rule").and_then(Value::as_str),
+            Some("poll-blocking")
+        );
+        assert_eq!(fs[0].get("suppressed").and_then(Value::as_bool), Some(true));
     }
 }

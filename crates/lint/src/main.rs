@@ -1,17 +1,23 @@
 //! CLI for the workspace determinism & protocol-invariant linter.
 //!
 //! ```text
-//! selsync-lint [--json] [--root DIR] [PATH...]
+//! selsync-lint [--json] [--root DIR] [--baseline FILE] [PATH...]
+//! selsync-lint --write-baseline FILE [--root DIR] [PATH...]
+//! selsync-lint --wire-table [--root DIR]
 //! ```
 //!
 //! Scans `crates/ src/ tests/ examples/` under the workspace root (or
 //! the given PATHs, relative to it) and exits nonzero on any
 //! unsuppressed finding. `--json` emits the machine-readable report on
 //! stdout, self-validated before printing — malformed JSON is a build
-//! failure, not a silent artifact.
+//! failure, not a silent artifact. `--baseline` diffs the run against
+//! a committed snapshot and fails on drift in either direction (new
+//! finding, or stale entry); `--write-baseline` regenerates the
+//! snapshot. `--wire-table` prints the kind → layout table derived
+//! from the parsed codec, which ci.sh diffs against DESIGN.md.
 #![deny(unsafe_code)]
 
-use selsync_lint::{engine, json};
+use selsync_lint::{baseline, engine, json, wire};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,32 +25,56 @@ const USAGE: &str = "\
 selsync-lint: workspace determinism & protocol-invariant linter
 
 USAGE:
-  selsync-lint [--json] [--root DIR] [PATH...]
+  selsync-lint [--json] [--root DIR] [--baseline FILE] [PATH...]
+  selsync-lint --write-baseline FILE [--root DIR] [PATH...]
+  selsync-lint --wire-table [--root DIR]
 
 OPTIONS:
-  --json        emit the machine-readable report (self-validated)
-  --root DIR    workspace root to scan from (default: .)
-  PATH...       sub-paths to scan instead of crates/ src/ tests/ examples/
-  -h, --help    show this help
+  --json                 emit the machine-readable report (self-validated)
+  --root DIR             workspace root to scan from (default: .)
+  --baseline FILE        diff findings against the committed snapshot;
+                         fail on any new finding or stale entry
+  --write-baseline FILE  snapshot the current findings to FILE and exit 0
+  --wire-table           print the kind -> layout table parsed from the codec
+  PATH...                sub-paths to scan instead of crates/ src/ tests/ examples/
+  -h, --help             show this help
 
 EXIT CODES:
-  0  no unsuppressed findings
-  1  unsuppressed findings
+  0  no unsuppressed findings (or: all findings covered by the baseline)
+  1  unsuppressed findings / baseline drift
   2  usage / IO / internal error
 ";
 
 fn main() -> ExitCode {
     let mut json_mode = false;
+    let mut wire_table = false;
     let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json_mode = true,
+            "--wire-table" => wire_table = true,
             "--root" => match args.next() {
                 Some(d) => root = PathBuf::from(d),
                 None => {
                     eprintln!("selsync-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(f) => baseline_path = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("selsync-lint: --baseline needs a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => match args.next() {
+                Some(f) => write_baseline = Some(PathBuf::from(f)),
+                None => {
+                    eprintln!("selsync-lint: --write-baseline needs a file\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -66,20 +96,54 @@ fn main() -> ExitCode {
             .collect();
     }
 
-    let report = match engine::run(&root, &paths) {
-        Ok(r) => r,
+    let index = match engine::load_index(&root, &paths) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("selsync-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
-    if report.files_scanned == 0 {
+    if index.files.is_empty() {
         eprintln!(
             "selsync-lint: no .rs files under {} in {:?}",
             root.display(),
             paths
         );
         return ExitCode::from(2);
+    }
+
+    if wire_table {
+        return match wire::wire_table(&index) {
+            Ok(t) => {
+                print!("{t}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("selsync-lint: --wire-table: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = engine::run_on_index(&index);
+
+    if let Some(path) = write_baseline {
+        let snapshot = baseline::to_json(&report);
+        if let Err(e) = json::validate(&snapshot) {
+            eprintln!("selsync-lint: internal error: baseline JSON is malformed: {e}");
+            return ExitCode::from(2);
+        }
+        if let Err(e) = std::fs::write(&path, &snapshot) {
+            eprintln!("selsync-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "selsync-lint: snapshotted {} finding(s) ({} unsuppressed) to {}",
+            report.findings.len(),
+            report.unsuppressed_count(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
     }
 
     if json_mode {
@@ -89,7 +153,53 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         print!("{out}");
-    } else {
+    }
+
+    if let Some(path) = baseline_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("selsync-lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("selsync-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let d = baseline::diff(&report, &base);
+        if !json_mode {
+            for f in &d.new {
+                println!(
+                    "{}:{} {} [NEW vs baseline] {}",
+                    f.path, f.line, f.rule, f.message
+                );
+            }
+            for b in &d.stale {
+                println!(
+                    "{}:{} {} [STALE baseline entry] regenerate with --write-baseline",
+                    b.path, b.line, b.rule
+                );
+            }
+            println!(
+                "selsync-lint: {} new, {} stale, {} baselined, {} files scanned",
+                d.new.len(),
+                d.stale.len(),
+                d.matched,
+                report.files_scanned
+            );
+        }
+        return if d.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    if !json_mode {
         print!("{}", engine::format_human(&report));
     }
 

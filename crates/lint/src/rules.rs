@@ -5,6 +5,7 @@
 //! the fixture trees under `tests/fixtures/` exercise the same scoping
 //! logic as the real workspace.
 
+use crate::index::WorkspaceIndex;
 use crate::lexer::TokKind;
 use crate::source::SourceFile;
 
@@ -35,6 +36,17 @@ pub trait Rule {
     fn check(&self, f: &SourceFile, out: &mut Vec<Finding>);
 }
 
+/// A cross-file rule: runs once per scan over the whole
+/// [`WorkspaceIndex`], after the per-file rules. Findings are keyed by
+/// the workspace-relative path they belong to, so suppression
+/// resolution works exactly as for per-file rules.
+pub trait WorkspaceRule {
+    /// Kebab-case rule name, as used in `lint:allow(<name>)`.
+    fn name(&self) -> &'static str;
+    /// Scan the index and append `(path, finding)` pairs.
+    fn check(&self, index: &WorkspaceIndex, out: &mut Vec<(String, Finding)>);
+}
+
 /// The full registry, in stable order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
@@ -46,15 +58,26 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(FloatOrder),
         Box::new(RawNet),
         Box::new(WireWildcard),
+        Box::new(PollBlocking),
+        Box::new(UnboundedRetry),
+        Box::new(LockAcrossSend),
     ]
+}
+
+/// The cross-file registry, in stable order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![Box::new(crate::wire::WireConformance)]
 }
 
 /// Names of findings the engine itself emits about suppression misuse.
 pub const META_RULES: [&str; 2] = ["bare-allow", "unused-allow"];
 
-/// Is `name` a real rule (registry or engine meta-rule)?
+/// Is `name` a real rule (registry, workspace registry, or engine
+/// meta-rule)?
 pub fn is_known_rule(name: &str) -> bool {
-    all_rules().iter().any(|r| r.name() == name) || META_RULES.contains(&name)
+    all_rules().iter().any(|r| r.name() == name)
+        || workspace_rules().iter().any(|r| r.name() == name)
+        || META_RULES.contains(&name)
 }
 
 fn in_crates(rel: &str, crates: &[&str]) -> bool {
@@ -533,6 +556,290 @@ impl Rule for WireWildcard {
                 k += 1;
             }
             i += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// poll-blocking
+// ---------------------------------------------------------------------
+
+/// Blocking calls inside the poll driver. `PollTcpEndpoint`'s single
+/// driver thread multiplexes every connection with nonblocking I/O; one
+/// blocking `read`/`sleep`/`lock` in `driver_loop` or anything it calls
+/// stalls *all* peers at once. The rule builds the intra-file call
+/// graph from `driver_loop` and denies a fixed list of blocking calls
+/// in every reachable fn; justified `lint:allow(poll-blocking)` marks
+/// the deliberate exceptions (the idle backoff sleep, the bounded
+/// redial attempt).
+struct PollBlocking;
+
+/// Call names that block the calling thread. `recv` is exact — the
+/// nonblocking `try_recv` and deadline-bounded `recv_timeout` pass.
+const BLOCKING_CALLS: [&str; 14] = [
+    "sleep",
+    "read_exact",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+    "recv",
+    "lock",
+    "join",
+    "wait",
+    "park",
+    "dial",
+    "connect",
+    "connect_timeout",
+    "shake_hands_as_dialer",
+];
+
+impl Rule for PollBlocking {
+    fn name(&self) -> &'static str {
+        "poll-blocking"
+    }
+    fn in_scope(&self, rel: &str) -> bool {
+        rel.starts_with("crates/net/")
+            && rel
+                .rsplit('/')
+                .next()
+                .is_some_and(|f| f.starts_with("poll"))
+    }
+    fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
+        let fns = &f.items.fns;
+        let Some(entry) = fns.iter().position(|x| x.name == "driver_loop") else {
+            return;
+        };
+        // BFS over the intra-file call graph from driver_loop
+        let mut reachable = vec![false; fns.len()];
+        reachable[entry] = true;
+        let mut work = vec![entry];
+        while let Some(cur) = work.pop() {
+            for k in fns[cur].body.clone() {
+                let t = &f.toks[k];
+                if t.kind != TokKind::Ident
+                    || !f.toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                    || (k > 0 && f.toks[k - 1].is_ident("fn"))
+                {
+                    continue;
+                }
+                if let Some(callee) = fns.iter().position(|x| x.name == t.text) {
+                    if !reachable[callee] {
+                        reachable[callee] = true;
+                        work.push(callee);
+                    }
+                }
+            }
+        }
+        for (fi, item) in fns.iter().enumerate() {
+            if !reachable[fi] {
+                continue;
+            }
+            for k in item.body.clone() {
+                let t = &f.toks[k];
+                let is_call = t.kind == TokKind::Ident
+                    && f.toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                    && !(k > 0 && f.toks[k - 1].is_ident("fn"));
+                if !is_call || !BLOCKING_CALLS.contains(&t.text.as_str()) {
+                    continue;
+                }
+                // a call resolving to a local fn is traversed by the
+                // BFS instead; only calls leaving the file are denied
+                if fns.iter().any(|x| x.name == t.text) {
+                    continue;
+                }
+                emit(
+                    self,
+                    f,
+                    t.line,
+                    format!(
+                        "`{}(...)` blocks the poll driver (reachable from driver_loop via {}); \
+                         the sweep must stay nonblocking — use a try_/timeout variant or move \
+                         the work off the driver thread",
+                        t.text, item.name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unbounded-retry
+// ---------------------------------------------------------------------
+
+/// Retry loops without a visible bound. A `loop`/`while` that redials
+/// or reconnects must reference *some* cap — a deadline, timeout,
+/// backoff, attempt counter or budget — inside its head or body, or a
+/// dead peer turns into an infinite spin that holds the rank forever
+/// instead of surfacing a typed liveness error.
+struct UnboundedRetry;
+
+/// Call names that mark a loop as a dial/send-retry loop.
+const RETRY_CALLS: [&str; 8] = [
+    "dial",
+    "redial",
+    "redial_once",
+    "reconnect",
+    "connect",
+    "connect_timeout",
+    "bind_reuse",
+    "resend",
+];
+
+/// Identifier substrings accepted as evidence of a bound.
+const BOUND_MARKERS: [&str; 9] = [
+    "deadline", "timeout", "backoff", "budget", "attempt", "retries", "patience", "max_",
+    "shutdown",
+];
+
+impl Rule for UnboundedRetry {
+    fn name(&self) -> &'static str {
+        "unbounded-retry"
+    }
+    fn in_scope(&self, rel: &str) -> bool {
+        in_crates(rel, &["net", "comm"])
+    }
+    fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &f.toks;
+        for l in &f.items.loops {
+            let span = l.span.clone();
+            let is_call = |k: usize| {
+                toks[k].kind == TokKind::Ident
+                    && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                    && !(k > 0 && toks[k - 1].is_ident("fn"))
+            };
+            let has_dial = span
+                .clone()
+                .any(|k| is_call(k) && RETRY_CALLS.contains(&toks[k].text.as_str()));
+            let has_resend = span.clone().any(|k| is_call(k) && toks[k].text == "send")
+                && span.clone().any(|k| toks[k].is_ident("Err"))
+                && span.clone().any(|k| toks[k].is_ident("continue"));
+            if !has_dial && !has_resend {
+                continue;
+            }
+            // a bound marker anywhere in the loop head or body counts,
+            // but not the retry call's own name (connect_timeout bounds
+            // one attempt, not the loop)
+            let bounded = span.clone().any(|k| {
+                let t = &toks[k];
+                if t.kind != TokKind::Ident
+                    || (is_call(k) && RETRY_CALLS.contains(&t.text.as_str()))
+                {
+                    return false;
+                }
+                let lower = t.text.to_lowercase();
+                BOUND_MARKERS.iter().any(|m| lower.contains(m))
+            });
+            if !bounded {
+                emit(
+                    self,
+                    f,
+                    l.line,
+                    "retry loop with no visible bound: reference a deadline, timeout, \
+                     backoff, attempt cap or budget in the loop, or a dead peer spins \
+                     this rank forever"
+                        .to_string(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// lock-across-send
+// ---------------------------------------------------------------------
+
+/// A `MutexGuard` held across a `Transport::send`. The send can block
+/// on a slow or dead peer (bounded only by the transport's own
+/// timeout), and every thread contending on the mutex stalls with it —
+/// the classic path from one sick peer to a wedged rank. Drop the
+/// guard (end its block or `drop(guard)`) before sending.
+struct LockAcrossSend;
+
+impl Rule for LockAcrossSend {
+    fn name(&self) -> &'static str {
+        "lock-across-send"
+    }
+    fn in_scope(&self, rel: &str) -> bool {
+        rel.starts_with("crates/comm/")
+    }
+    fn check(&self, f: &SourceFile, out: &mut Vec<Finding>) {
+        struct Guard {
+            name: Option<String>,
+            depth: i32,
+            line: u32,
+        }
+        let toks = &f.toks;
+        let mut depth = 0i32;
+        let mut guards: Vec<Guard> = Vec::new();
+        // index of the current statement's first token, for `let` naming
+        let mut stmt_start = 0usize;
+        for k in 0..toks.len() {
+            let t = &toks[k];
+            if t.is_punct('{') {
+                depth += 1;
+                stmt_start = k + 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+                stmt_start = k + 1;
+            } else if t.is_punct(';') {
+                // statement end: temporaries (unnamed guards) at this
+                // depth die here
+                guards.retain(|g| g.name.is_some() || g.depth < depth);
+                stmt_start = k + 1;
+            } else if t.is_ident("drop")
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+                && toks.get(k + 3).is_some_and(|n| n.is_punct(')'))
+            {
+                if let Some(name) = toks.get(k + 2).filter(|n| n.kind == TokKind::Ident) {
+                    guards.retain(|g| g.name.as_deref() != Some(name.text.as_str()));
+                }
+            } else if t.is_ident("lock")
+                && k > 0
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                // `let [mut] NAME = ...lock()...` binds a named guard;
+                // anything else holds an unnamed temporary
+                let name = if toks.get(stmt_start).is_some_and(|s| s.is_ident("let")) {
+                    let mut n = stmt_start + 1;
+                    if toks.get(n).is_some_and(|s| s.is_ident("mut")) {
+                        n += 1;
+                    }
+                    toks.get(n)
+                        .filter(|s| s.kind == TokKind::Ident)
+                        .map(|s| s.text.clone())
+                } else {
+                    None
+                };
+                guards.push(Guard {
+                    name,
+                    depth,
+                    line: t.line,
+                });
+            } else if t.is_ident("send")
+                && k > 0
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                if let Some(g) = guards.last() {
+                    emit(
+                        self,
+                        f,
+                        t.line,
+                        format!(
+                            "`.send()` while the mutex guard taken on line {} is still \
+                             live; a slow peer now stalls every thread contending on \
+                             that lock — drop the guard before sending",
+                            g.line
+                        ),
+                        out,
+                    );
+                }
+            }
         }
     }
 }

@@ -3,6 +3,7 @@
 //! where the `lint:allow` suppressions sit and what they target.
 
 use crate::lexer::{lex, Comment, Tok};
+use crate::parser::{self, ItemTree};
 use std::cell::Cell;
 
 /// Minimum characters of justification a `lint:allow` must carry.
@@ -55,6 +56,8 @@ pub struct SourceFile {
     code_lines: Vec<bool>,
     /// Parsed `lint:allow` suppressions.
     pub suppressions: Vec<Suppression>,
+    /// Item tree (fns, enums, consts, loops) for the semantic rules.
+    pub items: ItemTree,
 }
 
 impl SourceFile {
@@ -79,6 +82,7 @@ impl SourceFile {
 
         let (attr_only, test_lines) = attribute_and_test_lines(&toks, n_lines);
         let suppressions = parse_suppressions(&comments, &code_lines, n_lines);
+        let items = parser::parse(&toks);
 
         SourceFile {
             rel,
@@ -89,6 +93,7 @@ impl SourceFile {
             attr_only,
             code_lines,
             suppressions,
+            items,
         }
     }
 

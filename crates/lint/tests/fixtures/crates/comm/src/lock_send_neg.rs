@@ -1,0 +1,17 @@
+// fixture: true negative for lock-across-send — the guard is dropped
+// (explicitly, or by ending its block) before the transport send, so
+// the lock is never held across peer-paced I/O.
+pub fn broadcast(state: &Mutex<State>, transport: &Transport) -> Result<(), SendError> {
+    let guard = state.lock();
+    let frame = guard.snapshot();
+    drop(guard);
+    transport.send(frame)
+}
+
+pub fn broadcast_scoped(state: &Mutex<State>, transport: &Transport) -> Result<(), SendError> {
+    let frame = {
+        let guard = state.lock();
+        guard.snapshot()
+    };
+    transport.send(frame)
+}

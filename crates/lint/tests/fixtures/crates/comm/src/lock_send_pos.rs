@@ -1,0 +1,8 @@
+// fixture: true positive for lock-across-send — the state guard is
+// still live when the transport send happens, so one slow peer stalls
+// every thread contending on the state mutex.
+pub fn broadcast(state: &Mutex<State>, transport: &Transport) -> Result<(), SendError> {
+    let guard = state.lock();
+    let frame = guard.snapshot();
+    transport.send(frame)
+}

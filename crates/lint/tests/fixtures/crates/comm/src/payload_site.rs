@@ -1,0 +1,25 @@
+// fixture: the fixture workspace's protocol-definition site — the
+// `Payload` enum plus its byte accounting, mirroring
+// crates/comm/src/fabric.rs. The wire-conformance codec fixtures in
+// crates/net/src are cross-checked against this enum.
+pub enum Payload {
+    Alpha(Vec<f32>),
+    Beta { tag: u32, values: Vec<f32> },
+    Gamma(u64),
+    Delta(Vec<u8>),
+}
+
+impl Payload {
+    pub fn body_bytes(&self) -> u64 {
+        match self {
+            Payload::Alpha(v) => 4 + 4 * v.len() as u64,
+            Payload::Beta { values, .. } => 4 + 4 + 4 * values.len() as u64,
+            Payload::Gamma(_) => 8,
+            Payload::Delta(bits) => 4 + bits.len() as u64,
+        }
+    }
+
+    pub fn wire_bytes(&self) -> u64 {
+        17 + self.body_bytes() + 4
+    }
+}

@@ -1,0 +1,40 @@
+// fixture: true negative for wire-conformance — a codec site in
+// lockstep with the payload-site fixture in crates/comm: every
+// variant has a kind_of arm, an encode arm, a decode arm, and a
+// unique KIND_* constant.
+const KIND_ALPHA: u8 = 0;
+const KIND_BETA: u8 = 1;
+const KIND_GAMMA: u8 = 2;
+const KIND_DELTA: u8 = 3;
+
+fn kind_of(p: &Payload) -> u8 {
+    match p {
+        Payload::Alpha(_) => KIND_ALPHA,
+        Payload::Beta { .. } => KIND_BETA,
+        Payload::Gamma(_) => KIND_GAMMA,
+        Payload::Delta(_) => KIND_DELTA,
+    }
+}
+
+pub fn encode_frame(buf: &mut Vec<u8>, p: &Payload) {
+    buf.push(kind_of(p));
+    match p {
+        Payload::Alpha(v) => put_f32_section(buf, v),
+        Payload::Beta { tag, values } => {
+            put_u32(buf, *tag);
+            put_f32_section(buf, values);
+        }
+        Payload::Gamma(code) => put_u64(buf, *code),
+        Payload::Delta(bits) => put_slice(buf, bits),
+    }
+}
+
+pub fn decode_after_len(kind: u8, body: &[u8]) -> Result<Payload, FrameError> {
+    match kind {
+        KIND_ALPHA => get_alpha(body),
+        KIND_BETA => get_beta(body),
+        KIND_GAMMA => get_gamma(body),
+        KIND_DELTA => get_delta(body),
+        other => Err(FrameError::BadKind(other)),
+    }
+}

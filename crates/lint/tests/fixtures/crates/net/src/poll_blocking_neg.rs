@@ -1,0 +1,18 @@
+// fixture: true negative for poll-blocking — the driver uses try_recv
+// (nonblocking), and the blocking connect lives in a setup path the
+// driver loop never calls, so the call graph keeps it out of scope.
+pub fn driver_loop(endpoint: &mut Endpoint) {
+    loop {
+        if let Ok(msg) = endpoint.control.try_recv() {
+            endpoint.apply(msg);
+        }
+        if endpoint.queue_empty() {
+            return;
+        }
+    }
+}
+
+pub fn blocking_setup(addr: &str) -> Endpoint {
+    let stream = TcpStream::connect(addr);
+    Endpoint::new(stream)
+}

@@ -1,0 +1,20 @@
+// fixture: true positive for poll-blocking — the driver loop itself
+// sleeps, and a helper reachable from it does a blocking channel recv.
+// Either one stalls every connection the single driver thread
+// multiplexes.
+pub fn driver_loop(endpoint: &mut Endpoint) {
+    loop {
+        sweep_once(endpoint);
+        std::thread::sleep(endpoint.idle);
+    }
+}
+
+fn sweep_once(endpoint: &mut Endpoint) {
+    drain_control(endpoint);
+}
+
+fn drain_control(endpoint: &mut Endpoint) {
+    while let Ok(msg) = endpoint.control.recv() {
+        endpoint.apply(msg);
+    }
+}

@@ -1,0 +1,15 @@
+// fixture: suppression lifecycle for poll-blocking — a justified
+// lint:allow silences the deliberate bounded idle sleep, and no
+// bare-allow / unused-allow hygiene findings appear.
+pub fn driver_loop(endpoint: &mut Endpoint) {
+    loop {
+        if endpoint.sweep() {
+            continue;
+        }
+        // lint:allow(poll-blocking): bounded idle backoff between sweeps
+        std::thread::sleep(endpoint.idle);
+        if endpoint.done() {
+            return;
+        }
+    }
+}

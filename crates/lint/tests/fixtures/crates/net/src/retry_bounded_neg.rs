@@ -1,0 +1,22 @@
+// fixture: true negative for unbounded-retry — the same redial shape,
+// but capped by a deadline with a growing backoff in one loop and an
+// attempt budget in the other.
+pub fn dial_until(addr: &str, deadline: Tick) -> Option<Stream> {
+    let mut backoff = MIN_BACKOFF;
+    while now() < deadline {
+        if let Ok(s) = dial(addr) {
+            return Some(s);
+        }
+        backoff = grow(backoff);
+    }
+    None
+}
+
+pub fn dial_attempts(addr: &str, attempts: u32) -> Option<Stream> {
+    for _ in 0..attempts {
+        if let Ok(s) = dial(addr) {
+            return Some(s);
+        }
+    }
+    None
+}

@@ -1,0 +1,10 @@
+// fixture: true positive for unbounded-retry — a redial loop whose
+// head and body reference no deadline, timeout, backoff, attempt cap
+// or budget: a dead peer spins this rank forever.
+pub fn keep_dialing(addr: &str) -> Stream {
+    loop {
+        if let Ok(s) = dial(addr) {
+            return s;
+        }
+    }
+}

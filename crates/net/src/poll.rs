@@ -621,6 +621,8 @@ fn driver_loop(
             return;
         }
         if !progressed {
+            // lint:allow(poll-blocking): deliberate idle backoff — IDLE_SLEEP
+            // is 500µs, paid only on sweeps where every connection was quiet
             std::thread::sleep(IDLE_SLEEP);
         }
     }
@@ -646,11 +648,15 @@ enum RedialOutcome {
 fn redial_once(addr: &str) -> RedialOutcome {
     let Ok(sock_addr) = addr.parse::<SocketAddr>() else {
         // hostname peers resolve through the blocking dial path
+        // lint:allow(poll-blocking): one attempt capped at REDIAL_ATTEMPT
+        // (100ms); the sweep stalls at most one bounded attempt per pass
         return match dial(addr, REDIAL_ATTEMPT) {
             Ok(s) => finish_redial(s),
             Err(_) => RedialOutcome::Retry,
         };
     };
+    // lint:allow(poll-blocking): bounded by REDIAL_ATTEMPT (100ms) and
+    // only reached on a down peer whose next_redial backoff expired
     match TcpStream::connect_timeout(&sock_addr, REDIAL_ATTEMPT) {
         Ok(s) => finish_redial(s),
         Err(_) => RedialOutcome::Retry,
@@ -659,6 +665,8 @@ fn redial_once(addr: &str) -> RedialOutcome {
 
 fn finish_redial(mut s: TcpStream) -> RedialOutcome {
     let _ = s.set_nodelay(true);
+    // lint:allow(poll-blocking): handshake read/write deadline is capped
+    // at REDIAL_ATTEMPT (100ms) via the socket timeouts set inside
     match shake_hands_as_dialer(&mut s, REDIAL_ATTEMPT) {
         Ok(()) => {
             if s.set_nonblocking(true).is_err() {
